@@ -1,0 +1,91 @@
+"""A1 — Algorithm ablation (paper section 4.1).
+
+"There is no universally optimal solution suited to every occasion":
+sweeps broadcast payload size across the binomial tree, the pipelined
+linear scheme and the ring, on 8 single-core nodes, and regenerates the
+crossover data behind :mod:`repro.collectives.tuning`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+
+def broadcast_makespan(algorithm: str, nelems: int, n_pes: int = 8) -> float:
+    """Simulated completion time of one broadcast (ns)."""
+    cfg = MachineConfig(
+        n_pes=n_pes,
+        cores_per_node=1,
+        memory_bytes_per_pe=16 * 1024 * 1024,
+        symmetric_heap_bytes=8 * 1024 * 1024,
+        collective_scratch_bytes=1024 * 1024,
+    )
+
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * nelems)
+        src = ctx.private_malloc(8 * nelems)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        from repro.collectives.broadcast import broadcast
+
+        broadcast(ctx, dest, src, nelems, 1, 0, np.dtype(np.int64),
+                  algorithm=algorithm)
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(cfg).run(body))
+
+
+SIZES = (8, 128, 2048, 16384, 131072)
+
+
+def test_broadcast_algorithm_crossover(once, benchmark):
+    def sweep():
+        rows = {}
+        for nelems in SIZES:
+            rows[nelems] = {
+                alg: broadcast_makespan(alg, nelems)
+                for alg in ("binomial", "linear", "ring")
+            }
+        return rows
+
+    rows = once(sweep)
+    print("\nA1 — broadcast latency (ns) by algorithm, 8 nodes")
+    print(f"{'elems':>8} {'binomial':>12} {'linear':>12} {'ring':>12}  winner")
+    for nelems, r in rows.items():
+        winner = min(r, key=r.get)
+        print(f"{nelems:>8} {r['binomial']:>12.0f} {r['linear']:>12.0f} "
+              f"{r['ring']:>12.0f}  {winner}")
+        benchmark.extra_info[f"winner_{nelems}"] = winner
+    # The motivating claim: the winner changes with the payload size —
+    # pipelined linear small, binomial tree mid, pipelined ring large.
+    winners = [min(rows[s], key=rows[s].get) for s in SIZES]
+    assert winners[0] == "linear"
+    assert "binomial" in winners
+    assert winners[-1] == "ring"
+
+
+def test_selection_layer_picks_measured_winners(once, benchmark):
+    """`auto` must never be worse than 1.2x the best algorithm."""
+    from repro.collectives.tuning import select_algorithm
+
+    def check():
+        worst_ratio = 1.0
+        for nelems in (8, 2048, 131072):
+            best = min(broadcast_makespan(a, nelems)
+                       for a in ("binomial", "linear", "ring"))
+            chosen = select_algorithm("broadcast", nelems * 8, 8)
+            got = broadcast_makespan(chosen, nelems)
+            worst_ratio = max(worst_ratio, got / best)
+        return worst_ratio
+
+    worst = once(check)
+    benchmark.extra_info["auto_vs_best_worst_ratio"] = round(worst, 3)
+    assert worst <= 1.2

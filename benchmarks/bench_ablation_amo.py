@@ -1,0 +1,80 @@
+"""A7 — Remote-atomics ablation.
+
+GUPs' remote update is a get-modify-put in the OSB port — two network
+transactions and a lost-update window.  The xBGAS remote atomic
+(``eamoxor.d``, one fetch-and-op transaction) removes both.  This bench
+runs GUPs both ways at 8 PEs and reports throughput and verification
+errors.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups import GupsParams, run_gups
+from repro.params import MachineConfig
+
+from conftest import gups_updates
+
+
+def _config() -> MachineConfig:
+    return MachineConfig(n_pes=8)
+
+
+def test_gups_amo_vs_get_modify_put(once, benchmark):
+    def sweep():
+        base = dict(updates_per_pe=gups_updates())
+        gmp = run_gups(_config(), GupsParams(**base, use_amo=False))
+        amo = run_gups(_config(), GupsParams(**base, use_amo=True))
+        return gmp, amo
+
+    gmp, amo = once(sweep)
+    print("\nA7 — GUPs remote-update idiom, 8 PEs")
+    print(f"  get-modify-put: {gmp.mops_total:8.3f} MOPS total, "
+          f"{gmp.errors} verification errors")
+    print(f"  eamoxor.d     : {amo.mops_total:8.3f} MOPS total, "
+          f"{amo.errors} verification errors "
+          f"({amo.mops_total / gmp.mops_total:.2f}x)")
+    assert amo.errors == 0
+    assert amo.mops_total >= gmp.mops_total
+    benchmark.extra_info["gmp_mops"] = round(gmp.mops_total, 3)
+    benchmark.extra_info["amo_mops"] = round(amo.mops_total, 3)
+    benchmark.extra_info["amo_speedup"] = round(
+        amo.mops_total / gmp.mops_total, 3)
+
+
+def test_amo_op_latency(once, benchmark):
+    """Simulated latency of each AMO op (they share the fetch-and-op
+    path, so this is mostly a sanity table)."""
+    from repro.runtime import Machine
+
+    def measure(op):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                for _ in range(16):
+                    ctx.amo(cell, 1, 1, op, "uint64")
+            dt = (ctx.pe.clock - t0) / 16
+            ctx.barrier()
+            ctx.close()
+            return dt
+
+        m = Machine(MachineConfig(
+            n_pes=2,
+            memory_bytes_per_pe=4 * 1024 * 1024,
+            symmetric_heap_bytes=2 * 1024 * 1024,
+            collective_scratch_bytes=256 * 1024,
+        ))
+        return m.run(body)[0]
+
+    def sweep():
+        return {op: measure(op)
+                for op in ("add", "xor", "and", "or", "swap", "min", "max")}
+
+    rows = once(sweep)
+    print("\nA7 — per-op AMO latency (ns): "
+          + ", ".join(f"{op}={ns:.0f}" for op, ns in rows.items()))
+    values = list(rows.values())
+    assert max(values) < 1.2 * min(values)  # one shared path
+    benchmark.extra_info.update({k: round(v, 1) for k, v in rows.items()})

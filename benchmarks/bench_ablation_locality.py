@@ -1,0 +1,122 @@
+"""A6 — Location-aware collectives ablation (paper section 7).
+
+"Location aware communication optimization using the xBGAS OLB" is the
+paper's future work; this bench quantifies it.  The flat binomial tree
+and the two-level hierarchical tree broadcast the same payload over 8
+PEs placed on 4 nodes in two ways:
+
+* **sequential** placement (the paper's assumption, ranks 0-1 on node 0,
+  2-3 on node 1, ...): recursive halving is already near-optimal;
+* **scattered** (round-robin) placement: almost every flat tree edge
+  crosses the node boundary, and the hierarchical tree should win.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+N_PES, N_NODES = 8, 4
+NELEMS = 512
+
+
+def _config(placement: str) -> MachineConfig:
+    pe_map = None
+    if placement == "scattered":
+        pe_map = tuple(i % N_NODES for i in range(N_PES))
+    return MachineConfig(
+        n_pes=N_PES,
+        cores_per_node=N_PES // N_NODES,
+        pe_node_map=pe_map,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+
+
+def broadcast_makespan(placement: str, algorithm: str) -> float:
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * NELEMS)
+        src = ctx.private_malloc(8 * NELEMS)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        ctx.broadcast(dest, src, NELEMS, 1, 0, "long", algorithm=algorithm)
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(_config(placement)).run(body))
+
+
+def inter_node_messages(placement: str, algorithm: str) -> int:
+    cfg = _config(placement)
+    m = Machine(cfg)
+
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * NELEMS)
+        src = ctx.private_malloc(8 * NELEMS)
+        ctx.barrier()
+        ctx.broadcast(dest, src, NELEMS, 1, 0, "long", algorithm=algorithm)
+        ctx.close()
+
+    before_msgs = m.stats.messages
+    m.run(body)
+    # Count payload-sized inter-node traffic via bytes on the wire minus
+    # what the barriers contribute (barriers are charged analytically,
+    # not as messages, so all counted messages are transfer traffic).
+    return m.stats.messages - before_msgs
+
+
+def test_hierarchical_vs_flat_by_placement(once, benchmark):
+    def sweep():
+        rows = {}
+        for placement in ("sequential", "scattered"):
+            rows[placement] = {
+                alg: broadcast_makespan(placement, alg)
+                for alg in ("binomial", "hierarchical")
+            }
+        return rows
+
+    rows = once(sweep)
+    print("\nA6 — 4 KiB broadcast, 8 PEs on 4 nodes (ns)")
+    print(f"{'placement':>12} {'binomial':>12} {'hierarchical':>14}")
+    for placement, r in rows.items():
+        print(f"{placement:>12} {r['binomial']:>12.0f} "
+              f"{r['hierarchical']:>14.0f}")
+        benchmark.extra_info[placement] = {
+            k: round(v, 1) for k, v in r.items()
+        }
+    seq, scat = rows["sequential"], rows["scattered"]
+    # Sequential ranks: recursive halving is already locality-friendly
+    # (the paper's section 4.2 design point) — hierarchical gains little.
+    assert seq["hierarchical"] < 1.3 * seq["binomial"]
+    # Scattered ranks: the hierarchical tree must win clearly.
+    assert scat["hierarchical"] < scat["binomial"]
+    # And the flat tree must degrade when placement scatters.
+    assert scat["binomial"] > seq["binomial"]
+
+
+def test_flat_tree_edge_locality(once, benchmark):
+    """Count the flat tree's inter-node edges under both placements."""
+    from repro.collectives.binomial import tree_stages
+
+    def count(placement):
+        cfg = _config(placement)
+        pairs = [p for stage in tree_stages(N_PES, "halving") for p in stage]
+        return sum(1 for a, b in pairs if cfg.node_of(a) != cfg.node_of(b))
+
+    def both():
+        return count("sequential"), count("scattered")
+
+    seq, scat = once(both)
+    print(f"\nA6 — flat binomial inter-node edges: sequential {seq}/7, "
+          f"scattered {scat}/7")
+    assert seq <= N_NODES - 1  # recursive halving's minimum
+    assert scat > seq
+    benchmark.extra_info["sequential_edges"] = seq
+    benchmark.extra_info["scattered_edges"] = scat

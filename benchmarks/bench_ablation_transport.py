@@ -1,0 +1,89 @@
+"""A2 — Transport ablation (paper section 3.1).
+
+The paper argues xBGAS remote load/store beats RDMA-class libraries,
+which in turn beat MPI-class two-sided messaging.  This bench measures
+the simulated cost of the same operations under the three transport
+presets and asserts the ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+TRANSPORTS = ("xbgas", "rdma", "mpi")
+
+
+def _config(transport: str) -> MachineConfig:
+    return MachineConfig(
+        n_pes=8,
+        cores_per_node=1,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    ).with_transport(transport)
+
+
+def put_cost(transport: str, nelems: int) -> float:
+    """Delivered one-sided write, including quiescence (ns)."""
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * nelems)
+        src = ctx.private_malloc(8 * nelems)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        if ctx.my_pe() == 0:
+            ctx.put(dest, src, nelems, 1, 1, "long")
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(_config(transport)).run(body))
+
+
+def broadcast_cost(transport: str, nelems: int) -> float:
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * nelems)
+        src = ctx.private_malloc(8 * nelems)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        ctx.long_broadcast(dest, src, nelems, 1, 0)
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(_config(transport)).run(body))
+
+
+def test_put_overhead_ordering(once, benchmark):
+    def sweep():
+        return {size: {t: put_cost(t, size) for t in TRANSPORTS}
+                for size in (1, 64, 4096)}
+
+    rows = once(sweep)
+    print("\nA2 — delivered 8B-element put (ns) by transport")
+    print(f"{'elems':>8} {'xbgas':>12} {'rdma':>12} {'mpi':>12}")
+    for size, r in rows.items():
+        print(f"{size:>8} {r['xbgas']:>12.0f} {r['rdma']:>12.0f} "
+              f"{r['mpi']:>12.0f}")
+        # Section 3.1's ordering at every size.
+        assert r["xbgas"] < r["rdma"] < r["mpi"]
+        benchmark.extra_info[f"xbgas_vs_mpi_{size}"] = round(
+            r["mpi"] / r["xbgas"], 2)
+
+
+def test_collective_overhead_ordering(once, benchmark):
+    def sweep():
+        return {t: broadcast_cost(t, 256) for t in TRANSPORTS}
+
+    r = once(sweep)
+    print("\nA2 — 2 KiB broadcast (ns) by transport: "
+          + ", ".join(f"{t}={r[t]:.0f}" for t in TRANSPORTS))
+    assert r["xbgas"] < r["rdma"] < r["mpi"]
+    benchmark.extra_info["bcast_mpi_over_xbgas"] = round(
+        r["mpi"] / r["xbgas"], 2)

@@ -1,0 +1,94 @@
+"""A3 — Loop unrolling ablation (paper section 3.3).
+
+The runtime unrolls the generated transfer loop when ``nelems`` exceeds
+a threshold.  This bench measures the per-element instruction cost with
+and without unrolling on both fidelity paths (analytic model and the
+ISA-executed loops).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+
+def _config(**kw) -> MachineConfig:
+    base = dict(
+        n_pes=2,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+    base.update(kw)
+    return MachineConfig(**base)
+
+
+def put_time(nelems: int, **cfg_kw) -> float:
+    """Sender-side simulated time of one local-node put."""
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(8 * nelems)
+        src = ctx.private_malloc(8 * nelems)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        if ctx.my_pe() == 0:
+            ctx.put(dest, src, nelems, 1, 0, "long")  # local copy path
+        dt = ctx.pe.clock - t0
+        ctx.barrier()
+        ctx.close()
+        return dt
+
+    return Machine(_config(**cfg_kw)).run(body)[0]
+
+
+def test_unrolling_model_path(once, benchmark):
+    def sweep():
+        n = 4096
+        rolled = put_time(n, unroll_threshold=10 ** 9)  # never unroll
+        unrolled = put_time(n, unroll_threshold=8, unroll_factor=4)
+        return rolled, unrolled
+
+    rolled, unrolled = once(sweep)
+    print(f"\nA3 — 4096-element put, model path: rolled={rolled:.0f} ns, "
+          f"unrolled={unrolled:.0f} ns ({rolled / unrolled:.2f}x)")
+    assert unrolled < rolled
+    benchmark.extra_info["model_speedup"] = round(rolled / unrolled, 3)
+
+
+def test_unrolling_isa_path(once, benchmark):
+    """On the ISA path the effect is measured in executed instructions."""
+    def sweep():
+        out = {}
+        for label, thr in (("rolled", 10 ** 9), ("unrolled", 8)):
+            m = Machine(_config(fidelity="isa", unroll_threshold=thr))
+
+            def body(ctx):
+                ctx.init()
+                dest = ctx.malloc(8 * 1024)
+                src = ctx.private_malloc(8 * 1024)
+                if ctx.my_pe() == 0:
+                    ctx.put(dest, src, 1024, 1, 0, "long")
+                ctx.barrier()
+                ctx.close()
+
+            m.run(body)
+            out[label] = m.stats.instructions_executed
+        return out
+
+    counts = once(sweep)
+    print(f"\nA3 — 1024-element put, ISA path instructions: "
+          f"rolled={counts['rolled']}, unrolled={counts['unrolled']}")
+    assert counts["unrolled"] < counts["rolled"]
+    benchmark.extra_info.update(counts)
+
+
+def test_unroll_factor_sweep(once, benchmark):
+    def sweep():
+        return {u: put_time(2048, unroll_factor=u) for u in (2, 4, 8)}
+
+    rows = once(sweep)
+    print("\nA3 — unroll factor sweep (2048 elements): "
+          + ", ".join(f"U={u}: {t:.0f} ns" for u, t in rows.items()))
+    assert rows[8] <= rows[2]

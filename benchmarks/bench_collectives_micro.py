@@ -1,0 +1,106 @@
+"""Microbenchmarks: per-collective simulated latency on the paper's
+platform (8 PEs, one 12-core node), small and large payloads.
+
+Not a paper figure, but the per-operation numbers the per-experiment
+index references when explaining the GUPs/IS composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+
+def _machine() -> Machine:
+    return Machine(MachineConfig(
+        n_pes=8,
+        memory_bytes_per_pe=16 * 1024 * 1024,
+        symmetric_heap_bytes=8 * 1024 * 1024,
+        collective_scratch_bytes=2 * 1024 * 1024,
+    ))
+
+
+def collective_makespan(op: str, nelems: int) -> float:
+    def body(ctx):
+        ctx.init()
+        n = ctx.num_pes()
+        msgs = [nelems // n] * n
+        disp = [i * (nelems // n) for i in range(n)]
+        a = ctx.malloc(8 * nelems)
+        b = ctx.malloc(8 * nelems)
+        p = ctx.private_malloc(8 * nelems)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        if op == "broadcast":
+            ctx.long_broadcast(a, b, nelems, 1, 0)
+        elif op == "reduce":
+            ctx.long_reduce_sum(p, a, nelems, 1, 0)
+        elif op == "scatter":
+            ctx.long_scatter(p, a, msgs, disp, sum(msgs), 0)
+        elif op == "gather":
+            ctx.long_gather(p, a, msgs, disp, sum(msgs), 0)
+        elif op == "reduce_all":
+            ctx.reduce_all(b, a, nelems, 1, "sum", "long")
+        elif op == "alltoall":
+            ctx.alltoall(b, a, nelems // n, "long")
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(_machine().run(body))
+
+
+OPS = ("broadcast", "reduce", "scatter", "gather", "reduce_all", "alltoall")
+
+
+def test_collective_latency_table(once, benchmark):
+    def sweep():
+        return {
+            op: {n: collective_makespan(op, n) for n in (8, 1024)}
+            for op in OPS
+        }
+
+    rows = once(sweep)
+    print("\nCollective simulated latency, 8 PEs (ns)")
+    print(f"{'op':>12} {'8 elems':>12} {'1024 elems':>12}")
+    for op, r in rows.items():
+        print(f"{op:>12} {r[8]:>12.0f} {r[1024]:>12.0f}")
+        benchmark.extra_info[f"{op}_small_ns"] = round(r[8], 1)
+        benchmark.extra_info[f"{op}_large_ns"] = round(r[1024], 1)
+    # Composition sanity: reduce_all ~ reduce + broadcast.
+    combo = rows["reduce"][1024] + rows["broadcast"][1024]
+    assert rows["reduce_all"][1024] <= 1.3 * combo
+
+
+def test_barrier_scaling(once, benchmark):
+    def barrier_cost(n_pes):
+        def body(ctx):
+            ctx.init()
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            for _ in range(10):
+                ctx.barrier()
+            dt = (ctx.pe.clock - t0) / 10
+            ctx.close()
+            return dt
+
+        m = Machine(MachineConfig(
+            n_pes=n_pes,
+            memory_bytes_per_pe=4 * 1024 * 1024,
+            symmetric_heap_bytes=2 * 1024 * 1024,
+            collective_scratch_bytes=256 * 1024,
+        ))
+        return max(m.run(body))
+
+    def sweep():
+        return {n: barrier_cost(n) for n in (2, 4, 8)}
+
+    rows = once(sweep)
+    print("\nBarrier simulated cost: "
+          + ", ".join(f"{n} PEs = {c:.0f} ns" for n, c in rows.items()))
+    assert rows[2] < rows[4] < rows[8]
+    benchmark.extra_info.update({f"{n}pe_ns": round(c, 1)
+                                 for n, c in rows.items()})

@@ -1,0 +1,32 @@
+"""E5 — Figure 3: the binomial tree with recursive halving.
+
+Renders the 8-PE broadcast tree the paper draws and times schedule
+generation across PE counts (it runs inside every collective call).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_figure3
+from repro.collectives.binomial import n_stages, tree_stages
+
+
+def test_figure3_regenerated(benchmark):
+    text = benchmark(render_figure3, 8)
+    print("\n" + text)
+    # Figure 3's structure: root 0 reaches 4, then 2 and 6, then odds.
+    assert "stage 0: 0->4" in text
+    assert "stage 1: 0->2  4->6" in text
+    benchmark.extra_info["stages"] = n_stages(8)
+
+
+def test_schedule_generation_cost(benchmark):
+    def generate():
+        out = 0
+        for n in (2, 4, 8, 16, 32, 64):
+            out += sum(len(s) for s in tree_stages(n, "halving"))
+            out += sum(len(s) for s in tree_stages(n, "doubling"))
+        return out
+
+    total_pairs = benchmark(generate)
+    # Every rank except the root appears exactly once per direction.
+    assert total_pairs == 2 * sum(n - 1 for n in (2, 4, 8, 16, 32, 64))

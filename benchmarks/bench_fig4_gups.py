@@ -1,0 +1,33 @@
+"""E6 — Figure 4: GUPs performance at 1/2/4/8 PEs.
+
+Regenerates the paper's GUPs series (operations per second, total and
+per PE, verification enabled) on the simulated section 5.1 platform and
+asserts the paper's qualitative shape:
+
+* total MOPS scales near-linearly from 1 to 4 PEs;
+* per-PE MOPS at 2 and 4 PEs meets or exceeds the 1-PE baseline,
+  peaking at 2 PEs;
+* per-PE MOPS drops at 8 PEs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.gups import GupsParams
+from repro.bench.harness import PE_COUNTS, check_figure4_shape, sweep_gups
+from repro.bench.reporting import render_figure
+
+from conftest import gups_updates
+
+
+def test_figure4_gups(once, benchmark):
+    params = GupsParams(updates_per_pe=gups_updates())
+    points = once(sweep_gups, PE_COUNTS, params)
+    print("\n" + render_figure(points, "Figure 4 — GUPs (reproduced)"))
+    violations = check_figure4_shape(points)
+    assert not violations, violations
+    for p in points:
+        benchmark.extra_info[f"mops_total_{p.n_pes}pe"] = round(p.mops_total, 3)
+        benchmark.extra_info[f"mops_per_pe_{p.n_pes}pe"] = round(p.mops_per_pe, 3)
+        assert p.verified
+    benchmark.extra_info["peak_per_pe_at"] = max(
+        points, key=lambda p: p.mops_per_pe).n_pes

@@ -1,0 +1,36 @@
+"""E7 — Figure 5: NAS Integer Sort performance at 1/2/4/8 PEs.
+
+Regenerates the paper's IS series (Mop/s, total and per PE; partial and
+full verification on) and asserts the qualitative shape:
+
+* total Mop/s rises near-linearly for 2 and 4 PEs with consistent
+  per-PE throughput;
+* per-PE throughput drops ~25 % at 8 PEs, pulling total down.
+
+The paper runs class B; the default here is the scaled class A
+(~22 s wall) — set ``REPRO_IS_CLASS=B-scaled`` for the full-size run
+recorded in EXPERIMENTS.md (~4 min).
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import PE_COUNTS, check_figure5_shape, sweep_is
+from repro.bench.nas_is import IsParams
+from repro.bench.reporting import render_figure
+
+from conftest import is_class
+
+
+def test_figure5_is(once, benchmark):
+    params = IsParams(problem_class=is_class())
+    points = once(sweep_is, PE_COUNTS, params)
+    print("\n" + render_figure(
+        points, f"Figure 5 — NAS IS class {params.problem_class} (reproduced)"))
+    violations = check_figure5_shape(points)
+    assert not violations, violations
+    for p in points:
+        benchmark.extra_info[f"mops_total_{p.n_pes}pe"] = round(p.mops_total, 3)
+        benchmark.extra_info[f"mops_per_pe_{p.n_pes}pe"] = round(p.mops_per_pe, 3)
+        assert p.verified
+    drop = 1.0 - points[-1].mops_per_pe / points[-2].mops_per_pe
+    benchmark.extra_info["per_pe_drop_at_8"] = f"{drop:.0%}"

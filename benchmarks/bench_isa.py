@@ -1,0 +1,122 @@
+"""A5 — ISA-path benchmarks.
+
+Compares the two fidelity levels of the transfer engine (analytic model
+vs executing the generated xBGAS assembly on the functional core), and
+measures the functional simulator's raw interpretation throughput —
+the Spike-equivalent metric of the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import Cpu, Memory, assemble
+from repro.params import MachineConfig
+from repro.runtime import Machine
+
+
+def _config(fidelity: str) -> MachineConfig:
+    return MachineConfig(
+        n_pes=2,
+        fidelity=fidelity,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+
+
+def test_model_vs_isa_agree_functionally(once, benchmark):
+    def run(fidelity):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(8 * 256)
+            src = ctx.private_malloc(8 * 256)
+            if ctx.my_pe() == 0:
+                ctx.view(src, "long", 256)[:] = np.arange(256) * 3
+                ctx.put(dest, src, 256, 1, 1, "long")
+            ctx.barrier()
+            got = int(np.sum(ctx.view(dest, "long", 256)))
+            ctx.close()
+            return got
+
+        m = Machine(_config(fidelity))
+        return m.run(body), m
+
+    def both():
+        (model_res, m1), (isa_res, m2) = run("model"), run("isa")
+        return model_res, isa_res, m2.stats.instructions_executed
+
+    model_res, isa_res, instrs = once(both)
+    assert model_res == isa_res
+    print(f"\nA5 — 256-element put: identical payloads on both paths; "
+          f"ISA path executed {instrs} instructions")
+    benchmark.extra_info["instructions"] = instrs
+
+
+def test_isa_models_per_element_messages(once, benchmark):
+    """The ISA path charges one network operation per element — the
+    honest cost of remote load/store; the model path aggregates."""
+    def measure(fidelity):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(8 * 64)
+            src = ctx.private_malloc(8 * 64)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                ctx.put(dest, src, 64, 1, 1, "long")
+            dt = ctx.pe.clock - t0
+            ctx.barrier()
+            ctx.close()
+            return dt
+
+        m = Machine(_config(fidelity))
+        dt = m.run(body)[0]
+        return dt, m.stats.messages
+
+    def both():
+        return measure("model"), measure("isa")
+
+    (model_dt, model_msgs), (isa_dt, isa_msgs) = once(both)
+    print(f"\nA5 — 64-element remote put: model {model_dt:.0f} ns / "
+          f"{model_msgs} msgs; isa {isa_dt:.0f} ns / {isa_msgs} msgs")
+    assert isa_msgs > model_msgs
+    benchmark.extra_info["model_messages"] = model_msgs
+    benchmark.extra_info["isa_messages"] = isa_msgs
+
+
+def test_interpreter_throughput(benchmark):
+    """Instructions per wall-second of the functional core."""
+    src = """
+        li a0, 20000
+        li a1, 0
+    loop:
+        add a1, a1, a0
+        xor a2, a1, a0
+        srli a3, a1, 3
+        addi a0, a0, -1
+        bnez a0, loop
+        halt
+    """
+    prog = assemble(src)
+
+    def run_program():
+        cpu = Cpu(0, Memory(1 << 16))
+        cpu.load_program(prog.words)
+        cpu.run(max_instructions=10 ** 7)
+        return cpu.instructions_retired
+
+    retired = benchmark(run_program)
+    # li 20000 expands to lui+addi; then 20000 five-instruction
+    # iterations and the halt.
+    assert retired == 3 + 20000 * 5 + 1
+    benchmark.extra_info["instructions_per_run"] = retired
+
+
+def test_assembler_throughput(benchmark):
+    source = "\n".join(
+        f"    addi a{i % 6}, a{(i + 1) % 6}, {i % 100}" for i in range(500)
+    ) + "\n    halt\n"
+
+    words = benchmark(lambda: len(assemble(source).words))
+    assert words == 501

@@ -1,0 +1,74 @@
+"""Point-to-point microbenchmarks (the OSB micro-suite the paper's
+benchmarks come from): put/get latency, put bandwidth and message rate
+across the three transport presets.
+"""
+
+from __future__ import annotations
+
+from repro.bench.micro import (
+    get_latency,
+    message_rate,
+    put_bandwidth,
+    put_latency,
+)
+from repro.params import MachineConfig
+
+SIZES = (8, 512, 32768, 262144)
+
+
+def _cfg(transport: str) -> MachineConfig:
+    return MachineConfig(
+        n_pes=2,
+        cores_per_node=1,
+        memory_bytes_per_pe=16 * 1024 * 1024,
+        symmetric_heap_bytes=8 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    ).with_transport(transport)
+
+
+def test_put_get_latency_table(once, benchmark):
+    def sweep():
+        return {
+            "put": put_latency(SIZES, iterations=16, config=_cfg("xbgas")),
+            "get": get_latency(SIZES, iterations=16, config=_cfg("xbgas")),
+        }
+
+    rows = once(sweep)
+    print("\nput/get simulated latency (µs), xBGAS transport")
+    print(f"{'bytes':>8} {'put':>10} {'get':>10}")
+    for p, g in zip(rows["put"], rows["get"]):
+        print(f"{p.nbytes:>8} {p.latency_us:>10.3f} {g.latency_us:>10.3f}")
+        assert g.latency_us > p.latency_us  # round trip vs one-way
+    benchmark.extra_info["put_8B_us"] = round(rows["put"][0].latency_us, 3)
+    benchmark.extra_info["get_8B_us"] = round(rows["get"][0].latency_us, 3)
+
+
+def test_bandwidth_by_transport(once, benchmark):
+    def sweep():
+        return {
+            t: put_bandwidth((262144,), iterations=4, window=8,
+                             config=_cfg(t))[0]
+            for t in ("xbgas", "rdma", "mpi")
+        }
+
+    rows = once(sweep)
+    print("\n256 KiB windowed put bandwidth (MB/s): "
+          + ", ".join(f"{t}={r.bandwidth_mbps:.0f}" for t, r in rows.items()))
+    assert rows["xbgas"].bandwidth_mbps >= rows["mpi"].bandwidth_mbps
+    for t, r in rows.items():
+        benchmark.extra_info[f"{t}_mbps"] = round(r.bandwidth_mbps, 1)
+
+
+def test_message_rate_by_transport(once, benchmark):
+    def sweep():
+        return {t: message_rate(iterations=128, config=_cfg(t))
+                for t in ("xbgas", "rdma", "mpi")}
+
+    rows = once(sweep)
+    print("\n8 B put message rate (Mops/s): "
+          + ", ".join(f"{t}={r.rate_mops:.2f}" for t, r in rows.items()))
+    # The message-rate gap is where one-sided user-space injection
+    # shines most (section 3.1).
+    assert rows["xbgas"].rate_mops > rows["rdma"].rate_mops > rows["mpi"].rate_mops
+    for t, r in rows.items():
+        benchmark.extra_info[f"{t}_mops"] = round(r.rate_mops, 2)

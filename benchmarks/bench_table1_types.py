@@ -1,0 +1,26 @@
+"""E1 — Table 1: xBGAS matched type names & types.
+
+Regenerates the paper's type table and times the TYPENAME dispatch the
+typed API performs on every call.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table1
+from repro.types import TYPENAMES, typeinfo
+
+
+def test_table1_regenerated(benchmark):
+    text = benchmark(render_table1)
+    print("\n" + text)
+    lines = [l for l in text.splitlines()[2:] if l.strip()]
+    assert len(lines) == 24
+    benchmark.extra_info["rows"] = len(lines)
+
+
+def test_typename_dispatch_cost(benchmark):
+    def lookup_all():
+        return [typeinfo(t).nbytes for t in TYPENAMES]
+
+    sizes = benchmark(lookup_all)
+    assert len(sizes) == 24

@@ -1,0 +1,31 @@
+"""E2 — Table 2: logical → virtual rank mapping (7 PEs, root 4).
+
+Regenerates the paper's example table and times the remapping arithmetic
+every collective performs per call.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import render_table2
+from repro.collectives.virtual_rank import rank_table, virtual_rank
+
+PAPER_ROWS = [(0, 3), (1, 4), (2, 5), (3, 6), (4, 0), (5, 1), (6, 2)]
+
+
+def test_table2_regenerated(benchmark):
+    text = benchmark(render_table2, root=4, n_pes=7)
+    print("\n" + text)
+    assert rank_table(4, 7) == PAPER_ROWS
+    benchmark.extra_info["matches_paper"] = True
+
+
+def test_virtual_rank_cost(benchmark):
+    def remap_sweep():
+        total = 0
+        for n in (2, 4, 8, 16, 64):
+            for root in range(n):
+                for lr in range(n):
+                    total += virtual_rank(lr, root, n)
+        return total
+
+    benchmark(remap_sweep)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""GUPs (RandomAccess) on the simulated xBGAS machine — Figure 4's
+workload at demonstration scale.
+
+Sweeps 1/2/4/8 PEs with HPCC verification enabled and prints the same
+series the paper plots: operations per second, total and per PE.
+
+    python examples/gups_demo.py [updates_per_pe]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.gups import GupsParams
+from repro.bench.harness import PE_COUNTS, check_figure4_shape, sweep_gups
+from repro.bench.reporting import render_figure
+
+
+def main() -> None:
+    updates = int(sys.argv[1]) if len(sys.argv) > 1 else 512
+    params = GupsParams(updates_per_pe=updates)
+    print(f"GUPs: table = 2^{params.log2_table_size} words, "
+          f"{updates} updates/PE, verification on\n")
+    points = sweep_gups(PE_COUNTS, params)
+    print(render_figure(points, "GUPs performance (compare: paper Figure 4)"))
+    for p in points:
+        res = p.detail
+        print(f"  {p.n_pes} PEs: {res.errors} verification errors "
+              f"({'PASS' if res.passed else 'FAIL'})")
+    violations = check_figure4_shape(points)
+    if violations:
+        print("\nshape check FAILED:", "; ".join(violations))
+    else:
+        print("\nshape check: matches the paper's Figure 4 "
+              "(near-linear totals, per-PE peak at 2 PEs, 8-PE drop)")
+
+
+if __name__ == "__main__":
+    main()

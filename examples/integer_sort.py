@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""NAS Integer Sort on the simulated xBGAS machine — Figure 5's
+workload at demonstration scale.
+
+    python examples/integer_sort.py [class]
+
+where ``class`` is one of S, W, A, B, S-scaled, A-scaled, B-scaled
+(default S-scaled; the paper runs class B).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import PE_COUNTS, check_figure5_shape, sweep_is
+from repro.bench.nas_is import CLASS_PARAMS, IsParams, generate_keys
+from repro.bench.reporting import render_figure
+
+
+def main() -> None:
+    cls = sys.argv[1] if len(sys.argv) > 1 else "S-scaled"
+    params = IsParams(problem_class=cls)
+    lk, lm = CLASS_PARAMS[cls]
+    print(f"NAS IS class {cls}: 2^{lk} keys in [0, 2^{lm}), "
+          f"{params.max_iterations} ranking iterations\n")
+    print("generating keys (NPB randlc sequence)...")
+    keys = generate_keys(params)
+    points = sweep_is(PE_COUNTS, params, keys=keys)
+    print(render_figure(
+        points, f"IS class {cls} (compare: paper Figure 5)"))
+    for p in points:
+        res = p.detail
+        print(f"  {p.n_pes} PEs: partial verification "
+              f"{'PASS' if res.partial_verified else 'FAIL'}, full "
+              f"{'PASS' if res.full_verified else 'FAIL'}")
+    violations = check_figure5_shape(points)
+    if violations:
+        print("\nshape check FAILED:", "; ".join(violations))
+    else:
+        print("\nshape check: matches the paper's Figure 5 "
+              "(linear totals to 4 PEs, ~25% per-PE drop at 8)")
+
+
+if __name__ == "__main__":
+    main()

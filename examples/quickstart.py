@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Quickstart: the xbrtime runtime and the four paper collectives.
+
+Runs a 4-PE SPMD program on the simulated xBGAS machine: symmetric
+allocation, one-sided put/get, then broadcast, reduction, scatter and
+gather (paper sections 3.3-4.6).
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Machine, MachineConfig
+
+
+def main(ctx):
+    ctx.init()
+    me, n = ctx.my_pe(), ctx.num_pes()
+
+    # --- symmetric memory (Figure 2) -----------------------------------
+    # Every PE gets the same address back: the shared segments stay
+    # fully symmetric.
+    slots = ctx.malloc(8 * n)
+    view = ctx.view(slots, "long", n)
+    view[:] = 0
+
+    # --- one-sided put: deposit my rank on my right neighbour ----------
+    src = ctx.private_malloc(8)
+    ctx.view(src, "long", 1)[0] = me * 11
+    ctx.long_put(slots + 8 * me, src, 1, 1, (me + 1) % n)
+    ctx.barrier()
+    left = (me - 1) % n
+    assert view[left] == left * 11
+
+    # --- broadcast (Algorithm 1) ----------------------------------------
+    params = ctx.malloc(8 * 2)
+    pv = ctx.view(params, "long", 2)
+    if me == 0:
+        pv[:] = [2026, 7]
+    ctx.long_broadcast(params, params, 2, 1, 0)
+    assert list(pv) == [2026, 7]
+
+    # --- reduction (Algorithm 2) ------------------------------------------
+    contrib = ctx.malloc(8)
+    total = ctx.private_malloc(8)
+    ctx.view(contrib, "long", 1)[0] = (me + 1) ** 2
+    ctx.long_reduce_sum(total, contrib, 1, 1, 0)
+    if me == 0:
+        got = int(ctx.view(total, "long", 1)[0])
+        expect = sum((i + 1) ** 2 for i in range(n))
+        print(f"[PE 0] sum of squares over {n} PEs = {got} "
+              f"(expected {expect})")
+        assert got == expect
+
+    # --- scatter / gather (Algorithms 3-4), distinct counts per PE --------
+    msgs = [i + 1 for i in range(n)]
+    disp = [sum(msgs[:i]) for i in range(n)]
+    nelems = sum(msgs)
+    table = ctx.malloc(8 * nelems)
+    if me == 0:
+        ctx.view(table, "long", nelems)[:] = np.arange(nelems) * 10
+    mine = ctx.private_malloc(8 * msgs[-1])
+    ctx.long_scatter(mine, table, msgs, disp, nelems, 0)
+    piece = np.array(ctx.view(mine, "long", msgs[me]))
+    print(f"[PE {me}] scatter received {piece.tolist()}")
+
+    # Double it locally, gather back to PE 0.
+    ctx.view(mine, "long", msgs[me])[:] = piece * 2
+    back = ctx.private_malloc(8 * nelems)
+    ctx.long_gather(back, mine, msgs, disp, nelems, 0)
+    if me == 0:
+        result = np.array(ctx.view(back, "long", nelems))
+        assert np.array_equal(result, np.arange(nelems) * 20)
+        print(f"[PE 0] gather assembled {result.tolist()}")
+
+    ctx.close()
+    return ctx.time_ns
+
+
+if __name__ == "__main__":
+    machine = Machine(MachineConfig(n_pes=4))
+    print(machine.describe() + "\n")
+    times = machine.run(main)
+    print(f"\nsimulated makespan: {max(times) / 1000:.1f} µs")
+    print(f"stats: {machine.stats.puts} puts, {machine.stats.gets} gets, "
+          f"{machine.stats.barriers} barriers")
+    print("collectives:", dict(machine.stats.collective_calls))

@@ -1,0 +1,21 @@
+"""Baseline communication stacks the paper compares against.
+
+Section 3.1 argues xBGAS one-sided remote load/store beats both MPI-class
+two-sided messaging (socket setup, handshaking, kernel crossings, staging
+copies) and RDMA-class libraries (expensive per-operation calls);
+section 4.7 compares the collective API surface against OpenSHMEM.
+
+* :mod:`~repro.baselines.p2p` — a two-sided send/recv message layer
+  (eager + rendezvous) over the same network model.
+* :mod:`~repro.baselines.mpi` — MPI-style collectives built on p2p
+  (binomial bcast/reduce, recursive-doubling allreduce, scatterv/
+  gatherv), intended to run with ``MachineConfig.with_transport("mpi")``.
+* :mod:`~repro.baselines.shmem` — an OpenSHMEM-1.4-style API surface
+  (size-suffixed calls, ``*_to_all`` reductions, collect/fcollect,
+  active-set addressing) for the section 4.7 comparison.
+"""
+
+from .p2p import MessageLayer, attach_message_layer
+from . import mpi, shmem
+
+__all__ = ["MessageLayer", "attach_message_layer", "mpi", "shmem"]

@@ -1,0 +1,202 @@
+"""MPI-style collectives over the two-sided message layer.
+
+These are the algorithms MPICH uses in the small/medium-message regime
+(Thakur, Rabenseifner & Gropp 2005): binomial-tree bcast and reduce,
+recursive-doubling allreduce, and linear scatterv/gatherv rooted at any
+rank.  Functionally they match the xBGAS collectives; the point of the
+baseline is the *cost* difference when run on
+``MachineConfig.with_transport("mpi")`` — every edge of the tree pays
+two-sided overheads (handshake above the eager threshold, kernel
+crossings, staging copies at both ends).
+
+All calls take a :class:`~repro.runtime.context.XBRTime` ctx and use the
+machine's shared :class:`~repro.baselines.p2p.MessageLayer`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..collectives.ops import apply_op, check_op
+from ..errors import CollectiveArgumentError
+from .p2p import attach_message_layer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["bcast", "reduce", "allreduce", "scatterv", "gatherv"]
+
+_TAG_BCAST = 101
+_TAG_REDUCE = 102
+_TAG_ALLRED = 103
+_TAG_SCAT = 104
+_TAG_GATH = 105
+
+
+def _vrank(rank: int, root: int, n: int) -> int:
+    return (rank - root) % n
+
+
+def _lrank(vrank: int, root: int, n: int) -> int:
+    return (vrank + root) % n
+
+
+def bcast(ctx: "XBRTime", addr: int, nelems: int, dtype: np.dtype,
+          root: int = 0) -> None:
+    """Binomial-tree broadcast of the buffer at ``addr`` (MPI_Bcast)."""
+    n = ctx.num_pes()
+    if not 0 <= root < n:
+        raise CollectiveArgumentError(f"root {root} out of range")
+    layer = attach_message_layer(ctx.machine)
+    me = _vrank(ctx.rank, root, n)
+    mask = 1
+    # Standard MPICH binomial: receive from the parent, then relay to
+    # children at decreasing stride.
+    while mask < n:
+        if me & mask:
+            src = _lrank(me - mask, root, n)
+            layer.recv(ctx, src, addr, nelems, dtype, _TAG_BCAST)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask > 0:
+        if me + mask < n:
+            dst = _lrank(me + mask, root, n)
+            layer.send(ctx, dst, addr, nelems, dtype, _TAG_BCAST)
+        mask >>= 1
+
+
+def reduce(ctx: "XBRTime", dest: int, src: int, nelems: int,
+           dtype: np.dtype, op: str = "sum", root: int = 0) -> None:
+    """Binomial-tree reduction to ``root`` (MPI_Reduce)."""
+    n = ctx.num_pes()
+    if not 0 <= root < n:
+        raise CollectiveArgumentError(f"root {root} out of range")
+    check_op(op, dtype)
+    layer = attach_message_layer(ctx.machine)
+    eb = np.dtype(dtype).itemsize
+    acc_addr = ctx.private_malloc(max(nelems, 1) * eb)
+    tmp_addr = ctx.private_malloc(max(nelems, 1) * eb)
+    acc = ctx.view(acc_addr, dtype, nelems)
+    tmp = ctx.view(tmp_addr, dtype, nelems)
+    acc[:] = ctx.view(src, dtype, nelems)
+    me = _vrank(ctx.rank, root, n)
+    mask = 1
+    while mask < n:
+        if me & mask:
+            dst = _lrank(me - mask, root, n)
+            layer.send(ctx, dst, acc_addr, nelems, dtype, _TAG_REDUCE)
+            break
+        partner = me | mask
+        if partner < n:
+            psrc = _lrank(partner, root, n)
+            layer.recv(ctx, psrc, tmp_addr, nelems, dtype, _TAG_REDUCE)
+            apply_op(op, acc, tmp)
+            ctx.compute(nelems * 2 * ctx.machine.config.cycle_ns)
+        mask <<= 1
+    if me == 0 and nelems:
+        ctx.view(dest, dtype, nelems)[:] = acc
+        ctx.charge_stream(dest, nelems * eb, write=True)
+    ctx.private_free(tmp_addr)
+    ctx.private_free(acc_addr)
+
+
+def allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int,
+              dtype: np.dtype, op: str = "sum") -> None:
+    """Recursive-doubling allreduce (MPI_Allreduce, power-of-two path;
+    non-power-of-two ranks fold into the nearest lower power of two)."""
+    n = ctx.num_pes()
+    check_op(op, dtype)
+    layer = attach_message_layer(ctx.machine)
+    eb = np.dtype(dtype).itemsize
+    acc_addr = ctx.private_malloc(max(nelems, 1) * eb)
+    tmp_addr = ctx.private_malloc(max(nelems, 1) * eb)
+    acc = ctx.view(acc_addr, dtype, nelems)
+    tmp = ctx.view(tmp_addr, dtype, nelems)
+    acc[:] = ctx.view(src, dtype, nelems)
+    me = ctx.rank
+    pof2 = 1
+    while pof2 * 2 <= n:
+        pof2 *= 2
+    rem = n - pof2
+    # Fold the remainder ranks into [0, pof2).
+    if me < 2 * rem:
+        if me % 2 == 1:  # odd ranks send and sit out
+            layer.send(ctx, me - 1, acc_addr, nelems, dtype, _TAG_ALLRED)
+            newrank = -1
+        else:
+            layer.recv(ctx, me + 1, tmp_addr, nelems, dtype, _TAG_ALLRED)
+            apply_op(op, acc, tmp)
+            newrank = me // 2
+    else:
+        newrank = me - rem
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (partner_new * 2 if partner_new < rem
+                       else partner_new + rem)
+            layer.sendrecv(ctx, partner, acc_addr, partner, tmp_addr,
+                           nelems, dtype, _TAG_ALLRED)
+            apply_op(op, acc, tmp)
+            ctx.compute(nelems * 2 * ctx.machine.config.cycle_ns)
+            mask <<= 1
+    # Send results back to the folded-out odd ranks.
+    if me < 2 * rem:
+        if me % 2 == 0:
+            layer.send(ctx, me + 1, acc_addr, nelems, dtype, _TAG_ALLRED)
+        else:
+            layer.recv(ctx, me - 1, acc_addr, nelems, dtype, _TAG_ALLRED)
+            acc = ctx.view(acc_addr, dtype, nelems)
+    if nelems:
+        ctx.view(dest, dtype, nelems)[:] = acc
+        ctx.charge_stream(dest, nelems * eb, write=True)
+    ctx.private_free(tmp_addr)
+    ctx.private_free(acc_addr)
+
+
+def scatterv(ctx: "XBRTime", dest: int, src: int, counts: list[int],
+             displs: list[int], dtype: np.dtype, root: int = 0) -> None:
+    """Linear variable scatter (MPI_Scatterv's default small algorithm)."""
+    n = ctx.num_pes()
+    if len(counts) != n or len(displs) != n:
+        raise CollectiveArgumentError("counts/displs must have n_pes entries")
+    layer = attach_message_layer(ctx.machine)
+    eb = np.dtype(dtype).itemsize
+    if ctx.rank == root:
+        for pe in range(n):
+            if pe == root:
+                if counts[pe]:
+                    ctx.view(dest, dtype, counts[pe])[:] = ctx.view(
+                        src + displs[pe] * eb, dtype, counts[pe])
+                    ctx.charge_stream(dest, counts[pe] * eb, write=True)
+            else:
+                layer.send(ctx, pe, src + displs[pe] * eb, counts[pe],
+                           dtype, _TAG_SCAT)
+    else:
+        layer.recv(ctx, root, dest, counts[ctx.rank], dtype, _TAG_SCAT)
+
+
+def gatherv(ctx: "XBRTime", dest: int, src: int, counts: list[int],
+            displs: list[int], dtype: np.dtype, root: int = 0) -> None:
+    """Linear variable gather (MPI_Gatherv)."""
+    n = ctx.num_pes()
+    if len(counts) != n or len(displs) != n:
+        raise CollectiveArgumentError("counts/displs must have n_pes entries")
+    layer = attach_message_layer(ctx.machine)
+    eb = np.dtype(dtype).itemsize
+    if ctx.rank == root:
+        for pe in range(n):
+            if pe == root:
+                if counts[pe]:
+                    ctx.view(dest + displs[pe] * eb, dtype, counts[pe])[:] = (
+                        ctx.view(src, dtype, counts[pe]))
+                    ctx.charge_stream(dest + displs[pe] * eb,
+                                      counts[pe] * eb, write=True)
+            else:
+                layer.recv(ctx, pe, dest + displs[pe] * eb, counts[pe],
+                           dtype, _TAG_GATH)
+    else:
+        layer.send(ctx, root, src, counts[ctx.rank], dtype, _TAG_GATH)

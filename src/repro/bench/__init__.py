@@ -1,0 +1,41 @@
+"""Benchmark workloads and the figure/table regeneration harness.
+
+The paper evaluates its collective library with the NAS Integer Sort and
+GUPs benchmarks adapted from Oak Ridge's OpenSHMEM benchmark suite
+(section 5.2), both of which exercise the reduction and broadcast
+collectives.  :mod:`~repro.bench.gups` and :mod:`~repro.bench.nas_is`
+are faithful ports; :mod:`~repro.bench.harness` sweeps them over PE
+counts and :mod:`~repro.bench.reporting` prints the same rows Figures
+4-5 plot (operations per second, total and per PE).
+"""
+
+from .gups import GupsParams, GupsResult, run_gups
+from .nas_is import IsParams, IsResult, run_is, CLASS_PARAMS
+from .harness import sweep_gups, sweep_is, SweepPoint
+from .micro import (
+    MicroResult,
+    put_latency,
+    get_latency,
+    put_bandwidth,
+    message_rate,
+)
+from . import reporting
+
+__all__ = [
+    "GupsParams",
+    "GupsResult",
+    "run_gups",
+    "IsParams",
+    "IsResult",
+    "run_is",
+    "CLASS_PARAMS",
+    "sweep_gups",
+    "sweep_is",
+    "SweepPoint",
+    "MicroResult",
+    "put_latency",
+    "get_latency",
+    "put_bandwidth",
+    "message_rate",
+    "reporting",
+]

@@ -1,0 +1,144 @@
+"""Parameter sweeps regenerating the paper's evaluation.
+
+Figures 4 and 5 report operations per second — total and per PE — for 1,
+2, 4 and 8 PEs on the section 5.1 platform.  :func:`sweep_gups` and
+:func:`sweep_is` run those sweeps; the shape checks
+(:func:`check_figure4_shape` / :func:`check_figure5_shape`) encode the
+qualitative claims the reproduction must match:
+
+* total throughput scales near-linearly from 1 to 4 PEs;
+* per-PE throughput at 2 and 4 PEs meets or exceeds the 1-PE baseline
+  (cache-capacity effect), with the peak at 2 PEs for GUPs;
+* per-PE throughput drops at 8 PEs (shared-bus contention), by roughly
+  25 % for IS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..params import MachineConfig
+from .gups import GupsParams, GupsResult, run_gups
+from .nas_is import IsParams, IsResult, generate_keys, run_is
+
+__all__ = [
+    "SweepPoint",
+    "PE_COUNTS",
+    "sweep_gups",
+    "sweep_is",
+    "check_figure4_shape",
+    "check_figure5_shape",
+]
+
+#: The PE counts of Figures 4 and 5.
+PE_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (n_pes, metric) point of a figure."""
+
+    n_pes: int
+    mops_total: float
+    mops_per_pe: float
+    verified: bool
+    detail: object = None
+
+
+def sweep_gups(
+    pe_counts: Sequence[int] = PE_COUNTS,
+    params: GupsParams | None = None,
+    base_config: MachineConfig | None = None,
+) -> list[SweepPoint]:
+    """Figure 4: GUPs at each PE count."""
+    params = params if params is not None else GupsParams()
+    base = base_config if base_config is not None else MachineConfig()
+    points = []
+    for n in pe_counts:
+        res: GupsResult = run_gups(base.with_(n_pes=n), params)
+        points.append(SweepPoint(
+            n_pes=n,
+            mops_total=res.mops_total,
+            mops_per_pe=res.mops_per_pe,
+            verified=res.passed,
+            detail=res,
+        ))
+    return points
+
+
+def sweep_is(
+    pe_counts: Sequence[int] = PE_COUNTS,
+    params: IsParams | None = None,
+    base_config: MachineConfig | None = None,
+    keys: np.ndarray | None = None,
+) -> list[SweepPoint]:
+    """Figure 5: NAS IS at each PE count (one key sequence reused)."""
+    params = params if params is not None else IsParams()
+    base = base_config if base_config is not None else MachineConfig()
+    if keys is None:
+        keys = generate_keys(params)
+    points = []
+    for n in pe_counts:
+        res: IsResult = run_is(base.with_(n_pes=n), params, keys)
+        points.append(SweepPoint(
+            n_pes=n,
+            mops_total=res.mops_total,
+            mops_per_pe=res.mops_per_pe,
+            verified=res.partial_verified and res.full_verified,
+            detail=res,
+        ))
+    return points
+
+
+def _by_pes(points: Sequence[SweepPoint]) -> dict[int, SweepPoint]:
+    return {p.n_pes: p for p in points}
+
+
+def check_figure4_shape(points: Sequence[SweepPoint]) -> list[str]:
+    """Qualitative checks on a GUPs sweep; returns the violations."""
+    p = _by_pes(points)
+    bad: list[str] = []
+    if not all(pt.verified for pt in points):
+        bad.append("verification failed")
+    if {1, 2, 4} <= p.keys():
+        if not p[2].mops_total > 1.5 * p[1].mops_total:
+            bad.append("total MOPS not ~linear 1->2 PEs")
+        if not p[4].mops_total > 1.5 * p[2].mops_total:
+            bad.append("total MOPS not ~linear 2->4 PEs")
+        if not p[2].mops_per_pe >= p[1].mops_per_pe:
+            bad.append("per-PE MOPS at 2 PEs below the 1-PE baseline")
+        if not p[4].mops_per_pe >= p[1].mops_per_pe:
+            bad.append("per-PE MOPS at 4 PEs below the 1-PE baseline")
+        if not p[2].mops_per_pe >= p[4].mops_per_pe:
+            bad.append("per-PE peak not at 2 PEs")
+    if {4, 8} <= p.keys():
+        if not p[8].mops_per_pe < p[4].mops_per_pe:
+            bad.append("no per-PE drop at 8 PEs")
+    return bad
+
+
+def check_figure5_shape(points: Sequence[SweepPoint]) -> list[str]:
+    """Qualitative checks on an IS sweep; returns the violations."""
+    p = _by_pes(points)
+    bad: list[str] = []
+    if not all(pt.verified for pt in points):
+        bad.append("verification failed")
+    if {1, 2, 4} <= p.keys():
+        if not p[2].mops_total > 1.4 * p[1].mops_total:
+            bad.append("total MOPS not ~linear 1->2 PEs")
+        if not p[4].mops_total > 1.4 * p[2].mops_total:
+            bad.append("total MOPS not ~linear 2->4 PEs")
+        # "The number of operations per PE also remains consistent."
+        lo = 0.85 * p[1].mops_per_pe
+        if p[2].mops_per_pe < lo or p[4].mops_per_pe < lo:
+            bad.append("per-PE MOPS not consistent across 1-4 PEs")
+    if {4, 8} <= p.keys():
+        drop = 1.0 - p[8].mops_per_pe / p[4].mops_per_pe
+        if drop < 0.10:
+            bad.append(f"8-PE per-PE drop only {drop:.0%} (paper: ~25%)")
+        if drop > 0.60:
+            bad.append(f"8-PE per-PE drop {drop:.0%} is far beyond ~25%")
+    return bad

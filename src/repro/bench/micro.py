@@ -1,0 +1,143 @@
+"""OSU/OSB-style point-to-point microbenchmarks.
+
+The ORNL OpenSHMEM benchmark suite the paper adapts (section 5.2) also
+carries the classic micro-suite; the paper promises to "continue to
+port further benchmarks" (section 5.3).  These are the standard four,
+over the xbrtime one-sided API:
+
+* :func:`put_latency` / :func:`get_latency` — round-trip-normalised
+  latency vs message size;
+* :func:`put_bandwidth` — streaming bandwidth with a window of
+  back-to-back non-blocking puts per synchronisation;
+* :func:`message_rate` — 8-byte puts issued per second.
+
+Each returns per-size results computed from *simulated* time, so the
+numbers characterise the modelled machine (and respond to the transport
+presets — compare ``with_transport("mpi")``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..params import MachineConfig
+from ..runtime.context import Machine, XBRTime
+
+__all__ = [
+    "MicroResult",
+    "DEFAULT_SIZES",
+    "put_latency",
+    "get_latency",
+    "put_bandwidth",
+    "message_rate",
+]
+
+DEFAULT_SIZES = (8, 64, 512, 4096, 32768, 262144)
+
+
+@dataclass(frozen=True)
+class MicroResult:
+    """One microbenchmark point."""
+
+    nbytes: int
+    iterations: int
+    total_ns: float
+
+    @property
+    def latency_us(self) -> float:
+        """Per-operation simulated latency in microseconds."""
+        return self.total_ns / self.iterations / 1e3
+
+    @property
+    def bandwidth_mbps(self) -> float:
+        """Simulated MB/s moved (1e6 bytes per second)."""
+        if self.total_ns == 0:
+            return float("inf")
+        return self.nbytes * self.iterations / (self.total_ns / 1e9) / 1e6
+
+    @property
+    def rate_mops(self) -> float:
+        """Operations per simulated second, in millions."""
+        return self.iterations / (self.total_ns / 1e9) / 1e6
+
+
+def _two_pe_machine(config: MachineConfig | None) -> Machine:
+    if config is None:
+        config = MachineConfig(n_pes=2, cores_per_node=1)
+    if config.n_pes < 2:
+        raise ValueError("microbenchmarks need at least 2 PEs")
+    return Machine(config)
+
+
+def _run_pairwise(fn, sizes: Sequence[int], iterations: int,
+                  config: MachineConfig | None) -> list[MicroResult]:
+    machine = _two_pe_machine(config)
+
+    def body(ctx: XBRTime) -> list[tuple[int, float]]:
+        ctx.init()
+        max_size = max(sizes)
+        buf = ctx.malloc(max_size)
+        src = ctx.private_malloc(max_size)
+        out: list[tuple[int, float]] = []
+        for nbytes in sizes:
+            ctx.barrier()
+            t0 = ctx.time_ns
+            if ctx.my_pe() == 0:
+                fn(ctx, buf, src, nbytes, iterations)
+            ctx.barrier()
+            out.append((nbytes, ctx.time_ns - t0))
+        ctx.close()
+        return out
+
+    results = machine.run(body)
+    return [MicroResult(nbytes=n, iterations=iterations, total_ns=t)
+            for n, t in results[0]]
+
+
+def put_latency(sizes: Sequence[int] = DEFAULT_SIZES, iterations: int = 32,
+                config: MachineConfig | None = None) -> list[MicroResult]:
+    """Blocking put + quiet per iteration (osu_put_latency)."""
+    def op(ctx, buf, src, nbytes, iters):
+        for _ in range(iters):
+            ctx.put(buf, src, nbytes // 8, 1, 1, "long")
+            ctx.quiet()
+
+    return _run_pairwise(op, sizes, iterations, config)
+
+
+def get_latency(sizes: Sequence[int] = DEFAULT_SIZES, iterations: int = 32,
+                config: MachineConfig | None = None) -> list[MicroResult]:
+    """Blocking get per iteration (osu_get_latency)."""
+    def op(ctx, buf, src, nbytes, iters):
+        for _ in range(iters):
+            ctx.get(src, buf, nbytes // 8, 1, 1, "long")
+
+    return _run_pairwise(op, sizes, iterations, config)
+
+
+def put_bandwidth(sizes: Sequence[int] = DEFAULT_SIZES, iterations: int = 16,
+                  window: int = 8,
+                  config: MachineConfig | None = None) -> list[MicroResult]:
+    """Windows of non-blocking puts per quiet (osu_put_bw)."""
+    def op(ctx, buf, src, nbytes, iters):
+        for _ in range(iters):
+            handles = [ctx.put_nb(buf, src, nbytes // 8, 1, 1, "long")
+                       for _ in range(window)]
+            ctx.quiet()
+
+    results = _run_pairwise(op, sizes, iterations, config)
+    # Account the windowed transfers in the bandwidth figure.
+    return [MicroResult(r.nbytes, r.iterations * window, r.total_ns)
+            for r in results]
+
+
+def message_rate(iterations: int = 256,
+                 config: MachineConfig | None = None) -> MicroResult:
+    """8-byte non-blocking put issue rate (osu_put_mr)."""
+    def op(ctx, buf, src, nbytes, iters):
+        for _ in range(iters):
+            ctx.put_nb(buf, src, 1, 1, 1, "long")
+        ctx.quiet()
+
+    return _run_pairwise(op, (8,), iterations, config)[0]

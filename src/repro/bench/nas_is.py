@@ -1,0 +1,399 @@
+"""NAS Integer Sort (IS) adapted from the NPB / ORNL OSB versions.
+
+Bucket sort of ``N`` uniformly-bucketed keys drawn from NPB's Gaussian
+approximation (the average of four ``randlc`` uniforms), ranked over
+``max_iterations`` timed iterations.  The distributed algorithm follows
+the NPB MPI/SHMEM structure:
+
+1. each PE histograms its local keys into ``n_buckets`` buckets;
+2. the global bucket counts are obtained with the *reduction* +
+   *broadcast* collectives (the two operations the paper highlights IS
+   exercising);
+3. bucket ownership is split so every PE receives an equal share of
+   keys, and the keys are redistributed with one-sided puts
+   (all-to-all-v) after an exchange of send counts;
+4. each PE sorts/ranks its received key range locally.
+
+Per NPB, iteration ``i`` first mutates two keys (``key[i] = i`` and
+``key[i + MAX_ITERATIONS] = max_key - i``) so every iteration ranks a
+slightly different sequence; *partial verification* checks the computed
+ranks of five tracked test keys each iteration against an oracle, and
+*full verification* checks global sortedness at the end (boundary
+exchange with the neighbour PE plus an error reduction).
+
+Class sizes follow the NPB table with additional scaled classes sized
+for a Python-process simulation; the default ``B-scaled`` keeps class
+B's shape (total key volume ≫ one L2) at 1/8 the key count.  Reported
+metric: ranked keys per second (Mop/s), total and per PE — Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from ..params import MachineConfig
+from ..runtime.context import Machine, XBRTime
+
+__all__ = ["IsParams", "IsResult", "CLASS_PARAMS", "run_is", "generate_keys"]
+
+#: NPB problem classes: (log2 total keys, log2 max key).  The *-scaled
+#: classes shrink the key count for simulation speed while keeping the
+#: working-set-vs-cache relationship of the full class.
+CLASS_PARAMS: dict[str, tuple[int, int]] = {
+    "S": (16, 11),
+    "W": (20, 16),
+    "A": (23, 19),
+    "B": (25, 21),
+    "S-scaled": (14, 11),
+    "A-scaled": (19, 16),
+    "B-scaled": (22, 18),
+}
+
+
+@dataclass(frozen=True)
+class IsParams:
+    """Workload configuration (defaults: scaled class B, NPB's 10
+    iterations and 2^10 buckets)."""
+
+    problem_class: str = "B-scaled"
+    max_iterations: int = 10
+    log2_n_buckets: int = 10
+    seed: float = 314159265.0
+
+    @property
+    def total_keys(self) -> int:
+        return 1 << CLASS_PARAMS[self.problem_class][0]
+
+    @property
+    def max_key(self) -> int:
+        return 1 << CLASS_PARAMS[self.problem_class][1]
+
+    @property
+    def n_buckets(self) -> int:
+        return 1 << self.log2_n_buckets
+
+    def __post_init__(self) -> None:
+        if self.problem_class not in CLASS_PARAMS:
+            raise CollectiveArgumentError(
+                f"unknown IS class {self.problem_class!r}; expected one of "
+                f"{sorted(CLASS_PARAMS)}"
+            )
+
+
+@dataclass(frozen=True)
+class IsResult:
+    """One IS run (one row of Figure 5)."""
+
+    n_pes: int
+    problem_class: str
+    total_keys: int
+    iterations: int
+    sim_seconds: float
+    partial_verified: bool
+    full_verified: bool
+
+    @property
+    def mops_total(self) -> float:
+        """Million keys ranked per second (NPB's Mop/s for IS)."""
+        return self.iterations * self.total_keys / self.sim_seconds / 1e6
+
+    @property
+    def mops_per_pe(self) -> float:
+        return self.mops_total / self.n_pes
+
+
+# --- NPB pseudorandom key generation -----------------------------------------
+
+#: NPB's randlc is the multiplicative LCG x' = a·x mod 2^46 with
+#: a = 5^13; the reference implements it in double precision via 23-bit
+#: halves.  The integer form below is the same recurrence exactly.
+_LCG_A = 1220703125
+_MASK23 = (1 << 23) - 1
+_MASK46 = (1 << 46) - 1
+_R46 = 2.0 ** -46
+
+
+def _randlc_int(x: int) -> int:
+    """One exact ``randlc`` step (x, result are 46-bit integers)."""
+    return (x * _LCG_A) & _MASK46
+
+
+def _lcg_block(x0: int, apow_lo: np.ndarray, apow_hi: np.ndarray) -> np.ndarray:
+    """Vectorised jump: states ``x0·a^j mod 2^46`` for j = 1..len(apow).
+
+    46×46-bit modular multiply in uint64 via 23-bit split halves (the
+    high×high partial is ≡ 0 mod 2^46); every intermediate fits 2^47.
+    """
+    xl, xh = x0 & _MASK23, x0 >> 23
+    cross = ((np.uint64(xh) * apow_lo + np.uint64(xl) * apow_hi)
+             & np.uint64(_MASK23))
+    return (np.uint64(xl) * apow_lo + (cross << np.uint64(23))) & np.uint64(_MASK46)
+
+
+def generate_keys(params: IsParams) -> np.ndarray:
+    """NPB ``create_seq``: keys = max_key/4 × (sum of 4 uniforms)."""
+    n = params.total_keys
+    k = params.max_key // 4
+    total = 4 * n
+    chunk = 1 << 14
+    apow = np.empty(chunk, dtype=np.uint64)
+    p = 1
+    for j in range(chunk):
+        p = _randlc_int(p)  # a^(j+1) mod 2^46
+        apow[j] = p
+    apow_lo = apow & np.uint64(_MASK23)
+    apow_hi = apow >> np.uint64(23)
+    states = np.empty(total, dtype=np.uint64)
+    x = int(params.seed)
+    for start in range(0, total, chunk):
+        m = min(chunk, total - start)
+        block = _lcg_block(x, apow_lo[:m], apow_hi[:m])
+        states[start:start + m] = block
+        x = int(block[-1])
+    r = states.reshape(n, 4).astype(np.float64) * _R46
+    return (k * r.sum(axis=1)).astype(np.int64)
+
+
+# --- the distributed benchmark ------------------------------------------------
+
+#: Cost charged per key for histogramming / ranking passes (cycles).
+_CYCLES_PER_KEY = 4.0
+
+
+def _is_pe(ctx: XBRTime, params: IsParams, my_keys: np.ndarray,
+           test_keys: np.ndarray, test_ranks_by_iter: np.ndarray) -> dict:
+    ctx.init()
+    me, n = ctx.my_pe(), ctx.num_pes()
+    n_keys = my_keys.size
+    total_keys = params.total_keys
+    max_key = params.max_key
+    n_buckets = params.n_buckets
+    shift = max(0, (max_key.bit_length() - 1) - params.log2_n_buckets)
+    cyc = ctx.machine.config.cycle_ns
+
+    # Working arrays in simulated memory.
+    keys_addr = ctx.malloc(4 * n_keys)
+    keys = ctx.view(keys_addr, "int32", n_keys)
+    keys[:] = my_keys
+    ctx.charge_stream(keys_addr, 4 * n_keys, write=True)
+
+    hist_addr = ctx.malloc(8 * n_buckets)       # local bucket counts
+    ghist_addr = ctx.malloc(8 * n_buckets)      # global bucket counts
+    send_cnt_addr = ctx.malloc(8 * n)           # keys for each target PE
+    recv_cnt_addr = ctx.malloc(8 * n)           # keys from each source PE
+    # Receive buffer: the equal share plus slack for bucket-granularity
+    # imbalance (a PE can exceed its share by at most the largest bucket,
+    # which is ~2x the mean bucket for NPB's Gaussian keys).
+    recv_cap = max(
+        total_keys // n + total_keys // 32 + 4 * params.max_iterations, 64
+    )
+    recv_addr = ctx.malloc(4 * recv_cap)
+    ready_addr = ctx.malloc(8 * n)              # per-source recv offsets
+
+    hist = ctx.view(hist_addr, "uint64", n_buckets)
+    ghist = ctx.view(ghist_addr, "uint64", n_buckets)
+    send_cnt = ctx.view(send_cnt_addr, "uint64", n)
+    recv_cnt = ctx.view(recv_cnt_addr, "uint64", n)
+    recv = ctx.view(recv_addr, "int32", recv_cap)
+
+    partial_ok = True
+    base_index = me * n_keys  # global index of my first key
+
+    ctx.barrier()
+    t0 = ctx.time_ns
+    for it in range(1, params.max_iterations + 1):
+        # NPB iteration tweak: two keys change each iteration.
+        if base_index <= it < base_index + n_keys:
+            keys[it - base_index] = it
+        j = it + params.max_iterations
+        if base_index <= j < base_index + n_keys:
+            keys[j - base_index] = max_key - it
+
+        # 1. Local bucket histogram.
+        counts = np.bincount(keys >> shift, minlength=n_buckets)
+        hist[:] = counts.astype(np.uint64)
+        ctx.charge_stream(keys_addr, 4 * n_keys)
+        ctx.charge_stream(hist_addr, 8 * n_buckets, write=True)
+        ctx.compute(n_keys * _CYCLES_PER_KEY * cyc)
+
+        # 2. Global bucket counts: reduction + broadcast (the collectives
+        #    the paper highlights for IS).
+        ctx.uint64_reduce_sum(ghist_addr, hist_addr, n_buckets, 1, 0)
+        ctx.uint64_broadcast(ghist_addr, ghist_addr, n_buckets, 1, 0)
+
+        # 3. Split buckets across PEs by equal key share.
+        cum = np.cumsum(ghist.astype(np.int64))
+        share = cum[-1] / n
+        # bucket b goes to PE floor(prefix(b)/share), clamped.
+        owner_of_bucket = np.minimum(
+            ((cum - 1) / share).astype(np.int64), n - 1
+        )
+        ctx.compute(n_buckets * 2 * cyc)
+        bucket_first = np.searchsorted(owner_of_bucket, np.arange(n), "left")
+        bucket_last = np.searchsorted(owner_of_bucket, np.arange(n), "right")
+
+        # 4. Redistribute keys with one-sided puts (all-to-all-v).
+        key_bucket = keys >> shift
+        key_owner = owner_of_bucket[key_bucket]
+        order = np.argsort(key_owner, kind="stable")
+        sorted_keys = np.asarray(keys)[order]
+        ctx.compute(n_keys * _CYCLES_PER_KEY * cyc)
+        send_counts = np.bincount(key_owner, minlength=n).astype(np.uint64)
+        send_cnt[:] = send_counts
+        # Exchange counts so each PE knows its incoming layout.
+        ctx.alltoall(recv_cnt_addr, send_cnt_addr, 1, "uint64")
+        recv_offsets = np.concatenate(
+            ([0], np.cumsum(recv_cnt.astype(np.int64))[:-1])
+        )
+        total_recv = int(recv_cnt.astype(np.int64).sum())
+        if total_recv > recv_cap:
+            raise CollectiveArgumentError(
+                f"IS receive buffer overflow: {total_recv} > {recv_cap}"
+            )
+        # Publish my per-source offsets so senders know where to put.
+        ready = ctx.view(ready_addr, "uint64", n)
+        ready[:] = recv_offsets.astype(np.uint64)
+        ctx.barrier()
+        # Stage outgoing keys and deposit each block at the target's
+        # published offset for this source.
+        stage_addr = ctx.private_malloc(4 * max(n_keys, 1))
+        stage = ctx.view(stage_addr, "int32", n_keys)
+        stage[:] = sorted_keys
+        ctx.charge_stream(stage_addr, 4 * n_keys, write=True)
+        send_disp = np.concatenate(
+            ([0], np.cumsum(send_counts.astype(np.int64))[:-1])
+        )
+        off_scratch = ctx.private_malloc(8)
+        for step in range(n):
+            target = (me + step) % n
+            cnt = int(send_counts[target])
+            if cnt == 0:
+                continue
+            # Fetch the target's published offset for source `me`.
+            ctx.get(off_scratch, ready_addr + 8 * me, 1, 1, target, "uint64")
+            dst_off = int(ctx.view(off_scratch, "uint64", 1)[0])
+            ctx.put(recv_addr + 4 * dst_off,
+                    stage_addr + 4 * int(send_disp[target]),
+                    cnt, 1, target, "int32")
+        ctx.private_free(off_scratch)
+        ctx.private_free(stage_addr)
+        ctx.barrier()
+
+        # 5. Local ranking: sort the received key range.
+        got = np.sort(recv[:total_recv])
+        recv[:total_recv] = got
+        ctx.charge_stream(recv_addr, 4 * total_recv, write=True)
+        if total_recv:
+            ctx.compute(total_recv * np.log2(max(total_recv, 2))
+                        * _CYCLES_PER_KEY * cyc)
+
+        # 6. Partial verification: the rank of each tracked test key,
+        #    against the harness oracle for *this* iteration's key state.
+        my_first_bucket = int(bucket_first[me])
+        rank_before_me = int(cum[my_first_bucket - 1]) if my_first_bucket else 0
+        for t in range(test_keys.size):
+            tk = int(test_keys[t])
+            if not 0 <= tk < max_key:
+                continue
+            if owner_of_bucket[tk >> shift] == me:
+                rank = rank_before_me + int(np.searchsorted(got, tk, "left"))
+                if rank != int(test_ranks_by_iter[it][t]):
+                    partial_ok = False
+    ctx.barrier()
+    t1 = ctx.time_ns
+
+    # Full verification: global sortedness across PE boundaries — put my
+    # minimum to my left neighbour, then compare with my maximum.
+    got_n = total_recv
+    bmin_addr = ctx.malloc(8)
+    neigh_addr = ctx.malloc(8)
+    nv = ctx.view(neigh_addr, "int64", 1)
+    nv[0] = np.iinfo(np.int64).max
+    ctx.view(bmin_addr, "int64", 1)[0] = int(got[0]) if got_n else np.iinfo(np.int64).max
+    ctx.barrier()
+    if me > 0:
+        ctx.put(neigh_addr, bmin_addr, 1, 1, me - 1, "int64")
+    ctx.barrier()
+    errors = 0
+    if got_n:
+        local_sorted = bool(np.all(got[:-1] <= got[1:]))
+        if not local_sorted:
+            errors += 1
+        if me < n - 1 and got_n and int(got[-1]) > int(nv[0]):
+            errors += 1
+    ebuf = ctx.malloc(8)
+    ctx.view(ebuf, "uint64", 1)[0] = errors
+    eout = ctx.private_malloc(8)
+    ctx.uint64_reduce_sum(eout, ebuf, 1, 1, 0)
+    total_errors = int(ctx.view(eout, "uint64", 1)[0]) if me == 0 else -1
+    ctx.close()
+    return {
+        "rank": me,
+        "t_ns": t1 - t0,
+        "partial_ok": partial_ok,
+        "errors": total_errors,
+    }
+
+
+def _oracle_ranks(keys: np.ndarray, test_keys: np.ndarray,
+                  params: IsParams) -> np.ndarray:
+    """Per-iteration oracle ranks of the test keys.
+
+    Row ``it`` holds each test key's rank (count of strictly smaller
+    keys) after the mutations of iterations ``1..it`` — NPB's partial
+    verification uses class-specific precomputed tables; scaled classes
+    need the oracle recomputed, so we compute it for all classes.
+    """
+    work = keys.copy()
+    out = np.zeros((params.max_iterations + 1, test_keys.size), dtype=np.int64)
+    for it in range(1, params.max_iterations + 1):
+        work[it] = it
+        work[it + params.max_iterations] = params.max_key - it
+        s = np.sort(work)
+        out[it] = np.searchsorted(s, test_keys, "left")
+    return out
+
+
+def run_is(config: MachineConfig, params: IsParams | None = None,
+           keys: np.ndarray | None = None) -> IsResult:
+    """Run NAS IS on a fresh machine built from ``config``.
+
+    ``keys`` may be supplied to reuse one generated sequence across a
+    PE-count sweep (generation is untimed but slow in pure Python).
+    """
+    params = params if params is not None else IsParams()
+    if keys is None:
+        keys = generate_keys(params)
+    if keys.size != params.total_keys:
+        raise CollectiveArgumentError(
+            f"key array has {keys.size} keys, class needs {params.total_keys}"
+        )
+    n = config.n_pes
+    if params.total_keys % n:
+        raise CollectiveArgumentError(
+            f"total keys {params.total_keys} not divisible by {n} PEs"
+        )
+    chunk = params.total_keys // n
+    rng = np.random.default_rng(5)
+    test_keys = rng.integers(params.max_key // 8, 7 * params.max_key // 8,
+                             size=5, dtype=np.int64)
+    test_ranks = _oracle_ranks(keys, test_keys, params)
+    args = [
+        (params, keys[r * chunk:(r + 1) * chunk], test_keys, test_ranks)
+        for r in range(n)
+    ]
+    machine = Machine(config)
+    results = machine.run(_is_pe, args)
+    t_ns = max(r["t_ns"] for r in results)
+    return IsResult(
+        n_pes=n,
+        problem_class=params.problem_class,
+        total_keys=params.total_keys,
+        iterations=params.max_iterations,
+        sim_seconds=t_ns / 1e9,
+        partial_verified=all(r["partial_ok"] for r in results),
+        full_verified=(results[0]["errors"] == 0),
+    )

@@ -1,0 +1,82 @@
+"""Text rendering of the paper's tables and figures.
+
+Each function returns the rows the paper presents, as plain text, so the
+benchmark harness can print a like-for-like artefact next to the
+measured numbers (EXPERIMENTS.md records the comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..collectives.binomial import render_tree
+from ..collectives.virtual_rank import rank_table
+from ..types import TYPE_TABLE
+from .harness import SweepPoint
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_figure3",
+    "render_figure",
+    "render_sweep_series",
+    "sweep_to_csv",
+]
+
+
+def render_table1() -> str:
+    """Table 1: xBGAS matched type names & types."""
+    w = max(len(t.typename) for t in TYPE_TABLE)
+    lines = [f"{'TYPENAME':<{w}}  TYPE", "-" * (w + 24)]
+    for t in TYPE_TABLE:
+        lines.append(f"{t.typename:<{w}}  {t.ctype}")
+    return "\n".join(lines)
+
+
+def render_table2(root: int = 4, n_pes: int = 7) -> str:
+    """Table 2: logical → virtual rank mapping (root 4, 7 PEs)."""
+    lines = ["log_rank  vir_rank", "-" * 18]
+    for lr, vr in rank_table(root, n_pes):
+        lines.append(f"{lr:>8d}  {vr:>8d}")
+    return "\n".join(lines)
+
+
+def render_figure3(n_pes: int = 8) -> str:
+    """Figure 3: the binomial tree with recursive halving."""
+    return render_tree(n_pes)
+
+
+def render_figure(points: Sequence[SweepPoint], title: str) -> str:
+    """A Figure 4/5-style series: MOPS total and per PE by PE count."""
+    lines = [
+        title,
+        f"{'PEs':>4}  {'MOPS total':>12}  {'MOPS/PE':>10}  verified",
+        "-" * 44,
+    ]
+    for p in points:
+        lines.append(
+            f"{p.n_pes:>4}  {p.mops_total:>12.3f}  {p.mops_per_pe:>10.3f}  "
+            f"{'yes' if p.verified else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_series(series: dict[str, Sequence[SweepPoint]],
+                        title: str) -> str:
+    """Several labelled sweeps side by side (ablation output)."""
+    out = [title]
+    for label, points in series.items():
+        out.append("")
+        out.append(render_figure(points, f"-- {label} --"))
+    return "\n".join(out)
+
+
+def sweep_to_csv(points: Sequence[SweepPoint]) -> str:
+    """A Figure 4/5-style sweep as CSV (for external plotting)."""
+    lines = ["n_pes,mops_total,mops_per_pe,verified"]
+    for p in points:
+        lines.append(
+            f"{p.n_pes},{p.mops_total:.6f},{p.mops_per_pe:.6f},"
+            f"{int(p.verified)}"
+        )
+    return "\n".join(lines) + "\n"

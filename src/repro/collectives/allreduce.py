@@ -1,0 +1,217 @@
+"""One-sided allreduce algorithms (paper section 7).
+
+The paper's "explicit reduction-to-all calls" future work, in two
+flavours:
+
+* **recursive doubling** (:func:`allreduce` with
+  ``algorithm="doubling"``, the default) — ⌈log₂N⌉ stages, each PE
+  *gets* its partner's full running value and folds it.  Optimal for
+  small payloads (half the stages of the reduce+broadcast composition).
+* **Rabenseifner** (``algorithm="rabenseifner"``) — the large-message
+  algorithm of the paper's reference [17]: a recursive-halving
+  reduce-scatter (each stage exchanges *half* the remaining data)
+  followed by a recursive-doubling allgather, moving 2·(N-1)/N of the
+  payload per PE instead of log₂N times the payload.
+
+Correctness under one-sided reads: recursive doubling double-buffers
+(everyone reads the partner's *current* buffer and writes the *next*),
+while Rabenseifner's stages read and write provably disjoint regions,
+so a barrier per stage suffices.
+
+Non-power-of-two PE counts use the MPICH fold: the first ``2·rem``
+ranks pair up (odd ranks contribute to their even neighbour and sit
+out), the surviving power-of-two set runs the core algorithm, and the
+results are pushed back to the folded-out ranks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .binomial import n_stages
+from .common import (
+    charge_elementwise,
+    local_copy,
+    resolve_group,
+    span_bytes,
+    validate_counts,
+)
+from .ops import apply_op, check_op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["allreduce"]
+
+
+def allreduce(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    algorithm: str = "doubling",
+    group: Sequence[int] | None = None,
+) -> None:
+    """Reduction-to-all: every PE ends with the full reduction at
+    ``dest`` (which may be private — each PE writes its own copy
+    locally).  ``algorithm`` is ``"doubling"`` (latency-optimal) or
+    ``"rabenseifner"`` (bandwidth-optimal, paper reference [17])."""
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    if algorithm not in ("doubling", "rabenseifner"):
+        raise CollectiveArgumentError(
+            f"unknown allreduce algorithm {algorithm!r}"
+        )
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    if n_pes > 1 and not ctx.is_symmetric(src):
+        raise CollectiveArgumentError(
+            "allreduce src must be a symmetric address"
+        )
+    if me == 0:
+        ctx.machine.stats.collective_calls[f"allreduce:{algorithm}"] += 1
+    if nelems == 0 or n_pes == 1:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    # Double-buffered symmetric scratch (cur is read remotely, nxt is
+    # written locally) plus a private landing buffer for gets.
+    buf_a = ctx.scratch_alloc(nbytes)
+    buf_b = ctx.scratch_alloc(nbytes)
+    l_buf = ctx.private_malloc(nbytes)
+    view_a = ctx.view(buf_a, dtype, nelems, stride)
+    view_b = ctx.view(buf_b, dtype, nelems, stride)
+    l_view = ctx.view(l_buf, dtype, nelems, stride)
+    local_copy(ctx, buf_a, src, nelems, stride, dtype)
+    cur_addr, nxt_addr = buf_a, buf_b
+    cur_view, nxt_view = view_a, view_b
+    ctx.barrier_team(members)
+
+    # Fold the remainder into the largest power-of-two subset.
+    pof2 = 1 << (n_pes.bit_length() - 1)
+    if pof2 * 2 <= n_pes:  # n_pes is an exact power of two
+        pof2 = n_pes
+    rem = n_pes - pof2
+    if me < 2 * rem and me % 2 == 0:
+        # Even front ranks absorb their odd neighbour's contribution.
+        ctx.get(l_buf, cur_addr, nelems, stride, members[me + 1], dtype)
+        apply_op(op, cur_view, l_view)
+        charge_elementwise(ctx, nelems)
+    ctx.barrier_team(members)
+
+    active = me >= 2 * rem or me % 2 == 0
+    newrank = (me // 2) if me < 2 * rem else me - rem
+    k = n_stages(pof2)
+
+    def unfold(new: int) -> int:
+        return new * 2 if new < rem else new + rem
+
+    if algorithm == "doubling":
+        if active:
+            for i in range(k):
+                partner = unfold(newrank ^ (1 << i))
+                ctx.get(l_buf, cur_addr, nelems, stride, members[partner],
+                        dtype)
+                nxt_view[:] = cur_view
+                apply_op(op, nxt_view, l_view)
+                charge_elementwise(ctx, 2 * nelems)
+                cur_addr, nxt_addr = nxt_addr, cur_addr
+                cur_view, nxt_view = nxt_view, cur_view
+                ctx.barrier_team(members)
+        else:
+            # Folded-out odd ranks idle through the stages but join
+            # every barrier and track the buffer parity, so the final
+            # ``cur_addr`` names the same buffer on every PE.
+            for _ in range(k):
+                cur_addr, nxt_addr = nxt_addr, cur_addr
+                cur_view, nxt_view = nxt_view, cur_view
+                ctx.barrier_team(members)
+    else:
+        _rabenseifner_core(ctx, members, me, active, newrank, unfold,
+                           pof2, k, cur_addr, l_buf, nelems, stride, op,
+                           dtype)
+
+    # Push results back to the folded-out odd ranks (same address on
+    # both sides thanks to the shared buffer parity).
+    if me < 2 * rem and me % 2 == 0:
+        ctx.put(cur_addr, cur_addr, nelems, stride, members[me + 1], dtype)
+    ctx.barrier_team(members)
+    local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
+    ctx.private_free(l_buf)
+    ctx.scratch_free(buf_b)
+    ctx.scratch_free(buf_a)
+
+
+def _rabenseifner_core(ctx, members, me, active, newrank, unfold, pof2, k,
+                       buf, l_buf, nelems, stride, op, dtype) -> None:
+    """Reduce-scatter (recursive halving) + allgather (recursive
+    doubling) over the active power-of-two subset.
+
+    Every stage's remote reads target regions the local PE does not
+    write in that stage (each side touches only its own kept/grown
+    segment), so a single buffer plus per-stage barriers is safe.
+    """
+    eb = dtype.itemsize
+
+    def bound(r: int) -> int:
+        return nelems * r // pof2
+
+    def off(e: int) -> int:
+        return e * stride * eb
+
+    def sub(base: int, e_lo: int, e_hi: int):
+        return ctx.view(base + off(e_lo), dtype, e_hi - e_lo, stride)
+
+    if not active:
+        for _ in range(2 * k):
+            ctx.barrier_team(members)
+        return
+
+    # Phase 1: reduce-scatter.  Track the rank range whose elements this
+    # PE still accumulates; halve it every stage.
+    lo_r, hi_r = 0, pof2
+    trail: list[tuple[int, int, int]] = []  # (partner_new, keep_lo, keep_hi)
+    for _ in range(k):
+        half = (hi_r - lo_r) // 2
+        if newrank < lo_r + half:
+            partner_new = newrank + half
+            keep_lo, keep_hi = lo_r, lo_r + half
+        else:
+            partner_new = newrank - half
+            keep_lo, keep_hi = lo_r + half, hi_r
+        e_lo, e_hi = bound(keep_lo), bound(keep_hi)
+        if e_hi > e_lo:
+            partner = members[unfold(partner_new)]
+            ctx.get(l_buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                    stride, partner, dtype)
+            apply_op(op, sub(buf, e_lo, e_hi), sub(l_buf, e_lo, e_hi))
+            charge_elementwise(ctx, e_hi - e_lo)
+        trail.append((partner_new, keep_lo, keep_hi))
+        lo_r, hi_r = keep_lo, keep_hi
+        ctx.barrier_team(members)
+
+    # Phase 2: allgather, replaying the recursion in reverse — fetch the
+    # partner's (fully reduced) segment, doubling owned data each stage.
+    for partner_new, keep_lo, keep_hi in reversed(trail):
+        partner = members[unfold(partner_new)]
+        # The partner owns the complement of my kept rank range within
+        # the enclosing range of this (reversed) stage.
+        span = keep_hi - keep_lo
+        if partner_new < keep_lo:
+            need_lo, need_hi = keep_lo - span, keep_lo
+        else:
+            need_lo, need_hi = keep_hi, keep_hi + span
+        e_lo, e_hi = bound(need_lo), bound(need_hi)
+        if e_hi > e_lo:
+            ctx.get(buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                    stride, partner, dtype)
+        ctx.barrier_team(members)

@@ -1,0 +1,106 @@
+"""Binomial-tree stage schedules (paper section 4.2, Figure 3).
+
+These helpers compute, in virtual-rank space, exactly the pairings the
+paper's mask loops produce — used by the collective implementations, by
+the tests (oracle for the mask arithmetic) and by the Figure 3 bench,
+which renders the tree.
+
+For ``n_pes`` PEs the tree has ``ceil(log2(n_pes))`` stages.  In the
+*halving* direction (broadcast/scatter) stage ``i`` runs from
+``i = ceil(log2 n)-1`` down to 0 and a sender with zeroed low bits
+transfers to the partner ``vir ^ 2**i``; in the *doubling* direction
+(reduction/gather) stages run upward and the receiver pulls from the
+same partner.  Partners beyond ``n_pes - 1`` are skipped (the paper's
+``vir_rank < vir_part`` check plus the mod guard).
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+
+from ..errors import CollectiveArgumentError
+
+__all__ = [
+    "n_stages",
+    "tree_stages",
+    "tree_children",
+    "tree_parent",
+    "subtree_span",
+    "render_tree",
+]
+
+
+def n_stages(n_pes: int) -> int:
+    """``ceil(log2(n_pes))`` communication stages (0 for a single PE)."""
+    if n_pes <= 0:
+        raise CollectiveArgumentError(f"n_pes must be positive, got {n_pes}")
+    return ceil(log2(n_pes)) if n_pes > 1 else 0
+
+
+def tree_stages(n_pes: int, direction: str = "halving") -> list[list[tuple[int, int]]]:
+    """Per-stage (from_vir, to_vir) pairs.
+
+    ``direction="halving"`` (broadcast/scatter): data flows parent→child,
+    stages ordered top of the tree first.  ``direction="doubling"``
+    (reduction/gather): pairs are (child, parent) with leaf stages first.
+    """
+    if direction not in ("halving", "doubling"):
+        raise CollectiveArgumentError(f"unknown direction {direction!r}")
+    stages: list[list[tuple[int, int]]] = []
+    k = n_stages(n_pes)
+    stage_order = range(k - 1, -1, -1) if direction == "halving" else range(k)
+    for i in stage_order:
+        pairs: list[tuple[int, int]] = []
+        low_mask = (1 << (i + 1)) - 1
+        for vir in range(0, n_pes, 1 << (i + 1)):
+            # vir has all bits <= i clear by construction.
+            assert vir & low_mask == 0
+            partner = vir ^ (1 << i)
+            if partner < n_pes:
+                if direction == "halving":
+                    pairs.append((vir, partner))
+                else:
+                    pairs.append((partner, vir))
+        stages.append(pairs)
+    return stages
+
+
+def tree_children(vir: int, n_pes: int) -> list[int]:
+    """Virtual ranks that receive directly from ``vir`` in the broadcast
+    tree, in the order the stages reach them."""
+    if not 0 <= vir < n_pes:
+        raise CollectiveArgumentError(f"vir {vir} out of range")
+    children = []
+    for stage in tree_stages(n_pes, "halving"):
+        for frm, to in stage:
+            if frm == vir:
+                children.append(to)
+    return children
+
+
+def tree_parent(vir: int, n_pes: int) -> int | None:
+    """The virtual rank ``vir`` receives from (None for the root)."""
+    if vir == 0:
+        return None
+    for stage in tree_stages(n_pes, "halving"):
+        for frm, to in stage:
+            if to == vir:
+                return frm
+    raise CollectiveArgumentError(f"vir {vir} unreachable in {n_pes}-PE tree")
+
+
+def subtree_span(vir: int, stage_i: int, n_pes: int) -> tuple[int, int]:
+    """Virtual-rank interval ``[vir, end)`` covered by ``vir`` and the
+    children it still has to serve at stage ``stage_i`` — the message
+    extent scatter/gather move in that stage."""
+    end = min(vir + (1 << stage_i), n_pes)
+    return vir, end
+
+
+def render_tree(n_pes: int) -> str:
+    """ASCII rendering of the binomial broadcast tree (Figure 3)."""
+    lines = [f"binomial tree, {n_pes} PEs, {n_stages(n_pes)} stages"]
+    for depth, stage in enumerate(tree_stages(n_pes, "halving")):
+        arrows = "  ".join(f"{frm}->{to}" for frm, to in stage)
+        lines.append(f"  stage {depth}: {arrows}")
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Broadcast (paper section 4.3, Algorithm 1).
+
+Binomial tree with recursive halving: the mask isolates virtual-rank
+bits left→right, qualifying senders ``put`` the broadcast values to the
+partner ``vir ^ 2**i``, and a barrier closes every stage.  The
+``vir_rank < vir_part`` guard (after the mod) suppresses the invalid
+pairings that appear when ``n_pes`` is not a power of two.
+
+``dest`` must be a symmetric address (it is written remotely on every
+PE); ``src`` need only exist on the root.  Non-root senders forward out
+of their own ``dest``, which holds the values they received in an
+earlier stage.
+
+Alternative algorithms (``linear``, ``ring``) are provided for the
+algorithm-selection ablation (section 4.1: "no universally optimal
+solution"); ``auto`` asks :mod:`~repro.collectives.tuning`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .binomial import n_stages
+from .common import (
+    local_copy,
+    resolve_group,
+    validate_counts,
+    validate_root,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["broadcast"]
+
+
+def broadcast(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    root: int,
+    dtype: np.dtype,
+    *,
+    algorithm: str = "binomial",
+    group: Sequence[int] | None = None,
+    copy_to_root_dest: bool = True,
+) -> None:
+    """``xbrtime_TYPE_broadcast(dest, src, nelems, stride, root)``.
+
+    ``copy_to_root_dest=False`` gives OpenSHMEM ``shmem_broadcast``
+    semantics, where the root's ``dest`` is *not* updated (section 4.7).
+    """
+    validate_counts(nelems, stride)
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    if n_pes > 1 and not ctx.is_symmetric(dest):
+        raise CollectiveArgumentError(
+            f"broadcast dest {dest:#x} must be a symmetric (shared-segment) "
+            "address"
+        )
+    if algorithm == "auto":
+        from .tuning import select_algorithm
+
+        algorithm = select_algorithm(
+            "broadcast", nelems * dtype.itemsize, n_pes,
+            ctx.machine.config.topology,
+        )
+    if me == root:
+        ctx.machine.stats.collective_calls[f"broadcast:{algorithm}"] += 1
+    if algorithm == "binomial":
+        _binomial(ctx, dest, src, nelems, stride, root, dtype, members, me,
+                  copy_to_root_dest)
+    elif algorithm == "linear":
+        _linear(ctx, dest, src, nelems, stride, root, dtype, members, me,
+                copy_to_root_dest)
+    elif algorithm == "ring":
+        _ring(ctx, dest, src, nelems, stride, root, dtype, members, me,
+              copy_to_root_dest)
+    elif algorithm == "hierarchical":
+        from .hierarchy import broadcast_hierarchical
+
+        broadcast_hierarchical(ctx, dest, src, nelems, stride, root, dtype,
+                               group=group)
+    else:
+        raise CollectiveArgumentError(
+            f"unknown broadcast algorithm {algorithm!r}"
+        )
+
+
+def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+              root: int, dtype: np.dtype, members: tuple[int, ...], me: int,
+              copy_to_root_dest: bool = True) -> None:
+    n_pes = len(members)
+    # Virtual rank assignment: the root becomes virtual rank 0 (Table 2).
+    if me >= root:
+        vir_rank = me - root
+    else:
+        vir_rank = me + n_pes - root
+    # Entry barrier: the paper's Algorithm 1 only barriers at stage ends,
+    # but a put-based tree must order every participant's *prior* writes
+    # to dest before the root's first put can land (real SHMEM
+    # implementations do this with pSync flags).
+    ctx.barrier_team(members)
+    if me == root and copy_to_root_dest:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+    k = n_stages(n_pes)
+    mask = (1 << k) - 1
+    for i in range(k - 1, -1, -1):
+        mask ^= 1 << i
+        if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+            vir_part = (vir_rank ^ (1 << i)) % n_pes
+            log_part = (vir_part + root) % n_pes
+            if vir_rank < vir_part:
+                local_src = src if me == root else dest
+                ctx.put(dest, local_src, nelems, stride, members[log_part],
+                        dtype)
+        # A barrier closes every tree stage (section 4.3).
+        ctx.barrier_team(members)
+
+
+def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+            root: int, dtype: np.dtype, members: tuple[int, ...], me: int,
+            copy_to_root_dest: bool = True) -> None:
+    """Flat algorithm: the root puts to every PE in turn."""
+    ctx.barrier_team(members)  # entry barrier (see _binomial)
+    if me == root:
+        if copy_to_root_dest:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        for other in range(len(members)):
+            if other != root:
+                ctx.put(dest, src, nelems, stride, members[other], dtype)
+    ctx.barrier_team(members)
+
+
+#: Payload chunks the pipelined ring splits a broadcast into.
+_RING_CHUNKS = 8
+
+
+def _ring(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+          root: int, dtype: np.dtype, members: tuple[int, ...], me: int,
+          copy_to_root_dest: bool = True) -> None:
+    """Chunked pipelined ring — the large-message baseline.
+
+    The payload is split into up to ``_RING_CHUNKS`` pieces; at step
+    ``s`` the PE at ring position ``p`` forwards chunk ``s - p``, so all
+    ring links carry different chunks concurrently.  Completion takes
+    ``(N-1) + (chunks-1)`` steps instead of the unchunked ring's
+    ``N-1`` full-payload steps.
+    """
+    n_pes = len(members)
+    ctx.barrier_team(members)  # entry barrier (see _binomial)
+    if me == root and copy_to_root_dest:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+    if n_pes == 1 or nelems == 0:
+        ctx.barrier_team(members)
+        return
+    chunks = min(_RING_CHUNKS, nelems)
+    bounds = [nelems * c // chunks for c in range(chunks + 1)]
+    eb = dtype.itemsize
+    pos = (me - root) % n_pes
+    nxt = members[(me + 1) % n_pes]
+    for step in range(n_pes - 1 + chunks - 1):
+        c = step - pos
+        if 0 <= c < chunks and pos < n_pes - 1:
+            lo, hi = bounds[c], bounds[c + 1]
+            if hi > lo:
+                off = lo * stride * eb
+                local_src = src if me == root else dest
+                ctx.put(dest + off, local_src + off, hi - lo, stride, nxt,
+                        dtype)
+        ctx.barrier_team(members)

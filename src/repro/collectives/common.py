@@ -1,0 +1,89 @@
+"""Shared plumbing for the collective implementations.
+
+All collectives operate over a *group*: the ordered tuple of world ranks
+participating in the call (``None`` = all PEs).  Ranks inside an
+algorithm (``log_rank``, ``root``, ``vir_rank``) are group-relative;
+:func:`world_rank` converts back when issuing put/get.  This is the
+mechanism behind team collectives (paper section 7) — the world case is
+simply the identity group.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = [
+    "resolve_group",
+    "validate_root",
+    "validate_counts",
+    "span_bytes",
+    "charge_elementwise",
+    "local_copy",
+]
+
+
+def resolve_group(ctx: "XBRTime", group: Sequence[int] | None) -> tuple[tuple[int, ...], int]:
+    """Normalise ``group`` and locate the caller.
+
+    Returns ``(members, my_index)`` where ``members`` is the ordered
+    tuple of world ranks and ``my_index`` is the caller's group rank.
+    """
+    if group is None:
+        members = tuple(range(ctx.machine.config.n_pes))
+        return members, ctx.rank
+    members = tuple(group)
+    if len(set(members)) != len(members):
+        raise CollectiveArgumentError(f"group has duplicate ranks: {members}")
+    n_world = ctx.machine.config.n_pes
+    for r in members:
+        if not 0 <= r < n_world:
+            raise CollectiveArgumentError(f"group rank {r} out of range")
+    try:
+        me = members.index(ctx.rank)
+    except ValueError:
+        raise CollectiveArgumentError(
+            f"PE {ctx.rank} called a collective of group {members} it does "
+            "not belong to"
+        ) from None
+    return members, me
+
+
+def validate_root(root: int, n_pes: int) -> None:
+    if not 0 <= root < n_pes:
+        raise CollectiveArgumentError(
+            f"root {root} out of range [0, {n_pes})"
+        )
+
+
+def validate_counts(nelems: int, stride: int) -> None:
+    if nelems < 0:
+        raise CollectiveArgumentError(f"nelems must be >= 0, got {nelems}")
+    if stride < 1:
+        raise CollectiveArgumentError(f"stride must be >= 1, got {stride}")
+
+
+def span_bytes(nelems: int, stride: int, elem_bytes: int) -> int:
+    """Bytes spanned by ``nelems`` strided elements (0 when empty)."""
+    if nelems == 0:
+        return 0
+    return ((nelems - 1) * stride + 1) * elem_bytes
+
+
+def charge_elementwise(ctx: "XBRTime", nelems: int, instrs_per_elem: float = 2.0) -> None:
+    """Charge the ALU cost of an elementwise pass over ``nelems``."""
+    ctx.compute(nelems * instrs_per_elem * ctx.machine.config.cycle_ns)
+
+
+def local_copy(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+               dtype: np.dtype) -> None:
+    """Charged local strided copy (a put to self)."""
+    if nelems == 0 or dest == src:
+        return
+    ctx.put(dest, src, nelems, stride, ctx.rank, dtype)

@@ -1,0 +1,131 @@
+"""Extended collectives (paper section 7 future work).
+
+The paper's initial library ships broadcast/reduce/scatter/gather and
+notes that "they can be combined together to accomplish the semantics of
+several more complex operations" (section 4.2).  This module provides
+those compositions plus a personalised all-to-all:
+
+* :func:`reduce_all` — explicit reduction-to-all (OpenSHMEM
+  ``*_to_all`` semantics: every PE receives the result).
+* :func:`allgather` — gather-to-all (OpenSHMEM ``collect``) and
+  :func:`fcollect` for the fixed-size variant.
+* :func:`alltoall` — personalised all-to-all exchange built from
+  one-sided puts (each PE deposits its block directly at the
+  destination offset of every peer).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .broadcast import broadcast
+from .common import resolve_group
+from .gather import gather
+from .reduce import reduce
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["reduce_all", "allgather", "fcollect", "alltoall"]
+
+
+def reduce_all(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """Reduce to rank 0, then broadcast the result to every PE.
+
+    ``dest`` must be symmetric on all PEs (it receives the broadcast).
+    """
+    members, _ = resolve_group(ctx, group)
+    if len(members) > 1 and not ctx.is_symmetric(dest):
+        raise CollectiveArgumentError(
+            "reduce_all dest must be a symmetric address"
+        )
+    reduce(ctx, dest, src, nelems, stride, 0, op, dtype, group=group)
+    broadcast(ctx, dest, dest, nelems, stride, 0, dtype, group=group)
+
+
+def allgather(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    pe_msgs: Sequence[int],
+    pe_disp: Sequence[int],
+    nelems: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """Gather-to-all (OpenSHMEM ``collect``): every PE ends with all
+    contributions at ``dest`` (symmetric), laid out by ``pe_disp``."""
+    members, _ = resolve_group(ctx, group)
+    if len(members) > 1 and not ctx.is_symmetric(dest):
+        raise CollectiveArgumentError("allgather dest must be symmetric")
+    gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype, group=group)
+    broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
+
+
+def fcollect(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems_per_pe: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """Fixed-size gather-to-all (OpenSHMEM ``fcollect``)."""
+    members, _ = resolve_group(ctx, group)
+    n = len(members)
+    msgs = [nelems_per_pe] * n
+    disp = [i * nelems_per_pe for i in range(n)]
+    allgather(ctx, dest, src, msgs, disp, nelems_per_pe * n, dtype,
+              group=group)
+
+
+def alltoall(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems_per_pe: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """Personalised all-to-all: block ``j`` of ``src`` on PE ``i`` lands
+    as block ``i`` of ``dest`` on PE ``j``.
+
+    Implemented with one-sided puts in a rotated order (PE ``i`` starts
+    at peer ``i+1``) so the messages of a stage spread across distinct
+    targets instead of all hitting PE 0 at once.
+    """
+    if nelems_per_pe < 0:
+        raise CollectiveArgumentError("nelems_per_pe must be >= 0")
+    members, me = resolve_group(ctx, group)
+    n = len(members)
+    if n > 1 and not ctx.is_symmetric(dest):
+        raise CollectiveArgumentError("alltoall dest must be symmetric")
+    if me == 0:
+        ctx.machine.stats.collective_calls["alltoall:rotated"] += 1
+    # Entry barrier: order every participant's prior writes to dest
+    # before the incoming puts can land.
+    ctx.barrier_team(members)
+    eb = dtype.itemsize
+    blk = nelems_per_pe * eb
+    if nelems_per_pe:
+        for step in range(n):
+            peer = (me + step) % n
+            ctx.put(dest + me * blk, src + peer * blk, nelems_per_pe, 1,
+                    members[peer], dtype)
+    ctx.barrier_team(members)

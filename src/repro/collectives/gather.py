@@ -1,0 +1,96 @@
+"""Gather (paper section 4.6, Algorithm 4).
+
+Symmetric to scatter in the same way reduction is to broadcast: the
+tree runs with recursive doubling and one-sided ``get``, aggregating a
+distinct number of elements from every PE toward the root.  ``pe_msgs``
+gives the per-PE counts and ``pe_disp`` the displacements *into dest on
+the root*.
+
+Each PE first stages its contribution in the shared buffer at its
+adjusted (virtual-rank) displacement; each stage's receiver pulls the
+partner's whole subtree segment in one contiguous ``get``; finally the
+root reorders the virtual-rank-ordered buffer into ``dest`` by logical
+rank.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from .binomial import n_stages
+from .common import resolve_group, validate_root
+from .scatter import _validate, adjusted_displacements
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["gather"]
+
+
+def gather(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    pe_msgs: Sequence[int],
+    pe_disp: Sequence[int],
+    nelems: int,
+    root: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """``xbrtime_TYPE_gather(dest, src, pe_msgs, pe_disp, nelems, root)``."""
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    _validate(pe_msgs, pe_disp, nelems, n_pes, "gather")
+    if me == root:
+        ctx.machine.stats.collective_calls["gather:binomial"] += 1
+    if me >= root:
+        vir_rank = me - root
+    else:
+        vir_rank = me + n_pes - root
+    eb = dtype.itemsize
+    my_count = pe_msgs[me]
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    if n_pes == 1:
+        if my_count:
+            ctx.put(dest + pe_disp[me] * eb, src, my_count, 1, ctx.rank, dtype)
+        ctx.barrier_team(members)
+        return
+    adj = adjusted_displacements(pe_msgs, root)
+    s_buff = ctx.scratch_alloc(nelems * eb)
+    # Stage this PE's contribution at its virtual-rank displacement.
+    if my_count:
+        ctx.put(s_buff + adj[vir_rank] * eb, src, my_count, 1, ctx.rank,
+                dtype)
+    # Order every staging store before the first stage's one-sided gets.
+    ctx.barrier_team(members)
+    k = n_stages(n_pes)
+    mask = (1 << k) - 1
+    for i in range(k):
+        mask ^= 1 << i
+        if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+            vir_part = (vir_rank ^ (1 << i)) % n_pes
+            log_part = (vir_part + root) % n_pes
+            if vir_rank < vir_part:
+                # The partner's segment plus everything it aggregated.
+                end = min(vir_part + (1 << i), n_pes)
+                msg_size = adj[end] - adj[vir_part]
+                if msg_size:
+                    off = s_buff + adj[vir_part] * eb
+                    ctx.get(off, off, msg_size, 1, members[log_part], dtype)
+        ctx.barrier_team(members)
+    if vir_rank == 0:
+        # Reorder from virtual-rank order into dest by logical rank.
+        for vir in range(n_pes):
+            log = (vir + root) % n_pes
+            cnt = pe_msgs[log]
+            if cnt:
+                ctx.put(dest + pe_disp[log] * eb, s_buff + adj[vir] * eb,
+                        cnt, 1, ctx.rank, dtype)
+    ctx.scratch_free(s_buff)

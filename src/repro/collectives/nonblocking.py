@@ -1,0 +1,101 @@
+"""Non-blocking collectives (paper section 7 future work).
+
+Modelled as *deferred* collectives: initiation captures the arguments
+and returns a handle; the operation executes when every participant
+waits on its handle.  This matches the weakest conforming semantics of
+non-blocking collectives (completion is only guaranteed at the wait) and
+keeps the simulation's barrier-based timing exact.  True communication/
+computation overlap is a limitation of this reproduction — the paper
+itself lists non-blocking collectives as unimplemented future work.
+
+Usage (all PEs)::
+
+    h = ibroadcast(ctx, dest, src, n, 1, root, dtype)
+    ...local work...
+    h.wait()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from . import broadcast as _broadcast
+from . import gather as _gather
+from . import reduce as _reduce
+from . import scatter as _scatter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = [
+    "CollectiveHandle",
+    "ibroadcast",
+    "ireduce",
+    "iscatter",
+    "igather",
+]
+
+
+@dataclass
+class CollectiveHandle:
+    """Completion token for a deferred collective."""
+
+    name: str
+    _run: Callable[[], None] = field(repr=False)
+    done: bool = False
+
+    def wait(self) -> None:
+        """Execute/complete the collective (must be called by every
+        participant, like the blocking call would be)."""
+        if self.done:
+            return
+        self._run()
+        self.done = True
+
+    def test(self) -> bool:
+        """Non-blocking completion check."""
+        return self.done
+
+
+def _defer(name: str, run: Callable[[], None]) -> CollectiveHandle:
+    return CollectiveHandle(name=name, _run=run)
+
+
+def ibroadcast(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+               root: int, dtype: np.dtype,
+               group: Sequence[int] | None = None) -> CollectiveHandle:
+    """Non-blocking broadcast (Algorithm 1, deferred)."""
+    return _defer("ibroadcast", lambda: _broadcast.broadcast(
+        ctx, dest, src, nelems, stride, root, dtype, group=group))
+
+
+def ireduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+            root: int, op: str, dtype: np.dtype,
+            group: Sequence[int] | None = None) -> CollectiveHandle:
+    """Non-blocking reduction (Algorithm 2, deferred)."""
+    return _defer("ireduce", lambda: _reduce.reduce(
+        ctx, dest, src, nelems, stride, root, op, dtype, group=group))
+
+
+def iscatter(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
+             pe_disp: Sequence[int], nelems: int, root: int,
+             dtype: np.dtype,
+             group: Sequence[int] | None = None) -> CollectiveHandle:
+    """Non-blocking scatter (Algorithm 3, deferred)."""
+    msgs, disp = tuple(pe_msgs), tuple(pe_disp)
+    return _defer("iscatter", lambda: _scatter.scatter(
+        ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))
+
+
+def igather(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
+            pe_disp: Sequence[int], nelems: int, root: int,
+            dtype: np.dtype,
+            group: Sequence[int] | None = None) -> CollectiveHandle:
+    """Non-blocking gather (Algorithm 4, deferred)."""
+    msgs, disp = tuple(pe_msgs), tuple(pe_disp)
+    return _defer("igather", lambda: _gather.gather(
+        ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))

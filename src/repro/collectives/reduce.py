@@ -1,0 +1,173 @@
+"""Reduction (paper section 4.4, Algorithm 2).
+
+Binomial tree with recursive doubling: the mask isolates virtual-rank
+bits right→left (loop index ascending), reversing the data flow of
+broadcast — qualifying PEs ``get`` their partner's accumulated values
+and fold them with the reduction operator, moving data from the leaves
+toward the root.
+
+Buffers: every PE first copies its contribution into a *shared* scratch
+buffer ``s_buff`` (so partners can read it one-sidedly) and receives
+partner data into a *private* ``l_buff`` — exactly the two extra
+variables the paper introduces "to prevent any unintended overwriting of
+values on any PE".  An initial barrier orders the ``s_buff`` loads
+before the first stage's gets.
+
+Note one deliberate deviation from the paper's *pseudocode*: Algorithm 2
+reads ``get(l_buff, src, ...)``, but fetching the partner's original
+``src`` would lose the partner's accumulated subtree — the get must (and
+here does) read the partner's ``s_buff``, matching the surrounding prose
+("reduction values ... and the aggregate results of previous
+iterations").
+
+Supported operators: sum/prod/min/max for all Table 1 types, plus
+bitwise and/or/xor for the non-floating-point types (section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .binomial import n_stages
+from .common import (
+    charge_elementwise,
+    local_copy,
+    resolve_group,
+    span_bytes,
+    validate_counts,
+    validate_root,
+)
+from .ops import apply_op, check_op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["reduce"]
+
+
+def reduce(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    root: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    algorithm: str = "binomial",
+    group: Sequence[int] | None = None,
+) -> None:
+    """``xbrtime_TYPE_reduce_OP(dest, src, nelems, stride, root)``.
+
+    ``src`` must be a symmetric address (partners read it / the shared
+    scratch one-sidedly); ``dest`` is significant only on the root and
+    may be private.
+    """
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    if n_pes > 1 and not ctx.is_symmetric(src):
+        raise CollectiveArgumentError(
+            f"reduce src {src:#x} must be a symmetric (shared-segment) "
+            "address (paper section 4.4)"
+        )
+    if algorithm == "auto":
+        from .tuning import select_algorithm
+
+        algorithm = select_algorithm(
+            "reduce", nelems * dtype.itemsize, n_pes,
+            ctx.machine.config.topology,
+        )
+    if me == root:
+        ctx.machine.stats.collective_calls[f"reduce:{op}:{algorithm}"] += 1
+    if algorithm == "binomial":
+        _binomial(ctx, dest, src, nelems, stride, root, op, dtype, members, me)
+    elif algorithm == "linear":
+        _linear(ctx, dest, src, nelems, stride, root, op, dtype, members, me)
+    elif algorithm == "hierarchical":
+        from .hierarchy import reduce_hierarchical
+
+        reduce_hierarchical(ctx, dest, src, nelems, stride, root, op, dtype,
+                            group=group)
+    else:
+        raise CollectiveArgumentError(f"unknown reduce algorithm {algorithm!r}")
+
+
+def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+              root: int, op: str, dtype: np.dtype,
+              members: tuple[int, ...], me: int) -> None:
+    n_pes = len(members)
+    if me >= root:
+        vir_rank = me - root
+    else:
+        vir_rank = me + n_pes - root
+    if nelems == 0 or n_pes == 1:
+        if me == root:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    s_buff = ctx.scratch_alloc(nbytes)
+    l_buff = ctx.private_malloc(nbytes)
+    # Load the shared buffer with this PE's contribution.
+    local_copy(ctx, s_buff, src, nelems, stride, dtype)
+    s_view = ctx.view(s_buff, dtype, nelems, stride)
+    l_view = ctx.view(l_buff, dtype, nelems, stride)
+    # Order every s_buff load before the first stage's one-sided gets.
+    ctx.barrier_team(members)
+    k = n_stages(n_pes)
+    mask = (1 << k) - 1
+    for i in range(k):
+        mask ^= 1 << i
+        if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+            vir_part = (vir_rank ^ (1 << i)) % n_pes
+            log_part = (vir_part + root) % n_pes
+            if vir_rank < vir_part:
+                # Pull the partner's accumulated values (see module note).
+                ctx.get(l_buff, s_buff, nelems, stride, members[log_part],
+                        dtype)
+                apply_op(op, s_view, l_view)
+                charge_elementwise(ctx, nelems)
+        ctx.barrier_team(members)
+    if vir_rank == 0:
+        local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+    ctx.private_free(l_buff)
+    ctx.scratch_free(s_buff)
+
+
+def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+            root: int, op: str, dtype: np.dtype,
+            members: tuple[int, ...], me: int) -> None:
+    """Flat algorithm: the root gets and folds every PE's values."""
+    n_pes = len(members)
+    if nelems == 0 or n_pes == 1:
+        if me == root:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    s_buff = ctx.scratch_alloc(nbytes)
+    local_copy(ctx, s_buff, src, nelems, stride, dtype)
+    ctx.barrier_team(members)
+    if me == root:
+        l_buff = ctx.private_malloc(nbytes)
+        acc = ctx.view(s_buff, dtype, nelems, stride)
+        l_view = ctx.view(l_buff, dtype, nelems, stride)
+        for other in range(n_pes):
+            if other == root:
+                continue
+            ctx.get(l_buff, s_buff, nelems, stride, members[other], dtype)
+            apply_op(op, acc, l_view)
+            charge_elementwise(ctx, nelems)
+        local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+        ctx.private_free(l_buff)
+    ctx.barrier_team(members)
+    ctx.scratch_free(s_buff)

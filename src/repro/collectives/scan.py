@@ -1,0 +1,102 @@
+"""Parallel prefix scan over the one-sided runtime.
+
+A natural companion to the paper's section 7 collective wish-list: the
+Hillis-Steele inclusive scan in ⌈log₂N⌉ one-sided stages.  At stage
+``i`` every PE with rank ≥ 2^i *gets* the running value of the PE
+2^i to its left and folds it; double buffering plus a barrier per
+stage gives the same one-sided-read safety as
+:mod:`~repro.collectives.allreduce`.
+
+Both inclusive and exclusive variants are provided (exclusive shifts
+the inclusive result by one rank, with the operator identity at rank
+0 — which restricts exclusive scans to operators with an identity,
+i.e. all of them except float bitwise, which are rejected anyway).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .binomial import n_stages
+from .common import (
+    charge_elementwise,
+    local_copy,
+    resolve_group,
+    span_bytes,
+    validate_counts,
+)
+from .ops import apply_op, check_op, identity_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["scan"]
+
+
+def scan(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    inclusive: bool = True,
+    group: Sequence[int] | None = None,
+) -> None:
+    """Prefix scan: PE k ends with ``src_0 OP src_1 OP ... OP src_k``
+    (inclusive) or ``... OP src_{k-1}`` (exclusive; identity on PE 0)
+    at its local ``dest``."""
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    if n_pes > 1 and not ctx.is_symmetric(src):
+        raise CollectiveArgumentError("scan src must be a symmetric address")
+    if me == 0:
+        kind = "inclusive" if inclusive else "exclusive"
+        ctx.machine.stats.collective_calls[f"scan:{kind}"] += 1
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    buf_a = ctx.scratch_alloc(nbytes)
+    buf_b = ctx.scratch_alloc(nbytes)
+    l_buf = ctx.private_malloc(nbytes)
+    view_a = ctx.view(buf_a, dtype, nelems, stride)
+    view_b = ctx.view(buf_b, dtype, nelems, stride)
+    l_view = ctx.view(l_buf, dtype, nelems, stride)
+    local_copy(ctx, buf_a, src, nelems, stride, dtype)
+    cur_addr, nxt_addr = buf_a, buf_b
+    cur_view, nxt_view = view_a, view_b
+    ctx.barrier_team(members)
+    for i in range(n_stages(n_pes)):
+        left = me - (1 << i)
+        nxt_view[:] = cur_view
+        if left >= 0:
+            ctx.get(l_buf, cur_addr, nelems, stride, members[left], dtype)
+            apply_op(op, nxt_view, l_view)
+            charge_elementwise(ctx, 2 * nelems)
+        cur_addr, nxt_addr = nxt_addr, cur_addr
+        cur_view, nxt_view = nxt_view, cur_view
+        ctx.barrier_team(members)
+    if inclusive:
+        local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
+    else:
+        # Shift right by one rank: fetch the inclusive result of the
+        # left neighbour; rank 0 takes the operator identity.
+        dview = ctx.view(dest, dtype, nelems, stride)
+        if me == 0:
+            dview[:] = identity_of(op, dtype)
+            ctx.charge_stream(dest, nbytes, write=True)
+        else:
+            ctx.get(dest, cur_addr, nelems, stride, members[me - 1], dtype)
+        ctx.barrier_team(members)
+    ctx.private_free(l_buf)
+    ctx.scratch_free(buf_b)
+    ctx.scratch_free(buf_a)

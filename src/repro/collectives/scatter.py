@@ -1,0 +1,130 @@
+"""Scatter (paper section 4.5, Algorithm 3).
+
+Distributes a *distinct* segment of the root's data to every PE, with
+per-PE element counts (``pe_msgs``) and displacements into ``src``
+(``pe_disp``) — more general than a fixed-size scatter.
+
+Two complications the paper works through:
+
+* each tree-stage message must carry not only the partner's own
+  elements but those of all the partner's children, so they can be
+  forwarded in later stages; and
+* with a non-zero root the per-PE segments, ordered by *logical* rank in
+  ``src``, are not contiguous in *virtual*-rank order — so the root
+  first reorders the data by virtual rank into a shared buffer, using
+  adjusted displacements ``adj_disp``, guaranteeing every stage needs
+  exactly one contiguous ``put``.
+
+The tree walk itself (mask direction, partner selection, barrier per
+stage) is identical to broadcast's recursive halving.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..errors import CollectiveArgumentError
+from .binomial import n_stages
+from .common import resolve_group, validate_root
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["scatter", "adjusted_displacements"]
+
+
+def adjusted_displacements(
+    pe_msgs: Sequence[int], root: int
+) -> list[int]:
+    """``adj_disp``: element offset of each *virtual* rank's segment in
+    the virtual-rank-ordered buffer (one extra entry = total count)."""
+    n_pes = len(pe_msgs)
+    adj = [0] * (n_pes + 1)
+    for vir in range(n_pes):
+        log = (vir + root) % n_pes
+        adj[vir + 1] = adj[vir] + pe_msgs[log]
+    return adj
+
+
+def _validate(pe_msgs: Sequence[int], pe_disp: Sequence[int], nelems: int,
+              n_pes: int, what: str) -> None:
+    if len(pe_msgs) != n_pes or len(pe_disp) != n_pes:
+        raise CollectiveArgumentError(
+            f"{what}: pe_msgs/pe_disp must have one entry per PE "
+            f"({n_pes}), got {len(pe_msgs)}/{len(pe_disp)}"
+        )
+    if any(m < 0 for m in pe_msgs):
+        raise CollectiveArgumentError(f"{what}: negative pe_msgs entry")
+    if any(d < 0 for d in pe_disp):
+        raise CollectiveArgumentError(f"{what}: negative pe_disp entry")
+    total = sum(pe_msgs)
+    if total != nelems:
+        raise CollectiveArgumentError(
+            f"{what}: sum(pe_msgs)={total} does not match nelems={nelems}"
+        )
+
+
+def scatter(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    pe_msgs: Sequence[int],
+    pe_disp: Sequence[int],
+    nelems: int,
+    root: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> None:
+    """``xbrtime_TYPE_scatter(dest, src, pe_msgs, pe_disp, nelems, root)``."""
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    _validate(pe_msgs, pe_disp, nelems, n_pes, "scatter")
+    if me == root:
+        ctx.machine.stats.collective_calls["scatter:binomial"] += 1
+    if me >= root:
+        vir_rank = me - root
+    else:
+        vir_rank = me + n_pes - root
+    eb = dtype.itemsize
+    my_count = pe_msgs[me]
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    if n_pes == 1:
+        if my_count:
+            ctx.put(dest, src + pe_disp[me] * eb, my_count, 1, ctx.rank, dtype)
+        ctx.barrier_team(members)
+        return
+    adj = adjusted_displacements(pe_msgs, root)
+    s_buff = ctx.scratch_alloc(nelems * eb)
+    if vir_rank == 0:
+        # Reorder src by virtual rank so every subtree is contiguous.
+        for vir in range(n_pes):
+            log = (vir + root) % n_pes
+            cnt = pe_msgs[log]
+            if cnt:
+                ctx.put(s_buff + adj[vir] * eb, src + pe_disp[log] * eb,
+                        cnt, 1, ctx.rank, dtype)
+    k = n_stages(n_pes)
+    mask = (1 << k) - 1
+    for i in range(k - 1, -1, -1):
+        mask ^= 1 << i
+        if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+            vir_part = (vir_rank ^ (1 << i)) % n_pes
+            log_part = (vir_part + root) % n_pes
+            if vir_rank < vir_part:
+                # The partner's segment plus those of its children.
+                end = min(vir_part + (1 << i), n_pes)
+                msg_size = adj[end] - adj[vir_part]
+                if msg_size:
+                    off = s_buff + adj[vir_part] * eb
+                    ctx.put(off, off, msg_size, 1, members[log_part], dtype)
+        ctx.barrier_team(members)
+    if my_count:
+        ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
+                dtype)
+    ctx.scratch_free(s_buff)

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the xBGAS reproduction.
+
+Every error raised by this package derives from :class:`XbgasError` so
+callers can catch library failures without masking programming errors in
+their own code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "XbgasError",
+    "RuntimeStateError",
+    "AllocationError",
+    "AddressError",
+    "TypeNameError",
+    "ReductionOpError",
+    "CollectiveArgumentError",
+    "IsaError",
+    "DecodeError",
+    "AssemblerError",
+    "OlbMissError",
+    "SimulationError",
+    "DeadlockError",
+    "NetworkError",
+]
+
+
+class XbgasError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class RuntimeStateError(XbgasError):
+    """The xbrtime runtime was used before ``init`` or after ``close``."""
+
+
+class AllocationError(XbgasError):
+    """A symmetric-heap allocation could not be satisfied."""
+
+
+class AddressError(XbgasError):
+    """An address is outside the PE's memory, misaligned, or otherwise bad."""
+
+
+class TypeNameError(XbgasError, KeyError):
+    """An unknown xBGAS TYPENAME (Table 1) was requested."""
+
+
+class ReductionOpError(XbgasError):
+    """A reduction operator is unknown or invalid for the element type.
+
+    Bitwise AND/OR/XOR reductions are only defined for non-floating-point
+    types (paper section 4.4).
+    """
+
+
+class CollectiveArgumentError(XbgasError, ValueError):
+    """Invalid arguments to a collective call (bad root, counts, strides...)."""
+
+
+class IsaError(XbgasError):
+    """Base class for ISA-simulator failures."""
+
+
+class DecodeError(IsaError):
+    """A 32-bit word does not decode to a known instruction."""
+
+
+class AssemblerError(IsaError):
+    """Assembly source could not be assembled."""
+
+
+class OlbMissError(IsaError):
+    """An object ID has no Object Look-aside Buffer mapping on this PE."""
+
+
+class SimulationError(XbgasError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No PE can make progress (e.g. mismatched barrier participation)."""
+
+
+class NetworkError(XbgasError):
+    """The network model was asked to route an impossible message."""

@@ -1,0 +1,53 @@
+"""Functional RISC-V RV64I + xBGAS instruction-set simulator.
+
+This package stands in for the paper's Spike-based infrastructure: an
+RV64I-subset core extended with the xBGAS instructions (section 3.2):
+
+* 32 extended registers ``e0..e31`` alongside ``x0..x31`` (Figure 1);
+* Base Integer Load/Store instructions (``eld``, ``esd``, ...) that pair
+  each base register with its naturally-corresponding extended register
+  to form a 128-bit effective address;
+* Raw Integer Load/Store instructions (``erld``, ``ersd``, ...) with an
+  explicitly named extended register and no immediate;
+* Address Management instructions (``eaddi``, ``eaddie``, ``eaddix``);
+* the per-PE Object Look-aside Buffer translating object IDs to PEs,
+  with extended value 0 meaning "local".
+"""
+
+from .registers import RegisterFile, X_NAMES, E_NAMES, parse_register
+from .memory import Memory
+from .olb import ObjectLookasideBuffer
+from .encoding import (
+    Instruction,
+    decode,
+    encode,
+    spec_of,
+    INSTRUCTION_SPECS,
+)
+from .assembler import assemble, AssemblerError
+from .disasm import disassemble, disassemble_program
+from .cpu import Cpu, HaltReason, amo_apply
+from .pipeline import PipelineModel, PipelineParams
+
+__all__ = [
+    "RegisterFile",
+    "X_NAMES",
+    "E_NAMES",
+    "parse_register",
+    "Memory",
+    "ObjectLookasideBuffer",
+    "Instruction",
+    "decode",
+    "encode",
+    "spec_of",
+    "INSTRUCTION_SPECS",
+    "assemble",
+    "AssemblerError",
+    "disassemble",
+    "disassemble_program",
+    "Cpu",
+    "HaltReason",
+    "amo_apply",
+    "PipelineModel",
+    "PipelineParams",
+]

@@ -1,0 +1,260 @@
+"""A small two-pass assembler for the RV64I + xBGAS subset.
+
+Accepts the syntax the xBGAS runtime's generated code uses::
+
+    # comments run to end of line
+    copy_loop:
+        eld   t0, 0(a1)        # extended load (paper section 3.2)
+        esd   t0, 0(a2)
+        erld  t1, a1, e10      # raw-type: explicit extended register
+        eaddie e10, a0, 0      # EXT[e10] = a0 + 0
+        addi  a1, a1, 8
+        bne   a3, zero, copy_loop
+        halt
+
+Supported pseudo-instructions: ``nop``, ``mv``, ``li`` (32-bit range,
+expands to ``lui``+``addi`` when needed), ``j``, ``ret``, ``halt``
+(→ ``ebreak``), ``beqz``/``bnez``.  Directives: ``.dword``, ``.word``.
+
+:func:`assemble` returns the program as a list of 32-bit words plus the
+label table; labels may be used as branch/jump targets.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblerError, DecodeError
+from .encoding import Instruction, encode, spec_of
+from .registers import parse_register
+
+__all__ = ["assemble", "AssemblerError", "Program"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.][\w.]*$")
+_MEMOP_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+class Program:
+    """Assembled machine code: words plus the label → offset table."""
+
+    def __init__(self, words: list[int], labels: dict[str, int]):
+        self.words = words
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def bytes_le(self) -> bytes:
+        out = bytearray()
+        for w in self.words:
+            out += w.to_bytes(4, "little")
+        return bytes(out)
+
+
+def _parse_imm(tok: str, labels: dict[str, int] | None, pc: int | None) -> int:
+    tok = tok.strip()
+    try:
+        return int(tok, 0)
+    except ValueError:
+        pass
+    if labels is not None and tok in labels:
+        if pc is None:
+            return labels[tok]
+        return labels[tok] - pc
+    raise AssemblerError(f"bad immediate or unknown label {tok!r}")
+
+
+def _xreg(tok: str) -> int:
+    kind, idx = parse_register(tok)
+    if kind != "x":
+        raise AssemblerError(f"expected a base register, got {tok!r}")
+    return idx
+
+
+def _ereg(tok: str) -> int:
+    kind, idx = parse_register(tok)
+    if kind != "e":
+        raise AssemblerError(f"expected an extended register, got {tok!r}")
+    return idx
+
+
+def _split_line(line: str) -> tuple[str | None, str | None]:
+    """Strip comments; split an optional leading label from the statement."""
+    line = line.split("#", 1)[0].strip()
+    if not line:
+        return None, None
+    label = None
+    if ":" in line:
+        maybe, rest = line.split(":", 1)
+        maybe = maybe.strip()
+        if _LABEL_RE.match(maybe):
+            label = maybe
+            line = rest.strip()
+    return label, line or None
+
+
+def _expand_pseudo(mnem: str, ops: list[str]) -> list[tuple[str, list[str]]]:
+    """Rewrite pseudo-instructions into real ones (may expand to 2)."""
+    if mnem == "nop":
+        return [("addi", ["x0", "x0", "0"])]
+    if mnem == "mv":
+        return [("addi", [ops[0], ops[1], "0"])]
+    if mnem == "j":
+        return [("jal", ["x0", ops[0]])]
+    if mnem == "ret":
+        return [("jalr", ["x0", "0(ra)"])]
+    if mnem == "halt":
+        return [("ebreak", [])]
+    if mnem == "beqz":
+        return [("beq", [ops[0], "x0", ops[1]])]
+    if mnem == "bnez":
+        return [("bne", [ops[0], "x0", ops[1]])]
+    if mnem == "li":
+        val = int(ops[1], 0)
+        if -2048 <= val <= 2047:
+            return [("addi", [ops[0], "x0", str(val)])]
+        if -(1 << 31) <= val < (1 << 31):
+            hi = ((val + 0x800) >> 12) & 0xFFFFF
+            lo = ((val & 0xFFF) ^ 0x800) - 0x800  # low 12 bits, signed
+            # addiw (not addi): for values near 2^31 the lui result is
+            # sign-extended negative and only a 32-bit add that then
+            # sign-extends reproduces the intended constant.
+            return [("lui", [ops[0], str(hi << 12)]),
+                    ("addiw", [ops[0], ops[0], str(lo)])]
+        raise AssemblerError(f"li immediate {val} exceeds 32-bit range")
+    return [(mnem, ops)]
+
+
+def _statement_size(mnem: str, ops: list[str]) -> int:
+    """Bytes the statement will occupy (pass 1)."""
+    if mnem == ".dword":
+        return 8 * len(ops)
+    if mnem == ".word":
+        return 4 * len(ops)
+    return 4 * len(_expand_pseudo(mnem, ops))
+
+
+def _tokenize(stmt: str) -> tuple[str, list[str]]:
+    parts = stmt.split(None, 1)
+    mnem = parts[0].lower()
+    ops = [o.strip() for o in parts[1].split(",")] if len(parts) > 1 else []
+    return mnem, ops
+
+
+def _build(mnem: str, ops: list[str], labels: dict[str, int], pc: int) -> Instruction:
+    spec = spec_of(mnem)
+    g = spec.group
+
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise AssemblerError(
+                f"{mnem} expects {n} operands, got {len(ops)}: {ops}"
+            )
+
+    if mnem in ("ecall", "ebreak"):
+        need(0)
+        return Instruction(spec)
+    if mnem == "fence":
+        return Instruction(spec)
+    if spec.fmt == "U":
+        need(2)
+        return Instruction(spec, rd=_xreg(ops[0]),
+                           imm=_parse_imm(ops[1], labels, None))
+    if spec.fmt == "J":
+        need(2)
+        return Instruction(spec, rd=_xreg(ops[0]),
+                           imm=_parse_imm(ops[1], labels, pc))
+    if spec.fmt == "B":
+        need(3)
+        return Instruction(spec, rs1=_xreg(ops[0]), rs2=_xreg(ops[1]),
+                           imm=_parse_imm(ops[2], labels, pc))
+    if g in ("load", "eload") or mnem == "jalr":
+        need(2)
+        m = _MEMOP_RE.match(ops[1].replace(" ", ""))
+        if m:
+            imm, rs1 = _parse_imm(m.group(1), labels, None), _xreg(m.group(2))
+        else:  # "jalr rd, rs1, imm" three-operand form
+            raise AssemblerError(f"{mnem}: expected imm(rs1), got {ops[1]!r}")
+        return Instruction(spec, rd=_xreg(ops[0]), rs1=rs1, imm=imm)
+    if g in ("store", "estore"):
+        need(2)
+        m = _MEMOP_RE.match(ops[1].replace(" ", ""))
+        if not m:
+            raise AssemblerError(f"{mnem}: expected imm(rs1), got {ops[1]!r}")
+        return Instruction(spec, rs2=_xreg(ops[0]),
+                           rs1=_xreg(m.group(2)),
+                           imm=_parse_imm(m.group(1), labels, None))
+    if g == "erload":
+        # erld rd, rs1, ext2 — address = EXT[ext2] : x[rs1]
+        need(3)
+        return Instruction(spec, rd=_xreg(ops[0]), rs1=_xreg(ops[1]),
+                           rs2=_ereg(ops[2]))
+    if g == "erstore":
+        # ersd rs1, rs2, ext3 — store x[rs1] at EXT[ext3] : x[rs2]
+        need(3)
+        return Instruction(spec, rs1=_xreg(ops[0]), rs2=_xreg(ops[1]),
+                           rd=_ereg(ops[2]))
+    if g == "eaddr":
+        need(3)
+        imm = _parse_imm(ops[2], labels, None)
+        if mnem == "eaddi":       # rd = EXT[rs1] + imm
+            return Instruction(spec, rd=_xreg(ops[0]), rs1=_ereg(ops[1]), imm=imm)
+        if mnem == "eaddie":      # EXT[rd] = x[rs1] + imm
+            return Instruction(spec, rd=_ereg(ops[0]), rs1=_xreg(ops[1]), imm=imm)
+        # eaddix: EXT[rd] = EXT[rs1] + imm
+        return Instruction(spec, rd=_ereg(ops[0]), rs1=_ereg(ops[1]), imm=imm)
+    if spec.fmt in ("I", "Ish"):
+        need(3)
+        return Instruction(spec, rd=_xreg(ops[0]), rs1=_xreg(ops[1]),
+                           imm=_parse_imm(ops[2], labels, None))
+    if spec.fmt == "R":
+        need(3)
+        return Instruction(spec, rd=_xreg(ops[0]), rs1=_xreg(ops[1]),
+                           rs2=_xreg(ops[2]))
+    raise AssemblerError(f"cannot assemble {mnem}")  # pragma: no cover
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Assemble ``source`` into a :class:`Program` at address ``base``."""
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    statements: list[tuple[int, str, list[str], int]] = []  # (addr, mnem, ops, line_no)
+    addr = base
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        label, stmt = _split_line(raw)
+        if label is not None:
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = addr
+        if stmt is None:
+            continue
+        mnem, ops = _tokenize(stmt)
+        try:
+            size = _statement_size(mnem, ops)
+        except AssemblerError as exc:
+            raise AssemblerError(f"line {line_no}: {exc}") from None
+        statements.append((addr, mnem, ops, line_no))
+        addr += size
+
+    # Pass 2: encode.
+    words: list[int] = []
+    for addr, mnem, ops, line_no in statements:
+        try:
+            if mnem == ".dword":
+                for tok in ops:
+                    v = _parse_imm(tok, labels, None) & ((1 << 64) - 1)
+                    words.append(v & 0xFFFFFFFF)
+                    words.append(v >> 32)
+                continue
+            if mnem == ".word":
+                for tok in ops:
+                    words.append(_parse_imm(tok, labels, None) & 0xFFFFFFFF)
+                continue
+            pc = addr
+            for real_mnem, real_ops in _expand_pseudo(mnem, ops):
+                instr = _build(real_mnem, real_ops, labels, pc)
+                words.append(encode(instr))
+                pc += 4
+        except (AssemblerError, DecodeError) as exc:
+            raise AssemblerError(f"line {line_no}: {exc}") from None
+    return Program(words, labels)

@@ -1,0 +1,463 @@
+"""The functional xBGAS hart: fetch, decode, execute, with cycle costing.
+
+One :class:`Cpu` models one RISC-V core extended with xBGAS (the role a
+Spike instance plays in the paper's infrastructure).  Functional state is
+the register file, the PC and a :class:`~repro.isa.memory.Memory`;
+timing comes from a per-instruction base cost plus the
+:class:`~repro.machine.memsys.MemoryHierarchy` for local memory traffic
+and a pluggable remote-access port for xBGAS traffic.
+
+Remote semantics (paper section 3.2): an extended load/store reads the
+object ID from the relevant extended register; 0 means local, anything
+else is translated by the :class:`~repro.isa.olb.ObjectLookasideBuffer`
+and the access is performed on the remote PE's memory through the
+``remote_port``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+from ..errors import IsaError
+from ..machine.memsys import MemoryHierarchy
+from .encoding import Instruction, decode
+from .memory import Memory
+from .olb import ObjectLookasideBuffer
+
+__all__ = ["Cpu", "HaltReason", "RemotePort", "amo_apply"]
+
+MASK64 = (1 << 64) - 1
+
+
+def _s64(v: int) -> int:
+    v &= MASK64
+    return v - (1 << 64) if v >= (1 << 63) else v
+
+
+def _u64(v: int) -> int:
+    return v & MASK64
+
+
+class RemotePort(Protocol):
+    """How a core reaches other PEs' memories (implemented by the runtime)."""
+
+    def remote_load(self, target_pe: int, addr: int, nbytes: int, signed: bool) -> tuple[int, float]:
+        """Return ``(value, ns)``."""
+        ...
+
+    def remote_store(self, target_pe: int, addr: int, nbytes: int, value: int) -> float:
+        """Return the ns charged to the issuing core."""
+        ...
+
+    def remote_amo(self, target_pe: int, addr: int, op: str, value: int) -> tuple[int, float]:
+        """One-sided 64-bit fetch-and-op; return ``(old_value, ns)``."""
+        ...
+
+
+def amo_apply(op: str, old: int, value: int) -> int:
+    """The new memory value of a 64-bit AMO (RISC-V A-extension rules)."""
+    if op == "swap":
+        return value & MASK64
+    if op == "add":
+        return (old + value) & MASK64
+    if op == "xor":
+        return old ^ value
+    if op == "and":
+        return old & value
+    if op == "or":
+        return old | value
+    if op == "min":
+        return old if _s64(old) <= _s64(value) else value
+    if op == "max":
+        return old if _s64(old) >= _s64(value) else value
+    raise IsaError(f"unknown AMO op {op!r}")
+
+
+class HaltReason(enum.Enum):
+    EBREAK = "ebreak"
+    ECALL = "ecall"
+    MAX_INSTRUCTIONS = "max-instructions"
+
+
+#: Base cycles per instruction group (a simple in-order pipeline model).
+GROUP_CYCLES = {
+    "alu": 1,
+    "muldiv": 3,
+    "branch": 1,
+    "jump": 2,
+    "load": 1,
+    "store": 1,
+    "eload": 1,
+    "estore": 1,
+    "erload": 1,
+    "erstore": 1,
+    "eaddr": 1,
+    "eamo": 2,
+    "system": 1,
+}
+TAKEN_BRANCH_EXTRA = 1
+
+_WIDTH = {"b": 1, "h": 2, "w": 4, "d": 8}
+
+
+def _load_width(name: str) -> tuple[int, bool]:
+    """(nbytes, signed) for any load mnemonic (lb, elwu, erld, ...)."""
+    stem = name.rstrip("u")
+    signed = not name.endswith("u")
+    return _WIDTH[stem[-1]], signed
+
+
+class Cpu:
+    """One xBGAS hart."""
+
+    def __init__(
+        self,
+        pe: int,
+        memory: Memory,
+        memsys: MemoryHierarchy | None = None,
+        olb: ObjectLookasideBuffer | None = None,
+        remote_port: RemotePort | None = None,
+        cycle_ns: float = 1.0,
+        pipeline: "object | None" = None,
+    ):
+        self.pe = pe
+        self.memory = memory
+        self.memsys = memsys
+        self.olb = olb if olb is not None else ObjectLookasideBuffer(pe)
+        self.remote_port = remote_port
+        self.cycle_ns = cycle_ns
+        #: Optional :class:`repro.isa.pipeline.PipelineModel` adding
+        #: hazard stalls, branch flushes and I-cache fetch costs.
+        self.pipeline = pipeline
+        from .registers import RegisterFile
+
+        self.regs = RegisterFile()
+        self.pc = 0
+        self.halted: HaltReason | None = None
+        self.instructions_retired = 0
+        self.ns_elapsed = 0.0
+        self._decode_cache: dict[int, Instruction] = {}
+
+    # -- program loading ---------------------------------------------------
+
+    def load_program(self, words: list[int], base: int = 0) -> None:
+        """Write an assembled program at ``base`` and point the PC at it."""
+        addr = base
+        for w in words:
+            self.memory.store(addr, 4, w)
+            addr += 4
+        self.pc = base
+        self.halted = None
+
+    # -- timing helpers ----------------------------------------------------
+
+    def _mem_ns(self, addr: int, size: int, write: bool) -> float:
+        if self.memsys is None:
+            return 0.0
+        return self.memsys.access(addr, size, write)
+
+    def _charge(self, cycles: int) -> None:
+        self.ns_elapsed += cycles * self.cycle_ns
+
+    # -- remote access -------------------------------------------------------
+
+    def _remote_target(self, object_id: int) -> int | None:
+        """None for local (object ID 0), else the target PE."""
+        if self.olb.is_local(object_id):
+            return None
+        return self.olb.translate(object_id)
+
+    def _do_eload(self, target: int | None, addr: int, nbytes: int, signed: bool) -> int:
+        if target is None:
+            self.ns_elapsed += self._mem_ns(addr, nbytes, False)
+            return self.memory.load(addr, nbytes, signed)
+        if self.remote_port is None:
+            raise IsaError(
+                f"PE {self.pe}: remote load to PE {target} but no remote port"
+            )
+        self.ns_elapsed += self.olb.lookup_ns
+        value, ns = self.remote_port.remote_load(target, addr, nbytes, signed)
+        self.ns_elapsed += ns
+        return value
+
+    def _do_estore(self, target: int | None, addr: int, nbytes: int, value: int) -> None:
+        if target is None:
+            self.ns_elapsed += self._mem_ns(addr, nbytes, True)
+            self.memory.store(addr, nbytes, value)
+            return
+        if self.remote_port is None:
+            raise IsaError(
+                f"PE {self.pe}: remote store to PE {target} but no remote port"
+            )
+        self.ns_elapsed += self.olb.lookup_ns
+        self.ns_elapsed += self.remote_port.remote_store(target, addr, nbytes, value)
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Fetch, decode and execute one instruction."""
+        if self.halted is not None:
+            raise IsaError(f"PE {self.pe}: stepping a halted core")
+        pipeline = self.pipeline
+        if pipeline is not None:
+            self.ns_elapsed += pipeline.fetch_ns(self.pc)
+        word = self.memory.load(self.pc, 4)
+        instr = self._decode_cache.get(word)
+        if instr is None:
+            instr = decode(word)
+            self._decode_cache[word] = instr
+        pc_before = self.pc
+        self._execute(instr)
+        if pipeline is not None:
+            group = instr.spec.group
+            redirected = (group == "jump"
+                          or (group == "branch"
+                              and self.pc != pc_before + 4))
+            self.ns_elapsed += pipeline.issue_ns(instr, redirected)
+        self.instructions_retired += 1
+
+    def run(self, max_instructions: int = 10_000_000) -> HaltReason:
+        """Run until ``ebreak``/``ecall`` or the instruction budget."""
+        budget = max_instructions
+        while self.halted is None:
+            if budget <= 0:
+                self.halted = HaltReason.MAX_INSTRUCTIONS
+                break
+            self.step()
+            budget -= 1
+        return self.halted
+
+    # -- the interpreter ----------------------------------------------------------
+
+    def _execute(self, instr: Instruction) -> None:  # noqa: C901 - dispatcher
+        regs = self.regs
+        name = instr.name
+        group = instr.spec.group
+        self._charge(GROUP_CYCLES[group])
+        next_pc = self.pc + 4
+
+        if group == "alu":
+            rs1 = regs.read_x(instr.rs1)
+            if instr.spec.fmt in ("I", "Ish", "U"):
+                if name == "lui":
+                    regs.write_x(instr.rd, instr.imm)
+                elif name == "auipc":
+                    regs.write_x(instr.rd, self.pc + instr.imm)
+                else:
+                    regs.write_x(instr.rd, self._alu_imm(name, rs1, instr.imm))
+            else:
+                rs2 = regs.read_x(instr.rs2)
+                regs.write_x(instr.rd, self._alu_reg(name, rs1, rs2))
+        elif group == "muldiv":
+            rs1, rs2 = regs.read_x(instr.rs1), regs.read_x(instr.rs2)
+            regs.write_x(instr.rd, self._muldiv(name, rs1, rs2))
+        elif group == "branch":
+            if self._branch_taken(name, regs.read_x(instr.rs1), regs.read_x(instr.rs2)):
+                next_pc = self.pc + instr.imm
+                self._charge(TAKEN_BRANCH_EXTRA)
+        elif group == "jump":
+            if name == "jal":
+                regs.write_x(instr.rd, self.pc + 4)
+                next_pc = self.pc + instr.imm
+            else:  # jalr
+                target = _u64(regs.read_x(instr.rs1) + instr.imm) & ~1
+                regs.write_x(instr.rd, self.pc + 4)
+                next_pc = target
+        elif group == "load":
+            nbytes, signed = _load_width(name)
+            addr = _u64(regs.read_x(instr.rs1) + instr.imm)
+            self.ns_elapsed += self._mem_ns(addr, nbytes, False)
+            regs.write_x(instr.rd, self.memory.load(addr, nbytes, signed))
+        elif group == "store":
+            nbytes = _WIDTH[name[-1]]
+            addr = _u64(regs.read_x(instr.rs1) + instr.imm)
+            self.ns_elapsed += self._mem_ns(addr, nbytes, True)
+            self.memory.store(addr, nbytes, regs.read_x(instr.rs2))
+        elif group == "eload":
+            # Base-type: the extended register *naturally corresponding*
+            # to rs1 supplies the object ID (paper section 3.2).
+            nbytes, signed = _load_width(name[1:])
+            obj, addr = regs.extended_address(instr.rs1, instr.rs1, instr.imm)
+            regs.write_x(instr.rd, self._do_eload(self._remote_target(obj), addr, nbytes, signed))
+        elif group == "estore":
+            nbytes = _WIDTH[name[-1]]
+            obj, addr = regs.extended_address(instr.rs1, instr.rs1, instr.imm)
+            self._do_estore(self._remote_target(obj), addr, nbytes, regs.read_x(instr.rs2))
+        elif group == "erload":
+            # Raw-type: erld rd, rs1, ext2 — address EXT[ext2] : x[rs1].
+            nbytes, signed = _load_width(name[2:])
+            obj = regs.read_e(instr.rs2)
+            addr = regs.read_x(instr.rs1)
+            regs.write_x(instr.rd, self._do_eload(self._remote_target(obj), addr, nbytes, signed))
+        elif group == "erstore":
+            # ersd rs1, rs2, ext3 — store x[rs1] at EXT[ext3] : x[rs2].
+            nbytes = _WIDTH[name[-1]]
+            obj = regs.read_e(instr.rd)
+            addr = regs.read_x(instr.rs2)
+            self._do_estore(self._remote_target(obj), addr, nbytes, regs.read_x(instr.rs1))
+        elif group == "eamo":
+            # eamoOP.d rd, rs1, rs2 — fetch-and-op at EXT[rs1] : x[rs1].
+            op = name[4:-2]
+            obj, addr = regs.extended_address(instr.rs1, instr.rs1, 0)
+            value = regs.read_x(instr.rs2)
+            target = self._remote_target(obj)
+            if target is None:
+                self.ns_elapsed += self._mem_ns(addr, 8, True)
+                old = self.memory.load(addr, 8)
+                self.memory.store(addr, 8, amo_apply(op, old, value))
+            else:
+                if self.remote_port is None:
+                    raise IsaError(
+                        f"PE {self.pe}: remote AMO to PE {target} but no "
+                        "remote port"
+                    )
+                self.ns_elapsed += self.olb.lookup_ns
+                old, ns = self.remote_port.remote_amo(target, addr, op, value)
+                self.ns_elapsed += ns
+            regs.write_x(instr.rd, old)
+        elif group == "eaddr":
+            if name == "eaddi":
+                regs.write_x(instr.rd, regs.read_e(instr.rs1) + instr.imm)
+            elif name == "eaddie":
+                regs.write_e(instr.rd, regs.read_x(instr.rs1) + instr.imm)
+            else:  # eaddix
+                regs.write_e(instr.rd, regs.read_e(instr.rs1) + instr.imm)
+        elif group == "system":
+            if name == "ebreak":
+                self.halted = HaltReason.EBREAK
+            elif name == "ecall":
+                self.halted = HaltReason.ECALL
+            # fence: no-op in this memory model
+        else:  # pragma: no cover - spec table is closed
+            raise IsaError(f"unhandled group {group}")
+        self.pc = next_pc
+
+    # -- ALU helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _alu_imm(name: str, rs1: int, imm: int) -> int:
+        if name == "addi":
+            return rs1 + imm
+        if name == "slti":
+            return int(_s64(rs1) < imm)
+        if name == "sltiu":
+            return int(rs1 < _u64(imm))
+        if name == "xori":
+            return rs1 ^ _u64(imm)
+        if name == "ori":
+            return rs1 | _u64(imm)
+        if name == "andi":
+            return rs1 & _u64(imm)
+        if name == "slli":
+            return rs1 << imm
+        if name == "srli":
+            return rs1 >> imm
+        if name == "srai":
+            return _s64(rs1) >> imm
+        if name == "addiw":
+            return _sext32(rs1 + imm)
+        if name == "slliw":
+            return _sext32(rs1 << imm)
+        if name == "srliw":
+            return _sext32((rs1 & 0xFFFFFFFF) >> imm)
+        if name == "sraiw":
+            return _sext32(_s32(rs1) >> imm)
+        raise IsaError(f"unhandled ALU-imm {name}")  # pragma: no cover
+
+    @staticmethod
+    def _alu_reg(name: str, rs1: int, rs2: int) -> int:
+        sh = rs2 & 0x3F
+        if name == "add":
+            return rs1 + rs2
+        if name == "sub":
+            return rs1 - rs2
+        if name == "sll":
+            return rs1 << sh
+        if name == "slt":
+            return int(_s64(rs1) < _s64(rs2))
+        if name == "sltu":
+            return int(rs1 < rs2)
+        if name == "xor":
+            return rs1 ^ rs2
+        if name == "srl":
+            return rs1 >> sh
+        if name == "sra":
+            return _s64(rs1) >> sh
+        if name == "or":
+            return rs1 | rs2
+        if name == "and":
+            return rs1 & rs2
+        sh32 = rs2 & 0x1F
+        if name == "addw":
+            return _sext32(rs1 + rs2)
+        if name == "subw":
+            return _sext32(rs1 - rs2)
+        if name == "sllw":
+            return _sext32(rs1 << sh32)
+        if name == "srlw":
+            return _sext32((rs1 & 0xFFFFFFFF) >> sh32)
+        if name == "sraw":
+            return _sext32(_s32(rs1) >> sh32)
+        raise IsaError(f"unhandled ALU-reg {name}")  # pragma: no cover
+
+    @staticmethod
+    def _muldiv(name: str, rs1: int, rs2: int) -> int:
+        if name == "mul":
+            return rs1 * rs2
+        if name == "mulh":
+            return (_s64(rs1) * _s64(rs2)) >> 64
+        if name == "mulhu":
+            return (rs1 * rs2) >> 64
+        if name == "div":
+            a, b = _s64(rs1), _s64(rs2)
+            return _trunc_div(a, b) if b else MASK64
+        if name == "divu":
+            return rs1 // rs2 if rs2 else MASK64
+        if name == "rem":
+            a, b = _s64(rs1), _s64(rs2)
+            return a - _trunc_div(a, b) * b if b else rs1
+        if name == "remu":
+            return rs1 % rs2 if rs2 else rs1
+        if name == "mulw":
+            return _sext32(rs1 * rs2)
+        if name == "divw":
+            a, b = _s32(rs1), _s32(rs2)
+            return _sext32(_trunc_div(a, b)) if b else MASK64
+        if name == "remw":
+            a, b = _s32(rs1), _s32(rs2)
+            if b == 0:
+                return _sext32(a)
+            return _sext32(a - _trunc_div(a, b) * b)
+        raise IsaError(f"unhandled muldiv {name}")  # pragma: no cover
+
+    @staticmethod
+    def _branch_taken(name: str, rs1: int, rs2: int) -> bool:
+        if name == "beq":
+            return rs1 == rs2
+        if name == "bne":
+            return rs1 != rs2
+        if name == "blt":
+            return _s64(rs1) < _s64(rs2)
+        if name == "bge":
+            return _s64(rs1) >= _s64(rs2)
+        if name == "bltu":
+            return rs1 < rs2
+        if name == "bgeu":
+            return rs1 >= rs2
+        raise IsaError(f"unhandled branch {name}")  # pragma: no cover
+
+
+def _trunc_div(a: int, b: int) -> int:
+    """RISC-V division truncates toward zero (Python ``//`` floors)."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _s32(v: int) -> int:
+    v &= 0xFFFFFFFF
+    return v - (1 << 32) if v >= (1 << 31) else v
+
+
+def _sext32(v: int) -> int:
+    return _u64(_s32(v))

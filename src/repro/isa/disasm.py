@@ -1,0 +1,65 @@
+"""Disassembler: 32-bit words back to assembler-accepted text.
+
+Round-trips with :mod:`repro.isa.assembler`: for any encodable
+instruction, ``assemble(disassemble(word))`` reproduces the word (the
+test suite property-checks this over the whole spec table).  Used by
+the debugging helpers and the ``xbgas_assembly`` example to show what
+the runtime's generated transfer loops look like.
+"""
+
+from __future__ import annotations
+
+from .encoding import Instruction, decode
+
+__all__ = ["disassemble", "disassemble_program", "format_instruction"]
+
+
+def format_instruction(instr: Instruction) -> str:
+    """Render one decoded instruction in assembler syntax."""
+    s = instr.spec
+    name, g, fmt = s.name, s.group, s.fmt
+    rd, rs1, rs2, imm = instr.rd, instr.rs1, instr.rs2, instr.imm
+    if name in ("ecall", "ebreak", "fence"):
+        return name
+    if fmt == "U":
+        return f"{name} x{rd}, {imm}"
+    if fmt == "J":
+        return f"{name} x{rd}, {imm}"
+    if fmt == "B":
+        return f"{name} x{rs1}, x{rs2}, {imm}"
+    if g in ("load", "eload") or name == "jalr":
+        return f"{name} x{rd}, {imm}(x{rs1})"
+    if g in ("store", "estore"):
+        return f"{name} x{rs2}, {imm}(x{rs1})"
+    if g == "erload":
+        return f"{name} x{rd}, x{rs1}, e{rs2}"
+    if g == "erstore":
+        return f"{name} x{rs1}, x{rs2}, e{rd}"
+    if g == "eamo":
+        return f"{name} x{rd}, x{rs1}, x{rs2}"
+    if g == "eaddr":
+        if name == "eaddi":
+            return f"{name} x{rd}, e{rs1}, {imm}"
+        if name == "eaddie":
+            return f"{name} e{rd}, x{rs1}, {imm}"
+        return f"{name} e{rd}, e{rs1}, {imm}"
+    if fmt in ("I", "Ish"):
+        return f"{name} x{rd}, x{rs1}, {imm}"
+    return f"{name} x{rd}, x{rs1}, x{rs2}"  # R
+
+
+def disassemble(word: int) -> str:
+    """Disassemble one 32-bit word."""
+    return format_instruction(decode(word))
+
+
+def disassemble_program(words: list[int], base: int = 0) -> str:
+    """Disassemble a word list with addresses, one instruction per line."""
+    lines = []
+    for i, w in enumerate(words):
+        try:
+            text = disassemble(w)
+        except Exception:
+            text = f".word {w:#010x}"
+        lines.append(f"{base + 4 * i:#06x}:  {w:08x}  {text}")
+    return "\n".join(lines)

@@ -1,0 +1,305 @@
+"""Instruction encodings: RV64I subset (+M) and the xBGAS extension.
+
+The base instructions use the standard RISC-V formats (R/I/S/B/U/J) and
+opcodes from the RV64I user-level specification.  The xBGAS extension
+occupies the RISC-V *custom* opcode space; the paper defers exact
+encodings to the xbgas-archspec, so this reproduction assigns them as
+follows (documented here as the single source of truth):
+
+========================  =======  ======================================
+group                     opcode   format
+========================  =======  ======================================
+extended loads (eld...)    0x77    I-type; ext register implied by rs1
+extended stores (esd...)   0x7B    S-type; ext register implied by rs1
+raw loads (erld...)        0x0B    R-type; rs2 field names the ext reg
+raw stores (ersd...)       0x0B    R-type (funct7 bit 5 set); rd field
+                                   names the ext reg, rs1=data, rs2=addr
+address management         0x2B    I-type (eaddi/eaddie/eaddix selected
+                                   by funct3)
+========================  =======  ======================================
+
+Immediates are the standard sign-extended RISC-V forms; raw-type xBGAS
+instructions carry no immediate (paper section 3.2: "Due to the reduced
+availability of encoding space, no immediate addressing is allowed for
+Raw-Type instructions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DecodeError
+
+__all__ = [
+    "InstrSpec",
+    "Instruction",
+    "INSTRUCTION_SPECS",
+    "spec_of",
+    "encode",
+    "decode",
+]
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    name: str
+    fmt: str  # one of R, I, S, B, U, J, Ish (shift-immediate)
+    opcode: int
+    funct3: int | None = None
+    funct7: int | None = None
+    #: Instruction class used for cycle costing and execution dispatch.
+    group: str = "alu"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    spec: InstrSpec
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def _spec_list() -> list[InstrSpec]:
+    s: list[InstrSpec] = []
+
+    def add(name: str, fmt: str, opcode: int, f3: int | None = None,
+            f7: int | None = None, group: str = "alu") -> None:
+        s.append(InstrSpec(name, fmt, opcode, f3, f7, group))
+
+    # ---- RV64I ----
+    add("lui", "U", 0x37)
+    add("auipc", "U", 0x17)
+    add("jal", "J", 0x6F, group="jump")
+    add("jalr", "I", 0x67, 0b000, group="jump")
+    for name, f3 in (("beq", 0b000), ("bne", 0b001), ("blt", 0b100),
+                     ("bge", 0b101), ("bltu", 0b110), ("bgeu", 0b111)):
+        add(name, "B", 0x63, f3, group="branch")
+    for name, f3 in (("lb", 0b000), ("lh", 0b001), ("lw", 0b010),
+                     ("ld", 0b011), ("lbu", 0b100), ("lhu", 0b101),
+                     ("lwu", 0b110)):
+        add(name, "I", 0x03, f3, group="load")
+    for name, f3 in (("sb", 0b000), ("sh", 0b001), ("sw", 0b010),
+                     ("sd", 0b011)):
+        add(name, "S", 0x23, f3, group="store")
+    for name, f3 in (("addi", 0b000), ("slti", 0b010), ("sltiu", 0b011),
+                     ("xori", 0b100), ("ori", 0b110), ("andi", 0b111)):
+        add(name, "I", 0x13, f3)
+    add("slli", "Ish", 0x13, 0b001, 0b0000000)
+    add("srli", "Ish", 0x13, 0b101, 0b0000000)
+    add("srai", "Ish", 0x13, 0b101, 0b0100000)
+    add("addiw", "I", 0x1B, 0b000)
+    add("slliw", "Ish", 0x1B, 0b001, 0b0000000)
+    add("srliw", "Ish", 0x1B, 0b101, 0b0000000)
+    add("sraiw", "Ish", 0x1B, 0b101, 0b0100000)
+    for name, f3, f7 in (("add", 0b000, 0b0000000), ("sub", 0b000, 0b0100000),
+                         ("sll", 0b001, 0b0000000), ("slt", 0b010, 0b0000000),
+                         ("sltu", 0b011, 0b0000000), ("xor", 0b100, 0b0000000),
+                         ("srl", 0b101, 0b0000000), ("sra", 0b101, 0b0100000),
+                         ("or", 0b110, 0b0000000), ("and", 0b111, 0b0000000)):
+        add(name, "R", 0x33, f3, f7)
+    for name, f3, f7 in (("addw", 0b000, 0b0000000), ("subw", 0b000, 0b0100000),
+                         ("sllw", 0b001, 0b0000000), ("srlw", 0b101, 0b0000000),
+                         ("sraw", 0b101, 0b0100000)):
+        add(name, "R", 0x3B, f3, f7)
+    # M extension (the 64-bit ops the runtime's generated code needs).
+    for name, f3 in (("mul", 0b000), ("mulh", 0b001), ("mulhu", 0b011),
+                     ("div", 0b100), ("divu", 0b101), ("rem", 0b110),
+                     ("remu", 0b111)):
+        add(name, "R", 0x33, f3, 0b0000001, group="muldiv")
+    add("mulw", "R", 0x3B, 0b000, 0b0000001, group="muldiv")
+    add("divw", "R", 0x3B, 0b100, 0b0000001, group="muldiv")
+    add("remw", "R", 0x3B, 0b110, 0b0000001, group="muldiv")
+    add("fence", "I", 0x0F, 0b000, group="system")
+    add("ecall", "I", 0x73, 0b000, group="system")
+    # ebreak shares opcode/funct3 with ecall; imm distinguishes (1).
+    add("ebreak", "I", 0x73, 0b001, group="system")
+
+    # ---- xBGAS: extended (base-type) loads & stores ----
+    for name, f3 in (("elb", 0b000), ("elh", 0b001), ("elw", 0b010),
+                     ("eld", 0b011), ("elbu", 0b100), ("elhu", 0b101),
+                     ("elwu", 0b110)):
+        add(name, "I", 0x77, f3, group="eload")
+    for name, f3 in (("esb", 0b000), ("esh", 0b001), ("esw", 0b010),
+                     ("esd", 0b011)):
+        add(name, "S", 0x7B, f3, group="estore")
+
+    # ---- xBGAS: raw-type loads & stores (no immediate) ----
+    for name, f3 in (("erlb", 0b000), ("erlh", 0b001), ("erlw", 0b010),
+                     ("erld", 0b011), ("erlbu", 0b100), ("erlhu", 0b101),
+                     ("erlwu", 0b110)):
+        add(name, "R", 0x0B, f3, 0b0000000, group="erload")
+    for name, f3 in (("ersb", 0b000), ("ersh", 0b001), ("ersw", 0b010),
+                     ("ersd", 0b011)):
+        add(name, "R", 0x0B, f3, 0b0100000, group="erstore")
+
+    # ---- xBGAS: address management ----
+    add("eaddi", "I", 0x2B, 0b000, group="eaddr")   # rd  = EXT[rs1] + imm
+    add("eaddie", "I", 0x2B, 0b001, group="eaddr")  # EXT[rd] = rs1 + imm
+    add("eaddix", "I", 0x2B, 0b010, group="eaddr")  # EXT[rd] = EXT[rs1] + imm
+
+    # ---- xBGAS: remote atomics (eamo*.d) ----
+    # One-sided fetch-and-op on a remote 64-bit word: rd = old value of
+    # MEM[EXT[rs1] : x[rs1]], which becomes (old OP x[rs2]).  Base-type
+    # addressing (the extended register paired with rs1).  Encoded in
+    # the remaining custom space (opcode 0x5B, funct7 selects the op).
+    for name, f7 in (("eamoswap.d", 0b0000100), ("eamoadd.d", 0b0000000),
+                     ("eamoxor.d", 0b0010000), ("eamoand.d", 0b0110000),
+                     ("eamoor.d", 0b0100000), ("eamomin.d", 0b1000000),
+                     ("eamomax.d", 0b1010000)):
+        add(name, "R", 0x5B, 0b011, f7, group="eamo")
+    return s
+
+
+INSTRUCTION_SPECS: tuple[InstrSpec, ...] = tuple(_spec_list())
+
+_BY_NAME: dict[str, InstrSpec] = {s.name: s for s in INSTRUCTION_SPECS}
+
+# Decode tables keyed by (opcode, funct3[, funct7]).
+_DECODE_I: dict[tuple[int, int], InstrSpec] = {}
+_DECODE_R: dict[tuple[int, int, int], InstrSpec] = {}
+_DECODE_SIMPLE: dict[int, InstrSpec] = {}
+for _s in INSTRUCTION_SPECS:
+    if _s.fmt in ("U", "J"):
+        _DECODE_SIMPLE[_s.opcode] = _s
+    elif _s.fmt in ("R", "Ish"):
+        _DECODE_R[(_s.opcode, _s.funct3 or 0, _s.funct7 or 0)] = _s
+    else:  # I, S, B
+        key = (_s.opcode, _s.funct3 or 0)
+        if _s.name == "ebreak":
+            continue  # resolved from the immediate during decode
+        _DECODE_I[key] = _s
+
+
+def spec_of(name: str) -> InstrSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DecodeError(f"unknown mnemonic {name!r}") from None
+
+
+def _fit_signed(value: int, bits: int, what: str) -> int:
+    lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not lo <= value <= hi:
+        raise DecodeError(f"{what} {value} does not fit in {bits} signed bits")
+    return value & ((1 << bits) - 1)
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an :class:`Instruction` into its 32-bit word."""
+    s = instr.spec
+    op, rd, rs1, rs2 = s.opcode, instr.rd, instr.rs1, instr.rs2
+    f3 = s.funct3 or 0
+    f7 = s.funct7 or 0
+    for reg, nm in ((rd, "rd"), (rs1, "rs1"), (rs2, "rs2")):
+        if not 0 <= reg < 32:
+            raise DecodeError(f"{nm}={reg} out of range for {s.name}")
+    if s.fmt == "R":
+        return op | rd << 7 | f3 << 12 | rs1 << 15 | rs2 << 20 | f7 << 25
+    if s.fmt == "Ish":
+        sh = instr.imm
+        if not 0 <= sh < 64:
+            raise DecodeError(f"shift amount {sh} out of range")
+        return op | rd << 7 | f3 << 12 | rs1 << 15 | sh << 20 | (f7 >> 1) << 26
+    if s.fmt == "I":
+        imm = 1 if s.name == "ebreak" else instr.imm
+        u = _fit_signed(imm, 12, f"{s.name} immediate")
+        return op | rd << 7 | f3 << 12 | rs1 << 15 | u << 20
+    if s.fmt == "S":
+        u = _fit_signed(instr.imm, 12, f"{s.name} immediate")
+        lo, hi = u & 0x1F, u >> 5
+        return op | lo << 7 | f3 << 12 | rs1 << 15 | rs2 << 20 | hi << 25
+    if s.fmt == "B":
+        u = _fit_signed(instr.imm, 13, f"{s.name} offset")
+        if u & 1:
+            raise DecodeError(f"{s.name} offset must be even")
+        b11 = (u >> 11) & 1
+        b4_1 = (u >> 1) & 0xF
+        b10_5 = (u >> 5) & 0x3F
+        b12 = (u >> 12) & 1
+        return (op | b11 << 7 | b4_1 << 8 | f3 << 12 | rs1 << 15
+                | rs2 << 20 | b10_5 << 25 | b12 << 31)
+    if s.fmt == "U":
+        imm = instr.imm
+        if not -(1 << 31) <= imm < (1 << 32):
+            raise DecodeError(f"{s.name} immediate out of range")
+        return op | rd << 7 | (imm & 0xFFFFF000)
+    if s.fmt == "J":
+        u = _fit_signed(instr.imm, 21, f"{s.name} offset")
+        if u & 1:
+            raise DecodeError(f"{s.name} offset must be even")
+        b19_12 = (u >> 12) & 0xFF
+        b11 = (u >> 11) & 1
+        b10_1 = (u >> 1) & 0x3FF
+        b20 = (u >> 20) & 1
+        return (op | rd << 7 | b19_12 << 12 | b11 << 20 | b10_1 << 21
+                | b20 << 31)
+    raise DecodeError(f"unhandled format {s.fmt}")  # pragma: no cover
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word; raises :class:`DecodeError` if unknown."""
+    if not 0 <= word < (1 << 32):
+        raise DecodeError(f"word {word:#x} is not 32-bit")
+    op = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    f3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    f7 = (word >> 25) & 0x7F
+
+    spec = _DECODE_SIMPLE.get(op)
+    if spec is not None:
+        if spec.fmt == "U":
+            return Instruction(spec, rd=rd, imm=_sext(word & 0xFFFFF000, 32))
+        # J
+        imm = (((word >> 31) & 1) << 20 | ((word >> 12) & 0xFF) << 12
+               | ((word >> 20) & 1) << 11 | ((word >> 21) & 0x3FF) << 1)
+        return Instruction(spec, rd=rd, imm=_sext(imm, 21))
+
+    spec = _DECODE_R.get((op, f3, f7))
+    if spec is not None:
+        if spec.fmt == "Ish":
+            return Instruction(spec, rd=rd, rs1=rs1, imm=(word >> 20) & 0x3F)
+        return Instruction(spec, rd=rd, rs1=rs1, rs2=rs2)
+    if op in (0x13, 0x1B) and f3 in (0b001, 0b101):
+        # Shift immediates: funct7's low bit overlaps the 6-bit shamt.
+        spec = _DECODE_R.get((op, f3, f7 & 0b1111110))
+        if spec is not None:
+            return Instruction(spec, rd=rd, rs1=rs1, imm=(word >> 20) & 0x3F)
+
+    spec = _DECODE_I.get((op, f3))
+    if spec is not None:
+        if spec.fmt == "I":
+            imm = _sext(word >> 20, 12)
+            if spec.name == "ecall" and imm == 1:
+                return Instruction(_BY_NAME["ebreak"], imm=1)
+            return Instruction(spec, rd=rd, rs1=rs1, imm=imm)
+        if spec.fmt == "S":
+            imm = _sext((f7 << 5) | rd, 12)
+            return Instruction(spec, rs1=rs1, rs2=rs2, imm=imm)
+        if spec.fmt == "B":
+            imm = (((word >> 31) & 1) << 12 | ((word >> 7) & 1) << 11
+                   | ((word >> 25) & 0x3F) << 5 | ((word >> 8) & 0xF) << 1)
+            return Instruction(spec, rs1=rs1, rs2=rs2, imm=_sext(imm, 13))
+    # ebreak: opcode 0x73, funct3 0, imm 1 — handled above via ecall path;
+    # funct3 001 encoding is never emitted but accept it for robustness.
+    if op == 0x73 and f3 == 0b001:
+        return Instruction(_BY_NAME["ebreak"], imm=1)
+    raise DecodeError(
+        f"cannot decode word {word:#010x} (opcode={op:#x}, funct3={f3:#x}, "
+        f"funct7={f7:#x})"
+    )

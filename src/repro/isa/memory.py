@@ -1,0 +1,103 @@
+"""Per-PE byte-addressable memory, numpy-backed.
+
+Functional state only — access *timing* is the job of
+:class:`repro.machine.memsys.MemoryHierarchy`.  Little-endian, like
+RISC-V.  Besides scalar load/store the class exposes zero-copy numpy
+views (optionally strided) that the runtime's bulk-transfer engine and
+user programs use for vectorised work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import AddressError
+
+__all__ = ["Memory"]
+
+MASK64 = (1 << 64) - 1
+
+
+class Memory:
+    """A flat little-endian memory of ``size`` bytes."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise AddressError("memory size must be positive")
+        self.size = size
+        self.buf = np.zeros(size, dtype=np.uint8)
+
+    # -- bounds ---------------------------------------------------------------
+
+    def check(self, addr: int, nbytes: int) -> None:
+        """Raise :class:`AddressError` unless [addr, addr+nbytes) is valid."""
+        if addr < 0 or nbytes < 0 or addr + nbytes > self.size:
+            raise AddressError(
+                f"access [{addr:#x}, {addr + nbytes:#x}) outside memory "
+                f"of {self.size:#x} bytes"
+            )
+
+    # -- scalar load/store ------------------------------------------------------
+
+    def load(self, addr: int, nbytes: int, signed: bool = False) -> int:
+        """Load an integer of 1/2/4/8 bytes (little-endian)."""
+        if nbytes not in (1, 2, 4, 8):
+            raise AddressError(f"unsupported scalar width {nbytes}")
+        self.check(addr, nbytes)
+        raw = self.buf[addr : addr + nbytes].tobytes()
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store(self, addr: int, nbytes: int, value: int) -> None:
+        """Store the low ``nbytes`` bytes of ``value`` (little-endian)."""
+        if nbytes not in (1, 2, 4, 8):
+            raise AddressError(f"unsupported scalar width {nbytes}")
+        self.check(addr, nbytes)
+        value &= (1 << (8 * nbytes)) - 1
+        self.buf[addr : addr + nbytes] = np.frombuffer(
+            value.to_bytes(nbytes, "little"), dtype=np.uint8
+        )
+
+    # -- bulk access ------------------------------------------------------------
+
+    def read_bytes(self, addr: int, nbytes: int) -> np.ndarray:
+        """A read-only *view* of ``nbytes`` bytes at ``addr``."""
+        self.check(addr, nbytes)
+        v = self.buf[addr : addr + nbytes]
+        v.flags.writeable = False
+        return v
+
+    def write_bytes(self, addr: int, data: np.ndarray | bytes) -> None:
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, bytes) else np.asarray(data, dtype=np.uint8)
+        self.check(addr, arr.size)
+        self.buf[addr : addr + arr.size] = arr
+
+    def view(
+        self,
+        addr: int,
+        dtype: np.dtype | str,
+        count: int,
+        stride: int = 1,
+    ) -> np.ndarray:
+        """A writable numpy view of ``count`` elements of ``dtype`` at
+        ``addr``, ``stride`` elements apart (stride 1 = dense).
+
+        The view aliases memory: writes through it are stores.
+        """
+        dt = np.dtype(dtype)
+        if count < 0:
+            raise AddressError("count must be non-negative")
+        if stride < 1:
+            raise AddressError(f"stride must be >= 1, got {stride}")
+        if count == 0:
+            return np.empty(0, dtype=dt)
+        span = ((count - 1) * stride + 1) * dt.itemsize
+        self.check(addr, span)
+        dense = self.buf[addr : addr + span].view(dt)
+        return dense[:: stride]
+
+    def fill(self, addr: int, nbytes: int, byte: int = 0) -> None:
+        self.check(addr, nbytes)
+        self.buf[addr : addr + nbytes] = byte
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Memory({self.size:#x} bytes)"

@@ -1,0 +1,118 @@
+"""Optional pipeline timing model (paper section 7).
+
+The paper's future work couples Spike with the Structural Simulation
+Toolkit via STAKE "to provide a cycle-accurate infrastructure".  This
+module is that direction at the level a functional simulator can carry:
+a classic in-order five-stage model layered on the per-instruction base
+costs, adding
+
+* **load-use hazards** — one stall cycle when an instruction consumes
+  the destination of the immediately preceding load (local or remote);
+* **taken-branch flushes** — a configurable refill penalty beyond the
+  base taken-branch cost;
+* **instruction fetch** through a modelled L1I cache (the paper's 16 KB
+  8-way geometry by default) with misses filled from L2/DRAM timing.
+
+Enable with ``Cpu(..., pipeline=PipelineModel(...))`` or machine-wide
+with ``MachineConfig(pipeline=True)`` in ``isa`` fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.cache import Cache, CacheLevelResult
+from ..params import CacheParams
+from .encoding import Instruction
+
+__all__ = ["PipelineParams", "PipelineModel"]
+
+#: Instruction groups whose result arrives late (memory stage).
+_LOAD_GROUPS = {"load", "eload", "erload", "eamo"}
+
+
+@dataclass(frozen=True)
+class PipelineParams:
+    """Tunables of the pipeline model."""
+
+    load_use_stall_cycles: int = 1
+    branch_flush_cycles: int = 2
+    icache: CacheParams = field(
+        default_factory=lambda: CacheParams(size_bytes=16 * 1024, ways=8,
+                                            hit_ns=0.0)
+    )
+    #: Fill cost of an I-cache miss (an L2 hit in the paper's hierarchy).
+    icache_miss_ns: float = 10.0
+
+
+def _reads(instr: Instruction) -> tuple[int, ...]:
+    """Base registers an instruction reads (x0 never hazards)."""
+    fmt = instr.spec.fmt
+    group = instr.spec.group
+    if group in ("eaddr",):
+        # eaddie reads x[rs1]; the others read extended registers only.
+        return (instr.rs1,) if instr.name == "eaddie" else ()
+    if fmt in ("R",):
+        if group == "erstore":
+            return (instr.rs1, instr.rs2)
+        return (instr.rs1, instr.rs2)
+    if fmt in ("I", "Ish"):
+        return (instr.rs1,)
+    if fmt in ("S", "B"):
+        return (instr.rs1, instr.rs2)
+    return ()
+
+
+def _writes(instr: Instruction) -> int | None:
+    """The base register an instruction writes, if any."""
+    group = instr.spec.group
+    if group in ("store", "estore", "erstore", "branch", "system"):
+        return None
+    if group == "eaddr" and instr.name != "eaddi":
+        return None  # eaddie/eaddix write extended registers
+    rd = instr.rd
+    return rd if rd != 0 else None
+
+
+class PipelineModel:
+    """Per-hart pipeline state; returns extra ns per executed instruction."""
+
+    def __init__(self, params: PipelineParams | None = None,
+                 cycle_ns: float = 1.0):
+        self.params = params if params is not None else PipelineParams()
+        self.cycle_ns = cycle_ns
+        self.icache = Cache(self.params.icache)
+        self._last_load_rd: int | None = None
+        self.stalls = 0
+        self.flushes = 0
+        self.icache_misses = 0
+
+    def fetch_ns(self, pc: int) -> float:
+        """Cost of fetching the instruction at ``pc``."""
+        line = self.icache.line_of(pc)
+        if self.icache.access(line, False) is CacheLevelResult.MISS:
+            self.icache_misses += 1
+            return self.params.icache_miss_ns
+        return 0.0
+
+    def issue_ns(self, instr: Instruction, branch_taken: bool) -> float:
+        """Hazard/flush cost of issuing ``instr`` after the previous one."""
+        ns = 0.0
+        if (self._last_load_rd is not None
+                and self._last_load_rd in _reads(instr)):
+            self.stalls += 1
+            ns += self.params.load_use_stall_cycles * self.cycle_ns
+        if branch_taken:
+            self.flushes += 1
+            ns += self.params.branch_flush_cycles * self.cycle_ns
+        self._last_load_rd = (
+            _writes(instr) if instr.spec.group in _LOAD_GROUPS else None
+        )
+        return ns
+
+    def reset(self) -> None:
+        self._last_load_rd = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PipelineModel(stalls={self.stalls}, flushes={self.flushes},"
+                f" icache_misses={self.icache_misses})")

@@ -1,0 +1,109 @@
+"""Register files: the RV64I base registers and the xBGAS extended set.
+
+Figure 1 of the paper: 32 standard 64-bit base registers ``x0..x31``
+(``x0`` hardwired to zero) plus 32 xBGAS extended registers ``e0..e31``.
+An extended register holds the object ID half of a 128-bit extended
+address; the base register holds the 64-bit local address.
+"""
+
+from __future__ import annotations
+
+from ..errors import IsaError
+
+__all__ = ["RegisterFile", "X_NAMES", "E_NAMES", "ABI_NAMES", "parse_register"]
+
+MASK64 = (1 << 64) - 1
+
+X_NAMES = tuple(f"x{i}" for i in range(32))
+E_NAMES = tuple(f"e{i}" for i in range(32))
+
+#: Standard RISC-V ABI mnemonics for the base registers.
+ABI_NAMES = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7,
+    "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13,
+    "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+    "s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22,
+    "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+
+def parse_register(name: str) -> tuple[str, int]:
+    """Parse a register mnemonic into ``("x"|"e", index)``.
+
+    Accepts ``x0..x31``, ABI names (``a0``, ``sp``, ...) and the xBGAS
+    extended registers ``e0..e31``.
+    """
+    n = name.strip().lower()
+    if n in ABI_NAMES:
+        return "x", ABI_NAMES[n]
+    if len(n) >= 2 and n[0] in ("x", "e") and n[1:].isdigit():
+        idx = int(n[1:])
+        if 0 <= idx < 32:
+            return n[0], idx
+    raise IsaError(f"unknown register {name!r}")
+
+
+def _to_u64(value: int) -> int:
+    return value & MASK64
+
+
+def _to_s64(value: int) -> int:
+    value &= MASK64
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+class RegisterFile:
+    """The combined x/e register file of one xBGAS hart."""
+
+    __slots__ = ("_x", "_e")
+
+    def __init__(self) -> None:
+        self._x = [0] * 32
+        self._e = [0] * 32
+
+    # -- base registers ----------------------------------------------------
+
+    def read_x(self, idx: int) -> int:
+        """Unsigned 64-bit value of ``x[idx]`` (``x0`` reads as 0)."""
+        return self._x[idx]
+
+    def read_x_signed(self, idx: int) -> int:
+        return _to_s64(self._x[idx])
+
+    def write_x(self, idx: int, value: int) -> None:
+        """Write ``x[idx]``; writes to ``x0`` are discarded."""
+        if idx != 0:
+            self._x[idx] = _to_u64(value)
+
+    # -- extended registers ---------------------------------------------------
+
+    def read_e(self, idx: int) -> int:
+        """Unsigned 64-bit object ID held in ``e[idx]``."""
+        return self._e[idx]
+
+    def write_e(self, idx: int, value: int) -> None:
+        self._e[idx] = _to_u64(value)
+
+    # -- convenience -------------------------------------------------------------
+
+    def extended_address(self, base_idx: int, ext_idx: int, offset: int = 0) -> tuple[int, int]:
+        """The 128-bit extended address ``(object_id, local_addr)`` formed
+        from ``e[ext_idx]`` and ``x[base_idx] + offset``."""
+        return self._e[ext_idx], _to_u64(self._x[base_idx] + offset)
+
+    def snapshot(self) -> dict[str, int]:
+        """All non-zero registers, for debugging and tests."""
+        out: dict[str, int] = {}
+        for i, v in enumerate(self._x):
+            if v:
+                out[f"x{i}"] = v
+        for i, v in enumerate(self._e):
+            if v:
+                out[f"e{i}"] = v
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisterFile({self.snapshot()})"

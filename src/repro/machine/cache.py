@@ -1,0 +1,112 @@
+"""Set-associative, write-back, write-allocate cache with LRU replacement.
+
+Geometry comes from :class:`repro.params.CacheParams`; the paper's cores
+use 8-way L1 (16 KB) and L2 (8 MB) caches with 64-byte lines.
+
+The model tracks tags only — data lives in the functional
+:class:`repro.isa.memory.Memory`.  Sets are allocated lazily (a dict of
+per-set LRU lists) so an 8 MB L2 costs nothing until touched.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..params import CacheParams
+
+__all__ = ["CacheLevelResult", "Cache"]
+
+
+class CacheLevelResult(enum.Enum):
+    """Outcome of one cache lookup."""
+
+    HIT = "hit"
+    MISS = "miss"
+
+
+@dataclass
+class _Line:
+    tag: int
+    dirty: bool
+
+
+class Cache:
+    """One cache level.
+
+    Lookups operate on *line addresses* (byte address >> line shift); the
+    :class:`~repro.machine.memsys.MemoryHierarchy` splits byte ranges into
+    lines before consulting the cache.
+    """
+
+    def __init__(self, params: CacheParams):
+        self.params = params
+        self.line_shift = params.line_bytes.bit_length() - 1
+        if (1 << self.line_shift) != params.line_bytes:
+            raise ValueError("cache line size must be a power of two")
+        self.n_sets = params.n_sets
+        self.ways = params.ways
+        self._sets: dict[int, list[_Line]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def line_of(self, addr: int) -> int:
+        """Line address containing byte address ``addr``."""
+        return addr >> self.line_shift
+
+    def access(self, line: int, write: bool) -> CacheLevelResult:
+        """Look up ``line``; allocate it on miss (write-allocate).
+
+        Returns HIT or MISS.  A dirty eviction increments ``writebacks``
+        (charged by the hierarchy as an extra memory-side transfer).
+        """
+        set_idx = line % self.n_sets
+        tag = line // self.n_sets
+        lru = self._sets.get(set_idx)
+        if lru is None:
+            lru = []
+            self._sets[set_idx] = lru
+        for i, entry in enumerate(lru):
+            if entry.tag == tag:
+                self.hits += 1
+                if write:
+                    entry.dirty = True
+                if i != 0:
+                    lru.insert(0, lru.pop(i))
+                return CacheLevelResult.HIT
+        # Miss: allocate, evicting the LRU way if the set is full.
+        self.misses += 1
+        if len(lru) >= self.ways:
+            victim = lru.pop()
+            if victim.dirty:
+                self.writebacks += 1
+        lru.insert(0, _Line(tag=tag, dirty=write))
+        return CacheLevelResult.MISS
+
+    def probe(self, line: int) -> bool:
+        """Non-destructive presence check (no LRU update, no stats)."""
+        set_idx = line % self.n_sets
+        tag = line // self.n_sets
+        lru = self._sets.get(set_idx)
+        return lru is not None and any(e.tag == tag for e in lru)
+
+    def invalidate_all(self) -> int:
+        """Drop every line; returns how many dirty lines were discarded."""
+        dirty = sum(
+            1 for lru in self._sets.values() for e in lru if e.dirty
+        )
+        self._sets.clear()
+        return dirty
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident lines."""
+        return sum(len(lru) for lru in self._sets.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        p = self.params
+        return (
+            f"Cache({p.size_bytes >> 10} KiB, {p.ways}-way, "
+            f"{p.line_bytes} B lines, hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,147 @@
+"""Per-core memory hierarchy: TLB + L1 + L2 + DRAM latency model.
+
+The hierarchy is *timing only*: it converts an access (address, size,
+read/write) into nanoseconds, updating hit/miss statistics.  Functional
+data lives in :class:`repro.isa.memory.Memory`.
+
+Two costing entry points:
+
+* :meth:`MemoryHierarchy.access` — one scalar access (the GUPs inner
+  loop uses this per random update).
+* :meth:`MemoryHierarchy.access_range` — a bulk sequential range, costed
+  line by line (used by the runtime's put/get transfer engine and the
+  vectorised benchmark phases).
+"""
+
+from __future__ import annotations
+
+from ..params import MemoryParams
+from .cache import Cache, CacheLevelResult
+from .tlb import Tlb
+
+__all__ = ["MemoryHierarchy"]
+
+
+class MemoryHierarchy:
+    """TLB, L1 and L2 models plus DRAM latency for one core."""
+
+    def __init__(self, params: MemoryParams):
+        self.params = params
+        self.tlb = Tlb(params.tlb)
+        self.l1 = Cache(params.l1)
+        self.l2 = Cache(params.l2)
+        if params.l1.line_bytes != params.l2.line_bytes:
+            raise ValueError("L1 and L2 must share a line size")
+        self._line_bytes = params.l1.line_bytes
+        self._line_shift = self.l1.line_shift
+        self._page_shift = self.tlb.page_shift
+
+    # -- single access ----------------------------------------------------
+
+    def access(self, addr: int, size: int = 8, write: bool = False,
+               use_tlb: bool = True) -> float:
+        """Cost one access of ``size`` bytes at ``addr`` in ns.
+
+        Accesses that straddle a line boundary are charged per line.
+        ``use_tlb=False`` models *physically-addressed* traffic — xBGAS
+        remote accesses resolve through the requester's OLB, so they
+        bypass the target core's TLB entirely (paper section 3.2).
+        """
+        first = addr >> self._line_shift
+        last = (addr + max(size, 1) - 1) >> self._line_shift
+        if first == last:
+            return self._access_line(first, write, use_tlb)
+        ns = 0.0
+        for line in range(first, last + 1):
+            ns += self._access_line(line, write, use_tlb)
+        return ns
+
+    def _access_line(self, line: int, write: bool, use_tlb: bool = True,
+                     stream: bool = False) -> float:
+        p = self.params
+        ns = 0.0
+        if use_tlb:
+            page = (line << self._line_shift) >> self._page_shift
+            if not self.tlb.access(page):
+                ns += p.tlb.walk_ns
+        if self.l1.access(line, write) is CacheLevelResult.HIT:
+            return ns + p.l1.hit_ns
+        ns += p.l1.hit_ns  # L1 lookup still costs its hit time
+        if self.l2.access(line, write) is CacheLevelResult.HIT:
+            return ns + p.l2.hit_ns
+        # Sequential misses pipeline in DRAM (row-buffer hits + MLP);
+        # isolated random misses pay the full access latency.
+        return ns + p.l2.hit_ns + (p.dram_stream_ns if stream else p.dram_ns)
+
+    # -- bulk range ---------------------------------------------------------
+
+    def access_range(self, addr: int, nbytes: int, write: bool = False,
+                     use_tlb: bool = True) -> float:
+        """Cost a sequential range, one lookup per cache line touched.
+
+        For ranges far larger than L2 the model switches to a closed-form
+        streaming estimate (every line misses to DRAM) to keep simulation
+        time bounded; the answer matches the per-line loop because an LRU
+        cache has no reuse within a single sequential sweep of that size.
+        """
+        if nbytes <= 0:
+            return 0.0
+        first = addr >> self._line_shift
+        last = (addr + nbytes - 1) >> self._line_shift
+        n_lines = last - first + 1
+        p = self.params
+        if n_lines > 4 * self.l2.params.n_lines:
+            # Streaming regime: charge pipelined DRAM for every line, then
+            # leave the caches holding the tail of the sweep so later
+            # reuse behaves.
+            per_line = p.l1.hit_ns + p.l2.hit_ns + p.dram_stream_ns
+            pages = ((last << self._line_shift) >> self._page_shift) - (
+                (first << self._line_shift) >> self._page_shift
+            ) + 1
+            ns = n_lines * per_line
+            if use_tlb:
+                ns += pages * p.tlb.walk_ns
+            tail_lines = self.l2.params.n_lines
+            for line in range(last - tail_lines + 1, last + 1):
+                self._access_line(line, write, use_tlb, stream=True)
+            return ns
+        ns = 0.0
+        for line in range(first, last + 1):
+            ns += self._access_line(line, write, use_tlb, stream=True)
+        return ns
+
+    def access_strided(
+        self, addr: int, nelems: int, elem_bytes: int, stride_elems: int,
+        write: bool = False, use_tlb: bool = True,
+    ) -> float:
+        """Cost ``nelems`` accesses of ``elem_bytes`` separated by
+        ``stride_elems`` elements (the runtime's strided put/get)."""
+        if nelems <= 0:
+            return 0.0
+        step = elem_bytes * max(stride_elems, 1)
+        if step <= self._line_bytes and stride_elems >= 1:
+            # Dense or near-dense: equivalent to a sequential sweep.
+            span = (nelems - 1) * step + elem_bytes
+            return self.access_range(addr, span, write, use_tlb)
+        ns = 0.0
+        a = addr
+        for _ in range(nelems):
+            ns += self.access(a, elem_bytes, write, use_tlb)
+            a += step
+        return ns
+
+    # -- statistics -----------------------------------------------------------
+
+    def stat_tuple(self) -> tuple[int, int, int, int, int, int]:
+        """(l1_hits, l1_misses, l2_hits, l2_misses, tlb_hits, tlb_misses)."""
+        return (
+            self.l1.hits,
+            self.l1.misses,
+            self.l2.hits,
+            self.l2.misses,
+            self.tlb.hits,
+            self.tlb.misses,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryHierarchy(l1={self.l1!r}, l2={self.l2!r}, tlb={self.tlb!r})"

@@ -1,0 +1,229 @@
+"""LogGP-style network model with injection links and fabric contention.
+
+The paper's simulation used MPICH 3.2 between Spike instances; here the
+transport costs are explicit and swappable (:mod:`repro.params` presets
+for xBGAS one-sided, RDMA-like and MPI-like two-sided behaviour).
+
+Cost structure for a message of ``nbytes`` from PE *s* to PE *d*:
+
+* **Same node** — no NIC or fabric involvement, but all cores of a node
+  share one internal bus with a fixed per-message occupancy: as the
+  aggregate message rate approaches bus capacity, queueing delay grows
+  and backpressures senders.  The paper's testbed is a single 12-core
+  host, so this bus is what saturates at 8 PEs in Figures 4-5.
+* **Different nodes** — the sender pays ``o_send`` CPU overhead, the
+  message serialises on the source node's injection link
+  (``inj_ns_per_byte``), then crosses the shared fabric.  The fabric is
+  modelled as a small number of parallel channels with a fixed per-message
+  routing occupancy plus a per-byte cost — when the aggregate message rate
+  approaches channel capacity, queueing delay grows and *backpressures the
+  sender* (this is what degrades 8-PE GUPs/IS in Figures 4-5).  Wire
+  latency scales mildly with topology hop count.
+
+Two-sided transports additionally pay the handshake above the eager
+threshold, per-message kernel crossings and staging copies at both ends.
+
+All state updates happen at scheduler checkpoints, so the global order of
+``send`` calls is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import MachineConfig
+from ..sim.trace import SimStats
+from .topology import Topology, build_topology
+
+__all__ = ["PutResult", "GetResult", "Network"]
+
+#: Fixed fabric occupancy per message (routing/arbitration), ns.
+FABRIC_NS_PER_MSG = 45.0
+#: Number of independent fabric channels (bisection parallelism).
+FABRIC_CHANNELS = 2
+#: Additional wire latency per extra hop, as a fraction of base latency.
+HOP_LATENCY_FACTOR = 0.15
+#: Per-message occupancy of a node's shared internal bus, ns.
+NODE_BUS_NS_PER_MSG = 16.0
+
+
+@dataclass(frozen=True)
+class PutResult:
+    """Timing of a one-way message.
+
+    ``t_source_free``: when the sender may proceed (includes backpressure).
+    ``t_delivered``: when the payload is visible at the target.
+    """
+
+    t_source_free: float
+    t_delivered: float
+
+
+@dataclass(frozen=True)
+class GetResult:
+    """Timing of a round-trip read: ``t_complete`` is when data is local."""
+
+    t_complete: float
+
+
+class Network:
+    """Shared interconnect state for one simulated machine."""
+
+    def __init__(self, config: MachineConfig, stats: SimStats | None = None):
+        self.cfg = config
+        self.tp = config.transport
+        self.stats = stats if stats is not None else SimStats()
+        self.topology: Topology = build_topology(
+            config.topology, config.n_nodes
+        )
+        # Next instant each node's injection link is free.
+        self._link_free = [0.0] * config.n_nodes
+        # Next instant each node's shared internal bus is free.
+        self._bus_free = [0.0] * config.n_nodes
+        # Next instant each fabric channel is free (round-robin by load).
+        self._fabric_free = [0.0] * FABRIC_CHANNELS
+        # Latest delivery time of any in-flight message (barrier quiescence).
+        self.max_delivery = 0.0
+
+    # -- helpers -----------------------------------------------------------
+
+    def node_of(self, pe: int) -> int:
+        return self.cfg.node_of(pe)
+
+    def same_node(self, src_pe: int, dst_pe: int) -> bool:
+        return self.node_of(src_pe) == self.node_of(dst_pe)
+
+    def _wire_latency(self, src_node: int, dst_node: int) -> float:
+        hops = self.topology.hops(src_node, dst_node)
+        return self.tp.latency_ns * (1.0 + HOP_LATENCY_FACTOR * max(0, hops - 1))
+
+    def _cross_fabric(self, t_ready: float, nbytes: float) -> tuple[float, float]:
+        """Serialise one message through the fabric.
+
+        Returns ``(t_enter, queued_ns)`` where ``t_enter`` is when the
+        message starts crossing (sender is backpressured until then).
+        """
+        occ = FABRIC_NS_PER_MSG + nbytes * self.cfg.fabric_gap_ns_per_byte
+        # Earliest-free channel.
+        ch = min(range(FABRIC_CHANNELS), key=self._fabric_free.__getitem__)
+        t_enter = max(t_ready, self._fabric_free[ch])
+        self._fabric_free[ch] = t_enter + occ
+        queued = t_enter - t_ready
+        if queued > 0:
+            self.stats.fabric_queued_ns += queued
+        return t_enter, queued
+
+    def _cross_bus(self, node: int, t_ready: float, nbytes: float) -> float:
+        """Serialise one message on a node's shared internal bus.
+
+        Returns the instant the message starts crossing; the sender is
+        backpressured until then.
+        """
+        occ = NODE_BUS_NS_PER_MSG + nbytes * self.tp.intra_gap_ns_per_byte
+        t_enter = max(t_ready, self._bus_free[node])
+        self._bus_free[node] = t_enter + occ
+        queued = t_enter - t_ready
+        if queued > 0:
+            self.stats.fabric_queued_ns += queued
+        return t_enter
+
+    def _sender_side(self, t_now: float, nbytes: int) -> float:
+        """Per-message sender CPU costs common to put and get requests."""
+        tp = self.tp
+        ns = tp.o_send + tp.kernel_ns + nbytes * tp.copy_ns_per_byte
+        if tp.handshake_ns and nbytes > tp.eager_threshold:
+            ns += tp.handshake_ns
+        return t_now + ns
+
+    # -- one-way message (put) ------------------------------------------------
+
+    def send(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int) -> PutResult:
+        """Cost a one-way payload transfer of ``nbytes``.
+
+        For one-sided transports the target CPU is not involved; for
+        two-sided ones the caller must additionally charge ``o_recv`` and
+        the receive-side copy to the target PE.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        tp = self.tp
+        self.stats.messages += 1
+        self.stats.bytes_on_wire += nbytes
+        src_node, dst_node = self.node_of(src_pe), self.node_of(dst_pe)
+        if src_node == dst_node:
+            t_ready = t_now + tp.o_send + tp.kernel_ns + nbytes * tp.copy_ns_per_byte
+            if tp.handshake_ns and nbytes > tp.eager_threshold:
+                t_ready += tp.handshake_ns
+            t_enter = self._cross_bus(src_node, t_ready, nbytes)
+            t_del = t_enter + tp.intra_latency_ns + nbytes * tp.intra_gap_ns_per_byte
+            if tp.two_sided:
+                t_del += tp.o_recv + nbytes * tp.copy_ns_per_byte
+            self.max_delivery = max(self.max_delivery, t_del)
+            return PutResult(t_source_free=max(t_ready, t_enter), t_delivered=t_del)
+        t_ready = self._sender_side(t_now, nbytes)
+        t_inj_done = max(t_ready, self._link_free[src_node]) + nbytes * tp.inj_ns_per_byte
+        self._link_free[src_node] = t_inj_done
+        t_enter, _ = self._cross_fabric(t_inj_done, nbytes)
+        t_del = t_enter + self._wire_latency(src_node, dst_node) + nbytes * tp.gap_ns_per_byte
+        if tp.two_sided:
+            t_del += tp.o_recv + nbytes * tp.copy_ns_per_byte
+        self.max_delivery = max(self.max_delivery, t_del)
+        # Backpressure: the sender stalls until the fabric accepts.
+        return PutResult(t_source_free=max(t_ready, t_enter), t_delivered=t_del)
+
+    # -- round trip (get) -------------------------------------------------------
+
+    def fetch(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int) -> GetResult:
+        """Cost a one-sided read of ``nbytes`` from ``dst_pe`` to ``src_pe``.
+
+        The request is a small message; the response carries the payload.
+        One-sided transports need no target-CPU participation (the xBGAS
+        OLB answers directly).
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        tp = self.tp
+        src_node, dst_node = self.node_of(src_pe), self.node_of(dst_pe)
+        self.stats.messages += 2
+        self.stats.bytes_on_wire += nbytes + 16
+        if src_node == dst_node:
+            t_ready = t_now + tp.o_send + tp.kernel_ns
+            t_req = self._cross_bus(src_node, t_ready, 16)
+            t_arrive = t_req + tp.intra_latency_ns
+            if tp.two_sided:
+                t_arrive += tp.o_recv + tp.kernel_ns
+            t_rsp = self._cross_bus(src_node, t_arrive, nbytes)
+            t = t_rsp + tp.intra_latency_ns + nbytes * tp.intra_gap_ns_per_byte
+            if tp.two_sided:
+                t += nbytes * tp.copy_ns_per_byte
+            self.max_delivery = max(self.max_delivery, t)
+            return GetResult(t_complete=t)
+        t_ready = self._sender_side(t_now, 16)
+        # Request crosses the fabric...
+        t_req = max(t_ready, self._link_free[src_node]) + 16 * tp.inj_ns_per_byte
+        self._link_free[src_node] = t_req
+        t_enter, _ = self._cross_fabric(t_req, 16)
+        t_arrive = t_enter + self._wire_latency(src_node, dst_node)
+        if tp.two_sided:
+            t_arrive += tp.o_recv + tp.kernel_ns
+        # ...and the response comes back through the target's link.
+        t_rsp = max(t_arrive, self._link_free[dst_node]) + nbytes * tp.inj_ns_per_byte
+        self._link_free[dst_node] = t_rsp
+        t_enter2, _ = self._cross_fabric(t_rsp, nbytes)
+        t_done = t_enter2 + self._wire_latency(dst_node, src_node) + nbytes * tp.gap_ns_per_byte
+        if tp.two_sided:
+            t_done += nbytes * tp.copy_ns_per_byte
+        self.max_delivery = max(self.max_delivery, t_done)
+        return GetResult(t_complete=t_done)
+
+    # -- barrier support ---------------------------------------------------------
+
+    def quiescence_time(self) -> float:
+        """Earliest instant at which no message is still in flight."""
+        return self.max_delivery
+
+    def note_delivery(self, t: float) -> None:
+        """Extend the quiescence horizon (e.g. for target-side memory
+        time the runtime folds into a put's delivery)."""
+        if t > self.max_delivery:
+            self.max_delivery = t

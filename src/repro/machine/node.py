@@ -1,0 +1,33 @@
+"""A node: one or more cores sharing a position on the interconnect.
+
+In the paper's environment each Spike instance acts as a single-core
+node connected over MPICH, so the default configuration maps one PE per
+node; ``cores_per_node > 1`` models multicore nodes with sequential rank
+assignment (the layout assumption behind recursive halving, section 4.2).
+Each PE keeps a *private* memory hierarchy — the paper's per-core L1/L2.
+"""
+
+from __future__ import annotations
+
+from ..params import MachineConfig
+from .memsys import MemoryHierarchy
+
+__all__ = ["Node"]
+
+
+class Node:
+    """Container for the per-node hardware owned by a set of PEs."""
+
+    def __init__(self, node_id: int, config: MachineConfig):
+        self.node_id = node_id
+        self.config = config
+        self.pe_ranks = config.node_members(node_id)
+        #: One private memory hierarchy per hosted PE (paper: per-core
+        #: 256-entry TLB, 16 KB L1, 8 MB L2).
+        self.hierarchies = {r: MemoryHierarchy(config.mem) for r in self.pe_ranks}
+
+    def hierarchy_of(self, pe: int) -> MemoryHierarchy:
+        return self.hierarchies[pe]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node(id={self.node_id}, pes={list(self.pe_ranks)})"

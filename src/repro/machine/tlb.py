@@ -1,0 +1,59 @@
+"""Fully-associative LRU TLB (256 entries, 4 KB pages in the paper)."""
+
+from __future__ import annotations
+
+from ..params import TlbParams
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """Translation look-aside buffer.
+
+    Exploits Python dict insertion order for O(1) LRU: a hit re-inserts
+    the page at the back; a miss evicts the front (oldest) entry.
+    """
+
+    def __init__(self, params: TlbParams):
+        self.params = params
+        self.page_shift = params.page_bytes.bit_length() - 1
+        if (1 << self.page_shift) != params.page_bytes:
+            raise ValueError("TLB page size must be a power of two")
+        self._entries: dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def page_of(self, addr: int) -> int:
+        return addr >> self.page_shift
+
+    def access(self, page: int) -> bool:
+        """Touch ``page``; returns True on hit, False on miss (then fills)."""
+        entries = self._entries
+        if page in entries:
+            self.hits += 1
+            del entries[page]  # re-insert at the back = most recent
+            entries[page] = None
+            return True
+        self.misses += 1
+        if len(entries) >= self.params.entries:
+            oldest = next(iter(entries))
+            del entries[oldest]
+        entries[page] = None
+        return False
+
+    def probe(self, page: int) -> bool:
+        """Presence check without touching LRU order or stats."""
+        return page in self._entries
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Tlb({self.params.entries} entries, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

@@ -1,0 +1,37 @@
+"""The xbrtime runtime: a SHMEM-style PGAS environment over xBGAS.
+
+Mirrors the paper's runtime library (section 3.3): initialization and
+teardown, symmetric shared-memory allocation (every allocation lands at
+the same offset of the shared segment on every PE — Figure 2), PE
+identity queries, a barrier, and typed one-sided blocking/non-blocking
+strided ``get``/``put`` calls for the 24 type names of Table 1.
+
+Entry point::
+
+    from repro.runtime import Machine
+
+    def main(ctx):
+        ctx.init()
+        n, me = ctx.num_pes(), ctx.my_pe()
+        buf = ctx.malloc(8 * n)
+        ...
+        ctx.close()
+
+    machine = Machine(MachineConfig(n_pes=8))
+    machine.run(main)
+"""
+
+from .symmetric_heap import FreeListAllocator, SymmetricHeap
+from .context import Machine, XBRTime
+from .transfer import TransferEngine, TransferHandle
+from .barrier import BarrierController
+
+__all__ = [
+    "FreeListAllocator",
+    "SymmetricHeap",
+    "Machine",
+    "XBRTime",
+    "TransferEngine",
+    "TransferHandle",
+    "BarrierController",
+]

@@ -1,0 +1,92 @@
+"""Barrier synchronisation.
+
+The paper's runtime provides "a simple barrier" (section 3.3) and every
+binomial-tree stage of the collectives ends with one (section 4.3).
+
+Semantics: a PE arriving at the barrier suspends until all participants
+have arrived; everyone is released at
+
+    max(latest arrival, network quiescence) + ceil(log2 N) * round_cost
+
+— a dissemination barrier over the transport, which also waits for every
+in-flight one-sided put to land (the memory-consistency point the
+algorithms rely on).
+
+Teams (paper section 7, "integration of collective functionality between
+a subset of PEs") are supported by keying concurrent barrier instances on
+the participant set: disjoint teams synchronise independently.
+"""
+
+from __future__ import annotations
+
+from math import ceil, log2
+from typing import TYPE_CHECKING
+
+from ..errors import CollectiveArgumentError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import Machine
+
+__all__ = ["BarrierController"]
+
+
+class BarrierController:
+    """Shared barrier state for one machine."""
+
+    def __init__(self, machine: "Machine"):
+        self.machine = machine
+        #: participants (sorted tuple) -> {rank: arrival clock}
+        self._arrivals: dict[tuple[int, ...], dict[int, float]] = {}
+
+    def round_cost_ns(self, participants: tuple[int, ...]) -> float:
+        """Cost of one dissemination round among ``participants``."""
+        cfg = self.machine.config
+        tp = cfg.transport
+        nodes = {cfg.node_of(r) for r in participants}
+        if len(nodes) <= 1:
+            lat = tp.intra_latency_ns
+        else:
+            lat = tp.latency_ns
+        return tp.o_send + tp.kernel_ns + lat + 8 * tp.gap_ns_per_byte
+
+    def barrier(self, rank: int, participants: tuple[int, ...] | None = None) -> None:
+        """Synchronise ``rank`` with ``participants`` (default: all PEs)."""
+        machine = self.machine
+        if participants is None:
+            key = tuple(range(machine.config.n_pes))
+        else:
+            key = tuple(sorted(set(participants)))
+            if rank not in key:
+                raise CollectiveArgumentError(
+                    f"PE {rank} called a barrier it does not participate in"
+                )
+        if len(key) == 1:
+            # Degenerate barrier: only the round cost.
+            machine.engine.pes[rank].advance(self.round_cost_ns(key))
+            machine.stats.barriers += 1
+            return
+        engine = machine.engine
+        engine.checkpoint()
+        if engine.trace.enabled:
+            engine.record("barrier", f"arrive ({len(key)} PEs)")
+        arrivals = self._arrivals.setdefault(key, {})
+        if rank in arrivals:
+            raise SimulationError(
+                f"PE {rank} re-entered barrier {key} before it completed"
+            )
+        me = engine.pes[rank]
+        arrivals[rank] = me.clock
+        if len(arrivals) < len(key):
+            engine.suspend()
+            return  # released by the last arriver
+        # Last to arrive: compute the release time and wake everyone.
+        release = max(arrivals.values())
+        release = max(release, machine.network.quiescence_time())
+        rounds = ceil(log2(len(key)))
+        release += rounds * self.round_cost_ns(key)
+        del self._arrivals[key]
+        machine.stats.barriers += 1
+        for other in key:
+            if other != rank:
+                engine.resume(other, at_time=release)
+        me.advance_to(release)

@@ -1,0 +1,519 @@
+"""The simulated machine and the per-PE ``xbrtime`` context.
+
+:class:`Machine` owns everything shared: the PDES engine, per-PE
+memories and memory hierarchies, the network, the symmetric heap, the
+OLBs and (in ``isa`` fidelity) the functional cores.
+
+:class:`XBRTime` is the handle a PE program receives — the Python face
+of the paper's C runtime API:
+
+==============================  =========================================
+paper (C)                       this reproduction
+==============================  =========================================
+``xbrtime_init()``              ``ctx.init()``
+``xbrtime_close()``             ``ctx.close()``
+``xbrtime_mype()``              ``ctx.my_pe()``
+``xbrtime_num_pes()``           ``ctx.num_pes()``
+``xbrtime_malloc(sz)``          ``ctx.malloc(sz)``
+``xbrtime_free(p)``             ``ctx.free(p)``
+``xbrtime_barrier()``           ``ctx.barrier()``
+``xbrtime_TYPE_put(...)``       ``ctx.TYPE_put(...)`` / ``ctx.put(...)``
+``xbrtime_TYPE_get(...)``       ``ctx.TYPE_get(...)`` / ``ctx.get(...)``
+``xbrtime_TYPE_broadcast(...)`` ``ctx.TYPE_broadcast(...)`` / ``ctx.broadcast(...)``
+``xbrtime_TYPE_reduce_OP(...)`` ``ctx.TYPE_reduce_OP(...)`` / ``ctx.reduce(...)``
+``xbrtime_TYPE_scatter(...)``   ``ctx.TYPE_scatter(...)`` / ``ctx.scatter(...)``
+``xbrtime_TYPE_gather(...)``    ``ctx.TYPE_gather(...)`` / ``ctx.gather(...)``
+==============================  =========================================
+
+Addresses are plain integers into the PE's flat memory; ``ctx.view``
+wraps a region as a numpy array for local computation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from ..errors import AddressError, RuntimeStateError
+from ..isa.memory import Memory
+from ..isa.olb import ObjectLookasideBuffer
+from ..machine.memsys import MemoryHierarchy
+from ..machine.network import Network
+from ..machine.node import Node
+from ..params import MachineConfig
+from ..sim.engine import Engine, PEProcess
+from ..types import typeinfo
+from .barrier import BarrierController
+from .symmetric_heap import FreeListAllocator, ScratchStack, SymmetricHeap
+from .transfer import TransferEngine, TransferHandle
+
+__all__ = ["Machine", "XBRTime", "CODE_REGION_BYTES"]
+
+#: Low memory reserved for generated code in ``isa`` fidelity.
+CODE_REGION_BYTES = 64 * 1024
+
+
+def resolve_dtype(t: str | np.dtype | type) -> np.dtype:
+    """Accept a Table 1 TYPENAME, a numpy dtype or a Python/numpy type."""
+    if isinstance(t, str):
+        return typeinfo(t).dtype
+    return np.dtype(t)
+
+
+class Machine:
+    """One simulated xBGAS machine (the whole PGAS job)."""
+
+    def __init__(self, config: MachineConfig | None = None, *, trace: bool = False):
+        self.config = config if config is not None else MachineConfig()
+        cfg = self.config
+        self.engine = Engine(cfg.n_pes, trace=trace)
+        self.stats = self.engine.stats
+        self.memories = [Memory(cfg.memory_bytes_per_pe) for _ in range(cfg.n_pes)]
+        self.nodes = [Node(i, cfg) for i in range(cfg.n_nodes)]
+        self._hier: dict[int, MemoryHierarchy] = {}
+        for node in self.nodes:
+            self._hier.update(node.hierarchies)
+        self.network = Network(cfg, self.stats)
+        # Shared-segment layout (identical on every PE, Figure 2):
+        # [heap_base, heap_base + scratch) = collective scratch stacks,
+        # [heap_base + scratch, end)       = the collective symmetric heap.
+        heap_base = cfg.memory_bytes_per_pe - cfg.symmetric_heap_bytes
+        scratch = cfg.collective_scratch_bytes
+        self.scratch_stacks = [
+            ScratchStack(heap_base, scratch) for _ in range(cfg.n_pes)
+        ]
+        self.heap = SymmetricHeap(
+            heap_base + scratch, cfg.symmetric_heap_bytes - scratch, cfg.n_pes
+        )
+        self._shared_base = heap_base
+        self.private_allocators = [
+            FreeListAllocator(CODE_REGION_BYTES, heap_base - CODE_REGION_BYTES)
+            for _ in range(cfg.n_pes)
+        ]
+        self.olbs = [ObjectLookasideBuffer(pe) for pe in range(cfg.n_pes)]
+        for olb in self.olbs:
+            olb.install_default(cfg.n_pes)
+        self.barriers = BarrierController(self)
+        self.transfers = [TransferEngine(self, r) for r in range(cfg.n_pes)]
+        self._consumed = False
+        self._isa_path = None
+        if cfg.fidelity == "isa":
+            from .isa_path import IsaTransferPath
+
+            self._isa_path = IsaTransferPath(self)
+
+    # -- shared-hardware accessors -------------------------------------------
+
+    @property
+    def heap_base(self) -> int:
+        """Start of the shared segment (scratch + collective heap)."""
+        return self._shared_base
+
+    def hierarchy_of(self, pe: int) -> MemoryHierarchy:
+        return self._hier[pe]
+
+    def isa_transfer(self, rank: int, dest: int, src: int, nelems: int,
+                     stride: int, target: int, elem_bytes: int, *,
+                     is_put: bool) -> None:
+        """Route a transfer through the functional-core path."""
+        assert self._isa_path is not None, "machine not in isa fidelity"
+        self._isa_path.transfer(rank, dest, src, nelems, stride, target,
+                                elem_bytes, is_put=is_put)
+
+    def isa_amo(self, rank: int, addr: int, value: int, target: int,
+                op: str) -> int:
+        """Route an AMO through the functional-core path."""
+        assert self._isa_path is not None, "machine not in isa fidelity"
+        return self._isa_path.amo(rank, addr, value, target, op)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Simulated makespan (host-dilated, like ``ctx.time_ns``)."""
+        return self.engine.elapsed_ns * self.config.time_dilation
+
+    def describe(self) -> str:
+        """A Spike-style banner describing the simulated platform."""
+        cfg = self.config
+        mem = cfg.mem
+        lines = [
+            f"xBGAS machine: {cfg.n_pes} PEs on {cfg.n_nodes} node(s) "
+            f"({cfg.cores_per_node} cores/node"
+            + (", explicit placement" if cfg.pe_node_map else "") + ")",
+            f"  core: RV64I+xBGAS @ {cfg.clock_ghz:g} GHz, fidelity="
+            f"{cfg.fidelity}"
+            + (", pipeline model on" if cfg.pipeline else ""),
+            f"  caches: L1 {mem.l1.size_bytes >> 10} KiB/{mem.l1.ways}-way, "
+            f"L2 {mem.l2.size_bytes >> 20} MiB/{mem.l2.ways}-way, "
+            f"TLB {mem.tlb.entries} entries",
+            f"  memory: {cfg.memory_bytes_per_pe >> 20} MiB/PE "
+            f"(symmetric heap {cfg.symmetric_heap_bytes >> 20} MiB, "
+            f"scratch {cfg.collective_scratch_bytes >> 20} MiB)",
+            f"  transport: {cfg.transport.name} "
+            f"(o={cfg.transport.o_send:g} ns, L={cfg.transport.latency_ns:g} "
+            f"ns), topology={cfg.topology}",
+            f"  host: {cfg.host_cores} cores, dilation x"
+            f"{cfg.time_dilation:.2f}",
+        ]
+        return "\n".join(lines)
+
+    # -- running programs ------------------------------------------------------
+
+    def run(self, fn: Callable[..., Any],
+            args_per_pe: Sequence[tuple] | None = None) -> list[Any]:
+        """Run ``fn(ctx, *extra)`` on every PE; returns per-rank results.
+
+        A machine is one-shot: memory, heap logs, caches and clocks all
+        carry state from a run, so starting a second simulation on the
+        same machine would silently replay stale state.  Build a fresh
+        :class:`Machine` per simulation.
+        """
+        if self._consumed:
+            raise RuntimeStateError(
+                "this Machine already ran a simulation; build a fresh "
+                "Machine(config) per run (heap logs, caches and clocks "
+                "are stateful)"
+            )
+        self._consumed = True
+
+        def wrapper(pe: PEProcess, *extra: Any) -> Any:
+            ctx = XBRTime(self, pe)
+            pe.context = ctx
+            return fn(ctx, *extra)
+
+        results = self.engine.run(wrapper, args_per_pe)
+        self._fold_memory_stats()
+        return results
+
+    def _fold_memory_stats(self) -> None:
+        st = self.stats
+        st.l1_hits = st.l1_misses = 0
+        st.l2_hits = st.l2_misses = 0
+        st.tlb_hits = st.tlb_misses = 0
+        for hier in self._hier.values():
+            l1h, l1m, l2h, l2m, th, tm = hier.stat_tuple()
+            st.l1_hits += l1h
+            st.l1_misses += l1m
+            st.l2_hits += l2h
+            st.l2_misses += l2m
+            st.tlb_hits += th
+            st.tlb_misses += tm
+
+
+class XBRTime:
+    """Per-PE runtime context (the xbrtime API surface).
+
+    Typed wrappers (``ctx.int_put``, ``ctx.double_broadcast``,
+    ``ctx.long_reduce_sum``, ...) are installed by
+    :mod:`repro.runtime.typed` at import time.
+    """
+
+    def __init__(self, machine: Machine, pe: PEProcess):
+        self.machine = machine
+        self.pe = pe
+        self.rank = pe.rank
+        self._active = False
+        self._closed = False
+        self._heap_calls = 0
+        self._transfer = machine.transfers[self.rank]
+        self._private = machine.private_allocators[self.rank]
+        self._memory = machine.memories[self.rank]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def init(self) -> None:
+        """``xbrtime_init``: bring the runtime up; synchronises all PEs."""
+        if self._active:
+            raise RuntimeStateError(f"PE {self.rank}: init() called twice")
+        if self._closed:
+            raise RuntimeStateError(f"PE {self.rank}: init() after close()")
+        self._active = True
+        # OLB fill + bookkeeping cost, then the init barrier.
+        self.pe.advance(200.0)
+        self.machine.barriers.barrier(self.rank)
+
+    def close(self) -> None:
+        """``xbrtime_close``: tear the runtime down; synchronises all PEs."""
+        self._require_active()
+        self.machine.barriers.barrier(self.rank)
+        self._active = False
+        self._closed = True
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise RuntimeStateError(
+                f"PE {self.rank}: runtime used outside init()/close()"
+            )
+
+    # -- identity ---------------------------------------------------------------
+
+    def my_pe(self) -> int:
+        """``xbrtime_mype``."""
+        self._require_active()
+        return self.rank
+
+    def num_pes(self) -> int:
+        """``xbrtime_num_pes``."""
+        self._require_active()
+        return self.machine.config.n_pes
+
+    @property
+    def time_ns(self) -> float:
+        """This PE's simulated wall-clock time.
+
+        Internal event times are undilated; the reported clock applies
+        the host-oversubscription dilation
+        (:attr:`MachineConfig.time_dilation`) so measured throughput
+        reflects the paper's oversubscribed 12-core simulation host.
+        """
+        return self.pe.clock * self.machine.config.time_dilation
+
+    # -- memory management ---------------------------------------------------------
+
+    def malloc(self, nbytes: int, align: int = 16) -> int:
+        """Collective symmetric allocation: every PE receives the same
+        address (same offset in the shared segment, Figure 2)."""
+        self._require_active()
+        idx = self._heap_calls
+        self._heap_calls += 1
+        self.pe.advance(50.0)
+        return self.machine.heap.collective_malloc(idx, nbytes, align)
+
+    def free(self, addr: int) -> None:
+        """Collective symmetric free."""
+        self._require_active()
+        idx = self._heap_calls
+        self._heap_calls += 1
+        self.pe.advance(30.0)
+        self.machine.heap.collective_free(idx, addr)
+
+    def scratch_alloc(self, nbytes: int, align: int = 16) -> int:
+        """Symmetric *scratch* allocation for collective work buffers.
+
+        Unlike :meth:`malloc` this needs no participation from other
+        PEs: every PE's scratch stack starts at the same base, so the
+        participants of one collective (even a team subset) obtain the
+        same address by pushing the same sizes in the same order.
+        Frees are LIFO.
+        """
+        self._require_active()
+        return self.machine.scratch_stacks[self.rank].alloc(nbytes, align)
+
+    def scratch_free(self, addr: int) -> None:
+        self._require_active()
+        self.machine.scratch_stacks[self.rank].free(addr)
+
+    def private_malloc(self, nbytes: int, align: int = 16) -> int:
+        """Allocate in this PE's *private* segment (not remotely visible)."""
+        self._require_active()
+        return self._private.alloc(nbytes, align)
+
+    def private_free(self, addr: int) -> None:
+        self._require_active()
+        self._private.free(addr)
+
+    def is_symmetric(self, addr: int) -> bool:
+        """Whether ``addr`` lies in the shared (symmetric) segment."""
+        return addr >= self.machine.heap_base
+
+    def view(self, addr: int, dtype: str | np.dtype, count: int,
+             stride: int = 1) -> np.ndarray:
+        """A numpy view of local memory (aliases the PE's memory)."""
+        return self._memory.view(addr, resolve_dtype(dtype), count, stride)
+
+    def view_on(self, pe: int, addr: int, dtype: str | np.dtype, count: int,
+                stride: int = 1) -> np.ndarray:
+        """A view of *another* PE's memory — for tests and verification
+        phases only; simulated programs should use get/put."""
+        return self.machine.memories[pe].view(
+            addr, resolve_dtype(dtype), count, stride
+        )
+
+    # -- time charging (benchmark compute phases) -------------------------------------
+
+    def compute(self, ns: float) -> None:
+        """Charge ``ns`` of local computation to this PE."""
+        self.pe.advance(ns)
+
+    def charge_access(self, addr: int, nbytes: int = 8, write: bool = False) -> float:
+        """Charge one memory access through the cache/TLB hierarchy."""
+        ns = self.machine.hierarchy_of(self.rank).access(addr, nbytes, write)
+        self.pe.advance(ns)
+        return ns
+
+    def charge_stream(self, addr: int, nbytes: int, write: bool = False) -> float:
+        """Charge a sequential sweep over ``nbytes`` of memory."""
+        ns = self.machine.hierarchy_of(self.rank).access_range(addr, nbytes, write)
+        self.pe.advance(ns)
+        return ns
+
+    # -- synchronisation -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """``xbrtime_barrier``: synchronise all PEs and drain the network."""
+        self._require_active()
+        self.machine.barriers.barrier(self.rank)
+
+    def barrier_team(self, members: Sequence[int]) -> None:
+        """Barrier over a subset of PEs (teams, paper section 7)."""
+        self._require_active()
+        self.machine.barriers.barrier(self.rank, tuple(members))
+
+    # -- one-sided communication --------------------------------------------------------
+
+    def put(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+            dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_put``: write ``nelems`` elements (``stride``
+        apart at both ends) from local ``src`` to ``dest`` on ``pe``."""
+        self._require_active()
+        self._transfer.put(dest, src, nelems, stride, pe, resolve_dtype(dtype))
+
+    def get(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+            dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_get``: read ``nelems`` elements from ``src`` on
+        ``pe`` into local ``dest``."""
+        self._require_active()
+        self._transfer.get(dest, src, nelems, stride, pe, resolve_dtype(dtype))
+
+    def put_nb(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+               dtype: str | np.dtype = "long") -> TransferHandle:
+        """Non-blocking put; complete with :meth:`wait` or :meth:`quiet`."""
+        self._require_active()
+        return self._transfer.put_nb(dest, src, nelems, stride, pe,
+                                     resolve_dtype(dtype))
+
+    def get_nb(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+               dtype: str | np.dtype = "long") -> TransferHandle:
+        """Non-blocking get; data is valid after :meth:`wait`."""
+        self._require_active()
+        return self._transfer.get_nb(dest, src, nelems, stride, pe,
+                                     resolve_dtype(dtype))
+
+    def amo(self, addr: int, value: int, pe: int, op: str = "add",
+            dtype: str | np.dtype = "uint64") -> int:
+        """Remote atomic fetch-and-op (xBGAS ``eamoOP.d``): atomically
+        replace the 64-bit word at ``addr`` on ``pe`` with
+        ``old OP value`` and return ``old``.
+
+        Ops: add, xor, and, or, swap, min, max.  Unlike the
+        get-modify-put idiom, concurrent AMOs on one cell never lose
+        updates.
+        """
+        self._require_active()
+        return self._transfer.amo(addr, value, pe, op, resolve_dtype(dtype))
+
+    def wait(self, handle: TransferHandle) -> None:
+        """Complete one non-blocking transfer."""
+        self._require_active()
+        self._transfer.wait(handle)
+
+    def quiet(self) -> None:
+        """Complete all outstanding non-blocking transfers of this PE."""
+        self._require_active()
+        self._transfer.quiet()
+
+    # -- collectives (binomial tree, section 4) ------------------------------------------
+
+    def broadcast(self, dest: int, src: int, nelems: int, stride: int,
+                  root: int, dtype: str | np.dtype = "long",
+                  algorithm: str = "binomial") -> None:
+        """``xbrtime_TYPE_broadcast`` (Algorithm 1)."""
+        self._require_active()
+        from ..collectives import broadcast as _b
+
+        _b.broadcast(self, dest, src, nelems, stride, root,
+                     resolve_dtype(dtype), algorithm=algorithm)
+
+    def reduce(self, dest: int, src: int, nelems: int, stride: int,
+               root: int, op: str = "sum", dtype: str | np.dtype = "long",
+               algorithm: str = "binomial") -> None:
+        """``xbrtime_TYPE_reduce_OP`` (Algorithm 2)."""
+        self._require_active()
+        from ..collectives import reduce as _r
+
+        _r.reduce(self, dest, src, nelems, stride, root, op,
+                  resolve_dtype(dtype), algorithm=algorithm)
+
+    def scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
+                pe_disp: Sequence[int], nelems: int, root: int,
+                dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_scatter`` (Algorithm 3)."""
+        self._require_active()
+        from ..collectives import scatter as _s
+
+        _s.scatter(self, dest, src, pe_msgs, pe_disp, nelems, root,
+                   resolve_dtype(dtype))
+
+    def gather(self, dest: int, src: int, pe_msgs: Sequence[int],
+               pe_disp: Sequence[int], nelems: int, root: int,
+               dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_gather`` (Algorithm 4)."""
+        self._require_active()
+        from ..collectives import gather as _g
+
+        _g.gather(self, dest, src, pe_msgs, pe_disp, nelems, root,
+                  resolve_dtype(dtype))
+
+    # -- extended collectives (paper section 7 future work) --------------------------------
+
+    def reduce_all(self, dest: int, src: int, nelems: int, stride: int,
+                   op: str = "sum", dtype: str | np.dtype = "long") -> None:
+        """Reduce-to-all: every PE receives the reduction result."""
+        self._require_active()
+        from ..collectives import extra
+
+        extra.reduce_all(self, dest, src, nelems, stride, op,
+                         resolve_dtype(dtype))
+
+    def allreduce(self, dest: int, src: int, nelems: int, stride: int,
+                  op: str = "sum", dtype: str | np.dtype = "long",
+                  algorithm: str = "doubling") -> None:
+        """One-sided reduction-to-all: ``"doubling"`` (latency-optimal,
+        half the stages of :meth:`reduce_all`'s composition) or
+        ``"rabenseifner"`` (bandwidth-optimal reduce-scatter+allgather,
+        the paper's reference [17])."""
+        self._require_active()
+        from ..collectives.allreduce import allreduce as _ar
+
+        _ar(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
+            algorithm=algorithm)
+
+    def scan(self, dest: int, src: int, nelems: int, stride: int,
+             op: str = "sum", dtype: str | np.dtype = "long",
+             inclusive: bool = True) -> None:
+        """Parallel prefix scan (Hillis-Steele, one-sided)."""
+        self._require_active()
+        from ..collectives.scan import scan as _scan
+
+        _scan(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
+              inclusive=inclusive)
+
+    def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
+                  pe_disp: Sequence[int], nelems: int,
+                  dtype: str | np.dtype = "long") -> None:
+        """Gather-to-all (OpenSHMEM ``collect`` semantics)."""
+        self._require_active()
+        from ..collectives import extra
+
+        extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
+                        resolve_dtype(dtype))
+
+    def alltoall(self, dest: int, src: int, nelems_per_pe: int,
+                 dtype: str | np.dtype = "long") -> None:
+        """Personalised all-to-all exchange."""
+        self._require_active()
+        from ..collectives import extra
+
+        extra.alltoall(self, dest, src, nelems_per_pe, resolve_dtype(dtype))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"XBRTime(pe={self.rank}/{self.machine.config.n_pes}, "
+            f"t={self.pe.clock:.0f} ns)"
+        )
+
+
+# Install the per-TYPENAME call surface (Table 1).
+from . import typed as _typed  # noqa: E402  (import cycle: needs XBRTime)
+
+_typed.install_typed_api(XBRTime)

@@ -1,0 +1,22 @@
+"""Conservative parallel-discrete-event simulation engine.
+
+Each processing element (PE) runs its user program on a dedicated Python
+thread with a private simulated clock.  Exactly one thread executes at a
+time; at every communication point the running PE yields to the scheduler,
+which always resumes the runnable PE with the smallest clock (ties broken
+by rank).  This produces a deterministic, legal linearization of the PE
+programs — re-running a simulation gives bit-identical functional results
+and timings.
+"""
+
+from .engine import Engine, PEProcess, PEState
+from .trace import EventTrace, SimStats, TraceEvent
+
+__all__ = [
+    "Engine",
+    "PEProcess",
+    "PEState",
+    "EventTrace",
+    "SimStats",
+    "TraceEvent",
+]

@@ -1,0 +1,238 @@
+"""Deterministic cooperative scheduler for PE programs.
+
+The engine implements conservative parallel discrete-event simulation with
+one OS thread per PE but *no* real concurrency: threads take turns, and
+the scheduler always resumes the runnable PE whose simulated clock is
+smallest (ties broken by rank).  PE programs therefore interleave in a
+single deterministic global order that is a legal linearization of the
+simulated machine's behaviour.
+
+PE code interacts with the engine through three primitives:
+
+* :meth:`PEProcess.advance` — add local compute time to the PE's clock
+  (no context switch; cheap enough for per-memory-access costing).
+* :meth:`Engine.checkpoint` — yield so PEs with smaller clocks can run.
+  Every communication operation is a checkpoint.
+* :meth:`Engine.suspend` / :meth:`Engine.resume` — block the calling PE
+  until another PE wakes it (used by barriers and two-sided receives).
+
+Deadlock (no runnable PE while some are blocked) raises
+:class:`~repro.errors.DeadlockError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from typing import Any, Callable, Sequence
+
+from ..errors import DeadlockError, SimulationError
+from .trace import EventTrace, SimStats
+
+__all__ = ["PEState", "PEProcess", "Engine"]
+
+
+class PEState(enum.Enum):
+    """Lifecycle of one PE process."""
+
+    NEW = "new"
+    RUNNABLE = "runnable"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class PEProcess:
+    """Handle for one PE's thread, clock and state."""
+
+    def __init__(self, engine: "Engine", rank: int):
+        self.engine = engine
+        self.rank = rank
+        self.clock: float = 0.0
+        self.state = PEState.NEW
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self._resume = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Opaque slot for the runtime layer to attach its per-PE context.
+        self.context: Any = None
+
+    # -- clock ---------------------------------------------------------
+
+    def advance(self, dt: float) -> None:
+        """Add ``dt`` ns of local work to this PE's clock (no yield)."""
+        if dt < 0:
+            raise SimulationError(f"PE{self.rank}: negative time advance {dt}")
+        self.clock += dt
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to at least ``t``."""
+        if t > self.clock:
+            self.clock = t
+
+    # -- thread plumbing (engine-internal) ------------------------------
+
+    def _start(self, fn: Callable[..., Any], args: tuple) -> None:
+        def body() -> None:
+            self._resume.wait()
+            self._resume.clear()
+            try:
+                self.result = fn(*args)
+                self.state = PEState.DONE
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                self.error = exc
+                self.state = PEState.FAILED
+            finally:
+                self.engine._sched_wake.set()
+
+        self._thread = threading.Thread(
+            target=body, name=f"pe-{self.rank}", daemon=True
+        )
+        self.state = PEState.RUNNABLE
+        self._thread.start()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PEProcess(rank={self.rank}, clock={self.clock:.1f}, {self.state.value})"
+
+
+class Engine:
+    """Owns the PE processes and runs the cooperative schedule."""
+
+    def __init__(self, n_pes: int, *, trace: bool = False):
+        if n_pes <= 0:
+            raise SimulationError("need at least one PE")
+        self.n_pes = n_pes
+        self.pes = [PEProcess(self, r) for r in range(n_pes)]
+        self.trace = EventTrace(enabled=trace)
+        self.stats = SimStats()
+        self._sched_wake = threading.Event()
+        self._current: PEProcess | None = None
+        self._running = False
+
+    # -- program entry ---------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        args_per_pe: Sequence[tuple] | None = None,
+    ) -> list[Any]:
+        """Run ``fn`` on every PE and return the per-rank results.
+
+        ``fn`` is invoked as ``fn(pe_process, *extra)`` where ``extra`` is
+        ``args_per_pe[rank]`` (empty by default).  Raises the first PE
+        failure (annotated with its rank) or :class:`DeadlockError`.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        try:
+            for pe in self.pes:
+                extra = tuple(args_per_pe[pe.rank]) if args_per_pe else ()
+                pe._start(fn, (pe, *extra))
+            self._schedule_loop()
+        finally:
+            self._running = False
+        for pe in self.pes:
+            if pe.state is PEState.FAILED:
+                assert pe.error is not None
+                raise SimulationError(
+                    f"PE {pe.rank} failed at t={pe.clock:.1f} ns"
+                ) from pe.error
+        return [pe.result for pe in self.pes]
+
+    # -- primitives used by the runtime layer ----------------------------
+
+    @property
+    def current(self) -> PEProcess:
+        """The PE process whose thread is currently executing."""
+        if self._current is None:
+            raise SimulationError("no PE is running (call from PE code only)")
+        return self._current
+
+    def checkpoint(self) -> None:
+        """Yield; the scheduler resumes the smallest-clock runnable PE.
+
+        Called from PE threads at every communication point.  Cheap fast
+        path: if the calling PE still has the smallest clock it keeps
+        running without a context switch.
+        """
+        me = self.current
+        if self._min_other_runnable_clock() >= me.clock:
+            return
+        me.state = PEState.RUNNABLE
+        self._switch_out(me)
+
+    def suspend(self) -> None:
+        """Block the calling PE until :meth:`resume` is called for it."""
+        me = self.current
+        me.state = PEState.BLOCKED
+        self._switch_out(me)
+
+    def resume(self, rank: int, at_time: float | None = None) -> None:
+        """Make a blocked PE runnable again, optionally at ``at_time``."""
+        pe = self.pes[rank]
+        if pe.state is not PEState.BLOCKED:
+            raise SimulationError(
+                f"cannot resume PE {rank} in state {pe.state.value}"
+            )
+        if at_time is not None:
+            pe.advance_to(at_time)
+        pe.state = PEState.RUNNABLE
+
+    def record(self, kind: str, detail: str = "") -> None:
+        """Trace an event attributed to the current PE."""
+        me = self.current
+        self.trace.record(me.clock, me.rank, kind, detail)
+
+    @property
+    def elapsed_ns(self) -> float:
+        """Simulated makespan so far: the maximum PE clock."""
+        return max(pe.clock for pe in self.pes)
+
+    # -- scheduler internals ----------------------------------------------
+
+    def _min_other_runnable_clock(self) -> float:
+        best = float("inf")
+        me = self._current
+        for pe in self.pes:
+            if pe is me:
+                continue
+            if pe.state is PEState.RUNNABLE and pe.clock < best:
+                best = pe.clock
+        return best
+
+    def _pick_next(self) -> PEProcess | None:
+        best: PEProcess | None = None
+        for pe in self.pes:
+            if pe.state is PEState.RUNNABLE:
+                if best is None or pe.clock < best.clock:
+                    best = pe
+        return best
+
+    def _switch_out(self, me: PEProcess) -> None:
+        """Hand control back to the scheduler and wait to be resumed."""
+        self._sched_wake.set()
+        me._resume.wait()
+        me._resume.clear()
+
+    def _schedule_loop(self) -> None:
+        while True:
+            nxt = self._pick_next()
+            if nxt is None:
+                blocked = [p.rank for p in self.pes if p.state is PEState.BLOCKED]
+                failed = [p.rank for p in self.pes if p.state is PEState.FAILED]
+                if blocked and not failed:
+                    raise DeadlockError(
+                        f"deadlock: PEs {blocked} are blocked and none are "
+                        "runnable (mismatched barrier or receive?)"
+                    )
+                # All DONE, or a failure left peers blocked — run() will
+                # surface the PE error.
+                return
+            nxt.state = PEState.RUNNING
+            self._current = nxt
+            self._sched_wake.clear()
+            nxt._resume.set()
+            self._sched_wake.wait()
+            self._current = None

@@ -1,0 +1,145 @@
+"""Event tracing and aggregate statistics for simulations.
+
+Tracing is optional (off by default) because recording every event slows
+simulation; statistics counters are always maintained — they are cheap and
+the benchmark harness reports them alongside MOPS numbers.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["TraceEvent", "EventTrace", "SimStats"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time_ns: float
+    pe: int
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time_ns:12.1f} ns] PE{self.pe:<3d} {self.kind} {self.detail}"
+
+
+class EventTrace:
+    """Bounded in-memory event log.
+
+    Parameters
+    ----------
+    enabled:
+        When False, :meth:`record` is a no-op.
+    max_events:
+        Oldest events are dropped beyond this bound so long simulations
+        cannot exhaust memory.
+    """
+
+    def __init__(self, enabled: bool = False, max_events: int = 100_000):
+        self.enabled = enabled
+        self.max_events = max_events
+        self._events: list[TraceEvent] = []
+        self._dropped = 0
+
+    def record(self, time_ns: float, pe: int, kind: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self._events) >= self.max_events:
+            # Drop the oldest half in one go to amortise the cost.
+            drop = self.max_events // 2
+            del self._events[:drop]
+            self._dropped += drop
+        self._events.append(TraceEvent(time_ns, pe, kind, detail))
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+
+@dataclass
+class SimStats:
+    """Aggregate counters maintained by the runtime during a simulation."""
+
+    puts: int = 0
+    gets: int = 0
+    amos: int = 0
+    bytes_put: int = 0
+    bytes_got: int = 0
+    remote_puts: int = 0
+    remote_gets: int = 0
+    barriers: int = 0
+    collective_calls: Counter = field(default_factory=Counter)
+    instructions_executed: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    tlb_hits: int = 0
+    tlb_misses: int = 0
+    messages: int = 0
+    bytes_on_wire: int = 0
+    fabric_queued_ns: float = 0.0
+
+    def merge(self, other: "SimStats") -> None:
+        """Fold ``other``'s counters into this one."""
+        self.puts += other.puts
+        self.gets += other.gets
+        self.amos += other.amos
+        self.bytes_put += other.bytes_put
+        self.bytes_got += other.bytes_got
+        self.remote_puts += other.remote_puts
+        self.remote_gets += other.remote_gets
+        self.barriers += other.barriers
+        self.collective_calls.update(other.collective_calls)
+        self.instructions_executed += other.instructions_executed
+        self.l1_hits += other.l1_hits
+        self.l1_misses += other.l1_misses
+        self.l2_hits += other.l2_hits
+        self.l2_misses += other.l2_misses
+        self.tlb_hits += other.tlb_hits
+        self.tlb_misses += other.tlb_misses
+        self.messages += other.messages
+        self.bytes_on_wire += other.bytes_on_wire
+        self.fabric_queued_ns += other.fabric_queued_ns
+
+    def summary(self) -> str:
+        lines = [
+            f"puts={self.puts} ({self.bytes_put} B, {self.remote_puts} remote)",
+            f"gets={self.gets} ({self.bytes_got} B, {self.remote_gets} remote)",
+            f"barriers={self.barriers}",
+            f"messages={self.messages} ({self.bytes_on_wire} B on wire)",
+        ]
+        if self.collective_calls:
+            calls = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.collective_calls.items())
+            )
+            lines.append(f"collectives: {calls}")
+        l1 = self.l1_hits + self.l1_misses
+        if l1:
+            lines.append(
+                f"L1 hit rate {self.l1_hits / l1:6.2%}  "
+                f"L2 hit rate "
+                f"{self.l2_hits / max(1, self.l2_hits + self.l2_misses):6.2%}  "
+                f"TLB hit rate "
+                f"{self.tlb_hits / max(1, self.tlb_hits + self.tlb_misses):6.2%}"
+            )
+        if self.instructions_executed:
+            lines.append(f"instructions={self.instructions_executed}")
+        return "\n".join(lines)

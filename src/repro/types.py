@@ -1,0 +1,133 @@
+"""Table 1 of the paper: xBGAS matched type names and types.
+
+The xBGAS API exposes one explicit call per supported element type — e.g.
+``xbrtime_int_put`` / ``xbrtime_double_broadcast`` — instead of the
+size-suffixed calls of OpenSHMEM.  This module is the single source of
+truth for that mapping: each :class:`TypeInfo` records the paper's
+TYPENAME, the C type it stands for, and the numpy dtype this reproduction
+uses to model it.
+
+>>> from repro.types import TYPE_TABLE, typeinfo
+>>> typeinfo("uint32").nbytes
+4
+>>> typeinfo("double").is_float
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .errors import TypeNameError
+
+__all__ = [
+    "TypeInfo",
+    "TYPE_TABLE",
+    "TYPENAMES",
+    "FLOAT_TYPENAMES",
+    "INTEGRAL_TYPENAMES",
+    "typeinfo",
+    "dtype_of",
+]
+
+
+@dataclass(frozen=True)
+class TypeInfo:
+    """One row of Table 1.
+
+    Attributes
+    ----------
+    typename:
+        The xBGAS TYPENAME used in function names (``int``, ``uint64``...).
+    ctype:
+        The C type the TYPENAME maps to in the paper (``unsigned long``...).
+    dtype:
+        The numpy dtype used to model the C type in this reproduction.
+    """
+
+    typename: str
+    ctype: str
+    dtype: np.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Size of one element in bytes."""
+        return int(self.dtype.itemsize)
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point types (no bitwise reductions allowed)."""
+        return self.dtype.kind == "f"
+
+    @property
+    def is_signed(self) -> bool:
+        return self.dtype.kind in ("i", "f")
+
+
+def _row(typename: str, ctype: str, np_dtype: object) -> TypeInfo:
+    return TypeInfo(typename=typename, ctype=ctype, dtype=np.dtype(np_dtype))
+
+
+# The 24 rows of Table 1, in the paper's order.  C ``long double`` has no
+# portable numpy equivalent of fixed width; ``np.longdouble`` preserves the
+# platform semantics (80-bit extended on x86, 128-bit elsewhere), which is
+# exactly what the C type does.
+TYPE_TABLE: tuple[TypeInfo, ...] = (
+    _row("float", "float", np.float32),
+    _row("double", "double", np.float64),
+    _row("longdouble", "long double", np.longdouble),
+    _row("char", "char", np.int8),
+    _row("uchar", "unsigned char", np.uint8),
+    _row("schar", "signed char", np.int8),
+    _row("ushort", "unsigned short", np.uint16),
+    _row("short", "short", np.int16),
+    _row("uint", "unsigned int", np.uint32),
+    _row("int", "int", np.int32),
+    _row("ulong", "unsigned long", np.uint64),
+    _row("long", "long", np.int64),
+    _row("ulonglong", "unsigned long long", np.uint64),
+    _row("longlong", "long long", np.int64),
+    _row("uint8", "uint8_t", np.uint8),
+    _row("int8", "int8_t", np.int8),
+    _row("uint16", "uint16_t", np.uint16),
+    _row("int16", "int16_t", np.int16),
+    _row("uint32", "uint32_t", np.uint32),
+    _row("int32", "int32_t", np.int32),
+    _row("uint64", "uint64_t", np.uint64),
+    _row("int64", "int64_t", np.int64),
+    _row("size", "size_t", np.uint64),
+    _row("ptrdiff", "ptrdiff_t", np.int64),
+)
+
+_BY_NAME: dict[str, TypeInfo] = {t.typename: t for t in TYPE_TABLE}
+
+TYPENAMES: tuple[str, ...] = tuple(t.typename for t in TYPE_TABLE)
+FLOAT_TYPENAMES: tuple[str, ...] = tuple(
+    t.typename for t in TYPE_TABLE if t.is_float
+)
+INTEGRAL_TYPENAMES: tuple[str, ...] = tuple(
+    t.typename for t in TYPE_TABLE if not t.is_float
+)
+
+
+def typeinfo(typename: str) -> TypeInfo:
+    """Look up one Table 1 row by TYPENAME.
+
+    Raises
+    ------
+    TypeNameError
+        If ``typename`` is not one of the 24 supported names.
+    """
+    try:
+        return _BY_NAME[typename]
+    except KeyError:
+        raise TypeNameError(
+            f"unknown xBGAS TYPENAME {typename!r}; expected one of {TYPENAMES}"
+        ) from None
+
+
+def dtype_of(typename: str) -> np.dtype:
+    """The numpy dtype modelling ``typename``'s C type."""
+    return typeinfo(typename).dtype

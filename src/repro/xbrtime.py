@@ -1,0 +1,118 @@
+"""C-API compatibility facade: the paper's function names, verbatim.
+
+The xbrtime runtime is a C library; this module exposes its exact call
+surface as module-level functions so code translated from the paper (or
+from the real `tactcomplabs/xbgas-runtime`) reads one-to-one:
+
+====================================================  =============
+C                                                     here
+====================================================  =============
+``xbrtime_init()``                                    ``xbrtime_init(ctx)``
+``xbrtime_close()``                                   ``xbrtime_close(ctx)``
+``xbrtime_mype()``                                    ``xbrtime_mype(ctx)``
+``xbrtime_num_pes()``                                 ``xbrtime_num_pes(ctx)``
+``xbrtime_malloc(sz)``                                ``xbrtime_malloc(ctx, sz)``
+``xbrtime_free(ptr)``                                 ``xbrtime_free(ctx, ptr)``
+``xbrtime_barrier()``                                 ``xbrtime_barrier(ctx)``
+``xbrtime_TYPE_put(dest, src, nelems, stride, pe)``    ``xbrtime_TYPE_put(ctx, ...)``
+``xbrtime_TYPE_get(dest, src, nelems, stride, pe)``    ``xbrtime_TYPE_get(ctx, ...)``
+``xbrtime_TYPE_broadcast(dest, src, n, stride, root)`` ``xbrtime_TYPE_broadcast(ctx, ...)``
+``xbrtime_TYPE_reduce_OP(dest, src, n, stride, root)`` ``xbrtime_TYPE_reduce_OP(ctx, ...)``
+``xbrtime_TYPE_scatter(dest, src, msgs, disp, n, r)``  ``xbrtime_TYPE_scatter(ctx, ...)``
+``xbrtime_TYPE_gather(dest, src, msgs, disp, n, r)``   ``xbrtime_TYPE_gather(ctx, ...)``
+====================================================  =============
+
+The only systematic difference is the explicit ``ctx`` first argument —
+C hides the runtime state in globals; an SPMD simulation cannot.
+
+>>> from repro import Machine, MachineConfig
+>>> from repro.xbrtime import *
+>>> def main(ctx):
+...     xbrtime_init(ctx)
+...     buf = xbrtime_malloc(ctx, 8)
+...     xbrtime_barrier(ctx)
+...     xbrtime_free(ctx, buf)
+...     xbrtime_close(ctx)
+>>> Machine(MachineConfig(n_pes=2)).run(main)
+[None, None]
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+# Importing the runtime package installs the typed API (and with it the
+# full method-name registry this module forwards to).
+from . import runtime as _runtime  # noqa: F401
+from .runtime.typed import TYPED_METHOD_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime.context import XBRTime
+
+
+def xbrtime_init(ctx: "XBRTime") -> None:
+    """Initialise the runtime environment (collective)."""
+    ctx.init()
+
+
+def xbrtime_close(ctx: "XBRTime") -> None:
+    """Tear the runtime environment down (collective)."""
+    ctx.close()
+
+
+def xbrtime_mype(ctx: "XBRTime") -> int:
+    """The unique ID of the calling processing element."""
+    return ctx.my_pe()
+
+
+def xbrtime_num_pes(ctx: "XBRTime") -> int:
+    """The number of running processing elements."""
+    return ctx.num_pes()
+
+
+def xbrtime_malloc(ctx: "XBRTime", sz: int) -> int:
+    """Allocate ``sz`` bytes of symmetric shared memory (collective)."""
+    return ctx.malloc(sz)
+
+
+def xbrtime_free(ctx: "XBRTime", ptr: int) -> None:
+    """Free a symmetric allocation (collective)."""
+    ctx.free(ptr)
+
+
+def xbrtime_barrier(ctx: "XBRTime") -> None:
+    """Synchronise every processing element."""
+    ctx.barrier()
+
+
+def _make_forwarder(method_name: str):
+    def forwarder(ctx, *args):
+        return getattr(ctx, method_name)(*args)
+
+    forwarder.__name__ = f"xbrtime_{method_name}"
+    forwarder.__qualname__ = forwarder.__name__
+    forwarder.__doc__ = (
+        f"C-compatible alias for ``ctx.{method_name}(...)`` — see "
+        f":meth:`repro.runtime.context.XBRTime.{method_name}`."
+    )
+    return forwarder
+
+
+# Generate xbrtime_<TYPENAME>_<op> for the entire typed surface
+# (put/get/_nb, broadcast, reduce_OP, scatter, gather, atomic_OP).
+_GENERATED: list[str] = []
+for _name in TYPED_METHOD_NAMES:
+    _fn = _make_forwarder(_name)
+    globals()[_fn.__name__] = _fn
+    _GENERATED.append(_fn.__name__)
+
+__all__ = [
+    "xbrtime_init",
+    "xbrtime_close",
+    "xbrtime_mype",
+    "xbrtime_num_pes",
+    "xbrtime_malloc",
+    "xbrtime_free",
+    "xbrtime_barrier",
+    *_GENERATED,
+]

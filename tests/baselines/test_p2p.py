@@ -1,0 +1,200 @@
+"""Tests for the two-sided message layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.p2p import ANY_SOURCE, ANY_TAG, attach_message_layer
+from repro.errors import DeadlockError, SimulationError
+from repro.runtime import Machine
+
+from ..conftest import small_config
+
+
+def run(n_pes, fn, **cfg_kw):
+    machine = Machine(small_config(n_pes, **cfg_kw).with_transport("mpi"))
+    return machine, machine.run(fn)
+
+
+class TestSendRecv:
+    def test_simple_message(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(32)
+            if ctx.my_pe() == 0:
+                ctx.view(buf, "long", 4)[:] = [1, 2, 3, 4]
+                layer.send(ctx, 1, buf, 4, np.int64, tag=7)
+                got = None
+            else:
+                layer.recv(ctx, 0, buf, 4, np.int64, tag=7)
+                got = list(ctx.view(buf, "long", 4))
+            ctx.close()
+            return got
+
+        _, results = run(2, body)
+        assert results[1] == [1, 2, 3, 4]
+
+    def test_recv_blocks_until_send(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(8)
+            if ctx.my_pe() == 1:
+                # Receiver posts early and must wait for the late sender.
+                layer.recv(ctx, 0, buf, 1, np.int64)
+                t = ctx.pe.clock
+            else:
+                ctx.compute(10_000.0)
+                ctx.view(buf, "long", 1)[0] = 5
+                layer.send(ctx, 1, buf, 1, np.int64)
+                t = None
+            ctx.close()
+            return t
+
+        _, results = run(2, body)
+        assert results[1] > 10_000.0
+
+    def test_fifo_per_source(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(8)
+            if ctx.my_pe() == 0:
+                for v in (10, 20, 30):
+                    ctx.view(buf, "long", 1)[0] = v
+                    layer.send(ctx, 1, buf, 1, np.int64)
+                got = None
+            else:
+                got = []
+                for _ in range(3):
+                    layer.recv(ctx, 0, buf, 1, np.int64)
+                    got.append(int(ctx.view(buf, "long", 1)[0]))
+            ctx.close()
+            return got
+
+        _, results = run(2, body)
+        assert results[1] == [10, 20, 30]
+
+    def test_tag_matching(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(8)
+            if ctx.my_pe() == 0:
+                ctx.view(buf, "long", 1)[0] = 1
+                layer.send(ctx, 1, buf, 1, np.int64, tag=5)
+                ctx.view(buf, "long", 1)[0] = 2
+                layer.send(ctx, 1, buf, 1, np.int64, tag=9)
+                got = None
+            else:
+                layer.recv(ctx, 0, buf, 1, np.int64, tag=9)  # out of order
+                got = [int(ctx.view(buf, "long", 1)[0])]
+                layer.recv(ctx, 0, buf, 1, np.int64, tag=5)
+                got.append(int(ctx.view(buf, "long", 1)[0]))
+            ctx.close()
+            return got
+
+        _, results = run(2, body)
+        assert results[1] == [2, 1]
+
+    def test_wildcards(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(8)
+            if ctx.my_pe() == 2:
+                src = layer.recv(ctx, ANY_SOURCE, buf, 1, np.int64,
+                                 tag=ANY_TAG)
+                got = (src, int(ctx.view(buf, "long", 1)[0]))
+            else:
+                ctx.compute(100.0 * (ctx.my_pe() + 1))
+                ctx.view(buf, "long", 1)[0] = ctx.my_pe() * 10
+                layer.send(ctx, 2, buf, 1, np.int64, tag=ctx.my_pe())
+                got = None
+            ctx.close()
+            return got
+
+        _, results = run(3, body)
+        src, val = results[2]
+        assert val == src * 10
+
+    def test_type_mismatch_detected(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(32)
+            if ctx.my_pe() == 0:
+                layer.send(ctx, 1, buf, 2, np.int64)
+            else:
+                layer.recv(ctx, 0, buf, 4, np.int64)
+            ctx.close()
+
+        with pytest.raises(SimulationError):
+            run(2, body)
+
+    def test_unmatched_recv_deadlocks_cleanly(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(8)
+            if ctx.my_pe() == 1:
+                layer.recv(ctx, 0, buf, 1, np.int64)  # never sent
+            ctx.close()
+
+        with pytest.raises(DeadlockError):
+            run(2, body)
+
+    def test_sendrecv_head_to_head(self):
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            a = ctx.private_malloc(8)
+            b = ctx.private_malloc(8)
+            me, n = ctx.my_pe(), ctx.num_pes()
+            ctx.view(a, "long", 1)[0] = me
+            layer.sendrecv(ctx, (me + 1) % n, a, (me - 1) % n, b, 1,
+                           np.int64)
+            got = int(ctx.view(b, "long", 1)[0])
+            ctx.close()
+            return got
+
+        _, results = run(4, body)
+        assert results == [3, 0, 1, 2]
+
+    def test_two_sided_charges_both_ends(self):
+        """MPI-class messages must cost more than the xBGAS put of the
+        same payload (section 3.1)."""
+        def body(ctx):
+            ctx.init()
+            layer = attach_message_layer(ctx.machine)
+            buf = ctx.private_malloc(1024)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                layer.send(ctx, 1, buf, 128, np.int64)
+            else:
+                layer.recv(ctx, 0, buf, 128, np.int64)
+            ctx.barrier()
+            dt = ctx.pe.clock - t0
+            ctx.close()
+            return dt
+
+        def xbgas_body(ctx):
+            ctx.init()
+            buf = ctx.malloc(1024)
+            src = ctx.private_malloc(1024)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                ctx.put(buf, src, 128, 1, 1, "long")
+            ctx.barrier()
+            dt = ctx.pe.clock - t0
+            ctx.close()
+            return dt
+
+        _, mpi_res = run(2, body)
+        m2 = Machine(small_config(2))
+        xb_res = m2.run(xbgas_body)
+        assert max(mpi_res) > max(xb_res)

@@ -1,0 +1,66 @@
+"""The full benchmark stack must compose with ``fidelity="isa"``:
+GUPs and IS running their communication through generated xBGAS
+assembly executed on the functional cores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.gups import GupsParams, run_gups
+from repro.bench.nas_is import IsParams, generate_keys, run_is
+from repro.params import MachineConfig
+
+
+def isa_config(n_pes, pipeline=False):
+    return MachineConfig(
+        n_pes=n_pes,
+        fidelity="isa",
+        pipeline=pipeline,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+
+
+@pytest.mark.slow
+class TestGupsOnIsaPath:
+    def test_verifies(self):
+        params = GupsParams(log2_table_size=12, updates_per_pe=64)
+        res = run_gups(isa_config(2), params)
+        assert res.passed
+        assert res.total_updates == 128
+
+    def test_amo_mode(self):
+        params = GupsParams(log2_table_size=12, updates_per_pe=64,
+                            use_amo=True)
+        res = run_gups(isa_config(2), params)
+        assert res.errors == 0
+
+    def test_with_pipeline_model(self):
+        params = GupsParams(log2_table_size=12, updates_per_pe=32)
+        plain = run_gups(isa_config(2), params)
+        piped = run_gups(isa_config(2, pipeline=True), params)
+        assert plain.passed and piped.passed
+        # The pipeline model adds time, never removes it.
+        assert piped.sim_seconds >= plain.sim_seconds
+
+
+@pytest.mark.slow
+class TestIsOnIsaPath:
+    def test_verifies(self):
+        params = IsParams(problem_class="S-scaled", max_iterations=2,
+                          log2_n_buckets=6)
+        keys = generate_keys(params)
+        res = run_is(isa_config(2), params, keys)
+        assert res.partial_verified
+        assert res.full_verified
+
+    def test_agrees_functionally_with_model_path(self):
+        params = IsParams(problem_class="S-scaled", max_iterations=2,
+                          log2_n_buckets=6)
+        keys = generate_keys(params)
+        isa_res = run_is(isa_config(2), params, keys)
+        model_res = run_is(isa_config(2).with_(fidelity="model"),
+                           params, keys)
+        assert isa_res.full_verified == model_res.full_verified
+        assert isa_res.partial_verified == model_res.partial_verified

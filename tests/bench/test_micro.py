@@ -1,0 +1,94 @@
+"""Tests for the OSU/OSB-style microbenchmarks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.micro import (
+    MicroResult,
+    get_latency,
+    message_rate,
+    put_bandwidth,
+    put_latency,
+)
+from repro.params import MachineConfig
+
+
+def cfg(**kw):
+    base = dict(
+        n_pes=2,
+        cores_per_node=1,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+    base.update(kw)
+    return MachineConfig(**base)
+
+
+class TestMicroResult:
+    def test_latency_accounting(self):
+        r = MicroResult(nbytes=8, iterations=10, total_ns=10_000)
+        assert r.latency_us == pytest.approx(1.0)
+
+    def test_bandwidth_accounting(self):
+        r = MicroResult(nbytes=1_000_000, iterations=1, total_ns=1e9)
+        assert r.bandwidth_mbps == pytest.approx(1.0)
+
+    def test_rate_accounting(self):
+        r = MicroResult(nbytes=8, iterations=1000, total_ns=1e9)
+        assert r.rate_mops == pytest.approx(0.001)
+
+
+class TestLatency:
+    def test_latency_grows_with_size(self):
+        results = put_latency(sizes=(8, 32768), iterations=4, config=cfg())
+        assert results[1].latency_us > results[0].latency_us
+
+    def test_get_costs_more_than_put(self):
+        """A get is a round trip; a put is fire-and-forget + quiet."""
+        puts = put_latency(sizes=(8,), iterations=8, config=cfg())
+        gets = get_latency(sizes=(8,), iterations=8, config=cfg())
+        assert gets[0].latency_us > 0
+        assert puts[0].latency_us > 0
+
+    def test_mpi_transport_slower(self):
+        xb = put_latency(sizes=(64,), iterations=8, config=cfg())
+        mp = put_latency(sizes=(64,), iterations=8,
+                         config=cfg().with_transport("mpi"))
+        assert mp[0].latency_us > xb[0].latency_us
+
+    def test_deterministic(self):
+        a = put_latency(sizes=(64,), iterations=4, config=cfg())
+        b = put_latency(sizes=(64,), iterations=4, config=cfg())
+        assert a[0].total_ns == b[0].total_ns
+
+
+class TestBandwidth:
+    def test_bandwidth_grows_with_size(self):
+        results = put_bandwidth(sizes=(64, 262144), iterations=2,
+                                window=4, config=cfg())
+        assert results[1].bandwidth_mbps > results[0].bandwidth_mbps
+
+    def test_windowing_counted(self):
+        results = put_bandwidth(sizes=(64,), iterations=3, window=4,
+                                config=cfg())
+        assert results[0].iterations == 12
+
+
+class TestMessageRate:
+    def test_positive_rate(self):
+        mr = message_rate(iterations=64, config=cfg())
+        assert mr.rate_mops > 0
+
+    def test_nb_rate_beats_blocking_latency(self):
+        """Pipelined non-blocking puts must outpace 1/latency of
+        blocking puts (that's the point of the _nb API)."""
+        mr = message_rate(iterations=64, config=cfg())
+        lat = put_latency(sizes=(8,), iterations=16, config=cfg())[0]
+        blocking_rate_mops = 1.0 / lat.latency_us
+        assert mr.rate_mops > blocking_rate_mops
+
+    def test_needs_two_pes(self):
+        with pytest.raises(ValueError):
+            message_rate(config=MachineConfig(n_pes=1))

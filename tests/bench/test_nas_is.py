@@ -1,0 +1,126 @@
+"""Tests for the NAS Integer Sort port."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.nas_is import (
+    CLASS_PARAMS,
+    IsParams,
+    IsResult,
+    _lcg_block,
+    _randlc_int,
+    generate_keys,
+    run_is,
+)
+from repro.params import MachineConfig
+
+FAST = IsParams(problem_class="S-scaled", max_iterations=3,
+                log2_n_buckets=6)
+
+
+def fast_config(n_pes):
+    return MachineConfig(
+        n_pes=n_pes,
+        memory_bytes_per_pe=8 * 1024 * 1024,
+        symmetric_heap_bytes=4 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+    )
+
+
+class TestKeyGeneration:
+    def test_vectorised_lcg_matches_scalar(self):
+        x0 = 314159265
+        chunk = 64
+        apow = np.empty(chunk, dtype=np.uint64)
+        p = 1
+        for j in range(chunk):
+            p = _randlc_int(p)
+            apow[j] = p
+        lo = apow & np.uint64((1 << 23) - 1)
+        hi = apow >> np.uint64(23)
+        block = _lcg_block(x0, lo, hi)
+        x = x0
+        for j in range(chunk):
+            x = _randlc_int(x)
+            assert int(block[j]) == x
+
+    def test_keys_in_range(self):
+        p = IsParams(problem_class="S-scaled")
+        keys = generate_keys(p)
+        assert keys.size == p.total_keys
+        assert keys.min() >= 0
+        assert keys.max() < p.max_key
+
+    def test_gaussian_shape(self):
+        """Sum of 4 uniforms: mean at max_key/2, thin tails."""
+        p = IsParams(problem_class="S-scaled")
+        keys = generate_keys(p)
+        mean = keys.mean() / p.max_key
+        assert 0.48 < mean < 0.52
+        tail = np.count_nonzero(keys < p.max_key // 16) / keys.size
+        assert tail < 0.01
+
+    def test_deterministic(self):
+        p = IsParams(problem_class="S-scaled")
+        assert np.array_equal(generate_keys(p), generate_keys(p))
+
+    def test_npb_class_table(self):
+        assert CLASS_PARAMS["B"] == (25, 21)
+        assert CLASS_PARAMS["S"] == (16, 11)
+
+    def test_unknown_class_rejected(self):
+        from repro.errors import CollectiveArgumentError
+
+        with pytest.raises(CollectiveArgumentError):
+            IsParams(problem_class="Z")
+
+
+class TestIsRun:
+    @pytest.mark.parametrize("n_pes", [1, 2, 4])
+    def test_verification(self, n_pes):
+        res = run_is(fast_config(n_pes), FAST)
+        assert res.partial_verified
+        assert res.full_verified
+        assert res.sim_seconds > 0
+
+    def test_mops_accounting(self):
+        res = IsResult(n_pes=2, problem_class="S", total_keys=1 << 16,
+                       iterations=10, sim_seconds=1e-2,
+                       partial_verified=True, full_verified=True)
+        assert res.mops_total == pytest.approx(10 * (1 << 16) / 1e-2 / 1e6)
+        assert res.mops_per_pe == res.mops_total / 2
+
+    def test_key_reuse_across_sweep(self):
+        keys = generate_keys(FAST)
+        a = run_is(fast_config(2), FAST, keys)
+        b = run_is(fast_config(2), FAST, keys)
+        assert a.sim_seconds == b.sim_seconds
+
+    def test_key_count_must_match_class(self):
+        from repro.errors import CollectiveArgumentError
+
+        with pytest.raises(CollectiveArgumentError):
+            run_is(fast_config(2), FAST, np.zeros(10, dtype=np.int64))
+
+    def test_uses_reduce_and_broadcast(self):
+        """Section 5.2: IS exercises the reduction and broadcast
+        collectives."""
+        from repro.runtime import Machine
+        from repro.bench.nas_is import _is_pe, _oracle_ranks
+
+        keys = generate_keys(FAST)
+        rng = np.random.default_rng(5)
+        tk = rng.integers(FAST.max_key // 8, 7 * FAST.max_key // 8, size=5,
+                          dtype=np.int64)
+        tr = _oracle_ranks(keys, tk, FAST)
+        n = 2
+        chunk = FAST.total_keys // n
+        m = Machine(fast_config(n))
+        m.run(_is_pe, [(FAST, keys[r * chunk:(r + 1) * chunk], tk, tr)
+                       for r in range(n)])
+        calls = m.stats.collective_calls
+        assert any(k.startswith("reduce:sum") for k in calls)
+        assert any(k.startswith("broadcast") for k in calls)
+        assert any(k.startswith("alltoall") for k in calls)

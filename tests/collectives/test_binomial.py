@@ -1,0 +1,147 @@
+"""Tests for the binomial-tree schedules (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives.binomial import (
+    n_stages,
+    render_tree,
+    subtree_span,
+    tree_children,
+    tree_parent,
+    tree_stages,
+)
+from repro.errors import CollectiveArgumentError
+
+
+class TestStageCount:
+    @pytest.mark.parametrize("n,k", [(1, 0), (2, 1), (3, 2), (4, 2),
+                                     (7, 3), (8, 3), (9, 4), (16, 4)])
+    def test_ceil_log2(self, n, k):
+        """The paper's O(ceil(log2 N)) communication-step bound."""
+        assert n_stages(n) == k
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(CollectiveArgumentError):
+            n_stages(0)
+
+
+class TestHalving:
+    def test_eight_pes_figure3(self):
+        """The 8-PE broadcast tree: 0→4, then 0→2/4→6, then odd pairs."""
+        stages = tree_stages(8, "halving")
+        assert stages[0] == [(0, 4)]
+        assert stages[1] == [(0, 2), (4, 6)]
+        assert stages[2] == [(0, 1), (2, 3), (4, 5), (6, 7)]
+
+    def test_non_power_of_two_skips_absent_partners(self):
+        stages = tree_stages(7, "halving")
+        flat = [pair for stage in stages for pair in stage]
+        receivers = [to for _, to in flat]
+        assert sorted(receivers) == [1, 2, 3, 4, 5, 6]  # each once
+
+    def test_every_rank_reached_exactly_once(self):
+        for n in range(2, 33):
+            flat = [to for stage in tree_stages(n, "halving")
+                    for _, to in stage]
+            assert sorted(flat) == list(range(1, n))
+
+    def test_sender_has_data_before_sending(self):
+        """A PE only forwards after the stage that delivered to it."""
+        for n in (5, 8, 12, 16):
+            have = {0}
+            for stage in tree_stages(n, "halving"):
+                for frm, to in stage:
+                    assert frm in have
+                new = {to for _, to in stage}
+                have |= new
+
+
+class TestDoubling:
+    def test_mirror_of_halving(self):
+        """Doubling is halving reversed (leaves first, flipped arrows)."""
+        for n in (3, 8, 11):
+            h = tree_stages(n, "halving")
+            d = tree_stages(n, "doubling")
+            assert d == [[(b, a) for a, b in stage] for stage in h[::-1]]
+
+    def test_root_collects_everything(self):
+        for n in range(2, 20):
+            collected = {v: {v} for v in range(n)}
+            for stage in tree_stages(n, "doubling"):
+                for child, parent in stage:
+                    collected[parent] |= collected[child]
+            assert collected[0] == set(range(n))
+
+
+class TestTreeQueries:
+    def test_children_of_root_in_8(self):
+        assert tree_children(0, 8) == [4, 2, 1]
+
+    def test_parent(self):
+        assert tree_parent(0, 8) is None
+        assert tree_parent(6, 8) == 4
+        assert tree_parent(5, 8) == 4
+        assert tree_parent(3, 8) == 2
+
+    def test_parent_child_consistency(self):
+        for n in (6, 8, 13):
+            for v in range(1, n):
+                p = tree_parent(v, n)
+                assert v in tree_children(p, n)
+
+    def test_subtree_span(self):
+        # At stage i a partner owns 2^i consecutive virtual ranks.
+        assert subtree_span(4, 2, 8) == (4, 8)
+        assert subtree_span(4, 1, 8) == (4, 6)
+        assert subtree_span(6, 1, 7) == (6, 7)  # clamped at n_pes
+
+    def test_invalid_direction(self):
+        with pytest.raises(CollectiveArgumentError):
+            tree_stages(4, "sideways")
+
+
+class TestRender:
+    def test_render_contains_stages(self):
+        text = render_tree(8)
+        assert "stage 0: 0->4" in text
+        assert "3 stages" in text
+
+
+class TestMaskArithmetic:
+    """The schedules must equal what the paper's mask loops compute."""
+
+    @given(st.integers(2, 40))
+    def test_halving_matches_mask_loop(self, n):
+        k = n_stages(n)
+        mask = (1 << k) - 1
+        loop_pairs = []
+        for i in range(k - 1, -1, -1):
+            mask ^= 1 << i
+            stage = []
+            for vir in range(n):
+                if (vir & mask) == 0 and (vir & (1 << i)) == 0:
+                    part = (vir ^ (1 << i)) % n
+                    if vir < part:
+                        stage.append((vir, part))
+            loop_pairs.append(stage)
+        assert loop_pairs == tree_stages(n, "halving")
+
+    @given(st.integers(2, 40))
+    def test_doubling_matches_mask_loop(self, n):
+        k = n_stages(n)
+        mask = (1 << k) - 1
+        loop_pairs = []
+        for i in range(k):
+            mask ^= 1 << i
+            stage = []
+            for vir in range(n):
+                if (vir | mask) == mask and (vir & (1 << i)) == 0:
+                    part = (vir ^ (1 << i)) % n
+                    if vir < part:
+                        stage.append((part, vir))
+            loop_pairs.append(stage)
+        assert loop_pairs == tree_stages(n, "doubling")

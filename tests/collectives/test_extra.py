@@ -1,0 +1,135 @@
+"""Tests for the extended collectives (paper section 7 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from .helpers import run_machine
+
+
+class TestReduceAll:
+    @pytest.mark.parametrize("n_pes", [1, 2, 4, 7])
+    def test_every_pe_gets_result(self, n_pes):
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8 * 2)
+            dest = ctx.malloc(8 * 2)
+            ctx.view(src, "long", 2)[:] = [ctx.my_pe(), 1]
+            ctx.reduce_all(dest, src, 2, 1, "sum", "long")
+            got = list(ctx.view(dest, "long", 2))
+            ctx.close()
+            return got
+
+        results = run_machine(n_pes, body)
+        want = [sum(range(n_pes)), n_pes]
+        assert all(r == want for r in results)
+
+    def test_max_to_all(self):
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8)
+            dest = ctx.malloc(8)
+            ctx.view(src, "long", 1)[0] = (ctx.my_pe() * 13) % 7
+            ctx.reduce_all(dest, src, 1, 1, "max", "long")
+            got = int(ctx.view(dest, "long", 1)[0])
+            ctx.close()
+            return got
+
+        results = run_machine(5, body)
+        want = max((pe * 13) % 7 for pe in range(5))
+        assert all(r == want for r in results)
+
+
+class TestAllgatherFcollect:
+    def test_fcollect(self):
+        def body(ctx):
+            ctx.init()
+            n = ctx.num_pes()
+            src = ctx.malloc(8 * 2)
+            dest = ctx.malloc(8 * 2 * n)
+            ctx.view(src, "long", 2)[:] = [ctx.my_pe(), ctx.my_pe() * 10]
+            from repro.collectives.extra import fcollect
+
+            fcollect(ctx, dest, src, 2, np.dtype(np.int64))
+            got = list(ctx.view(dest, "long", 2 * n))
+            ctx.close()
+            return got
+
+        results = run_machine(4, body)
+        want = []
+        for pe in range(4):
+            want += [pe, pe * 10]
+        assert all(r == want for r in results)
+
+    def test_variable_allgather(self):
+        def body(ctx):
+            ctx.init()
+            n = ctx.num_pes()
+            msgs = [i + 1 for i in range(n)]
+            disp = [sum(msgs[:i]) for i in range(n)]
+            total = sum(msgs)
+            src = ctx.malloc(8 * n)
+            dest = ctx.malloc(8 * total)
+            me = ctx.my_pe()
+            ctx.view(src, "long", msgs[me])[:] = me * 100 + np.arange(msgs[me])
+            ctx.allgather(dest, src, msgs, disp, total, "long")
+            got = list(ctx.view(dest, "long", total))
+            ctx.close()
+            return got
+
+        results = run_machine(3, body)
+        want = [0, 100, 101, 200, 201, 202]
+        assert all(r == want for r in results)
+
+
+class TestAllToAll:
+    @pytest.mark.parametrize("n_pes", [1, 2, 4, 5, 8])
+    def test_personalised_exchange(self, n_pes):
+        """Block j of PE i lands as block i of PE j."""
+        def body(ctx):
+            ctx.init()
+            n, me = ctx.num_pes(), ctx.my_pe()
+            src = ctx.malloc(8 * n)
+            dest = ctx.malloc(8 * n)
+            ctx.view(dest, "long", n)[:] = -1
+            ctx.view(src, "long", n)[:] = [me * 100 + j for j in range(n)]
+            ctx.alltoall(dest, src, 1, "long")
+            got = list(ctx.view(dest, "long", n))
+            ctx.close()
+            return got
+
+        results = run_machine(n_pes, body)
+        for j, got in enumerate(results):
+            assert got == [i * 100 + j for i in range(n_pes)]
+
+    def test_multi_element_blocks(self):
+        def body(ctx):
+            ctx.init()
+            n, me = ctx.num_pes(), ctx.my_pe()
+            blk = 3
+            src = ctx.malloc(8 * n * blk)
+            dest = ctx.malloc(8 * n * blk)
+            sv = ctx.view(src, "long", n * blk)
+            for j in range(n):
+                sv[j * blk:(j + 1) * blk] = me * 1000 + j * 10 + np.arange(blk)
+            ctx.alltoall(dest, src, blk, "long")
+            got = np.array(ctx.view(dest, "long", n * blk), copy=True)
+            ctx.close()
+            return got
+
+        results = run_machine(3, body)
+        for j, got in enumerate(results):
+            for i in range(3):
+                want = i * 1000 + j * 10 + np.arange(3)
+                assert np.array_equal(got[i * 3:(i + 1) * 3], want)
+
+    def test_zero_block(self):
+        def body(ctx):
+            ctx.init()
+            d = ctx.malloc(16)
+            s = ctx.malloc(16)
+            ctx.alltoall(d, s, 0, "long")
+            ctx.close()
+
+        run_machine(2, body)

@@ -1,0 +1,178 @@
+"""Tests for location-aware hierarchical collectives (paper section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine
+
+from ..conftest import small_config
+from .helpers import run_machine
+
+
+def scattered_config(n_pes=8, n_nodes=4, **kw):
+    """Round-robin PE placement: rank i on node i % n_nodes."""
+    return small_config(
+        n_pes,
+        cores_per_node=-(-n_pes // n_nodes),
+        pe_node_map=tuple(i % n_nodes for i in range(n_pes)),
+        **kw,
+    )
+
+
+class TestNodeLayout:
+    def test_groups_and_leaders(self):
+        def body(ctx):
+            ctx.init()
+            from repro.collectives.hierarchy import node_layout
+
+            groups, leaders = node_layout(ctx, range(8), root_world=5)
+            ctx.barrier()
+            ctx.close()
+            return groups, leaders
+
+        m = Machine(scattered_config())
+        groups, leaders = m.run(body)[0]
+        # Round-robin over 4 nodes: node k hosts {k, k+4}.
+        assert groups == [(0, 4), (1, 5), (2, 6), (3, 7)]
+        # Root 5 leads its node; others are led by their lowest rank.
+        assert leaders == [0, 5, 2, 3]
+
+    def test_sequential_layout(self):
+        def body(ctx):
+            ctx.init()
+            from repro.collectives.hierarchy import node_layout
+
+            out = node_layout(ctx, range(8), root_world=0)
+            ctx.barrier()
+            ctx.close()
+            return out
+
+        m = Machine(small_config(8, cores_per_node=4))
+        groups, leaders = m.run(body)[0]
+        assert groups == [(0, 1, 2, 3), (4, 5, 6, 7)]
+        assert leaders == [0, 4]
+
+
+class TestHierarchicalBroadcast:
+    @pytest.mark.parametrize("root", [0, 3, 5, 7])
+    def test_correctness_scattered(self, root):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(8 * 4)
+            src = ctx.private_malloc(8 * 4)
+            ctx.view(dest, "long", 4)[:] = -1
+            if ctx.my_pe() == root:
+                ctx.view(src, "long", 4)[:] = [root, 2, 3, 4]
+            ctx.broadcast(dest, src, 4, 1, root, "long",
+                          algorithm="hierarchical")
+            got = list(ctx.view(dest, "long", 4))
+            ctx.close()
+            return got
+
+        m = Machine(scattered_config())
+        for got in m.run(body):
+            assert got == [root, 2, 3, 4]
+
+    def test_correctness_single_node(self):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(16)
+            src = ctx.private_malloc(16)
+            if ctx.my_pe() == 1:
+                ctx.view(src, "long", 1)[0] = 77
+            ctx.broadcast(dest, src, 1, 1, 1, "long",
+                          algorithm="hierarchical")
+            got = int(ctx.view(dest, "long", 1)[0])
+            ctx.close()
+            return got
+
+        assert run_machine(4, body) == [77] * 4
+
+    def test_fewer_inter_node_messages_when_scattered(self):
+        """On a scattered placement the flat tree pays inter-node wire
+        cost on most edges; the hierarchical one only between leaders."""
+        def timing(algorithm):
+            def body(ctx):
+                ctx.init()
+                dest = ctx.malloc(8 * 256)
+                src = ctx.private_malloc(8 * 256)
+                ctx.barrier()
+                t0 = ctx.pe.clock
+                ctx.broadcast(dest, src, 256, 1, 0, "long",
+                              algorithm=algorithm)
+                ctx.barrier()
+                dt = ctx.pe.clock - t0
+                ctx.close()
+                return dt
+
+            m = Machine(scattered_config(
+                8, 4,
+                memory_bytes_per_pe=8 * 1024 * 1024,
+                symmetric_heap_bytes=4 * 1024 * 1024,
+                collective_scratch_bytes=512 * 1024,
+            ))
+            return max(m.run(body))
+
+        assert timing("hierarchical") < timing("binomial")
+
+
+class TestHierarchicalReduce:
+    @pytest.mark.parametrize("root", [0, 2, 6])
+    @pytest.mark.parametrize("op", ["sum", "max"])
+    def test_correctness_scattered(self, root, op):
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8 * 3)
+            dest = ctx.private_malloc(8 * 3)
+            me = ctx.my_pe()
+            ctx.view(src, "long", 3)[:] = [me, me * 2, 1]
+            ctx.reduce(dest, src, 3, 1, root, op, "long",
+                       algorithm="hierarchical")
+            got = (list(ctx.view(dest, "long", 3))
+                   if me == root else None)
+            ctx.close()
+            return got
+
+        m = Machine(scattered_config())
+        results = m.run(body)
+        if op == "sum":
+            want = [sum(range(8)), 2 * sum(range(8)), 8]
+        else:
+            want = [7, 14, 1]
+        assert results[root] == want
+
+    def test_agrees_with_flat_binomial(self):
+        def run_with(algorithm):
+            def body(ctx):
+                ctx.init()
+                src = ctx.malloc(8 * 5)
+                dest = ctx.private_malloc(8 * 5)
+                me = ctx.my_pe()
+                ctx.view(src, "long", 5)[:] = (me + 1) * np.arange(1, 6)
+                ctx.reduce(dest, src, 5, 1, 2, "sum", "long",
+                           algorithm=algorithm)
+                got = (list(ctx.view(dest, "long", 5))
+                       if me == 2 else None)
+                ctx.close()
+                return got
+
+            m = Machine(scattered_config(6, 3))
+            return m.run(body)[2]
+
+        assert run_with("hierarchical") == run_with("binomial")
+
+
+class TestPeNodeMap:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="entries"):
+            small_config(4, pe_node_map=(0, 1))
+        with pytest.raises(ValueError, match="contiguous"):
+            small_config(4, pe_node_map=(0, 2, 2, 0))
+
+    def test_node_members(self):
+        cfg = scattered_config(8, 4)
+        assert cfg.node_members(0) == (0, 4)
+        assert cfg.node_members(3) == (3, 7)
+        assert cfg.n_nodes == 4

@@ -1,0 +1,92 @@
+"""Tests for the deferred non-blocking collectives (paper section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collectives.nonblocking import (
+    ibroadcast,
+    igather,
+    ireduce,
+    iscatter,
+)
+
+from .helpers import run_machine
+
+
+class TestNonBlocking:
+    def test_ibroadcast(self):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(8 * 2)
+            src = ctx.private_malloc(8 * 2)
+            if ctx.my_pe() == 0:
+                ctx.view(src, "long", 2)[:] = [5, 6]
+            h = ibroadcast(ctx, dest, src, 2, 1, 0, np.dtype(np.int64))
+            assert not h.test()
+            ctx.compute(100.0)  # overlapped local work
+            h.wait()
+            assert h.test()
+            got = list(ctx.view(dest, "long", 2))
+            ctx.close()
+            return got
+
+        assert run_machine(4, body) == [[5, 6]] * 4
+
+    def test_ireduce(self):
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8)
+            dest = ctx.private_malloc(8)
+            ctx.view(src, "long", 1)[0] = ctx.my_pe() + 1
+            h = ireduce(ctx, dest, src, 1, 1, 0, "sum", np.dtype(np.int64))
+            h.wait()
+            got = int(ctx.view(dest, "long", 1)[0]) if ctx.my_pe() == 0 else None
+            ctx.close()
+            return got
+
+        assert run_machine(4, body)[0] == 10
+
+    def test_iscatter_igather_pipeline(self):
+        def body(ctx):
+            ctx.init()
+            n, me = ctx.num_pes(), ctx.my_pe()
+            msgs = [2] * n
+            disp = [2 * i for i in range(n)]
+            total = 2 * n
+            src = ctx.malloc(8 * total)
+            mid = ctx.private_malloc(8 * 2)
+            out = ctx.malloc(8 * total)
+            if me == 0:
+                ctx.view(src, "long", total)[:] = np.arange(total)
+            h1 = iscatter(ctx, mid, src, msgs, disp, total, 0,
+                          np.dtype(np.int64))
+            h1.wait()
+            back = ctx.malloc(8 * 2)
+            ctx.view(back, "long", 2)[:] = ctx.view(mid, "long", 2)
+            h2 = igather(ctx, out, back, msgs, disp, total, 0,
+                         np.dtype(np.int64))
+            h2.wait()
+            got = list(ctx.view(out, "long", total)) if me == 0 else None
+            ctx.close()
+            return got
+
+        results = run_machine(3, body)
+        assert results[0] == list(range(6))
+
+    def test_double_wait_is_idempotent(self):
+        def body(ctx):
+            ctx.init()
+            dest = ctx.malloc(8)
+            src = ctx.private_malloc(8)
+            if ctx.my_pe() == 0:
+                ctx.view(src, "long", 1)[0] = 9
+            h = ibroadcast(ctx, dest, src, 1, 1, 0, np.dtype(np.int64))
+            h.wait()
+            t = ctx.pe.clock
+            h.wait()  # no further effect
+            assert ctx.pe.clock == t
+            ctx.barrier()
+            ctx.close()
+
+        run_machine(2, body)

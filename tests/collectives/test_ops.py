@@ -1,0 +1,123 @@
+"""Tests for the reduction operators (paper section 4.4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives.ops import (
+    BITWISE_OPS,
+    REDUCE_OPS,
+    apply_op,
+    check_op,
+    identity_of,
+)
+from repro.errors import ReductionOpError
+from repro.types import FLOAT_TYPENAMES, INTEGRAL_TYPENAMES, dtype_of
+
+
+class TestOpValidation:
+    def test_paper_operator_set(self):
+        """Sum, product, min, max + bitwise AND/OR/XOR."""
+        assert set(REDUCE_OPS) == {"sum", "prod", "min", "max",
+                                   "and", "or", "xor"}
+
+    @pytest.mark.parametrize("typename", FLOAT_TYPENAMES)
+    @pytest.mark.parametrize("op", BITWISE_OPS)
+    def test_bitwise_rejected_for_floats(self, typename, op):
+        with pytest.raises(ReductionOpError):
+            check_op(op, dtype_of(typename))
+
+    @pytest.mark.parametrize("typename", INTEGRAL_TYPENAMES)
+    @pytest.mark.parametrize("op", REDUCE_OPS)
+    def test_all_ops_allowed_for_integrals(self, typename, op):
+        check_op(op, dtype_of(typename))
+
+    @pytest.mark.parametrize("typename", FLOAT_TYPENAMES)
+    @pytest.mark.parametrize("op", ["sum", "prod", "min", "max"])
+    def test_arithmetic_allowed_for_floats(self, typename, op):
+        check_op(op, dtype_of(typename))
+
+    def test_unknown_op(self):
+        with pytest.raises(ReductionOpError):
+            check_op("median", np.dtype(np.int64))
+
+
+class TestApply:
+    def test_sum_in_place(self):
+        acc = np.array([1, 2, 3], dtype=np.int64)
+        apply_op("sum", acc, np.array([10, 20, 30], dtype=np.int64))
+        assert list(acc) == [11, 22, 33]
+
+    def test_min_max(self):
+        acc = np.array([5, -5], dtype=np.int32)
+        apply_op("min", acc, np.array([3, 0], dtype=np.int32))
+        assert list(acc) == [3, -5]
+        apply_op("max", acc, np.array([4, 4], dtype=np.int32))
+        assert list(acc) == [4, 4]
+
+    def test_bitwise(self):
+        acc = np.array([0b1100], dtype=np.uint8)
+        apply_op("and", acc, np.array([0b1010], dtype=np.uint8))
+        assert acc[0] == 0b1000
+        apply_op("or", acc, np.array([0b0001], dtype=np.uint8))
+        assert acc[0] == 0b1001
+        apply_op("xor", acc, np.array([0b1111], dtype=np.uint8))
+        assert acc[0] == 0b0110
+
+    def test_integer_wraparound_is_c_semantics(self):
+        acc = np.array([200], dtype=np.uint8)
+        apply_op("sum", acc, np.array([100], dtype=np.uint8))
+        assert acc[0] == 44  # (200+100) mod 256
+
+    def test_float_sum(self):
+        acc = np.array([0.5], dtype=np.float64)
+        apply_op("sum", acc, np.array([0.25], dtype=np.float64))
+        assert acc[0] == 0.75
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("typename",
+                             ["int8", "uint16", "int32", "uint64",
+                              "float", "double"])
+    @pytest.mark.parametrize("op", ["sum", "prod", "min", "max"])
+    def test_identity_is_neutral(self, typename, op):
+        dt = dtype_of(typename)
+        ident = identity_of(op, dt)
+        vals = np.array([1, 2, 100], dtype=dt)
+        acc = np.full(3, ident, dtype=dt)
+        apply_op(op, acc, vals)
+        assert np.array_equal(acc, vals)
+
+    @pytest.mark.parametrize("typename", ["uint8", "int16", "uint64"])
+    @pytest.mark.parametrize("op", BITWISE_OPS)
+    def test_bitwise_identity(self, typename, op):
+        dt = dtype_of(typename)
+        ident = identity_of(op, dt)
+        vals = np.array([0b1011, 0, 7], dtype=dt)
+        acc = np.full(3, ident, dtype=dt)
+        apply_op(op, acc, vals)
+        assert np.array_equal(acc, vals)
+
+    def test_bitwise_identity_rejected_for_float(self):
+        with pytest.raises(ReductionOpError):
+            identity_of("xor", np.dtype(np.float32))
+
+
+class TestAssociativity:
+    @given(st.lists(st.integers(-1000, 1000), min_size=2, max_size=10),
+           st.sampled_from(["sum", "prod", "min", "max", "and", "or", "xor"]))
+    def test_fold_order_irrelevant_for_ints(self, values, op):
+        """Any fold order gives the same answer — the property the tree
+        reduction relies on."""
+        dt = np.dtype(np.int64)
+        arrs = [np.array([v], dtype=dt) for v in values]
+        left = arrs[0].copy()
+        for a in arrs[1:]:
+            apply_op(op, left, a)
+        right = arrs[-1].copy()
+        for a in arrs[-2::-1]:
+            apply_op(op, right, a)
+        assert left[0] == right[0]

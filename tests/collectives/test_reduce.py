@@ -1,0 +1,173 @@
+"""Tests for Algorithm 2: binomial-tree reduction with recursive doubling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CollectiveArgumentError, ReductionOpError
+
+from .helpers import run_machine, run_reduce
+
+
+def oracle(op, per_pe_data, dtype):
+    acc = np.array(per_pe_data[0], dtype=dtype)
+    for d in per_pe_data[1:]:
+        v = np.array(d, dtype=dtype)
+        with np.errstate(over="ignore"):
+            if op == "sum":
+                acc = acc + v
+            elif op == "prod":
+                acc = acc * v
+            elif op == "min":
+                acc = np.minimum(acc, v)
+            elif op == "max":
+                acc = np.maximum(acc, v)
+            elif op == "and":
+                acc = acc & v
+            elif op == "or":
+                acc = acc | v
+            elif op == "xor":
+                acc = acc ^ v
+    return acc
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_pes", [1, 2, 3, 4, 7, 8])
+    def test_sum(self, n_pes):
+        dt = np.dtype(np.int64)
+        data = [np.arange(4) * (pe + 1) for pe in range(n_pes)]
+        results = run_reduce(n_pes, 4, 1, 0, "sum", dt, data)
+        assert np.array_equal(results[0], oracle("sum", data, dt))
+        assert all(r is None for r in results[1:])
+
+    @pytest.mark.parametrize("op", ["sum", "prod", "min", "max",
+                                    "and", "or", "xor"])
+    def test_all_ops(self, op):
+        dt = np.dtype(np.uint32)
+        rng = np.random.default_rng(hash(op) % 1000)
+        data = [rng.integers(1, 50, size=5) for _ in range(5)]
+        results = run_reduce(5, 5, 1, 0, op, dt, data)
+        assert np.array_equal(results[0], oracle(op, data, dt))
+
+    @pytest.mark.parametrize("root", [0, 2, 5, 6])
+    def test_nonzero_roots(self, root):
+        dt = np.dtype(np.int64)
+        data = [np.full(3, pe + 1) for pe in range(7)]
+        results = run_reduce(7, 3, 1, root, "sum", dt, data)
+        assert np.array_equal(results[root], np.full(3, 28))
+
+    @pytest.mark.parametrize("stride", [1, 2, 4])
+    def test_strides(self, stride):
+        """Strided reduction — OpenSHMEM can't (section 4.7)."""
+        dt = np.dtype(np.int32)
+        data = [np.array([pe, pe * 2], dtype=dt) for pe in range(4)]
+        results = run_reduce(4, 2, stride, 0, "sum", dt, data)
+        assert np.array_equal(results[0], np.array([6, 12], dtype=dt))
+
+    def test_float_sum_tolerance(self):
+        dt = np.dtype(np.float64)
+        rng = np.random.default_rng(3)
+        data = [rng.random(8) for _ in range(8)]
+        results = run_reduce(8, 8, 1, 0, "sum", dt, data)
+        # Tree fold order differs from sequential: allow float slack.
+        np.testing.assert_allclose(results[0], oracle("sum", data, dt),
+                                   rtol=1e-12)
+
+    def test_min_max_float(self):
+        dt = np.dtype(np.float32)
+        data = [np.array([pe * 1.5, -pe], dtype=dt) for pe in range(6)]
+        results = run_reduce(6, 2, 1, 0, "max", dt, data)
+        assert np.array_equal(results[0], np.array([7.5, 0.0], dtype=dt))
+
+    def test_single_pe(self):
+        dt = np.dtype(np.int64)
+        results = run_reduce(1, 3, 1, 0, "sum", dt, [np.array([1, 2, 3])])
+        assert np.array_equal(results[0], [1, 2, 3])
+
+    def test_zero_elements(self):
+        dt = np.dtype(np.int64)
+        results = run_reduce(4, 0, 1, 0, "sum", dt,
+                             [np.empty(0)] * 4)
+        assert results[0].size == 0
+
+    def test_source_unchanged(self):
+        """The s_buff/l_buff staging protects src from overwrites."""
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8 * 4)
+            dest = ctx.private_malloc(8 * 4)
+            mine = (ctx.my_pe() + 1) * np.arange(1, 5)
+            ctx.view(src, "long", 4)[:] = mine
+            ctx.long_reduce_sum(dest, src, 4, 1, 0)
+            unchanged = bool(np.array_equal(ctx.view(src, "long", 4), mine))
+            ctx.close()
+            return unchanged
+
+        assert all(run_machine(4, body))
+
+
+class TestValidation:
+    def test_bitwise_on_float_rejected(self):
+        from repro.errors import SimulationError
+
+        dt = np.dtype(np.float64)
+        with pytest.raises(SimulationError) as exc_info:
+            run_reduce(2, 1, 1, 0, "xor", dt, [np.zeros(1)] * 2)
+        assert isinstance(exc_info.value.__cause__, ReductionOpError)
+
+    def test_private_src_rejected(self):
+        """Section 4.4: src must be a shared symmetric address."""
+        def body(ctx):
+            ctx.init()
+            src = ctx.private_malloc(64)
+            dest = ctx.private_malloc(64)
+            with pytest.raises(CollectiveArgumentError, match="symmetric"):
+                ctx.long_reduce_sum(dest, src, 1, 1, 0)
+            ctx.barrier()
+            ctx.close()
+
+        run_machine(2, body)
+
+    def test_dest_may_be_private(self):
+        """dest, significant only on the root, may be private."""
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(64)
+            dest = ctx.private_malloc(64)
+            ctx.view(src, "long", 1)[0] = 2
+            ctx.long_reduce_sum(dest, src, 1, 1, 0)
+            got = int(ctx.view(dest, "long", 1)[0]) if ctx.my_pe() == 0 else None
+            ctx.close()
+            return got
+
+        assert run_machine(3, body)[0] == 6
+
+
+class TestLinearAlgorithm:
+    def test_linear_agrees_with_binomial(self):
+        dt = np.dtype(np.int64)
+        data = [np.arange(6) * (pe + 3) for pe in range(6)]
+        a = run_reduce(6, 6, 1, 2, "sum", dt, data, algorithm="binomial")
+        b = run_reduce(6, 6, 1, 2, "sum", dt, data, algorithm="linear")
+        assert np.array_equal(a[2], b[2])
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n_pes=st.integers(1, 8),
+        nelems=st.integers(1, 8),
+        op=st.sampled_from(["sum", "prod", "min", "max", "xor"]),
+        seed=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    def test_matches_numpy_oracle(self, n_pes, nelems, op, seed, data):
+        root = data.draw(st.integers(0, n_pes - 1))
+        dt = np.dtype(np.int64)
+        rng = np.random.default_rng(seed)
+        per_pe = [rng.integers(-100, 100, size=nelems) for _ in range(n_pes)]
+        results = run_reduce(n_pes, nelems, 1, root, op, dt, per_pe)
+        assert np.array_equal(results[root], oracle(op, per_pe, dt))

@@ -1,0 +1,166 @@
+"""Tests for PE-subset (team) collectives (paper section 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives.teams import Team
+from repro.errors import CollectiveArgumentError
+
+from .helpers import run_machine
+
+
+class TestTeamBasics:
+    def test_identity(self):
+        def body(ctx):
+            ctx.init()
+            if ctx.my_pe() in (1, 3, 5):
+                team = Team(ctx, [1, 3, 5])
+                out = (team.my_pe(), team.num_pes(), team.world_rank(2))
+            else:
+                out = None
+            ctx.barrier()
+            ctx.close()
+            return out
+
+        results = run_machine(6, body)
+        assert results[1] == (0, 3, 5)
+        assert results[3] == (1, 3, 5)
+        assert results[5] == (2, 3, 5)
+
+    def test_nonmember_construction_rejected(self):
+        def body(ctx):
+            ctx.init()
+            if ctx.my_pe() == 0:
+                with pytest.raises(CollectiveArgumentError):
+                    Team(ctx, [1, 2])
+            ctx.barrier()
+            ctx.close()
+
+        run_machine(3, body)
+
+    def test_empty_and_duplicate_rejected(self):
+        def body(ctx):
+            ctx.init()
+            with pytest.raises(CollectiveArgumentError):
+                Team(ctx, [])
+            with pytest.raises(CollectiveArgumentError):
+                Team(ctx, [0, 0])
+            ctx.barrier()
+            ctx.close()
+
+        run_machine(1, body)
+
+
+class TestTeamCollectives:
+    def test_team_broadcast_leaves_outsiders_alone(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8)
+            v = ctx.view(buf, "long", 1)
+            v[0] = -1
+            src = ctx.private_malloc(8)
+            me = ctx.my_pe()
+            if me in (0, 2):
+                team = Team(ctx, [0, 2])
+                if me == 0:
+                    ctx.view(src, "long", 1)[0] = 42
+                team.broadcast(buf, src, 1, 1, 0, "long")
+            ctx.barrier()
+            got = int(v[0])
+            ctx.close()
+            return got
+
+        results = run_machine(4, body)
+        assert results[0] == 42 and results[2] == 42
+        assert results[1] == -1 and results[3] == -1
+
+    def test_team_reduce_with_team_relative_root(self):
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8)
+            dest = ctx.private_malloc(8)
+            me = ctx.my_pe()
+            ctx.view(src, "long", 1)[0] = me
+            got = None
+            if me in (1, 2, 3):
+                team = Team(ctx, [1, 2, 3])
+                team.reduce(dest, src, 1, 1, root=2, op="sum", dtype="long")
+                if team.my_pe() == 2:  # world rank 3
+                    got = int(ctx.view(dest, "long", 1)[0])
+            ctx.barrier()
+            ctx.close()
+            return got
+
+        results = run_machine(4, body)
+        assert results[3] == 1 + 2 + 3
+
+    def test_disjoint_teams_concurrently(self):
+        """Two disjoint teams run collectives at the same time without
+        interference (the scratch-stack symmetry guarantee)."""
+        def body(ctx):
+            ctx.init()
+            me, n = ctx.my_pe(), ctx.num_pes()
+            members = [r for r in range(n) if r % 2 == me % 2]
+            team = Team(ctx, members)
+            src = ctx.malloc(8)
+            dest = ctx.private_malloc(8)
+            ctx.view(src, "long", 1)[0] = me + 1
+            team.reduce(dest, src, 1, 1, 0, "sum", "long")
+            got = None
+            if team.my_pe() == 0:
+                got = int(ctx.view(dest, "long", 1)[0])
+            ctx.barrier()
+            ctx.close()
+            return got
+
+        results = run_machine(8, body)
+        evens = sum(r + 1 for r in range(8) if r % 2 == 0)
+        odds = sum(r + 1 for r in range(8) if r % 2 == 1)
+        assert results[0] == evens
+        assert results[1] == odds
+
+    def test_team_scatter_gather(self):
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            got = None
+            if me in (0, 1, 3):
+                team = Team(ctx, [0, 1, 3])
+                msgs, disp = [2, 2, 2], [0, 2, 4]
+                src = ctx.malloc(8 * 6)
+                dest = ctx.private_malloc(8 * 2)
+                if team.my_pe() == 1:  # world rank 1 is the root
+                    ctx.view(src, "long", 6)[:] = np.arange(6) * 7
+                team.scatter(dest, src, msgs, disp, 6, 1, "long")
+                got = list(ctx.view(dest, "long", 2))
+            ctx.barrier()
+            ctx.close()
+            return got
+
+        results = run_machine(4, body)
+        assert results[0] == [0, 7]
+        assert results[1] == [14, 21]
+        assert results[3] == [28, 35]
+        assert results[2] is None
+
+    def test_team_alltoall(self):
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            got = None
+            if me in (0, 2):
+                team = Team(ctx, [0, 2])
+                src = ctx.malloc(8 * 2)
+                dest = ctx.malloc(8 * 2)
+                ctx.view(src, "long", 2)[:] = [me * 10, me * 10 + 1]
+                team.alltoall(dest, src, 1, "long")
+                got = list(ctx.view(dest, "long", 2))
+            ctx.barrier()
+            ctx.close()
+            return got
+
+        results = run_machine(4, body)
+        assert results[0] == [0, 20]
+        assert results[2] == [1, 21]

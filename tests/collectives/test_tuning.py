@@ -1,0 +1,61 @@
+"""Tests for the dynamic algorithm-selection layer (section 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.tuning import (
+    DEFAULT_POLICY,
+    SelectionPolicy,
+    select_algorithm,
+)
+from repro.errors import CollectiveArgumentError
+
+
+class TestSelection:
+    def test_tiny_pe_counts_use_linear(self):
+        assert select_algorithm("broadcast", 10 ** 6, 2) == "linear"
+        assert select_algorithm("reduce", 8, 1) == "linear"
+
+    def test_small_messages_use_linear(self):
+        """One-sided fire-and-forget puts favour the pipelined linear
+        scheme for small payloads (this repo's measured crossover)."""
+        assert select_algorithm("broadcast", 512, 8) == "linear"
+
+    def test_medium_messages_use_binomial(self):
+        assert select_algorithm("broadcast", 1 << 16, 8) == "binomial"
+        assert select_algorithm("reduce", 1 << 20, 8) == "binomial"
+
+    def test_huge_pe_count_never_linear(self):
+        assert select_algorithm("broadcast", 64, 64) == "binomial"
+
+    def test_huge_broadcasts_use_pipelined_ring(self):
+        big = 2 << 20
+        assert select_algorithm("broadcast", big, 8, "ring") == "ring"
+        assert select_algorithm("broadcast", big, 8,
+                                "fully-connected") == "ring"
+        # ...but not with too few PEs to pipeline across.
+        assert select_algorithm("broadcast", big, 3) == "binomial"
+
+    def test_reduce_never_ring(self):
+        assert select_algorithm("reduce", 2 << 20, 8, "ring") == "binomial"
+
+    def test_huge_pe_count_medium_payload_binomial(self):
+        assert select_algorithm("broadcast", 8 * 1024, 64) == "binomial"
+
+    def test_custom_policy(self):
+        policy = SelectionPolicy(linear_max_bytes=0, linear_max_pes=0)
+        assert select_algorithm("broadcast", 8, 4, policy=policy) == "binomial"
+
+    def test_unknown_collective(self):
+        with pytest.raises(CollectiveArgumentError):
+            select_algorithm("alltoallw", 8, 4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(CollectiveArgumentError):
+            select_algorithm("broadcast", -1, 4)
+        with pytest.raises(CollectiveArgumentError):
+            select_algorithm("broadcast", 8, 0)
+
+    def test_default_policy_is_consistent(self):
+        assert DEFAULT_POLICY.linear_max_pes < DEFAULT_POLICY.linear_pe_limit

@@ -1,0 +1,66 @@
+"""Tests for the logical ↔ virtual rank mapping (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.collectives.virtual_rank import logical_rank, rank_table, virtual_rank
+from repro.errors import CollectiveArgumentError
+
+#: Table 2 verbatim: 7 PEs, root = 4.
+PAPER_TABLE_2 = [
+    (0, 3), (1, 4), (2, 5), (3, 6), (4, 0), (5, 1), (6, 2),
+]
+
+
+def test_matches_paper_table2():
+    assert rank_table(root=4, n_pes=7) == PAPER_TABLE_2
+
+
+def test_root_always_virtual_zero():
+    for n in (1, 2, 5, 8, 13):
+        for root in range(n):
+            assert virtual_rank(root, root, n) == 0
+
+
+def test_root_zero_is_identity():
+    for lr in range(6):
+        assert virtual_rank(lr, 0, 6) == lr
+
+
+def test_consecutive_assignment():
+    """Virtual ranks are allocated in sequence by logical rank relative
+    to the root (section 4.3)."""
+    n, root = 9, 5
+    seq = [virtual_rank((root + i) % n, root, n) for i in range(n)]
+    assert seq == list(range(n))
+
+
+@given(st.integers(1, 64), st.data())
+def test_bijection(n, data):
+    root = data.draw(st.integers(0, n - 1))
+    vmap = [virtual_rank(lr, root, n) for lr in range(n)]
+    assert sorted(vmap) == list(range(n))
+    for lr in range(n):
+        assert logical_rank(vmap[lr], root, n) == lr
+
+
+@given(st.integers(1, 64), st.data())
+def test_logical_rank_formula(n, data):
+    """log_part = (vir_part + root) mod n_pes, as in all four algorithms."""
+    root = data.draw(st.integers(0, n - 1))
+    for vr in range(n):
+        assert logical_rank(vr, root, n) == (vr + root) % n
+
+
+@pytest.mark.parametrize("bad_call", [
+    lambda: virtual_rank(0, 0, 0),
+    lambda: virtual_rank(5, 0, 5),
+    lambda: virtual_rank(0, 5, 5),
+    lambda: logical_rank(5, 0, 5),
+])
+def test_validation(bad_call):
+    with pytest.raises(CollectiveArgumentError):
+        bad_call()

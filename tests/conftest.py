@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite.
+
+``small_config`` keeps per-PE memory small so machines build quickly;
+tests that need the paper's full 8 MB L2 construct their own
+:class:`MachineConfig`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import CacheParams, MachineConfig, MemoryParams, TlbParams
+
+
+def small_memory() -> MemoryParams:
+    """A scaled-down hierarchy for fast unit tests."""
+    return MemoryParams(
+        l1=CacheParams(size_bytes=1024, ways=2, line_bytes=64, hit_ns=1.0),
+        l2=CacheParams(size_bytes=16 * 1024, ways=4, line_bytes=64,
+                       hit_ns=10.0),
+        tlb=TlbParams(entries=16, page_bytes=4096, walk_ns=120.0),
+        dram_ns=90.0,
+    )
+
+
+def small_config(n_pes: int = 4, **kw) -> MachineConfig:
+    """A small, fast machine configuration."""
+    defaults = dict(
+        n_pes=n_pes,
+        memory_bytes_per_pe=4 * 1024 * 1024,
+        symmetric_heap_bytes=2 * 1024 * 1024,
+        collective_scratch_bytes=512 * 1024,
+        mem=small_memory(),
+    )
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+@pytest.fixture
+def config4() -> MachineConfig:
+    return small_config(4)
+
+
+@pytest.fixture
+def config8() -> MachineConfig:
+    return small_config(8)

@@ -1,0 +1,177 @@
+"""Tests for the two-pass assembler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.encoding import decode
+
+
+def names(prog):
+    return [decode(w).name for w in prog.words]
+
+
+class TestBasics:
+    def test_simple_program(self):
+        prog = assemble("addi a0, x0, 5\nadd a1, a0, a0\nhalt\n")
+        assert names(prog) == ["addi", "add", "ebreak"]
+
+    def test_comments_and_blanks(self):
+        prog = assemble("""
+            # leading comment
+            addi a0, x0, 1   # trailing comment
+
+            halt
+        """)
+        assert names(prog) == ["addi", "ebreak"]
+
+    def test_memory_operands(self):
+        prog = assemble("ld t0, 8(a0)\nsd t0, -8(sp)\n")
+        i0, i1 = decode(prog.words[0]), decode(prog.words[1])
+        assert (i0.name, i0.imm, i0.rs1) == ("ld", 8, 10)
+        assert (i1.name, i1.imm, i1.rs1) == ("sd", -8, 2)
+
+    def test_labels_and_branches(self):
+        prog = assemble("""
+        top:
+            addi a0, a0, -1
+            bnez a0, top
+            j end
+            nop
+        end:
+            halt
+        """)
+        # bnez expands to bne; offset back to top = -4.
+        bne = decode(prog.words[1])
+        assert bne.name == "bne" and bne.imm == -4
+        jal = decode(prog.words[2])
+        assert jal.name == "jal" and jal.imm == 8  # skips the nop
+
+    def test_forward_label(self):
+        prog = assemble("beq x0, x0, fwd\nnop\nfwd: halt\n")
+        assert decode(prog.words[0]).imm == 8
+
+    def test_label_table(self):
+        prog = assemble("a: nop\nb: nop\n", base=0x100)
+        assert prog.labels == {"a": 0x100, "b": 0x104}
+
+    def test_bytes_le(self):
+        prog = assemble("nop\n")
+        assert len(prog.bytes_le()) == 4
+
+
+class TestPseudoInstructions:
+    def test_nop_mv_ret(self):
+        prog = assemble("nop\nmv a1, a2\nret\n")
+        assert names(prog) == ["addi", "addi", "jalr"]
+
+    def test_li_small(self):
+        prog = assemble("li a0, -7\n")
+        i = decode(prog.words[0])
+        assert (i.name, i.imm, i.rs1) == ("addi", -7, 0)
+
+    def test_li_large_expands(self):
+        prog = assemble("li a0, 0x12345\n")
+        assert names(prog) == ["lui", "addiw"]
+
+    @pytest.mark.parametrize("val", [
+        0x12345, -0x12345, 2047, -2048, 2048, -2049,
+        (1 << 31) - 1, -(1 << 31), (1 << 31) - 2048, 0x7FFFF800,
+    ])
+    def test_li_loads_exact_value(self, val):
+        """li must materialise the sign-extended constant exactly —
+        including the values near 2^31 where lui+addi famously breaks."""
+        from repro.isa import Cpu, Memory
+
+        cpu = Cpu(0, Memory(1 << 12))
+        cpu.load_program(assemble(f"li a0, {val}\nhalt\n").words)
+        cpu.run()
+        assert cpu.regs.read_x_signed(10) == val
+
+    def test_li_expansion_keeps_label_offsets(self):
+        prog = assemble("""
+            li a0, 0x12345
+            j target
+        target:
+            halt
+        """)
+        jal = decode(prog.words[2])
+        assert jal.imm == 4
+
+    def test_li_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("li a0, 0x1_0000_0000_0\n")
+
+    def test_halt(self):
+        assert names(assemble("halt\n")) == ["ebreak"]
+
+
+class TestXbgasSyntax:
+    def test_extended_loads_stores(self):
+        prog = assemble("eld t0, 0(a0)\nesd t0, 8(a1)\n")
+        i0, i1 = decode(prog.words[0]), decode(prog.words[1])
+        assert (i0.name, i0.rs1) == ("eld", 10)
+        assert (i1.name, i1.rs1, i1.imm) == ("esd", 11, 8)
+
+    def test_raw_load(self):
+        prog = assemble("erld t1, a1, e10\n")
+        i = decode(prog.words[0])
+        assert i.name == "erld"
+        assert i.rd == 6 and i.rs1 == 11 and i.rs2 == 10
+
+    def test_raw_store(self):
+        prog = assemble("ersd t1, a1, e3\n")
+        i = decode(prog.words[0])
+        # ersd rs1(data), rs2(addr), ext3 — the e-register rides in rd.
+        assert i.name == "ersd"
+        assert i.rs1 == 6 and i.rs2 == 11 and i.rd == 3
+
+    def test_address_management(self):
+        prog = assemble("""
+            eaddi  t0, e5, 4
+            eaddie e6, a0, -2
+            eaddix e7, e6, 0
+        """)
+        a, b, c = (decode(w) for w in prog.words)
+        assert (a.name, a.rd, a.rs1, a.imm) == ("eaddi", 5, 5, 4)
+        assert (b.name, b.rd, b.rs1, b.imm) == ("eaddie", 6, 10, -2)
+        assert (c.name, c.rd, c.rs1, c.imm) == ("eaddix", 7, 6, 0)
+
+    def test_wrong_register_class_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("erld t1, a1, a2\n")  # ext operand must be e-register
+        with pytest.raises(AssemblerError):
+            assemble("eaddix e1, x3, 0\n")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            assemble("frobnicate a0, a1\n")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("j nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("x: nop\nx: nop\n")
+
+    def test_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add a0, a1\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus x0\n")
+
+
+class TestDirectives:
+    def test_dword(self):
+        prog = assemble(".dword 0x1122334455667788\n")
+        assert prog.words == [0x55667788, 0x11223344]
+
+    def test_word(self):
+        prog = assemble(".word 0xdeadbeef, 1\n")
+        assert prog.words == [0xDEADBEEF, 1]

@@ -1,0 +1,304 @@
+"""Tests for the functional xBGAS hart (fetch/decode/execute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IsaError, OlbMissError
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Cpu, HaltReason
+from repro.isa.memory import Memory
+
+MASK64 = (1 << 64) - 1
+
+
+def run(src: str, mem_size: int = 1 << 16, setup=None, max_instructions=100000):
+    cpu = Cpu(0, Memory(mem_size))
+    prog = assemble(src)
+    cpu.load_program(prog.words)
+    if setup:
+        setup(cpu)
+    reason = cpu.run(max_instructions)
+    assert reason is HaltReason.EBREAK
+    return cpu
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        cpu = run("li a0, 100\nli a1, 58\nadd a2, a0, a1\nsub a3, a0, a1\nhalt\n")
+        assert cpu.regs.read_x(12) == 158
+        assert cpu.regs.read_x(13) == 42
+
+    def test_wraparound(self):
+        cpu = run("li a0, -1\nli a1, 1\nadd a2, a0, a1\nhalt\n")
+        assert cpu.regs.read_x(12) == 0
+
+    def test_logic_ops(self):
+        cpu = run("""
+            li a0, 0xF0
+            li a1, 0x3C
+            and a2, a0, a1
+            or  a3, a0, a1
+            xor a4, a0, a1
+            halt
+        """)
+        assert cpu.regs.read_x(12) == 0x30
+        assert cpu.regs.read_x(13) == 0xFC
+        assert cpu.regs.read_x(14) == 0xCC
+
+    def test_shifts(self):
+        cpu = run("""
+            li a0, -8
+            srai a1, a0, 1
+            srli a2, a0, 60
+            slli a3, a0, 1
+            halt
+        """)
+        assert cpu.regs.read_x_signed(11) == -4
+        assert cpu.regs.read_x(12) == 15
+        assert cpu.regs.read_x_signed(13) == -16
+
+    def test_slt(self):
+        cpu = run("""
+            li a0, -1
+            li a1, 1
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            halt
+        """)
+        assert cpu.regs.read_x(12) == 1   # signed: -1 < 1
+        assert cpu.regs.read_x(13) == 0   # unsigned: 2^64-1 > 1
+
+    def test_word_ops_sign_extend(self):
+        cpu = run("""
+            li a0, 0x7fffffff
+            addiw a1, a0, 1
+            halt
+        """)
+        assert cpu.regs.read_x_signed(11) == -(1 << 31)
+
+    def test_mul_div_rem(self):
+        cpu = run("""
+            li a0, -7
+            li a1, 2
+            mul a2, a0, a1
+            div a3, a0, a1
+            rem a4, a0, a1
+            halt
+        """)
+        assert cpu.regs.read_x_signed(12) == -14
+        assert cpu.regs.read_x_signed(13) == -3  # truncation toward zero
+        assert cpu.regs.read_x_signed(14) == -1
+
+    def test_div_by_zero(self):
+        cpu = run("li a0, 5\ndiv a1, a0, x0\nremu a2, a0, x0\nhalt\n")
+        assert cpu.regs.read_x(11) == MASK64
+        assert cpu.regs.read_x(12) == 5
+
+
+class TestControlFlow:
+    def test_loop(self):
+        cpu = run("""
+            li a0, 10
+            li a1, 0
+        loop:
+            add a1, a1, a0
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """)
+        assert cpu.regs.read_x(11) == 55
+
+    def test_jal_link(self):
+        cpu = run("""
+            jal ra, func
+            halt
+        func:
+            li a0, 99
+            ret
+        """)
+        assert cpu.regs.read_x(10) == 99
+
+    def test_branch_not_taken_falls_through(self):
+        cpu = run("li a0, 1\nbeqz a0, skip\nli a1, 5\nskip: halt\n")
+        assert cpu.regs.read_x(11) == 5
+
+    def test_max_instruction_budget(self):
+        cpu = Cpu(0, Memory(1 << 12))
+        cpu.load_program(assemble("loop: j loop\n").words)
+        assert cpu.run(max_instructions=10) is HaltReason.MAX_INSTRUCTIONS
+
+    def test_stepping_halted_core_raises(self):
+        cpu = run("halt\n")
+        with pytest.raises(IsaError):
+            cpu.step()
+
+
+class TestLoadsStores:
+    def test_widths_and_sign(self):
+        cpu = run("""
+            li a0, 0x1000
+            li a1, -2
+            sd a1, 0(a0)
+            lb a2, 0(a0)
+            lbu a3, 0(a0)
+            lh a4, 0(a0)
+            lhu a5, 0(a0)
+            lw a6, 0(a0)
+            lwu a7, 0(a0)
+            halt
+        """)
+        assert cpu.regs.read_x_signed(12) == -2
+        assert cpu.regs.read_x(13) == 0xFE
+        assert cpu.regs.read_x_signed(14) == -2
+        assert cpu.regs.read_x(15) == 0xFFFE
+        assert cpu.regs.read_x_signed(16) == -2
+        assert cpu.regs.read_x(17) == 0xFFFFFFFE
+
+
+class TestXbgasLocal:
+    """Extended instructions with object ID 0 behave as local accesses
+    (section 3.2: 'a local memory operation is performed')."""
+
+    def test_eld_esd_local(self):
+        cpu = run("""
+            li a0, 0x2000
+            li a1, 1234
+            esd a1, 0(a0)
+            eld a2, 0(a0)
+            halt
+        """)
+        assert cpu.regs.read_x(12) == 1234
+        assert cpu.memory.load(0x2000, 8) == 1234
+
+    def test_raw_local(self):
+        cpu = run("""
+            li a0, 0x2000
+            li a1, 77
+            ersd a1, a0, e4
+            erld a2, a0, e4
+            halt
+        """)
+        assert cpu.regs.read_x(12) == 77
+
+    def test_address_management(self):
+        cpu = run("""
+            li a0, 5
+            eaddie e3, a0, 2    # e3 = 7
+            eaddix e4, e3, 1    # e4 = 8
+            eaddi  a1, e4, -3   # a1 = 5
+            halt
+        """)
+        assert cpu.regs.read_e(3) == 7
+        assert cpu.regs.read_e(4) == 8
+        assert cpu.regs.read_x(11) == 5
+
+    def test_remote_without_port_raises(self):
+        cpu = Cpu(0, Memory(1 << 12))
+        cpu.olb.install(1, 0)
+        src = "eaddie e10, x0, 1\nli a0, 16\neld a1, 0(a0)\nhalt\n"
+        cpu.load_program(assemble(src).words)
+        # rs1 of eld is a0 = x10, so its paired extended register is e10.
+        with pytest.raises(IsaError):
+            cpu.run()
+
+    def test_olb_miss_surfaces(self):
+        cpu = Cpu(0, Memory(1 << 12))
+        src = "eaddie e10, x0, 9\nli a0, 16\neld a1, 0(a0)\nhalt\n"
+        cpu.load_program(assemble(src).words)
+        with pytest.raises(OlbMissError):
+            cpu.run()
+
+
+class TestRemotePort:
+    """The base/raw instructions route through the remote port when the
+    extended register holds a non-zero object ID."""
+
+    class FakePort:
+        def __init__(self):
+            self.loads = []
+            self.stores = []
+            self.cells = {}
+
+        def remote_load(self, pe, addr, nbytes, signed):
+            self.loads.append((pe, addr, nbytes, signed))
+            return self.cells.get(addr, 0), 5.0
+
+        def remote_store(self, pe, addr, nbytes, value):
+            self.stores.append((pe, addr, nbytes, value))
+            self.cells[addr] = value
+            return 3.0
+
+    def make_cpu(self):
+        port = self.FakePort()
+        cpu = Cpu(0, Memory(1 << 12), remote_port=port)
+        cpu.olb.install_default(4)
+        return cpu, port
+
+    def test_base_type_remote_store_load(self):
+        cpu, port = self.make_cpu()
+        src = """
+            li a0, 64
+            eaddie e10, x0, 3   # object 3 -> PE 2
+            li a1, 555
+            esd a1, 8(a0)
+            eld a2, 8(a0)
+            halt
+        """
+        cpu.load_program(assemble(src).words)
+        cpu.run()
+        assert port.stores == [(2, 72, 8, 555)]
+        assert port.loads == [(2, 72, 8, True)]
+        assert cpu.regs.read_x(12) == 555
+
+    def test_raw_type_remote(self):
+        cpu, port = self.make_cpu()
+        src = """
+            li a0, 128
+            eaddie e7, x0, 2    # object 2 -> PE 1
+            li a1, 9
+            ersd a1, a0, e7
+            erlw a2, a0, e7
+            halt
+        """
+        cpu.load_program(assemble(src).words)
+        cpu.run()
+        assert port.stores == [(1, 128, 8, 9)]
+        assert port.loads == [(1, 128, 4, True)]
+
+    def test_remote_time_charged(self):
+        cpu, port = self.make_cpu()
+        src = """
+            li a0, 64
+            eaddie e10, x0, 2
+            li a1, 1
+            esd a1, 0(a0)
+            halt
+        """
+        cpu.load_program(assemble(src).words)
+        before = cpu.ns_elapsed
+        cpu.run()
+        # 3 ns from the port plus OLB lookup time must be included.
+        assert cpu.ns_elapsed - before >= 3.0 + cpu.olb.lookup_ns
+
+
+class TestCycleAccounting:
+    def test_instruction_count(self):
+        cpu = run("li a0, 3\nli a1, 4\nadd a2, a0, a1\nhalt\n")
+        assert cpu.instructions_retired == 4
+
+    def test_time_advances(self):
+        cpu = run("li a0, 3\nmul a1, a0, a0\nhalt\n")
+        assert cpu.ns_elapsed > 0
+
+    def test_decode_cache_reused(self):
+        cpu = run("""
+            li a0, 100
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """)
+        # 1 li + 100*(addi+bnez) + halt executed, but only 4 distinct words.
+        assert cpu.instructions_retired == 202
+        assert len(cpu._decode_cache) == 4

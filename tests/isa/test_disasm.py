@@ -1,0 +1,75 @@
+"""Tests for the disassembler (round-trips with the assembler)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.assembler import assemble
+from repro.isa.disasm import disassemble, disassemble_program
+from repro.isa.encoding import INSTRUCTION_SPECS, Instruction, encode
+
+
+def _sample_instruction(spec):
+    if spec.name in ("ecall", "fence"):
+        return Instruction(spec)
+    if spec.name == "ebreak":
+        return Instruction(spec, imm=1)
+    imm = {"I": -5, "Ish": 7, "S": 12, "B": -8, "U": 8192, "J": 16}.get(
+        spec.fmt, 0)
+    return Instruction(spec, rd=5, rs1=6, rs2=7, imm=imm)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", INSTRUCTION_SPECS,
+                             ids=lambda s: s.name)
+    def test_every_mnemonic_roundtrips(self, spec):
+        word = encode(_sample_instruction(spec))
+        text = disassemble(word)
+        prog = assemble(text)
+        assert prog.words == [word], f"{text!r}"
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        spec=st.sampled_from([s for s in INSTRUCTION_SPECS
+                              if s.name not in ("ecall", "ebreak",
+                                                "fence")]),
+        rd=st.integers(0, 31), rs1=st.integers(0, 31),
+        rs2=st.integers(0, 31), data=st.data(),
+    )
+    def test_roundtrip_property(self, spec, rd, rs1, rs2, data):
+        if spec.fmt == "Ish":
+            imm = data.draw(st.integers(0, 63))
+        elif spec.fmt in ("I", "S"):
+            imm = data.draw(st.integers(-2048, 2047))
+        elif spec.fmt == "B":
+            imm = data.draw(st.integers(-1024, 1023)) * 2
+        elif spec.fmt == "U":
+            imm = data.draw(st.integers(-(1 << 19), (1 << 19) - 1)) << 12
+        elif spec.fmt == "J":
+            imm = data.draw(st.integers(-(1 << 18), (1 << 18) - 1)) * 2
+        else:
+            imm = 0
+        word = encode(Instruction(spec, rd=rd, rs1=rs1, rs2=rs2, imm=imm))
+        assert assemble(disassemble(word)).words == [word]
+
+
+class TestProgramListing:
+    def test_listing_has_addresses(self):
+        prog = assemble("addi a0, x0, 1\nhalt\n", base=0x100)
+        text = disassemble_program(prog.words, base=0x100)
+        assert text.splitlines()[0].startswith("0x0100:")
+        assert "addi x10, x0, 1" in text
+        assert "ebreak" in text
+
+    def test_unknown_word_shown_as_data(self):
+        text = disassemble_program([0x0000007F])
+        assert ".word" in text
+
+    def test_generated_transfer_loop_is_readable(self):
+        from repro.runtime.isa_path import _gen_program
+
+        prog = assemble(_gen_program(8, 4))
+        text = disassemble_program(prog.words)
+        assert "eld" in text and "esd" in text

@@ -1,0 +1,147 @@
+"""Tests for instruction encode/decode (RV64I subset + xBGAS)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodeError
+from repro.isa.encoding import (
+    INSTRUCTION_SPECS,
+    Instruction,
+    decode,
+    encode,
+    spec_of,
+)
+
+XBGAS_GROUPS = {"eload", "estore", "erload", "erstore", "eaddr"}
+
+
+def _imm_strategy(spec):
+    if spec.fmt == "Ish":
+        return st.integers(0, 63)
+    if spec.fmt == "I":
+        return st.integers(-2048, 2047)
+    if spec.fmt == "S":
+        return st.integers(-2048, 2047)
+    if spec.fmt == "B":
+        return st.integers(-2048, 2047).map(lambda v: v * 2)
+    if spec.fmt == "U":
+        return st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v << 12)
+    if spec.fmt == "J":
+        return st.integers(-(1 << 19), (1 << 19) - 1).map(lambda v: v * 2)
+    return st.just(0)
+
+
+class TestSpecTable:
+    def test_all_mnemonics_unique(self):
+        names = [s.name for s in INSTRUCTION_SPECS]
+        assert len(names) == len(set(names))
+
+    def test_xbgas_instruction_groups_present(self):
+        """Section 3.2's three instruction categories all exist."""
+        groups = {s.group for s in INSTRUCTION_SPECS}
+        assert XBGAS_GROUPS <= groups
+
+    def test_base_type_load_store_family(self):
+        for name in ("elb", "elh", "elw", "eld", "elbu", "elhu", "elwu",
+                     "esb", "esh", "esw", "esd"):
+            assert spec_of(name).group in ("eload", "estore")
+
+    def test_raw_type_family(self):
+        for name in ("erlb", "erlh", "erlw", "erld", "erlbu", "erlhu",
+                     "erlwu", "ersb", "ersh", "ersw", "ersd"):
+            assert spec_of(name).group in ("erload", "erstore")
+
+    def test_address_management_family(self):
+        for name in ("eaddi", "eaddie", "eaddix"):
+            assert spec_of(name).group == "eaddr"
+
+    def test_raw_type_has_no_immediate_format(self):
+        """Paper: raw-type instructions allow no immediate addressing."""
+        for s in INSTRUCTION_SPECS:
+            if s.group in ("erload", "erstore"):
+                assert s.fmt == "R"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(DecodeError):
+            spec_of("vadd")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec", INSTRUCTION_SPECS,
+                             ids=lambda s: s.name)
+    def test_simple_roundtrip(self, spec):
+        imm = {"I": 5, "Ish": 5, "S": 5, "B": 8, "U": 4096, "J": 8}.get(
+            spec.fmt, 0)
+        if spec.name == "ebreak":
+            imm = 1
+        instr = Instruction(spec, rd=3, rs1=4, rs2=5, imm=imm)
+        if spec.name in ("ecall", "ebreak"):
+            instr = Instruction(spec, imm=imm)
+        word = encode(instr)
+        back = decode(word)
+        assert back.spec.name == spec.name
+        assert encode(back) == word
+
+    @given(st.sampled_from([s for s in INSTRUCTION_SPECS
+                            if s.name not in ("ecall", "ebreak")]),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+           st.data())
+    def test_roundtrip_property(self, spec, rd, rs1, rs2, data):
+        imm = data.draw(_imm_strategy(spec))
+        instr = Instruction(spec, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        word = encode(instr)
+        back = decode(word)
+        assert back.spec.name == spec.name
+        assert encode(back) == word
+        # Field recovery by format.
+        if spec.fmt in ("R", "I", "Ish", "U", "J"):
+            assert back.rd == rd
+        if spec.fmt in ("R", "I", "Ish", "S", "B"):
+            assert back.rs1 == rs1
+        if spec.fmt in ("R", "S", "B"):
+            assert back.rs2 == rs2
+        if spec.fmt != "R":
+            assert back.imm == imm
+
+
+class TestEncodeErrors:
+    def test_register_out_of_range(self):
+        with pytest.raises(DecodeError):
+            encode(Instruction(spec_of("add"), rd=32, rs1=0, rs2=0))
+
+    def test_immediate_overflow(self):
+        with pytest.raises(DecodeError):
+            encode(Instruction(spec_of("addi"), rd=1, rs1=1, imm=5000))
+
+    def test_branch_offset_must_be_even(self):
+        with pytest.raises(DecodeError):
+            encode(Instruction(spec_of("beq"), rs1=0, rs2=0, imm=3))
+
+    def test_decode_garbage(self):
+        with pytest.raises(DecodeError):
+            decode(0x0000007F)  # unused opcode
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)
+
+
+class TestSignExtension:
+    def test_negative_i_imm(self):
+        w = encode(Instruction(spec_of("addi"), rd=1, rs1=2, imm=-1))
+        assert decode(w).imm == -1
+
+    def test_negative_branch(self):
+        w = encode(Instruction(spec_of("bne"), rs1=1, rs2=2, imm=-16))
+        assert decode(w).imm == -16
+
+    def test_negative_jal(self):
+        w = encode(Instruction(spec_of("jal"), rd=1, imm=-1024))
+        assert decode(w).imm == -1024
+
+    def test_lui_upper(self):
+        w = encode(Instruction(spec_of("lui"), rd=1, imm=-4096))
+        assert decode(w).imm == -4096

@@ -1,0 +1,59 @@
+"""Tests for the Object Look-aside Buffer (paper section 3.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OlbMissError
+from repro.isa.olb import LOCAL_OBJECT_ID, ObjectLookasideBuffer
+
+
+class TestOlb:
+    def test_object_id_zero_means_local(self):
+        olb = ObjectLookasideBuffer(owner_pe=3)
+        assert olb.is_local(LOCAL_OBJECT_ID)
+        assert not olb.is_local(1)
+
+    def test_default_mapping(self):
+        """The runtime convention: object ID k maps to PE k-1."""
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        olb.install_default(4)
+        assert [olb.translate(k) for k in (1, 2, 3, 4)] == [0, 1, 2, 3]
+
+    def test_miss_raises(self):
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        with pytest.raises(OlbMissError):
+            olb.translate(7)
+
+    def test_miss_counted(self):
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        olb.install(1, 0)
+        olb.translate(1)
+        with pytest.raises(OlbMissError):
+            olb.translate(2)
+        assert olb.lookups == 2
+        assert olb.misses == 1
+
+    def test_cannot_install_reserved_id(self):
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        with pytest.raises(OlbMissError):
+            olb.install(0, 1)
+
+    def test_custom_remapping(self):
+        """Location-aware remapping (paper section 7) is expressible."""
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        olb.install(42, 3)
+        assert olb.translate(42) == 3
+
+    def test_object_id_for_reverse_lookup(self):
+        olb = ObjectLookasideBuffer(owner_pe=2)
+        olb.install_default(4)
+        assert olb.object_id_for(2) == 0  # self = local
+        assert olb.object_id_for(3) == 4
+        with pytest.raises(OlbMissError):
+            olb.object_id_for(9)
+
+    def test_len(self):
+        olb = ObjectLookasideBuffer(owner_pe=0)
+        olb.install_default(8)
+        assert len(olb) == 8

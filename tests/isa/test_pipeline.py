@@ -1,0 +1,177 @@
+"""Tests for the optional pipeline timing model (paper section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Cpu, Memory, assemble
+from repro.isa.pipeline import PipelineModel, PipelineParams
+from repro.params import CacheParams
+
+
+def run(src: str, pipeline: PipelineModel | None):
+    cpu = Cpu(0, Memory(1 << 16), pipeline=pipeline)
+    cpu.load_program(assemble(src).words)
+    cpu.run()
+    return cpu
+
+
+class TestHazards:
+    def test_load_use_stall_detected(self):
+        src = """
+            li a0, 0x1000
+            ld a1, 0(a0)
+            add a2, a1, a1   # consumes the load result immediately
+            halt
+        """
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.stalls == 1
+
+    def test_independent_instruction_hides_latency(self):
+        src = """
+            li a0, 0x1000
+            ld a1, 0(a0)
+            addi a3, x0, 7   # independent: no stall
+            add a2, a1, a1   # one instruction later: no stall
+            halt
+        """
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.stalls == 0
+
+    def test_store_after_load_address_hazard(self):
+        src = """
+            li a0, 0x1000
+            ld a1, 0(a0)
+            sd a1, 8(a0)     # rs2 = loaded value
+            halt
+        """
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.stalls == 1
+
+    def test_x0_never_hazards(self):
+        src = """
+            li a0, 0x1000
+            lw x0, 0(a0)     # load to x0 is discarded
+            add a2, x0, x0
+            halt
+        """
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.stalls == 0
+
+    def test_stall_adds_time(self):
+        src = "li a0, 0x1000\nld a1, 0(a0)\nadd a2, a1, a1\nhalt\n"
+        with_pipe = run(src, PipelineModel()).ns_elapsed
+        without = run(src, None).ns_elapsed
+        assert with_pipe > without
+
+
+class TestBranchFlush:
+    def test_taken_branch_flushes(self):
+        src = """
+            li a0, 3
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.flushes == 2  # taken twice, falls through once
+
+    def test_jumps_flush(self):
+        src = "j skip\nnop\nskip: halt\n"
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.flushes == 1
+
+    def test_untaken_branch_no_flush(self):
+        src = "beq x0, ra, never\nnop\nnever: halt\n"
+        # beq x0, ra: ra == 0 initially so it IS taken; use bne instead.
+        src = "bne x0, x0, never\nnop\nnever: halt\n"
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.flushes == 0
+
+
+class TestICache:
+    def test_loop_body_hits_after_first_iteration(self):
+        src = """
+            li a0, 100
+        loop:
+            addi a0, a0, -1
+            bnez a0, loop
+            halt
+        """
+        pipe = PipelineModel()
+        cpu = run(src, pipe)
+        # One 64-byte line holds the whole program: a single cold miss.
+        assert pipe.icache_misses == 1
+        assert cpu.instructions_retired > 200
+
+    def test_large_footprint_misses_more(self):
+        body = "\n".join("    addi a0, a0, 1" for _ in range(64))
+        src = f"li a0, 0\n{body}\nhalt\n"
+        pipe = PipelineModel()
+        run(src, pipe)
+        assert pipe.icache_misses >= 4  # ~66 instructions over 64 B lines
+
+    def test_miss_cost_charged(self):
+        tiny_icache = PipelineParams(
+            icache=CacheParams(size_bytes=128, ways=1, hit_ns=0.0),
+            icache_miss_ns=50.0,
+        )
+        body = "\n".join("    addi a0, a0, 1" for _ in range(64))
+        src = f"li a0, 0\n{body}\nhalt\n"
+        slow = run(src, PipelineModel(tiny_icache)).ns_elapsed
+        fast = run(src, PipelineModel()).ns_elapsed
+        assert slow > fast
+
+
+class TestMachineIntegration:
+    def test_pipeline_config_slows_isa_transfers(self):
+        from repro.runtime import Machine
+        from ..conftest import small_config
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 128)
+            src = ctx.private_malloc(8 * 128)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                ctx.put(buf, src, 128, 1, 1, "long")
+            dt = ctx.pe.clock - t0
+            ctx.barrier()
+            ctx.close()
+            return dt
+
+        plain = Machine(small_config(2, fidelity="isa")).run(body)[0]
+        piped = Machine(small_config(2, fidelity="isa",
+                                     pipeline=True)).run(body)[0]
+        assert piped > plain
+
+    def test_functional_results_identical(self):
+        from repro.runtime import Machine
+        from ..conftest import small_config
+        import numpy as np
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 32)
+            src = ctx.private_malloc(8 * 32)
+            if ctx.my_pe() == 0:
+                ctx.view(src, "long", 32)[:] = np.arange(32) * 9
+                ctx.put(buf, src, 32, 1, 1, "long")
+            ctx.barrier()
+            got = list(ctx.view(buf, "long", 32))
+            ctx.close()
+            return got
+
+        plain = Machine(small_config(2, fidelity="isa")).run(body)
+        piped = Machine(small_config(2, fidelity="isa",
+                                     pipeline=True)).run(body)
+        assert plain == piped

@@ -1,0 +1,96 @@
+"""Tests for the x/e register files (paper Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import IsaError
+from repro.isa.registers import (
+    ABI_NAMES,
+    E_NAMES,
+    X_NAMES,
+    RegisterFile,
+    parse_register,
+)
+
+
+class TestRegisterFile:
+    def test_figure1_has_32_of_each(self):
+        assert len(X_NAMES) == 32
+        assert len(E_NAMES) == 32
+
+    def test_x0_hardwired_zero(self):
+        rf = RegisterFile()
+        rf.write_x(0, 0xDEAD)
+        assert rf.read_x(0) == 0
+
+    def test_e0_is_writable(self):
+        # Unlike x0, e0 is an ordinary extended register.
+        rf = RegisterFile()
+        rf.write_e(0, 7)
+        assert rf.read_e(0) == 7
+
+    def test_values_masked_to_64_bits(self):
+        rf = RegisterFile()
+        rf.write_x(5, 1 << 64)
+        assert rf.read_x(5) == 0
+        rf.write_x(5, -1)
+        assert rf.read_x(5) == (1 << 64) - 1
+
+    def test_signed_read(self):
+        rf = RegisterFile()
+        rf.write_x(3, (1 << 64) - 5)
+        assert rf.read_x_signed(3) == -5
+        assert rf.read_x(3) == (1 << 64) - 5
+
+    def test_extended_address_pairs_registers(self):
+        """The 128-bit extended address = (e[ext], x[base]+offset)."""
+        rf = RegisterFile()
+        rf.write_x(10, 0x1000)
+        rf.write_e(10, 3)
+        obj, addr = rf.extended_address(10, 10, offset=8)
+        assert (obj, addr) == (3, 0x1008)
+
+    def test_extended_address_wraps(self):
+        rf = RegisterFile()
+        rf.write_x(4, (1 << 64) - 4)
+        obj, addr = rf.extended_address(4, 4, offset=8)
+        assert addr == 4
+
+    def test_snapshot_only_nonzero(self):
+        rf = RegisterFile()
+        rf.write_x(7, 1)
+        rf.write_e(2, 9)
+        assert rf.snapshot() == {"x7": 1, "e2": 9}
+
+    @given(st.integers(min_value=1, max_value=31),
+           st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_write_read_roundtrip(self, idx, value):
+        rf = RegisterFile()
+        rf.write_x(idx, value)
+        assert rf.read_x(idx) == value
+        rf.write_e(idx, value)
+        assert rf.read_e(idx) == value
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize("name,expect", [
+        ("x0", ("x", 0)), ("x31", ("x", 31)),
+        ("e0", ("e", 0)), ("e31", ("e", 31)),
+        ("zero", ("x", 0)), ("ra", ("x", 1)), ("sp", ("x", 2)),
+        ("a0", ("x", 10)), ("a7", ("x", 17)),
+        ("t0", ("x", 5)), ("t6", ("x", 31)),
+        ("s0", ("x", 8)), ("fp", ("x", 8)), ("s11", ("x", 27)),
+    ])
+    def test_valid_names(self, name, expect):
+        assert parse_register(name) == expect
+
+    @pytest.mark.parametrize("bad", ["x32", "e32", "q5", "xx1", "", "a8"])
+    def test_invalid_names(self, bad):
+        with pytest.raises(IsaError):
+            parse_register(bad)
+
+    def test_abi_covers_all_base_registers(self):
+        assert sorted(set(ABI_NAMES.values())) == list(range(32))

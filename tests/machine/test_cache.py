@@ -1,0 +1,123 @@
+"""Tests for the set-associative LRU cache model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache, CacheLevelResult
+from repro.params import CacheParams
+
+
+def make(size=1024, ways=2, line=64):
+    return Cache(CacheParams(size_bytes=size, ways=ways, line_bytes=line))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        assert c.access(5, False) is CacheLevelResult.MISS
+        assert c.access(5, False) is CacheLevelResult.HIT
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_line_of(self):
+        c = make(line=64)
+        assert c.line_of(0) == 0
+        assert c.line_of(63) == 0
+        assert c.line_of(64) == 1
+
+    def test_conflict_eviction(self):
+        c = make(size=256, ways=2, line=64)  # 4 lines, 2 sets, 2 ways
+        # Lines 0, 2, 4 all map to set 0; third insert evicts line 0.
+        c.access(0, False)
+        c.access(2, False)
+        c.access(4, False)
+        assert c.access(0, False) is CacheLevelResult.MISS
+
+    def test_lru_order(self):
+        c = make(size=256, ways=2, line=64)
+        c.access(0, False)
+        c.access(2, False)
+        c.access(0, False)        # 0 becomes MRU
+        c.access(4, False)        # evicts 2 (LRU), not 0
+        assert c.access(0, False) is CacheLevelResult.HIT
+        assert c.access(2, False) is CacheLevelResult.MISS
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = make(size=256, ways=1, line=64)  # direct-mapped, 4 sets
+        c.access(0, True)     # dirty
+        c.access(4, False)    # same set, evicts dirty line 0
+        assert c.writebacks == 1
+        c.access(8, False)
+        c.access(12, False)   # clean evictions
+        assert c.writebacks == 1
+
+    def test_write_marks_dirty_on_hit(self):
+        c = make(size=256, ways=1, line=64)
+        c.access(0, False)
+        c.access(0, True)     # hit, now dirty
+        c.access(4, False)
+        assert c.writebacks == 1
+
+    def test_probe_is_side_effect_free(self):
+        c = make()
+        c.access(3, False)
+        h, m = c.hits, c.misses
+        assert c.probe(3)
+        assert not c.probe(99)
+        assert (c.hits, c.misses) == (h, m)
+
+    def test_invalidate_all(self):
+        c = make()
+        c.access(1, True)
+        c.access(2, False)
+        assert c.invalidate_all() == 1  # one dirty line discarded
+        assert c.occupancy == 0
+        assert c.access(1, False) is CacheLevelResult.MISS
+
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(CacheParams(size_bytes=960, ways=2, line_bytes=48))
+
+
+class TestCapacityProperties:
+    def test_occupancy_bounded_by_capacity(self):
+        c = make(size=512, ways=2, line=64)  # 8 lines
+        for line in range(100):
+            c.access(line, False)
+        assert c.occupancy <= 8
+
+    def test_working_set_within_capacity_all_hits(self):
+        """A working set that fits must hit 100% after the first pass."""
+        c = make(size=1024, ways=4, line=64)  # 16 lines
+        for _ in range(3):
+            for line in range(16):
+                c.access(line, False)
+        assert c.misses == 16
+        assert c.hits == 32
+
+    def test_streaming_larger_than_cache_never_hits(self):
+        c = make(size=512, ways=2, line=64)  # 8 lines
+        for _ in range(2):
+            for line in range(64):
+                c.access(line, False)
+        assert c.hits == 0
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=300),
+           st.sampled_from([1, 2, 4]))
+    def test_matches_reference_lru(self, lines, ways):
+        """The model must agree with a straightforward per-set LRU oracle."""
+        c = make(size=ways * 4 * 64, ways=ways, line=64)  # 4 sets
+        oracle: dict[int, list[int]] = {}
+        for line in lines:
+            s = line % c.n_sets
+            lru = oracle.setdefault(s, [])
+            expect_hit = line in lru
+            got = c.access(line, False)
+            assert (got is CacheLevelResult.HIT) == expect_hit
+            if expect_hit:
+                lru.remove(line)
+            elif len(lru) >= ways:
+                lru.pop()
+            lru.insert(0, line)

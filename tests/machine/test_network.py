@@ -1,0 +1,133 @@
+"""Tests for the network model (links, bus, fabric, transports)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.network import NODE_BUS_NS_PER_MSG, Network
+from repro.params import MachineConfig, mpi_transport, xbgas_transport
+
+
+def intra_net(n_pes=4):
+    """All PEs on one node (the paper's default layout)."""
+    return Network(MachineConfig(n_pes=n_pes, cores_per_node=12))
+
+
+def inter_net(n_pes=4, topology="fully-connected"):
+    """One PE per node."""
+    return Network(MachineConfig(n_pes=n_pes, cores_per_node=1,
+                                 topology=topology))
+
+
+class TestIntraNode:
+    def test_send_delivery_after_latency(self):
+        net = intra_net()
+        res = net.send(0.0, 0, 1, 8)
+        tp = net.tp
+        assert res.t_delivered >= tp.o_send + tp.intra_latency_ns
+
+    def test_sender_freed_before_delivery(self):
+        net = intra_net()
+        res = net.send(0.0, 0, 1, 1024)
+        assert res.t_source_free <= res.t_delivered
+
+    def test_bus_backpressure_builds(self):
+        """Back-to-back messages at one instant queue on the node bus."""
+        net = intra_net()
+        first = net.send(0.0, 0, 1, 8)
+        second = net.send(0.0, 2, 3, 8)
+        assert second.t_delivered >= first.t_delivered
+        assert net.stats.fabric_queued_ns > 0
+
+    def test_fetch_round_trip_costs_two_crossings(self):
+        net = intra_net()
+        one_way = net.send(0.0, 0, 1, 8).t_delivered
+        net2 = intra_net()
+        round_trip = net2.fetch(0.0, 0, 1, 8).t_complete
+        assert round_trip > one_way
+
+    def test_quiescence_tracks_max_delivery(self):
+        net = intra_net()
+        r1 = net.send(0.0, 0, 1, 64)
+        assert net.quiescence_time() == pytest.approx(r1.t_delivered)
+        net.note_delivery(r1.t_delivered + 100)
+        assert net.quiescence_time() == pytest.approx(r1.t_delivered + 100)
+
+
+class TestInterNode:
+    def test_wire_latency_dominates(self):
+        net = inter_net()
+        res = net.send(0.0, 0, 1, 8)
+        assert res.t_delivered >= net.tp.latency_ns
+
+    def test_injection_link_serialises_per_source(self):
+        net = inter_net()
+        a = net.send(0.0, 0, 1, 10_000)
+        b = net.send(0.0, 0, 2, 10_000)  # same source link
+        assert b.t_delivered > a.t_delivered
+
+    def test_hops_scale_latency(self):
+        ring = inter_net(8, topology="ring")
+        near = ring.send(0.0, 0, 1, 8).t_delivered
+        far = ring.send(0.0, 2, 6, 8).t_delivered  # 4 hops
+        assert far > near
+
+    def test_fetch_completes_after_send(self):
+        net = inter_net()
+        s = net.send(0.0, 0, 1, 8).t_delivered
+        net2 = inter_net()
+        f = net2.fetch(0.0, 0, 1, 8).t_complete
+        assert f > s
+
+    def test_negative_bytes_rejected(self):
+        net = inter_net()
+        with pytest.raises(ValueError):
+            net.send(0.0, 0, 1, -1)
+        with pytest.raises(ValueError):
+            net.fetch(0.0, 0, 1, -1)
+
+
+class TestTransportComparison:
+    """Section 3.1's overhead ordering must show up in message timing."""
+
+    def _delivery(self, transport, nbytes, same_node=True):
+        cfg = MachineConfig(
+            n_pes=2,
+            cores_per_node=12 if same_node else 1,
+            transport=transport,
+        )
+        return Network(cfg).send(0.0, 0, 1, nbytes).t_delivered
+
+    @pytest.mark.parametrize("nbytes", [8, 1024, 65536])
+    def test_xbgas_beats_mpi(self, nbytes):
+        assert (self._delivery(xbgas_transport(), nbytes)
+                < self._delivery(mpi_transport(), nbytes))
+
+    def test_mpi_rendezvous_kicks_in(self):
+        mp = mpi_transport()
+        small = self._delivery(mp, mp.eager_threshold)
+        big = self._delivery(mp, mp.eager_threshold + 1)
+        assert big - small > mp.handshake_ns  # handshake plus the byte
+
+    def test_two_sided_charges_receive_side(self):
+        one_sided = mpi_transport().with_(two_sided=False, o_recv=0.0)
+        assert (self._delivery(one_sided, 64)
+                < self._delivery(mpi_transport(), 64))
+
+    def test_messages_counted(self):
+        net = intra_net()
+        net.send(0.0, 0, 1, 100)
+        net.fetch(10.0, 1, 2, 50)
+        assert net.stats.messages == 3  # 1 send + request & response
+        assert net.stats.bytes_on_wire >= 150
+
+
+class TestBusSaturation:
+    def test_throughput_capped_by_bus(self):
+        """Many simultaneous senders serialise at one message per
+        NODE_BUS_NS_PER_MSG — the 8-PE contention mechanism."""
+        net = intra_net(8)
+        deliveries = [net.send(0.0, i, (i + 1) % 8, 8).t_delivered
+                      for i in range(8)]
+        span = max(deliveries) - min(deliveries)
+        assert span >= (8 - 1) * NODE_BUS_NS_PER_MSG * 0.9

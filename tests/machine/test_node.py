@@ -1,0 +1,46 @@
+"""Tests for node construction and PE placement."""
+
+from __future__ import annotations
+
+from repro.machine.node import Node
+from repro.params import MachineConfig
+
+
+class TestSequentialPlacement:
+    def test_paper_single_node(self):
+        cfg = MachineConfig(n_pes=8)  # 12 cores per node
+        node = Node(0, cfg)
+        assert node.pe_ranks == tuple(range(8))
+        assert len(node.hierarchies) == 8
+
+    def test_multi_node_blocks(self):
+        cfg = MachineConfig(n_pes=6, cores_per_node=4)
+        n0, n1 = Node(0, cfg), Node(1, cfg)
+        assert n0.pe_ranks == (0, 1, 2, 3)
+        assert n1.pe_ranks == (4, 5)
+
+    def test_private_hierarchies(self):
+        """Each PE owns its own L1/L2/TLB (the paper's per-core caches)."""
+        cfg = MachineConfig(n_pes=4, cores_per_node=4)
+        node = Node(0, cfg)
+        hiers = [node.hierarchy_of(r) for r in node.pe_ranks]
+        assert len({id(h) for h in hiers}) == 4
+        hiers[0].access(0, 8, False)
+        assert hiers[1].l1.misses == 0  # untouched
+
+
+class TestExplicitPlacement:
+    def test_round_robin(self):
+        cfg = MachineConfig(n_pes=6, cores_per_node=2,
+                            pe_node_map=(0, 1, 2, 0, 1, 2))
+        assert Node(0, cfg).pe_ranks == (0, 3)
+        assert Node(2, cfg).pe_ranks == (2, 5)
+
+    def test_machine_builds_all_nodes(self):
+        from repro.runtime import Machine
+        from ..conftest import small_config
+
+        m = Machine(small_config(6, cores_per_node=2,
+                                 pe_node_map=(0, 1, 2, 0, 1, 2)))
+        assert len(m.nodes) == 3
+        assert sorted(r for n in m.nodes for r in n.pe_ranks) == list(range(6))

@@ -1,0 +1,74 @@
+"""Tests for the 256-entry LRU TLB model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.tlb import Tlb
+from repro.params import TlbParams
+
+
+def make(entries=4, page=4096):
+    return Tlb(TlbParams(entries=entries, page_bytes=page))
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        t = make()
+        assert not t.access(7)
+        assert t.access(7)
+        assert (t.hits, t.misses) == (1, 1)
+
+    def test_page_of(self):
+        t = make(page=4096)
+        assert t.page_of(0) == 0
+        assert t.page_of(4095) == 0
+        assert t.page_of(4096) == 1
+
+    def test_capacity_eviction_is_lru(self):
+        t = make(entries=2)
+        t.access(1)
+        t.access(2)
+        t.access(1)      # 1 most recent
+        t.access(3)      # evicts 2
+        assert t.access(1)
+        assert not t.access(2)
+
+    def test_occupancy_bounded(self):
+        t = make(entries=4)
+        for p in range(50):
+            t.access(p)
+        assert t.occupancy == 4
+
+    def test_probe_no_side_effects(self):
+        t = make()
+        t.access(1)
+        h, m = t.hits, t.misses
+        assert t.probe(1)
+        assert not t.probe(9)
+        assert (t.hits, t.misses) == (h, m)
+
+    def test_flush(self):
+        t = make()
+        t.access(1)
+        t.flush()
+        assert not t.access(1)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            Tlb(TlbParams(page_bytes=3000))
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    def test_reference_lru_oracle(self, pages):
+        t = make(entries=4)
+        oracle: list[int] = []
+        for p in pages:
+            expect = p in oracle
+            assert t.access(p) == expect
+            if expect:
+                oracle.remove(p)
+            elif len(oracle) >= 4:
+                oracle.pop(0)
+            oracle.append(p)

@@ -1,0 +1,193 @@
+"""Tests for remote atomics (xBGAS eamo*.d) through the runtime."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CollectiveArgumentError
+from repro.isa.cpu import amo_apply
+from repro.runtime import Machine
+
+from ..conftest import small_config
+
+
+def run(n_pes, fn, **cfg_kw):
+    machine = Machine(small_config(n_pes, **cfg_kw))
+    return machine, machine.run(fn)
+
+
+class TestAmoApply:
+    @pytest.mark.parametrize("op,old,val,want", [
+        ("swap", 5, 9, 9),
+        ("add", 5, 9, 14),
+        ("add", (1 << 64) - 1, 2, 1),          # wraps
+        ("xor", 0b1100, 0b1010, 0b0110),
+        ("and", 0b1100, 0b1010, 0b1000),
+        ("or", 0b1100, 0b1010, 0b1110),
+        ("min", 5, (1 << 64) - 1, (1 << 64) - 1),   # -1 signed < 5
+        ("max", 5, (1 << 64) - 1, 5),
+    ])
+    def test_semantics(self, op, old, val, want):
+        assert amo_apply(op, old, val) == want
+
+    def test_unknown_op(self):
+        from repro.errors import IsaError
+
+        with pytest.raises(IsaError):
+            amo_apply("nand", 1, 2)
+
+
+class TestRuntimeAmo:
+    @pytest.mark.parametrize("fidelity", ["model", "isa"])
+    def test_fetch_and_add_returns_old(self, fidelity):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            ctx.view(cell, "uint64", 1)[0] = 100
+            ctx.barrier()
+            old = None
+            if ctx.my_pe() == 1:
+                old = ctx.amo(cell, 5, 0, "add", "uint64")
+            ctx.barrier()
+            final = int(ctx.view(cell, "uint64", 1)[0]) if ctx.my_pe() == 0 else None
+            ctx.close()
+            return old, final
+
+        _, results = run(2, body, fidelity=fidelity)
+        assert results[1][0] == 100
+        assert results[0][1] == 105
+
+    @pytest.mark.parametrize("fidelity", ["model", "isa"])
+    def test_concurrent_adds_never_lose_updates(self, fidelity):
+        def body(ctx):
+            ctx.init()
+            counter = ctx.malloc(8)
+            ctx.view(counter, "uint64", 1)[0] = 0
+            ctx.barrier()
+            for _ in range(25):
+                ctx.uint64_atomic_add(counter, 1, 0)
+            ctx.barrier()
+            got = int(ctx.view(counter, "uint64", 1)[0])
+            ctx.close()
+            return got
+
+        _, results = run(8, body, fidelity=fidelity)
+        assert results[0] == 8 * 25
+
+    def test_signed_result(self):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            ctx.view(cell, "long", 1)[0] = -7
+            ctx.barrier()
+            old = None
+            if ctx.my_pe() == 1:
+                old = ctx.long_atomic_swap(cell, 3, 0)
+            ctx.barrier()
+            ctx.close()
+            return old
+
+        _, results = run(2, body)
+        assert results[1] == -7
+
+    def test_min_max(self):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            ctx.view(cell, "long", 1)[0] = 50
+            ctx.barrier()
+            ctx.long_atomic_min(cell, ctx.my_pe() * 100 - 100, 0)
+            ctx.barrier()
+            got = int(ctx.view(cell, "long", 1)[0])
+            ctx.close()
+            return got
+
+        _, results = run(4, body)
+        assert results[0] == -100  # min over {50, -100, 0, 100, 200}
+
+    def test_non_64bit_type_rejected(self):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            with pytest.raises(CollectiveArgumentError):
+                ctx.amo(cell, 1, 0, "add", "int32")
+            with pytest.raises(CollectiveArgumentError):
+                ctx.amo(cell, 1, 0, "add", "double")
+            ctx.barrier()
+            ctx.close()
+
+        run(2, body)
+
+    def test_counts_in_stats(self):
+        def body(ctx):
+            ctx.init()
+            cell = ctx.malloc(8)
+            ctx.barrier()
+            ctx.uint64_atomic_xor(cell, 3, (ctx.my_pe() + 1) % 2)
+            ctx.barrier()
+            ctx.close()
+
+        m, _ = run(2, body)
+        assert m.stats.amos == 2
+
+    def test_typed_surface_integral_64_only(self):
+        from repro.runtime.context import XBRTime
+
+        for name in ("uint64_atomic_add", "long_atomic_xor",
+                     "size_atomic_max", "ptrdiff_atomic_swap",
+                     "ulonglong_atomic_or"):
+            assert hasattr(XBRTime, name), name
+        for name in ("double_atomic_add", "int32_atomic_add",
+                     "float_atomic_xor", "char_atomic_or"):
+            assert not hasattr(XBRTime, name), name
+
+    def test_amo_is_single_transaction(self):
+        """One AMO is a single network round trip and cheaper than the
+        three-message get-modify-put idiom it replaces."""
+        def body(ctx, mode):
+            ctx.init()
+            cell = ctx.malloc(8)
+            scratch = ctx.private_malloc(8)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            if ctx.my_pe() == 0:
+                if mode == "gmp":
+                    ctx.get(scratch, cell, 1, 1, 1, "uint64")
+                    v = ctx.view(scratch, "uint64", 1)
+                    v[0] ^= np.uint64(3)
+                    ctx.put(cell, scratch, 1, 1, 1, "uint64")
+                else:
+                    ctx.amo(cell, 3, 1, "xor", "uint64")
+            dt = ctx.pe.clock - t0
+            ctx.barrier()
+            ctx.close()
+            return dt
+
+        def measure(mode):
+            m = Machine(small_config(2, cores_per_node=1))
+            dt = m.run(body, [(mode,), (mode,)])[0]
+            return dt, m.stats.messages
+
+        gmp_dt, gmp_msgs = measure("gmp")
+        amo_dt, amo_msgs = measure("amo")
+        assert amo_msgs < gmp_msgs       # 2 (request+response) vs 3
+        assert amo_dt < gmp_dt
+
+
+class TestGupsAmoMode:
+    def test_zero_errors_and_faster_remote(self):
+        from repro.bench.gups import GupsParams, run_gups
+        from repro.params import MachineConfig
+
+        cfg = MachineConfig(
+            n_pes=4,
+            memory_bytes_per_pe=4 * 1024 * 1024,
+            symmetric_heap_bytes=2 * 1024 * 1024,
+            collective_scratch_bytes=256 * 1024,
+        )
+        base = dict(log2_table_size=12, updates_per_pe=256)
+        gmp = run_gups(cfg, GupsParams(**base, use_amo=False))
+        amo = run_gups(cfg, GupsParams(**base, use_amo=True))
+        assert amo.errors == 0
+        assert amo.mops_total >= gmp.mops_total

@@ -1,0 +1,296 @@
+"""Tests for one-sided get/put (blocking, non-blocking, strided)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError, CollectiveArgumentError
+from repro.runtime import Machine
+from repro.types import TYPENAMES, typeinfo
+
+from ..conftest import small_config
+
+
+def run(n_pes, fn, **cfg_kw):
+    machine = Machine(small_config(n_pes, **cfg_kw))
+    return machine.run(fn)
+
+
+class TestPut:
+    def test_remote_put_lands(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 4)
+            v = ctx.view(buf, "long", 4)
+            v[:] = -1
+            src = ctx.private_malloc(8 * 4)
+            ctx.view(src, "long", 4)[:] = ctx.my_pe() * 10 + np.arange(4)
+            ctx.put(buf, src, 4, 1, (ctx.my_pe() + 1) % ctx.num_pes(), "long")
+            ctx.barrier()
+            got = list(v)
+            ctx.close()
+            return got
+
+        results = run(4, body)
+        for me, got in enumerate(results):
+            prev = (me - 1) % 4
+            assert got == list(prev * 10 + np.arange(4))
+
+    def test_local_put_is_copy(self):
+        def body(ctx):
+            ctx.init()
+            a = ctx.malloc(64)
+            b = ctx.malloc(64)
+            ctx.view(a, "int", 4)[:] = [9, 8, 7, 6]
+            ctx.put(b, a, 4, 1, ctx.my_pe(), "int")
+            got = list(ctx.view(b, "int", 4))
+            ctx.close()
+            return got
+
+        assert run(1, body)[0] == [9, 8, 7, 6]
+
+    def test_strided_put(self):
+        """Paper: stride applies at both src and dest."""
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 16)
+            ctx.view(buf, "long", 16)[:] = 0
+            src = ctx.private_malloc(8 * 16)
+            sv = ctx.view(src, "long", 5, stride=3)
+            sv[:] = [1, 2, 3, 4, 5]
+            ctx.put(buf, src, 5, 3, (ctx.my_pe() + 1) % 2, "long")
+            ctx.barrier()
+            got = list(ctx.view(buf, "long", 16))
+            ctx.close()
+            return got
+
+        got = run(2, body)[0]
+        assert got[0::3][:5] == [1, 2, 3, 4, 5]
+        assert got[1] == 0 and got[2] == 0  # gaps untouched
+
+    def test_zero_elements_noop(self):
+        def body(ctx):
+            ctx.init()
+            a = ctx.malloc(64)
+            ctx.put(a, a, 0, 1, 0, "long")
+            ctx.get(a, a, 0, 1, 0, "long")
+            ctx.close()
+
+        run(2, body)
+
+    def test_bad_args_rejected(self):
+        def body(ctx):
+            ctx.init()
+            a = ctx.malloc(64)
+            with pytest.raises(CollectiveArgumentError):
+                ctx.put(a, a, -1, 1, 0, "long")
+            with pytest.raises(CollectiveArgumentError):
+                ctx.put(a, a, 1, 0, 0, "long")
+            with pytest.raises(CollectiveArgumentError):
+                ctx.put(a, a, 1, 1, 99, "long")
+            with pytest.raises(AddressError):
+                ctx.put(2 ** 40, a, 1, 1, 0, "long")
+            ctx.close()
+
+        run(2, body)
+
+    def test_remote_put_sender_returns_before_delivery(self):
+        """One-sided puts are fire-and-forget: the sender is freed as
+        soon as the message is injected, well before remote delivery."""
+        def body(ctx):
+            ctx.init()
+            a = ctx.malloc(4096)
+            src = ctx.private_malloc(4096)
+            ctx.barrier()
+            t0 = ctx.pe.clock
+            ctx.put(a, src, 64, 1, (ctx.my_pe() + 1) % 2, "long")
+            sender_dt = ctx.pe.clock - t0
+            delivery = ctx.machine.network.quiescence_time() - t0
+            ctx.barrier()
+            ctx.close()
+            return sender_dt, delivery
+
+        # One PE per node so the remote path crosses the network.
+        sender_dt, delivery = run(2, body, cores_per_node=1)[0]
+        assert sender_dt < delivery
+        assert delivery > 450  # at least the wire latency
+
+
+class TestGet:
+    def test_remote_get(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 4)
+            ctx.view(buf, "long", 4)[:] = ctx.my_pe() * 100 + np.arange(4)
+            ctx.barrier()
+            dst = ctx.private_malloc(8 * 4)
+            target = (ctx.my_pe() + 1) % ctx.num_pes()
+            ctx.get(dst, buf, 4, 1, target, "long")
+            got = list(ctx.view(dst, "long", 4))
+            ctx.close()
+            return got
+
+        results = run(3, body)
+        for me, got in enumerate(results):
+            t = (me + 1) % 3
+            assert got == list(t * 100 + np.arange(4))
+
+    def test_get_blocks_for_round_trip(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            ctx.barrier()
+            t0 = ctx.time_ns
+            dst = ctx.private_malloc(64)
+            ctx.get(dst, buf, 1, 1, (ctx.my_pe() + 1) % 2, "long")
+            dt = ctx.time_ns - t0
+            ctx.barrier()
+            ctx.close()
+            return dt
+
+        dt = run(2, body, cores_per_node=1)[0]
+        # Must include at least one wire round trip.
+        assert dt >= 2 * 450
+
+
+class TestNonBlocking:
+    def test_put_nb_then_wait(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            ctx.view(buf, "long", 1)[0] = -1
+            src = ctx.private_malloc(64)
+            ctx.view(src, "long", 1)[0] = 42
+            h = ctx.put_nb(buf, src, 1, 1, (ctx.my_pe() + 1) % 2, "long")
+            ctx.wait(h)
+            assert h.done
+            ctx.barrier()
+            got = int(ctx.view(buf, "long", 1)[0])
+            ctx.close()
+            return got
+
+        assert run(2, body) == [42, 42]
+
+    def test_get_nb_then_wait(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            ctx.view(buf, "long", 1)[0] = ctx.my_pe() + 7
+            ctx.barrier()
+            dst = ctx.private_malloc(64)
+            h = ctx.get_nb(dst, buf, 1, 1, (ctx.my_pe() + 1) % 2, "long")
+            ctx.wait(h)
+            got = int(ctx.view(dst, "long", 1)[0])
+            ctx.close()
+            return got
+
+        assert run(2, body) == [8, 7]
+
+    def test_quiet_completes_all(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 8)
+            src = ctx.private_malloc(8 * 8)
+            handles = [
+                ctx.put_nb(buf + 8 * i, src + 8 * i, 1, 1,
+                           (ctx.my_pe() + 1) % 2, "long")
+                for i in range(8)
+            ]
+            ctx.quiet()
+            assert all(h.done for h in handles)
+            ctx.barrier()
+            ctx.close()
+
+        run(2, body)
+
+    def test_nb_initiation_cheaper_than_blocking_get(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 512)
+            ctx.barrier()
+            dst = ctx.private_malloc(8 * 512)
+            other = (ctx.my_pe() + 1) % 2
+            t0 = ctx.time_ns
+            ctx.get(dst, buf, 512, 1, other, "long")
+            blocking = ctx.time_ns - t0
+            t0 = ctx.time_ns
+            h = ctx.get_nb(dst, buf, 512, 1, other, "long")
+            initiation = ctx.time_ns - t0
+            ctx.wait(h)
+            ctx.barrier()
+            ctx.close()
+            return blocking, initiation
+
+        blocking, initiation = run(2, body, cores_per_node=1)[0]
+        assert initiation < blocking
+
+
+class TestUnrolling:
+    def test_loop_overhead_drops_above_threshold(self):
+        """Section 3.3: the generated loop unrolls past the threshold."""
+        m = Machine(small_config(1, unroll_threshold=8, unroll_factor=4))
+        eng = m.transfers[0]
+        below = eng.loop_overhead_ns(8) / 8
+        above = eng.loop_overhead_ns(800) / 800
+        assert above < below
+
+
+class TestAllTypes:
+    @pytest.mark.parametrize("typename", TYPENAMES)
+    def test_put_roundtrip_every_table1_type(self, typename):
+        info = typeinfo(typename)
+
+        def body(ctx):
+            ctx.init()
+            eb = info.nbytes
+            buf = ctx.malloc(eb * 4, align=16)
+            src = ctx.private_malloc(eb * 4, align=16)
+            sv = ctx.view(src, info.dtype, 4)
+            sv[:] = np.array([0, 1, 2, 3], dtype=info.dtype)
+            getattr(ctx, f"{typename}_put")(buf, src, 4, 1,
+                                            (ctx.my_pe() + 1) % 2)
+            ctx.barrier()
+            got = ctx.view(buf, info.dtype, 4)
+            ok = bool(np.all(got == sv))
+            ctx.close()
+            return ok
+
+        machine = Machine(small_config(2))
+        assert all(machine.run(body))
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        nelems=st.integers(1, 32),
+        stride=st.integers(1, 4),
+        seed=st.integers(0, 2 ** 31),
+    )
+    def test_put_get_inverse(self, nelems, stride, seed):
+        """get(put(x)) == x for random shapes."""
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-(2 ** 62), 2 ** 62, size=nelems)
+
+        def body(ctx):
+            ctx.init()
+            span = 8 * ((nelems - 1) * stride + 1)
+            buf = ctx.malloc(span)
+            src = ctx.private_malloc(span)
+            back = ctx.private_malloc(span)
+            if ctx.my_pe() == 0:
+                ctx.view(src, "long", nelems, stride)[:] = data
+                ctx.put(buf, src, nelems, stride, 1, "long")
+            ctx.barrier()
+            ok = True
+            if ctx.my_pe() == 0:
+                ctx.get(back, buf, nelems, stride, 1, "long")
+                ok = bool(np.all(
+                    ctx.view(back, "long", nelems, stride) == data))
+            ctx.close()
+            return ok
+
+        machine = Machine(small_config(2))
+        assert all(machine.run(body))

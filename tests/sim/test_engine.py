@@ -1,0 +1,217 @@
+"""Tests for the deterministic PDES engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.engine import Engine, PEState
+
+
+class TestBasicExecution:
+    def test_runs_all_pes(self):
+        eng = Engine(4)
+        results = eng.run(lambda pe: pe.rank * 10)
+        assert results == [0, 10, 20, 30]
+
+    def test_per_pe_args(self):
+        eng = Engine(3)
+        results = eng.run(lambda pe, x: x + pe.rank, [(100,), (200,), (300,)])
+        assert results == [100, 201, 302]
+
+    def test_clock_advances(self):
+        eng = Engine(2)
+
+        def body(pe):
+            pe.advance(42.5)
+            return pe.clock
+
+        assert eng.run(body) == [42.5, 42.5]
+        assert eng.elapsed_ns == 42.5
+
+    def test_negative_advance_rejected(self):
+        eng = Engine(1)
+
+        def body(pe):
+            pe.advance(-1)
+
+        with pytest.raises(SimulationError):
+            eng.run(body)
+
+    def test_advance_to_only_moves_forward(self):
+        eng = Engine(1)
+
+        def body(pe):
+            pe.advance_to(100)
+            pe.advance_to(50)
+            return pe.clock
+
+        assert eng.run(body) == [100]
+
+    def test_engine_not_reentrant(self):
+        eng = Engine(1)
+
+        def body(pe):
+            eng.run(lambda p: None)
+
+        with pytest.raises(SimulationError):
+            eng.run(body)
+
+
+class TestScheduling:
+    def test_smallest_clock_runs_first(self):
+        """Checkpoints order PEs by simulated clock, deterministically."""
+        eng = Engine(3)
+        order = []
+
+        def body(pe):
+            pe.advance((3 - pe.rank) * 100)  # PE2 smallest, PE0 largest
+            eng.checkpoint()
+            order.append(pe.rank)
+
+        eng.run(body)
+        assert order == [2, 1, 0]
+
+    def test_tied_clocks_deterministic(self):
+        """On clock ties the running PE continues (no switch storm) and
+        the rest are scheduled in rank order — the same order each run."""
+        def make_order():
+            eng = Engine(4)
+            order = []
+
+            def body(pe):
+                pe.advance(5.0)
+                eng.checkpoint()
+                order.append(pe.rank)
+
+            eng.run(body)
+            return order
+
+        first = make_order()
+        assert sorted(first) == [0, 1, 2, 3]
+        assert first == make_order()
+
+    def test_determinism_across_runs(self):
+        def make_trace():
+            eng = Engine(4)
+            trace = []
+
+            def body(pe):
+                for i in range(5):
+                    pe.advance((pe.rank * 7 + i * 3) % 11 + 1)
+                    eng.checkpoint()
+                    trace.append((pe.rank, pe.clock))
+
+            eng.run(body)
+            return trace
+
+        assert make_trace() == make_trace()
+
+
+class TestSuspendResume:
+    def test_suspend_until_resumed(self):
+        eng = Engine(2)
+        log = []
+
+        def body(pe):
+            if pe.rank == 0:
+                eng.suspend()
+                log.append(("woke", pe.clock))
+            else:
+                pe.advance(500)
+                eng.checkpoint()
+                eng.resume(0, at_time=pe.clock)
+                log.append(("resumer", pe.clock))
+
+        eng.run(body)
+        assert ("woke", 500) in log
+
+    def test_resume_non_blocked_raises(self):
+        eng = Engine(2)
+
+        def body(pe):
+            if pe.rank == 1:
+                eng.resume(0)  # PE0 is runnable, not blocked
+
+        with pytest.raises(SimulationError):
+            eng.run(body)
+
+    def test_deadlock_detected(self):
+        eng = Engine(2)
+
+        def body(pe):
+            eng.suspend()  # everyone blocks, nobody resumes
+
+        with pytest.raises(DeadlockError):
+            eng.run(body)
+
+    def test_pe_error_beats_deadlock_report(self):
+        """A crash that strands peers must surface as the crash."""
+        eng = Engine(2)
+
+        def body(pe):
+            if pe.rank == 0:
+                eng.suspend()
+            else:
+                raise ValueError("boom")
+
+        with pytest.raises(SimulationError) as exc_info:
+            eng.run(body)
+        assert isinstance(exc_info.value.__cause__, ValueError)
+
+    def test_failure_annotated_with_rank(self):
+        eng = Engine(3)
+
+        def body(pe):
+            if pe.rank == 2:
+                raise RuntimeError("pe2 exploded")
+
+        with pytest.raises(SimulationError, match="PE 2"):
+            eng.run(body)
+
+
+class TestStateQueries:
+    def test_current_outside_pe_code(self):
+        eng = Engine(1)
+        with pytest.raises(SimulationError):
+            _ = eng.current
+
+    def test_states_after_run(self):
+        eng = Engine(2)
+        eng.run(lambda pe: None)
+        assert all(p.state is PEState.DONE for p in eng.pes)
+
+    def test_needs_positive_pes(self):
+        with pytest.raises(SimulationError):
+            Engine(0)
+
+
+class TestTrace:
+    def test_trace_records_when_enabled(self):
+        eng = Engine(1, trace=True)
+
+        def body(pe):
+            eng.record("test-event", "hello")
+
+        eng.run(body)
+        events = eng.trace.of_kind("test-event")
+        assert len(events) == 1
+        assert events[0].detail == "hello"
+
+    def test_trace_disabled_by_default(self):
+        eng = Engine(1)
+
+        def body(pe):
+            eng.record("x")
+
+        eng.run(body)
+        assert len(eng.trace) == 0
+
+    def test_trace_bounded(self):
+        from repro.sim.trace import EventTrace
+
+        t = EventTrace(enabled=True, max_events=10)
+        for i in range(25):
+            t.record(float(i), 0, "e")
+        assert len(t) <= 10
+        assert t.dropped > 0

@@ -1,0 +1,91 @@
+"""Tests for event tracing wired into the runtime, and SimStats."""
+
+from __future__ import annotations
+
+from repro.runtime import Machine
+from repro.sim.trace import SimStats
+
+from ..conftest import small_config
+
+
+class TestRuntimeTracing:
+    def test_put_get_barrier_events_recorded(self):
+        machine = Machine(small_config(2), trace=True)
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            src = ctx.private_malloc(64)
+            ctx.put(buf, src, 4, 1, (ctx.my_pe() + 1) % 2, "long")
+            ctx.barrier()
+            dst = ctx.private_malloc(64)
+            ctx.get(dst, buf, 2, 1, (ctx.my_pe() + 1) % 2, "long")
+            ctx.close()
+
+        machine.run(body)
+        trace = machine.engine.trace
+        puts = trace.of_kind("put")
+        gets = trace.of_kind("get")
+        barriers = trace.of_kind("barrier")
+        assert len(puts) == 2
+        assert len(gets) == 2
+        assert len(barriers) >= 4  # init/close/explicit per PE
+        assert "32B -> PE" in puts[0].detail
+        # Events carry simulated timestamps in nondecreasing per-PE order.
+        by_pe: dict[int, float] = {}
+        for e in trace:
+            assert e.time_ns >= by_pe.get(e.pe, 0.0)
+            by_pe[e.pe] = e.time_ns
+
+    def test_tracing_off_by_default(self):
+        machine = Machine(small_config(2))
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            src = ctx.private_malloc(64)
+            ctx.put(buf, src, 1, 1, 0, "long")
+            ctx.close()
+
+        machine.run(body)
+        assert len(machine.engine.trace) == 0
+
+
+class TestSimStats:
+    def test_merge(self):
+        a, b = SimStats(), SimStats()
+        a.puts, a.bytes_put, a.amos = 3, 100, 2
+        a.collective_calls["broadcast:binomial"] = 1
+        b.puts, b.bytes_put = 4, 50
+        b.collective_calls["broadcast:binomial"] = 2
+        a.merge(b)
+        assert a.puts == 7
+        assert a.bytes_put == 150
+        assert a.amos == 2
+        assert a.collective_calls["broadcast:binomial"] == 3
+
+    def test_summary_mentions_counters(self):
+        st = SimStats()
+        st.puts, st.bytes_put, st.remote_puts = 5, 40, 2
+        st.barriers = 3
+        st.l1_hits, st.l1_misses = 90, 10
+        st.collective_calls["reduce:sum:binomial"] = 1
+        text = st.summary()
+        assert "puts=5" in text
+        assert "barriers=3" in text
+        assert "reduce:sum:binomial=1" in text
+        assert "90.00%" in text  # L1 hit rate
+
+    def test_machine_summary_after_run(self):
+        machine = Machine(small_config(2))
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            ctx.long_broadcast(buf, buf, 2, 1, 0)
+            ctx.close()
+
+        machine.run(body)
+        text = machine.stats.summary()
+        assert "broadcast:binomial=1" in text
+        assert "hit rate" in text

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_xbgas_error():
+    for name in errors.__all__:
+        exc = getattr(errors, name)
+        assert issubclass(exc, errors.XbgasError), name
+
+
+def test_isa_family():
+    for exc in (errors.DecodeError, errors.AssemblerError,
+                errors.OlbMissError):
+        assert issubclass(exc, errors.IsaError)
+
+
+def test_deadlock_is_simulation_error():
+    assert issubclass(errors.DeadlockError, errors.SimulationError)
+
+
+def test_typename_error_is_keyerror():
+    """Callers treating TYPENAME lookup as a mapping get KeyError."""
+    assert issubclass(errors.TypeNameError, KeyError)
+
+
+def test_collective_argument_error_is_valueerror():
+    assert issubclass(errors.CollectiveArgumentError, ValueError)
+
+
+def test_catchable_as_library_failure():
+    from repro.types import typeinfo
+
+    with pytest.raises(errors.XbgasError):
+        typeinfo("no-such-type")

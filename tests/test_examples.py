@@ -1,0 +1,62 @@
+"""Integration tests: the example programs must run end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "sum of squares over 4 PEs = 30" in out
+    assert "gather assembled" in out
+
+def test_transport_comparison():
+    out = run_example("transport_comparison.py")
+    assert "ordering holds" in out
+
+
+def test_xbgas_assembly():
+    out = run_example("xbgas_assembly.py")
+    assert "sum of remote values: 828 (expected 828)" in out
+    assert "PE 1 memory at 0x1000: [100, 101" in out
+
+
+def test_histogram_teams():
+    out = run_example("histogram_teams.py")
+    assert "global histogram over 6000 samples" in out
+    assert "even team's tallest local bin" in out
+
+
+def test_heat_diffusion():
+    out = run_example("heat_diffusion.py")
+    assert "max residual" in out
+    assert "total heat" in out
+
+
+@pytest.mark.slow
+def test_gups_demo():
+    out = run_example("gups_demo.py", "128")
+    assert "shape check" in out
+
+
+@pytest.mark.slow
+def test_integer_sort_demo():
+    out = run_example("integer_sort.py", "S-scaled")
+    assert "partial verification PASS" in out

@@ -1,0 +1,158 @@
+"""Failure-injection tests: the simulator must fail loudly and precisely.
+
+A mis-used PGAS runtime on real hardware corrupts memory or hangs; the
+reproduction instead raises typed errors that identify the failing PE
+and the cause.  These tests drive each failure path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    AllocationError,
+    DeadlockError,
+    OlbMissError,
+    SimulationError,
+)
+from repro.runtime import Machine
+
+from .conftest import small_config
+
+
+def failing_machine(n_pes=2, **kw):
+    return Machine(small_config(n_pes, **kw))
+
+
+class TestMemoryFailures:
+    def test_put_outside_memory_names_pe(self):
+        def body(ctx):
+            ctx.init()
+            a = ctx.malloc(64)
+            if ctx.my_pe() == 1:
+                ctx.put(2 ** 40, a, 1, 1, 0, "long")
+            ctx.barrier()
+            ctx.close()
+
+        with pytest.raises(SimulationError, match="PE 1") as exc:
+            failing_machine().run(body)
+        assert isinstance(exc.value.__cause__, AddressError)
+
+    def test_view_beyond_allocation_is_bounds_checked(self):
+        def body(ctx):
+            ctx.init()
+            with pytest.raises(AddressError):
+                ctx.view(ctx.machine.config.memory_bytes_per_pe - 4,
+                         "long", 2)
+            ctx.barrier()
+            ctx.close()
+
+        failing_machine().run(body)
+
+    def test_heap_exhaustion_reports_free_bytes(self):
+        def body(ctx):
+            ctx.init()
+            with pytest.raises(AllocationError, match="out of memory"):
+                ctx.malloc(1 << 30)
+            ctx.barrier()
+            ctx.close()
+
+        failing_machine().run(body)
+
+    def test_scratch_exhaustion_names_config_knob(self):
+        def body(ctx):
+            ctx.init()
+            with pytest.raises(AllocationError,
+                               match="collective_scratch_bytes"):
+                ctx.scratch_alloc(1 << 30)
+            ctx.barrier()
+            ctx.close()
+
+        failing_machine().run(body)
+
+
+class TestCollectiveMisuse:
+    def test_divergent_collective_malloc(self):
+        """PEs calling malloc with different sizes is a program bug the
+        heap detects rather than silently desynchronising."""
+        def body(ctx):
+            ctx.init()
+            ctx.malloc(64 if ctx.my_pe() == 0 else 128)
+            ctx.barrier()
+            ctx.close()
+
+        with pytest.raises(SimulationError) as exc:
+            failing_machine().run(body)
+        assert isinstance(exc.value.__cause__, AllocationError)
+        assert "divergent" in str(exc.value.__cause__)
+
+    def test_mismatched_barrier_participation_deadlocks(self):
+        def body(ctx):
+            ctx.init()
+            if ctx.my_pe() == 0:
+                ctx.barrier()  # PE 1 never arrives
+            ctx.close()
+
+        with pytest.raises(DeadlockError):
+            failing_machine().run(body)
+
+    def test_partial_collective_participation_deadlocks(self):
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            if ctx.my_pe() == 0:
+                ctx.long_broadcast(buf, buf, 1, 1, 0)
+            ctx.close()
+
+        with pytest.raises(DeadlockError):
+            failing_machine().run(body)
+
+
+class TestOlbFailures:
+    def test_unmapped_object_id(self):
+        """Erasing an OLB entry makes remote access fail like real
+        xBGAS would fault on a missing translation."""
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(64)
+            if ctx.my_pe() == 0:
+                ctx.put(buf, buf, 1, 1, 1, "long")
+            ctx.barrier()
+            ctx.close()
+
+        m = failing_machine(fidelity="isa")
+        m.olbs[0]._map.clear()  # inject: PE 0 loses all translations
+        with pytest.raises(SimulationError) as exc:
+            m.run(body)
+        assert isinstance(exc.value.__cause__, OlbMissError)
+
+
+class TestEngineRobustness:
+    def test_failure_in_one_pe_reported_not_hung(self):
+        def body(ctx):
+            ctx.init()
+            if ctx.my_pe() == 1:
+                raise RuntimeError("injected fault")
+            ctx.barrier()  # would wait for PE 1 forever
+            ctx.close()
+
+        with pytest.raises(SimulationError, match="PE 1") as exc:
+            failing_machine().run(body)
+        assert isinstance(exc.value.__cause__, RuntimeError)
+
+    def test_machine_reusable_after_failed_run(self):
+        """A failed simulation must not poison a fresh machine build."""
+        def bad(ctx):
+            raise ValueError("nope")
+
+        def good(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            ctx.barrier()
+            ctx.close()
+            return me
+
+        with pytest.raises(SimulationError):
+            failing_machine().run(bad)
+        assert failing_machine().run(good) == [0, 1]

@@ -1,0 +1,102 @@
+"""Tests for Table 1: the xBGAS matched type names and types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TypeNameError
+from repro.types import (
+    FLOAT_TYPENAMES,
+    INTEGRAL_TYPENAMES,
+    TYPE_TABLE,
+    TYPENAMES,
+    dtype_of,
+    typeinfo,
+)
+
+# The paper's Table 1, row for row.
+PAPER_TABLE_1 = [
+    ("float", "float"),
+    ("double", "double"),
+    ("longdouble", "long double"),
+    ("char", "char"),
+    ("uchar", "unsigned char"),
+    ("schar", "signed char"),
+    ("ushort", "unsigned short"),
+    ("short", "short"),
+    ("uint", "unsigned int"),
+    ("int", "int"),
+    ("ulong", "unsigned long"),
+    ("long", "long"),
+    ("ulonglong", "unsigned long long"),
+    ("longlong", "long long"),
+    ("uint8", "uint8_t"),
+    ("int8", "int8_t"),
+    ("uint16", "uint16_t"),
+    ("int16", "int16_t"),
+    ("uint32", "uint32_t"),
+    ("int32", "int32_t"),
+    ("uint64", "uint64_t"),
+    ("int64", "int64_t"),
+    ("size", "size_t"),
+    ("ptrdiff", "ptrdiff_t"),
+]
+
+
+def test_table_has_24_rows():
+    assert len(TYPE_TABLE) == 24
+    assert len(TYPENAMES) == 24
+
+
+def test_table_matches_paper_exactly():
+    ours = [(t.typename, t.ctype) for t in TYPE_TABLE]
+    assert ours == PAPER_TABLE_1
+
+
+@pytest.mark.parametrize("typename,_", PAPER_TABLE_1)
+def test_every_typename_resolves(typename, _):
+    info = typeinfo(typename)
+    assert info.typename == typename
+    assert info.nbytes == info.dtype.itemsize
+    assert dtype_of(typename) == info.dtype
+
+
+def test_unknown_typename_raises():
+    with pytest.raises(TypeNameError):
+        typeinfo("quadfloat")
+
+
+def test_float_partition():
+    assert set(FLOAT_TYPENAMES) == {"float", "double", "longdouble"}
+    assert set(FLOAT_TYPENAMES) | set(INTEGRAL_TYPENAMES) == set(TYPENAMES)
+    assert not set(FLOAT_TYPENAMES) & set(INTEGRAL_TYPENAMES)
+
+
+@pytest.mark.parametrize(
+    "typename,nbytes",
+    [("char", 1), ("short", 2), ("int", 4), ("long", 8),
+     ("float", 4), ("double", 8), ("uint16", 2), ("uint64", 8),
+     ("size", 8), ("ptrdiff", 8)],
+)
+def test_c_type_sizes(typename, nbytes):
+    assert typeinfo(typename).nbytes == nbytes
+
+
+def test_signedness():
+    assert typeinfo("int").is_signed
+    assert not typeinfo("uint").is_signed
+    assert typeinfo("double").is_signed
+    assert not typeinfo("size").is_signed
+
+
+def test_aliased_typenames_share_dtype():
+    # Distinct TYPENAMEs for the same C width still get distinct calls
+    # but model the same dtype.
+    assert typeinfo("ulong").dtype == typeinfo("ulonglong").dtype
+    assert typeinfo("long").dtype == typeinfo("longlong").dtype
+
+
+def test_longdouble_is_extended():
+    assert typeinfo("longdouble").dtype == np.dtype(np.longdouble)
+    assert typeinfo("longdouble").is_float

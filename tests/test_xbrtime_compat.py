@@ -1,0 +1,93 @@
+"""Tests for the C-API compatibility facade (repro.xbrtime)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import xbrtime as xr
+from repro.runtime import Machine
+
+from .conftest import small_config
+
+
+class TestSurface:
+    def test_core_calls_exist(self):
+        for name in ("xbrtime_init", "xbrtime_close", "xbrtime_mype",
+                     "xbrtime_num_pes", "xbrtime_malloc", "xbrtime_free",
+                     "xbrtime_barrier"):
+            assert callable(getattr(xr, name))
+
+    def test_paper_typed_calls_exist(self):
+        """The exact names the paper prints in sections 3.3-4.6."""
+        for name in (
+            "xbrtime_int_put", "xbrtime_int_get",
+            "xbrtime_double_broadcast", "xbrtime_long_reduce_sum",
+            "xbrtime_uint64_reduce_max", "xbrtime_char_scatter",
+            "xbrtime_ptrdiff_gather", "xbrtime_longdouble_put",
+        ):
+            assert callable(getattr(xr, name)), name
+
+    def test_full_surface_size(self):
+        # 24 types x (4 p2p + bcast + scatter + gather) + reductions
+        # (+ bitwise for integral) + AMOs for 64-bit integral types.
+        assert len(xr.__all__) > 300
+
+    def test_no_bitwise_float_reductions(self):
+        assert not hasattr(xr, "xbrtime_double_reduce_xor")
+        assert hasattr(xr, "xbrtime_uint_reduce_xor")
+
+
+class TestEndToEnd:
+    def test_paper_style_program(self):
+        """A program written with the C names, end to end."""
+        def main(ctx):
+            xr.xbrtime_init(ctx)
+            me = xr.xbrtime_mype(ctx)
+            n = xr.xbrtime_num_pes(ctx)
+            buf = xr.xbrtime_malloc(ctx, 8 * n)
+            src = ctx.private_malloc(8)
+            ctx.view(src, "long", 1)[0] = me * 3
+            for pe in range(n):
+                xr.xbrtime_long_put(ctx, buf + 8 * me, src, 1, 1, pe)
+            xr.xbrtime_barrier(ctx)
+            got = list(ctx.view(buf, "long", n))
+
+            out = ctx.private_malloc(8 * n)
+            xr.xbrtime_long_reduce_sum(ctx, out, buf, n, 1, 0)
+            total = (int(ctx.view(out, "long", 1)[0] + 0)
+                     if me == 0 else None)
+            red = list(ctx.view(out, "long", n)) if me == 0 else None
+            xr.xbrtime_free(ctx, buf)
+            xr.xbrtime_close(ctx)
+            return got, red
+
+        machine = Machine(small_config(4))
+        results = machine.run(main)
+        assert results[1][0] == [0, 3, 6, 9]
+        # reduce over n copies of the same symmetric buffer: x4 each
+        assert results[0][1] == [0, 12, 24, 36]
+
+    def test_broadcast_and_gather_names(self):
+        def main(ctx):
+            xr.xbrtime_init(ctx)
+            me, n = ctx.my_pe(), ctx.num_pes()
+            b = xr.xbrtime_malloc(ctx, 8 * 2)
+            if me == 1:
+                ctx.view(b, "long", 2)[:] = [8, 9]
+            xr.xbrtime_double_broadcast(ctx, b, b, 0, 1, 1)  # degenerate
+            xr.xbrtime_long_broadcast(ctx, b, b, 2, 1, 1)
+            src = xr.xbrtime_malloc(ctx, 8)
+            ctx.view(src, "long", 1)[0] = me
+            dst = ctx.private_malloc(8 * n)
+            xr.xbrtime_long_gather(ctx, dst, src, [1] * n,
+                                   list(range(n)), n, 0)
+            got = (list(ctx.view(dst, "long", n)) if me == 0 else None)
+            bval = list(ctx.view(b, "long", 2))
+            xr.xbrtime_close(ctx)
+            return bval, got
+
+        machine = Machine(small_config(3))
+        results = machine.run(main)
+        assert all(r[0] == [8, 9] for r in results)
+        assert results[0][1] == [0, 1, 2]
