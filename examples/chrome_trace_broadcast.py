@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Dump a Chrome trace of an 8-PE binomial broadcast.
+
+Runs one traced broadcast (paper Algorithm 1: 3 recursive-halving
+stages moving 7 messages), prints the per-stage metrics derived from
+the recorded spans, and writes a Chrome-trace JSON you can open in
+chrome://tracing or https://ui.perfetto.dev:
+
+    python examples/chrome_trace_broadcast.py [trace.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import Machine, MachineConfig
+from repro.bench.reporting import render_collective_metrics
+
+N_PES = 8
+NELEMS = 1024
+
+
+def main(ctx):
+    ctx.init()
+    dest = ctx.malloc(NELEMS * 8)
+    src = ctx.private_malloc(NELEMS * 8)
+    if ctx.my_pe() == 0:
+        ctx.view(src, "long", NELEMS)[:] = np.arange(NELEMS)
+    with ctx.span("demo", payload=NELEMS):
+        ctx.broadcast(dest, src, NELEMS, 1, 0, "long")
+    assert (ctx.view(dest, "long", NELEMS) == np.arange(NELEMS)).all()
+    ctx.close()
+
+
+if __name__ == "__main__":
+    machine = Machine(MachineConfig(n_pes=N_PES), trace=True)
+    machine.run(main)
+
+    metrics = machine.collective_metrics()
+    print(render_collective_metrics(metrics))
+
+    bcast = next(m for m in metrics if m.name == "broadcast")
+    assert bcast.n_stages == 3          # ceil(log2 8)
+    assert bcast.total_messages == 7    # one put per tree edge
+
+    if len(sys.argv) > 1:
+        path = sys.argv[1]
+    else:
+        path = tempfile.mktemp(prefix="xbgas_broadcast_", suffix=".json")
+    doc = machine.write_chrome_trace(path)
+    print(f"\nwrote {len(doc['traceEvents'])} trace events to {path}")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")

@@ -31,6 +31,8 @@ __all__ = [
     "sweep_is",
     "check_figure4_shape",
     "check_figure5_shape",
+    "CollectiveProfile",
+    "profile_collective",
 ]
 
 #: The PE counts of Figures 4 and 5.
@@ -91,6 +93,121 @@ def sweep_is(
             detail=res,
         ))
     return points
+
+
+@dataclass
+class CollectiveProfile:
+    """A traced run of one collective, ready for inspection or export."""
+
+    name: str
+    n_pes: int
+    nelems: int
+    dtype: str
+    metrics: list  #: :class:`~repro.sim.metrics.CollectiveMetrics` entries
+    elapsed_ns: float
+    chrome: dict | None = None  #: Chrome-trace doc when ``chrome_path`` set
+
+    @property
+    def call(self):
+        """The top-level (non-nested) call that was profiled."""
+        for m in self.metrics:
+            if not m.nested:
+                return m
+        raise LookupError(f"no top-level {self.name} call in the trace")
+
+
+#: Collectives :func:`profile_collective` knows how to drive.
+_PROFILABLE = ("broadcast", "reduce", "scatter", "gather", "allreduce",
+               "scan", "reduce_all", "allgather", "alltoall")
+
+
+def _even_split(nelems: int, n_pes: int) -> tuple[list[int], list[int]]:
+    """Per-PE counts/displacements that sum to ``nelems``."""
+    base, rem = divmod(nelems, n_pes)
+    msgs = [base + (1 if i < rem else 0) for i in range(n_pes)]
+    disp = [0] * n_pes
+    for i in range(1, n_pes):
+        disp[i] = disp[i - 1] + msgs[i - 1]
+    return msgs, disp
+
+
+def profile_collective(
+    name: str,
+    *,
+    n_pes: int = 8,
+    nelems: int = 64,
+    root: int = 0,
+    op: str = "sum",
+    dtype: str | np.dtype = "int64",
+    algorithm: str | None = None,
+    base_config: MachineConfig | None = None,
+    chrome_path: object | None = None,
+) -> CollectiveProfile:
+    """Run one collective on a traced machine and return its metrics.
+
+    The workhorse behind the observability layer's bench surface: builds
+    an ``n_pes`` machine with tracing on, drives ``name`` once with a
+    deterministic payload, and aggregates the recorded spans with
+    :func:`repro.sim.metrics.collective_metrics`.  ``chrome_path``
+    additionally dumps the Chrome-trace JSON (a path or file object).
+    """
+    from ..runtime.context import Machine, resolve_dtype
+
+    if name not in _PROFILABLE:
+        raise ValueError(
+            f"unknown collective {name!r}; expected one of {_PROFILABLE}"
+        )
+    dt = resolve_dtype(dtype)
+    base = base_config if base_config is not None else MachineConfig()
+    machine = Machine(base.with_(n_pes=n_pes), trace=True)
+    eb = dt.itemsize
+    nbytes = max(nelems * eb, eb, 16)
+
+    def body(ctx) -> None:
+        ctx.init()
+        dest = ctx.malloc(nbytes)
+        src = ctx.malloc(nbytes)
+        ctx.view(src, dt, nelems, 1)[:] = (
+            np.arange(nelems, dtype=np.int64) % 7 + ctx.my_pe()
+        ) if nelems else ()
+        kw = {"algorithm": algorithm} if algorithm else {}
+        if name == "broadcast":
+            ctx.broadcast(dest, src, nelems, 1, root, dt, **kw)
+        elif name == "reduce":
+            ctx.reduce(dest, src, nelems, 1, root, op, dt, **kw)
+        elif name == "allreduce":
+            ctx.allreduce(dest, src, nelems, 1, op, dt, **kw)
+        elif name == "scan":
+            ctx.scan(dest, src, nelems, 1, op, dt)
+        elif name == "reduce_all":
+            ctx.reduce_all(dest, src, nelems, 1, op, dt)
+        elif name == "alltoall":
+            blk = max(nelems // ctx.num_pes(), 1) if nelems else 0
+            big = ctx.malloc(max(blk * ctx.num_pes() * eb, 16))
+            ctx.alltoall(big, src, blk, dt)
+        else:  # scatter / gather / allgather
+            msgs, disp = _even_split(nelems, ctx.num_pes())
+            if name == "scatter":
+                ctx.scatter(dest, src, msgs, disp, nelems, root, dt)
+            elif name == "gather":
+                ctx.gather(dest, src, msgs, disp, nelems, root, dt)
+            else:
+                ctx.allgather(dest, src, msgs, disp, nelems, dt)
+        ctx.close()
+
+    machine.run(body)
+    chrome = None
+    if chrome_path is not None:
+        chrome = machine.write_chrome_trace(chrome_path)
+    return CollectiveProfile(
+        name=name,
+        n_pes=n_pes,
+        nelems=nelems,
+        dtype=str(dt),
+        metrics=machine.collective_metrics(),
+        elapsed_ns=machine.elapsed_ns,
+        chrome=chrome,
+    )
 
 
 def _by_pes(points: Sequence[SweepPoint]) -> dict[int, SweepPoint]:

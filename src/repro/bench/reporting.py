@@ -21,6 +21,7 @@ __all__ = [
     "render_figure",
     "render_sweep_series",
     "sweep_to_csv",
+    "render_collective_metrics",
 ]
 
 
@@ -69,6 +70,51 @@ def render_sweep_series(series: dict[str, Sequence[SweepPoint]],
         out.append("")
         out.append(render_figure(points, f"-- {label} --"))
     return "\n".join(out)
+
+
+def render_collective_metrics(metrics: Sequence) -> str:
+    """Per-collective span metrics as text.
+
+    Takes the :class:`~repro.sim.metrics.CollectiveMetrics` list from
+    :meth:`Machine.collective_metrics` (or
+    :func:`~repro.bench.harness.profile_collective`) and renders one
+    block per logical call: the stage table (messages, bytes, barriers,
+    latency) plus the per-PE busy/blocked split and the critical path.
+    """
+    out: list[str] = []
+    for cm in metrics:
+        tag = " (nested)" if cm.nested else ""
+        out.append(
+            f"{cm.name}#{cm.seq} over {len(cm.group)} PEs{tag}: "
+            f"{cm.n_stages} stages, {cm.total_messages} messages, "
+            f"{cm.total_bytes} bytes, "
+            f"critical path {cm.critical_path_ns:.0f} ns"
+        )
+        if cm.entry_barriers or cm.extra_messages:
+            out.append(
+                f"  entry barriers: {cm.entry_barriers}, "
+                f"out-of-stage messages: {cm.extra_messages} "
+                f"({cm.extra_bytes} bytes)"
+            )
+        if cm.stages:
+            out.append(f"  {'stage':>5}  {'msgs':>5}  {'bytes':>8}  "
+                       f"{'barriers':>8}  {'latency ns':>10}")
+            for s in cm.stages:
+                out.append(
+                    f"  {s.index:>5}  {s.messages:>5}  {s.bytes:>8}  "
+                    f"{s.barriers:>8}  {s.latency_ns:>10.0f}"
+                )
+        busiest = max(cm.per_pe.values(), key=lambda a: a.busy_ns,
+                      default=None)
+        if busiest is not None:
+            blocked = sum(a.blocked_ns for a in cm.per_pe.values())
+            out.append(
+                f"  busiest PE {busiest.pe}: {busiest.busy_ns:.0f} ns busy / "
+                f"{busiest.blocked_ns:.0f} ns blocked; "
+                f"total blocked across PEs: {blocked:.0f} ns"
+            )
+        out.append("")
+    return "\n".join(out).rstrip("\n")
 
 
 def sweep_to_csv(points: Sequence[SweepPoint]) -> str:

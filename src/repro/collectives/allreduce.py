@@ -34,9 +34,11 @@ from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
     charge_elementwise,
+    collective_span,
     local_copy,
     resolve_group,
     span_bytes,
+    stage_span,
     validate_counts,
 )
 from .ops import apply_op, check_op
@@ -77,6 +79,16 @@ def allreduce(
         )
     if me == 0:
         ctx.machine.stats.collective_calls[f"allreduce:{algorithm}"] += 1
+    with collective_span(ctx, "allreduce", members, algorithm=algorithm,
+                         op=op, nelems=nelems, dtype=str(dtype)):
+        _allreduce(ctx, dest, src, nelems, stride, op, dtype, algorithm,
+                   members, me)
+
+
+def _allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
+               op: str, dtype: np.dtype, algorithm: str,
+               members: tuple[int, ...], me: int) -> None:
+    n_pes = len(members)
     if nelems == 0 or n_pes == 1:
         local_copy(ctx, dest, src, nelems, stride, dtype)
         ctx.barrier_team(members)
@@ -118,23 +130,25 @@ def allreduce(
     if algorithm == "doubling":
         if active:
             for i in range(k):
-                partner = unfold(newrank ^ (1 << i))
-                ctx.get(l_buf, cur_addr, nelems, stride, members[partner],
-                        dtype)
-                nxt_view[:] = cur_view
-                apply_op(op, nxt_view, l_view)
-                charge_elementwise(ctx, 2 * nelems)
-                cur_addr, nxt_addr = nxt_addr, cur_addr
-                cur_view, nxt_view = nxt_view, cur_view
-                ctx.barrier_team(members)
+                with stage_span(ctx, i):
+                    partner = unfold(newrank ^ (1 << i))
+                    ctx.get(l_buf, cur_addr, nelems, stride,
+                            members[partner], dtype)
+                    nxt_view[:] = cur_view
+                    apply_op(op, nxt_view, l_view)
+                    charge_elementwise(ctx, 2 * nelems)
+                    cur_addr, nxt_addr = nxt_addr, cur_addr
+                    cur_view, nxt_view = nxt_view, cur_view
+                    ctx.barrier_team(members)
         else:
             # Folded-out odd ranks idle through the stages but join
             # every barrier and track the buffer parity, so the final
             # ``cur_addr`` names the same buffer on every PE.
-            for _ in range(k):
-                cur_addr, nxt_addr = nxt_addr, cur_addr
-                cur_view, nxt_view = nxt_view, cur_view
-                ctx.barrier_team(members)
+            for i in range(k):
+                with stage_span(ctx, i):
+                    cur_addr, nxt_addr = nxt_addr, cur_addr
+                    cur_view, nxt_view = nxt_view, cur_view
+                    ctx.barrier_team(members)
     else:
         _rabenseifner_core(ctx, members, me, active, newrank, unfold,
                            pof2, k, cur_addr, l_buf, nelems, stride, op,
@@ -172,46 +186,50 @@ def _rabenseifner_core(ctx, members, me, active, newrank, unfold, pof2, k,
         return ctx.view(base + off(e_lo), dtype, e_hi - e_lo, stride)
 
     if not active:
-        for _ in range(2 * k):
-            ctx.barrier_team(members)
+        for i in range(2 * k):
+            with stage_span(ctx, i):
+                ctx.barrier_team(members)
         return
 
     # Phase 1: reduce-scatter.  Track the rank range whose elements this
     # PE still accumulates; halve it every stage.
     lo_r, hi_r = 0, pof2
     trail: list[tuple[int, int, int]] = []  # (partner_new, keep_lo, keep_hi)
-    for _ in range(k):
-        half = (hi_r - lo_r) // 2
-        if newrank < lo_r + half:
-            partner_new = newrank + half
-            keep_lo, keep_hi = lo_r, lo_r + half
-        else:
-            partner_new = newrank - half
-            keep_lo, keep_hi = lo_r + half, hi_r
-        e_lo, e_hi = bound(keep_lo), bound(keep_hi)
-        if e_hi > e_lo:
-            partner = members[unfold(partner_new)]
-            ctx.get(l_buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
-                    stride, partner, dtype)
-            apply_op(op, sub(buf, e_lo, e_hi), sub(l_buf, e_lo, e_hi))
-            charge_elementwise(ctx, e_hi - e_lo)
-        trail.append((partner_new, keep_lo, keep_hi))
-        lo_r, hi_r = keep_lo, keep_hi
-        ctx.barrier_team(members)
+    for stage in range(k):
+        with stage_span(ctx, stage, phase="reduce-scatter"):
+            half = (hi_r - lo_r) // 2
+            if newrank < lo_r + half:
+                partner_new = newrank + half
+                keep_lo, keep_hi = lo_r, lo_r + half
+            else:
+                partner_new = newrank - half
+                keep_lo, keep_hi = lo_r + half, hi_r
+            e_lo, e_hi = bound(keep_lo), bound(keep_hi)
+            if e_hi > e_lo:
+                partner = members[unfold(partner_new)]
+                ctx.get(l_buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                        stride, partner, dtype)
+                apply_op(op, sub(buf, e_lo, e_hi), sub(l_buf, e_lo, e_hi))
+                charge_elementwise(ctx, e_hi - e_lo)
+            trail.append((partner_new, keep_lo, keep_hi))
+            lo_r, hi_r = keep_lo, keep_hi
+            ctx.barrier_team(members)
 
     # Phase 2: allgather, replaying the recursion in reverse — fetch the
     # partner's (fully reduced) segment, doubling owned data each stage.
-    for partner_new, keep_lo, keep_hi in reversed(trail):
-        partner = members[unfold(partner_new)]
-        # The partner owns the complement of my kept rank range within
-        # the enclosing range of this (reversed) stage.
-        span = keep_hi - keep_lo
-        if partner_new < keep_lo:
-            need_lo, need_hi = keep_lo - span, keep_lo
-        else:
-            need_lo, need_hi = keep_hi, keep_hi + span
-        e_lo, e_hi = bound(need_lo), bound(need_hi)
-        if e_hi > e_lo:
-            ctx.get(buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
-                    stride, partner, dtype)
-        ctx.barrier_team(members)
+    for stage, (partner_new, keep_lo, keep_hi) in enumerate(reversed(trail),
+                                                            start=k):
+        with stage_span(ctx, stage, phase="allgather"):
+            partner = members[unfold(partner_new)]
+            # The partner owns the complement of my kept rank range
+            # within the enclosing range of this (reversed) stage.
+            span = keep_hi - keep_lo
+            if partner_new < keep_lo:
+                need_lo, need_hi = keep_lo - span, keep_lo
+            else:
+                need_lo, need_hi = keep_hi, keep_hi + span
+            e_lo, e_hi = bound(need_lo), bound(need_hi)
+            if e_hi > e_lo:
+                ctx.get(buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                        stride, partner, dtype)
+            ctx.barrier_team(members)

@@ -25,8 +25,10 @@ import numpy as np
 from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
+    collective_span,
     local_copy,
     resolve_group,
+    stage_span,
     validate_counts,
     validate_root,
 )
@@ -73,24 +75,26 @@ def broadcast(
         )
     if me == root:
         ctx.machine.stats.collective_calls[f"broadcast:{algorithm}"] += 1
-    if algorithm == "binomial":
-        _binomial(ctx, dest, src, nelems, stride, root, dtype, members, me,
+    with collective_span(ctx, "broadcast", members, algorithm=algorithm,
+                         root=root, nelems=nelems, dtype=str(dtype)):
+        if algorithm == "binomial":
+            _binomial(ctx, dest, src, nelems, stride, root, dtype, members,
+                      me, copy_to_root_dest)
+        elif algorithm == "linear":
+            _linear(ctx, dest, src, nelems, stride, root, dtype, members, me,
+                    copy_to_root_dest)
+        elif algorithm == "ring":
+            _ring(ctx, dest, src, nelems, stride, root, dtype, members, me,
                   copy_to_root_dest)
-    elif algorithm == "linear":
-        _linear(ctx, dest, src, nelems, stride, root, dtype, members, me,
-                copy_to_root_dest)
-    elif algorithm == "ring":
-        _ring(ctx, dest, src, nelems, stride, root, dtype, members, me,
-              copy_to_root_dest)
-    elif algorithm == "hierarchical":
-        from .hierarchy import broadcast_hierarchical
+        elif algorithm == "hierarchical":
+            from .hierarchy import broadcast_hierarchical
 
-        broadcast_hierarchical(ctx, dest, src, nelems, stride, root, dtype,
-                               group=group)
-    else:
-        raise CollectiveArgumentError(
-            f"unknown broadcast algorithm {algorithm!r}"
-        )
+            broadcast_hierarchical(ctx, dest, src, nelems, stride, root,
+                                   dtype, group=group)
+        else:
+            raise CollectiveArgumentError(
+                f"unknown broadcast algorithm {algorithm!r}"
+            )
 
 
 def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
@@ -111,17 +115,18 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
         local_copy(ctx, dest, src, nelems, stride, dtype)
     k = n_stages(n_pes)
     mask = (1 << k) - 1
-    for i in range(k - 1, -1, -1):
-        mask ^= 1 << i
-        if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
-            vir_part = (vir_rank ^ (1 << i)) % n_pes
-            log_part = (vir_part + root) % n_pes
-            if vir_rank < vir_part:
-                local_src = src if me == root else dest
-                ctx.put(dest, local_src, nelems, stride, members[log_part],
-                        dtype)
-        # A barrier closes every tree stage (section 4.3).
-        ctx.barrier_team(members)
+    for ordinal, i in enumerate(range(k - 1, -1, -1)):
+        with stage_span(ctx, ordinal):
+            mask ^= 1 << i
+            if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+                vir_part = (vir_rank ^ (1 << i)) % n_pes
+                log_part = (vir_part + root) % n_pes
+                if vir_rank < vir_part:
+                    local_src = src if me == root else dest
+                    ctx.put(dest, local_src, nelems, stride,
+                            members[log_part], dtype)
+            # A barrier closes every tree stage (section 4.3).
+            ctx.barrier_team(members)
 
 
 def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
@@ -166,12 +171,13 @@ def _ring(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
     pos = (me - root) % n_pes
     nxt = members[(me + 1) % n_pes]
     for step in range(n_pes - 1 + chunks - 1):
-        c = step - pos
-        if 0 <= c < chunks and pos < n_pes - 1:
-            lo, hi = bounds[c], bounds[c + 1]
-            if hi > lo:
-                off = lo * stride * eb
-                local_src = src if me == root else dest
-                ctx.put(dest + off, local_src + off, hi - lo, stride, nxt,
-                        dtype)
-        ctx.barrier_team(members)
+        with stage_span(ctx, step):
+            c = step - pos
+            if 0 <= c < chunks and pos < n_pes - 1:
+                lo, hi = bounds[c], bounds[c + 1]
+                if hi > lo:
+                    off = lo * stride * eb
+                    local_src = src if me == root else dest
+                    ctx.put(dest + off, local_src + off, hi - lo, stride,
+                            nxt, dtype)
+            ctx.barrier_team(members)

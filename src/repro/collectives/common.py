@@ -26,7 +26,48 @@ __all__ = [
     "span_bytes",
     "charge_elementwise",
     "local_copy",
+    "collective_span",
+    "stage_span",
 ]
+
+
+class _NullSpan:
+    """Shared no-op context manager for the tracing-disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def collective_span(ctx: "XBRTime", name: str, members: Sequence[int],
+                    **attrs: object):
+    """Context manager spanning one collective call on this PE.
+
+    The span carries the participant ``group`` so the metrics layer can
+    correlate the per-PE spans of one logical call.  Returns a shared
+    no-op when tracing is disabled (zero allocation, zero events).
+    """
+    spans = ctx.machine.engine.spans
+    if not spans.enabled:
+        return _NULL_SPAN
+    return spans.scope(ctx.rank, "collective", name,
+                       {"group": tuple(members), **attrs})
+
+
+def stage_span(ctx: "XBRTime", index: int, **attrs: object):
+    """Context manager spanning one tree stage (including its closing
+    barrier).  ``index`` is the stage ordinal in execution order."""
+    spans = ctx.machine.engine.spans
+    if not spans.enabled:
+        return _NULL_SPAN
+    return spans.scope(ctx.rank, "stage", "stage", {"index": index, **attrs})
 
 
 def resolve_group(ctx: "XBRTime", group: Sequence[int] | None) -> tuple[tuple[int, ...], int]:

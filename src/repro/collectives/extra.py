@@ -22,7 +22,7 @@ import numpy as np
 
 from ..errors import CollectiveArgumentError
 from .broadcast import broadcast
-from .common import resolve_group
+from .common import collective_span, resolve_group
 from .gather import gather
 from .reduce import reduce
 
@@ -52,8 +52,10 @@ def reduce_all(
         raise CollectiveArgumentError(
             "reduce_all dest must be a symmetric address"
         )
-    reduce(ctx, dest, src, nelems, stride, 0, op, dtype, group=group)
-    broadcast(ctx, dest, dest, nelems, stride, 0, dtype, group=group)
+    with collective_span(ctx, "reduce_all", members, op=op, nelems=nelems,
+                         dtype=str(dtype)):
+        reduce(ctx, dest, src, nelems, stride, 0, op, dtype, group=group)
+        broadcast(ctx, dest, dest, nelems, stride, 0, dtype, group=group)
 
 
 def allgather(
@@ -72,8 +74,11 @@ def allgather(
     members, _ = resolve_group(ctx, group)
     if len(members) > 1 and not ctx.is_symmetric(dest):
         raise CollectiveArgumentError("allgather dest must be symmetric")
-    gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype, group=group)
-    broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
+    with collective_span(ctx, "allgather", members, nelems=nelems,
+                         dtype=str(dtype)):
+        gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype,
+               group=group)
+        broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
 
 
 def fcollect(
@@ -118,14 +123,16 @@ def alltoall(
         raise CollectiveArgumentError("alltoall dest must be symmetric")
     if me == 0:
         ctx.machine.stats.collective_calls["alltoall:rotated"] += 1
-    # Entry barrier: order every participant's prior writes to dest
-    # before the incoming puts can land.
-    ctx.barrier_team(members)
-    eb = dtype.itemsize
-    blk = nelems_per_pe * eb
-    if nelems_per_pe:
-        for step in range(n):
-            peer = (me + step) % n
-            ctx.put(dest + me * blk, src + peer * blk, nelems_per_pe, 1,
-                    members[peer], dtype)
-    ctx.barrier_team(members)
+    with collective_span(ctx, "alltoall", members, nelems=nelems_per_pe,
+                         dtype=str(dtype)):
+        # Entry barrier: order every participant's prior writes to dest
+        # before the incoming puts can land.
+        ctx.barrier_team(members)
+        eb = dtype.itemsize
+        blk = nelems_per_pe * eb
+        if nelems_per_pe:
+            for step in range(n):
+                peer = (me + step) % n
+                ctx.put(dest + me * blk, src + peer * blk, nelems_per_pe, 1,
+                        members[peer], dtype)
+        ctx.barrier_team(members)

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from .binomial import n_stages
-from .common import resolve_group, validate_root
+from .common import collective_span, resolve_group, stage_span, validate_root
 from .scatter import _validate, adjusted_displacements
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -48,6 +48,16 @@ def gather(
     _validate(pe_msgs, pe_disp, nelems, n_pes, "gather")
     if me == root:
         ctx.machine.stats.collective_calls["gather:binomial"] += 1
+    with collective_span(ctx, "gather", members, root=root, nelems=nelems,
+                         dtype=str(dtype)):
+        _binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                  members, me)
+
+
+def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
+              pe_disp: Sequence[int], nelems: int, root: int,
+              dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
+    n_pes = len(members)
     if me >= root:
         vir_rank = me - root
     else:
@@ -73,18 +83,20 @@ def gather(
     k = n_stages(n_pes)
     mask = (1 << k) - 1
     for i in range(k):
-        mask ^= 1 << i
-        if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-            vir_part = (vir_rank ^ (1 << i)) % n_pes
-            log_part = (vir_part + root) % n_pes
-            if vir_rank < vir_part:
-                # The partner's segment plus everything it aggregated.
-                end = min(vir_part + (1 << i), n_pes)
-                msg_size = adj[end] - adj[vir_part]
-                if msg_size:
-                    off = s_buff + adj[vir_part] * eb
-                    ctx.get(off, off, msg_size, 1, members[log_part], dtype)
-        ctx.barrier_team(members)
+        with stage_span(ctx, i):
+            mask ^= 1 << i
+            if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                vir_part = (vir_rank ^ (1 << i)) % n_pes
+                log_part = (vir_part + root) % n_pes
+                if vir_rank < vir_part:
+                    # The partner's segment plus everything it aggregated.
+                    end = min(vir_part + (1 << i), n_pes)
+                    msg_size = adj[end] - adj[vir_part]
+                    if msg_size:
+                        off = s_buff + adj[vir_part] * eb
+                        ctx.get(off, off, msg_size, 1, members[log_part],
+                                dtype)
+            ctx.barrier_team(members)
     if vir_rank == 0:
         # Reorder from virtual-rank order into dest by logical rank.
         for vir in range(n_pes):

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .common import resolve_group, span_bytes, validate_root
+from .common import collective_span, resolve_group, span_bytes, validate_root
 from . import broadcast as _broadcast
 from . import reduce as _reduce
 
@@ -84,17 +84,23 @@ def broadcast_hierarchical(
     my_leader = leaders[groups.index(my_group)]
     # Inter-node stage: binomial over the leaders, rooted at the root.
     if my_world in leaders:
-        _broadcast._binomial(
-            ctx, dest, src, nelems, stride, leaders.index(root_world),
-            dtype, tuple(leaders), leaders.index(my_world),
-        )
+        with collective_span(ctx, "broadcast.inter", tuple(leaders),
+                             root=leaders.index(root_world), nelems=nelems,
+                             dtype=str(dtype)):
+            _broadcast._binomial(
+                ctx, dest, src, nelems, stride, leaders.index(root_world),
+                dtype, tuple(leaders), leaders.index(my_world),
+            )
     # Intra-node stage: each node fans out from its leader, reading the
     # data the leader just received into dest (or src on the root).
     local_src = src if my_world == root_world else dest
-    _broadcast._binomial(
-        ctx, dest, local_src, nelems, stride, my_group.index(my_leader),
-        dtype, my_group, my_group.index(my_world),
-    )
+    with collective_span(ctx, "broadcast.intra", my_group,
+                         root=my_group.index(my_leader), nelems=nelems,
+                         dtype=str(dtype)):
+        _broadcast._binomial(
+            ctx, dest, local_src, nelems, stride, my_group.index(my_leader),
+            dtype, my_group, my_group.index(my_world),
+        )
 
 
 def reduce_hierarchical(
@@ -125,13 +131,20 @@ def reduce_hierarchical(
     # reads them one-sidedly from the leaders).
     nbytes = max(span_bytes(max(nelems, 1), stride, dtype.itemsize), 16)
     partial = ctx.scratch_alloc(nbytes)
-    _reduce._binomial(
-        ctx, partial, src, nelems, stride, my_group.index(my_leader), op,
-        dtype, my_group, my_group.index(my_world),
-    )
-    if my_world in leaders:
+    with collective_span(ctx, "reduce.intra", my_group,
+                         root=my_group.index(my_leader), op=op,
+                         nelems=nelems, dtype=str(dtype)):
         _reduce._binomial(
-            ctx, dest, partial, nelems, stride, leaders.index(root_world),
-            op, dtype, tuple(leaders), leaders.index(my_world),
+            ctx, partial, src, nelems, stride, my_group.index(my_leader), op,
+            dtype, my_group, my_group.index(my_world),
         )
+    if my_world in leaders:
+        with collective_span(ctx, "reduce.inter", tuple(leaders),
+                             root=leaders.index(root_world), op=op,
+                             nelems=nelems, dtype=str(dtype)):
+            _reduce._binomial(
+                ctx, dest, partial, nelems, stride,
+                leaders.index(root_world), op, dtype, tuple(leaders),
+                leaders.index(my_world),
+            )
     ctx.scratch_free(partial)

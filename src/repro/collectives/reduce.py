@@ -34,9 +34,11 @@ from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
     charge_elementwise,
+    collective_span,
     local_copy,
     resolve_group,
     span_bytes,
+    stage_span,
     validate_counts,
     validate_root,
 )
@@ -86,17 +88,23 @@ def reduce(
         )
     if me == root:
         ctx.machine.stats.collective_calls[f"reduce:{op}:{algorithm}"] += 1
-    if algorithm == "binomial":
-        _binomial(ctx, dest, src, nelems, stride, root, op, dtype, members, me)
-    elif algorithm == "linear":
-        _linear(ctx, dest, src, nelems, stride, root, op, dtype, members, me)
-    elif algorithm == "hierarchical":
-        from .hierarchy import reduce_hierarchical
+    with collective_span(ctx, "reduce", members, algorithm=algorithm,
+                         root=root, op=op, nelems=nelems, dtype=str(dtype)):
+        if algorithm == "binomial":
+            _binomial(ctx, dest, src, nelems, stride, root, op, dtype,
+                      members, me)
+        elif algorithm == "linear":
+            _linear(ctx, dest, src, nelems, stride, root, op, dtype,
+                    members, me)
+        elif algorithm == "hierarchical":
+            from .hierarchy import reduce_hierarchical
 
-        reduce_hierarchical(ctx, dest, src, nelems, stride, root, op, dtype,
-                            group=group)
-    else:
-        raise CollectiveArgumentError(f"unknown reduce algorithm {algorithm!r}")
+            reduce_hierarchical(ctx, dest, src, nelems, stride, root, op,
+                                dtype, group=group)
+        else:
+            raise CollectiveArgumentError(
+                f"unknown reduce algorithm {algorithm!r}"
+            )
 
 
 def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
@@ -125,17 +133,19 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
     k = n_stages(n_pes)
     mask = (1 << k) - 1
     for i in range(k):
-        mask ^= 1 << i
-        if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-            vir_part = (vir_rank ^ (1 << i)) % n_pes
-            log_part = (vir_part + root) % n_pes
-            if vir_rank < vir_part:
-                # Pull the partner's accumulated values (see module note).
-                ctx.get(l_buff, s_buff, nelems, stride, members[log_part],
-                        dtype)
-                apply_op(op, s_view, l_view)
-                charge_elementwise(ctx, nelems)
-        ctx.barrier_team(members)
+        with stage_span(ctx, i):
+            mask ^= 1 << i
+            if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                vir_part = (vir_rank ^ (1 << i)) % n_pes
+                log_part = (vir_part + root) % n_pes
+                if vir_rank < vir_part:
+                    # Pull the partner's accumulated values (see module
+                    # note).
+                    ctx.get(l_buff, s_buff, nelems, stride,
+                            members[log_part], dtype)
+                    apply_op(op, s_view, l_view)
+                    charge_elementwise(ctx, nelems)
+            ctx.barrier_team(members)
     if vir_rank == 0:
         local_copy(ctx, dest, s_buff, nelems, stride, dtype)
     ctx.private_free(l_buff)

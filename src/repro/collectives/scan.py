@@ -23,9 +23,11 @@ from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
     charge_elementwise,
+    collective_span,
     local_copy,
     resolve_group,
     span_bytes,
+    stage_span,
     validate_counts,
 )
 from .ops import apply_op, check_op, identity_of
@@ -60,6 +62,16 @@ def scan(
     if me == 0:
         kind = "inclusive" if inclusive else "exclusive"
         ctx.machine.stats.collective_calls[f"scan:{kind}"] += 1
+    with collective_span(ctx, "scan", members, inclusive=inclusive, op=op,
+                         nelems=nelems, dtype=str(dtype)):
+        _hillis_steele(ctx, dest, src, nelems, stride, op, dtype, inclusive,
+                       members, me)
+
+
+def _hillis_steele(ctx: "XBRTime", dest: int, src: int, nelems: int,
+                   stride: int, op: str, dtype: np.dtype, inclusive: bool,
+                   members: tuple[int, ...], me: int) -> None:
+    n_pes = len(members)
     if nelems == 0:
         ctx.barrier_team(members)
         return
@@ -76,15 +88,17 @@ def scan(
     cur_view, nxt_view = view_a, view_b
     ctx.barrier_team(members)
     for i in range(n_stages(n_pes)):
-        left = me - (1 << i)
-        nxt_view[:] = cur_view
-        if left >= 0:
-            ctx.get(l_buf, cur_addr, nelems, stride, members[left], dtype)
-            apply_op(op, nxt_view, l_view)
-            charge_elementwise(ctx, 2 * nelems)
-        cur_addr, nxt_addr = nxt_addr, cur_addr
-        cur_view, nxt_view = nxt_view, cur_view
-        ctx.barrier_team(members)
+        with stage_span(ctx, i):
+            left = me - (1 << i)
+            nxt_view[:] = cur_view
+            if left >= 0:
+                ctx.get(l_buf, cur_addr, nelems, stride, members[left],
+                        dtype)
+                apply_op(op, nxt_view, l_view)
+                charge_elementwise(ctx, 2 * nelems)
+            cur_addr, nxt_addr = nxt_addr, cur_addr
+            cur_view, nxt_view = nxt_view, cur_view
+            ctx.barrier_team(members)
     if inclusive:
         local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
     else:

@@ -27,7 +27,7 @@ import numpy as np
 
 from ..errors import CollectiveArgumentError
 from .binomial import n_stages
-from .common import resolve_group, validate_root
+from .common import collective_span, resolve_group, stage_span, validate_root
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -85,6 +85,16 @@ def scatter(
     _validate(pe_msgs, pe_disp, nelems, n_pes, "scatter")
     if me == root:
         ctx.machine.stats.collective_calls["scatter:binomial"] += 1
+    with collective_span(ctx, "scatter", members, root=root, nelems=nelems,
+                         dtype=str(dtype)):
+        _binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                  members, me)
+
+
+def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
+              pe_disp: Sequence[int], nelems: int, root: int,
+              dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
+    n_pes = len(members)
     if me >= root:
         vir_rank = me - root
     else:
@@ -111,19 +121,21 @@ def scatter(
                         cnt, 1, ctx.rank, dtype)
     k = n_stages(n_pes)
     mask = (1 << k) - 1
-    for i in range(k - 1, -1, -1):
-        mask ^= 1 << i
-        if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
-            vir_part = (vir_rank ^ (1 << i)) % n_pes
-            log_part = (vir_part + root) % n_pes
-            if vir_rank < vir_part:
-                # The partner's segment plus those of its children.
-                end = min(vir_part + (1 << i), n_pes)
-                msg_size = adj[end] - adj[vir_part]
-                if msg_size:
-                    off = s_buff + adj[vir_part] * eb
-                    ctx.put(off, off, msg_size, 1, members[log_part], dtype)
-        ctx.barrier_team(members)
+    for ordinal, i in enumerate(range(k - 1, -1, -1)):
+        with stage_span(ctx, ordinal):
+            mask ^= 1 << i
+            if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+                vir_part = (vir_rank ^ (1 << i)) % n_pes
+                log_part = (vir_part + root) % n_pes
+                if vir_rank < vir_part:
+                    # The partner's segment plus those of its children.
+                    end = min(vir_part + (1 << i), n_pes)
+                    msg_size = adj[end] - adj[vir_part]
+                    if msg_size:
+                        off = s_buff + adj[vir_part] * eb
+                        ctx.put(off, off, msg_size, 1, members[log_part],
+                                dtype)
+            ctx.barrier_team(members)
     if my_count:
         ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
                 dtype)

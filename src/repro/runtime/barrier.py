@@ -60,33 +60,41 @@ class BarrierController:
                 raise CollectiveArgumentError(
                     f"PE {rank} called a barrier it does not participate in"
                 )
-        if len(key) == 1:
-            # Degenerate barrier: only the round cost.
-            machine.engine.pes[rank].advance(self.round_cost_ns(key))
-            machine.stats.barriers += 1
-            return
         engine = machine.engine
-        engine.checkpoint()
-        if engine.trace.enabled:
-            engine.record("barrier", f"arrive ({len(key)} PEs)")
-        arrivals = self._arrivals.setdefault(key, {})
-        if rank in arrivals:
-            raise SimulationError(
-                f"PE {rank} re-entered barrier {key} before it completed"
-            )
-        me = engine.pes[rank]
-        arrivals[rank] = me.clock
-        if len(arrivals) < len(key):
-            engine.suspend()
-            return  # released by the last arriver
-        # Last to arrive: compute the release time and wake everyone.
-        release = max(arrivals.values())
-        release = max(release, machine.network.quiescence_time())
-        rounds = ceil(log2(len(key)))
-        release += rounds * self.round_cost_ns(key)
-        del self._arrivals[key]
-        machine.stats.barriers += 1
-        for other in key:
-            if other != rank:
-                engine.resume(other, at_time=release)
-        me.advance_to(release)
+        traced = engine.trace.enabled
+        if traced:
+            engine.spans.begin(rank, "op", "barrier",
+                               {"participants": len(key)})
+        try:
+            if len(key) == 1:
+                # Degenerate barrier: only the round cost.
+                engine.pes[rank].advance(self.round_cost_ns(key))
+                machine.stats.barriers += 1
+                return
+            engine.checkpoint()
+            if traced:
+                engine.record("barrier", f"arrive ({len(key)} PEs)")
+            arrivals = self._arrivals.setdefault(key, {})
+            if rank in arrivals:
+                raise SimulationError(
+                    f"PE {rank} re-entered barrier {key} before it completed"
+                )
+            me = engine.pes[rank]
+            arrivals[rank] = me.clock
+            if len(arrivals) < len(key):
+                engine.suspend()
+                return  # released by the last arriver
+            # Last to arrive: compute the release time and wake everyone.
+            release = max(arrivals.values())
+            release = max(release, machine.network.quiescence_time())
+            rounds = ceil(log2(len(key)))
+            release += rounds * self.round_cost_ns(key)
+            del self._arrivals[key]
+            machine.stats.barriers += 1
+            for other in key:
+                if other != rank:
+                    engine.resume(other, at_time=release)
+            me.advance_to(release)
+        finally:
+            if traced:
+                engine.spans.end(rank)

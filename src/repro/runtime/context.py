@@ -31,7 +31,8 @@ wraps a region as a numpy array for local computation.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -184,6 +185,36 @@ class Machine:
         results = self.engine.run(wrapper, args_per_pe)
         self._fold_memory_stats()
         return results
+
+    # -- observability ---------------------------------------------------------
+
+    def collective_metrics(self):
+        """Per-collective metrics from the recorded span tree.
+
+        Requires the machine to have been built with ``trace=True``;
+        returns a list of :class:`~repro.sim.metrics.CollectiveMetrics`
+        (empty when tracing was off).
+        """
+        from ..sim.metrics import collective_metrics
+
+        return collective_metrics(self.engine.trace)
+
+    def chrome_trace(self) -> dict:
+        """The recorded trace as a Chrome-trace (Perfetto) document."""
+        from ..sim.chrome_trace import chrome_trace
+
+        return chrome_trace(self.engine.trace,
+                            time_dilation=self.config.time_dilation)
+
+    def write_chrome_trace(self, path_or_file) -> dict:
+        """Dump the Chrome-trace JSON to ``path_or_file``; returns the doc.
+
+        Open the result in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        from ..sim.chrome_trace import write_chrome_trace
+
+        return write_chrome_trace(path_or_file, self.engine.trace,
+                                  time_dilation=self.config.time_dilation)
 
     def _fold_memory_stats(self) -> None:
         st = self.stats
@@ -358,6 +389,27 @@ class XBRTime:
         """Barrier over a subset of PEs (teams, paper section 7)."""
         self._require_active()
         self.machine.barriers.barrier(self.rank, tuple(members))
+
+    # -- tracing ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Wrap a region of PE code in a named trace span.
+
+        A no-op when tracing is disabled; with ``Machine(trace=True)``
+        the span appears in the Chrome-trace export as a ``user``
+        category interval on this PE's track, nesting around whatever
+        puts/gets/collectives the region performs.
+        """
+        spans = self.machine.engine.spans
+        if not spans.enabled:
+            yield
+            return
+        spans.begin(self.rank, "user", name, attrs or None)
+        try:
+            yield
+        finally:
+            spans.end(self.rank)
 
     # -- one-sided communication --------------------------------------------------------
 

@@ -148,26 +148,39 @@ class TransferEngine:
         dview, sview = self._views(dest, src, nelems, stride, target, dtype, True)
         engine = self.machine.engine
         engine.checkpoint()
-        if engine.trace.enabled:
+        traced = engine.trace.enabled
+        if traced:
             engine.record("put", f"{nbytes}B -> PE{target} @{dest:#x}")
-        if self.cfg.fidelity == "isa":
-            self.machine.isa_transfer(self.rank, dest, src, nelems, stride,
-                                      target, eb, is_put=True)
-            return
-        pe = self.pe
-        pe.advance(self.loop_overhead_ns(nelems))
-        pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
-        if target == self.rank:
-            pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
+            engine.spans.begin(self.rank, "op", "put", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": target, "remote": target != self.rank,
+                "dest": dest,
+            })
+        try:
+            if self.cfg.fidelity == "isa":
+                self.machine.isa_transfer(self.rank, dest, src, nelems,
+                                          stride, target, eb, is_put=True)
+                return
+            pe = self.pe
+            pe.advance(self.loop_overhead_ns(nelems))
+            pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
+            if target == self.rank:
+                pe.advance(self._local_cost(dest, nelems, eb, stride,
+                                            write=True))
+                dview[:] = sview
+                return
+            st.remote_puts += 1
+            pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            res = self.machine.network.send(pe.clock, self.rank, target,
+                                            nbytes)
+            pe.advance_to(res.t_source_free)
+            wcost = self._remote_cost(target, dest, nelems, eb, stride,
+                                      write=True)
+            self.machine.network.note_delivery(res.t_delivered + wcost)
             dview[:] = sview
-            return
-        st.remote_puts += 1
-        pe.advance(self.machine.olbs[self.rank].lookup_ns)
-        res = self.machine.network.send(pe.clock, self.rank, target, nbytes)
-        pe.advance_to(res.t_source_free)
-        wcost = self._remote_cost(target, dest, nelems, eb, stride, write=True)
-        self.machine.network.note_delivery(res.t_delivered + wcost)
-        dview[:] = sview
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
 
     # -- blocking get -------------------------------------------------------------
 
@@ -187,26 +200,40 @@ class TransferEngine:
         dview, sview = self._views(dest, src, nelems, stride, target, dtype, False)
         engine = self.machine.engine
         engine.checkpoint()
-        if engine.trace.enabled:
+        traced = engine.trace.enabled
+        if traced:
             engine.record("get", f"{nbytes}B <- PE{target} @{src:#x}")
-        if self.cfg.fidelity == "isa":
-            self.machine.isa_transfer(self.rank, dest, src, nelems, stride,
-                                      target, eb, is_put=False)
-            return
-        pe = self.pe
-        pe.advance(self.loop_overhead_ns(nelems))
-        if target == self.rank:
-            pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
+            engine.spans.begin(self.rank, "op", "get", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": target, "remote": target != self.rank,
+                "dest": dest,
+            })
+        try:
+            if self.cfg.fidelity == "isa":
+                self.machine.isa_transfer(self.rank, dest, src, nelems,
+                                          stride, target, eb, is_put=False)
+                return
+            pe = self.pe
+            pe.advance(self.loop_overhead_ns(nelems))
+            if target == self.rank:
+                pe.advance(self._local_cost(src, nelems, eb, stride,
+                                            write=False))
+                pe.advance(self._local_cost(dest, nelems, eb, stride,
+                                            write=True))
+                dview[:] = sview
+                return
+            st.remote_gets += 1
+            pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            rcost = self._remote_cost(target, src, nelems, eb, stride,
+                                      write=False)
+            res = self.machine.network.fetch(pe.clock, self.rank, target,
+                                             nbytes)
+            pe.advance_to(res.t_complete + rcost)
             pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
             dview[:] = sview
-            return
-        st.remote_gets += 1
-        pe.advance(self.machine.olbs[self.rank].lookup_ns)
-        rcost = self._remote_cost(target, src, nelems, eb, stride, write=False)
-        res = self.machine.network.fetch(pe.clock, self.rank, target, nbytes)
-        pe.advance_to(res.t_complete + rcost)
-        pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
-        dview[:] = sview
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
 
     # -- non-blocking variants ---------------------------------------------------
 
@@ -228,25 +255,40 @@ class TransferEngine:
             return TransferHandle("put", 0, self.pe.clock, done=True)
         st.bytes_put += nbytes
         dview, sview = self._views(dest, src, nelems, stride, target, dtype, True)
-        self.machine.engine.checkpoint()
-        pe = self.pe
-        pe.advance(self.loop_overhead_ns(nelems))
-        pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
-        if target == self.rank:
-            pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
+        engine = self.machine.engine
+        engine.checkpoint()
+        traced = engine.trace.enabled
+        if traced:
+            engine.spans.begin(self.rank, "op", "put", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": target, "remote": target != self.rank,
+                "dest": dest, "nb": True,
+            })
+        try:
+            pe = self.pe
+            pe.advance(self.loop_overhead_ns(nelems))
+            pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
+            if target == self.rank:
+                pe.advance(self._local_cost(dest, nelems, eb, stride,
+                                            write=True))
+                dview[:] = sview
+                return TransferHandle("put", nbytes, pe.clock, done=True)
+            st.remote_puts += 1
+            pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            res = self.machine.network.send(pe.clock, self.rank, target,
+                                            nbytes)
+            pe.advance_to(res.t_source_free)
+            wcost = self._remote_cost(target, dest, nelems, eb, stride,
+                                      write=True)
+            done_at = res.t_delivered + wcost
+            self.machine.network.note_delivery(done_at)
             dview[:] = sview
-            return TransferHandle("put", nbytes, pe.clock, done=True)
-        st.remote_puts += 1
-        pe.advance(self.machine.olbs[self.rank].lookup_ns)
-        res = self.machine.network.send(pe.clock, self.rank, target, nbytes)
-        pe.advance_to(res.t_source_free)
-        wcost = self._remote_cost(target, dest, nelems, eb, stride, write=True)
-        done_at = res.t_delivered + wcost
-        self.machine.network.note_delivery(done_at)
-        dview[:] = sview
-        handle = TransferHandle("put", nbytes, done_at)
-        self._pending.append(handle)
-        return handle
+            handle = TransferHandle("put", nbytes, done_at)
+            self._pending.append(handle)
+            return handle
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
 
     def get_nb(
         self, dest: int, src: int, nelems: int, stride: int, target: int,
@@ -262,23 +304,40 @@ class TransferEngine:
             return TransferHandle("get", 0, self.pe.clock, done=True)
         st.bytes_got += nbytes
         dview, sview = self._views(dest, src, nelems, stride, target, dtype, False)
-        self.machine.engine.checkpoint()
-        pe = self.pe
-        pe.advance(self.loop_overhead_ns(nelems))
-        if target == self.rank:
-            pe.advance(self._local_cost(src, nelems, eb, stride, write=False))
-            pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
+        engine = self.machine.engine
+        engine.checkpoint()
+        traced = engine.trace.enabled
+        if traced:
+            engine.spans.begin(self.rank, "op", "get", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": target, "remote": target != self.rank,
+                "dest": dest, "nb": True,
+            })
+        try:
+            pe = self.pe
+            pe.advance(self.loop_overhead_ns(nelems))
+            if target == self.rank:
+                pe.advance(self._local_cost(src, nelems, eb, stride,
+                                            write=False))
+                pe.advance(self._local_cost(dest, nelems, eb, stride,
+                                            write=True))
+                dview[:] = sview
+                return TransferHandle("get", nbytes, pe.clock, done=True)
+            st.remote_gets += 1
+            pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            rcost = self._remote_cost(target, src, nelems, eb, stride,
+                                      write=False)
+            res = self.machine.network.fetch(pe.clock, self.rank, target,
+                                             nbytes)
+            wcost = self._local_cost(dest, nelems, eb, stride, write=True)
             dview[:] = sview
-            return TransferHandle("get", nbytes, pe.clock, done=True)
-        st.remote_gets += 1
-        pe.advance(self.machine.olbs[self.rank].lookup_ns)
-        rcost = self._remote_cost(target, src, nelems, eb, stride, write=False)
-        res = self.machine.network.fetch(pe.clock, self.rank, target, nbytes)
-        wcost = self._local_cost(dest, nelems, eb, stride, write=True)
-        dview[:] = sview
-        handle = TransferHandle("get", nbytes, res.t_complete + rcost + wcost)
-        self._pending.append(handle)
-        return handle
+            handle = TransferHandle("get", nbytes,
+                                    res.t_complete + rcost + wcost)
+            self._pending.append(handle)
+            return handle
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
 
     # -- remote atomics (xBGAS eamo*.d) ---------------------------------------------
 
@@ -302,25 +361,36 @@ class TransferEngine:
         machine = self.machine
         mem = machine.memories[target]
         mem.check(addr, 8)
-        machine.engine.checkpoint()
-        pe = self.pe
-        signed = dtype.kind == "i"
-        if self.cfg.fidelity == "isa":
-            old = machine.isa_amo(self.rank, addr, int(value) & MASK64,
-                                  target, op)
-            return old - (1 << 64) if signed and old >> 63 else old
-        if target == self.rank:
-            pe.advance(self._local_cost(addr, 1, 8, 1, write=True))
+        engine = machine.engine
+        engine.checkpoint()
+        traced = engine.trace.enabled
+        if traced:
+            engine.spans.begin(self.rank, "op", "amo", {
+                "bytes": 8, "op": op, "target": target,
+                "remote": target != self.rank,
+            })
+        try:
+            pe = self.pe
+            signed = dtype.kind == "i"
+            if self.cfg.fidelity == "isa":
+                old = machine.isa_amo(self.rank, addr, int(value) & MASK64,
+                                      target, op)
+                return old - (1 << 64) if signed and old >> 63 else old
+            if target == self.rank:
+                pe.advance(self._local_cost(addr, 1, 8, 1, write=True))
+                old = mem.load(addr, 8, signed=False)
+                mem.store(addr, 8, amo_apply(op, old, int(value) & MASK64))
+                return old - (1 << 64) if signed and old >> 63 else old
+            pe.advance(machine.olbs[self.rank].lookup_ns)
+            rcost = self._remote_cost(target, addr, 1, 8, 1, write=True)
+            res = machine.network.fetch(pe.clock, self.rank, target, 8)
+            pe.advance_to(res.t_complete + rcost)
             old = mem.load(addr, 8, signed=False)
             mem.store(addr, 8, amo_apply(op, old, int(value) & MASK64))
             return old - (1 << 64) if signed and old >> 63 else old
-        pe.advance(machine.olbs[self.rank].lookup_ns)
-        rcost = self._remote_cost(target, addr, 1, 8, 1, write=True)
-        res = machine.network.fetch(pe.clock, self.rank, target, 8)
-        pe.advance_to(res.t_complete + rcost)
-        old = mem.load(addr, 8, signed=False)
-        mem.store(addr, 8, amo_apply(op, old, int(value) & MASK64))
-        return old - (1 << 64) if signed and old >> 63 else old
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
 
     # -- completion ---------------------------------------------------------------
 

@@ -7,9 +7,18 @@ which always resumes the runnable PE with the smallest clock (ties broken
 by rank).  This produces a deterministic, legal linearization of the PE
 programs — re-running a simulation gives bit-identical functional results
 and timings.
+
+Observability (all opt-in via ``Machine(..., trace=True)``): flat events
+and hierarchical spans in :mod:`~repro.sim.trace` /
+:mod:`~repro.sim.spans`, per-collective metrics in
+:mod:`~repro.sim.metrics`, and Chrome-trace export in
+:mod:`~repro.sim.chrome_trace`.
 """
 
+from .chrome_trace import chrome_trace, write_chrome_trace
 from .engine import Engine, PEProcess, PEState
+from .metrics import CollectiveMetrics, PEActivity, StageMetrics, collective_metrics
+from .spans import Span, SpanTracker, build_span_forest, walk
 from .trace import EventTrace, SimStats, TraceEvent
 
 __all__ = [
@@ -19,4 +28,14 @@ __all__ = [
     "EventTrace",
     "SimStats",
     "TraceEvent",
+    "Span",
+    "SpanTracker",
+    "build_span_forest",
+    "walk",
+    "CollectiveMetrics",
+    "PEActivity",
+    "StageMetrics",
+    "collective_metrics",
+    "chrome_trace",
+    "write_chrome_trace",
 ]

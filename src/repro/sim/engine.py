@@ -27,6 +27,7 @@ import threading
 from typing import Any, Callable, Sequence
 
 from ..errors import DeadlockError, SimulationError
+from .spans import SpanTracker
 from .trace import EventTrace, SimStats
 
 __all__ = ["PEState", "PEProcess", "Engine"]
@@ -105,6 +106,7 @@ class Engine:
         self.n_pes = n_pes
         self.pes = [PEProcess(self, r) for r in range(n_pes)]
         self.trace = EventTrace(enabled=trace)
+        self.spans = SpanTracker(self)
         self.stats = SimStats()
         self._sched_wake = threading.Event()
         self._current: PEProcess | None = None

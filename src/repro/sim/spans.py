@@ -1,0 +1,189 @@
+"""Hierarchical spans over the event trace.
+
+The observability layer for collectives: every traced operation opens a
+*span* — an interval on one PE's simulated clock — nested three levels
+deep:
+
+    collective (broadcast, reduce, ...)
+      └── stage (one binomial-tree stage, including its closing barrier)
+            └── op (put / get / amo / barrier)
+
+Spans are recorded through the existing :class:`~repro.sim.trace.EventTrace`
+as a single event when they *close* (kind ``"span"``, ``detail`` = the
+span name, ``dur_ns`` = length, ``parent_id`` = the enclosing span), so
+the trace bound and drop accounting apply unchanged.  With tracing
+disabled every entry point returns immediately — span emission is a
+strict no-op and records nothing.
+
+:func:`build_span_forest` rebuilds the tree from a trace; spans whose
+parent was evicted by the trace bound surface as roots rather than being
+lost.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+from .trace import EventTrace, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+__all__ = ["Span", "SpanTracker", "build_span_forest", "walk"]
+
+#: Span kinds, outermost first.
+SPAN_KINDS = ("collective", "stage", "op", "user")
+
+
+@dataclass
+class Span:
+    """One node of a reconstructed span tree."""
+
+    sid: int
+    parent_id: int
+    pe: int
+    kind: str
+    name: str
+    t0: float
+    t1: float
+    attrs: Mapping[str, object]
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def dur_ns(self) -> float:
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.kind}:{self.name} pe={self.pe} "
+            f"[{self.t0:.0f}, {self.t1:.0f}] children={len(self.children)})"
+        )
+
+
+class _OpenSpan:
+    """Mutable begin-side record while a span is on a PE's stack."""
+
+    __slots__ = ("sid", "parent_id", "kind", "name", "t0", "attrs")
+
+    def __init__(self, sid: int, parent_id: int, kind: str, name: str,
+                 t0: float, attrs: Mapping[str, object] | None):
+        self.sid = sid
+        self.parent_id = parent_id
+        self.kind = kind
+        self.name = name
+        self.t0 = t0
+        self.attrs = attrs
+
+
+class SpanTracker:
+    """Per-PE span stacks feeding span events into the engine's trace.
+
+    One tracker per :class:`~repro.sim.engine.Engine`; PE threads only
+    touch their own stack, so the engine's one-thread-at-a-time schedule
+    keeps this safe without locks.
+    """
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.trace: EventTrace = engine.trace
+        self._stacks: list[list[_OpenSpan]] = [[] for _ in range(engine.n_pes)]
+        self._next_sid = 1
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace.enabled
+
+    # -- emission (called from PE threads) --------------------------------
+
+    def begin(self, pe: int, kind: str, name: str,
+              attrs: Mapping[str, object] | None = None) -> int:
+        """Open a span on ``pe`` at its current clock; returns the span id.
+
+        No-op (returns 0) when tracing is disabled.
+        """
+        if not self.trace.enabled:
+            return 0
+        stack = self._stacks[pe]
+        parent = stack[-1].sid if stack else 0
+        sid = self._next_sid
+        self._next_sid += 1
+        stack.append(_OpenSpan(sid, parent, kind, name,
+                               self.engine.pes[pe].clock, attrs))
+        return sid
+
+    def end(self, pe: int) -> None:
+        """Close the innermost open span on ``pe`` at its current clock."""
+        if not self.trace.enabled:
+            return
+        stack = self._stacks[pe]
+        if not stack:
+            return  # tracing was enabled mid-span; nothing to close
+        top = stack.pop()
+        t1 = self.engine.pes[pe].clock
+        self.trace.record_span(
+            top.t0, pe, "span", f"{top.kind}:{top.name}",
+            top.sid, top.parent_id, t1 - top.t0, top.attrs,
+        )
+
+    @contextmanager
+    def scope(self, pe: int, kind: str, name: str,
+              attrs: Mapping[str, object] | None = None) -> Iterator[int]:
+        sid = self.begin(pe, kind, name, attrs)
+        try:
+            yield sid
+        finally:
+            if sid:
+                self.end(pe)
+
+    def current(self, pe: int) -> int:
+        """Id of ``pe``'s innermost open span (0 when none / disabled)."""
+        stack = self._stacks[pe]
+        return stack[-1].sid if stack else 0
+
+    def depth(self, pe: int) -> int:
+        return len(self._stacks[pe])
+
+
+def build_span_forest(trace: EventTrace) -> list[Span]:
+    """Rebuild the span trees from a trace's span events.
+
+    Returns the roots, ordered by start time.  A span whose parent was
+    evicted by the trace bound (or never closed) becomes a root itself —
+    drops degrade the tree instead of breaking it.
+    """
+    spans: dict[int, Span] = {}
+    events: list[TraceEvent] = trace.spans()
+    for e in events:
+        kind, _, name = e.detail.partition(":")
+        spans[e.span_id] = Span(
+            sid=e.span_id,
+            parent_id=e.parent_id,
+            pe=e.pe,
+            kind=kind,
+            name=name,
+            t0=e.time_ns,
+            t1=e.end_ns,
+            attrs=e.attrs or {},
+        )
+    roots: list[Span] = []
+    for span in spans.values():
+        parent = spans.get(span.parent_id) if span.parent_id else None
+        if parent is None:
+            roots.append(span)
+        else:
+            parent.children.append(span)
+    for span in spans.values():
+        span.children.sort(key=lambda s: (s.t0, s.sid))
+    roots.sort(key=lambda s: (s.t0, s.sid))
+    return roots
+
+
+def walk(roots: list[Span]) -> Iterator[Span]:
+    """Depth-first iteration over a span forest."""
+    stack = list(reversed(roots))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.children))

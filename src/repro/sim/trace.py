@@ -3,28 +3,60 @@
 Tracing is optional (off by default) because recording every event slows
 simulation; statistics counters are always maintained — they are cheap and
 the benchmark harness reports them alongside MOPS numbers.
+
+Two flavours of record flow through one :class:`EventTrace`:
+
+* *instant events* (``span_id == 0``) — the flat ``(time, pe, kind)``
+  tuples the runtime has always emitted; and
+* *span events* (``span_id != 0``) — hierarchical intervals
+  (``collective → stage → put/get/barrier``) emitted by
+  :class:`~repro.sim.spans.SpanTracker` when a span *closes*.  A span
+  event carries its start time in ``time_ns``, its length in ``dur_ns``
+  and its parent span in ``parent_id``, so the collective metrics layer
+  (:mod:`repro.sim.metrics`) and the Chrome-trace exporter
+  (:mod:`repro.sim.chrome_trace`) can rebuild the tree.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterator, Mapping
 
 __all__ = ["TraceEvent", "EventTrace", "SimStats"]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded simulation event."""
+    """One recorded simulation event (instant or completed span)."""
 
     time_ns: float
     pe: int
     kind: str
     detail: str = ""
+    #: Non-zero for span events; unique within one trace.
+    span_id: int = 0
+    #: Enclosing span id (0 = top-level) — only meaningful on span events.
+    parent_id: int = 0
+    #: Span length; instant events have zero duration.
+    dur_ns: float = 0.0
+    #: Structured payload (bytes moved, target PE, stage index, ...).
+    attrs: Mapping[str, object] | None = None
+
+    @property
+    def is_span(self) -> bool:
+        return self.span_id != 0
+
+    @property
+    def end_ns(self) -> float:
+        return self.time_ns + self.dur_ns
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"[{self.time_ns:12.1f} ns] PE{self.pe:<3d} {self.kind} {self.detail}"
+        dur = f" dur={self.dur_ns:.1f}" if self.span_id else ""
+        return (
+            f"[{self.time_ns:12.1f} ns] PE{self.pe:<3d} {self.kind}"
+            f"{dur} {self.detail}"
+        )
 
 
 class EventTrace:
@@ -36,28 +68,67 @@ class EventTrace:
         When False, :meth:`record` is a no-op.
     max_events:
         Oldest events are dropped beyond this bound so long simulations
-        cannot exhaust memory.
+        cannot exhaust memory.  Drop accounting is per kind
+        (:attr:`dropped_by_kind`), so consumers of :meth:`of_kind` can
+        tell whether the events they are counting are complete.
     """
 
     def __init__(self, enabled: bool = False, max_events: int = 100_000):
         self.enabled = enabled
-        self.max_events = max_events
+        self.max_events = max(1, max_events)
         self._events: list[TraceEvent] = []
         self._dropped = 0
+        self._dropped_by_kind: Counter = Counter()
+
+    def _evict(self) -> None:
+        # Drop the oldest half in one go to amortise the cost (at least
+        # one event, so a tiny max_events still stays bounded), keeping
+        # the per-kind drop accounting consistent with what left the log.
+        drop = max(1, self.max_events // 2)
+        for e in self._events[:drop]:
+            self._dropped_by_kind[e.kind] += 1
+        del self._events[:drop]
+        self._dropped += drop
 
     def record(self, time_ns: float, pe: int, kind: str, detail: str = "") -> None:
+        """Record one instant event."""
         if not self.enabled:
             return
         if len(self._events) >= self.max_events:
-            # Drop the oldest half in one go to amortise the cost.
-            drop = self.max_events // 2
-            del self._events[:drop]
-            self._dropped += drop
+            self._evict()
         self._events.append(TraceEvent(time_ns, pe, kind, detail))
+
+    def record_span(
+        self,
+        time_ns: float,
+        pe: int,
+        kind: str,
+        detail: str,
+        span_id: int,
+        parent_id: int,
+        dur_ns: float,
+        attrs: Mapping[str, object] | None = None,
+    ) -> None:
+        """Record one completed span (called by ``SpanTracker.end``)."""
+        if not self.enabled:
+            return
+        if len(self._events) >= self.max_events:
+            self._evict()
+        self._events.append(TraceEvent(
+            time_ns, pe, kind, detail, span_id, parent_id, dur_ns, attrs
+        ))
 
     @property
     def dropped(self) -> int:
         return self._dropped
+
+    @property
+    def dropped_by_kind(self) -> Mapping[str, int]:
+        """How many events of each kind were evicted by the bound."""
+        return dict(self._dropped_by_kind)
+
+    def dropped_of_kind(self, kind: str) -> int:
+        return self._dropped_by_kind[kind]
 
     def __len__(self) -> int:
         return len(self._events)
@@ -68,9 +139,14 @@ class EventTrace:
     def of_kind(self, kind: str) -> list[TraceEvent]:
         return [e for e in self._events if e.kind == kind]
 
+    def spans(self) -> list[TraceEvent]:
+        """The span events still in the log, in completion order."""
+        return [e for e in self._events if e.span_id]
+
     def clear(self) -> None:
         self._events.clear()
         self._dropped = 0
+        self._dropped_by_kind.clear()
 
 
 @dataclass

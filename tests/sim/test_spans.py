@@ -1,0 +1,225 @@
+"""Tests for the hierarchical span layer over the event trace."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import Machine
+from repro.sim.chrome_trace import chrome_trace
+from repro.sim.metrics import collective_metrics
+from repro.sim.spans import build_span_forest, walk
+from repro.sim.trace import EventTrace
+
+from ..conftest import small_config
+
+
+def _run_broadcast(n_pes: int, trace: bool) -> Machine:
+    machine = Machine(small_config(n_pes), trace=trace)
+
+    def body(ctx):
+        ctx.init()
+        buf = ctx.malloc(64)
+        src = ctx.private_malloc(64)
+        if ctx.my_pe() == 0:
+            ctx.view(src, "long", 4, 1)[:] = [1, 2, 3, 4]
+        ctx.broadcast(buf, src, 4, 1, 0, "long")
+        ctx.close()
+
+    machine.run(body)
+    return machine
+
+
+class TestDisabledMode:
+    """With tracing off, span emission must be a strict no-op."""
+
+    def test_records_nothing(self):
+        machine = _run_broadcast(4, trace=False)
+        trace = machine.engine.trace
+        assert len(trace) == 0
+        assert trace.spans() == []
+        assert trace.dropped == 0
+        assert trace.dropped_by_kind == {}
+
+    def test_begin_returns_zero_and_keeps_no_state(self):
+        machine = Machine(small_config(2))
+        spans = machine.engine.spans
+        assert spans.begin(0, "collective", "broadcast") == 0
+        assert spans.depth(0) == 0
+        assert spans.current(0) == 0
+        spans.end(0)  # no stack underflow
+        assert len(machine.engine.trace) == 0
+
+    def test_user_span_is_noop(self):
+        machine = Machine(small_config(2))
+
+        def body(ctx):
+            ctx.init()
+            with ctx.span("phase", step=1):
+                ctx.barrier()
+            ctx.close()
+
+        machine.run(body)
+        assert len(machine.engine.trace) == 0
+
+    def test_collective_metrics_empty(self):
+        machine = _run_broadcast(4, trace=False)
+        assert machine.collective_metrics() == []
+
+
+class TestEnabledMode:
+    def test_span_events_flow_through_trace(self):
+        machine = _run_broadcast(4, trace=True)
+        trace = machine.engine.trace
+        spans = trace.spans()
+        assert spans, "traced run must record span events"
+        # All span events use the reserved kind and well-formed details.
+        for e in spans:
+            assert e.kind == "span"
+            assert e.span_id > 0
+            assert e.dur_ns >= 0.0
+            kind, _, name = e.detail.partition(":")
+            assert kind in ("collective", "stage", "op", "user")
+            assert name
+        # Instant events are untouched by span emission.
+        assert len(trace.of_kind("put")) >= 3
+
+    def test_forest_structure(self):
+        machine = _run_broadcast(4, trace=True)
+        forest = build_span_forest(machine.engine.trace)
+        colls = [s for s in walk(forest) for _ in [0] if s.kind == "collective"]
+        assert len(colls) == 4  # one broadcast span per PE
+        for c in colls:
+            stages = [ch for ch in c.children if ch.kind == "stage"]
+            assert len(stages) == 2  # ceil(log2 4)
+            for st in stages:
+                assert st.t0 >= c.t0 and st.t1 <= c.t1
+                ops = [o for o in st.children if o.kind == "op"]
+                assert any(o.name == "barrier" for o in ops)
+
+    def test_user_span_recorded(self):
+        machine = Machine(small_config(2), trace=True)
+
+        def body(ctx):
+            ctx.init()
+            with ctx.span("phase", step=3):
+                ctx.barrier()
+            ctx.close()
+
+        machine.run(body)
+        users = [s for s in walk(build_span_forest(machine.engine.trace))
+                 if s.kind == "user"]
+        assert len(users) == 2
+        assert users[0].name == "phase"
+        assert users[0].attrs["step"] == 3
+
+    def test_nesting_balanced_after_run(self):
+        machine = _run_broadcast(4, trace=True)
+        spans = machine.engine.spans
+        for pe in range(4):
+            assert spans.depth(pe) == 0
+
+
+class TestDropBound:
+    def test_drop_oldest_half_stays_bounded(self):
+        trace = EventTrace(enabled=True, max_events=10)
+        for i in range(100):
+            trace.record(float(i), 0, "put", f"e{i}")
+        assert len(trace) <= 10
+        assert trace.dropped == 100 - len(trace)
+        assert trace.dropped_of_kind("put") == trace.dropped
+
+    def test_max_events_one_does_not_grow(self):
+        # Regression: drop-oldest-half used to compute ``max_events // 2``
+        # which is 0 for max_events=1, so the log grew without bound.
+        trace = EventTrace(enabled=True, max_events=1)
+        for i in range(50):
+            trace.record(float(i), 0, "get")
+        assert len(trace) == 1
+        assert trace.dropped == 49
+
+    def test_of_kind_consistent_with_drop_accounting(self):
+        trace = EventTrace(enabled=True, max_events=8)
+        for i in range(20):
+            kind = "put" if i % 2 == 0 else "get"
+            trace.record(float(i), 0, kind)
+        for kind in ("put", "get"):
+            assert len(trace.of_kind(kind)) + trace.dropped_of_kind(kind) == 10
+
+    def test_span_events_share_the_bound(self):
+        trace = EventTrace(enabled=True, max_events=4)
+        for sid in range(1, 20):
+            trace.record_span(float(sid), 0, "span", "op:put", sid, 0, 1.0)
+        assert len(trace) <= 4
+        assert trace.dropped_of_kind("span") == trace.dropped > 0
+
+    def test_clear_resets_drop_counters(self):
+        trace = EventTrace(enabled=True, max_events=2)
+        for i in range(10):
+            trace.record(float(i), 0, "put")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped == 0
+        assert trace.dropped_by_kind == {}
+
+    def test_orphaned_spans_surface_as_roots(self):
+        trace = EventTrace(enabled=True, max_events=4)
+        # Parent closes first, so under pressure it is evicted while the
+        # (later-closing) children survive.
+        trace.record_span(0.0, 0, "span", "collective:broadcast", 1, 0, 9.0)
+        for sid in range(2, 12):
+            trace.record_span(float(sid), 0, "span", "stage:stage",
+                              sid, 1, 1.0, {"index": sid})
+        forest = build_span_forest(trace)
+        assert forest, "surviving children must become roots"
+        assert all(s.kind == "stage" for s in forest)
+
+
+class TestChromeExport:
+    def test_valid_json_with_metadata(self):
+        machine = _run_broadcast(4, trace=True)
+        doc = machine.chrome_trace()
+        text = json.dumps(doc)  # must be JSON-serialisable
+        parsed = json.loads(text)
+        assert parsed["otherData"]["dropped"] == 0
+        assert parsed["otherData"]["recorded"] == len(machine.engine.trace)
+        events = parsed["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"X", "i", "M"} <= phases
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in xs)
+        assert {e["tid"] for e in xs} == {0, 1, 2, 3}
+
+    def test_dropped_reported_in_metadata(self):
+        trace = EventTrace(enabled=True, max_events=4)
+        for i in range(20):
+            trace.record(float(i), 0, "put")
+        doc = chrome_trace(trace)
+        assert doc["otherData"]["dropped"] == trace.dropped > 0
+        assert doc["otherData"]["dropped_by_kind"] == {"put": trace.dropped}
+
+    def test_time_dilation_scales_timestamps(self):
+        trace = EventTrace(enabled=True)
+        trace.record_span(1000.0, 0, "span", "op:put", 1, 0, 2000.0)
+        base = chrome_trace(trace)["traceEvents"]
+        dilated = chrome_trace(trace, time_dilation=2.0)["traceEvents"]
+        x0 = next(e for e in base if e["ph"] == "X")
+        x1 = next(e for e in dilated if e["ph"] == "X")
+        assert x1["ts"] == 2 * x0["ts"]
+        assert x1["dur"] == 2 * x0["dur"]
+
+
+class TestMetricsFromSpans:
+    def test_broadcast_metrics_4_pes(self):
+        machine = _run_broadcast(4, trace=True)
+        mets = collective_metrics(machine.engine.trace)
+        assert len(mets) == 1
+        cm = mets[0]
+        assert cm.name == "broadcast"
+        assert cm.group == (0, 1, 2, 3)
+        assert cm.n_stages == 2
+        assert cm.total_messages == 3  # p - 1 remote puts
+        assert sorted(cm.per_pe) == [0, 1, 2, 3]
+        assert cm.critical_path_ns > 0
+        for act in cm.per_pe.values():
+            assert act.busy_ns >= 0
+            assert act.blocked_ns > 0  # every PE waits in stage barriers

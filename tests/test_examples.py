@@ -50,6 +50,20 @@ def test_heat_diffusion():
     assert "total heat" in out
 
 
+def test_chrome_trace_broadcast(tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    out = run_example("chrome_trace_broadcast.py", str(path))
+    assert "3 stages, 7 messages" in out
+    doc = json.loads(path.read_text())
+    stages = [e for e in doc["traceEvents"]
+              if e.get("ph") == "X" and e.get("cat") == "stage"]
+    # 3 stages per participating PE.
+    assert len(stages) == 3 * 8
+    assert doc["otherData"]["dropped"] == 0
+
+
 @pytest.mark.slow
 def test_gups_demo():
     out = run_example("gups_demo.py", "128")
