@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Allreduce on a faulty fabric: drops, retries, and a mid-run crash.
+
+Walks through the fault subsystem end to end on an 8-PE machine:
+
+1. a seeded :class:`~repro.faults.FaultPlan` drops 20 % of messages and
+   kills PE 5 partway through the run;
+2. the ack/retry layer (:class:`~repro.faults.RetryConfig`) retransmits
+   every dropped payload, so a first allreduce still matches the exact
+   8-PE sum;
+3. after PE 5 dies, ``ctx.resilient_allreduce`` rebuilds the binomial
+   tree over the 7 survivors and returns the partial sum together with
+   a contribution mask saying exactly whose data is in it.
+
+Run it (optionally writing a Chrome trace with the fault instants):
+
+    python examples/faulty_allreduce.py [trace.json]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import Machine, MachineConfig
+from repro.faults import CRASHED, FaultPlan, RetryConfig, crash, drop
+
+N_PES = 8
+NELEMS = 16
+VICTIM = 5
+#: Late enough that phase 1 (including its retry timeouts) is over
+#: before the victim's clock can reach it.
+CRASH_AT = 2_000_000.0  # ns of simulated time
+
+
+def main(ctx):
+    ctx.init()
+    me = ctx.my_pe()
+    src = ctx.malloc(NELEMS * 8)
+    dest = ctx.malloc(NELEMS * 8)
+    # Every PE contributes rank+1 in each slot, so the full sum is
+    # 36 (=1+..+8) per slot and the no-PE-5 sum is 30.
+    ctx.view(src, "long", NELEMS)[:] = me + 1
+
+    # Phase 1: everyone is alive; drops are healed by retransmission.
+    ctx.allreduce(dest, src, NELEMS, 1, "sum", "long")
+    full = int(ctx.view(dest, "long", NELEMS)[0])
+
+    # Phase 2: run past the crash trigger, then reduce again.  PE 5
+    # dies at its next runtime call; the survivors' barrier detector
+    # trips, they shrink the group and rerun over the rebuilt tree.
+    ctx.compute(CRASH_AT + 20_000.0)
+    res = ctx.resilient_allreduce(dest, src, NELEMS, 1, "sum", "long")
+    partial = int(ctx.view(dest, "long", NELEMS)[0])
+    ctx.close()
+    return full, partial, res
+
+
+if __name__ == "__main__":
+    plan = FaultPlan(
+        seed=0x5EED,
+        rules=(drop(probability=0.2), crash(pe=VICTIM, at_ns=CRASH_AT)),
+    )
+    machine = Machine(MachineConfig(n_pes=N_PES), trace=True,
+                      faults=plan, retry=RetryConfig(timeout_ns=2_000.0))
+    results = machine.run(main)
+
+    drops = machine.stats.faults_injected["drop"]
+    print(f"fault plan seed={plan.seed:#x}: {drops} drops fired, "
+          f"{machine.stats.retries} retransmissions")
+
+    assert results[VICTIM] is CRASHED
+    print(f"PE {VICTIM} crashed at t={CRASH_AT:.0f} ns; "
+          f"machine.failed_pes = {sorted(machine.failed_pes)}")
+
+    full, partial, res = next(r for i, r in enumerate(results)
+                              if i != VICTIM)
+    expect_full = sum(r + 1 for r in range(N_PES))
+    expect_partial = expect_full - (VICTIM + 1)
+    print(f"allreduce before the crash: {full} (exact sum, "
+          f"drops healed by retry; expected {expect_full})")
+    print(f"resilient allreduce after:  {partial} over survivors "
+          f"{res.contributors} (expected {expect_partial})")
+    print(f"  restarts={res.restarts} dead={res.dead} "
+          f"complete={res.complete}")
+    assert full == expect_full and partial == expect_partial
+    assert res.dead == (VICTIM,) and not res.complete
+
+    # Every surviving PE reports the identical mask — group agreement.
+    masks = {r[2].contributors for i, r in enumerate(results)
+             if i != VICTIM}
+    assert len(masks) == 1
+    print("all survivors agree on the contribution mask")
+
+    if len(sys.argv) > 1:
+        doc = machine.write_chrome_trace(sys.argv[1])
+        faults = [e for e in doc["traceEvents"] if e.get("cat") == "fault"]
+        print(f"wrote {sys.argv[1]}: {len(doc['traceEvents'])} events, "
+              f"{len(faults)} fault/retry instants")

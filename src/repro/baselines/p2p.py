@@ -65,7 +65,10 @@ class MessageLayer:
         # Sender-side staging copy out of the user buffer.
         pe.advance(machine.hierarchy_of(ctx.rank).access_range(addr, nbytes))
         data = np.array(ctx.view(addr, dtype, max(nelems, 0)), copy=True)
-        res = machine.network.send(pe.clock, ctx.rank, dst, nbytes)
+        # The two-sided baseline models MPI over a reliable transport:
+        # exempt from raw message-fault injection.
+        res = machine.network.send(pe.clock, ctx.rank, dst, nbytes,
+                                   faultable=False)
         pe.advance_to(res.t_source_free)
         msg = _Message(src=ctx.rank, tag=tag, data=data,
                        deliver_at=res.t_delivered)

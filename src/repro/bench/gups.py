@@ -107,6 +107,12 @@ class GupsParams:
     log2_table_size: int = 21
     updates_per_pe: int = 2048
     verify: bool = True
+    #: Offsets every PE's slice of the HPCC update stream by whole
+    #: runs (seed ``s`` starts the machine at stream position
+    #: ``(s·n_pes + rank)·updates``), so different seeds exercise
+    #: different index sequences while ``seed=0`` reproduces the
+    #: benchmark's canonical stream.  Same seed ⇒ same run, exactly.
+    seed: int = 0
     #: Use the xBGAS remote atomic (``eamoxor.d``) instead of the OSB
     #: get-modify-put idiom: one network transaction per update and no
     #: lost updates under contention.
@@ -130,6 +136,7 @@ class GupsResult:
     sim_seconds: float
     errors: int
     verified: bool
+    seed: int = 0
 
     @property
     def mops_total(self) -> float:
@@ -205,7 +212,7 @@ def _gups_pe(ctx: XBRTime, params: GupsParams) -> dict:
                 ctx.put(table_addr + 8 * off, scratch, 1, 1, owner, "uint64")
         return ran
 
-    start_seed = hpcc_starts(me * updates)
+    start_seed = hpcc_starts((params.seed * n + me) * updates)
     ctx.barrier()
     t0 = ctx.time_ns
     apply_stream(start_seed)
@@ -252,4 +259,5 @@ def run_gups(config: MachineConfig, params: GupsParams | None = None) -> GupsRes
         sim_seconds=t_ns / 1e9,
         errors=max(errors, 0),
         verified=params.verify,
+        seed=params.seed,
     )

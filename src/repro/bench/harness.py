@@ -15,7 +15,7 @@ qualitative claims the reproduction must match:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -33,6 +33,7 @@ __all__ = [
     "check_figure5_shape",
     "CollectiveProfile",
     "profile_collective",
+    "main",
 ]
 
 #: The PE counts of Figures 4 and 5.
@@ -48,15 +49,26 @@ class SweepPoint:
     mops_per_pe: float
     verified: bool
     detail: object = None
+    #: Workload seed the point was measured with (0 = canonical stream).
+    seed: int = 0
 
 
 def sweep_gups(
     pe_counts: Sequence[int] = PE_COUNTS,
     params: GupsParams | None = None,
     base_config: MachineConfig | None = None,
+    *,
+    seed: int | None = None,
 ) -> list[SweepPoint]:
-    """Figure 4: GUPs at each PE count."""
+    """Figure 4: GUPs at each PE count.
+
+    ``seed`` (when given) overrides ``params.seed``, shifting every
+    PE's slice of the HPCC update stream; it is recorded on each
+    returned point.
+    """
     params = params if params is not None else GupsParams()
+    if seed is not None:
+        params = replace(params, seed=seed)
     base = base_config if base_config is not None else MachineConfig()
     points = []
     for n in pe_counts:
@@ -67,6 +79,7 @@ def sweep_gups(
             mops_per_pe=res.mops_per_pe,
             verified=res.passed,
             detail=res,
+            seed=params.seed,
         ))
     return points
 
@@ -76,9 +89,18 @@ def sweep_is(
     params: IsParams | None = None,
     base_config: MachineConfig | None = None,
     keys: np.ndarray | None = None,
+    *,
+    seed: int | None = None,
 ) -> list[SweepPoint]:
-    """Figure 5: NAS IS at each PE count (one key sequence reused)."""
+    """Figure 5: NAS IS at each PE count (one key sequence reused).
+
+    ``seed`` (when given) perturbs the NPB key-generation LCG by
+    ``2·seed`` (keeping the seed odd, as ``randlc`` requires); seed 0
+    keeps NPB's canonical 314159265.
+    """
     params = params if params is not None else IsParams()
+    if seed is not None and seed != 0:
+        params = replace(params, seed=params.seed + 2 * seed)
     base = base_config if base_config is not None else MachineConfig()
     if keys is None:
         keys = generate_keys(params)
@@ -91,6 +113,7 @@ def sweep_is(
             mops_per_pe=res.mops_per_pe,
             verified=res.partial_verified and res.full_verified,
             detail=res,
+            seed=seed if seed is not None else 0,
         ))
     return points
 
@@ -259,3 +282,67 @@ def check_figure5_shape(points: Sequence[SweepPoint]) -> list[str]:
         if drop > 0.60:
             bad.append(f"8-PE per-PE drop {drop:.0%} is far beyond ~25%")
     return bad
+
+
+def _print_points(title: str, points: Sequence[SweepPoint],
+                  violations: Sequence[str]) -> None:
+    print(title)
+    print(f"  {'PEs':>4} {'MOPS total':>12} {'MOPS/PE':>10} "
+          f"{'verified':>8} {'seed':>6}")
+    for pt in points:
+        print(f"  {pt.n_pes:>4} {pt.mops_total:>12.3f} "
+              f"{pt.mops_per_pe:>10.3f} {str(pt.verified):>8} {pt.seed:>6}")
+    if violations:
+        for v in violations:
+            print(f"  shape violation: {v}")
+    else:
+        print("  shape: OK")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.bench.harness`` — run the figure sweeps.
+
+    ``--seed`` varies the benchmark workloads deterministically (and is
+    recorded on every reported point); identical invocations produce
+    identical results.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.harness",
+        description="Regenerate the paper's Figure 4/5 sweeps.",
+    )
+    parser.add_argument("--bench", choices=("gups", "is", "both"),
+                        default="both", help="which sweep(s) to run")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (0 = the canonical streams)")
+    parser.add_argument("--pes", type=int, nargs="+", default=list(PE_COUNTS),
+                        help="PE counts to sweep (default: 1 2 4 8)")
+    parser.add_argument("--gups-updates", type=int, default=None,
+                        help="GUPs updates per PE (default: 2048)")
+    parser.add_argument("--is-class", default=None,
+                        help="NAS IS problem class (e.g. B-scaled)")
+    args = parser.parse_args(argv)
+
+    status = 0
+    if args.bench in ("gups", "both"):
+        gp = GupsParams()
+        if args.gups_updates is not None:
+            gp = replace(gp, updates_per_pe=args.gups_updates)
+        points = sweep_gups(args.pes, gp, seed=args.seed)
+        bad = check_figure4_shape(points)
+        _print_points(f"GUPs (Figure 4), seed={args.seed}", points, bad)
+        status |= bool(bad)
+    if args.bench in ("is", "both"):
+        ip = IsParams()
+        if args.is_class is not None:
+            ip = replace(ip, problem_class=args.is_class)
+        points = sweep_is(args.pes, ip, seed=args.seed)
+        bad = check_figure5_shape(points)
+        _print_points(f"NAS IS (Figure 5), seed={args.seed}", points, bad)
+        status |= bool(bad)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

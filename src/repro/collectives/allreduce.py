@@ -36,7 +36,9 @@ from .common import (
     charge_elementwise,
     collective_span,
     local_copy,
+    private_buffer,
     resolve_group,
+    scratch_buffers,
     span_bytes,
     stage_span,
     validate_counts,
@@ -97,9 +99,17 @@ def _allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
     nbytes = span_bytes(nelems, stride, eb)
     # Double-buffered symmetric scratch (cur is read remotely, nxt is
     # written locally) plus a private landing buffer for gets.
-    buf_a = ctx.scratch_alloc(nbytes)
-    buf_b = ctx.scratch_alloc(nbytes)
-    l_buf = ctx.private_malloc(nbytes)
+    with scratch_buffers(ctx, nbytes, nbytes) as (buf_a, buf_b), \
+            private_buffer(ctx, nbytes) as l_buf:
+        _allreduce_buffered(ctx, dest, src, nelems, stride, op, dtype,
+                            algorithm, members, me, buf_a, buf_b, l_buf)
+
+
+def _allreduce_buffered(ctx: "XBRTime", dest: int, src: int, nelems: int,
+                        stride: int, op: str, dtype: np.dtype,
+                        algorithm: str, members: tuple[int, ...], me: int,
+                        buf_a: int, buf_b: int, l_buf: int) -> None:
+    n_pes = len(members)
     view_a = ctx.view(buf_a, dtype, nelems, stride)
     view_b = ctx.view(buf_b, dtype, nelems, stride)
     l_view = ctx.view(l_buf, dtype, nelems, stride)
@@ -160,9 +170,6 @@ def _allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
         ctx.put(cur_addr, cur_addr, nelems, stride, members[me + 1], dtype)
     ctx.barrier_team(members)
     local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
-    ctx.private_free(l_buf)
-    ctx.scratch_free(buf_b)
-    ctx.scratch_free(buf_a)
 
 
 def _rabenseifner_core(ctx, members, me, active, newrank, unfold, pof2, k,

@@ -32,6 +32,7 @@ from .common import (
     validate_counts,
     validate_root,
 )
+from .virtual_rank import virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -102,10 +103,7 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
               copy_to_root_dest: bool = True) -> None:
     n_pes = len(members)
     # Virtual rank assignment: the root becomes virtual rank 0 (Table 2).
-    if me >= root:
-        vir_rank = me - root
-    else:
-        vir_rank = me + n_pes - root
+    vir_rank = virtual_rank(me, root, n_pes)
     # Entry barrier: the paper's Algorithm 1 only barriers at stage ends,
     # but a put-based tree must order every participant's *prior* writes
     # to dest before the root's first put can land (real SHMEM

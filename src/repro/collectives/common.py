@@ -10,7 +10,8 @@ simply the identity group.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Sequence
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -28,6 +29,8 @@ __all__ = [
     "local_copy",
     "collective_span",
     "stage_span",
+    "scratch_buffers",
+    "private_buffer",
 ]
 
 
@@ -128,3 +131,31 @@ def local_copy(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
     if nelems == 0 or dest == src:
         return
     ctx.put(dest, src, nelems, stride, ctx.rank, dtype)
+
+
+@contextmanager
+def scratch_buffers(ctx: "XBRTime", *sizes: int) -> Iterator[tuple[int, ...]]:
+    """Allocate symmetric scratch buffers, freed LIFO on exit.
+
+    The frees run even when the collective unwinds on an exception
+    (e.g. :class:`~repro.errors.PeerFailedError` from a degraded
+    barrier), so a resilient retry starts from a clean scratch stack —
+    and, since scratch addresses are position-dependent, from the *same*
+    addresses on every survivor.
+    """
+    addrs = [ctx.scratch_alloc(size) for size in sizes]
+    try:
+        yield tuple(addrs)
+    finally:
+        for addr in reversed(addrs):
+            ctx.scratch_free(addr)
+
+
+@contextmanager
+def private_buffer(ctx: "XBRTime", nbytes: int) -> Iterator[int]:
+    """Allocate a private work buffer, freed on exit (exception-safe)."""
+    addr = ctx.private_malloc(nbytes)
+    try:
+        yield addr
+    finally:
+        ctx.private_free(addr)

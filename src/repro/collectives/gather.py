@@ -20,8 +20,15 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from .binomial import n_stages
-from .common import collective_span, resolve_group, stage_span, validate_root
+from .common import (
+    collective_span,
+    resolve_group,
+    scratch_buffers,
+    stage_span,
+    validate_root,
+)
 from .scatter import _validate, adjusted_displacements
+from .virtual_rank import virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -58,10 +65,7 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
               pe_disp: Sequence[int], nelems: int, root: int,
               dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
     n_pes = len(members)
-    if me >= root:
-        vir_rank = me - root
-    else:
-        vir_rank = me + n_pes - root
+    vir_rank = virtual_rank(me, root, n_pes)
     eb = dtype.itemsize
     my_count = pe_msgs[me]
     if nelems == 0:
@@ -73,36 +77,37 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
         ctx.barrier_team(members)
         return
     adj = adjusted_displacements(pe_msgs, root)
-    s_buff = ctx.scratch_alloc(nelems * eb)
-    # Stage this PE's contribution at its virtual-rank displacement.
-    if my_count:
-        ctx.put(s_buff + adj[vir_rank] * eb, src, my_count, 1, ctx.rank,
-                dtype)
-    # Order every staging store before the first stage's one-sided gets.
-    ctx.barrier_team(members)
-    k = n_stages(n_pes)
-    mask = (1 << k) - 1
-    for i in range(k):
-        with stage_span(ctx, i):
-            mask ^= 1 << i
-            if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-                vir_part = (vir_rank ^ (1 << i)) % n_pes
-                log_part = (vir_part + root) % n_pes
-                if vir_rank < vir_part:
-                    # The partner's segment plus everything it aggregated.
-                    end = min(vir_part + (1 << i), n_pes)
-                    msg_size = adj[end] - adj[vir_part]
-                    if msg_size:
-                        off = s_buff + adj[vir_part] * eb
-                        ctx.get(off, off, msg_size, 1, members[log_part],
-                                dtype)
-            ctx.barrier_team(members)
-    if vir_rank == 0:
-        # Reorder from virtual-rank order into dest by logical rank.
-        for vir in range(n_pes):
-            log = (vir + root) % n_pes
-            cnt = pe_msgs[log]
-            if cnt:
-                ctx.put(dest + pe_disp[log] * eb, s_buff + adj[vir] * eb,
-                        cnt, 1, ctx.rank, dtype)
-    ctx.scratch_free(s_buff)
+    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
+        # Stage this PE's contribution at its virtual-rank displacement.
+        if my_count:
+            ctx.put(s_buff + adj[vir_rank] * eb, src, my_count, 1, ctx.rank,
+                    dtype)
+        # Order every staging store before the first stage's one-sided
+        # gets.
+        ctx.barrier_team(members)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for i in range(k):
+            with stage_span(ctx, i):
+                mask ^= 1 << i
+                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        # The partner's segment plus everything it
+                        # aggregated.
+                        end = min(vir_part + (1 << i), n_pes)
+                        msg_size = adj[end] - adj[vir_part]
+                        if msg_size:
+                            off = s_buff + adj[vir_part] * eb
+                            ctx.get(off, off, msg_size, 1, members[log_part],
+                                    dtype)
+                ctx.barrier_team(members)
+        if vir_rank == 0:
+            # Reorder from virtual-rank order into dest by logical rank.
+            for vir in range(n_pes):
+                log = (vir + root) % n_pes
+                cnt = pe_msgs[log]
+                if cnt:
+                    ctx.put(dest + pe_disp[log] * eb, s_buff + adj[vir] * eb,
+                            cnt, 1, ctx.rank, dtype)

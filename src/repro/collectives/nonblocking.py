@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import CollectiveArgumentError
+from ..errors import CollectiveArgumentError, SimulationError
 from . import broadcast as _broadcast
 from . import gather as _gather
 from . import reduce as _reduce
@@ -42,34 +42,75 @@ __all__ = [
 
 @dataclass
 class CollectiveHandle:
-    """Completion token for a deferred collective."""
+    """Completion token for a deferred collective.
 
-    name: str
-    _run: Callable[[], None] = field(repr=False)
+    A handle is *per participant*: every PE initiates its own and waits
+    on its own.  ``wait()`` is idempotent — a second call is a no-op, as
+    with ``MPI_Wait`` on an inactive request.
+    """
+
+    name: str = "collective"
+    _run: Callable[[], None] | None = field(default=None, repr=False)
     done: bool = False
+    #: World rank that initiated this handle (None = never initiated).
+    initiator: int | None = None
+    _ctx: Any = field(default=None, repr=False)
 
     def wait(self) -> None:
         """Execute/complete the collective (must be called by every
         participant, like the blocking call would be)."""
+        if self._run is None:
+            raise CollectiveArgumentError(
+                f"wait() on a never-initiated {self.name} handle: every "
+                "participant must call the i* initiation itself before "
+                "waiting"
+            )
+        self._check_caller()
         if self.done:
             return
         self._run()
         self.done = True
+
+    def _check_caller(self) -> None:
+        """Reject a wait issued from a different PE than the initiator.
+
+        Handles are plain Python objects visible across the simulated
+        PEs' threads, so without this check a PE could accidentally
+        drive *another* participant's side of the collective — a class
+        of bug that deadlocks real programs.  Checked before the
+        idempotence fast path so the misuse is caught even on completed
+        handles.
+        """
+        if self._ctx is None or self.initiator is None:
+            return
+        try:
+            current = self._ctx.machine.engine.current
+        except SimulationError:
+            return  # inspected from outside PE code (driver/tests)
+        if current.rank != self.initiator:
+            raise CollectiveArgumentError(
+                f"PE {current.rank} waited on a {self.name} handle "
+                f"initiated by PE {self.initiator}; non-blocking "
+                "collectives are per-participant — each PE initiates and "
+                "waits on its own handle"
+            )
 
     def test(self) -> bool:
         """Non-blocking completion check."""
         return self.done
 
 
-def _defer(name: str, run: Callable[[], None]) -> CollectiveHandle:
-    return CollectiveHandle(name=name, _run=run)
+def _defer(ctx: "XBRTime", name: str,
+           run: Callable[[], None]) -> CollectiveHandle:
+    return CollectiveHandle(name=name, _run=run, initiator=ctx.rank,
+                            _ctx=ctx)
 
 
 def ibroadcast(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
                root: int, dtype: np.dtype,
                group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking broadcast (Algorithm 1, deferred)."""
-    return _defer("ibroadcast", lambda: _broadcast.broadcast(
+    return _defer(ctx, "ibroadcast", lambda: _broadcast.broadcast(
         ctx, dest, src, nelems, stride, root, dtype, group=group))
 
 
@@ -77,7 +118,7 @@ def ireduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
             root: int, op: str, dtype: np.dtype,
             group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking reduction (Algorithm 2, deferred)."""
-    return _defer("ireduce", lambda: _reduce.reduce(
+    return _defer(ctx, "ireduce", lambda: _reduce.reduce(
         ctx, dest, src, nelems, stride, root, op, dtype, group=group))
 
 
@@ -87,7 +128,7 @@ def iscatter(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
              group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking scatter (Algorithm 3, deferred)."""
     msgs, disp = tuple(pe_msgs), tuple(pe_disp)
-    return _defer("iscatter", lambda: _scatter.scatter(
+    return _defer(ctx, "iscatter", lambda: _scatter.scatter(
         ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))
 
 
@@ -97,5 +138,5 @@ def igather(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
             group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking gather (Algorithm 4, deferred)."""
     msgs, disp = tuple(pe_msgs), tuple(pe_disp)
-    return _defer("igather", lambda: _gather.gather(
+    return _defer(ctx, "igather", lambda: _gather.gather(
         ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))

@@ -36,13 +36,16 @@ from .common import (
     charge_elementwise,
     collective_span,
     local_copy,
+    private_buffer,
     resolve_group,
+    scratch_buffers,
     span_bytes,
     stage_span,
     validate_counts,
     validate_root,
 )
 from .ops import apply_op, check_op
+from .virtual_rank import virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -111,10 +114,7 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
               root: int, op: str, dtype: np.dtype,
               members: tuple[int, ...], me: int) -> None:
     n_pes = len(members)
-    if me >= root:
-        vir_rank = me - root
-    else:
-        vir_rank = me + n_pes - root
+    vir_rank = virtual_rank(me, root, n_pes)
     if nelems == 0 or n_pes == 1:
         if me == root:
             local_copy(ctx, dest, src, nelems, stride, dtype)
@@ -122,34 +122,32 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
         return
     eb = dtype.itemsize
     nbytes = span_bytes(nelems, stride, eb)
-    s_buff = ctx.scratch_alloc(nbytes)
-    l_buff = ctx.private_malloc(nbytes)
-    # Load the shared buffer with this PE's contribution.
-    local_copy(ctx, s_buff, src, nelems, stride, dtype)
-    s_view = ctx.view(s_buff, dtype, nelems, stride)
-    l_view = ctx.view(l_buff, dtype, nelems, stride)
-    # Order every s_buff load before the first stage's one-sided gets.
-    ctx.barrier_team(members)
-    k = n_stages(n_pes)
-    mask = (1 << k) - 1
-    for i in range(k):
-        with stage_span(ctx, i):
-            mask ^= 1 << i
-            if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-                vir_part = (vir_rank ^ (1 << i)) % n_pes
-                log_part = (vir_part + root) % n_pes
-                if vir_rank < vir_part:
-                    # Pull the partner's accumulated values (see module
-                    # note).
-                    ctx.get(l_buff, s_buff, nelems, stride,
-                            members[log_part], dtype)
-                    apply_op(op, s_view, l_view)
-                    charge_elementwise(ctx, nelems)
-            ctx.barrier_team(members)
-    if vir_rank == 0:
-        local_copy(ctx, dest, s_buff, nelems, stride, dtype)
-    ctx.private_free(l_buff)
-    ctx.scratch_free(s_buff)
+    with scratch_buffers(ctx, nbytes) as (s_buff,), \
+            private_buffer(ctx, nbytes) as l_buff:
+        # Load the shared buffer with this PE's contribution.
+        local_copy(ctx, s_buff, src, nelems, stride, dtype)
+        s_view = ctx.view(s_buff, dtype, nelems, stride)
+        l_view = ctx.view(l_buff, dtype, nelems, stride)
+        # Order every s_buff load before the first stage's one-sided gets.
+        ctx.barrier_team(members)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for i in range(k):
+            with stage_span(ctx, i):
+                mask ^= 1 << i
+                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        # Pull the partner's accumulated values (see
+                        # module note).
+                        ctx.get(l_buff, s_buff, nelems, stride,
+                                members[log_part], dtype)
+                        apply_op(op, s_view, l_view)
+                        charge_elementwise(ctx, nelems)
+                ctx.barrier_team(members)
+        if vir_rank == 0:
+            local_copy(ctx, dest, s_buff, nelems, stride, dtype)
 
 
 def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
@@ -164,20 +162,19 @@ def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
         return
     eb = dtype.itemsize
     nbytes = span_bytes(nelems, stride, eb)
-    s_buff = ctx.scratch_alloc(nbytes)
-    local_copy(ctx, s_buff, src, nelems, stride, dtype)
-    ctx.barrier_team(members)
-    if me == root:
-        l_buff = ctx.private_malloc(nbytes)
-        acc = ctx.view(s_buff, dtype, nelems, stride)
-        l_view = ctx.view(l_buff, dtype, nelems, stride)
-        for other in range(n_pes):
-            if other == root:
-                continue
-            ctx.get(l_buff, s_buff, nelems, stride, members[other], dtype)
-            apply_op(op, acc, l_view)
-            charge_elementwise(ctx, nelems)
-        local_copy(ctx, dest, s_buff, nelems, stride, dtype)
-        ctx.private_free(l_buff)
-    ctx.barrier_team(members)
-    ctx.scratch_free(s_buff)
+    with scratch_buffers(ctx, nbytes) as (s_buff,):
+        local_copy(ctx, s_buff, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        if me == root:
+            with private_buffer(ctx, nbytes) as l_buff:
+                acc = ctx.view(s_buff, dtype, nelems, stride)
+                l_view = ctx.view(l_buff, dtype, nelems, stride)
+                for other in range(n_pes):
+                    if other == root:
+                        continue
+                    ctx.get(l_buff, s_buff, nelems, stride, members[other],
+                            dtype)
+                    apply_op(op, acc, l_view)
+                    charge_elementwise(ctx, nelems)
+                local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+        ctx.barrier_team(members)

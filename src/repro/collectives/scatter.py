@@ -27,7 +27,14 @@ import numpy as np
 
 from ..errors import CollectiveArgumentError
 from .binomial import n_stages
-from .common import collective_span, resolve_group, stage_span, validate_root
+from .common import (
+    collective_span,
+    resolve_group,
+    scratch_buffers,
+    stage_span,
+    validate_root,
+)
+from .virtual_rank import virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -95,10 +102,7 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
               pe_disp: Sequence[int], nelems: int, root: int,
               dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
     n_pes = len(members)
-    if me >= root:
-        vir_rank = me - root
-    else:
-        vir_rank = me + n_pes - root
+    vir_rank = virtual_rank(me, root, n_pes)
     eb = dtype.itemsize
     my_count = pe_msgs[me]
     if nelems == 0:
@@ -110,33 +114,33 @@ def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
         ctx.barrier_team(members)
         return
     adj = adjusted_displacements(pe_msgs, root)
-    s_buff = ctx.scratch_alloc(nelems * eb)
-    if vir_rank == 0:
-        # Reorder src by virtual rank so every subtree is contiguous.
-        for vir in range(n_pes):
-            log = (vir + root) % n_pes
-            cnt = pe_msgs[log]
-            if cnt:
-                ctx.put(s_buff + adj[vir] * eb, src + pe_disp[log] * eb,
-                        cnt, 1, ctx.rank, dtype)
-    k = n_stages(n_pes)
-    mask = (1 << k) - 1
-    for ordinal, i in enumerate(range(k - 1, -1, -1)):
-        with stage_span(ctx, ordinal):
-            mask ^= 1 << i
-            if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
-                vir_part = (vir_rank ^ (1 << i)) % n_pes
-                log_part = (vir_part + root) % n_pes
-                if vir_rank < vir_part:
-                    # The partner's segment plus those of its children.
-                    end = min(vir_part + (1 << i), n_pes)
-                    msg_size = adj[end] - adj[vir_part]
-                    if msg_size:
-                        off = s_buff + adj[vir_part] * eb
-                        ctx.put(off, off, msg_size, 1, members[log_part],
-                                dtype)
-            ctx.barrier_team(members)
-    if my_count:
-        ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
-                dtype)
-    ctx.scratch_free(s_buff)
+    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
+        if vir_rank == 0:
+            # Reorder src by virtual rank so every subtree is contiguous.
+            for vir in range(n_pes):
+                log = (vir + root) % n_pes
+                cnt = pe_msgs[log]
+                if cnt:
+                    ctx.put(s_buff + adj[vir] * eb, src + pe_disp[log] * eb,
+                            cnt, 1, ctx.rank, dtype)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for ordinal, i in enumerate(range(k - 1, -1, -1)):
+            with stage_span(ctx, ordinal):
+                mask ^= 1 << i
+                if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        # The partner's segment plus those of its
+                        # children.
+                        end = min(vir_part + (1 << i), n_pes)
+                        msg_size = adj[end] - adj[vir_part]
+                        if msg_size:
+                            off = s_buff + adj[vir_part] * eb
+                            ctx.put(off, off, msg_size, 1, members[log_part],
+                                    dtype)
+                ctx.barrier_team(members)
+        if my_count:
+            ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
+                    dtype)

@@ -13,9 +13,11 @@ Table 2's example (7 PEs, root 4): logical 4,5,6,0,1,2,3 → virtual
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..errors import CollectiveArgumentError
 
-__all__ = ["virtual_rank", "logical_rank", "rank_table"]
+__all__ = ["virtual_rank", "logical_rank", "rank_table", "remap_root"]
 
 
 def _check(n_pes: int, root: int) -> None:
@@ -52,3 +54,34 @@ def logical_rank(vir_rank: int, root: int, n_pes: int) -> int:
 def rank_table(root: int, n_pes: int) -> list[tuple[int, int]]:
     """The full (log_rank, vir_rank) table — Table 2 for root=4, n_pes=7."""
     return [(lr, virtual_rank(lr, root, n_pes)) for lr in range(n_pes)]
+
+
+def remap_root(members: Sequence[int], root: int,
+               live: Sequence[int]) -> int:
+    """World rank acting as root after PE failures.
+
+    ``members`` is the original group (world ranks), ``root`` the
+    group-relative root index, ``live`` the surviving world ranks.  The
+    original root keeps the role while alive; otherwise the survivor
+    with the smallest virtual rank w.r.t. the original root takes over —
+    the PE the binomial tree reached earliest, hence the one most likely
+    to already hold the root's data.  Deterministic, so every survivor
+    picks the same new root without communicating.
+    """
+    members = tuple(members)
+    n_pes = len(members)
+    _check(n_pes, root)
+    live_set = set(live)
+    if not live_set:
+        raise CollectiveArgumentError("remap_root: no surviving PEs")
+    bad = live_set - set(members)
+    if bad:
+        raise CollectiveArgumentError(
+            f"remap_root: live ranks {sorted(bad)} not in group {members}"
+        )
+    if members[root] in live_set:
+        return members[root]
+    return min(
+        live_set,
+        key=lambda r: virtual_rank(members.index(r), root, n_pes),
+    )

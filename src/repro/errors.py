@@ -22,6 +22,10 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "NetworkError",
+    "FaultPlanError",
+    "PECrashedError",
+    "PeerFailedError",
+    "TransferTimeoutError",
 ]
 
 
@@ -83,3 +87,38 @@ class DeadlockError(SimulationError):
 
 class NetworkError(XbgasError):
     """The network model was asked to route an impossible message."""
+
+
+class FaultPlanError(XbgasError, ValueError):
+    """A fault plan is malformed (unknown kind, bad probability, ...)."""
+
+
+class PECrashedError(XbgasError):
+    """Raised *on the victim PE* when an injected crash fault fires.
+
+    The engine treats a PE that died of this as crashed rather than
+    buggy: surviving PEs' results stay valid and ``Machine.run`` does
+    not re-raise it.
+    """
+
+
+class PeerFailedError(XbgasError):
+    """A barrier's failure detector released survivors in degraded mode.
+
+    Raised on every *surviving* participant of a barrier whose member
+    set includes crashed PEs.  ``dead`` holds the crashed world ranks of
+    that barrier instance — identical on every survivor released by the
+    same instance, which is what lets the resilient collectives agree on
+    the rebuilt group without extra communication.
+    """
+
+    def __init__(self, dead: frozenset[int], message: str | None = None):
+        self.dead = frozenset(dead)
+        super().__init__(
+            message if message is not None
+            else f"barrier peers crashed: {sorted(self.dead)}"
+        )
+
+
+class TransferTimeoutError(NetworkError):
+    """A reliable put/get exhausted its retries without an ack."""

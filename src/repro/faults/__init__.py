@@ -1,0 +1,65 @@
+"""Fault injection and resilient collectives (``repro.faults``).
+
+The paper assumes a perfectly reliable fabric; this subsystem lets the
+reproduction study what its collectives do when the fabric is not:
+
+* :mod:`repro.faults.plan` — deterministic, seeded fault plans
+  (message drops/delays/corruption, link degradation, PE stalls and
+  crashes) plus the :class:`RetryConfig` reliability knobs;
+* :mod:`repro.faults.injector` — the runtime injector hooked into the
+  network and transfer layers;
+* :mod:`repro.faults.resilient` — degraded-mode collectives that
+  rebuild the binomial tree over survivors and return contribution
+  masks instead of hanging.
+
+Usage::
+
+    from repro import Machine, MachineConfig
+    from repro.faults import FaultPlan, RetryConfig, drop, crash
+
+    plan = FaultPlan(seed=7, rules=(drop(probability=0.05),
+                                    crash(pe=3, at_ns=200_000)))
+    machine = Machine(MachineConfig(n_pes=8), faults=plan,
+                      retry=RetryConfig())
+    results = machine.run(main)   # results[3] is faults.CRASHED
+"""
+
+from .plan import (
+    CRASHED,
+    FaultPlan,
+    FaultRule,
+    FiredFault,
+    RetryConfig,
+    corrupt,
+    crash,
+    degrade,
+    delay,
+    drop,
+    stall,
+)
+from .injector import FaultInjector
+from .resilient import (
+    ResilientResult,
+    resilient_allreduce,
+    resilient_broadcast,
+    resilient_reduce,
+)
+
+__all__ = [
+    "CRASHED",
+    "FaultPlan",
+    "FaultRule",
+    "FiredFault",
+    "RetryConfig",
+    "FaultInjector",
+    "ResilientResult",
+    "resilient_allreduce",
+    "resilient_broadcast",
+    "resilient_reduce",
+    "drop",
+    "delay",
+    "corrupt",
+    "degrade",
+    "stall",
+    "crash",
+]

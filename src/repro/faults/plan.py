@@ -1,0 +1,300 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is a pure description of the fault environment: a
+seed plus an ordered tuple of :class:`FaultRule` entries.  Nothing here
+touches wall-clock time or global RNG state — every probabilistic draw
+is a keyed hash of ``(seed, rule_index, message_index)`` (a splitmix64
+finaliser), so
+
+* the same seed and rules produce a byte-identical fault schedule on
+  every run, regardless of host, Python hash seed or retry count; and
+* a retransmitted message gets a *fresh* deterministic draw (it has a
+  new message index), so retries are not doomed to repeat their fate.
+
+Message-level kinds (sampled per remote message at the transport
+boundary):
+
+``drop``
+    The payload never lands (with the retry layer enabled the sender
+    times out and retransmits).
+``delay``
+    Delivery is late by ``delay_ns`` (the barrier quiescence horizon
+    still waits for it, so collectives stay correct without retry).
+``corrupt``
+    The payload lands with a deterministic single-bit flip (retry
+    treats a failed checksum like a drop).
+``degrade``
+    The link runs at ``1/factor`` of its per-byte bandwidth for this
+    message — a slow link, not a lossy one.
+
+PE-level kinds (scheduled against simulated time, fired at the victim's
+next runtime call):
+
+``stall``
+    The PE freezes for ``duration_ns`` at its first runtime call at or
+    after ``at_ns`` (a GC pause / OS jitter model).
+``crash``
+    The PE dies at its first runtime call at or after ``at_ns``; it
+    raises :class:`~repro.errors.PECrashedError` and never returns a
+    result.  Barriers containing it release survivors in degraded mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import FaultPlanError
+
+__all__ = [
+    "MESSAGE_KINDS",
+    "PE_KINDS",
+    "CRASHED",
+    "FaultRule",
+    "FiredFault",
+    "FaultPlan",
+    "RetryConfig",
+    "keyed_u01",
+    "keyed_salt",
+    "drop",
+    "delay",
+    "corrupt",
+    "degrade",
+    "stall",
+    "crash",
+]
+
+#: Kinds sampled per remote message.
+MESSAGE_KINDS = ("drop", "delay", "corrupt", "degrade")
+#: Kinds scheduled against a PE's simulated clock.
+PE_KINDS = ("stall", "crash")
+
+_MASK64 = (1 << 64) - 1
+
+
+class _Crashed:
+    """Sentinel result for a PE that died of an injected crash."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "CRASHED"
+
+
+#: What ``Machine.run`` returns for a crashed PE's slot.
+CRASHED = _Crashed()
+
+
+def keyed_u01(seed: int, rule_index: int, msg_index: int) -> float:
+    """Uniform [0, 1) draw keyed on (seed, rule, message) — splitmix64."""
+    x = (seed * 0x9E3779B97F4A7C15
+         + (rule_index + 1) * 0xBF58476D1CE4E5B9
+         + (msg_index + 1) * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x / 2.0 ** 64
+
+
+def keyed_salt(seed: int, rule_index: int, msg_index: int) -> int:
+    """A 64-bit deterministic salt (bit/element choice for corruption)."""
+    x = (seed * 0xD1B54A32D192ED03
+         + (rule_index + 1) * 0x8CB92BA72F3D8DD7
+         + (msg_index + 1) * 0x9E3779B97F4A7C15) & _MASK64
+    x ^= x >> 32
+    x = (x * 0xD6E8FEB86659FD93) & _MASK64
+    x ^= x >> 32
+    return x
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault source.  Use the module-level constructors
+    (:func:`drop`, :func:`crash`, ...) rather than building directly."""
+
+    kind: str
+    #: Per-message firing probability (message kinds only).
+    probability: float = 1.0
+    #: Restrict to messages from/to a world rank (None = any).
+    src: int | None = None
+    dst: int | None = None
+    #: Message kinds: active window in simulated ns.
+    after_ns: float = 0.0
+    until_ns: float = float("inf")
+    #: Maximum number of firings (0 = unlimited).
+    count: int = 0
+    #: ``delay``: extra delivery latency.
+    delay_ns: float = 0.0
+    #: ``degrade``: per-byte cost multiplier (>= 1).
+    factor: float = 1.0
+    #: PE kinds: the victim rank and trigger time.
+    pe: int | None = None
+    at_ns: float = 0.0
+    #: ``stall``: how long the victim freezes.
+    duration_ns: float = 0.0
+
+    def matches(self, t_now: float, src: int, dst: int) -> bool:
+        """Static filters for a message fault (probability aside)."""
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        return self.after_ns <= t_now < self.until_ns
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault firing, as handed to the network/transfer layer."""
+
+    kind: str
+    rule_index: int
+    #: Global message sequence number the fault fired on.
+    seq: int
+    delay_ns: float = 0.0
+    factor: float = 1.0
+    #: Deterministic salt for payload corruption.
+    salt: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the ordered fault rules — immutable and reusable."""
+
+    seed: int = 0x5EED
+    rules: tuple[FaultRule, ...] = ()
+    #: Extra barrier cost survivors pay when the failure detector trips
+    #: (the timeout a real dissemination barrier would wait out).
+    detector_timeout_ns: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+        for i, r in enumerate(self.rules):
+            if r.kind not in MESSAGE_KINDS + PE_KINDS:
+                raise FaultPlanError(f"rule {i}: unknown fault kind {r.kind!r}")
+            if not 0.0 <= r.probability <= 1.0:
+                raise FaultPlanError(
+                    f"rule {i}: probability {r.probability} outside [0, 1]"
+                )
+            if r.kind in PE_KINDS and r.pe is None:
+                raise FaultPlanError(f"rule {i}: {r.kind} needs a victim pe")
+            if r.kind == "delay" and r.delay_ns < 0:
+                raise FaultPlanError(f"rule {i}: negative delay_ns")
+            if r.kind == "degrade" and r.factor < 1.0:
+                raise FaultPlanError(f"rule {i}: degrade factor must be >= 1")
+            if r.kind == "stall" and r.duration_ns < 0:
+                raise FaultPlanError(f"rule {i}: negative stall duration")
+        if self.detector_timeout_ns < 0:
+            raise FaultPlanError("detector_timeout_ns must be >= 0")
+
+    # -- sampling ---------------------------------------------------------
+
+    def sample_message(
+        self,
+        msg_index: int,
+        t_now: float,
+        src: int,
+        dst: int,
+        fired_counts: list[int],
+    ) -> FiredFault | None:
+        """The fault (if any) striking message ``msg_index``.
+
+        Rules are consulted in order; the first hit wins.  Pure with
+        respect to everything but ``fired_counts`` (which the injector
+        owns), so identical call sequences give identical schedules.
+        """
+        for i, rule in enumerate(self.rules):
+            if rule.kind not in MESSAGE_KINDS:
+                continue
+            if rule.count and fired_counts[i] >= rule.count:
+                continue
+            if not rule.matches(t_now, src, dst):
+                continue
+            if rule.probability < 1.0 and (
+                keyed_u01(self.seed, i, msg_index) >= rule.probability
+            ):
+                continue
+            return FiredFault(
+                kind=rule.kind,
+                rule_index=i,
+                seq=msg_index,
+                delay_ns=rule.delay_ns,
+                factor=rule.factor,
+                salt=keyed_salt(self.seed, i, msg_index),
+            )
+        return None
+
+    def pe_rules(self, kind: str) -> list[tuple[int, FaultRule]]:
+        """(rule_index, rule) pairs of one PE-level kind."""
+        return [(i, r) for i, r in enumerate(self.rules) if r.kind == kind]
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Reliability knobs for remote put/get (sequence-numbered
+    ack/retry with timeout and exponential backoff)."""
+
+    #: Retransmissions after the first attempt before giving up.
+    max_retries: int = 5
+    #: Initial ack timeout the sender waits out on a loss.
+    timeout_ns: float = 20_000.0
+    #: Timeout multiplier per successive retry (exponential backoff).
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultPlanError("max_retries must be >= 0")
+        if self.timeout_ns <= 0:
+            raise FaultPlanError("timeout_ns must be positive")
+        if self.backoff < 1.0:
+            raise FaultPlanError("backoff must be >= 1")
+
+
+# -- rule constructors ----------------------------------------------------
+
+
+def drop(probability: float = 1.0, *, src: int | None = None,
+         dst: int | None = None, after_ns: float = 0.0,
+         until_ns: float = float("inf"), count: int = 0) -> FaultRule:
+    """Message loss: the payload never reaches the target."""
+    return FaultRule("drop", probability=probability, src=src, dst=dst,
+                     after_ns=after_ns, until_ns=until_ns, count=count)
+
+
+def delay(delay_ns: float, probability: float = 1.0, *,
+          src: int | None = None, dst: int | None = None,
+          after_ns: float = 0.0, until_ns: float = float("inf"),
+          count: int = 0) -> FaultRule:
+    """Late delivery by ``delay_ns`` (data still arrives intact)."""
+    return FaultRule("delay", probability=probability, src=src, dst=dst,
+                     after_ns=after_ns, until_ns=until_ns, count=count,
+                     delay_ns=delay_ns)
+
+
+def corrupt(probability: float = 1.0, *, src: int | None = None,
+            dst: int | None = None, after_ns: float = 0.0,
+            until_ns: float = float("inf"), count: int = 0) -> FaultRule:
+    """Payload corruption: a deterministic single-bit flip on arrival."""
+    return FaultRule("corrupt", probability=probability, src=src, dst=dst,
+                     after_ns=after_ns, until_ns=until_ns, count=count)
+
+
+def degrade(factor: float, probability: float = 1.0, *,
+            src: int | None = None, dst: int | None = None,
+            after_ns: float = 0.0, until_ns: float = float("inf"),
+            count: int = 0) -> FaultRule:
+    """Link degradation: per-byte cost multiplied by ``factor``."""
+    return FaultRule("degrade", probability=probability, src=src, dst=dst,
+                     after_ns=after_ns, until_ns=until_ns, count=count,
+                     factor=factor)
+
+
+def stall(pe: int, at_ns: float, duration_ns: float) -> FaultRule:
+    """Freeze ``pe`` for ``duration_ns`` at its first runtime call at or
+    after ``at_ns``."""
+    return FaultRule("stall", pe=pe, at_ns=at_ns, duration_ns=duration_ns)
+
+
+def crash(pe: int, at_ns: float) -> FaultRule:
+    """Kill ``pe`` at its first runtime call at or after ``at_ns``."""
+    return FaultRule("crash", pe=pe, at_ns=at_ns)

@@ -53,17 +53,26 @@ class PutResult:
 
     ``t_source_free``: when the sender may proceed (includes backpressure).
     ``t_delivered``: when the payload is visible at the target.
+    ``fault``: the :class:`~repro.faults.plan.FiredFault` that struck
+    this message (None on the clean path).  For a ``drop`` the payload
+    never lands and ``t_delivered`` is when it *would* have.
     """
 
     t_source_free: float
     t_delivered: float
+    fault: object | None = None
 
 
 @dataclass(frozen=True)
 class GetResult:
-    """Timing of a round-trip read: ``t_complete`` is when data is local."""
+    """Timing of a round-trip read: ``t_complete`` is when data is local.
+
+    ``fault`` mirrors :attr:`PutResult.fault`; a dropped get means the
+    response was lost and no data arrived.
+    """
 
     t_complete: float
+    fault: object | None = None
 
 
 class Network:
@@ -84,6 +93,9 @@ class Network:
         self._fabric_free = [0.0] * FABRIC_CHANNELS
         # Latest delivery time of any in-flight message (barrier quiescence).
         self.max_delivery = 0.0
+        #: Optional :class:`~repro.faults.injector.FaultInjector` consulted
+        #: for every remote message (set by the Machine; None = clean).
+        self.injector = None
 
     # -- helpers -----------------------------------------------------------
 
@@ -127,6 +139,31 @@ class Network:
             self.stats.fabric_queued_ns += queued
         return t_enter
 
+    def _sample_fault(self, t_now: float, src_pe: int, dst_pe: int,
+                      nbytes: int):
+        """Ask the injector (if any) whether this message is struck."""
+        if self.injector is None or src_pe == dst_pe:
+            return None
+        return self.injector.on_message(t_now, src_pe, dst_pe, nbytes)
+
+    @staticmethod
+    def _faulted_delivery(fault, t_del: float, nbytes: float,
+                          gap_ns_per_byte: float) -> float:
+        """Fold a fired fault's timing effect into a delivery instant.
+
+        ``delay`` adds a fixed extra latency; ``degrade`` stretches the
+        serialisation term by ``factor`` (the link ran slower).  Drops
+        and corruption do not change *when* the bits land — only whether
+        they are any good.
+        """
+        if fault is None:
+            return t_del
+        if fault.kind == "delay":
+            return t_del + fault.delay_ns
+        if fault.kind == "degrade":
+            return t_del + nbytes * gap_ns_per_byte * (fault.factor - 1.0)
+        return t_del
+
     def _sender_side(self, t_now: float, nbytes: int) -> float:
         """Per-message sender CPU costs common to put and get requests."""
         tp = self.tp
@@ -137,18 +174,23 @@ class Network:
 
     # -- one-way message (put) ------------------------------------------------
 
-    def send(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int) -> PutResult:
+    def send(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int,
+             *, faultable: bool = True) -> PutResult:
         """Cost a one-way payload transfer of ``nbytes``.
 
         For one-sided transports the target CPU is not involved; for
         two-sided ones the caller must additionally charge ``o_recv`` and
-        the receive-side copy to the target PE.
+        the receive-side copy to the target PE.  ``faultable=False``
+        exempts the message from injection (callers with no recovery
+        protocol of their own).
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
         tp = self.tp
         self.stats.messages += 1
         self.stats.bytes_on_wire += nbytes
+        fault = (self._sample_fault(t_now, src_pe, dst_pe, nbytes)
+                 if faultable else None)
         src_node, dst_node = self.node_of(src_pe), self.node_of(dst_pe)
         if src_node == dst_node:
             t_ready = t_now + tp.o_send + tp.kernel_ns + nbytes * tp.copy_ns_per_byte
@@ -158,8 +200,14 @@ class Network:
             t_del = t_enter + tp.intra_latency_ns + nbytes * tp.intra_gap_ns_per_byte
             if tp.two_sided:
                 t_del += tp.o_recv + nbytes * tp.copy_ns_per_byte
-            self.max_delivery = max(self.max_delivery, t_del)
-            return PutResult(t_source_free=max(t_ready, t_enter), t_delivered=t_del)
+            t_del = self._faulted_delivery(fault, t_del, nbytes,
+                                           tp.intra_gap_ns_per_byte)
+            if fault is None or fault.kind != "drop":
+                # A dropped payload never lands, so it cannot extend the
+                # quiescence horizon.
+                self.max_delivery = max(self.max_delivery, t_del)
+            return PutResult(t_source_free=max(t_ready, t_enter),
+                             t_delivered=t_del, fault=fault)
         t_ready = self._sender_side(t_now, nbytes)
         t_inj_done = max(t_ready, self._link_free[src_node]) + nbytes * tp.inj_ns_per_byte
         self._link_free[src_node] = t_inj_done
@@ -167,18 +215,23 @@ class Network:
         t_del = t_enter + self._wire_latency(src_node, dst_node) + nbytes * tp.gap_ns_per_byte
         if tp.two_sided:
             t_del += tp.o_recv + nbytes * tp.copy_ns_per_byte
-        self.max_delivery = max(self.max_delivery, t_del)
+        t_del = self._faulted_delivery(fault, t_del, nbytes, tp.gap_ns_per_byte)
+        if fault is None or fault.kind != "drop":
+            self.max_delivery = max(self.max_delivery, t_del)
         # Backpressure: the sender stalls until the fabric accepts.
-        return PutResult(t_source_free=max(t_ready, t_enter), t_delivered=t_del)
+        return PutResult(t_source_free=max(t_ready, t_enter),
+                         t_delivered=t_del, fault=fault)
 
     # -- round trip (get) -------------------------------------------------------
 
-    def fetch(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int) -> GetResult:
+    def fetch(self, t_now: float, src_pe: int, dst_pe: int, nbytes: int,
+              *, faultable: bool = True) -> GetResult:
         """Cost a one-sided read of ``nbytes`` from ``dst_pe`` to ``src_pe``.
 
         The request is a small message; the response carries the payload.
         One-sided transports need no target-CPU participation (the xBGAS
-        OLB answers directly).
+        OLB answers directly).  ``faultable=False`` exempts the message
+        from injection (remote atomics, which have no retry protocol).
         """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
@@ -186,6 +239,10 @@ class Network:
         src_node, dst_node = self.node_of(src_pe), self.node_of(dst_pe)
         self.stats.messages += 2
         self.stats.bytes_on_wire += nbytes + 16
+        # One sample covers the request/response pair: losing either
+        # direction loses the read.
+        fault = (self._sample_fault(t_now, src_pe, dst_pe, nbytes)
+                 if faultable else None)
         if src_node == dst_node:
             t_ready = t_now + tp.o_send + tp.kernel_ns
             t_req = self._cross_bus(src_node, t_ready, 16)
@@ -196,8 +253,11 @@ class Network:
             t = t_rsp + tp.intra_latency_ns + nbytes * tp.intra_gap_ns_per_byte
             if tp.two_sided:
                 t += nbytes * tp.copy_ns_per_byte
-            self.max_delivery = max(self.max_delivery, t)
-            return GetResult(t_complete=t)
+            t = self._faulted_delivery(fault, t, nbytes,
+                                       tp.intra_gap_ns_per_byte)
+            if fault is None or fault.kind != "drop":
+                self.max_delivery = max(self.max_delivery, t)
+            return GetResult(t_complete=t, fault=fault)
         t_ready = self._sender_side(t_now, 16)
         # Request crosses the fabric...
         t_req = max(t_ready, self._link_free[src_node]) + 16 * tp.inj_ns_per_byte
@@ -213,8 +273,11 @@ class Network:
         t_done = t_enter2 + self._wire_latency(dst_node, src_node) + nbytes * tp.gap_ns_per_byte
         if tp.two_sided:
             t_done += nbytes * tp.copy_ns_per_byte
-        self.max_delivery = max(self.max_delivery, t_done)
-        return GetResult(t_complete=t_done)
+        t_done = self._faulted_delivery(fault, t_done, nbytes,
+                                        tp.gap_ns_per_byte)
+        if fault is None or fault.kind != "drop":
+            self.max_delivery = max(self.max_delivery, t_done)
+        return GetResult(t_complete=t_done, fault=fault)
 
     # -- barrier support ---------------------------------------------------------
 

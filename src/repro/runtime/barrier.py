@@ -15,6 +15,17 @@ algorithms rely on).
 Teams (paper section 7, "integration of collective functionality between
 a subset of PEs") are supported by keying concurrent barrier instances on
 the participant set: disjoint teams synchronise independently.
+
+Failure detection (fault-injection runs): when a participant has been
+crashed by the :mod:`repro.faults` injector, the barrier does not hang.
+Once every *live* participant has arrived (or a participant dies while
+the rest are waiting), the instance performs a *degraded release*: the
+survivors pay the failure detector's timeout on top of the normal cost
+and every one of them raises :class:`~repro.errors.PeerFailedError`
+carrying the same frozen set of dead members.  That agreement — all
+survivors of one instance observe an identical membership verdict — is
+what lets the resilient collectives rebuild their trees without
+diverging.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 from math import ceil, log2
 from typing import TYPE_CHECKING
 
-from ..errors import CollectiveArgumentError, SimulationError
+from ..errors import CollectiveArgumentError, PeerFailedError, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .context import Machine
@@ -30,13 +41,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["BarrierController"]
 
 
+class _Pending:
+    """One in-progress barrier instance."""
+
+    __slots__ = ("key", "arrivals", "degraded")
+
+    def __init__(self, key: tuple[int, ...]):
+        self.key = key
+        #: rank -> arrival clock, in arrival order.
+        self.arrivals: dict[int, float] = {}
+        #: Set once on a degraded release: the dead members every
+        #: survivor must report (the group-agreement payload).
+        self.degraded: frozenset[int] | None = None
+
+
 class BarrierController:
     """Shared barrier state for one machine."""
 
     def __init__(self, machine: "Machine"):
         self.machine = machine
-        #: participants (sorted tuple) -> {rank: arrival clock}
-        self._arrivals: dict[tuple[int, ...], dict[int, float]] = {}
+        #: participants (sorted tuple) -> in-progress instance
+        self._pending: dict[tuple[int, ...], _Pending] = {}
 
     def round_cost_ns(self, participants: tuple[int, ...]) -> float:
         """Cost of one dissemination round among ``participants``."""
@@ -49,8 +74,67 @@ class BarrierController:
             lat = tp.latency_ns
         return tp.o_send + tp.kernel_ns + lat + 8 * tp.gap_ns_per_byte
 
+    # -- release helpers ----------------------------------------------------
+
+    def _release(self, inst: _Pending, waker: int | None) -> float:
+        """Release ``inst``: compute the exit time, wake the arrived
+        waiters and retire the instance.  ``waker`` (if not None) is the
+        arrived rank doing the waking — it advances itself.
+
+        On a degraded release (some participants dead) the exit time
+        additionally pays the failure detector's timeout and
+        ``inst.degraded`` is frozen so every waiter reports the same
+        verdict.
+        """
+        machine = self.machine
+        engine = machine.engine
+        key = inst.key
+        faults = machine.faults
+        dead_members = (frozenset(r for r in key if faults.is_dead(r))
+                        if faults is not None else frozenset())
+        release = max(inst.arrivals.values())
+        release = max(release, machine.network.quiescence_time())
+        rounds = ceil(log2(len(key)))
+        release += rounds * self.round_cost_ns(key)
+        if dead_members:
+            # Survivors only learn of the death when the detector's
+            # timeout on the missing peer expires.
+            release += faults.detector_timeout_ns
+            inst.degraded = dead_members
+        del self._pending[key]
+        machine.stats.barriers += 1
+        for other in inst.arrivals:
+            if other != waker:
+                engine.resume(other, at_time=release)
+        return release
+
+    def handle_pe_death(self, dead_rank: int) -> None:
+        """Called by the fault injector when ``dead_rank`` crashes.
+
+        Any pending barrier the victim participated in may now be
+        complete from the survivors' point of view: if every still-live
+        participant has already arrived, perform the degraded release so
+        the waiters are not stranded.  (Instances still missing live
+        arrivals release normally when those PEs arrive.)
+        """
+        faults = self.machine.faults
+        dead = faults.dead_pes if faults is not None else frozenset()
+        for key, inst in list(self._pending.items()):
+            if dead_rank not in key:
+                continue
+            live_missing = [r for r in key
+                            if r not in inst.arrivals and r not in dead]
+            if not live_missing:
+                self._release(inst, waker=None)
+
+    # -- the barrier itself -------------------------------------------------
+
     def barrier(self, rank: int, participants: tuple[int, ...] | None = None) -> None:
-        """Synchronise ``rank`` with ``participants`` (default: all PEs)."""
+        """Synchronise ``rank`` with ``participants`` (default: all PEs).
+
+        Raises :class:`PeerFailedError` on every live participant if any
+        member of the set died before the instance released.
+        """
         machine = self.machine
         if participants is None:
             key = tuple(range(machine.config.n_pes))
@@ -74,27 +158,30 @@ class BarrierController:
             engine.checkpoint()
             if traced:
                 engine.record("barrier", f"arrive ({len(key)} PEs)")
-            arrivals = self._arrivals.setdefault(key, {})
-            if rank in arrivals:
+            inst = self._pending.get(key)
+            if inst is None:
+                inst = self._pending[key] = _Pending(key)
+            if rank in inst.arrivals:
                 raise SimulationError(
                     f"PE {rank} re-entered barrier {key} before it completed"
                 )
             me = engine.pes[rank]
-            arrivals[rank] = me.clock
-            if len(arrivals) < len(key):
-                engine.suspend()
-                return  # released by the last arriver
-            # Last to arrive: compute the release time and wake everyone.
-            release = max(arrivals.values())
-            release = max(release, machine.network.quiescence_time())
-            rounds = ceil(log2(len(key)))
-            release += rounds * self.round_cost_ns(key)
-            del self._arrivals[key]
-            machine.stats.barriers += 1
-            for other in key:
-                if other != rank:
-                    engine.resume(other, at_time=release)
-            me.advance_to(release)
+            inst.arrivals[rank] = me.clock
+            faults = machine.faults
+            dead = faults.dead_pes if faults is not None else frozenset()
+            live_missing = [r for r in key
+                            if r not in inst.arrivals and r not in dead]
+            if live_missing:
+                engine.suspend()  # released by the last live arriver
+            else:
+                # Last live PE to arrive: release everyone.
+                release = self._release(inst, waker=rank)
+                me.advance_to(release)
+            if inst.degraded:
+                if traced:
+                    engine.record("barrier",
+                                  f"degraded: peers {sorted(inst.degraded)} dead")
+                raise PeerFailedError(inst.degraded)
         finally:
             if traced:
                 engine.spans.end(rank)

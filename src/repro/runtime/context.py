@@ -36,7 +36,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import AddressError, RuntimeStateError
+from ..errors import AddressError, PeerFailedError, RuntimeStateError
 from ..isa.memory import Memory
 from ..isa.olb import ObjectLookasideBuffer
 from ..machine.memsys import MemoryHierarchy
@@ -65,7 +65,13 @@ def resolve_dtype(t: str | np.dtype | type) -> np.dtype:
 class Machine:
     """One simulated xBGAS machine (the whole PGAS job)."""
 
-    def __init__(self, config: MachineConfig | None = None, *, trace: bool = False):
+    def __init__(self, config: MachineConfig | None = None, *,
+                 trace: bool = False, faults=None, retry=None):
+        """``faults`` (a :class:`~repro.faults.plan.FaultPlan`) arms the
+        fault injector; ``retry`` (a
+        :class:`~repro.faults.plan.RetryConfig`) arms ack/retry on
+        remote put/get.  Both default to off — a machine without them
+        behaves exactly as before the subsystem existed."""
         self.config = config if config is not None else MachineConfig()
         cfg = self.config
         self.engine = Engine(cfg.n_pes, trace=trace)
@@ -103,6 +109,14 @@ class Machine:
             from .isa_path import IsaTransferPath
 
             self._isa_path = IsaTransferPath(self)
+        #: Armed fault injector (None = clean machine, zero overhead).
+        self.faults = None
+        self.retry = retry
+        if faults is not None:
+            from ..faults.injector import FaultInjector
+
+            self.faults = FaultInjector(self, faults)
+            self.network.injector = self.faults
 
     # -- shared-hardware accessors -------------------------------------------
 
@@ -132,6 +146,11 @@ class Machine:
     def elapsed_ns(self) -> float:
         """Simulated makespan (host-dilated, like ``ctx.time_ns``)."""
         return self.engine.elapsed_ns * self.config.time_dilation
+
+    @property
+    def failed_pes(self) -> frozenset[int]:
+        """World ranks crashed by fault injection (empty on a clean run)."""
+        return self.faults.dead_pes if self.faults is not None else frozenset()
 
     def describe(self) -> str:
         """A Spike-style banner describing the simulated platform."""
@@ -184,6 +203,12 @@ class Machine:
 
         results = self.engine.run(wrapper, args_per_pe)
         self._fold_memory_stats()
+        if self.faults is not None and self.faults.dead_pes:
+            from ..faults.plan import CRASHED
+
+            dead = self.faults.dead_pes
+            results = [CRASHED if r in dead else res
+                       for r, res in enumerate(results)]
         return results
 
     # -- observability ---------------------------------------------------------
@@ -266,7 +291,10 @@ class XBRTime:
     def close(self) -> None:
         """``xbrtime_close``: tear the runtime down; synchronises all PEs."""
         self._require_active()
-        self.machine.barriers.barrier(self.rank)
+        try:
+            self.machine.barriers.barrier(self.rank)
+        except PeerFailedError:
+            pass  # dead peers cannot join teardown; survivors still close
         self._active = False
         self._closed = True
 
@@ -275,6 +303,11 @@ class XBRTime:
             raise RuntimeStateError(
                 f"PE {self.rank}: runtime used outside init()/close()"
             )
+        faults = self.machine.faults
+        if faults is not None:
+            # Every runtime call is a fault checkpoint: due stalls fire
+            # here, and a scheduled crash kills this PE here.
+            faults.check_pe(self.rank, self.pe.clock)
 
     # -- identity ---------------------------------------------------------------
 
@@ -287,6 +320,22 @@ class XBRTime:
         """``xbrtime_num_pes``."""
         self._require_active()
         return self.machine.config.n_pes
+
+    def failed_pes(self) -> frozenset[int]:
+        """Ranks this PE has *observed* dead so far (fault injection).
+
+        For group-membership decisions inside resilient collectives use
+        the :class:`~repro.errors.PeerFailedError` payload instead —
+        different PEs may observe a crash at different times, but all
+        survivors of one barrier instance receive the same payload.
+        """
+        return self.machine.failed_pes
+
+    def live_pes(self) -> tuple[int, ...]:
+        """World ranks not (yet) crashed, in rank order."""
+        dead = self.machine.failed_pes
+        return tuple(r for r in range(self.machine.config.n_pes)
+                     if r not in dead)
 
     @property
     def time_ns(self) -> float:
@@ -557,6 +606,44 @@ class XBRTime:
         from ..collectives import extra
 
         extra.alltoall(self, dest, src, nelems_per_pe, resolve_dtype(dtype))
+
+    # -- resilient collectives (fault-injection runs) ----------------------------------
+
+    def resilient_broadcast(self, dest: int, src: int, nelems: int,
+                            stride: int, root: int,
+                            dtype: str | np.dtype = "long", *,
+                            max_restarts: int = 8):
+        """Broadcast that survives PE crashes by re-rooting the binomial
+        tree over the survivors; returns a
+        :class:`~repro.faults.resilient.ResilientResult`."""
+        self._require_active()
+        from ..faults.resilient import resilient_broadcast as _rb
+
+        return _rb(self, dest, src, nelems, stride, root,
+                   resolve_dtype(dtype), max_restarts=max_restarts)
+
+    def resilient_reduce(self, dest: int, src: int, nelems: int,
+                         stride: int, root: int, op: str = "sum",
+                         dtype: str | np.dtype = "long", *,
+                         max_restarts: int = 8):
+        """Eventually consistent reduction: folds the survivors' values
+        and reports the contribution mask."""
+        self._require_active()
+        from ..faults.resilient import resilient_reduce as _rr
+
+        return _rr(self, dest, src, nelems, stride, root, op,
+                   resolve_dtype(dtype), max_restarts=max_restarts)
+
+    def resilient_allreduce(self, dest: int, src: int, nelems: int,
+                            stride: int, op: str = "sum",
+                            dtype: str | np.dtype = "long", *,
+                            max_restarts: int = 8):
+        """Eventually consistent allreduce over the survivors."""
+        self._require_active()
+        from ..faults.resilient import resilient_allreduce as _ra
+
+        return _ra(self, dest, src, nelems, stride, op,
+                   resolve_dtype(dtype), max_restarts=max_restarts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -101,7 +101,11 @@ class _RemotePort:
         t_now = self._now()
         rcost = m.hierarchy_of(target_pe).access(addr, nbytes, False,
                                                  use_tlb=False)
-        res = m.network.fetch(t_now, self.rank, target_pe, nbytes)
+        # Per-instruction remote accesses have no software retry layer;
+        # message-fault injection applies only to the model-fidelity
+        # transfer engine.
+        res = m.network.fetch(t_now, self.rank, target_pe, nbytes,
+                              faultable=False)
         value = m.memories[target_pe].load(addr, nbytes, signed)
         return value, (res.t_complete - t_now) + rcost
 
@@ -110,7 +114,8 @@ class _RemotePort:
         m = self.machine
         m.stats.remote_puts += 1
         t_now = self._now()
-        res = m.network.send(t_now, self.rank, target_pe, nbytes)
+        res = m.network.send(t_now, self.rank, target_pe, nbytes,
+                             faultable=False)
         wcost = m.hierarchy_of(target_pe).access(addr, nbytes, True,
                                                  use_tlb=False)
         m.network.note_delivery(res.t_delivered + wcost)
@@ -124,7 +129,8 @@ class _RemotePort:
         m = self.machine
         t_now = self._now()
         wcost = m.hierarchy_of(target_pe).access(addr, 8, True, use_tlb=False)
-        res = m.network.fetch(t_now, self.rank, target_pe, 8)
+        res = m.network.fetch(t_now, self.rank, target_pe, 8,
+                              faultable=False)
         mem = m.memories[target_pe]
         old = mem.load(addr, 8)
         mem.store(addr, 8, amo_apply(op, old, value))

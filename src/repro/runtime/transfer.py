@@ -26,7 +26,11 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import AddressError, CollectiveArgumentError
+from ..errors import (
+    AddressError,
+    CollectiveArgumentError,
+    TransferTimeoutError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .context import Machine
@@ -130,6 +134,97 @@ class TransferEngine:
         return hier.access_strided(addr, nelems, elem_bytes, stride, write,
                                    use_tlb=False)
 
+    # -- reliable delivery under fault injection ----------------------------------
+
+    def _reliable_put(
+        self, dview: np.ndarray, sview: np.ndarray, dest: int, nelems: int,
+        eb: int, stride: int, target: int, nbytes: int,
+    ) -> None:
+        """Remote put with ack/retry semantics when faults are enabled.
+
+        Each attempt is a fresh message (new sequence number, fresh fault
+        draw).  With a :class:`~repro.faults.plan.RetryConfig` the sender
+        waits for an acknowledgement: a dropped or corrupted payload is
+        detected at timeout and retransmitted with exponential backoff,
+        up to ``max_retries`` before :class:`TransferTimeoutError`.
+        Without one, losses are silent and corruption lands in memory —
+        the raw unreliable substrate.
+        """
+        machine = self.machine
+        injector = machine.faults
+        retry = machine.retry
+        network = machine.network
+        pe = self.pe
+        timeout = retry.timeout_ns if retry is not None else 0.0
+        attempts = 1 + (retry.max_retries if retry is not None else 0)
+        wcost = self._remote_cost(target, dest, nelems, eb, stride, write=True)
+        for attempt in range(attempts):
+            res = network.send(pe.clock, self.rank, target, nbytes)
+            pe.advance_to(res.t_source_free)
+            fault = res.fault
+            if (fault is not None and fault.kind in ("drop", "corrupt")
+                    and retry is not None):
+                injector.note_retry(pe.clock, self.rank, target,
+                                    fault.seq, attempt, timeout)
+                pe.advance(timeout)
+                timeout *= retry.backoff
+                continue
+            if fault is not None and fault.kind == "drop":
+                return  # unreliable mode: the payload is simply gone
+            network.note_delivery(res.t_delivered + wcost)
+            dview[:] = sview
+            if fault is not None and fault.kind == "corrupt":
+                injector.corrupt_payload(dview, fault)
+                return
+            if retry is not None:
+                # Positive acknowledgement: the sender may not declare
+                # success until the ack crosses back.
+                pe.advance_to(res.t_delivered + wcost
+                              + machine.config.transport.latency_ns)
+            return
+        raise TransferTimeoutError(
+            f"PE {self.rank}: put of {nbytes}B to PE {target} lost "
+            f"{attempts} times (max_retries={retry.max_retries} exhausted)"
+        )
+
+    def _reliable_get(
+        self, dview: np.ndarray, sview: np.ndarray, dest: int, src: int,
+        nelems: int, eb: int, stride: int, target: int, nbytes: int,
+    ) -> None:
+        """Remote get counterpart of :meth:`_reliable_put` (the round
+        trip is its own acknowledgement, so success needs no extra ack
+        wait)."""
+        machine = self.machine
+        injector = machine.faults
+        retry = machine.retry
+        network = machine.network
+        pe = self.pe
+        timeout = retry.timeout_ns if retry is not None else 0.0
+        attempts = 1 + (retry.max_retries if retry is not None else 0)
+        rcost = self._remote_cost(target, src, nelems, eb, stride, write=False)
+        for attempt in range(attempts):
+            res = network.fetch(pe.clock, self.rank, target, nbytes)
+            fault = res.fault
+            if (fault is not None and fault.kind in ("drop", "corrupt")
+                    and retry is not None):
+                injector.note_retry(pe.clock, self.rank, target,
+                                    fault.seq, attempt, timeout)
+                pe.advance(timeout)
+                timeout *= retry.backoff
+                continue
+            if fault is not None and fault.kind == "drop":
+                return  # response lost; destination buffer untouched
+            pe.advance_to(res.t_complete + rcost)
+            pe.advance(self._local_cost(dest, nelems, eb, stride, write=True))
+            dview[:] = sview
+            if fault is not None and fault.kind == "corrupt":
+                injector.corrupt_payload(dview, fault)
+            return
+        raise TransferTimeoutError(
+            f"PE {self.rank}: get of {nbytes}B from PE {target} lost "
+            f"{attempts} times (max_retries={retry.max_retries} exhausted)"
+        )
+
     # -- blocking put -------------------------------------------------------------
 
     def put(
@@ -171,6 +266,10 @@ class TransferEngine:
                 return
             st.remote_puts += 1
             pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            if self.machine.faults is not None:
+                self._reliable_put(dview, sview, dest, nelems, eb, stride,
+                                   target, nbytes)
+                return
             res = self.machine.network.send(pe.clock, self.rank, target,
                                             nbytes)
             pe.advance_to(res.t_source_free)
@@ -224,6 +323,10 @@ class TransferEngine:
                 return
             st.remote_gets += 1
             pe.advance(self.machine.olbs[self.rank].lookup_ns)
+            if self.machine.faults is not None:
+                self._reliable_get(dview, sview, dest, src, nelems, eb,
+                                   stride, target, nbytes)
+                return
             rcost = self._remote_cost(target, src, nelems, eb, stride,
                                       write=False)
             res = self.machine.network.fetch(pe.clock, self.rank, target,
@@ -245,7 +348,15 @@ class TransferEngine:
 
         The source buffer is captured at initiation (as with the real
         non-blocking calls, it must not be reused before completion).
+
+        Under fault injection the non-blocking calls degrade to the
+        blocking reliable path (retransmission is inherently
+        synchronous) and return an already-completed handle.
         """
+        if self.machine.faults is not None:
+            self.put(dest, src, nelems, stride, target, dtype)
+            return TransferHandle("put", nelems * dtype.itemsize,
+                                  self.pe.clock, done=True)
         self._check_args(nelems, stride, target)
         st = self.machine.stats
         st.puts += 1
@@ -294,7 +405,15 @@ class TransferEngine:
         self, dest: int, src: int, nelems: int, stride: int, target: int,
         dtype: np.dtype,
     ) -> TransferHandle:
-        """Initiate a get; data is usable after :meth:`wait`."""
+        """Initiate a get; data is usable after :meth:`wait`.
+
+        Degrades to the blocking reliable path under fault injection,
+        like :meth:`put_nb`.
+        """
+        if self.machine.faults is not None:
+            self.get(dest, src, nelems, stride, target, dtype)
+            return TransferHandle("get", nelems * dtype.itemsize,
+                                  self.pe.clock, done=True)
         self._check_args(nelems, stride, target)
         st = self.machine.stats
         st.gets += 1
@@ -383,7 +502,11 @@ class TransferEngine:
                 return old - (1 << 64) if signed and old >> 63 else old
             pe.advance(machine.olbs[self.rank].lookup_ns)
             rcost = self._remote_cost(target, addr, 1, 8, 1, write=True)
-            res = machine.network.fetch(pe.clock, self.rank, target, 8)
+            # AMOs ride the NIC's reliable execution unit: exempt from
+            # message-fault injection (there is no software retry for a
+            # half-applied atomic).
+            res = machine.network.fetch(pe.clock, self.rank, target, 8,
+                                        faultable=False)
             pe.advance_to(res.t_complete + rcost)
             old = mem.load(addr, 8, signed=False)
             mem.store(addr, 8, amo_apply(op, old, int(value) & MASK64))

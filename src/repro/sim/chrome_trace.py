@@ -64,6 +64,32 @@ def chrome_trace(trace: EventTrace, *, time_dilation: float = 1.0) -> dict:
                 "args": args,
             })
         else:
+            args = {"detail": e.detail} if e.detail else {}
+            if e.attrs:
+                args.update({
+                    k: (list(v) if isinstance(v, tuple) else v)
+                    for k, v in e.attrs.items()
+                })
+            if e.kind in ("fault", "retry"):
+                # Injected faults and retransmissions stand out from the
+                # routine put/get/barrier instants: their own category
+                # (filterable in Perfetto), named by the fault kind, and
+                # process-scoped for crashes so the marker spans the
+                # whole timeline.
+                fault_kind = str((e.attrs or {}).get("fault", e.kind))
+                name = f"fault:{fault_kind}" if e.kind == "fault" else "retry"
+                scope = "p" if fault_kind == "crash" else "t"
+                events.append({
+                    "name": name,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": scope,
+                    "ts": e.time_ns * scale,
+                    "pid": _PID,
+                    "tid": e.pe,
+                    "args": args,
+                })
+                continue
             events.append({
                 "name": e.kind,
                 "cat": "event",
@@ -72,7 +98,7 @@ def chrome_trace(trace: EventTrace, *, time_dilation: float = 1.0) -> dict:
                 "ts": e.time_ns * scale,
                 "pid": _PID,
                 "tid": e.pe,
-                "args": {"detail": e.detail} if e.detail else {},
+                "args": args,
             })
     meta = [{
         "name": "process_name",

@@ -26,7 +26,7 @@ import enum
 import threading
 from typing import Any, Callable, Sequence
 
-from ..errors import DeadlockError, SimulationError
+from ..errors import DeadlockError, PECrashedError, SimulationError
 from .spans import SpanTracker
 from .trace import EventTrace, SimStats
 
@@ -124,6 +124,11 @@ class Engine:
         ``fn`` is invoked as ``fn(pe_process, *extra)`` where ``extra`` is
         ``args_per_pe[rank]`` (empty by default).  Raises the first PE
         failure (annotated with its rank) or :class:`DeadlockError`.
+
+        A PE that died of an *injected crash*
+        (:class:`~repro.errors.PECrashedError`) is not a simulation
+        failure: its result slot stays ``None`` and the run completes
+        with the survivors' results.
         """
         if self._running:
             raise SimulationError("engine is not reentrant")
@@ -138,6 +143,8 @@ class Engine:
         for pe in self.pes:
             if pe.state is PEState.FAILED:
                 assert pe.error is not None
+                if isinstance(pe.error, PECrashedError):
+                    continue  # injected crash; survivors' results stand
                 raise SimulationError(
                     f"PE {pe.rank} failed at t={pe.clock:.1f} ns"
                 ) from pe.error
@@ -224,10 +231,22 @@ class Engine:
             if nxt is None:
                 blocked = [p.rank for p in self.pes if p.state is PEState.BLOCKED]
                 failed = [p.rank for p in self.pes if p.state is PEState.FAILED]
-                if blocked and not failed:
+                # Injected crashes are expected deaths: survivors left
+                # blocked behind one still deadlock rather than silently
+                # ending the run with half-finished PEs.
+                hard_failed = [
+                    p.rank for p in self.pes
+                    if p.state is PEState.FAILED
+                    and not isinstance(p.error, PECrashedError)
+                ]
+                if blocked and not hard_failed:
+                    crashed = [r for r in failed if r not in hard_failed]
+                    hint = (f" (PEs {crashed} crashed by fault injection)"
+                            if crashed else
+                            " (mismatched barrier or receive?)")
                     raise DeadlockError(
                         f"deadlock: PEs {blocked} are blocked and none are "
-                        "runnable (mismatched barrier or receive?)"
+                        f"runnable{hint}"
                     )
                 # All DONE, or a failure left peers blocked — run() will
                 # surface the PE error.

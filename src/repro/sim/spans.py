@@ -137,6 +137,28 @@ class SpanTracker:
             if sid:
                 self.end(pe)
 
+    def annotate(self, pe: int, key: str, value: object,
+                 append: bool = False) -> None:
+        """Tag ``pe``'s innermost open span with ``key: value``.
+
+        With ``append=True`` the key accumulates a list (used by the
+        fault injector so a span hit by several faults keeps them all).
+        No-op when tracing is disabled or no span is open.
+        """
+        if not self.trace.enabled:
+            return
+        stack = self._stacks[pe]
+        if not stack:
+            return
+        top = stack[-1]
+        attrs = dict(top.attrs) if top.attrs else {}
+        if append:
+            existing = attrs.get(key)
+            attrs[key] = (list(existing) if existing else []) + [value]
+        else:
+            attrs[key] = value
+        top.attrs = attrs
+
     def current(self, pe: int) -> int:
         """Id of ``pe``'s innermost open span (0 when none / disabled)."""
         stack = self._stacks[pe]

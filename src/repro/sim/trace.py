@@ -90,13 +90,16 @@ class EventTrace:
         del self._events[:drop]
         self._dropped += drop
 
-    def record(self, time_ns: float, pe: int, kind: str, detail: str = "") -> None:
-        """Record one instant event."""
+    def record(self, time_ns: float, pe: int, kind: str, detail: str = "",
+               attrs: Mapping[str, object] | None = None) -> None:
+        """Record one instant event (``attrs`` = structured payload,
+        e.g. a fired fault's kind/seq/endpoints)."""
         if not self.enabled:
             return
         if len(self._events) >= self.max_events:
             self._evict()
-        self._events.append(TraceEvent(time_ns, pe, kind, detail))
+        self._events.append(TraceEvent(time_ns, pe, kind, detail,
+                                       attrs=attrs))
 
     def record_span(
         self,
@@ -172,6 +175,10 @@ class SimStats:
     messages: int = 0
     bytes_on_wire: int = 0
     fabric_queued_ns: float = 0.0
+    #: Fired fault-injection events by kind (drop, delay, crash, ...).
+    faults_injected: Counter = field(default_factory=Counter)
+    #: Retransmissions issued by the reliable-transfer layer.
+    retries: int = 0
 
     def merge(self, other: "SimStats") -> None:
         """Fold ``other``'s counters into this one."""
@@ -194,6 +201,8 @@ class SimStats:
         self.messages += other.messages
         self.bytes_on_wire += other.bytes_on_wire
         self.fabric_queued_ns += other.fabric_queued_ns
+        self.faults_injected.update(other.faults_injected)
+        self.retries += other.retries
 
     def summary(self) -> str:
         lines = [
@@ -216,6 +225,11 @@ class SimStats:
                 f"TLB hit rate "
                 f"{self.tlb_hits / max(1, self.tlb_hits + self.tlb_misses):6.2%}"
             )
+        if self.faults_injected:
+            faults = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.faults_injected.items())
+            )
+            lines.append(f"faults injected: {faults} (retries={self.retries})")
         if self.instructions_executed:
             lines.append(f"instructions={self.instructions_executed}")
         return "\n".join(lines)

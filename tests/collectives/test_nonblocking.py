@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.collectives.nonblocking import (
+    CollectiveHandle,
     ibroadcast,
     igather,
     ireduce,
     iscatter,
 )
+from repro.errors import CollectiveArgumentError
 
 from .helpers import run_machine
 
@@ -90,3 +93,65 @@ class TestNonBlocking:
             ctx.close()
 
         run_machine(2, body)
+
+    def test_wait_on_never_initiated_handle_raises(self):
+        h = CollectiveHandle(name="ibroadcast")
+        with pytest.raises(CollectiveArgumentError, match="never-initiated"):
+            h.wait()
+        # Still waitable-looking afterwards: the error must not mark it done.
+        assert not h.test()
+
+    def test_wait_from_wrong_pe_raises(self):
+        handles = {}
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            dest = ctx.malloc(8)
+            src = ctx.private_malloc(8)
+            if me == 0:
+                ctx.view(src, "long", 1)[0] = 7
+            h = ibroadcast(ctx, dest, src, 1, 1, 0, np.dtype(np.int64))
+            handles[me] = h
+            ctx.barrier()
+            raised = False
+            if me == 1:
+                try:
+                    handles[0].wait()  # PE 0's handle, not mine
+                except CollectiveArgumentError:
+                    raised = True
+            ctx.barrier()
+            h.wait()
+            got = int(ctx.view(dest, "long", 1)[0])
+            ctx.close()
+            return raised, got
+
+        results = run_machine(2, body)
+        assert results[1][0] is True  # misuse rejected on PE 1
+        assert [r[1] for r in results] == [7, 7]  # collective still correct
+
+    def test_wait_from_wrong_pe_raises_even_when_done(self):
+        handles = {}
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            dest = ctx.malloc(8)
+            src = ctx.private_malloc(8)
+            if me == 0:
+                ctx.view(src, "long", 1)[0] = 4
+            h = ibroadcast(ctx, dest, src, 1, 1, 0, np.dtype(np.int64))
+            handles[me] = h
+            h.wait()
+            ctx.barrier()
+            raised = False
+            if me == 1:
+                try:
+                    handles[0].wait()  # completed, but still not mine
+                except CollectiveArgumentError:
+                    raised = True
+            ctx.barrier()
+            ctx.close()
+            return raised
+
+        assert run_machine(2, body)[1] is True

@@ -59,3 +59,46 @@ class TestSelection:
 
     def test_default_policy_is_consistent(self):
         assert DEFAULT_POLICY.linear_max_pes < DEFAULT_POLICY.linear_pe_limit
+
+    def test_single_pe(self):
+        """Degenerate 1-PE 'collectives' are local copies — linear,
+        whatever the payload."""
+        assert select_algorithm("broadcast", 0, 1) == "linear"
+        assert select_algorithm("broadcast", 1 << 30, 1) == "linear"
+        assert select_algorithm("reduce", 1 << 30, 1) == "linear"
+
+    def test_zero_byte_payloads(self):
+        """nbytes=0 is legal (empty collectives still synchronise)."""
+        assert select_algorithm("broadcast", 0, 2) == "linear"
+        assert select_algorithm("broadcast", 0, 8) == "linear"
+        assert select_algorithm("reduce", 0, 8) == "linear"
+        # The PE-count rules still dominate an empty payload.
+        assert select_algorithm("broadcast", 0, 64) == "binomial"
+
+    def test_linear_byte_threshold_boundary(self):
+        """linear_max_bytes is inclusive: the crossover payload itself
+        still picks linear; one byte more tips to binomial."""
+        at = DEFAULT_POLICY.linear_max_bytes
+        assert select_algorithm("broadcast", at, 8) == "linear"
+        assert select_algorithm("broadcast", at + 1, 8) == "binomial"
+        assert select_algorithm("reduce", at, 8) == "linear"
+        assert select_algorithm("reduce", at + 1, 8) == "binomial"
+
+    def test_linear_pe_boundaries(self):
+        """linear_max_pes and linear_pe_limit are both inclusive."""
+        at_pes = DEFAULT_POLICY.linear_max_pes
+        big = 1 << 20
+        assert select_algorithm("broadcast", big, at_pes) == "linear"
+        assert select_algorithm("broadcast", big, at_pes + 1) == "binomial"
+        limit = DEFAULT_POLICY.linear_pe_limit
+        small = DEFAULT_POLICY.linear_max_bytes
+        assert select_algorithm("broadcast", small, limit) == "linear"
+        assert select_algorithm("broadcast", small, limit + 1) == "binomial"
+
+    def test_ring_boundaries(self):
+        """ring_min_bytes / ring_min_pes are inclusive lower bounds."""
+        at = DEFAULT_POLICY.ring_min_bytes
+        pes = DEFAULT_POLICY.ring_min_pes
+        assert select_algorithm("broadcast", at, pes) == "ring"
+        assert select_algorithm("broadcast", at - 1, pes) == "binomial"
+        assert select_algorithm("broadcast", at, pes - 1) == "binomial"

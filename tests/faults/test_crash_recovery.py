@@ -1,0 +1,225 @@
+"""PE-crash recovery: degraded barriers, tree rebuild, partial results.
+
+The acceptance property: with a PE crashed mid-collective the survivors
+must *complete* — via a virtual-rank rebuild over the survivor group (or
+an eventually consistent result with a contribution mask) — instead of
+hanging or dying with them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PeerFailedError, SimulationError
+from repro.faults.plan import CRASHED, FaultPlan, crash
+from repro.runtime import Machine
+
+from ..conftest import small_config
+
+pytestmark = pytest.mark.faults
+
+#: Past every test body's setup phase (mallocs + one barrier), so the
+#: crash consistently fires at the victim's first runtime call inside
+#: the collective under test (everyone computes past this instant
+#: first — see ``arm_crash``).
+CRASH_AT = 50_000.0
+
+
+def crash_machine(n_pes, *victims, trace=False):
+    plan = FaultPlan(rules=tuple(crash(v, CRASH_AT) for v in victims))
+    return Machine(small_config(n_pes), faults=plan, trace=trace)
+
+
+def arm_crash(ctx):
+    """Advance every PE past the crash trigger time, so the victim dies
+    at its next runtime call — deterministically, whatever the config's
+    timing parameters make of the setup phase."""
+    ctx.compute(CRASH_AT + 10_000.0)
+
+
+class TestResilientAllreduce:
+    def test_survivors_complete_with_contribution_mask(self):
+        n, victim = 8, 3
+        per_pe = [np.arange(4, dtype=np.int64) + 10 * r for r in range(n)]
+        survivors = [r for r in range(n) if r != victim]
+        expect = np.sum([per_pe[r] for r in survivors], axis=0)
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            src = ctx.malloc(8 * 4)
+            dest = ctx.malloc(8 * 4)
+            ctx.view(src, "long", 4)[:] = per_pe[me]
+            ctx.barrier()
+            arm_crash(ctx)
+            res = ctx.resilient_allreduce(dest, src, 4, 1, "sum", "long")
+            got = np.array(ctx.view(dest, "long", 4), copy=True)
+            ctx.close()
+            return res, got
+
+        m = crash_machine(n, victim)
+        results = m.run(body)
+        assert results[victim] is CRASHED
+        for r in range(n):
+            if r == victim:
+                continue
+            res, got = results[r]
+            np.testing.assert_array_equal(got, expect)
+            assert res.contributors == tuple(survivors)
+            assert res.dead == (victim,)
+            assert res.restarts >= 1
+            assert not res.complete
+
+    def test_double_crash(self):
+        n = 8
+        victims = {2, 5}
+        survivors = [r for r in range(n) if r not in victims]
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            src = ctx.malloc(8)
+            dest = ctx.malloc(8)
+            ctx.view(src, "long", 1)[0] = me + 1
+            ctx.barrier()
+            arm_crash(ctx)
+            res = ctx.resilient_allreduce(dest, src, 1, 1, "sum", "long")
+            got = int(ctx.view(dest, "long", 1)[0])
+            ctx.close()
+            return res, got
+
+        m = crash_machine(n, *victims)
+        results = m.run(body)
+        expect = sum(r + 1 for r in survivors)
+        for r in survivors:
+            res, got = results[r]
+            assert got == expect
+            assert set(res.dead) == victims
+
+
+class TestResilientReduce:
+    def test_partial_sum_lands_on_root(self):
+        n, victim, root = 4, 2, 0
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            src = ctx.malloc(8)
+            dest = ctx.private_malloc(8)
+            ctx.view(src, "long", 1)[0] = 1 << me
+            ctx.barrier()
+            arm_crash(ctx)
+            res = ctx.resilient_reduce(dest, src, 1, 1, root, "sum", "long")
+            got = int(ctx.view(dest, "long", 1)[0]) if me == root else None
+            ctx.close()
+            return res, got
+
+        m = crash_machine(n, victim)
+        results = m.run(body)
+        res, got = results[root]
+        assert got == sum(1 << r for r in range(n) if r != victim)
+        assert res.root == root  # the root survived; no remap
+        assert res.dead == (victim,)
+
+
+class TestResilientBroadcast:
+    def test_leaf_crash_payload_delivered(self):
+        n, victim, root = 4, 3, 0
+        data = np.arange(8, dtype=np.int64) + 42
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            dest = ctx.malloc(8 * 8)
+            src = ctx.private_malloc(8 * 8)
+            if me == root:
+                ctx.view(src, "long", 8)[:] = data
+            ctx.barrier()
+            arm_crash(ctx)
+            res = ctx.resilient_broadcast(dest, src, 8, 1, root, "long")
+            got = np.array(ctx.view(dest, "long", 8), copy=True)
+            ctx.close()
+            return res, got
+
+        m = crash_machine(n, victim)
+        results = m.run(body)
+        for r in range(n):
+            if r == victim:
+                continue
+            res, got = results[r]
+            np.testing.assert_array_equal(got, data)
+            assert res.root == root
+            assert res.dead == (victim,)
+
+    def test_root_crash_reroots_to_smallest_virtual_rank(self):
+        n, root = 4, 2  # virtual order from root 2: [2, 3, 0, 1]
+
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            dest = ctx.malloc(8)
+            src = ctx.private_malloc(8)
+            ctx.view(dest, "long", 1)[0] = -1
+            if me == root:
+                ctx.view(src, "long", 1)[0] = 7
+            ctx.barrier()
+            arm_crash(ctx)
+            res = ctx.resilient_broadcast(dest, src, 1, 1, root, "long")
+            got = int(ctx.view(dest, "long", 1)[0])
+            ctx.close()
+            return res, got
+
+        m = crash_machine(n, root)
+        results = m.run(body)
+        for r in range(n):
+            if r == root:
+                continue
+            res, got = results[r]
+            assert res.root == 3  # PE 3 is virtual rank 1 under root 2
+            assert res.dead == (root,)
+            # The root died before sending, so survivors converge on the
+            # new root's dest contents — agreement, not resurrection.
+            assert got == results[3][1]
+
+
+class TestFailStopWithoutResilience:
+    def test_plain_collective_fails_loudly_not_hangs(self):
+        """Without the resilient wrapper a crash must surface as a typed
+        error on the survivors — never a hang."""
+
+        def body(ctx):
+            ctx.init()
+            src = ctx.malloc(8)
+            dest = ctx.malloc(8)
+            ctx.view(src, "long", 1)[0] = 1
+            ctx.barrier()
+            arm_crash(ctx)
+            ctx.allreduce(dest, src, 1, 1, "sum", "long")
+            ctx.close()
+
+        m = crash_machine(4, 1)
+        with pytest.raises(SimulationError) as exc:
+            m.run(body)
+        assert isinstance(exc.value.__cause__, PeerFailedError)
+        assert exc.value.__cause__.dead == frozenset({1})
+
+    def test_survivor_sees_consistent_dead_set_in_barrier(self):
+        def body(ctx):
+            ctx.init()
+            ctx.barrier()
+            arm_crash(ctx)
+            try:
+                ctx.barrier()
+            except PeerFailedError as err:
+                dead = tuple(sorted(err.dead))
+            else:
+                dead = None
+            ctx.close()
+            return dead
+
+        m = crash_machine(4, 2)
+        results = m.run(body)
+        for r in (0, 1, 3):
+            assert results[r] == (2,)
+        assert results[2] is CRASHED

@@ -64,6 +64,23 @@ def test_chrome_trace_broadcast(tmp_path):
     assert doc["otherData"]["dropped"] == 0
 
 
+@pytest.mark.faults
+def test_faulty_allreduce(tmp_path):
+    import json
+
+    path = tmp_path / "faulty.json"
+    out = run_example("faulty_allreduce.py", str(path))
+    assert "drops healed by retry; expected 36" in out
+    assert "over survivors (0, 1, 2, 3, 4, 6, 7) (expected 30)" in out
+    assert "all survivors agree on the contribution mask" in out
+    doc = json.loads(path.read_text())
+    faults = [e for e in doc["traceEvents"]
+              if e.get("ph") == "i" and e.get("cat") == "fault"]
+    assert any(e["name"] == "fault:crash" for e in faults)
+    assert any(e["name"] == "fault:drop" for e in faults)
+    assert any(e["name"] == "retry" for e in faults)
+
+
 @pytest.mark.slow
 def test_gups_demo():
     out = run_example("gups_demo.py", "128")
