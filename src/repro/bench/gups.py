@@ -24,6 +24,7 @@ contention at 8 PEs reproduces the figure's shape.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -137,6 +138,11 @@ class GupsResult:
     errors: int
     verified: bool
     seed: int = 0
+    #: Host wall-clock time of the run (simulator cost, not a modeled
+    #: quantity) — makes perf regressions visible in saved results.
+    wall_seconds: float = 0.0
+    #: Simulated nanoseconds produced per wall-clock second.
+    sim_ns_per_wall_s: float = 0.0
 
     @property
     def mops_total(self) -> float:
@@ -244,11 +250,18 @@ def _gups_pe(ctx: XBRTime, params: GupsParams) -> dict:
     }
 
 
-def run_gups(config: MachineConfig, params: GupsParams | None = None) -> GupsResult:
-    """Run GUPs on a fresh machine built from ``config``."""
+def run_gups(config: MachineConfig, params: GupsParams | None = None, *,
+             fast_paths: bool = True) -> GupsResult:
+    """Run GUPs on a fresh machine built from ``config``.
+
+    ``fast_paths=False`` runs on the reference simulator paths (same
+    simulated result, slower wall clock) — used by the perf harness.
+    """
     params = params if params is not None else GupsParams()
-    machine = Machine(config)
+    machine = Machine(config, fast_paths=fast_paths)
+    wall0 = time.perf_counter()
     results = machine.run(_gups_pe, [(params,) for _ in range(config.n_pes)])
+    wall = time.perf_counter() - wall0
     t_ns = max(r["t_update_ns"] for r in results)
     total_updates = sum(r["updates"] for r in results)
     errors = results[0]["errors"]
@@ -260,4 +273,6 @@ def run_gups(config: MachineConfig, params: GupsParams | None = None) -> GupsRes
         errors=max(errors, 0),
         verified=params.verify,
         seed=params.seed,
+        wall_seconds=wall,
+        sim_ns_per_wall_s=(machine.elapsed_ns / wall) if wall > 0 else 0.0,
     )

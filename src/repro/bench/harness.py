@@ -15,6 +15,7 @@ qualitative claims the reproduction must match:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 from typing import Sequence
 
@@ -51,6 +52,11 @@ class SweepPoint:
     detail: object = None
     #: Workload seed the point was measured with (0 = canonical stream).
     seed: int = 0
+    #: Host wall-clock seconds the point took to simulate.
+    wall_seconds: float = 0.0
+    #: Simulated nanoseconds produced per wall-clock second — the
+    #: simulator-throughput figure perf regressions show up in.
+    sim_ns_per_wall_s: float = 0.0
 
 
 def sweep_gups(
@@ -80,6 +86,8 @@ def sweep_gups(
             verified=res.passed,
             detail=res,
             seed=params.seed,
+            wall_seconds=res.wall_seconds,
+            sim_ns_per_wall_s=res.sim_ns_per_wall_s,
         ))
     return points
 
@@ -106,7 +114,10 @@ def sweep_is(
         keys = generate_keys(params)
     points = []
     for n in pe_counts:
+        wall0 = time.perf_counter()
         res: IsResult = run_is(base.with_(n_pes=n), params, keys)
+        wall = time.perf_counter() - wall0
+        sim_ns = res.sim_seconds * 1e9
         points.append(SweepPoint(
             n_pes=n,
             mops_total=res.mops_total,
@@ -114,6 +125,8 @@ def sweep_is(
             verified=res.partial_verified and res.full_verified,
             detail=res,
             seed=seed if seed is not None else 0,
+            wall_seconds=wall,
+            sim_ns_per_wall_s=(sim_ns / wall) if wall > 0 else 0.0,
         ))
     return points
 
@@ -288,10 +301,11 @@ def _print_points(title: str, points: Sequence[SweepPoint],
                   violations: Sequence[str]) -> None:
     print(title)
     print(f"  {'PEs':>4} {'MOPS total':>12} {'MOPS/PE':>10} "
-          f"{'verified':>8} {'seed':>6}")
+          f"{'verified':>8} {'seed':>6} {'wall s':>8} {'sim ns/s':>10}")
     for pt in points:
         print(f"  {pt.n_pes:>4} {pt.mops_total:>12.3f} "
-              f"{pt.mops_per_pe:>10.3f} {str(pt.verified):>8} {pt.seed:>6}")
+              f"{pt.mops_per_pe:>10.3f} {str(pt.verified):>8} {pt.seed:>6} "
+              f"{pt.wall_seconds:>8.2f} {pt.sim_ns_per_wall_s:>10.3g}")
     if violations:
         for v in violations:
             print(f"  shape violation: {v}")

@@ -80,8 +80,7 @@ def resolve_group(ctx: "XBRTime", group: Sequence[int] | None) -> tuple[tuple[in
     tuple of world ranks and ``my_index`` is the caller's group rank.
     """
     if group is None:
-        members = tuple(range(ctx.machine.config.n_pes))
-        return members, ctx.rank
+        return ctx.machine.world_group, ctx.rank
     members = tuple(group)
     if len(set(members)) != len(members):
         raise CollectiveArgumentError(f"group has duplicate ranks: {members}")

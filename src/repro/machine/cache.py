@@ -5,13 +5,48 @@ use 8-way L1 (16 KB) and L2 (8 MB) caches with 64-byte lines.
 
 The model tracks tags only — data lives in the functional
 :class:`repro.isa.memory.Memory`.  Sets are allocated lazily (a dict of
-per-set LRU lists) so an 8 MB L2 costs nothing until touched.
+per-set LRU lists) so an 8 MB L2 costs nothing until touched.  A line
+entry is a plain two-element list ``[tag, dirty]`` — the batch paths
+allocate entries in bulk, and a list literal is several times cheaper
+to construct than any object with named fields.
+
+Two lookup granularities:
+
+* :meth:`Cache.access` — one line, the reference model (and the GUPs
+  hot path).
+* :meth:`Cache.access_run` / :meth:`Cache.access_lines` — a batch of
+  distinct ascending lines classified set by set.  Within one batch no
+  line repeats, so per set the accessed tags are strictly increasing:
+  the outcome decomposes into pure-miss *spans* (no currently-resident
+  tag inside them, filled with one bulk LRU splice) separated by at
+  most ``ways`` individual hits.
+
+Both granularities sit on a per-set MRU mirror: packed
+``(tag << 1) | dirty`` codes in an ``array('q')`` (zero-copy viewable
+by numpy), -1 for an empty set.  The mirror serves two purposes:
+
+* A run whose sets are each touched once is classified with one
+  vectorized probe when every line is an MRU hit or a cold miss.
+* A set holding exactly **one** line can live in the mirror alone —
+  no dict entry, no list.  Cold sequential fills (the dominant case
+  for a fresh machine) then cost one vectorized scatter instead of
+  thousands of Python list allocations.  The LRU list is materialized
+  from the mirror code the first time a second tag maps to the set.
+
+Invariant: ``_mru[s] == -1`` iff set ``s`` is empty; if ``s`` is in
+``_sets`` the (non-empty) list is authoritative and ``_mru[s]`` mirrors
+its MRU entry; otherwise a non-negative code *is* the set's single
+line.  All paths produce bit-identical hit/miss/writeback counters and
+an identical effective LRU state to the per-line reference.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from array import array
+from bisect import bisect_left
+
+import numpy as np
 
 from ..params import CacheParams
 
@@ -23,12 +58,6 @@ class CacheLevelResult(enum.Enum):
 
     HIT = "hit"
     MISS = "miss"
-
-
-@dataclass
-class _Line:
-    tag: int
-    dirty: bool
 
 
 class Cache:
@@ -46,7 +75,12 @@ class Cache:
             raise ValueError("cache line size must be a power of two")
         self.n_sets = params.n_sets
         self.ways = params.ways
-        self._sets: dict[int, list[_Line]] = {}
+        #: set index -> LRU-ordered entries, each a ``[tag, dirty]`` list.
+        #: Single-line sets are elided — see the module docstring.
+        self._sets: dict[int, list[list]] = {}
+        self._mru = array("q", [-1]) * params.n_sets
+        #: Zero-copy int64 view of the mirror for the vectorized paths.
+        self._mru_view = np.frombuffer(self._mru, dtype=np.int64)
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
@@ -65,44 +99,526 @@ class Cache:
         tag = line // self.n_sets
         lru = self._sets.get(set_idx)
         if lru is None:
-            lru = []
-            self._sets[set_idx] = lru
-        for i, entry in enumerate(lru):
-            if entry.tag == tag:
+            code = self._mru[set_idx]
+            if code < 0:
+                self.misses += 1
+                self._mru[set_idx] = (tag << 1) | write
+                return CacheLevelResult.MISS
+            if (code >> 1) == tag:
                 self.hits += 1
                 if write:
-                    entry.dirty = True
-                if i != 0:
-                    lru.insert(0, lru.pop(i))
+                    self._mru[set_idx] = code | 1
                 return CacheLevelResult.HIT
+            # Second tag maps here: materialize the single-line set.
+            lru = [[code >> 1, code & 1]]
+            self._sets[set_idx] = lru
+        else:
+            for i, entry in enumerate(lru):
+                if entry[0] == tag:
+                    self.hits += 1
+                    if write:
+                        entry[1] = True
+                    if i != 0:
+                        lru.insert(0, lru.pop(i))
+                    self._mru[set_idx] = (tag << 1) | entry[1]
+                    return CacheLevelResult.HIT
         # Miss: allocate, evicting the LRU way if the set is full.
         self.misses += 1
         if len(lru) >= self.ways:
             victim = lru.pop()
-            if victim.dirty:
+            if victim[1]:
                 self.writebacks += 1
-        lru.insert(0, _Line(tag=tag, dirty=write))
+        lru.insert(0, [tag, write])
+        self._mru[set_idx] = (tag << 1) | write
         return CacheLevelResult.MISS
+
+    def access_run(
+        self,
+        first_line: int,
+        n_lines: int,
+        write: bool,
+        collect_missed: bool = False,
+    ) -> tuple[int, int, np.ndarray | None]:
+        """Look up the sequential lines ``[first_line, first_line+n_lines)``.
+
+        Equivalent to calling :meth:`access` once per line in ascending
+        order — same hit/miss/writeback counters, same final LRU state —
+        but classified one set at a time.  With ``collect_missed`` the
+        third element is the ascending array of line addresses that
+        missed (``None`` when every line hit or every line missed can be
+        reconstructed trivially by the caller); the hierarchy uses it to
+        feed exactly the L1-missing lines to L2.
+        """
+        if n_lines <= 0:
+            return 0, 0, None
+        n_sets = self.n_sets
+        ways = self.ways
+        sets = self._sets
+        if 32 <= n_lines <= n_sets:
+            # Each set is touched once; one vectorized probe of the MRU
+            # mirror classifies the whole run as long as every line is
+            # either an MRU hit (a re-sweep: no promotion needed) or a
+            # cold miss (first touch: the scatter into the mirror below
+            # IS the fill — single-line sets have no list).  Only runs
+            # into occupied sets with a different or deeper tag fall
+            # through to the scalar walk.
+            lines = np.arange(first_line, first_line + n_lines, dtype=np.int64)
+            s_arr = lines % n_sets
+            t_arr = lines // n_sets
+            view = self._mru_view
+            codes = view[s_arr]
+            hit_mru = (codes >> 1) == t_arr
+            cold = codes == -1
+            n_hit = int(hit_mru.sum())
+            n_cold = int(cold.sum())
+            if n_hit + n_cold == n_lines:
+                self.hits += n_hit
+                self.misses += n_cold
+                if n_cold:
+                    view[s_arr[cold]] = (t_arr[cold] << 1) | write
+                if write and n_hit:
+                    clean = hit_mru & ((codes & 1) == 0)
+                    if clean.any():
+                        view[s_arr[clean]] |= 1
+                        for s in s_arr[clean].tolist():
+                            lru = sets.get(s)
+                            if lru is not None:
+                                lru[0][1] = True
+                missed = None
+                if collect_missed and n_cold and n_hit:
+                    missed = lines[cold]
+                return n_hit, n_cold, missed
+        hits = 0
+        misses = 0
+        wb = 0
+        spans: list[tuple[int, int, int]] | None = [] if collect_missed else None
+        append_span = spans.append if spans is not None else None
+        if n_lines <= n_sets:
+            # Every set is touched exactly once: walk the sets with an
+            # incremental index (no division per line) and short-circuit
+            # the three dominant outcomes straight off the mirror — an
+            # empty set (the mirror store is the whole fill), a
+            # single-line hit and an MRU hit.  Lines are visited
+            # ascending, so misses collect into a flat pre-sorted list.
+            missed_lines: list[int] | None = [] if collect_missed else None
+            add_missed = missed_lines.append if missed_lines is not None else None
+            mru = self._mru
+            s = first_line % n_sets
+            t = first_line // n_sets
+            for line in range(first_line, first_line + n_lines):
+                lru = sets.get(s)
+                if lru is None:
+                    code = mru[s]
+                    if code < 0:
+                        misses += 1
+                        mru[s] = (t << 1) | write
+                        if add_missed is not None:
+                            add_missed(line)
+                        lru = False
+                    elif (code >> 1) == t:
+                        hits += 1
+                        if write:
+                            mru[s] = code | 1
+                        lru = False
+                    else:
+                        lru = [[code >> 1, code & 1]]
+                        sets[s] = lru
+                if lru:
+                    e0 = lru[0]
+                    if e0[0] == t:
+                        hits += 1
+                        if write and not e0[1]:
+                            e0[1] = True
+                            mru[s] = (t << 1) | 1
+                    else:
+                        for i in range(1, len(lru)):
+                            entry = lru[i]
+                            if entry[0] == t:
+                                hits += 1
+                                if write:
+                                    entry[1] = True
+                                lru.insert(0, lru.pop(i))
+                                mru[s] = (t << 1) | entry[1]
+                                break
+                        else:
+                            misses += 1
+                            if len(lru) >= ways:
+                                victim = lru.pop()
+                                if victim[1]:
+                                    wb += 1
+                            lru.insert(0, [t, write])
+                            mru[s] = (t << 1) | write
+                            if add_missed is not None:
+                                add_missed(line)
+                s += 1
+                if s == n_sets:
+                    s = 0
+                    t += 1
+            self.hits += hits
+            self.misses += misses
+            self.writebacks += wb
+            missed = None
+            if missed_lines and hits:
+                missed = np.array(missed_lines, dtype=np.int64)
+            return hits, misses, missed
+        last_line = first_line + n_lines - 1
+        mru = self._mru
+        if not sets and n_sets >= 64:
+            # (Below 64 sets the numpy setup costs more than the plain
+            # per-off loop it replaces.)
+            view = self._mru_view
+            if not bool((view >= 0).any()):
+                # Whole cache cold: every line misses and the final state
+                # per set is just the last min(cnt, ways) of its segment
+                # tags, MRU-descending.  Vectorize the segment math and
+                # only materialize the lists.
+                offs = np.arange(n_sets, dtype=np.int64)
+                line0 = first_line + offs
+                s_arr = line0 % n_sets
+                t_lo_arr = line0 // n_sets
+                cnt_arr = (last_line - line0) // n_sets + 1
+                t_hi_arr = t_lo_arr + cnt_arr - 1
+                keep_arr = np.minimum(cnt_arr, ways)
+                self.misses += n_lines
+                if write:
+                    self.writebacks += int((cnt_arr - keep_arr).sum())
+                view[s_arr] = (t_hi_arr << 1) | write
+                for s, th, kp in zip(s_arr.tolist(), t_hi_arr.tolist(),
+                                     keep_arr.tolist()):
+                    if kp > 1:
+                        sets[s] = [[t, write] for t in range(th, th - kp, -1)]
+                return 0, n_lines, None
+        for off in range(min(n_sets, n_lines)):
+            line0 = first_line + off
+            set_idx = line0 % n_sets
+            t_lo = line0 // n_sets
+            cnt = (last_line - line0) // n_sets + 1
+            lru = sets.get(set_idx)
+            if lru is None:
+                code = mru[set_idx]
+                if code < 0:
+                    # Cold set: the whole segment misses.  A single line
+                    # stays mirror-only; a longer segment materializes.
+                    misses += cnt
+                    t_hi = t_lo + cnt - 1
+                    if cnt == 1:
+                        mru[set_idx] = (t_lo << 1) | write
+                    else:
+                        keep = cnt if cnt < ways else ways
+                        if write and cnt > keep:
+                            wb += cnt - keep
+                        sets[set_idx] = [
+                            [t, write] for t in range(t_hi, t_hi - keep, -1)
+                        ]
+                        mru[set_idx] = (t_hi << 1) | write
+                    if append_span is not None:
+                        append_span((t_lo, cnt, set_idx))
+                    continue
+                lru = [[code >> 1, code & 1]]
+                sets[set_idx] = lru
+            # A re-sweep of a previously filled segment finds its tags as
+            # the top cnt entries in exactly the consecutive-descending
+            # order the ascending hits would restore — all hit, no
+            # reorder.
+            t_hi = t_lo + cnt - 1
+            if cnt > 1 and len(lru) >= cnt and lru[0][0] == t_hi:
+                for i in range(1, cnt):
+                    if lru[i][0] != t_hi - i:
+                        break
+                else:
+                    hits += cnt
+                    if write:
+                        for i in range(cnt):
+                            lru[i][1] = True
+                        mru[set_idx] = (t_hi << 1) | 1
+                    else:
+                        mru[set_idx] = (t_hi << 1) | lru[0][1]
+                    continue
+            # The single-tag segment is inlined: scalar hit-or-miss.
+            if cnt == 1:
+                for i, entry in enumerate(lru):
+                    if entry[0] == t_lo:
+                        hits += 1
+                        if write:
+                            entry[1] = True
+                        if i:
+                            lru.insert(0, lru.pop(i))
+                        mru[set_idx] = (t_lo << 1) | entry[1]
+                        break
+                else:
+                    misses += 1
+                    if len(lru) >= ways:
+                        victim = lru.pop()
+                        if victim[1]:
+                            wb += 1
+                    lru.insert(0, [t_lo, write])
+                    mru[set_idx] = (t_lo << 1) | write
+                    if append_span is not None:
+                        append_span((t_lo, 1, set_idx))
+                continue
+            h, m = self._run_set(lru, t_lo, t_lo + cnt - 1, write, set_idx,
+                                 spans)
+            hits += h
+            misses += m
+            top = lru[0]
+            mru[set_idx] = (top[0] << 1) | top[1]
+        self.hits += hits
+        self.misses += misses
+        self.writebacks += wb
+        missed = None
+        if collect_missed and spans and hits:
+            parts = [
+                np.arange(t0, t0 + cnt, dtype=np.int64) * n_sets + s
+                for (t0, cnt, s) in spans
+            ]
+            missed = np.sort(np.concatenate(parts))
+        return hits, misses, missed
+
+    def _run_set(
+        self,
+        lru: list[list],
+        t_lo: int,
+        t_hi: int,
+        write: bool,
+        set_idx: int,
+        spans: list[tuple[int, int, int]] | None,
+    ) -> tuple[int, int]:
+        """Access the consecutive tags ``[t_lo, t_hi]`` of one set, ascending."""
+        cnt = t_hi - t_lo + 1
+        # One scan classifies the set: no resident tag in range is a
+        # pure-miss span; every tag resident collapses the cnt ascending
+        # promotions to one splice (promoted entries MRU-descending, the
+        # rest in their old order).  Only the mixed case needs the
+        # segment loop below.
+        by_tag: dict[int, list] = {}
+        rest: list[list] = []
+        for entry in lru:
+            if t_lo <= entry[0] <= t_hi:
+                by_tag[entry[0]] = entry
+            else:
+                rest.append(entry)
+        if not by_tag:
+            self._fill_span(lru, t_lo, t_hi, write)
+            if spans is not None:
+                spans.append((t_lo, cnt, set_idx))
+            return 0, cnt
+        if len(by_tag) == cnt:
+            promoted = [by_tag[t] for t in range(t_hi, t_lo - 1, -1)]
+            if write:
+                for entry in promoted:
+                    entry[1] = True
+            lru[:] = promoted + rest
+            return cnt, 0
+        hits = 0
+        misses = 0
+        t = t_lo
+        while t <= t_hi:
+            # Smallest resident tag inside the remaining range.  If it is
+            # not t itself, every tag before it misses as one span; the
+            # span's evictions may remove the resident tag, so re-probe
+            # rather than assuming a hit at r.
+            r = -1
+            hit_i = -1
+            for i, entry in enumerate(lru):
+                et = entry[0]
+                if t <= et <= t_hi and (r < 0 or et < r):
+                    r = et
+                    hit_i = i
+            if r != t:
+                end = t_hi if r < 0 else r - 1
+                cnt = end - t + 1
+                misses += cnt
+                self._fill_span(lru, t, end, write)
+                if spans is not None:
+                    spans.append((t, cnt, set_idx))
+                t = end + 1
+                continue
+            hits += 1
+            entry = lru[hit_i]
+            if write:
+                entry[1] = True
+            if hit_i:
+                lru.insert(0, lru.pop(hit_i))
+            t += 1
+        return hits, misses
+
+    def _fill_span(self, lru: list[list], t_first: int, t_last: int, write: bool) -> None:
+        """Allocate the all-missing tags ``[t_first, t_last]`` in one splice.
+
+        Matches the per-line sequence exactly: with initial occupancy o,
+        w ways and cnt insertions, o + cnt - w entries are evicted — the
+        LRU tail of the initial entries first (dirty ones write back),
+        then the oldest of the newly inserted entries (which are dirty
+        iff ``write``).  The survivors are the last min(cnt, w) inserted
+        tags, MRU-ordered descending, ahead of any surviving initial
+        entries in their old order.
+        """
+        cnt = t_last - t_first + 1
+        occ = len(lru)
+        ways = self.ways
+        n_ev = occ + cnt - ways
+        if n_ev > 0:
+            ev_init = n_ev if n_ev < occ else occ
+            if ev_init:
+                for entry in lru[occ - ev_init :]:
+                    if entry[1]:
+                        self.writebacks += 1
+                del lru[occ - ev_init :]
+            if write and n_ev > ev_init:
+                self.writebacks += n_ev - ev_init
+        keep = cnt if cnt < ways else ways
+        lru[:0] = [[t, write] for t in range(t_last, t_last - keep, -1)]
+
+    def access_lines(self, lines: np.ndarray, write: bool) -> tuple[int, int]:
+        """Look up an ascending array of distinct line addresses.
+
+        Equivalent to per-line :meth:`access` calls in array order.  Used
+        for the (possibly non-contiguous) subset of a run that missed L1
+        and must be charged to L2.
+        """
+        total = len(lines)
+        if total == 0:
+            return 0, 0
+        n_sets = self.n_sets
+        sets = self._sets
+        hits = 0
+        misses = 0
+        if n_sets == 1:
+            groups: list[tuple[int, np.ndarray]] = [(0, lines)]
+        else:
+            set_idx = lines % n_sets
+            order = np.argsort(set_idx, kind="stable")
+            ss = set_idx[order]
+            ts = (lines // n_sets)[order]
+            starts = np.flatnonzero(np.r_[True, ss[1:] != ss[:-1]])
+            bounds = np.r_[starts, total]
+            groups = [
+                (int(ss[bounds[k]]), ts[bounds[k] : bounds[k + 1]])
+                for k in range(len(starts))
+            ]
+        mru = self._mru
+        for s, tags in groups:
+            lru = sets.get(s)
+            if lru is None:
+                code = mru[s]
+                lru = [] if code < 0 else [[code >> 1, code & 1]]
+                sets[s] = lru
+            h, m = self._run_set_list(lru, tags.tolist(), write)
+            hits += h
+            misses += m
+            top = lru[0]
+            mru[s] = (top[0] << 1) | top[1]
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
+    def _run_set_list(
+        self, lru: list[list], tags: list[int], write: bool
+    ) -> tuple[int, int]:
+        """Access an ascending list of distinct tags of one set, in order."""
+        total = len(tags)
+        if total <= len(lru):
+            # Same warm-set collapse as :meth:`_run_set`, over an
+            # explicit tag list.
+            tagset = set(tags)
+            by_tag: dict[int, list] = {}
+            rest: list[list] = []
+            for entry in lru:
+                if entry[0] in tagset:
+                    by_tag[entry[0]] = entry
+                else:
+                    rest.append(entry)
+            if len(by_tag) == total:
+                promoted = [by_tag[t] for t in reversed(tags)]
+                if write:
+                    for entry in promoted:
+                        entry[1] = True
+                lru[:] = promoted + rest
+                return total, 0
+        hits = 0
+        misses = 0
+        idx = 0
+        while idx < total:
+            # Earliest remaining access whose tag is currently resident.
+            j = -1
+            hit_i = -1
+            for i, entry in enumerate(lru):
+                k = bisect_left(tags, entry[0], idx)
+                if k < total and tags[k] == entry[0] and (j < 0 or k < j):
+                    j = k
+                    hit_i = i
+            if j != idx:
+                end = total if j < 0 else j
+                span = tags[idx:end]
+                misses += len(span)
+                self._fill_list(lru, span, write)
+                idx = end
+                continue
+            hits += 1
+            entry = lru[hit_i]
+            if write:
+                entry[1] = True
+            if hit_i:
+                lru.insert(0, lru.pop(hit_i))
+            idx += 1
+        return hits, misses
+
+    def _fill_list(self, lru: list[list], span: list[int], write: bool) -> None:
+        """:meth:`_fill_span` for an explicit (ascending) tag list."""
+        cnt = len(span)
+        occ = len(lru)
+        ways = self.ways
+        n_ev = occ + cnt - ways
+        if n_ev > 0:
+            ev_init = n_ev if n_ev < occ else occ
+            if ev_init:
+                for entry in lru[occ - ev_init :]:
+                    if entry[1]:
+                        self.writebacks += 1
+                del lru[occ - ev_init :]
+            if write and n_ev > ev_init:
+                self.writebacks += n_ev - ev_init
+        keep = cnt if cnt < ways else ways
+        lru[:0] = [[t, write] for t in reversed(span[cnt - keep :])]
 
     def probe(self, line: int) -> bool:
         """Non-destructive presence check (no LRU update, no stats)."""
         set_idx = line % self.n_sets
         tag = line // self.n_sets
         lru = self._sets.get(set_idx)
-        return lru is not None and any(e.tag == tag for e in lru)
+        if lru is None:
+            code = self._mru[set_idx]
+            return code >= 0 and (code >> 1) == tag
+        return any(e[0] == tag for e in lru)
 
     def invalidate_all(self) -> int:
         """Drop every line; returns how many dirty lines were discarded."""
         dirty = sum(
-            1 for lru in self._sets.values() for e in lru if e.dirty
+            1 for lru in self._sets.values() for e in lru if e[1]
         )
+        view = self._mru_view
+        solo_dirty = (view >= 0) & ((view & 1) == 1)
+        if self._sets:
+            materialized = np.fromiter(
+                self._sets.keys(), dtype=np.int64, count=len(self._sets)
+            )
+            solo_dirty[materialized] = False
+        dirty += int(solo_dirty.sum())
         self._sets.clear()
+        self._mru = array("q", [-1]) * self.n_sets
+        self._mru_view = np.frombuffer(self._mru, dtype=np.int64)
         return dirty
 
     @property
     def occupancy(self) -> int:
         """Number of resident lines."""
-        return sum(len(lru) for lru in self._sets.values())
+        view = self._mru_view
+        non_empty = int((view >= 0).sum())
+        return (
+            sum(len(lru) for lru in self._sets.values())
+            + non_empty
+            - len(self._sets)
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         p = self.params

@@ -8,9 +8,18 @@ Two costing entry points:
 
 * :meth:`MemoryHierarchy.access` — one scalar access (the GUPs inner
   loop uses this per random update).
-* :meth:`MemoryHierarchy.access_range` — a bulk sequential range, costed
-  line by line (used by the runtime's put/get transfer engine and the
-  vectorised benchmark phases).
+* :meth:`MemoryHierarchy.access_range` — a bulk sequential range (used
+  by the runtime's put/get transfer engine and the vectorised benchmark
+  phases).
+
+Bulk ranges normally go through the batched fast path
+(:meth:`Cache.access_run` / :meth:`Tlb.access_run`), which classifies a
+whole run per cache set instead of making one Python call per line.
+Setting ``fast_path = False`` on an instance restores the per-line
+reference loop; the two are equivalent — identical counters, identical
+cache/TLB state, and identical ns because the grouped cost formula
+regroups exact (dyadic) per-line terms — and the equivalence suite
+asserts it bit for bit.
 """
 
 from __future__ import annotations
@@ -35,6 +44,10 @@ class MemoryHierarchy:
         self._line_bytes = params.l1.line_bytes
         self._line_shift = self.l1.line_shift
         self._page_shift = self.tlb.page_shift
+        #: Route bulk ranges through the batched run classifiers.  Set
+        #: False to fall back to the per-line reference loop (the oracle
+        #: the equivalence tests compare against).
+        self.fast_path = True
 
     # -- single access ----------------------------------------------------
 
@@ -51,6 +64,9 @@ class MemoryHierarchy:
         last = (addr + max(size, 1) - 1) >> self._line_shift
         if first == last:
             return self._access_line(first, write, use_tlb)
+        if self.fast_path:
+            return self._run_cost(first, last - first + 1, write, use_tlb,
+                                  stream=False)
         ns = 0.0
         for line in range(first, last + 1):
             ns += self._access_line(line, write, use_tlb)
@@ -72,6 +88,44 @@ class MemoryHierarchy:
         # Sequential misses pipeline in DRAM (row-buffer hits + MLP);
         # isolated random misses pay the full access latency.
         return ns + p.l2.hit_ns + (p.dram_stream_ns if stream else p.dram_ns)
+
+    def _run_cost(self, first: int, n_lines: int, write: bool,
+                  use_tlb: bool, stream: bool) -> float:
+        """Bulk-cost the sequential lines ``[first, first+n_lines)``.
+
+        Produces the same counters and final cache/TLB state as per-line
+        :meth:`_access_line` calls in ascending order.  The ns total
+        regroups the identical per-line terms by count
+        (``count × latency`` per level); every default latency parameter
+        is an exact dyadic float and run totals stay far below 2^53, so
+        the regrouped sum is bit-identical to the left-to-right one.
+        """
+        p = self.params
+        l1_hits, l1_misses, missed = self.l1.access_run(
+            first, n_lines, write, collect_missed=True
+        )
+        l2_misses = 0
+        if l1_misses:
+            if missed is None:
+                # Every line missed L1: L2 sees the same contiguous run.
+                _, l2_misses, _ = self.l2.access_run(first, n_lines, write)
+            else:
+                _, l2_misses = self.l2.access_lines(missed, write)
+        ns = n_lines * p.l1.hit_ns + l1_misses * p.l2.hit_ns
+        if l2_misses:
+            ns += l2_misses * (p.dram_stream_ns if stream else p.dram_ns)
+        if use_tlb:
+            shift = self._page_shift - self._line_shift
+            first_page = first >> shift
+            n_pages = ((first + n_lines - 1) >> shift) - first_page + 1
+            _, tlb_misses = self.tlb.access_run(first_page, n_pages)
+            # The per-line reference touches the TLB once per line; the
+            # repeat touches within a page are guaranteed hits that leave
+            # LRU order unchanged (the page is already most recent).
+            self.tlb.hits += n_lines - n_pages
+            if tlb_misses:
+                ns += tlb_misses * p.tlb.walk_ns
+        return ns
 
     # -- bulk range ---------------------------------------------------------
 
@@ -102,9 +156,17 @@ class MemoryHierarchy:
             if use_tlb:
                 ns += pages * p.tlb.walk_ns
             tail_lines = self.l2.params.n_lines
-            for line in range(last - tail_lines + 1, last + 1):
-                self._access_line(line, write, use_tlb, stream=True)
+            if self.fast_path:
+                # Same state transitions as the per-line tail touch; the
+                # returned ns is discarded exactly as the loop's was.
+                self._run_cost(last - tail_lines + 1, tail_lines, write,
+                               use_tlb, stream=True)
+            else:
+                for line in range(last - tail_lines + 1, last + 1):
+                    self._access_line(line, write, use_tlb, stream=True)
             return ns
+        if self.fast_path:
+            return self._run_cost(first, n_lines, write, use_tlb, stream=True)
         ns = 0.0
         for line in range(first, last + 1):
             ns += self._access_line(line, write, use_tlb, stream=True)

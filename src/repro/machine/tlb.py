@@ -41,6 +41,31 @@ class Tlb:
         entries[page] = None
         return False
 
+    def access_run(self, first_page: int, n_pages: int) -> tuple[int, int]:
+        """Touch the sequential pages ``[first_page, first_page+n_pages)``.
+
+        Equivalent to one :meth:`access` per page in ascending order
+        (pages in a run are distinct, so each lookup is independent),
+        with the per-page call overhead and branchy stat updates hoisted
+        out of the loop.  Returns ``(hits, misses)``; stats are updated.
+        """
+        entries = self._entries
+        capacity = self.params.entries
+        hits = 0
+        for page in range(first_page, first_page + n_pages):
+            if page in entries:
+                hits += 1
+                del entries[page]
+                entries[page] = None
+            else:
+                if len(entries) >= capacity:
+                    del entries[next(iter(entries))]
+                entries[page] = None
+        misses = n_pages - hits
+        self.hits += hits
+        self.misses += misses
+        return hits, misses
+
     def probe(self, page: int) -> bool:
         """Presence check without touching LRU order or stats."""
         return page in self._entries

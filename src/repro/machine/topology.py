@@ -13,6 +13,7 @@ BFS per node (all edges have unit weight).
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 
 import networkx as nx
 
@@ -72,12 +73,17 @@ def _torus_dims(n: int) -> tuple[int, int]:
     return best
 
 
+@lru_cache(maxsize=64)
 def build_topology(name: str, n_nodes: int) -> Topology:
     """Construct a named topology over ``n_nodes`` nodes.
 
     Supported names: ``fully-connected``, ``ring``, ``torus`` (2-D, most
     square factorisation), ``hypercube`` (requires a power-of-two node
     count) and ``star``.
+
+    Results are memoized: a topology (graph + hop matrix) is logically
+    immutable and pure in its arguments, and the all-pairs BFS dominates
+    machine-construction time for sweeps that build many machines.
     """
     if n_nodes <= 0:
         raise NetworkError("n_nodes must be positive")

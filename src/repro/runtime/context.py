@@ -66,21 +66,35 @@ class Machine:
     """One simulated xBGAS machine (the whole PGAS job)."""
 
     def __init__(self, config: MachineConfig | None = None, *,
-                 trace: bool = False, faults=None, retry=None):
+                 trace: bool = False, faults=None, retry=None,
+                 fast_paths: bool = True):
         """``faults`` (a :class:`~repro.faults.plan.FaultPlan`) arms the
         fault injector; ``retry`` (a
         :class:`~repro.faults.plan.RetryConfig`) arms ack/retry on
         remote put/get.  Both default to off — a machine without them
-        behaves exactly as before the subsystem existed."""
+        behaves exactly as before the subsystem existed.
+
+        ``fast_paths=False`` selects the reference implementations of the
+        scheduler (scheduler-thread bounce) and of bulk memory costing
+        (per-line loop).  Simulated results are identical either way —
+        the flag exists for the equivalence tests and as the "before"
+        arm of the wall-clock perf harness (``repro.perf``)."""
         self.config = config if config is not None else MachineConfig()
         cfg = self.config
-        self.engine = Engine(cfg.n_pes, trace=trace)
+        self.fast_paths = fast_paths
+        self.engine = Engine(cfg.n_pes, trace=trace, direct_handoff=fast_paths)
         self.stats = self.engine.stats
         self.memories = [Memory(cfg.memory_bytes_per_pe) for _ in range(cfg.n_pes)]
         self.nodes = [Node(i, cfg) for i in range(cfg.n_nodes)]
         self._hier: dict[int, MemoryHierarchy] = {}
         for node in self.nodes:
             self._hier.update(node.hierarchies)
+        if not fast_paths:
+            for hier in self._hier.values():
+                hier.fast_path = False
+        #: The all-PEs group tuple, built once; ``resolve_group`` returns
+        #: it for every world collective instead of rebuilding the range.
+        self.world_group = tuple(range(cfg.n_pes))
         self.network = Network(cfg, self.stats)
         # Shared-segment layout (identical on every PE, Figure 2):
         # [heap_base, heap_base + scratch) = collective scratch stacks,

@@ -67,7 +67,11 @@ class TransferEngine:
         self.rank = rank
         self.pe = machine.engine.pes[rank]
         self.cfg = machine.config
-        self._pending: list[TransferHandle] = []
+        # Keyed by id(handle): O(1) insert/discard regardless of how many
+        # transfers are outstanding (handles are kept alive by the dict
+        # itself, so ids cannot be recycled while registered).
+        self._pending: dict[int, TransferHandle] = {}
+        self._loop_ns_cache: dict[int, float] = {}
 
     # -- validation helpers -------------------------------------------------
 
@@ -100,17 +104,27 @@ class TransferEngine:
     # -- cost model -----------------------------------------------------------
 
     def loop_overhead_ns(self, nelems: int) -> float:
-        """Instruction cost of the generated element loop (section 3.3)."""
+        """Instruction cost of the generated element loop (section 3.3).
+
+        Memoized per ``nelems``: collectives call this with the same few
+        chunk sizes thousands of times per run, and the config is frozen.
+        """
+        ns = self._loop_ns_cache.get(nelems)
+        if ns is not None:
+            return ns
         if nelems <= 0:
-            return 0.0
-        cfg = self.cfg
-        if nelems > cfg.unroll_threshold:
-            per_elem = (_LOOP_INSTRS - _LOOP_OVERHEAD_INSTRS) + (
-                _LOOP_OVERHEAD_INSTRS / cfg.unroll_factor
-            )
+            ns = 0.0
         else:
-            per_elem = float(_LOOP_INSTRS)
-        return (_SETUP_INSTRS + per_elem * nelems) * cfg.cycle_ns
+            cfg = self.cfg
+            if nelems > cfg.unroll_threshold:
+                per_elem = (_LOOP_INSTRS - _LOOP_OVERHEAD_INSTRS) + (
+                    _LOOP_OVERHEAD_INSTRS / cfg.unroll_factor
+                )
+            else:
+                per_elem = float(_LOOP_INSTRS)
+            ns = (_SETUP_INSTRS + per_elem * nelems) * cfg.cycle_ns
+        self._loop_ns_cache[nelems] = ns
+        return ns
 
     def _local_cost(
         self, addr: int, nelems: int, elem_bytes: int, stride: int, write: bool
@@ -395,7 +409,7 @@ class TransferEngine:
             self.machine.network.note_delivery(done_at)
             dview[:] = sview
             handle = TransferHandle("put", nbytes, done_at)
-            self._pending.append(handle)
+            self._pending[id(handle)] = handle
             return handle
         finally:
             if traced:
@@ -452,7 +466,7 @@ class TransferEngine:
             dview[:] = sview
             handle = TransferHandle("get", nbytes,
                                     res.t_complete + rcost + wcost)
-            self._pending.append(handle)
+            self._pending[id(handle)] = handle
             return handle
         finally:
             if traced:
@@ -522,10 +536,18 @@ class TransferEngine:
         if not handle.done:
             self.pe.advance_to(handle.complete_at)
             handle.done = True
-        if handle in self._pending:
-            self._pending.remove(handle)
+        self._pending.pop(id(handle), None)
 
     def quiet(self) -> None:
-        """Complete every outstanding non-blocking transfer of this PE."""
-        for handle in list(self._pending):
-            self.wait(handle)
+        """Complete every outstanding non-blocking transfer of this PE.
+
+        Completion order does not matter for timing (``advance_to`` is a
+        running max), so handles are drained in O(1) pops.
+        """
+        pending = self._pending
+        pe = self.pe
+        while pending:
+            _, handle = pending.popitem()
+            if not handle.done:
+                pe.advance_to(handle.complete_at)
+                handle.done = True

@@ -294,3 +294,62 @@ class TestPropertyBased:
 
         machine = Machine(small_config(2))
         assert all(machine.run(body))
+
+
+class TestPendingBookkeeping:
+    """wait/quiet must stay O(1) per handle: the pending registry is
+    keyed by id and never compares or scans handles."""
+
+    def test_wait_and_quiet_never_compare_handles(self, monkeypatch):
+        from repro.runtime.transfer import TransferHandle
+
+        def bomb(self, other):
+            raise AssertionError(
+                "pending bookkeeping compared handles (O(n) scan?)"
+            )
+
+        monkeypatch.setattr(TransferHandle, "__eq__", bomb)
+
+        def body(ctx):
+            ctx.init()
+            n = 64
+            buf = ctx.malloc(8 * n)
+            src = ctx.private_malloc(8 * n)
+            handles = [
+                ctx.put_nb(buf + 8 * i, src + 8 * i, 1, 1,
+                           (ctx.my_pe() + 1) % 2, "long")
+                for i in range(n)
+            ]
+            ctx.wait(handles[0])
+            ctx.wait(handles[0])  # double-wait is a no-op, not an error
+            ctx.quiet()
+            assert all(h.done for h in handles)
+            ctx.barrier()
+            ctx.close()
+
+        run(2, body)
+
+    def test_registry_empties_and_reuses_no_stale_ids(self):
+        seen = {}
+
+        def body(ctx):
+            ctx.init()
+            buf = ctx.malloc(8 * 8)
+            src = ctx.private_malloc(8 * 8)
+            eng = ctx._transfer
+            for round_ in range(20):
+                handles = [
+                    ctx.put_nb(buf + 8 * i, src + 8 * i, 1, 1,
+                               (ctx.my_pe() + 1) % 2, "long")
+                    for i in range(8)
+                ]
+                assert len(eng._pending) == 8
+                for h in handles:
+                    ctx.wait(h)
+                assert not eng._pending
+            seen[ctx.my_pe()] = True
+            ctx.barrier()
+            ctx.close()
+
+        run(2, body)
+        assert seen == {0: True, 1: True}
