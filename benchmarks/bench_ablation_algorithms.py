@@ -4,6 +4,13 @@
 sweeps broadcast payload size across the binomial tree, the pipelined
 linear scheme and the ring, on 8 single-core nodes, and regenerates the
 crossover data behind :mod:`repro.collectives.tuning`.
+
+Since PR 4 the sweep also covers the schedule-compiled allreduce
+algorithms (the binomial reduce+broadcast composition vs recursive
+doubling vs Rabenseifner vs the segment-rotating ring) and allgather
+(gather+broadcast tree vs dissemination), and records which algorithm
+:mod:`repro.collectives.tuning` would pick at each point so the
+selection thresholds stay measured rather than folklore.
 """
 
 from __future__ import annotations
@@ -13,6 +20,16 @@ import pytest
 
 from repro.params import MachineConfig
 from repro.runtime import Machine
+
+
+def _ablation_config(n_pes: int = 8) -> MachineConfig:
+    return MachineConfig(
+        n_pes=n_pes,
+        cores_per_node=1,
+        memory_bytes_per_pe=16 * 1024 * 1024,
+        symmetric_heap_bytes=8 * 1024 * 1024,
+        collective_scratch_bytes=2 * 1024 * 1024,
+    )
 
 
 def broadcast_makespan(algorithm: str, nelems: int, n_pes: int = 8) -> float:
@@ -89,3 +106,129 @@ def test_selection_layer_picks_measured_winners(once, benchmark):
     worst = once(check)
     benchmark.extra_info["auto_vs_best_worst_ratio"] = round(worst, 3)
     assert worst <= 1.2
+
+
+def allreduce_makespan(algorithm: str, nelems: int, n_pes: int = 8) -> float:
+    """Simulated completion time of one allreduce (ns).
+
+    ``algorithm="composition"`` measures the legacy-style binomial
+    reduce+broadcast pair; the rest are the compiled allreduce
+    schedules.
+    """
+    def body(ctx):
+        ctx.init()
+        nbytes = max(8 * nelems, 16)
+        dest = ctx.malloc(nbytes)
+        src = ctx.malloc(nbytes)
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        if algorithm == "composition":
+            from repro.collectives.extra import reduce_all
+
+            reduce_all(ctx, dest, src, nelems, 1, "sum", np.dtype(np.int64))
+        else:
+            from repro.collectives.allreduce import allreduce
+
+            allreduce(ctx, dest, src, nelems, 1, "sum", np.dtype(np.int64),
+                      algorithm=algorithm)
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(_ablation_config(n_pes)).run(body))
+
+
+def allgather_makespan(algorithm: str, nelems_per_pe: int,
+                       n_pes: int = 8) -> float:
+    """Simulated completion time of one fixed-size allgather (ns)."""
+    def body(ctx):
+        ctx.init()
+        dest = ctx.malloc(max(8 * nelems_per_pe * n_pes, 16))
+        src = ctx.malloc(max(8 * nelems_per_pe, 16))
+        ctx.barrier()
+        t0 = ctx.pe.clock
+        from repro.collectives.extra import fcollect
+
+        fcollect(ctx, dest, src, nelems_per_pe, np.dtype(np.int64),
+                 algorithm=algorithm)
+        ctx.barrier()
+        dt = ctx.pe.clock - t0
+        ctx.close()
+        return dt
+
+    return max(Machine(_ablation_config(n_pes)).run(body))
+
+
+ALLREDUCE_ALGOS = ("composition", "doubling", "rabenseifner", "ring")
+ALLREDUCE_SIZES = (8, 512, 4096, 32768)
+
+
+def test_allreduce_algorithm_crossover(once, benchmark):
+    def sweep():
+        rows = {}
+        for n_pes in (6, 8):
+            for nelems in ALLREDUCE_SIZES:
+                rows[(n_pes, nelems)] = {
+                    alg: allreduce_makespan(alg, nelems, n_pes)
+                    for alg in ALLREDUCE_ALGOS
+                }
+        return rows
+
+    from repro.collectives.tuning import select_algorithm
+
+    rows = once(sweep)
+    print("\nA1 — allreduce latency (ns) by algorithm")
+    print(f"{'pes':>4} {'elems':>7} " +
+          " ".join(f"{a:>13}" for a in ALLREDUCE_ALGOS) +
+          "  winner / tuning pick")
+    for (n_pes, nelems), r in rows.items():
+        winner = min(r, key=r.get)
+        pick = select_algorithm("allreduce", nelems * 8, n_pes)
+        print(f"{n_pes:>4} {nelems:>7} " +
+              " ".join(f"{r[a]:>13.0f}" for a in ALLREDUCE_ALGOS) +
+              f"  {winner} / {pick}")
+        benchmark.extra_info[f"winner_{n_pes}_{nelems}"] = winner
+        benchmark.extra_info[f"tuning_{n_pes}_{nelems}"] = pick
+        # tuning's pick only chooses among the compiled algorithms.
+        assert r[pick] <= 1.25 * min(r[a] for a in ALLREDUCE_ALGOS
+                                     if a != "composition")
+    # The motivating claims: latency-bound small payloads favour the
+    # log-depth schemes; bandwidth-bound large payloads favour
+    # reduce-scatter — Rabenseifner at a power of two, the fold-free
+    # ring elsewhere.
+    assert min(rows[(8, 8)], key=rows[(8, 8)].get) in ("composition",
+                                                       "doubling")
+    assert min(rows[(8, 32768)], key=rows[(8, 32768)].get) == "rabenseifner"
+    assert min(rows[(6, 32768)], key=rows[(6, 32768)].get) == "ring"
+
+
+def test_allgather_algorithm_crossover(once, benchmark):
+    sizes = (8, 512, 4096)
+
+    def sweep():
+        return {
+            nelems: {
+                alg: allgather_makespan(alg, nelems)
+                for alg in ("tree", "dissemination")
+            }
+            for nelems in sizes
+        }
+
+    from repro.collectives.tuning import select_algorithm
+
+    rows = once(sweep)
+    print("\nA1 — allgather latency (ns) by algorithm, 8 nodes")
+    print(f"{'elems/pe':>9} {'tree':>12} {'dissemination':>14}"
+          "  winner / tuning pick")
+    for nelems, r in rows.items():
+        winner = min(r, key=r.get)
+        pick = select_algorithm("allgather", nelems * 8, 8)
+        print(f"{nelems:>9} {r['tree']:>12.0f} {r['dissemination']:>14.0f}"
+              f"  {winner} / {pick}")
+        benchmark.extra_info[f"winner_{nelems}"] = winner
+        benchmark.extra_info[f"tuning_{nelems}"] = pick
+        assert r[pick] <= 1.25 * min(r.values())
+    # Dissemination halves the stage count and removes the root
+    # bottleneck: at 8 PEs it wins every payload size measured.
+    assert all(min(r, key=r.get) == "dissemination" for r in rows.values())

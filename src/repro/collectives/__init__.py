@@ -13,6 +13,14 @@ scatter and gather as variants of one binomial-tree pattern:
   (``pe_disp``) and reorder data by virtual rank (``adj_disp``) so each
   tree-stage message stays contiguous and needs a single put/get.
 
+Since PR 4 every collective is a *compiler*: the front-ends in these
+modules validate a call, compile it into a
+:class:`~repro.collectives.schedule.Schedule` — per-rank stages of
+primitive PUT/GET/REDUCE/COPY/BARRIER steps — and hand it to the single
+executor in :mod:`~repro.collectives.schedule`.  The compiled schedules
+are statically checkable (:func:`~repro.collectives.schedule.lint_schedule`)
+and cached per call shape.
+
 Extensions beyond the paper's initial library (its section 7 future
 work) live in :mod:`~repro.collectives.extra` (reduce-to-all,
 gather-to-all, all-to-all), :mod:`~repro.collectives.teams` (PE-subset
@@ -24,6 +32,7 @@ from .virtual_rank import virtual_rank, logical_rank, rank_table
 from .binomial import tree_stages, tree_children, tree_parent, render_tree
 from .ops import REDUCE_OPS, apply_op, check_op
 from . import broadcast, reduce, scatter, gather, extra, teams, nonblocking, tuning, hierarchy, allreduce, scan
+from . import schedule
 
 __all__ = [
     "virtual_rank",
@@ -47,4 +56,5 @@ __all__ = [
     "hierarchy",
     "allreduce",
     "scan",
+    "schedule",
 ]

@@ -1,31 +1,40 @@
-"""One-sided allreduce algorithms (paper section 7).
+"""One-sided allreduce algorithms (paper section 7), compiled.
 
-The paper's "explicit reduction-to-all calls" future work, in two
+The paper's "explicit reduction-to-all calls" future work, in three
 flavours:
 
-* **recursive doubling** (:func:`allreduce` with
-  ``algorithm="doubling"``, the default) — ⌈log₂N⌉ stages, each PE
-  *gets* its partner's full running value and folds it.  Optimal for
-  small payloads (half the stages of the reduce+broadcast composition).
+* **recursive doubling** (``algorithm="doubling"``, the default) —
+  ⌈log₂N⌉ stages, each PE *gets* its partner's full running value and
+  folds it.  Optimal for small payloads (half the stages of the
+  reduce+broadcast composition).
 * **Rabenseifner** (``algorithm="rabenseifner"``) — the large-message
   algorithm of the paper's reference [17]: a recursive-halving
   reduce-scatter (each stage exchanges *half* the remaining data)
   followed by a recursive-doubling allgather, moving 2·(N-1)/N of the
   payload per PE instead of log₂N times the payload.
+* **ring** (``algorithm="ring"``) — the bandwidth-optimal ring: a
+  segment-rotating reduce-scatter followed by a segment-rotating
+  allgather, 2·(N-1) stages each moving only ``nelems/N`` elements over
+  nearest-neighbour links.  Works for any PE count (no power-of-two
+  fold) and keeps every link equally loaded, which is why it wins on
+  ring/torus topologies.
 
 Correctness under one-sided reads: recursive doubling double-buffers
 (everyone reads the partner's *current* buffer and writes the *next*),
-while Rabenseifner's stages read and write provably disjoint regions,
-so a barrier per stage suffices.
+while Rabenseifner's and the ring's stages read and write provably
+disjoint regions, so a barrier per stage suffices — a property the
+schedule linter (:mod:`repro.collectives.schedule.lint`) now checks
+mechanically for every compiled stage.
 
-Non-power-of-two PE counts use the MPICH fold: the first ``2·rem``
-ranks pair up (odd ranks contribute to their even neighbour and sit
-out), the surviving power-of-two set runs the core algorithm, and the
-results are pushed back to the folded-out ranks.
+Non-power-of-two PE counts (doubling/Rabenseifner) use the MPICH fold:
+the first ``2·rem`` ranks pair up (odd ranks contribute to their even
+neighbour and sit out), the surviving power-of-two set runs the core
+algorithm, and the results are pushed back to the folded-out ranks.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -33,22 +42,32 @@ import numpy as np
 from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
-    charge_elementwise,
-    collective_span,
-    local_copy,
-    private_buffer,
     resolve_group,
-    scratch_buffers,
     span_bytes,
-    stage_span,
     validate_counts,
 )
-from .ops import apply_op, check_op
+from .ops import check_op
+from .schedule.executor import PreparedCollective
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Get,
+    Put,
+    RankProgram,
+    Reduce,
+    Schedule,
+    Stage,
+)
+from .virtual_rank import ring_neighbor
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["allreduce"]
+__all__ = ["allreduce", "prepare_allreduce", "compile_allreduce"]
+
+#: Algorithms :func:`compile_allreduce` accepts.
+ALGORITHMS = ("doubling", "rabenseifner", "ring")
 
 
 def allreduce(
@@ -65,178 +84,298 @@ def allreduce(
 ) -> None:
     """Reduction-to-all: every PE ends with the full reduction at
     ``dest`` (which may be private — each PE writes its own copy
-    locally).  ``algorithm`` is ``"doubling"`` (latency-optimal) or
-    ``"rabenseifner"`` (bandwidth-optimal, paper reference [17])."""
+    locally).  ``algorithm`` is ``"doubling"`` (latency-optimal),
+    ``"rabenseifner"`` or ``"ring"`` (bandwidth-optimal), or ``"auto"``."""
+    prepare_allreduce(
+        ctx, dest, src, nelems, stride, op, dtype, algorithm=algorithm,
+        group=group,
+    ).run(ctx)
+
+
+def prepare_allreduce(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    algorithm: str = "doubling",
+    group: Sequence[int] | None = None,
+) -> PreparedCollective:
+    """Validate, select and compile — everything but the execution."""
     validate_counts(nelems, stride)
     check_op(op, dtype)
-    if algorithm not in ("doubling", "rabenseifner"):
-        raise CollectiveArgumentError(
-            f"unknown allreduce algorithm {algorithm!r}"
-        )
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     if n_pes > 1 and not ctx.is_symmetric(src):
         raise CollectiveArgumentError(
             "allreduce src must be a symmetric address"
         )
-    if me == 0:
-        ctx.machine.stats.collective_calls[f"allreduce:{algorithm}"] += 1
-    with collective_span(ctx, "allreduce", members, algorithm=algorithm,
-                         op=op, nelems=nelems, dtype=str(dtype)):
-        _allreduce(ctx, dest, src, nelems, stride, op, dtype, algorithm,
-                   members, me)
+    if algorithm == "auto":
+        from .tuning import select_algorithm
+
+        algorithm = select_algorithm(
+            "allreduce", nelems * dtype.itemsize, n_pes,
+            ctx.machine.config.topology,
+        )
+    if algorithm not in ALGORITHMS:
+        raise CollectiveArgumentError(
+            f"unknown allreduce algorithm {algorithm!r}"
+        )
+    sched = compile_allreduce(n_pes, nelems, stride, dtype.itemsize, op,
+                              algorithm=algorithm)
+    return PreparedCollective(
+        name="allreduce", members=members, me=me, dtype=dtype,
+        attrs=dict(algorithm=algorithm, op=op, nelems=nelems,
+                   dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key=f"allreduce:{algorithm}", stats_rank=0,
+    )
 
 
-def _allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
-               op: str, dtype: np.dtype, algorithm: str,
-               members: tuple[int, ...], me: int) -> None:
-    n_pes = len(members)
+def compile_allreduce(n_pes: int, nelems: int, stride: int, itemsize: int,
+                      op: str, *, algorithm: str = "doubling") -> Schedule:
+    """Compile one allreduce call shape into a schedule (pure, cached)."""
+    if algorithm in ("doubling", "rabenseifner"):
+        return _compile_folded(n_pes, nelems, stride, itemsize, op,
+                               algorithm)
+    if algorithm == "ring":
+        return _compile_ring(n_pes, nelems, stride, itemsize, op)
+    raise CollectiveArgumentError(
+        f"unknown allreduce algorithm {algorithm!r}"
+    )
+
+
+def _degenerate(n_pes: int, nelems: int, stride: int, itemsize: int,
+                op: str, algorithm: str) -> Schedule:
+    nbytes = span_bytes(nelems, stride, itemsize)
+    programs = tuple(
+        RankProgram(r, (Copy("dest", 0, "src", 0, nelems, stride), BARRIER))
+        for r in range(n_pes)
+    )
+    return Schedule(
+        collective="allreduce", algorithm=algorithm, n_pes=n_pes,
+        itemsize=itemsize, op=op,
+        buffers=(Buffer("dest", "user", nbytes),
+                 Buffer("src", "user", nbytes)),
+        programs=programs,
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes))
+        if nbytes else (),
+    )
+
+
+def _buffers(nbytes: int, double: bool) -> tuple[Buffer, ...]:
+    scratch = (Buffer("a", "scratch", nbytes, symmetric=True),)
+    if double:
+        scratch += (Buffer("b", "scratch", nbytes, symmetric=True),)
+    return (
+        Buffer("dest", "user", nbytes),
+        Buffer("src", "user", nbytes),
+    ) + scratch + (Buffer("l", "private", nbytes),)
+
+
+@lru_cache(maxsize=512)
+def _compile_folded(n_pes: int, nelems: int, stride: int, itemsize: int,
+                    op: str, algorithm: str) -> Schedule:
+    """Doubling / Rabenseifner over the MPICH power-of-two fold."""
     if nelems == 0 or n_pes == 1:
-        local_copy(ctx, dest, src, nelems, stride, dtype)
-        ctx.barrier_team(members)
-        return
-    eb = dtype.itemsize
-    nbytes = span_bytes(nelems, stride, eb)
-    # Double-buffered symmetric scratch (cur is read remotely, nxt is
-    # written locally) plus a private landing buffer for gets.
-    with scratch_buffers(ctx, nbytes, nbytes) as (buf_a, buf_b), \
-            private_buffer(ctx, nbytes) as l_buf:
-        _allreduce_buffered(ctx, dest, src, nelems, stride, op, dtype,
-                            algorithm, members, me, buf_a, buf_b, l_buf)
-
-
-def _allreduce_buffered(ctx: "XBRTime", dest: int, src: int, nelems: int,
-                        stride: int, op: str, dtype: np.dtype,
-                        algorithm: str, members: tuple[int, ...], me: int,
-                        buf_a: int, buf_b: int, l_buf: int) -> None:
-    n_pes = len(members)
-    view_a = ctx.view(buf_a, dtype, nelems, stride)
-    view_b = ctx.view(buf_b, dtype, nelems, stride)
-    l_view = ctx.view(l_buf, dtype, nelems, stride)
-    local_copy(ctx, buf_a, src, nelems, stride, dtype)
-    cur_addr, nxt_addr = buf_a, buf_b
-    cur_view, nxt_view = view_a, view_b
-    ctx.barrier_team(members)
-
-    # Fold the remainder into the largest power-of-two subset.
+        return _degenerate(n_pes, nelems, stride, itemsize, op, algorithm)
+    nbytes = span_bytes(nelems, stride, itemsize)
     pof2 = 1 << (n_pes.bit_length() - 1)
     if pof2 * 2 <= n_pes:  # n_pes is an exact power of two
         pof2 = n_pes
     rem = n_pes - pof2
-    if me < 2 * rem and me % 2 == 0:
-        # Even front ranks absorb their odd neighbour's contribution.
-        ctx.get(l_buf, cur_addr, nelems, stride, members[me + 1], dtype)
-        apply_op(op, cur_view, l_view)
-        charge_elementwise(ctx, nelems)
-    ctx.barrier_team(members)
-
-    active = me >= 2 * rem or me % 2 == 0
-    newrank = (me // 2) if me < 2 * rem else me - rem
     k = n_stages(pof2)
 
     def unfold(new: int) -> int:
         return new * 2 if new < rem else new + rem
 
-    if algorithm == "doubling":
-        if active:
-            for i in range(k):
-                with stage_span(ctx, i):
-                    partner = unfold(newrank ^ (1 << i))
-                    ctx.get(l_buf, cur_addr, nelems, stride,
-                            members[partner], dtype)
-                    nxt_view[:] = cur_view
-                    apply_op(op, nxt_view, l_view)
-                    charge_elementwise(ctx, 2 * nelems)
-                    cur_addr, nxt_addr = nxt_addr, cur_addr
-                    cur_view, nxt_view = nxt_view, cur_view
-                    ctx.barrier_team(members)
+    programs = []
+    for r in range(n_pes):
+        prologue: list = [Copy("a", 0, "src", 0, nelems, stride), BARRIER]
+        # Fold the remainder into the largest power-of-two subset: even
+        # front ranks absorb their odd neighbour's contribution.
+        if r < 2 * rem and r % 2 == 0:
+            prologue.append(Get("l", 0, "a", 0, nelems, stride, r + 1))
+            prologue.append(Reduce("a", 0, "l", 0, nelems, stride, nelems))
+        prologue.append(BARRIER)
+        active = r >= 2 * rem or r % 2 == 0
+        newrank = (r // 2) if r < 2 * rem else r - rem
+        if algorithm == "doubling":
+            stages, final = _doubling_stages(active, newrank, unfold, k,
+                                             nelems, stride)
         else:
-            # Folded-out odd ranks idle through the stages but join
-            # every barrier and track the buffer parity, so the final
-            # ``cur_addr`` names the same buffer on every PE.
-            for i in range(k):
-                with stage_span(ctx, i):
-                    cur_addr, nxt_addr = nxt_addr, cur_addr
-                    cur_view, nxt_view = nxt_view, cur_view
-                    ctx.barrier_team(members)
-    else:
-        _rabenseifner_core(ctx, members, me, active, newrank, unfold,
-                           pof2, k, cur_addr, l_buf, nelems, stride, op,
-                           dtype)
+            stages, final = _rabenseifner_stages(active, newrank, unfold,
+                                                 pof2, k, nelems, stride,
+                                                 itemsize)
+        # Push results back to the folded-out odd ranks (same address on
+        # both sides thanks to the shared buffer parity).
+        epilogue: list = []
+        if r < 2 * rem and r % 2 == 0:
+            epilogue.append(Put(final, 0, final, 0, nelems, stride, r + 1))
+        epilogue.append(BARRIER)
+        epilogue.append(Copy("dest", 0, final, 0, nelems, stride))
+        programs.append(RankProgram(r, tuple(prologue), stages,
+                                    tuple(epilogue)))
+    return Schedule(
+        collective="allreduce", algorithm=algorithm, n_pes=n_pes,
+        itemsize=itemsize, op=op,
+        buffers=_buffers(nbytes, double=algorithm == "doubling"),
+        programs=tuple(programs),
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes)),
+    )
 
-    # Push results back to the folded-out odd ranks (same address on
-    # both sides thanks to the shared buffer parity).
-    if me < 2 * rem and me % 2 == 0:
-        ctx.put(cur_addr, cur_addr, nelems, stride, members[me + 1], dtype)
-    ctx.barrier_team(members)
-    local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
+
+def _doubling_stages(active: bool, newrank: int, unfold, k: int,
+                     nelems: int, stride: int) -> tuple[tuple, str]:
+    """Recursive doubling: read the partner's *current* buffer, write the
+    *next* — folded-out ranks idle through the stages but join every
+    barrier and track the buffer parity, so the final buffer names the
+    same scratch on every PE."""
+    stages = []
+    for i in range(k):
+        cur, nxt = ("a", "b") if i % 2 == 0 else ("b", "a")
+        steps: list = []
+        if active:
+            partner = unfold(newrank ^ (1 << i))
+            steps.append(Get("l", 0, cur, 0, nelems, stride, partner))
+            steps.append(Copy(nxt, 0, cur, 0, nelems, stride, charged=False))
+            steps.append(Reduce(nxt, 0, "l", 0, nelems, stride, 2 * nelems))
+        steps.append(BARRIER)
+        stages.append(Stage(i, tuple(steps)))
+    return tuple(stages), ("a" if k % 2 == 0 else "b")
 
 
-def _rabenseifner_core(ctx, members, me, active, newrank, unfold, pof2, k,
-                       buf, l_buf, nelems, stride, op, dtype) -> None:
+def _rabenseifner_stages(active: bool, newrank: int, unfold, pof2: int,
+                         k: int, nelems: int, stride: int,
+                         itemsize: int) -> tuple[tuple, str]:
     """Reduce-scatter (recursive halving) + allgather (recursive
     doubling) over the active power-of-two subset.
 
     Every stage's remote reads target regions the local PE does not
     write in that stage (each side touches only its own kept/grown
-    segment), so a single buffer plus per-stage barriers is safe.
+    segment), so a single buffer plus per-stage barriers is safe — the
+    schedule linter verifies the disjointness for every compiled shape.
     """
-    eb = dtype.itemsize
+    if not active:
+        return tuple(Stage(i, (BARRIER,)) for i in range(2 * k)), "a"
 
-    def bound(r: int) -> int:
-        return nelems * r // pof2
+    def bound(rr: int) -> int:
+        return nelems * rr // pof2
 
     def off(e: int) -> int:
-        return e * stride * eb
-
-    def sub(base: int, e_lo: int, e_hi: int):
-        return ctx.view(base + off(e_lo), dtype, e_hi - e_lo, stride)
-
-    if not active:
-        for i in range(2 * k):
-            with stage_span(ctx, i):
-                ctx.barrier_team(members)
-        return
+        return e * stride * itemsize
 
     # Phase 1: reduce-scatter.  Track the rank range whose elements this
     # PE still accumulates; halve it every stage.
+    stages = []
     lo_r, hi_r = 0, pof2
     trail: list[tuple[int, int, int]] = []  # (partner_new, keep_lo, keep_hi)
     for stage in range(k):
-        with stage_span(ctx, stage, phase="reduce-scatter"):
-            half = (hi_r - lo_r) // 2
-            if newrank < lo_r + half:
-                partner_new = newrank + half
-                keep_lo, keep_hi = lo_r, lo_r + half
-            else:
-                partner_new = newrank - half
-                keep_lo, keep_hi = lo_r + half, hi_r
-            e_lo, e_hi = bound(keep_lo), bound(keep_hi)
-            if e_hi > e_lo:
-                partner = members[unfold(partner_new)]
-                ctx.get(l_buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
-                        stride, partner, dtype)
-                apply_op(op, sub(buf, e_lo, e_hi), sub(l_buf, e_lo, e_hi))
-                charge_elementwise(ctx, e_hi - e_lo)
-            trail.append((partner_new, keep_lo, keep_hi))
-            lo_r, hi_r = keep_lo, keep_hi
-            ctx.barrier_team(members)
+        half = (hi_r - lo_r) // 2
+        if newrank < lo_r + half:
+            partner_new = newrank + half
+            keep_lo, keep_hi = lo_r, lo_r + half
+        else:
+            partner_new = newrank - half
+            keep_lo, keep_hi = lo_r + half, hi_r
+        e_lo, e_hi = bound(keep_lo), bound(keep_hi)
+        steps: list = []
+        if e_hi > e_lo:
+            partner = unfold(partner_new)
+            steps.append(Get("l", off(e_lo), "a", off(e_lo), e_hi - e_lo,
+                             stride, partner))
+            steps.append(Reduce("a", off(e_lo), "l", off(e_lo), e_hi - e_lo,
+                                stride, e_hi - e_lo))
+        steps.append(BARRIER)
+        stages.append(Stage(stage, tuple(steps),
+                            attrs=(("phase", "reduce-scatter"),)))
+        trail.append((partner_new, keep_lo, keep_hi))
+        lo_r, hi_r = keep_lo, keep_hi
 
     # Phase 2: allgather, replaying the recursion in reverse — fetch the
     # partner's (fully reduced) segment, doubling owned data each stage.
     for stage, (partner_new, keep_lo, keep_hi) in enumerate(reversed(trail),
                                                             start=k):
-        with stage_span(ctx, stage, phase="allgather"):
-            partner = members[unfold(partner_new)]
-            # The partner owns the complement of my kept rank range
-            # within the enclosing range of this (reversed) stage.
-            span = keep_hi - keep_lo
-            if partner_new < keep_lo:
-                need_lo, need_hi = keep_lo - span, keep_lo
-            else:
-                need_lo, need_hi = keep_hi, keep_hi + span
-            e_lo, e_hi = bound(need_lo), bound(need_hi)
+        partner = unfold(partner_new)
+        # The partner owns the complement of my kept rank range within
+        # the enclosing range of this (reversed) stage.
+        span = keep_hi - keep_lo
+        if partner_new < keep_lo:
+            need_lo, need_hi = keep_lo - span, keep_lo
+        else:
+            need_lo, need_hi = keep_hi, keep_hi + span
+        e_lo, e_hi = bound(need_lo), bound(need_hi)
+        steps = []
+        if e_hi > e_lo:
+            steps.append(Get("a", off(e_lo), "a", off(e_lo), e_hi - e_lo,
+                             stride, partner))
+        steps.append(BARRIER)
+        stages.append(Stage(stage, tuple(steps),
+                            attrs=(("phase", "allgather"),)))
+    return tuple(stages), "a"
+
+
+@lru_cache(maxsize=512)
+def _compile_ring(n_pes: int, nelems: int, stride: int, itemsize: int,
+                  op: str) -> Schedule:
+    """Segment-rotating ring allreduce (bandwidth-optimal).
+
+    The payload is split into ``n_pes`` segments with the same
+    ``nelems*i//n_pes`` bounds Rabenseifner uses.  Reduce-scatter: at
+    step ``s`` rank ``r`` pulls segment ``(r-1-s) mod N`` from its left
+    neighbour's running buffer and folds it, so after ``N-1`` steps rank
+    ``r`` holds the *fully* reduced segment ``(r+1) mod N``.  Allgather:
+    at step ``s`` rank ``r`` pulls the finished segment ``(r-s) mod N``
+    from the left.  In every stage each rank writes only the segment it
+    just pulled while its right neighbour reads a *different* segment —
+    the disjointness the linter proves per stage.
+    """
+    if nelems == 0 or n_pes == 1:
+        return _degenerate(n_pes, nelems, stride, itemsize, op, "ring")
+    nbytes = span_bytes(nelems, stride, itemsize)
+
+    def bound(i: int) -> int:
+        return nelems * i // n_pes
+
+    def off(e: int) -> int:
+        return e * stride * itemsize
+
+    programs = []
+    for r in range(n_pes):
+        left = ring_neighbor(r, n_pes, -1)
+        prologue = (Copy("a", 0, "src", 0, nelems, stride), BARRIER)
+        stages = []
+        for s in range(n_pes - 1):
+            seg = (r - 1 - s) % n_pes
+            e_lo, e_hi = bound(seg), bound(seg + 1)
+            steps: list = []
             if e_hi > e_lo:
-                ctx.get(buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
-                        stride, partner, dtype)
-            ctx.barrier_team(members)
+                steps.append(Get("l", off(e_lo), "a", off(e_lo),
+                                 e_hi - e_lo, stride, left))
+                steps.append(Reduce("a", off(e_lo), "l", off(e_lo),
+                                    e_hi - e_lo, stride, e_hi - e_lo))
+            steps.append(BARRIER)
+            stages.append(Stage(s, tuple(steps),
+                                attrs=(("phase", "reduce-scatter"),)))
+        for s in range(n_pes - 1):
+            seg = (r - s) % n_pes
+            e_lo, e_hi = bound(seg), bound(seg + 1)
+            steps = []
+            if e_hi > e_lo:
+                steps.append(Get("a", off(e_lo), "a", off(e_lo),
+                                 e_hi - e_lo, stride, left))
+            steps.append(BARRIER)
+            stages.append(Stage(n_pes - 1 + s, tuple(steps),
+                                attrs=(("phase", "allgather"),)))
+        epilogue = (Copy("dest", 0, "a", 0, nelems, stride),)
+        programs.append(RankProgram(r, prologue, tuple(stages), epilogue))
+    return Schedule(
+        collective="allreduce", algorithm="ring", n_pes=n_pes,
+        itemsize=itemsize, op=op,
+        buffers=_buffers(nbytes, double=False),
+        programs=tuple(programs),
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes)),
+    )

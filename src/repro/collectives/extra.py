@@ -8,7 +8,11 @@ those compositions plus a personalised all-to-all:
 * :func:`reduce_all` — explicit reduction-to-all (OpenSHMEM
   ``*_to_all`` semantics: every PE receives the result).
 * :func:`allgather` — gather-to-all (OpenSHMEM ``collect``) and
-  :func:`fcollect` for the fixed-size variant.
+  :func:`fcollect` for the fixed-size variant.  Two algorithms: the
+  default ``"tree"`` composition (gather to rank 0, broadcast back) and
+  a compiled ``"dissemination"`` schedule that finishes in ⌈log₂N⌉
+  stages by having every rank pull the growing prefix of its ring
+  neighbour — half the stages and no root bottleneck.
 * :func:`alltoall` — personalised all-to-all exchange built from
   one-sided puts (each PE deposits its block directly at the
   destination offset of every peer).
@@ -16,6 +20,7 @@ those compositions plus a personalised all-to-all:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -25,11 +30,25 @@ from .broadcast import broadcast
 from .common import collective_span, resolve_group
 from .gather import gather
 from .reduce import reduce
+from .scatter import _validate
+from .schedule.executor import PreparedCollective
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Get,
+    Put,
+    RankProgram,
+    Schedule,
+    Stage,
+)
+from .virtual_rank import ring_neighbor, rotated_peers
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["reduce_all", "allgather", "fcollect", "alltoall"]
+__all__ = ["reduce_all", "allgather", "fcollect", "alltoall",
+           "compile_allgather", "compile_alltoall"]
 
 
 def reduce_all(
@@ -67,18 +86,127 @@ def allgather(
     nelems: int,
     dtype: np.dtype,
     *,
+    algorithm: str = "tree",
     group: Sequence[int] | None = None,
 ) -> None:
     """Gather-to-all (OpenSHMEM ``collect``): every PE ends with all
-    contributions at ``dest`` (symmetric), laid out by ``pe_disp``."""
-    members, _ = resolve_group(ctx, group)
-    if len(members) > 1 and not ctx.is_symmetric(dest):
+    contributions at ``dest`` (symmetric), laid out by ``pe_disp``.
+
+    ``algorithm="tree"`` composes gather+broadcast through rank 0 (the
+    historical default); ``"dissemination"`` compiles the ⌈log₂N⌉-stage
+    doubling exchange; ``"auto"`` asks :mod:`~repro.collectives.tuning`.
+    """
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    if n_pes > 1 and not ctx.is_symmetric(dest):
         raise CollectiveArgumentError("allgather dest must be symmetric")
-    with collective_span(ctx, "allgather", members, nelems=nelems,
-                         dtype=str(dtype)):
-        gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype,
-               group=group)
-        broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
+    if algorithm == "auto":
+        from .tuning import select_algorithm
+
+        algorithm = select_algorithm(
+            "allgather", nelems * dtype.itemsize, n_pes,
+            ctx.machine.config.topology,
+        )
+    if algorithm == "tree":
+        with collective_span(ctx, "allgather", members, nelems=nelems,
+                             dtype=str(dtype)):
+            gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype,
+                   group=group)
+            broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
+        return
+    if algorithm != "dissemination":
+        raise CollectiveArgumentError(
+            f"unknown allgather algorithm {algorithm!r}"
+        )
+    _validate(pe_msgs, pe_disp, nelems, n_pes, "allgather")
+    sched = compile_allgather(n_pes, tuple(pe_msgs), tuple(pe_disp), nelems,
+                              dtype.itemsize)
+    PreparedCollective(
+        name="allgather", members=members, me=me, dtype=dtype,
+        attrs=dict(algorithm=algorithm, nelems=nelems, dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key="allgather:dissemination", stats_rank=0,
+    ).run(ctx)
+
+
+@lru_cache(maxsize=256)
+def compile_allgather(n_pes: int, counts: tuple[int, ...],
+                      disps: tuple[int, ...], nelems: int,
+                      itemsize: int) -> Schedule:
+    """Dissemination allgather: after stage ``i`` every rank holds the
+    blocks of ``2^(i+1)`` consecutive ranks (ring order, starting at its
+    own), so ⌈log₂N⌉ stages suffice for any PE count.
+
+    Each rank keeps its scratch in *rotated* order — position ``j``
+    holds rank ``(r+j) mod N``'s block — which makes every stage's
+    transfer a single contiguous get: the blocks rank ``r`` needs from
+    partner ``(r+2^i) mod N`` sit at the *front* of the partner's
+    scratch, and they land right after the blocks ``r`` already owns.
+    An epilogue unrotates into ``dest`` by ``pe_disp``.
+    """
+    eb = itemsize
+
+    def blocks_len(start: int, width: int) -> int:
+        """Total elements of ``width`` ring-consecutive blocks."""
+        return sum(counts[(start + j) % n_pes] for j in range(width))
+
+    dest_nbytes = max((d + c) for d, c in zip(disps, counts)) * eb \
+        if any(counts) else 0
+    buffers = (
+        Buffer("dest", "user", dest_nbytes, symmetric=n_pes > 1),
+        Buffer("src", "user", tuple(c * eb for c in counts)),
+        Buffer("s", "scratch", nelems * eb, symmetric=True),
+    )
+    deliver = tuple(
+        (r, "dest", disps[i] * eb, (disps[i] + counts[i]) * eb)
+        for r in range(n_pes) for i in range(n_pes) if counts[i]
+    )
+    if nelems == 0:
+        return Schedule(
+            collective="allgather", algorithm="dissemination", n_pes=n_pes,
+            itemsize=eb, buffers=buffers[:2],
+            programs=tuple(RankProgram(r, (BARRIER,))
+                           for r in range(n_pes)),
+        )
+    programs = []
+    for r in range(n_pes):
+        prologue: list = []
+        if counts[r]:
+            prologue.append(Copy("s", 0, "src", 0, counts[r], 1,
+                                 skip_noop=False))
+        prologue.append(BARRIER)
+        stages = []
+        stage = 0
+        width = 1  # ring-consecutive blocks this rank already holds
+        while width < n_pes:
+            grab = min(width, n_pes - width)
+            partner = ring_neighbor(r, n_pes, width)
+            have = blocks_len(r, width)       # elements already staged
+            need = blocks_len(partner, grab)  # front of partner's scratch
+            steps: list = []
+            if need:
+                steps.append(Get("s", have * eb, "s", 0, need, 1, partner))
+            steps.append(BARRIER)
+            stages.append(Stage(stage, tuple(steps)))
+            width += grab
+            stage += 1
+        epilogue: list = []
+        pos = 0
+        for j in range(n_pes):
+            blk = (r + j) % n_pes
+            cnt = counts[blk]
+            if cnt:
+                epilogue.append(Copy("dest", disps[blk] * eb, "s", pos * eb,
+                                     cnt, 1, skip_noop=False))
+                pos += cnt
+        epilogue.append(BARRIER)
+        programs.append(RankProgram(r, tuple(prologue), tuple(stages),
+                                    tuple(epilogue)))
+    return Schedule(
+        collective="allgather", algorithm="dissemination", n_pes=n_pes,
+        itemsize=eb, buffers=buffers, programs=tuple(programs),
+        deliver=deliver,
+    )
 
 
 def fcollect(
@@ -88,6 +216,7 @@ def fcollect(
     nelems_per_pe: int,
     dtype: np.dtype,
     *,
+    algorithm: str = "tree",
     group: Sequence[int] | None = None,
 ) -> None:
     """Fixed-size gather-to-all (OpenSHMEM ``fcollect``)."""
@@ -96,7 +225,7 @@ def fcollect(
     msgs = [nelems_per_pe] * n
     disp = [i * nelems_per_pe for i in range(n)]
     allgather(ctx, dest, src, msgs, disp, nelems_per_pe * n, dtype,
-              group=group)
+              algorithm=algorithm, group=group)
 
 
 def alltoall(
@@ -112,8 +241,8 @@ def alltoall(
     as block ``i`` of ``dest`` on PE ``j``.
 
     Implemented with one-sided puts in a rotated order (PE ``i`` starts
-    at peer ``i+1``) so the messages of a stage spread across distinct
-    targets instead of all hitting PE 0 at once.
+    at peer ``i``, then walks the ring) so the messages of a stage
+    spread across distinct targets instead of all hitting PE 0 at once.
     """
     if nelems_per_pe < 0:
         raise CollectiveArgumentError("nelems_per_pe must be >= 0")
@@ -121,18 +250,41 @@ def alltoall(
     n = len(members)
     if n > 1 and not ctx.is_symmetric(dest):
         raise CollectiveArgumentError("alltoall dest must be symmetric")
-    if me == 0:
-        ctx.machine.stats.collective_calls["alltoall:rotated"] += 1
-    with collective_span(ctx, "alltoall", members, nelems=nelems_per_pe,
-                         dtype=str(dtype)):
+    sched = compile_alltoall(n, nelems_per_pe, dtype.itemsize)
+    PreparedCollective(
+        name="alltoall", members=members, me=me, dtype=dtype,
+        attrs=dict(nelems=nelems_per_pe, dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key="alltoall:rotated", stats_rank=0,
+    ).run(ctx)
+
+
+@lru_cache(maxsize=256)
+def compile_alltoall(n_pes: int, nelems_per_pe: int,
+                     itemsize: int) -> Schedule:
+    """Compile one alltoall call shape into a schedule (pure, cached)."""
+    blk = nelems_per_pe * itemsize
+    nbytes = n_pes * blk
+    programs = []
+    for r in range(n_pes):
         # Entry barrier: order every participant's prior writes to dest
         # before the incoming puts can land.
-        ctx.barrier_team(members)
-        eb = dtype.itemsize
-        blk = nelems_per_pe * eb
+        prologue: list = [BARRIER]
         if nelems_per_pe:
-            for step in range(n):
-                peer = (me + step) % n
-                ctx.put(dest + me * blk, src + peer * blk, nelems_per_pe, 1,
-                        members[peer], dtype)
-        ctx.barrier_team(members)
+            for peer in rotated_peers(r, n_pes):
+                if peer == r:
+                    prologue.append(Copy("dest", r * blk, "src", peer * blk,
+                                         nelems_per_pe, 1, skip_noop=False))
+                else:
+                    prologue.append(Put("dest", r * blk, "src", peer * blk,
+                                        nelems_per_pe, 1, peer))
+        programs.append(RankProgram(r, tuple(prologue), (), (BARRIER,)))
+    return Schedule(
+        collective="alltoall", algorithm="rotated", n_pes=n_pes,
+        itemsize=itemsize,
+        buffers=(Buffer("dest", "user", nbytes, symmetric=n_pes > 1),
+                 Buffer("src", "user", nbytes)),
+        programs=tuple(programs),
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes))
+        if nelems_per_pe else (),
+    )

@@ -1,10 +1,11 @@
-"""Gather (paper section 4.6, Algorithm 4).
+"""Gather (paper section 4.6, Algorithm 4), compiled to a schedule.
 
 Symmetric to scatter in the same way reduction is to broadcast: the
 tree runs with recursive doubling and one-sided ``get``, aggregating a
 distinct number of elements from every PE toward the root.  ``pe_msgs``
 gives the per-PE counts and ``pe_disp`` the displacements *into dest on
-the root*.
+the root*.  Zero-count PEs contribute no staging store or tree message
+but keep every stage barrier.
 
 Each PE first stages its contribution in the shared buffer at its
 adjusted (virtual-rank) displacement; each stage's receiver pulls the
@@ -15,25 +16,30 @@ rank.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from .binomial import n_stages
-from .common import (
-    collective_span,
-    resolve_group,
-    scratch_buffers,
-    stage_span,
-    validate_root,
+from .binomial import tree_stages
+from .common import resolve_group, validate_root
+from .scatter import _io_buffers, _validate, adjusted_displacements
+from .schedule.executor import PreparedCollective
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Get,
+    RankProgram,
+    Schedule,
+    Stage,
 )
-from .scatter import _validate, adjusted_displacements
-from .virtual_rank import virtual_rank
+from .virtual_rank import logical_rank, virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["gather"]
+__all__ = ["gather", "prepare_gather", "compile_gather"]
 
 
 def gather(
@@ -49,65 +55,106 @@ def gather(
     group: Sequence[int] | None = None,
 ) -> None:
     """``xbrtime_TYPE_gather(dest, src, pe_msgs, pe_disp, nelems, root)``."""
+    prepare_gather(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                   group=group).run(ctx)
+
+
+def prepare_gather(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    pe_msgs: Sequence[int],
+    pe_disp: Sequence[int],
+    nelems: int,
+    root: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> PreparedCollective:
+    """Validate and compile — everything but the execution."""
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     validate_root(root, n_pes)
     _validate(pe_msgs, pe_disp, nelems, n_pes, "gather")
-    if me == root:
-        ctx.machine.stats.collective_calls["gather:binomial"] += 1
-    with collective_span(ctx, "gather", members, root=root, nelems=nelems,
-                         dtype=str(dtype)):
-        _binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
-                  members, me)
+    sched = compile_gather(n_pes, root, tuple(pe_msgs), tuple(pe_disp),
+                           nelems, dtype.itemsize)
+    return PreparedCollective(
+        name="gather", members=members, me=me, dtype=dtype,
+        attrs=dict(root=root, nelems=nelems, dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key="gather:binomial", stats_rank=root,
+    )
 
 
-def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
-              pe_disp: Sequence[int], nelems: int, root: int,
-              dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
-    n_pes = len(members)
-    vir_rank = virtual_rank(me, root, n_pes)
-    eb = dtype.itemsize
-    my_count = pe_msgs[me]
+@lru_cache(maxsize=256)
+def compile_gather(n_pes: int, root: int, counts: tuple[int, ...],
+                   disps: tuple[int, ...], nelems: int,
+                   itemsize: int) -> Schedule:
+    """Compile one gather call shape into a schedule (pure, cached)."""
+    eb = itemsize
+    dest_buf, src_buf = _io_buffers(n_pes, root, counts, disps, eb, "dest")
+    deliver = tuple((root, "dest", disps[i] * eb, (disps[i] + counts[i]) * eb)
+                    for i in range(n_pes) if counts[i])
     if nelems == 0:
-        ctx.barrier_team(members)
-        return
+        return Schedule(
+            collective="gather", algorithm="binomial", n_pes=n_pes,
+            itemsize=eb, root=root, buffers=(dest_buf, src_buf),
+            programs=tuple(RankProgram(r, (BARRIER,))
+                           for r in range(n_pes)),
+        )
     if n_pes == 1:
-        if my_count:
-            ctx.put(dest + pe_disp[me] * eb, src, my_count, 1, ctx.rank, dtype)
-        ctx.barrier_team(members)
-        return
-    adj = adjusted_displacements(pe_msgs, root)
-    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
-        # Stage this PE's contribution at its virtual-rank displacement.
-        if my_count:
-            ctx.put(s_buff + adj[vir_rank] * eb, src, my_count, 1, ctx.rank,
-                    dtype)
-        # Order every staging store before the first stage's one-sided
-        # gets.
-        ctx.barrier_team(members)
-        k = n_stages(n_pes)
-        mask = (1 << k) - 1
-        for i in range(k):
-            with stage_span(ctx, i):
-                mask ^= 1 << i
-                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-                    vir_part = (vir_rank ^ (1 << i)) % n_pes
-                    log_part = (vir_part + root) % n_pes
-                    if vir_rank < vir_part:
-                        # The partner's segment plus everything it
-                        # aggregated.
-                        end = min(vir_part + (1 << i), n_pes)
-                        msg_size = adj[end] - adj[vir_part]
-                        if msg_size:
-                            off = s_buff + adj[vir_part] * eb
-                            ctx.get(off, off, msg_size, 1, members[log_part],
-                                    dtype)
-                ctx.barrier_team(members)
-        if vir_rank == 0:
+        steps: list = []
+        if counts[0]:
+            steps.append(Copy("dest", disps[0] * eb, "src", 0, counts[0], 1,
+                              skip_noop=False))
+        steps.append(BARRIER)
+        return Schedule(
+            collective="gather", algorithm="binomial", n_pes=n_pes,
+            itemsize=eb, root=root, buffers=(dest_buf, src_buf),
+            programs=(RankProgram(0, tuple(steps)),), deliver=deliver,
+        )
+    adj = adjusted_displacements(counts, root)
+    stages_pairs = tree_stages(n_pes, "doubling")
+    programs = []
+    for r in range(n_pes):
+        vir = virtual_rank(r, root, n_pes)
+        # Stage this PE's contribution at its virtual-rank displacement,
+        # then order every staging store before the first stage's gets.
+        prologue: list = []
+        if counts[r]:
+            prologue.append(Copy("s", adj[vir] * eb, "src", 0, counts[r], 1,
+                                 skip_noop=False))
+        prologue.append(BARRIER)
+        stages = []
+        for i, pairs in enumerate(stages_pairs):
+            steps = []
+            for child, parent in pairs:
+                if parent == vir:
+                    # The partner's segment plus everything it aggregated.
+                    end = min(child + (1 << i), n_pes)
+                    msg_size = adj[end] - adj[child]
+                    if msg_size:
+                        steps.append(Get("s", adj[child] * eb, "s",
+                                         adj[child] * eb, msg_size, 1,
+                                         logical_rank(child, root, n_pes)))
+            steps.append(BARRIER)
+            stages.append(Stage(i, tuple(steps)))
+        epilogue: list = []
+        if vir == 0:
             # Reorder from virtual-rank order into dest by logical rank.
-            for vir in range(n_pes):
-                log = (vir + root) % n_pes
-                cnt = pe_msgs[log]
+            for v in range(n_pes):
+                log = logical_rank(v, root, n_pes)
+                cnt = counts[log]
                 if cnt:
-                    ctx.put(dest + pe_disp[log] * eb, s_buff + adj[vir] * eb,
-                            cnt, 1, ctx.rank, dtype)
+                    epilogue.append(Copy("dest", disps[log] * eb, "s",
+                                         adj[v] * eb, cnt, 1,
+                                         skip_noop=False))
+        programs.append(RankProgram(r, tuple(prologue), tuple(stages),
+                                    tuple(epilogue)))
+    return Schedule(
+        collective="gather", algorithm="binomial", n_pes=n_pes,
+        itemsize=eb, root=root,
+        buffers=(dest_buf, src_buf,
+                 Buffer("s", "scratch", nelems * eb, symmetric=True)),
+        programs=tuple(programs), deliver=deliver,
+    )

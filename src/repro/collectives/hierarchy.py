@@ -28,8 +28,8 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from .common import collective_span, resolve_group, span_bytes, validate_root
-from . import broadcast as _broadcast
-from . import reduce as _reduce
+from .broadcast import run_binomial as _bcast_tree
+from .reduce import run_binomial as _reduce_tree
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
@@ -76,8 +76,8 @@ def broadcast_hierarchical(
     root_world = members[root]
     groups, leaders = node_layout(ctx, members, root_world)
     if len(groups) <= 1:
-        _broadcast._binomial(ctx, dest, src, nelems, stride, root, dtype,
-                             tuple(members), me)
+        _bcast_tree(ctx, dest, src, nelems, stride, root, dtype,
+                    tuple(members), me)
         return
     my_world = ctx.rank
     my_group = next(g for g in groups if my_world in g)
@@ -87,7 +87,7 @@ def broadcast_hierarchical(
         with collective_span(ctx, "broadcast.inter", tuple(leaders),
                              root=leaders.index(root_world), nelems=nelems,
                              dtype=str(dtype)):
-            _broadcast._binomial(
+            _bcast_tree(
                 ctx, dest, src, nelems, stride, leaders.index(root_world),
                 dtype, tuple(leaders), leaders.index(my_world),
             )
@@ -97,7 +97,7 @@ def broadcast_hierarchical(
     with collective_span(ctx, "broadcast.intra", my_group,
                          root=my_group.index(my_leader), nelems=nelems,
                          dtype=str(dtype)):
-        _broadcast._binomial(
+        _bcast_tree(
             ctx, dest, local_src, nelems, stride, my_group.index(my_leader),
             dtype, my_group, my_group.index(my_world),
         )
@@ -121,8 +121,8 @@ def reduce_hierarchical(
     root_world = members[root]
     groups, leaders = node_layout(ctx, members, root_world)
     if len(groups) <= 1:
-        _reduce._binomial(ctx, dest, src, nelems, stride, root, op, dtype,
-                          tuple(members), me)
+        _reduce_tree(ctx, dest, src, nelems, stride, root, op, dtype,
+                     tuple(members), me)
         return
     my_world = ctx.rank
     my_group = next(g for g in groups if my_world in g)
@@ -134,7 +134,7 @@ def reduce_hierarchical(
     with collective_span(ctx, "reduce.intra", my_group,
                          root=my_group.index(my_leader), op=op,
                          nelems=nelems, dtype=str(dtype)):
-        _reduce._binomial(
+        _reduce_tree(
             ctx, partial, src, nelems, stride, my_group.index(my_leader), op,
             dtype, my_group, my_group.index(my_world),
         )
@@ -142,7 +142,7 @@ def reduce_hierarchical(
         with collective_span(ctx, "reduce.inter", tuple(leaders),
                              root=leaders.index(root_world), op=op,
                              nelems=nelems, dtype=str(dtype)):
-            _reduce._binomial(
+            _reduce_tree(
                 ctx, dest, partial, nelems, stride,
                 leaders.index(root_world), op, dtype, tuple(leaders),
                 leaders.index(my_world),

@@ -1,8 +1,12 @@
 """Non-blocking collectives (paper section 7 future work).
 
-Modelled as *deferred* collectives: initiation captures the arguments
-and returns a handle; the operation executes when every participant
-waits on its handle.  This matches the weakest conforming semantics of
+Modelled as *deferred* collectives: initiation validates the call and
+*compiles* its schedule (via the blocking front-ends' ``prepare_*``
+functions), returning a handle that holds the ready-to-run
+:class:`~repro.collectives.schedule.PreparedCollective`; the operation
+executes when every participant waits on its handle.  Argument errors
+therefore surface at initiation — where the faulty call site is — while
+all communication still happens at the wait.  This matches the weakest conforming semantics of
 non-blocking collectives (completion is only guaranteed at the wait) and
 keeps the simulation's barrier-based timing exact.  True communication/
 computation overlap is a limitation of this reproduction — the paper
@@ -110,16 +114,18 @@ def ibroadcast(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
                root: int, dtype: np.dtype,
                group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking broadcast (Algorithm 1, deferred)."""
-    return _defer(ctx, "ibroadcast", lambda: _broadcast.broadcast(
-        ctx, dest, src, nelems, stride, root, dtype, group=group))
+    prepared = _broadcast.prepare_broadcast(
+        ctx, dest, src, nelems, stride, root, dtype, group=group)
+    return _defer(ctx, "ibroadcast", lambda: prepared.run(ctx))
 
 
 def ireduce(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
             root: int, op: str, dtype: np.dtype,
             group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking reduction (Algorithm 2, deferred)."""
-    return _defer(ctx, "ireduce", lambda: _reduce.reduce(
-        ctx, dest, src, nelems, stride, root, op, dtype, group=group))
+    prepared = _reduce.prepare_reduce(
+        ctx, dest, src, nelems, stride, root, op, dtype, group=group)
+    return _defer(ctx, "ireduce", lambda: prepared.run(ctx))
 
 
 def iscatter(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
@@ -127,9 +133,10 @@ def iscatter(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
              dtype: np.dtype,
              group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking scatter (Algorithm 3, deferred)."""
-    msgs, disp = tuple(pe_msgs), tuple(pe_disp)
-    return _defer(ctx, "iscatter", lambda: _scatter.scatter(
-        ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))
+    prepared = _scatter.prepare_scatter(
+        ctx, dest, src, tuple(pe_msgs), tuple(pe_disp), nelems, root, dtype,
+        group=group)
+    return _defer(ctx, "iscatter", lambda: prepared.run(ctx))
 
 
 def igather(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
@@ -137,6 +144,7 @@ def igather(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
             dtype: np.dtype,
             group: Sequence[int] | None = None) -> CollectiveHandle:
     """Non-blocking gather (Algorithm 4, deferred)."""
-    msgs, disp = tuple(pe_msgs), tuple(pe_disp)
-    return _defer(ctx, "igather", lambda: _gather.gather(
-        ctx, dest, src, msgs, disp, nelems, root, dtype, group=group))
+    prepared = _gather.prepare_gather(
+        ctx, dest, src, tuple(pe_msgs), tuple(pe_disp), nelems, root, dtype,
+        group=group)
+    return _defer(ctx, "igather", lambda: prepared.run(ctx))

@@ -1,22 +1,21 @@
-"""Reduction (paper section 4.4, Algorithm 2).
+"""Reduction (paper section 4.4, Algorithm 2), compiled to a schedule.
 
-Binomial tree with recursive doubling: the mask isolates virtual-rank
-bits right→left (loop index ascending), reversing the data flow of
-broadcast — qualifying PEs ``get`` their partner's accumulated values
-and fold them with the reduction operator, moving data from the leaves
+Binomial tree with recursive doubling: the pairings come from
+:func:`~repro.collectives.binomial.tree_stages` in the ``"doubling"``
+direction — each stage's parent *gets* its child's accumulated values
+and folds them with the reduction operator, moving data from the leaves
 toward the root.
 
 Buffers: every PE first copies its contribution into a *shared* scratch
-buffer ``s_buff`` (so partners can read it one-sidedly) and receives
-partner data into a *private* ``l_buff`` — exactly the two extra
-variables the paper introduces "to prevent any unintended overwriting of
-values on any PE".  An initial barrier orders the ``s_buff`` loads
-before the first stage's gets.
+buffer ``s`` (so partners can read it one-sidedly) and receives partner
+data into a *private* ``l`` — exactly the two extra variables the paper
+introduces "to prevent any unintended overwriting of values on any PE".
+An initial barrier orders the ``s`` loads before the first stage's gets.
 
 Note one deliberate deviation from the paper's *pseudocode*: Algorithm 2
 reads ``get(l_buff, src, ...)``, but fetching the partner's original
 ``src`` would lose the partner's accumulated subtree — the get must (and
-here does) read the partner's ``s_buff``, matching the surrounding prose
+here does) read the partner's ``s``, matching the surrounding prose
 ("reduction values ... and the aggregate results of previous
 iterations").
 
@@ -26,31 +25,40 @@ bitwise and/or/xor for the non-floating-point types (section 4.4).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import CollectiveArgumentError
-from .binomial import n_stages
+from .binomial import tree_stages
 from .common import (
-    charge_elementwise,
-    collective_span,
-    local_copy,
-    private_buffer,
     resolve_group,
-    scratch_buffers,
     span_bytes,
-    stage_span,
     validate_counts,
     validate_root,
 )
-from .ops import apply_op, check_op
-from .virtual_rank import virtual_rank
+from .ops import check_op
+from .schedule.executor import PreparedCollective, execute_schedule
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Get,
+    RankProgram,
+    Reduce,
+    Schedule,
+    Stage,
+)
+from .virtual_rank import logical_rank, virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["reduce"]
+__all__ = ["reduce", "prepare_reduce", "compile_reduce"]
+
+#: Algorithms :func:`compile_reduce` accepts.
+ALGORITHMS = ("binomial", "linear")
 
 
 def reduce(
@@ -72,6 +80,26 @@ def reduce(
     scratch one-sidedly); ``dest`` is significant only on the root and
     may be private.
     """
+    prepare_reduce(
+        ctx, dest, src, nelems, stride, root, op, dtype,
+        algorithm=algorithm, group=group,
+    ).run(ctx)
+
+
+def prepare_reduce(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    root: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    algorithm: str = "binomial",
+    group: Sequence[int] | None = None,
+) -> PreparedCollective:
+    """Validate, select and compile — everything but the execution."""
     validate_counts(nelems, stride)
     check_op(op, dtype)
     members, me = resolve_group(ctx, group)
@@ -89,92 +117,141 @@ def reduce(
             "reduce", nelems * dtype.itemsize, n_pes,
             ctx.machine.config.topology,
         )
-    if me == root:
-        ctx.machine.stats.collective_calls[f"reduce:{op}:{algorithm}"] += 1
-    with collective_span(ctx, "reduce", members, algorithm=algorithm,
-                         root=root, op=op, nelems=nelems, dtype=str(dtype)):
-        if algorithm == "binomial":
-            _binomial(ctx, dest, src, nelems, stride, root, op, dtype,
-                      members, me)
-        elif algorithm == "linear":
-            _linear(ctx, dest, src, nelems, stride, root, op, dtype,
-                    members, me)
-        elif algorithm == "hierarchical":
-            from .hierarchy import reduce_hierarchical
+    attrs = dict(algorithm=algorithm, root=root, op=op, nelems=nelems,
+                 dtype=str(dtype))
+    if algorithm == "hierarchical":
+        from .hierarchy import reduce_hierarchical
 
-            reduce_hierarchical(ctx, dest, src, nelems, stride, root, op,
-                                dtype, group=group)
-        else:
-            raise CollectiveArgumentError(
-                f"unknown reduce algorithm {algorithm!r}"
-            )
+        return PreparedCollective(
+            name="reduce", members=members, me=me, dtype=dtype, attrs=attrs,
+            stats_key=f"reduce:{op}:hierarchical", stats_rank=root,
+            body=lambda c: reduce_hierarchical(
+                c, dest, src, nelems, stride, root, op, dtype, group=group),
+        )
+    sched = compile_reduce(n_pes, root, nelems, stride, dtype.itemsize, op,
+                           algorithm=algorithm)
+    return PreparedCollective(
+        name="reduce", members=members, me=me, dtype=dtype, attrs=attrs,
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key=f"reduce:{op}:{algorithm}", stats_rank=root,
+    )
 
 
-def _binomial(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
-              root: int, op: str, dtype: np.dtype,
-              members: tuple[int, ...], me: int) -> None:
-    n_pes = len(members)
-    vir_rank = virtual_rank(me, root, n_pes)
+def run_binomial(ctx: "XBRTime", dest: int, src: int, nelems: int,
+                 stride: int, root: int, op: str, dtype: np.dtype,
+                 members: tuple[int, ...], me: int) -> None:
+    """Execute the binomial tree as a bare sub-schedule (no outer span).
+
+    The hierarchical two-level reduction composes compiled trees inside
+    its own ``reduce.intra``/``reduce.inter`` spans.
+    """
+    sched = compile_reduce(len(members), root, nelems, stride,
+                           dtype.itemsize, op)
+    execute_schedule(ctx, sched, tuple(members), me,
+                     {"dest": dest, "src": src}, dtype)
+
+
+def compile_reduce(n_pes: int, root: int, nelems: int, stride: int,
+                   itemsize: int, op: str, *,
+                   algorithm: str = "binomial") -> Schedule:
+    """Compile one reduce call shape into a schedule (pure, cached)."""
+    if algorithm == "binomial":
+        return _compile_binomial(n_pes, root, nelems, stride, itemsize, op)
+    if algorithm == "linear":
+        return _compile_linear(n_pes, root, nelems, stride, itemsize, op)
+    raise CollectiveArgumentError(f"unknown reduce algorithm {algorithm!r}")
+
+
+def _degenerate(n_pes: int, root: int, nelems: int, stride: int,
+                itemsize: int, op: str, algorithm: str) -> Schedule:
+    """1 PE or empty payload: the root copies src→dest, everyone syncs."""
+    nbytes = span_bytes(nelems, stride, itemsize)
+    programs = []
+    for r in range(n_pes):
+        prologue: list = []
+        if r == root:
+            prologue.append(Copy("dest", 0, "src", 0, nelems, stride))
+        prologue.append(BARRIER)
+        programs.append(RankProgram(r, tuple(prologue)))
+    return Schedule(
+        collective="reduce", algorithm=algorithm, n_pes=n_pes,
+        itemsize=itemsize, root=root, op=op,
+        buffers=(Buffer("dest", "user", nbytes, ranks=(root,)),
+                 Buffer("src", "user", nbytes)),
+        programs=tuple(programs),
+        deliver=((root, "dest", 0, nbytes),) if nbytes else (),
+    )
+
+
+@lru_cache(maxsize=512)
+def _compile_binomial(n_pes: int, root: int, nelems: int, stride: int,
+                      itemsize: int, op: str) -> Schedule:
     if nelems == 0 or n_pes == 1:
-        if me == root:
-            local_copy(ctx, dest, src, nelems, stride, dtype)
-        ctx.barrier_team(members)
-        return
-    eb = dtype.itemsize
-    nbytes = span_bytes(nelems, stride, eb)
-    with scratch_buffers(ctx, nbytes) as (s_buff,), \
-            private_buffer(ctx, nbytes) as l_buff:
-        # Load the shared buffer with this PE's contribution.
-        local_copy(ctx, s_buff, src, nelems, stride, dtype)
-        s_view = ctx.view(s_buff, dtype, nelems, stride)
-        l_view = ctx.view(l_buff, dtype, nelems, stride)
-        # Order every s_buff load before the first stage's one-sided gets.
-        ctx.barrier_team(members)
-        k = n_stages(n_pes)
-        mask = (1 << k) - 1
-        for i in range(k):
-            with stage_span(ctx, i):
-                mask ^= 1 << i
-                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
-                    vir_part = (vir_rank ^ (1 << i)) % n_pes
-                    log_part = (vir_part + root) % n_pes
-                    if vir_rank < vir_part:
-                        # Pull the partner's accumulated values (see
-                        # module note).
-                        ctx.get(l_buff, s_buff, nelems, stride,
-                                members[log_part], dtype)
-                        apply_op(op, s_view, l_view)
-                        charge_elementwise(ctx, nelems)
-                ctx.barrier_team(members)
-        if vir_rank == 0:
-            local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+        return _degenerate(n_pes, root, nelems, stride, itemsize, op,
+                           "binomial")
+    nbytes = span_bytes(nelems, stride, itemsize)
+    stages_pairs = tree_stages(n_pes, "doubling")
+    programs = []
+    for r in range(n_pes):
+        vir = virtual_rank(r, root, n_pes)
+        # Load the shared buffer, then order every load before the first
+        # stage's one-sided gets.
+        prologue = (Copy("s", 0, "src", 0, nelems, stride), BARRIER)
+        stages = []
+        for i, pairs in enumerate(stages_pairs):
+            steps: list = []
+            for child, parent in pairs:
+                if parent == vir:
+                    # Pull the child's *accumulated* values (see module
+                    # note) and fold them in.
+                    steps.append(Get("l", 0, "s", 0, nelems, stride,
+                                     logical_rank(child, root, n_pes)))
+                    steps.append(Reduce("s", 0, "l", 0, nelems, stride,
+                                        nelems))
+            steps.append(BARRIER)
+            stages.append(Stage(i, tuple(steps)))
+        epilogue = (Copy("dest", 0, "s", 0, nelems, stride),) if vir == 0 \
+            else ()
+        programs.append(RankProgram(r, prologue, tuple(stages), epilogue))
+    return Schedule(
+        collective="reduce", algorithm="binomial", n_pes=n_pes,
+        itemsize=itemsize, root=root, op=op,
+        buffers=(Buffer("dest", "user", nbytes, ranks=(root,)),
+                 Buffer("src", "user", nbytes),
+                 Buffer("s", "scratch", nbytes, symmetric=True),
+                 Buffer("l", "private", nbytes)),
+        programs=tuple(programs),
+        deliver=((root, "dest", 0, nbytes),),
+    )
 
 
-def _linear(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,
-            root: int, op: str, dtype: np.dtype,
-            members: tuple[int, ...], me: int) -> None:
+@lru_cache(maxsize=512)
+def _compile_linear(n_pes: int, root: int, nelems: int, stride: int,
+                    itemsize: int, op: str) -> Schedule:
     """Flat algorithm: the root gets and folds every PE's values."""
-    n_pes = len(members)
     if nelems == 0 or n_pes == 1:
-        if me == root:
-            local_copy(ctx, dest, src, nelems, stride, dtype)
-        ctx.barrier_team(members)
-        return
-    eb = dtype.itemsize
-    nbytes = span_bytes(nelems, stride, eb)
-    with scratch_buffers(ctx, nbytes) as (s_buff,):
-        local_copy(ctx, s_buff, src, nelems, stride, dtype)
-        ctx.barrier_team(members)
-        if me == root:
-            with private_buffer(ctx, nbytes) as l_buff:
-                acc = ctx.view(s_buff, dtype, nelems, stride)
-                l_view = ctx.view(l_buff, dtype, nelems, stride)
-                for other in range(n_pes):
-                    if other == root:
-                        continue
-                    ctx.get(l_buff, s_buff, nelems, stride, members[other],
-                            dtype)
-                    apply_op(op, acc, l_view)
-                    charge_elementwise(ctx, nelems)
-                local_copy(ctx, dest, s_buff, nelems, stride, dtype)
-        ctx.barrier_team(members)
+        return _degenerate(n_pes, root, nelems, stride, itemsize, op,
+                           "linear")
+    nbytes = span_bytes(nelems, stride, itemsize)
+    programs = []
+    for r in range(n_pes):
+        prologue: list = [Copy("s", 0, "src", 0, nelems, stride), BARRIER]
+        if r == root:
+            for other in range(n_pes):
+                if other == root:
+                    continue
+                prologue.append(Get("l", 0, "s", 0, nelems, stride, other))
+                prologue.append(Reduce("s", 0, "l", 0, nelems, stride,
+                                       nelems))
+            prologue.append(Copy("dest", 0, "s", 0, nelems, stride))
+        programs.append(RankProgram(r, tuple(prologue), (), (BARRIER,)))
+    return Schedule(
+        collective="reduce", algorithm="linear", n_pes=n_pes,
+        itemsize=itemsize, root=root, op=op,
+        buffers=(Buffer("dest", "user", nbytes, ranks=(root,)),
+                 Buffer("src", "user", nbytes),
+                 Buffer("s", "scratch", nbytes, symmetric=True),
+                 Buffer("l", "private", nbytes, ranks=(root,))),
+        programs=tuple(programs),
+        deliver=((root, "dest", 0, nbytes),),
+    )

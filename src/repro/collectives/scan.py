@@ -1,11 +1,12 @@
-"""Parallel prefix scan over the one-sided runtime.
+"""Parallel prefix scan over the one-sided runtime, compiled.
 
 A natural companion to the paper's section 7 collective wish-list: the
 Hillis-Steele inclusive scan in ⌈log₂N⌉ one-sided stages.  At stage
 ``i`` every PE with rank ≥ 2^i *gets* the running value of the PE
-2^i to its left and folds it; double buffering plus a barrier per
-stage gives the same one-sided-read safety as
-:mod:`~repro.collectives.allreduce`.
+2^i to its left (the partner arithmetic lives in
+:func:`~repro.collectives.virtual_rank.hillis_steele_partner`) and
+folds it; double buffering plus a barrier per stage gives the same
+one-sided-read safety as :mod:`~repro.collectives.allreduce`.
 
 Both inclusive and exclusive variants are provided (exclusive shifts
 the inclusive result by one rank, with the operator identity at rank
@@ -15,6 +16,7 @@ i.e. all of them except float bitwise, which are rejected anyway).
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -22,20 +24,29 @@ import numpy as np
 from ..errors import CollectiveArgumentError
 from .binomial import n_stages
 from .common import (
-    charge_elementwise,
-    collective_span,
-    local_copy,
     resolve_group,
     span_bytes,
-    stage_span,
     validate_counts,
 )
-from .ops import apply_op, check_op, identity_of
+from .ops import check_op
+from .schedule.executor import PreparedCollective
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Fill,
+    Get,
+    RankProgram,
+    Reduce,
+    Schedule,
+    Stage,
+)
+from .virtual_rank import hillis_steele_partner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["scan"]
+__all__ = ["scan", "prepare_scan", "compile_scan"]
 
 
 def scan(
@@ -53,64 +64,92 @@ def scan(
     """Prefix scan: PE k ends with ``src_0 OP src_1 OP ... OP src_k``
     (inclusive) or ``... OP src_{k-1}`` (exclusive; identity on PE 0)
     at its local ``dest``."""
+    prepare_scan(ctx, dest, src, nelems, stride, op, dtype,
+                 inclusive=inclusive, group=group).run(ctx)
+
+
+def prepare_scan(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    nelems: int,
+    stride: int,
+    op: str,
+    dtype: np.dtype,
+    *,
+    inclusive: bool = True,
+    group: Sequence[int] | None = None,
+) -> PreparedCollective:
+    """Validate and compile — everything but the execution."""
     validate_counts(nelems, stride)
     check_op(op, dtype)
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     if n_pes > 1 and not ctx.is_symmetric(src):
         raise CollectiveArgumentError("scan src must be a symmetric address")
-    if me == 0:
-        kind = "inclusive" if inclusive else "exclusive"
-        ctx.machine.stats.collective_calls[f"scan:{kind}"] += 1
-    with collective_span(ctx, "scan", members, inclusive=inclusive, op=op,
-                         nelems=nelems, dtype=str(dtype)):
-        _hillis_steele(ctx, dest, src, nelems, stride, op, dtype, inclusive,
-                       members, me)
+    kind = "inclusive" if inclusive else "exclusive"
+    sched = compile_scan(n_pes, nelems, stride, dtype.itemsize, op,
+                         inclusive)
+    return PreparedCollective(
+        name="scan", members=members, me=me, dtype=dtype,
+        attrs=dict(inclusive=inclusive, op=op, nelems=nelems,
+                   dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key=f"scan:{kind}", stats_rank=0,
+    )
 
 
-def _hillis_steele(ctx: "XBRTime", dest: int, src: int, nelems: int,
-                   stride: int, op: str, dtype: np.dtype, inclusive: bool,
-                   members: tuple[int, ...], me: int) -> None:
-    n_pes = len(members)
+@lru_cache(maxsize=512)
+def compile_scan(n_pes: int, nelems: int, stride: int, itemsize: int,
+                 op: str, inclusive: bool) -> Schedule:
+    """Compile one scan call shape into a schedule (pure, cached)."""
+    algorithm = "hillis-steele"
+    nbytes = span_bytes(nelems, stride, itemsize)
     if nelems == 0:
-        ctx.barrier_team(members)
-        return
-    eb = dtype.itemsize
-    nbytes = span_bytes(nelems, stride, eb)
-    buf_a = ctx.scratch_alloc(nbytes)
-    buf_b = ctx.scratch_alloc(nbytes)
-    l_buf = ctx.private_malloc(nbytes)
-    view_a = ctx.view(buf_a, dtype, nelems, stride)
-    view_b = ctx.view(buf_b, dtype, nelems, stride)
-    l_view = ctx.view(l_buf, dtype, nelems, stride)
-    local_copy(ctx, buf_a, src, nelems, stride, dtype)
-    cur_addr, nxt_addr = buf_a, buf_b
-    cur_view, nxt_view = view_a, view_b
-    ctx.barrier_team(members)
-    for i in range(n_stages(n_pes)):
-        with stage_span(ctx, i):
-            left = me - (1 << i)
-            nxt_view[:] = cur_view
-            if left >= 0:
-                ctx.get(l_buf, cur_addr, nelems, stride, members[left],
-                        dtype)
-                apply_op(op, nxt_view, l_view)
-                charge_elementwise(ctx, 2 * nelems)
-            cur_addr, nxt_addr = nxt_addr, cur_addr
-            cur_view, nxt_view = nxt_view, cur_view
-            ctx.barrier_team(members)
-    if inclusive:
-        local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
-    else:
-        # Shift right by one rank: fetch the inclusive result of the
-        # left neighbour; rank 0 takes the operator identity.
-        dview = ctx.view(dest, dtype, nelems, stride)
-        if me == 0:
-            dview[:] = identity_of(op, dtype)
-            ctx.charge_stream(dest, nbytes, write=True)
+        return Schedule(
+            collective="scan", algorithm=algorithm, n_pes=n_pes,
+            itemsize=itemsize, op=op,
+            buffers=(Buffer("dest", "user", nbytes),
+                     Buffer("src", "user", nbytes)),
+            programs=tuple(RankProgram(r, (BARRIER,))
+                           for r in range(n_pes)),
+        )
+    k = n_stages(n_pes)
+    programs = []
+    for r in range(n_pes):
+        prologue = (Copy("a", 0, "src", 0, nelems, stride), BARRIER)
+        stages = []
+        for i in range(k):
+            cur, nxt = ("a", "b") if i % 2 == 0 else ("b", "a")
+            # Carry the running value forward unconditionally, then fold
+            # in the left partner's (if this rank has one this stage).
+            steps: list = [Copy(nxt, 0, cur, 0, nelems, stride,
+                                charged=False)]
+            left = hillis_steele_partner(r, i)
+            if left is not None:
+                steps.append(Get("l", 0, cur, 0, nelems, stride, left))
+                steps.append(Reduce(nxt, 0, "l", 0, nelems, stride,
+                                    2 * nelems))
+            steps.append(BARRIER)
+            stages.append(Stage(i, tuple(steps)))
+        final = "a" if k % 2 == 0 else "b"
+        if inclusive:
+            epilogue: tuple = (Copy("dest", 0, final, 0, nelems, stride),)
+        elif r == 0:
+            # Shift right by one rank: rank 0 takes the operator identity.
+            epilogue = (Fill("dest", 0, nelems, stride), BARRIER)
         else:
-            ctx.get(dest, cur_addr, nelems, stride, members[me - 1], dtype)
-        ctx.barrier_team(members)
-    ctx.private_free(l_buf)
-    ctx.scratch_free(buf_b)
-    ctx.scratch_free(buf_a)
+            epilogue = (Get("dest", 0, final, 0, nelems, stride, r - 1),
+                        BARRIER)
+        programs.append(RankProgram(r, prologue, tuple(stages), epilogue))
+    return Schedule(
+        collective="scan", algorithm=algorithm, n_pes=n_pes,
+        itemsize=itemsize, op=op,
+        buffers=(Buffer("dest", "user", nbytes),
+                 Buffer("src", "user", nbytes),
+                 Buffer("a", "scratch", nbytes, symmetric=True),
+                 Buffer("b", "scratch", nbytes, symmetric=True),
+                 Buffer("l", "private", nbytes)),
+        programs=tuple(programs),
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes)),
+    )

@@ -1,8 +1,10 @@
-"""Scatter (paper section 4.5, Algorithm 3).
+"""Scatter (paper section 4.5, Algorithm 3), compiled to a schedule.
 
 Distributes a *distinct* segment of the root's data to every PE, with
 per-PE element counts (``pe_msgs``) and displacements into ``src``
-(``pe_disp``) — more general than a fixed-size scatter.
+(``pe_disp``) — more general than a fixed-size scatter.  Zero-count PEs
+are fully supported: they receive nothing and contribute no message,
+but still participate in every stage barrier.
 
 Two complications the paper works through:
 
@@ -15,31 +17,38 @@ Two complications the paper works through:
   adjusted displacements ``adj_disp``, guaranteeing every stage needs
   exactly one contiguous ``put``.
 
-The tree walk itself (mask direction, partner selection, barrier per
-stage) is identical to broadcast's recursive halving.
+The tree walk itself (stage order, partner selection, barrier per
+stage) is identical to broadcast's recursive halving and comes from the
+same :func:`~repro.collectives.binomial.tree_stages` oracle.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from ..errors import CollectiveArgumentError
-from .binomial import n_stages
-from .common import (
-    collective_span,
-    resolve_group,
-    scratch_buffers,
-    stage_span,
-    validate_root,
+from .binomial import n_stages, tree_stages
+from .common import resolve_group, validate_root
+from .schedule.executor import PreparedCollective
+from .schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Put,
+    RankProgram,
+    Schedule,
+    Stage,
 )
-from .virtual_rank import virtual_rank
+from .virtual_rank import logical_rank, virtual_rank
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["scatter", "adjusted_displacements"]
+__all__ = ["scatter", "prepare_scatter", "compile_scatter",
+           "adjusted_displacements"]
 
 
 def adjusted_displacements(
@@ -86,61 +95,121 @@ def scatter(
     group: Sequence[int] | None = None,
 ) -> None:
     """``xbrtime_TYPE_scatter(dest, src, pe_msgs, pe_disp, nelems, root)``."""
+    prepare_scatter(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                    group=group).run(ctx)
+
+
+def prepare_scatter(
+    ctx: "XBRTime",
+    dest: int,
+    src: int,
+    pe_msgs: Sequence[int],
+    pe_disp: Sequence[int],
+    nelems: int,
+    root: int,
+    dtype: np.dtype,
+    *,
+    group: Sequence[int] | None = None,
+) -> PreparedCollective:
+    """Validate and compile — everything but the execution."""
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     validate_root(root, n_pes)
     _validate(pe_msgs, pe_disp, nelems, n_pes, "scatter")
-    if me == root:
-        ctx.machine.stats.collective_calls["scatter:binomial"] += 1
-    with collective_span(ctx, "scatter", members, root=root, nelems=nelems,
-                         dtype=str(dtype)):
-        _binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
-                  members, me)
+    sched = compile_scatter(n_pes, root, tuple(pe_msgs), tuple(pe_disp),
+                            nelems, dtype.itemsize)
+    return PreparedCollective(
+        name="scatter", members=members, me=me, dtype=dtype,
+        attrs=dict(root=root, nelems=nelems, dtype=str(dtype)),
+        schedule=sched, bindings={"dest": dest, "src": src},
+        stats_key="scatter:binomial", stats_rank=root,
+    )
 
 
-def _binomial(ctx: "XBRTime", dest: int, src: int, pe_msgs: Sequence[int],
-              pe_disp: Sequence[int], nelems: int, root: int,
-              dtype: np.dtype, members: tuple[int, ...], me: int) -> None:
-    n_pes = len(members)
-    vir_rank = virtual_rank(me, root, n_pes)
-    eb = dtype.itemsize
-    my_count = pe_msgs[me]
+def _io_buffers(n_pes: int, root: int, counts: tuple[int, ...],
+                disps: tuple[int, ...], itemsize: int,
+                root_side: str) -> tuple[Buffer, Buffer]:
+    """The per-rank ``dest`` extents and the root's strided buffer.
+
+    ``root_side`` names which of dest/src carries the displaced layout
+    on the root (``"src"`` for scatter, ``"dest"`` for gather).
+    """
+    per_rank = tuple(c * itemsize for c in counts)
+    extent = max((d + c) for d, c in zip(disps, counts)) * itemsize \
+        if any(counts) else 0
+    flat = Buffer("dest" if root_side == "src" else "src", "user", per_rank)
+    rooted = Buffer(root_side, "user", extent, ranks=(root,))
+    return (flat, rooted) if root_side == "src" else (rooted, flat)
+
+
+@lru_cache(maxsize=256)
+def compile_scatter(n_pes: int, root: int, counts: tuple[int, ...],
+                    disps: tuple[int, ...], nelems: int,
+                    itemsize: int) -> Schedule:
+    """Compile one scatter call shape into a schedule (pure, cached)."""
+    eb = itemsize
+    dest_buf, src_buf = _io_buffers(n_pes, root, counts, disps, eb, "src")
+    deliver = tuple((r, "dest", 0, counts[r] * eb) for r in range(n_pes)
+                    if counts[r])
     if nelems == 0:
-        ctx.barrier_team(members)
-        return
+        return Schedule(
+            collective="scatter", algorithm="binomial", n_pes=n_pes,
+            itemsize=eb, root=root, buffers=(dest_buf, src_buf),
+            programs=tuple(RankProgram(r, (BARRIER,))
+                           for r in range(n_pes)),
+        )
     if n_pes == 1:
-        if my_count:
-            ctx.put(dest, src + pe_disp[me] * eb, my_count, 1, ctx.rank, dtype)
-        ctx.barrier_team(members)
-        return
-    adj = adjusted_displacements(pe_msgs, root)
-    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
-        if vir_rank == 0:
+        steps: list = []
+        if counts[0]:
+            steps.append(Copy("dest", 0, "src", disps[0] * eb, counts[0], 1,
+                              skip_noop=False))
+        steps.append(BARRIER)
+        return Schedule(
+            collective="scatter", algorithm="binomial", n_pes=n_pes,
+            itemsize=eb, root=root, buffers=(dest_buf, src_buf),
+            programs=(RankProgram(0, tuple(steps)),), deliver=deliver,
+        )
+    adj = adjusted_displacements(counts, root)
+    k = n_stages(n_pes)
+    stages_pairs = tree_stages(n_pes, "halving")
+    programs = []
+    for r in range(n_pes):
+        vir = virtual_rank(r, root, n_pes)
+        prologue: list = []
+        if vir == 0:
             # Reorder src by virtual rank so every subtree is contiguous.
-            for vir in range(n_pes):
-                log = (vir + root) % n_pes
-                cnt = pe_msgs[log]
+            for v in range(n_pes):
+                log = logical_rank(v, root, n_pes)
+                cnt = counts[log]
                 if cnt:
-                    ctx.put(s_buff + adj[vir] * eb, src + pe_disp[log] * eb,
-                            cnt, 1, ctx.rank, dtype)
-        k = n_stages(n_pes)
-        mask = (1 << k) - 1
-        for ordinal, i in enumerate(range(k - 1, -1, -1)):
-            with stage_span(ctx, ordinal):
-                mask ^= 1 << i
-                if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
-                    vir_part = (vir_rank ^ (1 << i)) % n_pes
-                    log_part = (vir_part + root) % n_pes
-                    if vir_rank < vir_part:
-                        # The partner's segment plus those of its
-                        # children.
-                        end = min(vir_part + (1 << i), n_pes)
-                        msg_size = adj[end] - adj[vir_part]
-                        if msg_size:
-                            off = s_buff + adj[vir_part] * eb
-                            ctx.put(off, off, msg_size, 1, members[log_part],
-                                    dtype)
-                ctx.barrier_team(members)
-        if my_count:
-            ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
-                    dtype)
+                    prologue.append(Copy("s", adj[v] * eb, "src",
+                                         disps[log] * eb, cnt, 1,
+                                         skip_noop=False))
+        stages = []
+        for ordinal, pairs in enumerate(stages_pairs):
+            i = k - 1 - ordinal  # the tree bit this stage halves over
+            steps = []
+            for frm, to in pairs:
+                if frm == vir:
+                    # The partner's segment plus those of its children.
+                    end = min(to + (1 << i), n_pes)
+                    msg_size = adj[end] - adj[to]
+                    if msg_size:
+                        steps.append(Put("s", adj[to] * eb, "s",
+                                         adj[to] * eb, msg_size, 1,
+                                         logical_rank(to, root, n_pes)))
+            steps.append(BARRIER)
+            stages.append(Stage(ordinal, tuple(steps)))
+        epilogue: tuple = ()
+        if counts[r]:
+            epilogue = (Copy("dest", 0, "s", adj[vir] * eb, counts[r], 1,
+                             skip_noop=False),)
+        programs.append(RankProgram(r, tuple(prologue), tuple(stages),
+                                    epilogue))
+    return Schedule(
+        collective="scatter", algorithm="binomial", n_pes=n_pes,
+        itemsize=eb, root=root,
+        buffers=(dest_buf, src_buf,
+                 Buffer("s", "scratch", nelems * eb, symmetric=True)),
+        programs=tuple(programs), deliver=deliver,
+    )

@@ -1,0 +1,51 @@
+"""Lint every builtin schedule: ``python -m repro.collectives.schedule``.
+
+Compiles every ``(collective, algorithm)`` pair in the registry across
+1–16 PEs (degenerate, uniform and ragged call shapes) and runs the
+static linter over each schedule.  Exits non-zero if any schedule has a
+lint issue — CI runs this as the ``schedule-lint`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .lint import lint_schedule
+from .registry import builtin_schedules
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.collectives.schedule",
+        description="statically lint every builtin collective schedule",
+    )
+    parser.add_argument("--max-pes", type=int, default=16,
+                        help="largest PE count to compile (default 16)")
+    parser.add_argument("--nelems", type=int, default=12,
+                        help="elements per PE for non-degenerate shapes")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="print every schedule checked, not just totals")
+    args = parser.parse_args(argv)
+
+    checked = 0
+    failures = 0
+    for label, sched in builtin_schedules(
+            pe_counts=tuple(range(1, args.max_pes + 1)), nelems=args.nelems):
+        issues = lint_schedule(sched)
+        checked += 1
+        if issues:
+            failures += 1
+            print(f"FAIL {label}")
+            for issue in issues:
+                print(f"  {issue}")
+        elif args.verbose:
+            print(f"ok   {label}")
+    status = "FAILED" if failures else "clean"
+    print(f"schedule-lint: {checked} schedules checked, "
+          f"{failures} with issues ({status})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

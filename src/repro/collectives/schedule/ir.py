@@ -1,0 +1,248 @@
+"""IR nodes for compiled collective schedules.
+
+A :class:`Schedule` is a pure, immutable description of one collective
+call: which buffers it touches and, for every group rank, which
+primitive steps it performs in which barrier-delimited stage.  All
+nodes are frozen dataclasses built from hashable scalars and tuples, so
+schedules can be cached (``lru_cache``), compared and linted without a
+runtime context.
+
+Addressing is symbolic: steps name buffers (see :class:`Buffer`) plus a
+**byte** offset; the executor binds names to concrete addresses (user
+arguments) or allocates them (scratch / private work buffers).  Ranks
+are group-relative — the executor maps them through the member tuple,
+exactly like the legacy tree walks mapped ``log_part`` through
+``members``.
+
+Step semantics (mirroring the legacy inline code they replaced):
+
+* :class:`Put` / :class:`Get` — one-sided strided transfer to/from
+  ``peer`` (never self; local movement is :class:`Copy`).
+* :class:`Copy` — local strided copy.  ``charged=True`` costs like a
+  put-to-self; ``skip_noop=True`` adds the ``local_copy`` guard (no-op
+  when empty or src == dst).  ``charged=False`` is the raw
+  ``view[:] = view`` used by double-buffered algorithms (simulator
+  cost-free by design — the charge is folded into the Reduce that
+  follows).
+* :class:`Reduce` — fold ``operand`` into ``acc`` with the schedule's
+  operator and charge ``charge_elems`` elements of ALU work.
+* :class:`Fill` — write the operator identity (exclusive-scan rank 0).
+* :class:`Barrier` — team barrier over the whole group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+__all__ = [
+    "Buffer",
+    "Put",
+    "Get",
+    "Copy",
+    "Reduce",
+    "Fill",
+    "Barrier",
+    "BARRIER",
+    "Step",
+    "Stage",
+    "RankProgram",
+    "Schedule",
+    "step_span_bytes",
+]
+
+
+def step_span_bytes(nelems: int, stride: int, itemsize: int) -> int:
+    """Bytes spanned by a strided step access (0 when empty)."""
+    if nelems == 0:
+        return 0
+    return ((nelems - 1) * stride + 1) * itemsize
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One named buffer of a schedule.
+
+    ``kind`` is ``"user"`` (bound to a caller-supplied address),
+    ``"scratch"`` (symmetric scratch, allocated by every rank so the
+    position-dependent addresses match) or ``"private"`` (local work
+    memory).  ``nbytes`` is the extent the schedule may access — an int,
+    or a per-rank tuple for user buffers whose contract varies by rank
+    (e.g. scatter's ``dest`` holds only that rank's segment).  ``ranks``
+    restricts which group ranks hold the buffer (``None`` = all); only
+    ``private``/``user`` buffers may be restricted.
+    """
+
+    name: str
+    kind: str  # "user" | "scratch" | "private"
+    nbytes: Union[int, tuple]
+    symmetric: bool = False
+    ranks: tuple = None  # type: ignore[assignment]
+
+    def nbytes_on(self, rank: int) -> int:
+        return self.nbytes[rank] if isinstance(self.nbytes, tuple) else self.nbytes
+
+    def held_by(self, rank: int) -> bool:
+        return self.ranks is None or rank in self.ranks
+
+
+@dataclass(frozen=True)
+class Put:
+    """One-sided strided put: write ``peer``'s ``dst`` from local ``src``."""
+
+    kind = "put"
+    dst: str
+    dst_off: int
+    src: str
+    src_off: int
+    nelems: int
+    stride: int
+    peer: int
+
+
+@dataclass(frozen=True)
+class Get:
+    """One-sided strided get: read ``peer``'s ``src`` into local ``dst``."""
+
+    kind = "get"
+    dst: str
+    dst_off: int
+    src: str
+    src_off: int
+    nelems: int
+    stride: int
+    peer: int
+
+
+@dataclass(frozen=True)
+class Copy:
+    """Local strided copy (see module docstring for the two flags)."""
+
+    kind = "copy"
+    dst: str
+    dst_off: int
+    src: str
+    src_off: int
+    nelems: int
+    stride: int
+    charged: bool = True
+    skip_noop: bool = True
+
+
+@dataclass(frozen=True)
+class Reduce:
+    """``acc = acc OP operand`` elementwise + ``charge_elems`` ALU charge."""
+
+    kind = "reduce"
+    acc: str
+    acc_off: int
+    operand: str
+    operand_off: int
+    nelems: int
+    stride: int
+    charge_elems: int
+
+
+@dataclass(frozen=True)
+class Fill:
+    """Write the reduction operator's identity element into ``dst``."""
+
+    kind = "fill"
+    dst: str
+    dst_off: int
+    nelems: int
+    stride: int
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Team barrier over the full group."""
+
+    kind = "barrier"
+
+
+#: Shared barrier instance (the node is stateless).
+BARRIER = Barrier()
+
+Step = Union[Put, Get, Copy, Reduce, Fill, Barrier]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One tree stage: its steps run inside a ``stage`` span.
+
+    ``index`` and ``attrs`` feed the span tagging
+    (:func:`repro.collectives.common.stage_span`), so metrics fold
+    per-stage message counts exactly as they did for the inline walks.
+    """
+
+    index: int
+    steps: tuple
+    attrs: tuple = ()
+
+    def span_attrs(self) -> dict:
+        return dict(self.attrs)
+
+
+@dataclass(frozen=True)
+class RankProgram:
+    """Everything one group rank does: prologue, staged steps, epilogue.
+
+    Prologue/epilogue steps run outside any stage span (entry barriers,
+    staging copies, final reorders — the metrics layer counts their
+    barriers as ``entry_barriers`` and their remote ops as
+    ``extra_messages``, matching the legacy shape).
+    """
+
+    rank: int
+    prologue: tuple = ()
+    stages: tuple = ()
+    epilogue: tuple = ()
+
+    def all_steps(self) -> Iterator[Step]:
+        yield from self.prologue
+        for stage in self.stages:
+            yield from stage.steps
+        yield from self.epilogue
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A compiled collective: buffers + one :class:`RankProgram` per rank.
+
+    ``deliver`` declares the byte ranges the collective contracts to
+    write — tuples ``(rank, buffer, lo, hi)`` — which the linter checks
+    are covered by the union of local and incoming remote writes (the
+    data-conservation pass).
+    """
+
+    collective: str
+    algorithm: str
+    n_pes: int
+    itemsize: int
+    root: int = None  # type: ignore[assignment]
+    op: str = None  # type: ignore[assignment]
+    buffers: tuple = ()
+    programs: tuple = ()
+    deliver: tuple = ()
+
+    def program(self, rank: int) -> RankProgram:
+        prog = self.programs[rank]
+        assert prog.rank == rank
+        return prog
+
+    def buffer(self, name: str) -> Buffer:
+        for buf in self.buffers:
+            if buf.name == name:
+                return buf
+        raise KeyError(name)
+
+    def n_stage_spans(self, rank: int = 0) -> int:
+        return len(self.programs[rank].stages)
+
+    def describe(self) -> str:
+        """One-line human summary (used by the lint CLI)."""
+        return (
+            f"{self.collective}:{self.algorithm} n_pes={self.n_pes} "
+            f"root={self.root} op={self.op} stages={self.n_stage_spans()}"
+        )

@@ -1,0 +1,135 @@
+"""Enumeration of every builtin schedule compiler, for the linter.
+
+Each collective front-end compiles calls through a pure, cached
+``compile_*`` function; this module knows them all and can instantiate
+representative call shapes for each ``(collective, algorithm)`` pair at
+a range of PE counts.  ``python -m repro.collectives.schedule`` lints
+everything this module yields, which is also what the CI
+``schedule-lint`` job and ``tests/collectives/test_schedule_lint.py``
+run.
+
+The shapes are chosen to hit the structurally distinct paths of every
+compiler: degenerate (one PE, zero elements), power-of-two and
+non-power-of-two PE counts, non-zero roots, and — for the vector
+collectives — ragged per-PE counts including zero-count PEs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .ir import Schedule
+
+__all__ = ["BUILTIN_ALGORITHMS", "builtin_schedules"]
+
+#: Every builtin ``(collective, algorithm)`` pair with a compiler.
+BUILTIN_ALGORITHMS: tuple[tuple[str, str], ...] = (
+    ("broadcast", "binomial"),
+    ("broadcast", "linear"),
+    ("broadcast", "ring"),
+    ("reduce", "binomial"),
+    ("reduce", "linear"),
+    ("allreduce", "doubling"),
+    ("allreduce", "rabenseifner"),
+    ("allreduce", "ring"),
+    ("scan", "hillis-steele"),
+    ("scatter", "binomial"),
+    ("gather", "binomial"),
+    ("allgather", "dissemination"),
+    ("alltoall", "rotated"),
+)
+
+
+def _ragged(n_pes: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+    """A ragged counts/displacements shape with a zero-count PE."""
+    counts = tuple(0 if i == n_pes // 2 and n_pes > 1 else (i % 3) + 1
+                   for i in range(n_pes))
+    disps, off = [], 0
+    for c in counts:
+        disps.append(off)
+        off += c
+    return counts, tuple(disps), off
+
+
+def _shapes_for(collective: str, algorithm: str, n_pes: int,
+                nelems: int, itemsize: int) -> Iterator[tuple[str, Schedule]]:
+    roots = sorted({0, n_pes - 1, n_pes // 2})
+    if collective == "broadcast":
+        from ..broadcast import compile_broadcast
+
+        for root in roots:
+            for ne in (0, nelems):
+                yield (f"root={root} nelems={ne}",
+                       compile_broadcast(n_pes, root, ne, 1, itemsize,
+                                         algorithm=algorithm))
+    elif collective == "reduce":
+        from ..reduce import compile_reduce
+
+        for root in roots:
+            for ne in (0, nelems):
+                yield (f"root={root} nelems={ne}",
+                       compile_reduce(n_pes, root, ne, 1, itemsize, "sum",
+                                      algorithm=algorithm))
+    elif collective == "allreduce":
+        from ..allreduce import compile_allreduce
+
+        for ne in (0, nelems):
+            yield (f"nelems={ne}",
+                   compile_allreduce(n_pes, ne, 1, itemsize, "sum",
+                                     algorithm=algorithm))
+    elif collective == "scan":
+        from ..scan import compile_scan
+
+        for inclusive in (True, False):
+            yield (f"inclusive={inclusive}",
+                   compile_scan(n_pes, nelems, 1, itemsize, "sum", inclusive))
+    elif collective in ("scatter", "gather"):
+        from ..gather import compile_gather
+        from ..scatter import compile_scatter
+
+        compiler = compile_scatter if collective == "scatter" else \
+            compile_gather
+        uniform = tuple([nelems] * n_pes)
+        udisp = tuple(i * nelems for i in range(n_pes))
+        counts, disps, total = _ragged(n_pes)
+        for root in roots:
+            yield (f"root={root} uniform",
+                   compiler(n_pes, root, uniform, udisp, nelems * n_pes,
+                            itemsize))
+            yield (f"root={root} ragged",
+                   compiler(n_pes, root, counts, disps, total, itemsize))
+    elif collective == "allgather":
+        from ..extra import compile_allgather
+
+        uniform = tuple([nelems] * n_pes)
+        udisp = tuple(i * nelems for i in range(n_pes))
+        counts, disps, total = _ragged(n_pes)
+        yield ("uniform", compile_allgather(n_pes, uniform, udisp,
+                                            nelems * n_pes, itemsize))
+        yield ("ragged", compile_allgather(n_pes, counts, disps, total,
+                                           itemsize))
+    elif collective == "alltoall":
+        from ..extra import compile_alltoall
+
+        for ne in (0, nelems):
+            yield (f"nelems_per_pe={ne}",
+                   compile_alltoall(n_pes, ne, itemsize))
+    else:  # pragma: no cover - registry/compiler drift
+        raise ValueError(f"no shape generator for {collective!r}")
+
+
+def builtin_schedules(
+    pe_counts: Sequence[int] = tuple(range(1, 17)),
+    nelems: int = 12,
+    itemsize: int = 8,
+) -> Iterator[tuple[str, Schedule]]:
+    """Yield ``(label, schedule)`` for every builtin algorithm and shape.
+
+    Covers every :data:`BUILTIN_ALGORITHMS` pair at each PE count in
+    ``pe_counts`` with degenerate, uniform and ragged call shapes.
+    """
+    for collective, algorithm in BUILTIN_ALGORITHMS:
+        for n_pes in pe_counts:
+            for desc, sched in _shapes_for(collective, algorithm, n_pes,
+                                           nelems, itemsize):
+                yield f"{collective}:{algorithm} n_pes={n_pes} {desc}", sched

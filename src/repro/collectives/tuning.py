@@ -44,6 +44,17 @@ class SelectionPolicy:
     #: (it keeps every link busy with a different chunk).
     ring_min_bytes: int = 128 * 1024
     ring_min_pes: int = 4
+    #: Allreduce: below this payload the latency term dominates and
+    #: recursive doubling's ⌈log₂N⌉ stages win; above it the
+    #: bandwidth-optimal reduce-scatter schemes (Rabenseifner at
+    #: power-of-two PE counts, the ring elsewhere — the ring pays no
+    #: fold penalty for the ranks past the largest power of two) take
+    #: over.
+    allreduce_large_bytes: int = 32 * 1024
+    #: Allgather: the dissemination exchange beats the gather+broadcast
+    #: composition once the tree is deep enough that the root hop and
+    #: double traversal cost more than the rotated staging copies.
+    allgather_dissemination_min_pes: int = 4
 
 
 DEFAULT_POLICY = SelectionPolicy()
@@ -51,6 +62,8 @@ DEFAULT_POLICY = SelectionPolicy()
 _SUPPORTED = {
     "broadcast": ("binomial", "linear", "ring"),
     "reduce": ("binomial", "linear"),
+    "allreduce": ("doubling", "rabenseifner", "ring"),
+    "allgather": ("tree", "dissemination"),
 }
 
 
@@ -68,6 +81,16 @@ def select_algorithm(
         )
     if nbytes < 0 or n_pes <= 0:
         raise CollectiveArgumentError("nbytes/n_pes must be non-negative")
+    if op == "allreduce":
+        if n_pes <= 2 or nbytes < policy.allreduce_large_bytes:
+            return "doubling"
+        if n_pes & (n_pes - 1):  # not a power of two: ring skips the fold
+            return "ring"
+        return "rabenseifner"
+    if op == "allgather":
+        if n_pes >= policy.allgather_dissemination_min_pes:
+            return "dissemination"
+        return "tree"
     if n_pes <= policy.linear_max_pes:
         return "linear"
     if (

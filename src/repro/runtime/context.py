@@ -584,9 +584,10 @@ class XBRTime:
                   op: str = "sum", dtype: str | np.dtype = "long",
                   algorithm: str = "doubling") -> None:
         """One-sided reduction-to-all: ``"doubling"`` (latency-optimal,
-        half the stages of :meth:`reduce_all`'s composition) or
+        half the stages of :meth:`reduce_all`'s composition),
         ``"rabenseifner"`` (bandwidth-optimal reduce-scatter+allgather,
-        the paper's reference [17])."""
+        the paper's reference [17]), ``"ring"`` (bandwidth-optimal for
+        any PE count) or ``"auto"``."""
         self._require_active()
         from ..collectives.allreduce import allreduce as _ar
 
@@ -605,13 +606,19 @@ class XBRTime:
 
     def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
                   pe_disp: Sequence[int], nelems: int,
-                  dtype: str | np.dtype = "long") -> None:
-        """Gather-to-all (OpenSHMEM ``collect`` semantics)."""
+                  dtype: str | np.dtype = "long",
+                  algorithm: str = "tree") -> None:
+        """Gather-to-all (OpenSHMEM ``collect`` semantics).
+
+        ``algorithm`` is ``"tree"`` (gather+broadcast composition),
+        ``"dissemination"`` (⌈log₂N⌉-stage doubling exchange) or
+        ``"auto"``.
+        """
         self._require_active()
         from ..collectives import extra
 
         extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
-                        resolve_dtype(dtype))
+                        resolve_dtype(dtype), algorithm=algorithm)
 
     def alltoall(self, dest: int, src: int, nelems_per_pe: int,
                  dtype: str | np.dtype = "long") -> None:

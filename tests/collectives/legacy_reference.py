@@ -1,0 +1,597 @@
+"""Frozen copies of the pre-IR collective implementations.
+
+PR 4 replaced the five inline binomial-tree walks with compiled
+schedules (:mod:`repro.collectives.schedule`).  This module preserves
+the *exact* legacy code — validation, stats accounting, span structure,
+buffer discipline and tree walks — as the oracle for
+``test_schedule_equivalence.py``: the compiled path must be
+bit-identical to these functions in outputs, message counts, stage
+counts, span tags and simulated time.
+
+Everything here is a verbatim copy of the deleted implementations
+(modulo function renames); do not "fix" or modernise it — its value is
+being frozen.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.binomial import n_stages
+from repro.collectives.common import (
+    charge_elementwise,
+    collective_span,
+    local_copy,
+    private_buffer,
+    resolve_group,
+    scratch_buffers,
+    span_bytes,
+    stage_span,
+    validate_counts,
+    validate_root,
+)
+from repro.collectives.ops import apply_op, check_op, identity_of
+from repro.collectives.scatter import adjusted_displacements, _validate
+from repro.collectives.virtual_rank import virtual_rank
+
+__all__ = [
+    "legacy_broadcast",
+    "legacy_reduce",
+    "legacy_allreduce",
+    "legacy_scatter",
+    "legacy_gather",
+    "legacy_scan",
+    "legacy_alltoall",
+    "legacy_reduce_all",
+    "legacy_allgather",
+]
+
+
+# -- broadcast -------------------------------------------------------------
+
+
+def legacy_broadcast(ctx, dest, src, nelems, stride, root, dtype, *,
+                     algorithm="binomial", group=None,
+                     copy_to_root_dest=True):
+    validate_counts(nelems, stride)
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    if me == root:
+        ctx.machine.stats.collective_calls[f"broadcast:{algorithm}"] += 1
+    with collective_span(ctx, "broadcast", members, algorithm=algorithm,
+                         root=root, nelems=nelems, dtype=str(dtype)):
+        if algorithm == "binomial":
+            _bcast_binomial(ctx, dest, src, nelems, stride, root, dtype,
+                            members, me, copy_to_root_dest)
+        elif algorithm == "linear":
+            _bcast_linear(ctx, dest, src, nelems, stride, root, dtype,
+                          members, me, copy_to_root_dest)
+        elif algorithm == "ring":
+            _bcast_ring(ctx, dest, src, nelems, stride, root, dtype,
+                        members, me, copy_to_root_dest)
+        else:  # pragma: no cover - reference misuse
+            raise AssertionError(algorithm)
+
+
+def _bcast_binomial(ctx, dest, src, nelems, stride, root, dtype, members,
+                    me, copy_to_root_dest=True):
+    n_pes = len(members)
+    vir_rank = virtual_rank(me, root, n_pes)
+    ctx.barrier_team(members)
+    if me == root and copy_to_root_dest:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+    k = n_stages(n_pes)
+    mask = (1 << k) - 1
+    for ordinal, i in enumerate(range(k - 1, -1, -1)):
+        with stage_span(ctx, ordinal):
+            mask ^= 1 << i
+            if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+                vir_part = (vir_rank ^ (1 << i)) % n_pes
+                log_part = (vir_part + root) % n_pes
+                if vir_rank < vir_part:
+                    local_src = src if me == root else dest
+                    ctx.put(dest, local_src, nelems, stride,
+                            members[log_part], dtype)
+            ctx.barrier_team(members)
+
+
+def _bcast_linear(ctx, dest, src, nelems, stride, root, dtype, members, me,
+                  copy_to_root_dest=True):
+    ctx.barrier_team(members)
+    if me == root:
+        if copy_to_root_dest:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        for other in range(len(members)):
+            if other != root:
+                ctx.put(dest, src, nelems, stride, members[other], dtype)
+    ctx.barrier_team(members)
+
+
+_RING_CHUNKS = 8
+
+
+def _bcast_ring(ctx, dest, src, nelems, stride, root, dtype, members, me,
+                copy_to_root_dest=True):
+    n_pes = len(members)
+    ctx.barrier_team(members)
+    if me == root and copy_to_root_dest:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+    if n_pes == 1 or nelems == 0:
+        ctx.barrier_team(members)
+        return
+    chunks = min(_RING_CHUNKS, nelems)
+    bounds = [nelems * c // chunks for c in range(chunks + 1)]
+    eb = dtype.itemsize
+    pos = (me - root) % n_pes
+    nxt = members[(me + 1) % n_pes]
+    for step in range(n_pes - 1 + chunks - 1):
+        with stage_span(ctx, step):
+            c = step - pos
+            if 0 <= c < chunks and pos < n_pes - 1:
+                lo, hi = bounds[c], bounds[c + 1]
+                if hi > lo:
+                    off = lo * stride * eb
+                    local_src = src if me == root else dest
+                    ctx.put(dest + off, local_src + off, hi - lo, stride,
+                            nxt, dtype)
+            ctx.barrier_team(members)
+
+
+# -- reduce ----------------------------------------------------------------
+
+
+def legacy_reduce(ctx, dest, src, nelems, stride, root, op, dtype, *,
+                  algorithm="binomial", group=None):
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    if me == root:
+        ctx.machine.stats.collective_calls[f"reduce:{op}:{algorithm}"] += 1
+    with collective_span(ctx, "reduce", members, algorithm=algorithm,
+                         root=root, op=op, nelems=nelems, dtype=str(dtype)):
+        if algorithm == "binomial":
+            _reduce_binomial(ctx, dest, src, nelems, stride, root, op,
+                             dtype, members, me)
+        elif algorithm == "linear":
+            _reduce_linear(ctx, dest, src, nelems, stride, root, op, dtype,
+                           members, me)
+        else:  # pragma: no cover - reference misuse
+            raise AssertionError(algorithm)
+
+
+def _reduce_binomial(ctx, dest, src, nelems, stride, root, op, dtype,
+                     members, me):
+    n_pes = len(members)
+    vir_rank = virtual_rank(me, root, n_pes)
+    if nelems == 0 or n_pes == 1:
+        if me == root:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    with scratch_buffers(ctx, nbytes) as (s_buff,), \
+            private_buffer(ctx, nbytes) as l_buff:
+        local_copy(ctx, s_buff, src, nelems, stride, dtype)
+        s_view = ctx.view(s_buff, dtype, nelems, stride)
+        l_view = ctx.view(l_buff, dtype, nelems, stride)
+        ctx.barrier_team(members)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for i in range(k):
+            with stage_span(ctx, i):
+                mask ^= 1 << i
+                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        ctx.get(l_buff, s_buff, nelems, stride,
+                                members[log_part], dtype)
+                        apply_op(op, s_view, l_view)
+                        charge_elementwise(ctx, nelems)
+                ctx.barrier_team(members)
+        if vir_rank == 0:
+            local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+
+
+def _reduce_linear(ctx, dest, src, nelems, stride, root, op, dtype,
+                   members, me):
+    n_pes = len(members)
+    if nelems == 0 or n_pes == 1:
+        if me == root:
+            local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    with scratch_buffers(ctx, nbytes) as (s_buff,):
+        local_copy(ctx, s_buff, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        if me == root:
+            with private_buffer(ctx, nbytes) as l_buff:
+                acc = ctx.view(s_buff, dtype, nelems, stride)
+                l_view = ctx.view(l_buff, dtype, nelems, stride)
+                for other in range(n_pes):
+                    if other == root:
+                        continue
+                    ctx.get(l_buff, s_buff, nelems, stride, members[other],
+                            dtype)
+                    apply_op(op, acc, l_view)
+                    charge_elementwise(ctx, nelems)
+                local_copy(ctx, dest, s_buff, nelems, stride, dtype)
+        ctx.barrier_team(members)
+
+
+# -- allreduce -------------------------------------------------------------
+
+
+def legacy_allreduce(ctx, dest, src, nelems, stride, op, dtype, *,
+                     algorithm="doubling", group=None):
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    members, me = resolve_group(ctx, group)
+    if me == 0:
+        ctx.machine.stats.collective_calls[f"allreduce:{algorithm}"] += 1
+    with collective_span(ctx, "allreduce", members, algorithm=algorithm,
+                         op=op, nelems=nelems, dtype=str(dtype)):
+        _allreduce(ctx, dest, src, nelems, stride, op, dtype, algorithm,
+                   members, me)
+
+
+def _allreduce(ctx, dest, src, nelems, stride, op, dtype, algorithm,
+               members, me):
+    n_pes = len(members)
+    if nelems == 0 or n_pes == 1:
+        local_copy(ctx, dest, src, nelems, stride, dtype)
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    with scratch_buffers(ctx, nbytes, nbytes) as (buf_a, buf_b), \
+            private_buffer(ctx, nbytes) as l_buf:
+        _allreduce_buffered(ctx, dest, src, nelems, stride, op, dtype,
+                            algorithm, members, me, buf_a, buf_b, l_buf)
+
+
+def _allreduce_buffered(ctx, dest, src, nelems, stride, op, dtype,
+                        algorithm, members, me, buf_a, buf_b, l_buf):
+    n_pes = len(members)
+    view_a = ctx.view(buf_a, dtype, nelems, stride)
+    view_b = ctx.view(buf_b, dtype, nelems, stride)
+    l_view = ctx.view(l_buf, dtype, nelems, stride)
+    local_copy(ctx, buf_a, src, nelems, stride, dtype)
+    cur_addr, nxt_addr = buf_a, buf_b
+    cur_view, nxt_view = view_a, view_b
+    ctx.barrier_team(members)
+
+    pof2 = 1 << (n_pes.bit_length() - 1)
+    if pof2 * 2 <= n_pes:
+        pof2 = n_pes
+    rem = n_pes - pof2
+    if me < 2 * rem and me % 2 == 0:
+        ctx.get(l_buf, cur_addr, nelems, stride, members[me + 1], dtype)
+        apply_op(op, cur_view, l_view)
+        charge_elementwise(ctx, nelems)
+    ctx.barrier_team(members)
+
+    active = me >= 2 * rem or me % 2 == 0
+    newrank = (me // 2) if me < 2 * rem else me - rem
+    k = n_stages(pof2)
+
+    def unfold(new):
+        return new * 2 if new < rem else new + rem
+
+    if algorithm == "doubling":
+        if active:
+            for i in range(k):
+                with stage_span(ctx, i):
+                    partner = unfold(newrank ^ (1 << i))
+                    ctx.get(l_buf, cur_addr, nelems, stride,
+                            members[partner], dtype)
+                    nxt_view[:] = cur_view
+                    apply_op(op, nxt_view, l_view)
+                    charge_elementwise(ctx, 2 * nelems)
+                    cur_addr, nxt_addr = nxt_addr, cur_addr
+                    cur_view, nxt_view = nxt_view, cur_view
+                    ctx.barrier_team(members)
+        else:
+            for i in range(k):
+                with stage_span(ctx, i):
+                    cur_addr, nxt_addr = nxt_addr, cur_addr
+                    cur_view, nxt_view = nxt_view, cur_view
+                    ctx.barrier_team(members)
+    else:
+        _rabenseifner_core(ctx, members, me, active, newrank, unfold,
+                           pof2, k, cur_addr, l_buf, nelems, stride, op,
+                           dtype)
+
+    if me < 2 * rem and me % 2 == 0:
+        ctx.put(cur_addr, cur_addr, nelems, stride, members[me + 1], dtype)
+    ctx.barrier_team(members)
+    local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
+
+
+def _rabenseifner_core(ctx, members, me, active, newrank, unfold, pof2, k,
+                       buf, l_buf, nelems, stride, op, dtype):
+    eb = dtype.itemsize
+
+    def bound(r):
+        return nelems * r // pof2
+
+    def off(e):
+        return e * stride * eb
+
+    def sub(base, e_lo, e_hi):
+        return ctx.view(base + off(e_lo), dtype, e_hi - e_lo, stride)
+
+    if not active:
+        for i in range(2 * k):
+            with stage_span(ctx, i):
+                ctx.barrier_team(members)
+        return
+
+    lo_r, hi_r = 0, pof2
+    trail = []
+    for stage in range(k):
+        with stage_span(ctx, stage, phase="reduce-scatter"):
+            half = (hi_r - lo_r) // 2
+            if newrank < lo_r + half:
+                partner_new = newrank + half
+                keep_lo, keep_hi = lo_r, lo_r + half
+            else:
+                partner_new = newrank - half
+                keep_lo, keep_hi = lo_r + half, hi_r
+            e_lo, e_hi = bound(keep_lo), bound(keep_hi)
+            if e_hi > e_lo:
+                partner = members[unfold(partner_new)]
+                ctx.get(l_buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                        stride, partner, dtype)
+                apply_op(op, sub(buf, e_lo, e_hi), sub(l_buf, e_lo, e_hi))
+                charge_elementwise(ctx, e_hi - e_lo)
+            trail.append((partner_new, keep_lo, keep_hi))
+            lo_r, hi_r = keep_lo, keep_hi
+            ctx.barrier_team(members)
+
+    for stage, (partner_new, keep_lo, keep_hi) in enumerate(reversed(trail),
+                                                            start=k):
+        with stage_span(ctx, stage, phase="allgather"):
+            partner = members[unfold(partner_new)]
+            span = keep_hi - keep_lo
+            if partner_new < keep_lo:
+                need_lo, need_hi = keep_lo - span, keep_lo
+            else:
+                need_lo, need_hi = keep_hi, keep_hi + span
+            e_lo, e_hi = bound(need_lo), bound(need_hi)
+            if e_hi > e_lo:
+                ctx.get(buf + off(e_lo), buf + off(e_lo), e_hi - e_lo,
+                        stride, partner, dtype)
+            ctx.barrier_team(members)
+
+
+# -- scatter / gather ------------------------------------------------------
+
+
+def legacy_scatter(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype, *,
+                   group=None):
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    _validate(pe_msgs, pe_disp, nelems, n_pes, "scatter")
+    if me == root:
+        ctx.machine.stats.collective_calls["scatter:binomial"] += 1
+    with collective_span(ctx, "scatter", members, root=root, nelems=nelems,
+                         dtype=str(dtype)):
+        _scatter_binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root,
+                          dtype, members, me)
+
+
+def _scatter_binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                      members, me):
+    n_pes = len(members)
+    vir_rank = virtual_rank(me, root, n_pes)
+    eb = dtype.itemsize
+    my_count = pe_msgs[me]
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    if n_pes == 1:
+        if my_count:
+            ctx.put(dest, src + pe_disp[me] * eb, my_count, 1, ctx.rank, dtype)
+        ctx.barrier_team(members)
+        return
+    adj = adjusted_displacements(pe_msgs, root)
+    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
+        if vir_rank == 0:
+            for vir in range(n_pes):
+                log = (vir + root) % n_pes
+                cnt = pe_msgs[log]
+                if cnt:
+                    ctx.put(s_buff + adj[vir] * eb, src + pe_disp[log] * eb,
+                            cnt, 1, ctx.rank, dtype)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for ordinal, i in enumerate(range(k - 1, -1, -1)):
+            with stage_span(ctx, ordinal):
+                mask ^= 1 << i
+                if (vir_rank & mask) == 0 and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        end = min(vir_part + (1 << i), n_pes)
+                        msg_size = adj[end] - adj[vir_part]
+                        if msg_size:
+                            off = s_buff + adj[vir_part] * eb
+                            ctx.put(off, off, msg_size, 1, members[log_part],
+                                    dtype)
+                ctx.barrier_team(members)
+        if my_count:
+            ctx.put(dest, s_buff + adj[vir_rank] * eb, my_count, 1, ctx.rank,
+                    dtype)
+
+
+def legacy_gather(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype, *,
+                  group=None):
+    members, me = resolve_group(ctx, group)
+    n_pes = len(members)
+    validate_root(root, n_pes)
+    _validate(pe_msgs, pe_disp, nelems, n_pes, "gather")
+    if me == root:
+        ctx.machine.stats.collective_calls["gather:binomial"] += 1
+    with collective_span(ctx, "gather", members, root=root, nelems=nelems,
+                         dtype=str(dtype)):
+        _gather_binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root,
+                         dtype, members, me)
+
+
+def _gather_binomial(ctx, dest, src, pe_msgs, pe_disp, nelems, root, dtype,
+                     members, me):
+    n_pes = len(members)
+    vir_rank = virtual_rank(me, root, n_pes)
+    eb = dtype.itemsize
+    my_count = pe_msgs[me]
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    if n_pes == 1:
+        if my_count:
+            ctx.put(dest + pe_disp[me] * eb, src, my_count, 1, ctx.rank, dtype)
+        ctx.barrier_team(members)
+        return
+    adj = adjusted_displacements(pe_msgs, root)
+    with scratch_buffers(ctx, nelems * eb) as (s_buff,):
+        if my_count:
+            ctx.put(s_buff + adj[vir_rank] * eb, src, my_count, 1, ctx.rank,
+                    dtype)
+        ctx.barrier_team(members)
+        k = n_stages(n_pes)
+        mask = (1 << k) - 1
+        for i in range(k):
+            with stage_span(ctx, i):
+                mask ^= 1 << i
+                if (vir_rank | mask) == mask and (vir_rank & (1 << i)) == 0:
+                    vir_part = (vir_rank ^ (1 << i)) % n_pes
+                    log_part = (vir_part + root) % n_pes
+                    if vir_rank < vir_part:
+                        end = min(vir_part + (1 << i), n_pes)
+                        msg_size = adj[end] - adj[vir_part]
+                        if msg_size:
+                            off = s_buff + adj[vir_part] * eb
+                            ctx.get(off, off, msg_size, 1, members[log_part],
+                                    dtype)
+                ctx.barrier_team(members)
+        if vir_rank == 0:
+            for vir in range(n_pes):
+                log = (vir + root) % n_pes
+                cnt = pe_msgs[log]
+                if cnt:
+                    ctx.put(dest + pe_disp[log] * eb, s_buff + adj[vir] * eb,
+                            cnt, 1, ctx.rank, dtype)
+
+
+# -- scan ------------------------------------------------------------------
+
+
+def legacy_scan(ctx, dest, src, nelems, stride, op, dtype, *,
+                inclusive=True, group=None):
+    validate_counts(nelems, stride)
+    check_op(op, dtype)
+    members, me = resolve_group(ctx, group)
+    if me == 0:
+        kind = "inclusive" if inclusive else "exclusive"
+        ctx.machine.stats.collective_calls[f"scan:{kind}"] += 1
+    with collective_span(ctx, "scan", members, inclusive=inclusive, op=op,
+                         nelems=nelems, dtype=str(dtype)):
+        _hillis_steele(ctx, dest, src, nelems, stride, op, dtype, inclusive,
+                       members, me)
+
+
+def _hillis_steele(ctx, dest, src, nelems, stride, op, dtype, inclusive,
+                   members, me):
+    n_pes = len(members)
+    if nelems == 0:
+        ctx.barrier_team(members)
+        return
+    eb = dtype.itemsize
+    nbytes = span_bytes(nelems, stride, eb)
+    buf_a = ctx.scratch_alloc(nbytes)
+    buf_b = ctx.scratch_alloc(nbytes)
+    l_buf = ctx.private_malloc(nbytes)
+    view_a = ctx.view(buf_a, dtype, nelems, stride)
+    view_b = ctx.view(buf_b, dtype, nelems, stride)
+    l_view = ctx.view(l_buf, dtype, nelems, stride)
+    local_copy(ctx, buf_a, src, nelems, stride, dtype)
+    cur_addr, nxt_addr = buf_a, buf_b
+    cur_view, nxt_view = view_a, view_b
+    ctx.barrier_team(members)
+    for i in range(n_stages(n_pes)):
+        with stage_span(ctx, i):
+            left = me - (1 << i)
+            nxt_view[:] = cur_view
+            if left >= 0:
+                ctx.get(l_buf, cur_addr, nelems, stride, members[left],
+                        dtype)
+                apply_op(op, nxt_view, l_view)
+                charge_elementwise(ctx, 2 * nelems)
+            cur_addr, nxt_addr = nxt_addr, cur_addr
+            cur_view, nxt_view = nxt_view, cur_view
+            ctx.barrier_team(members)
+    if inclusive:
+        local_copy(ctx, dest, cur_addr, nelems, stride, dtype)
+    else:
+        dview = ctx.view(dest, dtype, nelems, stride)
+        if me == 0:
+            dview[:] = identity_of(op, dtype)
+            ctx.charge_stream(dest, nbytes, write=True)
+        else:
+            ctx.get(dest, cur_addr, nelems, stride, members[me - 1], dtype)
+        ctx.barrier_team(members)
+    ctx.private_free(l_buf)
+    ctx.scratch_free(buf_b)
+    ctx.scratch_free(buf_a)
+
+
+# -- compositions / alltoall ----------------------------------------------
+
+
+def legacy_alltoall(ctx, dest, src, nelems_per_pe, dtype, *, group=None):
+    members, me = resolve_group(ctx, group)
+    n = len(members)
+    if me == 0:
+        ctx.machine.stats.collective_calls["alltoall:rotated"] += 1
+    with collective_span(ctx, "alltoall", members, nelems=nelems_per_pe,
+                         dtype=str(dtype)):
+        ctx.barrier_team(members)
+        eb = dtype.itemsize
+        blk = nelems_per_pe * eb
+        if nelems_per_pe:
+            for step in range(n):
+                peer = (me + step) % n
+                ctx.put(dest + me * blk, src + peer * blk, nelems_per_pe, 1,
+                        members[peer], dtype)
+        ctx.barrier_team(members)
+
+
+def legacy_reduce_all(ctx, dest, src, nelems, stride, op, dtype, *,
+                      group=None):
+    members, _ = resolve_group(ctx, group)
+    with collective_span(ctx, "reduce_all", members, op=op, nelems=nelems,
+                         dtype=str(dtype)):
+        legacy_reduce(ctx, dest, src, nelems, stride, 0, op, dtype,
+                      group=group)
+        legacy_broadcast(ctx, dest, dest, nelems, stride, 0, dtype,
+                         group=group)
+
+
+def legacy_allgather(ctx, dest, src, pe_msgs, pe_disp, nelems, dtype, *,
+                     group=None):
+    members, _ = resolve_group(ctx, group)
+    with collective_span(ctx, "allgather", members, nelems=nelems,
+                         dtype=str(dtype)):
+        legacy_gather(ctx, dest, src, pe_msgs, pe_disp, nelems, 0, dtype,
+                      group=group)
+        legacy_broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)

@@ -191,7 +191,7 @@ def test_gather_matches_oracle(case, msgs_seed):
 
 
 @given(case=cases(need_op=True),
-       algorithm=st.sampled_from(["doubling", "rabenseifner"]))
+       algorithm=st.sampled_from(["doubling", "rabenseifner", "ring"]))
 @_SETTINGS
 def test_allreduce_matches_oracle(case, algorithm):
     dt = dtype_of(case["typename"])

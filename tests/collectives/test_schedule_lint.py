@@ -1,0 +1,179 @@
+"""The schedule linter: builtins lint clean, broken schedules get caught.
+
+The first half is the CI ``schedule-lint`` gate in-process: every
+builtin ``(collective, algorithm)`` pair compiles and lints clean at
+1–16 PEs.  The second half hand-builds minimally broken schedules — one
+per lint check — and asserts the right check fires, so the linter can't
+silently rot into always-green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collectives.schedule import lint_schedule
+from repro.collectives.schedule.ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Get,
+    Put,
+    RankProgram,
+    Schedule,
+    Stage,
+)
+from repro.collectives.schedule.registry import (
+    BUILTIN_ALGORITHMS,
+    builtin_schedules,
+)
+
+
+@pytest.mark.parametrize("collective,algorithm", BUILTIN_ALGORITHMS)
+def test_builtin_algorithms_lint_clean(collective, algorithm):
+    seen = 0
+    for label, sched in builtin_schedules():
+        if not label.startswith(f"{collective}:{algorithm} "):
+            continue
+        seen += 1
+        issues = lint_schedule(sched)
+        assert not issues, (
+            f"{label}: " + "; ".join(str(i) for i in issues))
+    # 16 PE counts × at least one shape each.
+    assert seen >= 16
+
+
+def _two_rank(buffers, prog0, prog1, deliver=()):
+    return Schedule(
+        collective="test", algorithm="test", n_pes=2, itemsize=8,
+        buffers=buffers, programs=(prog0, prog1), deliver=deliver,
+    )
+
+
+_SYM = Buffer("s", "scratch", 64, symmetric=True)
+_DST = Buffer("dest", "user", 64)
+
+
+def _checks(issues):
+    return {i.check for i in issues}
+
+
+class TestBrokenSchedules:
+    def test_mismatched_barrier_counts_is_deadlock(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (BARRIER, BARRIER)),
+            RankProgram(1, (BARRIER,)),
+        )
+        assert "deadlock" in _checks(lint_schedule(sched))
+
+    def test_self_peer_is_flagged(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (Put("s", 0, "s", 0, 1, 1, 0), BARRIER)),
+            RankProgram(1, (BARRIER,)),
+        )
+        assert "peers" in _checks(lint_schedule(sched))
+
+    def test_peer_out_of_range(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (Get("s", 0, "s", 0, 1, 1, 5), BARRIER)),
+            RankProgram(1, (BARRIER,)),
+        )
+        assert "peers" in _checks(lint_schedule(sched))
+
+    def test_remote_access_to_private_buffer(self):
+        priv = Buffer("p", "private", 64)
+        sched = _two_rank(
+            (_DST, _SYM, priv),
+            RankProgram(0, (Get("s", 0, "p", 0, 1, 1, 1), BARRIER)),
+            RankProgram(1, (BARRIER,)),
+        )
+        issues = lint_schedule(sched)
+        assert any("non-symmetric" in i.message for i in issues), issues
+
+    def test_out_of_bounds_access(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (Copy("dest", 0, "s", 0, 100, 1), BARRIER)),
+            RankProgram(1, (BARRIER,)),
+        )
+        assert "bounds" in _checks(lint_schedule(sched))
+
+    def test_write_write_overlap_in_one_phase(self):
+        # Ranks 1 and 2 both put into rank 0's scratch bytes 0..8 with
+        # no barrier between: a data race across origins.
+        sched = Schedule(
+            collective="test", algorithm="test", n_pes=3, itemsize=8,
+            buffers=(_DST, _SYM),
+            programs=(
+                RankProgram(0, (BARRIER,)),
+                RankProgram(1, (Put("s", 0, "s", 8, 1, 1, 0), BARRIER)),
+                RankProgram(2, (Put("s", 0, "s", 8, 1, 1, 0), BARRIER)),
+            ),
+        )
+        assert "overlap" in _checks(lint_schedule(sched))
+
+    def test_remote_write_vs_local_read_overlap(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (Copy("dest", 0, "s", 0, 1, 1), BARRIER)),
+            RankProgram(1, (Put("s", 0, "s", 8, 1, 1, 0), BARRIER)),
+        )
+        assert "overlap" in _checks(lint_schedule(sched))
+
+    def test_barrier_separates_conflicting_phases(self):
+        # Same steps as above but with a barrier between them: clean.
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (BARRIER, Copy("dest", 0, "s", 0, 1, 1),
+                            BARRIER)),
+            RankProgram(1, (Put("s", 0, "s", 8, 1, 1, 0), BARRIER, BARRIER)),
+        )
+        assert lint_schedule(sched) == []
+
+    def test_unfulfilled_deliver_contract(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (BARRIER,)),
+            RankProgram(1, (BARRIER,)),
+            deliver=((0, "dest", 0, 16),),
+        )
+        assert "conservation" in _checks(lint_schedule(sched))
+
+    def test_deliver_satisfied_by_local_copy(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (Copy("dest", 0, "s", 0, 2, 1), BARRIER)),
+            RankProgram(1, (BARRIER,)),
+            deliver=((0, "dest", 0, 16),),
+        )
+        assert lint_schedule(sched) == []
+
+    def test_deliver_satisfied_by_incoming_put(self):
+        sched = _two_rank(
+            (Buffer("dest", "user", 64, symmetric=True), _SYM),
+            RankProgram(0, (BARRIER,)),
+            RankProgram(1, (Put("dest", 0, "s", 0, 2, 1, 0), BARRIER)),
+            deliver=((0, "dest", 0, 16),),
+        )
+        assert lint_schedule(sched) == []
+
+    def test_non_symmetric_scratch_rejected(self):
+        bad = Buffer("s", "scratch", 64, symmetric=False)
+        sched = _two_rank(
+            (_DST, bad),
+            RankProgram(0, (BARRIER,)),
+            RankProgram(1, (BARRIER,)),
+        )
+        assert "buffers" in _checks(lint_schedule(sched))
+
+    def test_stage_count_mismatch(self):
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (), (Stage(0, (BARRIER,)),)),
+            RankProgram(1, (), (Stage(0, (BARRIER,)),
+                                Stage(1, (BARRIER,)))),
+        )
+        issues = lint_schedule(sched)
+        assert issues  # structure issues short-circuit the rest

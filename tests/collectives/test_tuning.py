@@ -102,3 +102,37 @@ class TestSelection:
         assert select_algorithm("broadcast", at, pes) == "ring"
         assert select_algorithm("broadcast", at - 1, pes) == "binomial"
         assert select_algorithm("broadcast", at, pes - 1) == "binomial"
+
+
+class TestAllreduceSelection:
+    def test_small_payloads_use_doubling(self):
+        at = DEFAULT_POLICY.allreduce_large_bytes
+        assert select_algorithm("allreduce", at - 1, 8) == "doubling"
+        assert select_algorithm("allreduce", 0, 13) == "doubling"
+
+    def test_tiny_groups_use_doubling(self):
+        assert select_algorithm("allreduce", 1 << 24, 2) == "doubling"
+        assert select_algorithm("allreduce", 1 << 24, 1) == "doubling"
+
+    def test_large_power_of_two_uses_rabenseifner(self):
+        at = DEFAULT_POLICY.allreduce_large_bytes
+        assert select_algorithm("allreduce", at, 8) == "rabenseifner"
+        assert select_algorithm("allreduce", 1 << 24, 16) == "rabenseifner"
+
+    def test_large_non_power_of_two_uses_ring(self):
+        """The ring pays no power-of-two fold penalty (measured in
+        ``bench_ablation_algorithms.py``)."""
+        at = DEFAULT_POLICY.allreduce_large_bytes
+        assert select_algorithm("allreduce", at, 6) == "ring"
+        assert select_algorithm("allreduce", 1 << 24, 12) == "ring"
+
+
+class TestAllgatherSelection:
+    def test_small_groups_use_tree(self):
+        pes = DEFAULT_POLICY.allgather_dissemination_min_pes
+        assert select_algorithm("allgather", 1 << 20, pes - 1) == "tree"
+
+    def test_larger_groups_use_dissemination(self):
+        pes = DEFAULT_POLICY.allgather_dissemination_min_pes
+        assert select_algorithm("allgather", 8, pes) == "dissemination"
+        assert select_algorithm("allgather", 1 << 20, 16) == "dissemination"

@@ -1,0 +1,133 @@
+"""End-to-end regression tests for zero-count PEs in scatter/gather.
+
+A PE with ``pe_msgs[i] == 0`` receives (scatter) or contributes
+(gather) nothing, but must still participate in every stage barrier and
+must never source a zero-length transfer that trips bounds checks.
+These run through the public context wrappers (``ctx.scatter`` /
+``ctx.gather``) — the full path users take — at every PE count from 1
+to 12, with zeros at the root, at the edges, alternating, and all-zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import Machine
+
+from ..conftest import small_config
+
+_DT = np.dtype("int64")
+
+
+def _patterns(n_pes: int, root: int):
+    """Count vectors with structurally interesting zero placements."""
+    pats = [[0 if i == root else i % 3 + 1 for i in range(n_pes)]]
+    pats.append([0 if i % 2 == 0 else 2 for i in range(n_pes)])
+    pats.append([0] * n_pes)
+    pats.append([3 if i == n_pes - 1 else 0 for i in range(n_pes)])
+    pats.append([1 if i == 0 else 0 for i in range(n_pes)])
+    return pats
+
+
+def _disps(counts):
+    out, off = [], 0
+    for c in counts:
+        out.append(off)
+        off += c
+    return out
+
+
+def _run_scatter(n_pes, counts, disps, root):
+    nelems = sum(counts)
+    extent = max((d + c for d, c in zip(disps, counts)), default=0)
+    data = np.arange(1, extent + 1, dtype=_DT)
+
+    def body(ctx):
+        ctx.init()
+        me = ctx.my_pe()
+        src = ctx.malloc(max(extent * 8, 16))
+        dest = ctx.private_malloc(max(max(counts, default=0), 1) * 8 + 16)
+        ctx.view(dest, _DT, max(counts[me], 1))[:] = -1
+        if me == root:
+            ctx.view(src, _DT, extent)[:] = data
+        ctx.scatter(dest, src, counts, disps, nelems, root)
+        got = np.array(ctx.view(dest, _DT, counts[me]), copy=True)
+        ctx.close()
+        return got
+
+    results = Machine(small_config(n_pes)).run(body)
+    for pe, got in enumerate(results):
+        lo = disps[pe]
+        assert np.array_equal(got, data[lo:lo + counts[pe]]), (
+            f"PE {pe} counts={counts} root={root}")
+
+
+def _run_gather(n_pes, counts, disps, root):
+    nelems = sum(counts)
+    extent = max((d + c for d, c in zip(disps, counts)), default=0)
+
+    def body(ctx):
+        ctx.init()
+        me = ctx.my_pe()
+        src = ctx.malloc(max(max(counts, default=0), 1) * 8 + 16)
+        dest = ctx.private_malloc(max(extent * 8, 16))
+        ctx.view(dest, _DT, extent)[:] = -1
+        ctx.view(src, _DT, counts[me])[:] = \
+            np.arange(disps[me] + 1, disps[me] + counts[me] + 1, dtype=_DT)
+        ctx.gather(dest, src, counts, disps, nelems, root)
+        got = np.array(ctx.view(dest, _DT, extent), copy=True)
+        ctx.close()
+        return got
+
+    results = Machine(small_config(n_pes)).run(body)
+    expect = np.arange(1, extent + 1, dtype=_DT)
+    got = results[root]
+    for pe in range(n_pes):
+        lo = disps[pe]
+        assert np.array_equal(got[lo:lo + counts[pe]],
+                              expect[lo:lo + counts[pe]]), (
+            f"root slice for PE {pe} counts={counts} root={root}")
+
+
+@pytest.mark.parametrize("n_pes", range(1, 13))
+def test_scatter_zero_count_pes(n_pes):
+    for root in {0, n_pes - 1, n_pes // 2}:
+        for counts in _patterns(n_pes, root):
+            _run_scatter(n_pes, counts, _disps(counts), root)
+
+
+@pytest.mark.parametrize("n_pes", range(1, 13))
+def test_gather_zero_count_pes(n_pes):
+    for root in {0, n_pes - 1, n_pes // 2}:
+        for counts in _patterns(n_pes, root):
+            _run_gather(n_pes, counts, _disps(counts), root)
+
+
+@pytest.mark.parametrize("n_pes", [1, 2, 5, 8, 12])
+def test_scatter_gather_roundtrip_with_zeros(n_pes):
+    """scatter → gather with zero-count PEs restores the root's data."""
+    counts = [0 if i % 3 == 1 else (i % 4) + 1 for i in range(n_pes)]
+    disps = _disps(counts)
+    nelems = sum(counts)
+    extent = max((d + c for d, c in zip(disps, counts)), default=0)
+    data = np.arange(10, 10 + extent, dtype=_DT)
+
+    def body(ctx):
+        ctx.init()
+        me = ctx.my_pe()
+        root_buf = ctx.malloc(max(extent * 8, 16))
+        mid = ctx.malloc(max(max(counts, default=0), 1) * 8 + 16)
+        back = ctx.private_malloc(max(extent * 8, 16))
+        ctx.view(back, _DT, extent)[:] = -1
+        if me == 0:
+            ctx.view(root_buf, _DT, extent)[:] = data
+        ctx.scatter(mid, root_buf, counts, disps, nelems, 0)
+        ctx.gather(back, mid, counts, disps, nelems, 0)
+        got = np.array(ctx.view(back, _DT, extent), copy=True)
+        ctx.close()
+        return got
+
+    results = Machine(small_config(n_pes)).run(body)
+    if nelems:
+        assert np.array_equal(results[0], data)

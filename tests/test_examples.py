@@ -1,10 +1,20 @@
-"""Integration tests: the example programs must run end to end."""
+"""Integration tests: every example program must run end to end.
+
+Table-driven: ``_EXAMPLES`` maps each ``examples/*.py`` file to its CLI
+arguments, the substrings its stdout must contain, and an optional
+post-check over artifacts it writes.  ``test_every_example_is_listed``
+fails the moment someone adds an example without wiring it in here, so
+the smoke coverage can't silently decay.
+"""
 
 from __future__ import annotations
 
+import json
 import subprocess
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Callable
 
 import pytest
 
@@ -22,58 +32,27 @@ def run_example(name: str, *args: str) -> str:
     return proc.stdout
 
 
-def test_quickstart():
-    out = run_example("quickstart.py")
-    assert "sum of squares over 4 PEs = 30" in out
-    assert "gather assembled" in out
+@dataclass(frozen=True)
+class Example:
+    """One smoke-test row: how to run the script and what to expect."""
 
-def test_transport_comparison():
-    out = run_example("transport_comparison.py")
-    assert "ordering holds" in out
-
-
-def test_xbgas_assembly():
-    out = run_example("xbgas_assembly.py")
-    assert "sum of remote values: 828 (expected 828)" in out
-    assert "PE 1 memory at 0x1000: [100, 101" in out
+    args: tuple[str, ...] = ()
+    expect: tuple[str, ...] = ()
+    #: Replaced by a tmp file path at run time (for trace writers).
+    wants_tmp_json: bool = False
+    #: Extra validation over the written JSON document.
+    check_json: Callable[[dict], None] | None = None
+    marks: tuple = ()
 
 
-def test_histogram_teams():
-    out = run_example("histogram_teams.py")
-    assert "global histogram over 6000 samples" in out
-    assert "even team's tallest local bin" in out
-
-
-def test_heat_diffusion():
-    out = run_example("heat_diffusion.py")
-    assert "max residual" in out
-    assert "total heat" in out
-
-
-def test_chrome_trace_broadcast(tmp_path):
-    import json
-
-    path = tmp_path / "trace.json"
-    out = run_example("chrome_trace_broadcast.py", str(path))
-    assert "3 stages, 7 messages" in out
-    doc = json.loads(path.read_text())
+def _check_broadcast_trace(doc: dict) -> None:
     stages = [e for e in doc["traceEvents"]
               if e.get("ph") == "X" and e.get("cat") == "stage"]
-    # 3 stages per participating PE.
-    assert len(stages) == 3 * 8
+    assert len(stages) == 3 * 8  # 3 stages per participating PE
     assert doc["otherData"]["dropped"] == 0
 
 
-@pytest.mark.faults
-def test_faulty_allreduce(tmp_path):
-    import json
-
-    path = tmp_path / "faulty.json"
-    out = run_example("faulty_allreduce.py", str(path))
-    assert "drops healed by retry; expected 36" in out
-    assert "over survivors (0, 1, 2, 3, 4, 6, 7) (expected 30)" in out
-    assert "all survivors agree on the contribution mask" in out
-    doc = json.loads(path.read_text())
+def _check_faulty_trace(doc: dict) -> None:
     faults = [e for e in doc["traceEvents"]
               if e.get("ph") == "i" and e.get("cat") == "fault"]
     assert any(e["name"] == "fault:crash" for e in faults)
@@ -81,13 +60,67 @@ def test_faulty_allreduce(tmp_path):
     assert any(e["name"] == "retry" for e in faults)
 
 
-@pytest.mark.slow
-def test_gups_demo():
-    out = run_example("gups_demo.py", "128")
-    assert "shape check" in out
+_EXAMPLES: dict[str, Example] = {
+    "quickstart.py": Example(
+        expect=("sum of squares over 4 PEs = 30", "gather assembled"),
+    ),
+    "transport_comparison.py": Example(expect=("ordering holds",)),
+    "xbgas_assembly.py": Example(
+        expect=("sum of remote values: 828 (expected 828)",
+                "PE 1 memory at 0x1000: [100, 101"),
+    ),
+    "histogram_teams.py": Example(
+        expect=("global histogram over 6000 samples",
+                "even team's tallest local bin"),
+    ),
+    "heat_diffusion.py": Example(expect=("max residual", "total heat")),
+    "chrome_trace_broadcast.py": Example(
+        expect=("3 stages, 7 messages",),
+        wants_tmp_json=True,
+        check_json=_check_broadcast_trace,
+    ),
+    "faulty_allreduce.py": Example(
+        expect=("drops healed by retry; expected 36",
+                "over survivors (0, 1, 2, 3, 4, 6, 7) (expected 30)",
+                "all survivors agree on the contribution mask"),
+        wants_tmp_json=True,
+        check_json=_check_faulty_trace,
+        marks=(pytest.mark.faults,),
+    ),
+    "gups_demo.py": Example(
+        args=("128",),
+        expect=("shape check",),
+        marks=(pytest.mark.slow,),
+    ),
+    "integer_sort.py": Example(
+        args=("S-scaled",),
+        expect=("partial verification PASS",),
+        marks=(pytest.mark.slow,),
+    ),
+}
 
 
-@pytest.mark.slow
-def test_integer_sort_demo():
-    out = run_example("integer_sort.py", "S-scaled")
-    assert "partial verification PASS" in out
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(_EXAMPLES), (
+        "examples/ and the smoke table disagree — add the new example "
+        "to _EXAMPLES (or remove the stale row)"
+    )
+
+
+@pytest.mark.parametrize(
+    "name",
+    [pytest.param(n, marks=ex.marks) for n, ex in sorted(_EXAMPLES.items())],
+)
+def test_example_smoke(name, tmp_path):
+    ex = _EXAMPLES[name]
+    args: list[str] = list(ex.args)
+    json_path = None
+    if ex.wants_tmp_json:
+        json_path = tmp_path / "out.json"
+        args.append(str(json_path))
+    out = run_example(name, *args)
+    for needle in ex.expect:
+        assert needle in out, f"{name}: {needle!r} not in output"
+    if ex.check_json is not None:
+        ex.check_json(json.loads(json_path.read_text()))
