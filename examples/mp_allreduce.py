@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""One PE program, two engines: allreduce on the simulator and on
+true-parallel worker processes.
+
+The program below is written against the PE-context protocol only, so
+the exact same function runs on the deterministic simulator backend
+("sim") and on the shared-memory multiprocessing backend ("mp"), where
+every PE is a real OS process and puts/gets are cross-segment memcpys.
+The results must match byte for byte — that is the cross-backend
+conformance contract that ``tests/backends/test_conformance.py``
+checks exhaustively.
+
+    python examples/mp_allreduce.py [n_pes] [nelems]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+import repro.xbrtime as xbr
+
+
+def allreduce_program(ctx, nelems: int) -> bytes:
+    """Fill a symmetric buffer per-rank, sum-allreduce it, return bytes."""
+    ctx.init()
+    me, n = ctx.my_pe(), ctx.num_pes()
+    buf = ctx.malloc(8 * nelems)
+    view = ctx.view(buf, "long", nelems)
+    view[:] = np.arange(nelems, dtype=np.int64) + 1000 * me
+    ctx.barrier()
+    ctx.allreduce(buf, buf, nelems, 1, "sum", "long", algorithm="ring")
+    result = view.copy().tobytes()
+    ctx.free(buf)
+    ctx.close()
+    return result
+
+
+def main() -> None:
+    n_pes = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    nelems = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    expected = sum(np.arange(nelems, dtype=np.int64) + 1000 * r
+                   for r in range(n_pes))
+
+    outputs = {}
+    for backend in ("sim", "mp"):
+        with xbr.init(backend=backend, n_pes=n_pes) as session:
+            outputs[backend] = session.run(allreduce_program,
+                                           [(nelems,)] * n_pes)
+        values = np.frombuffer(outputs[backend][0], dtype=np.int64)
+        assert (values == expected).all(), f"{backend}: wrong reduction"
+        print(f"{backend:>3}: {n_pes} PEs agree, "
+              f"sum[0]={values[0]} sum[-1]={values[-1]}")
+
+    assert outputs["sim"] == outputs["mp"]
+    print(f"backends agree bit-for-bit on {n_pes} PEs x {nelems} elements")
+
+
+if __name__ == "__main__":
+    main()

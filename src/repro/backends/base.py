@@ -1,0 +1,121 @@
+"""The backend protocol: one contract, two ways to run PEs.
+
+The paper's runtime executes on real concurrent processing elements (a
+12-core Spike cluster bridged by MPICH).  This reproduction has two
+interchangeable execution substrates:
+
+* :class:`~repro.backends.sim.SimulatorBackend` — the deterministic
+  cooperative simulator (:class:`~repro.runtime.context.Machine`); every
+  PE is a greenlet-style thread time-sliced by the PDES engine, and all
+  reported times are *modelled* nanoseconds.
+* :class:`~repro.backends.mp.MultiprocessingBackend` — true parallel OS
+  processes; the symmetric heap lives in ``multiprocessing.shared_memory``
+  segments mapped at the same offset on every PE, remote put/get are
+  direct cross-segment memcpys, and reported times are wall-clock.
+
+Both run the *same* xbrtime programs: a program receives a per-PE
+context object implementing the **PE context protocol** — the surface
+:class:`~repro.runtime.context.XBRTime` documents, of which the
+collectives layer uses exactly:
+
+======================  ====================================================
+member                  used for
+======================  ====================================================
+``rank``                this PE's world rank (attribute)
+``config``              :class:`~repro.params.MachineConfig` (layout, costs)
+``world_group``         the all-PEs tuple
+``spans``               span recorder (``.enabled`` may be ``False``)
+``count_collective``    stats accounting per collective call
+``executing_rank()``    misuse detection for shared non-blocking handles
+``barrier/barrier_team``synchronisation (+ network quiescence)
+``put/get/amo``         one-sided data movement
+``put_nb/get_nb/wait/quiet``  non-blocking transfers
+``view``                numpy aliasing of local memory
+``is_symmetric``        address-segment classification
+``malloc/free``         collective symmetric heap
+``scratch_alloc/free``  symmetric scratch stack (LIFO)
+``private_malloc/free`` private segment
+``compute/charge_*``    cost charging (free on wall-clock backends)
+======================  ====================================================
+
+Because ``execute_schedule`` and every collective front-end reach shared
+state only through that protocol, each compiled
+:class:`~repro.collectives.schedule.ir.Schedule` runs unmodified — and
+produces byte-identical output buffers — on either backend (proved by
+``tests/backends/test_conformance.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+from ..params import MachineConfig
+
+__all__ = ["Backend", "BackendSession", "resolve_config"]
+
+
+def resolve_config(config: MachineConfig | None,
+                   n_pes: int | None) -> MachineConfig:
+    """Build the effective configuration for a backend run.
+
+    ``n_pes`` (when given) overrides the configuration's PE count; with
+    neither argument the default :class:`MachineConfig` applies.
+    """
+    if config is None:
+        config = MachineConfig() if n_pes is None else MachineConfig(n_pes=n_pes)
+    elif n_pes is not None and n_pes != config.n_pes:
+        config = config.with_(n_pes=n_pes)
+    return config
+
+
+class BackendSession(abc.ABC):
+    """A reusable execution environment for one PE count.
+
+    Sessions exist so repeated runs (conformance sweeps, benchmarks)
+    amortise backend start-up — the multiprocessing backend keeps its
+    worker processes and shared-memory segments alive between runs.
+    ``close`` must be idempotent and is also triggered at interpreter
+    exit; see the teardown guarantee on :class:`~repro.backends.mp.MPSession`.
+    """
+
+    config: MachineConfig
+
+    @property
+    def n_pes(self) -> int:
+        return self.config.n_pes
+
+    @abc.abstractmethod
+    def run(self, fn: Callable[..., Any],
+            args_per_pe: Sequence[tuple] | None = None) -> list[Any]:
+        """Run ``fn(ctx, *extra)`` on every PE; returns per-rank results."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Tear the session down (idempotent)."""
+
+    def __enter__(self) -> "BackendSession":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class Backend(abc.ABC):
+    """One execution substrate for xbrtime programs."""
+
+    #: Registry key (``"sim"`` / ``"mp"``).
+    name: str
+
+    @abc.abstractmethod
+    def session(self, config: MachineConfig | None = None, *,
+                n_pes: int | None = None, **opts: Any) -> BackendSession:
+        """Open a reusable session (see :class:`BackendSession`)."""
+
+    def run(self, fn: Callable[..., Any],
+            args_per_pe: Sequence[tuple] | None = None, *,
+            config: MachineConfig | None = None,
+            n_pes: int | None = None, **opts: Any) -> list[Any]:
+        """One-shot convenience: open a session, run once, close."""
+        with self.session(config, n_pes=n_pes, **opts) as session:
+            return session.run(fn, args_per_pe)

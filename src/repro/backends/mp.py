@@ -1,0 +1,682 @@
+"""True-parallel execution: one OS process per PE over shared memory.
+
+The paper ran xbrtime programs on 12 concurrent Spike processes bridged
+by MPICH; this backend is the reproduction's equivalent substrate.  Each
+PE is a worker process holding the *same* memory layout as a simulated
+PE (private segment, scratch stacks, collective symmetric heap — see
+:class:`~repro.runtime.context.Machine`), but the bytes live in
+``multiprocessing.shared_memory`` segments mapped into every worker, so
+
+* a symmetric address is the same *offset* in every PE's segment — the
+  literal Figure 2 property, enforced by construction;
+* a remote ``put``/``get`` is a direct cross-segment memcpy by the
+  initiating PE (one-sided: the target's CPU is not involved), made
+  visible by bumping the initiator's progress counter;
+* ``barrier`` is the sense-reversing shared-memory barrier of
+  :class:`~repro.backends.shm.ShmBarrier`.
+
+:class:`MPContext` implements the PE context protocol (see
+:mod:`repro.backends.base`), so every compiled schedule and collective
+front-end runs unmodified.  Time here is *wall-clock*: ``compute`` and
+the ``charge_*`` methods cost nothing, and ``time_ns`` reads the host
+clock.
+
+Failure containment.  A worker that raises stamps the shared abort flag
+with the current run id before reporting, so peers spinning in barriers
+unwind with :class:`~repro.errors.WorkerAbortedError` instead of
+hanging; the parent then quiesces every worker, zeroes the shared
+synchronisation state and re-raises as
+:class:`~repro.errors.WorkerFailedError` — the session stays usable.  A
+worker stuck in user code past the watchdog is terminated and the pool
+rebuilt.  Teardown closes and unlinks every segment exactly once, from
+whichever of explicit ``close``, context-manager exit or ``atexit``
+runs first.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from collections import Counter
+from typing import Any, Callable, Sequence
+
+import multiprocessing as mp
+
+import numpy as np
+
+from ..errors import (
+    AddressError,
+    BackendTimeoutError,
+    CollectiveArgumentError,
+    RuntimeStateError,
+    WorkerAbortedError,
+    WorkerFailedError,
+)
+from ..isa.cpu import amo_apply
+from ..params import MachineConfig
+from ..runtime.collective_api import CollectiveAPI, resolve_dtype
+from ..runtime.context import CODE_REGION_BYTES
+from ..runtime.symmetric_heap import (
+    FreeListAllocator,
+    ScratchStack,
+    SymmetricHeap,
+)
+from .base import Backend, BackendSession, resolve_config
+from .shm import ControlBlock, SegmentGroup, ShmBarrier, control_bytes
+
+__all__ = ["MultiprocessingBackend", "MPSession", "MPContext"]
+
+MASK64 = (1 << 64) - 1
+
+#: Extra seconds past the run watchdog before stuck workers are killed.
+_GRACE = 5.0
+
+
+class _DisabledSpans:
+    """Span-recorder stub: tracing is never available on wall-clock runs."""
+
+    enabled = False
+
+
+_NO_SPANS = _DisabledSpans()
+
+
+class MPTransferHandle:
+    """Completion token of an (eagerly completed) non-blocking transfer.
+
+    Cross-segment memcpys are synchronous, so ``put_nb``/``get_nb``
+    finish before returning; the handle only preserves the call shape.
+    """
+
+    __slots__ = ("kind", "nbytes", "done")
+
+    def __init__(self, kind: str, nbytes: int):
+        self.kind = kind
+        self.nbytes = nbytes
+        self.done = True
+
+
+class MPContext(CollectiveAPI):
+    """Per-PE runtime context over shared-memory segments.
+
+    One instance per (worker process, run).  The segment mappings and
+    barrier are worker-lifetime (passed in); allocator state — heap
+    replica, scratch stacks, private free list — is rebuilt fresh each
+    run, exactly as a fresh simulated machine would.  Heap replicas stay
+    identical across PEs because collective mallocs replay the same call
+    log in the same order on every participant.
+    """
+
+    #: Which execution backend this context belongs to.
+    backend_name = "mp"
+
+    def __init__(self, rank: int, config: MachineConfig, segs: SegmentGroup,
+                 ctl: ControlBlock, barrier: ShmBarrier,
+                 amo_locks: Sequence[Any]):
+        self.rank = rank
+        self.config = config
+        self.world_group = tuple(range(config.n_pes))
+        self._ctl = ctl
+        self._barrier = barrier
+        self._amo_locks = amo_locks
+        self._mem_bytes = config.memory_bytes_per_pe
+        # Same layout arithmetic as Machine.__init__ (Figure 2).
+        heap_base = config.memory_bytes_per_pe - config.symmetric_heap_bytes
+        scratch = config.collective_scratch_bytes
+        self._heap_base = heap_base
+        self._scratch = ScratchStack(heap_base, scratch)
+        self._heap = SymmetricHeap(
+            heap_base + scratch, config.symmetric_heap_bytes - scratch,
+            config.n_pes,
+        )
+        self._private = FreeListAllocator(
+            CODE_REGION_BYTES, heap_base - CODE_REGION_BYTES
+        )
+        self._heap_calls = 0
+        self._bufs: list[np.ndarray] | None = [
+            np.frombuffer(seg.buf, dtype=np.uint8) for seg in segs.segments
+        ]
+        self.collective_calls: Counter[str] = Counter()
+        self._active = False
+        self._closed = False
+        self._t0 = time.perf_counter()
+
+    # -- protocol accessors ------------------------------------------------------
+
+    @property
+    def spans(self) -> _DisabledSpans:
+        return _NO_SPANS
+
+    def count_collective(self, stats_key: str) -> None:
+        self.collective_calls[stats_key] += 1
+
+    def executing_rank(self) -> int | None:
+        # Each process *is* one PE: nothing else ever runs here.
+        return self.rank
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def init(self) -> None:
+        """``xbrtime_init``: bring the runtime up; synchronises all PEs."""
+        if self._active:
+            raise RuntimeStateError(f"PE {self.rank}: init() called twice")
+        if self._closed:
+            raise RuntimeStateError(f"PE {self.rank}: init() after close()")
+        self._active = True
+        self._barrier.world()
+
+    def close(self) -> None:
+        """``xbrtime_close``: tear the runtime down; synchronises all PEs."""
+        self._require_active()
+        self._barrier.world()
+        self._active = False
+        self._closed = True
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise RuntimeStateError(
+                f"PE {self.rank}: runtime used outside init()/close()"
+            )
+
+    def release(self) -> None:
+        """Drop the segment views (required before unmapping segments)."""
+        self._bufs = None
+
+    # -- identity ---------------------------------------------------------------
+
+    def my_pe(self) -> int:
+        """``xbrtime_mype``."""
+        self._require_active()
+        return self.rank
+
+    def num_pes(self) -> int:
+        """``xbrtime_num_pes``."""
+        self._require_active()
+        return self.config.n_pes
+
+    def failed_pes(self) -> frozenset[int]:
+        """Fault injection does not exist here: nobody is ever dead."""
+        return frozenset()
+
+    def live_pes(self) -> tuple[int, ...]:
+        return self.world_group
+
+    @property
+    def time_ns(self) -> float:
+        """Wall-clock nanoseconds since this context was created."""
+        return (time.perf_counter() - self._t0) * 1e9
+
+    # -- memory management ---------------------------------------------------------
+
+    def malloc(self, nbytes: int, align: int = 16) -> int:
+        """Collective symmetric allocation (same address on every PE)."""
+        self._require_active()
+        idx = self._heap_calls
+        self._heap_calls += 1
+        return self._heap.collective_malloc(idx, nbytes, align)
+
+    def free(self, addr: int) -> None:
+        """Collective symmetric free."""
+        self._require_active()
+        idx = self._heap_calls
+        self._heap_calls += 1
+        self._heap.collective_free(idx, addr)
+
+    def scratch_alloc(self, nbytes: int, align: int = 16) -> int:
+        self._require_active()
+        return self._scratch.alloc(nbytes, align)
+
+    def scratch_free(self, addr: int) -> None:
+        self._require_active()
+        self._scratch.free(addr)
+
+    def private_malloc(self, nbytes: int, align: int = 16) -> int:
+        self._require_active()
+        return self._private.alloc(nbytes, align)
+
+    def private_free(self, addr: int) -> None:
+        self._require_active()
+        self._private.free(addr)
+
+    def is_symmetric(self, addr: int) -> bool:
+        return addr >= self._heap_base
+
+    def _segment_view(self, pe: int, addr: int, dtype: np.dtype,
+                      count: int, stride: int) -> np.ndarray:
+        """:meth:`repro.isa.memory.Memory.view` over PE ``pe``'s segment."""
+        if count < 0:
+            raise AddressError("count must be non-negative")
+        if stride < 1:
+            raise AddressError(f"stride must be >= 1, got {stride}")
+        if count == 0:
+            return np.empty(0, dtype=dtype)
+        span = ((count - 1) * stride + 1) * dtype.itemsize
+        if addr < 0 or addr + span > self._mem_bytes:
+            raise AddressError(
+                f"access [{addr:#x}, {addr + span:#x}) outside memory "
+                f"of {self._mem_bytes:#x} bytes"
+            )
+        dense = self._bufs[pe][addr : addr + span].view(dtype)
+        return dense[::stride]
+
+    def view(self, addr: int, dtype: str | np.dtype, count: int,
+             stride: int = 1) -> np.ndarray:
+        """A numpy view of local memory (aliases the shared segment)."""
+        return self._segment_view(self.rank, addr, resolve_dtype(dtype),
+                                  count, stride)
+
+    def view_on(self, pe: int, addr: int, dtype: str | np.dtype, count: int,
+                stride: int = 1) -> np.ndarray:
+        """A view of another PE's segment — tests/verification only."""
+        return self._segment_view(pe, addr, resolve_dtype(dtype), count,
+                                  stride)
+
+    # -- time charging (free on a wall-clock backend) ----------------------------------
+
+    def compute(self, ns: float) -> None:
+        """Modelled compute costs nothing here: real work takes real time."""
+
+    def charge_access(self, addr: int, nbytes: int = 8,
+                      write: bool = False) -> float:
+        return 0.0
+
+    def charge_stream(self, addr: int, nbytes: int,
+                      write: bool = False) -> float:
+        return 0.0
+
+    # -- synchronisation -------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """``xbrtime_barrier`` over the shared-memory sense barrier."""
+        self._require_active()
+        self._barrier.world()
+
+    def barrier_team(self, members: Sequence[int]) -> None:
+        self._require_active()
+        self._barrier.team(tuple(members))
+
+    # -- one-sided communication --------------------------------------------------------
+
+    def _check_args(self, nelems: int, stride: int, target: int) -> None:
+        if nelems < 0:
+            raise CollectiveArgumentError(f"nelems must be >= 0, got {nelems}")
+        if stride < 1:
+            raise CollectiveArgumentError(f"stride must be >= 1, got {stride}")
+        if not 0 <= target < self.config.n_pes:
+            raise CollectiveArgumentError(
+                f"pe {target} out of range [0, {self.config.n_pes})"
+            )
+
+    def put(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+            dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_put`` as a cross-segment memcpy."""
+        self._require_active()
+        self._check_args(nelems, stride, pe)
+        if nelems == 0:
+            return
+        dt = resolve_dtype(dtype)
+        sview = self._segment_view(self.rank, src, dt, nelems, stride)
+        dview = self._segment_view(pe, dest, dt, nelems, stride)
+        # A local transfer may overlap itself; remote segments never alias.
+        dview[:] = sview.copy() if pe == self.rank else sview
+        self._ctl.bump_progress(self.rank)
+
+    def get(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+            dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_get`` as a cross-segment memcpy."""
+        self._require_active()
+        self._check_args(nelems, stride, pe)
+        if nelems == 0:
+            return
+        dt = resolve_dtype(dtype)
+        sview = self._segment_view(pe, src, dt, nelems, stride)
+        dview = self._segment_view(self.rank, dest, dt, nelems, stride)
+        dview[:] = sview.copy() if pe == self.rank else sview
+        self._ctl.bump_progress(self.rank)
+
+    def put_nb(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+               dtype: str | np.dtype = "long") -> MPTransferHandle:
+        """Non-blocking put (eagerly completed — memcpys are synchronous)."""
+        self.put(dest, src, nelems, stride, pe, dtype)
+        return MPTransferHandle("put", nelems * resolve_dtype(dtype).itemsize)
+
+    def get_nb(self, dest: int, src: int, nelems: int, stride: int, pe: int,
+               dtype: str | np.dtype = "long") -> MPTransferHandle:
+        """Non-blocking get (eagerly completed)."""
+        self.get(dest, src, nelems, stride, pe, dtype)
+        return MPTransferHandle("get", nelems * resolve_dtype(dtype).itemsize)
+
+    def amo(self, addr: int, value: int, pe: int, op: str = "add",
+            dtype: str | np.dtype = "uint64") -> int:
+        """Remote fetch-and-op, serialised by the target PE's AMO lock."""
+        self._require_active()
+        self._check_args(1, 1, pe)
+        dt = resolve_dtype(dtype)
+        if dt.itemsize != 8 or dt.kind not in "iu":
+            raise CollectiveArgumentError(
+                f"AMOs operate on 64-bit integer types, not {dt}"
+            )
+        if addr < 0 or addr + 8 > self._mem_bytes:
+            raise AddressError(
+                f"access [{addr:#x}, {addr + 8:#x}) outside memory "
+                f"of {self._mem_bytes:#x} bytes"
+            )
+        cell = self._bufs[pe][addr : addr + 8]
+        with self._amo_locks[pe]:
+            old = int.from_bytes(cell.tobytes(), "little")
+            new = amo_apply(op, old, int(value) & MASK64)
+            cell[:] = np.frombuffer(new.to_bytes(8, "little"), dtype=np.uint8)
+        self._ctl.bump_progress(self.rank)
+        if dt.kind == "i" and old >> 63:
+            return old - (1 << 64)
+        return old
+
+    def wait(self, handle: MPTransferHandle) -> None:
+        """Complete one non-blocking transfer (already complete)."""
+        self._require_active()
+        handle.done = True
+
+    def quiet(self) -> None:
+        """Complete all outstanding transfers (memcpys already landed)."""
+        self._require_active()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MPContext(pe={self.rank}/{self.config.n_pes})"
+
+
+# -- worker process -----------------------------------------------------------
+
+
+def _worker_main(rank: int, config: MachineConfig, token: str,
+                 barrier_lock, amo_locks, task_q, result_q) -> None:
+    """The PE worker loop: attach segments, then serve tasks forever.
+
+    Messages on ``task_q``:
+
+    * ``("run", run_id, fn, args, timeout)`` — run ``fn(ctx, *args)``
+      against a fresh context; report ``("ok"| "err" | "aborted", rank,
+      run_id, payload)``.
+    * ``("reset",)`` — forget local barrier state (session recovery);
+      acked with ``("reset-ok", rank, 0, None)``.
+    * ``None`` — exit cleanly.
+
+    A failing run stamps the shared abort flag *before* reporting so
+    peers spinning on this worker unwind promptly; ``WorkerAbortedError``
+    unwinds are reported as ``"aborted"`` so the parent can tell the
+    primary failure from collateral ones.
+    """
+    segs = SegmentGroup(token, config.n_pes, config.memory_bytes_per_pe,
+                        control_bytes(config.n_pes), create=False)
+    ctl = ControlBlock(segs.control, config.n_pes)
+    barrier = ShmBarrier(ctl, rank, config.n_pes, barrier_lock)
+    try:
+        while True:
+            task = task_q.get()
+            if task is None:
+                return
+            if task[0] == "reset":
+                barrier.reset_local()
+                result_q.put(("reset-ok", rank, 0, None))
+                continue
+            _, run_id, fn, args, timeout = task
+            barrier.run_id = run_id
+            barrier.timeout = timeout
+            ctx = MPContext(rank, config, segs, ctl, barrier, amo_locks)
+            try:
+                result = fn(ctx, *args)
+                try:
+                    pickle.dumps(result)
+                except Exception as exc:
+                    ctl.abort_run(run_id)
+                    msg = ("err", rank, run_id,
+                           f"PE {rank} returned an unpicklable result: "
+                           f"{exc!r}")
+                else:
+                    msg = ("ok", rank, run_id, result)
+            except WorkerAbortedError:
+                msg = ("aborted", rank, run_id, traceback.format_exc())
+            except BaseException:
+                ctl.abort_run(run_id)
+                msg = ("err", rank, run_id, traceback.format_exc())
+            finally:
+                ctx.release()
+            result_q.put(msg)
+    finally:
+        ctl.release()
+        segs.close()
+
+
+# -- the session --------------------------------------------------------------
+
+
+class MPSession(BackendSession):
+    """A persistent pool of PE worker processes over shared segments.
+
+    Workers and segments are created once and reused across ``run``
+    calls (conformance sweeps and benchmarks amortise the start-up).
+    Teardown (explicit ``close``, ``with`` exit or the ``atexit`` hook —
+    whichever comes first) terminates every worker and unlinks every
+    segment exactly once; ``close`` is idempotent.
+    """
+
+    def __init__(self, config: MachineConfig, *, timeout: float = 60.0,
+                 start_method: str | None = None):
+        self.config = config
+        self.timeout = timeout
+        method = (start_method or os.environ.get("XBGAS_MP_START")
+                  or "fork")
+        self._mp = mp.get_context(method)
+        self._run_id = 0
+        self._closed = False
+        token = SegmentGroup.new_token()
+        self.token = token
+        self._segs = SegmentGroup(
+            token, config.n_pes, config.memory_bytes_per_pe,
+            control_bytes(config.n_pes), create=True,
+        )
+        self._ctl = ControlBlock(self._segs.control, config.n_pes)
+        self._barrier_lock = self._mp.Lock()
+        self._amo_locks = [self._mp.Lock() for _ in range(config.n_pes)]
+        self._result_q = self._mp.Queue()
+        self._task_qs: list[Any] = []
+        self._workers: list[Any] = []
+        try:
+            for rank in range(config.n_pes):
+                self._task_qs.append(self._mp.SimpleQueue())
+                self._workers.append(self._spawn(rank))
+        except BaseException:
+            self._teardown()
+            raise
+        atexit.register(self.close)
+
+    # -- worker management --------------------------------------------------
+
+    def _spawn(self, rank: int):
+        proc = self._mp.Process(
+            target=_worker_main,
+            args=(rank, self.config, self.token, self._barrier_lock,
+                  self._amo_locks, self._task_qs[rank], self._result_q),
+            name=f"xbgas-pe{rank}",
+            daemon=True,
+        )
+        proc.start()
+        return proc
+
+    def _rebuild_pool(self, kill: bool = True) -> None:
+        """Replace every worker and zero the shared sync state.
+
+        The heavyweight recovery path — used when workers are stuck in
+        user code (watchdog) or have died: per-worker reset messages
+        cannot be trusted to be read.
+        """
+        for proc in self._workers:
+            if kill and proc.is_alive():
+                proc.terminate()
+            proc.join(timeout=_GRACE)
+        self._drain_results()
+        self._ctl.reset_sync_state()
+        self._ctl.clear_abort()
+        for rank in range(self.config.n_pes):
+            self._task_qs[rank] = self._mp.SimpleQueue()
+            self._workers[rank] = self._spawn(rank)
+
+    def _drain_results(self) -> None:
+        while True:
+            try:
+                self._result_q.get_nowait()
+            except queue_mod.Empty:
+                return
+
+    def _recover(self) -> None:
+        """Quiesce live workers after a failed run, then reset sync state.
+
+        Every worker has already reported for the failed run (so none is
+        inside a barrier); the reset round trips make sure each has also
+        forgotten its local barrier sense before the shared counters are
+        zeroed.
+        """
+        dead = [p for p in self._workers if not p.is_alive()]
+        if dead:
+            self._rebuild_pool()
+            return
+        for q in self._task_qs:
+            q.put(("reset",))
+        pending = set(range(self.config.n_pes))
+        deadline = time.monotonic() + _GRACE
+        while pending:
+            try:
+                kind, rank, _, _ = self._result_q.get(
+                    timeout=max(0.05, deadline - time.monotonic()))
+            except queue_mod.Empty:
+                self._rebuild_pool()
+                return
+            if kind == "reset-ok":
+                pending.discard(rank)
+        self._ctl.reset_sync_state()
+        self._ctl.clear_abort()
+
+    # -- running programs ---------------------------------------------------
+
+    def run(self, fn: Callable[..., Any],
+            args_per_pe: Sequence[tuple] | None = None, *,
+            timeout: float | None = None) -> list[Any]:
+        """Run ``fn(ctx, *extra)`` on every PE worker; per-rank results.
+
+        ``fn`` and its arguments must be picklable (module-level
+        functions — the same restriction real ``multiprocessing`` code
+        has).  Raises :class:`WorkerFailedError` if any PE raises,
+        :class:`BackendTimeoutError` if the run outlives the watchdog.
+        """
+        if self._closed:
+            raise RuntimeStateError("MPSession used after close()")
+        n = self.config.n_pes
+        if args_per_pe is not None and len(args_per_pe) != n:
+            raise ValueError(
+                f"args_per_pe has {len(args_per_pe)} entries for {n} PEs"
+            )
+        limit = self.timeout if timeout is None else timeout
+        self._run_id += 1
+        run_id = self._run_id
+        for rank in range(n):
+            extra = tuple(args_per_pe[rank]) if args_per_pe is not None else ()
+            self._task_qs[rank].put(("run", run_id, fn, extra, limit))
+
+        results: dict[int, Any] = {}
+        failures: dict[int, str] = {}
+        aborted: dict[int, str] = {}
+        outstanding = set(range(n))
+        deadline = time.monotonic() + limit + _GRACE
+        while outstanding:
+            # A dead worker sends nothing: notice, abort its peers, and
+            # account for it so collection can finish.
+            for rank in list(outstanding):
+                proc = self._workers[rank]
+                if not proc.is_alive():
+                    self._ctl.abort_run(run_id)
+                    failures[rank] = (
+                        f"PE {rank} worker process died "
+                        f"(exitcode {proc.exitcode})"
+                    )
+                    outstanding.discard(rank)
+            if not outstanding:
+                break
+            if time.monotonic() > deadline:
+                self._ctl.abort_run(run_id)
+                self._rebuild_pool()
+                raise BackendTimeoutError(
+                    f"run {run_id} exceeded {limit:.0f}s; PEs "
+                    f"{sorted(outstanding)} never reported (stuck in user "
+                    "code?) — worker pool rebuilt"
+                )
+            try:
+                kind, rank, rid, payload = self._result_q.get(timeout=0.2)
+            except queue_mod.Empty:
+                continue
+            if rid != run_id:
+                continue  # stale message from an abandoned run
+            outstanding.discard(rank)
+            if kind == "ok":
+                results[rank] = payload
+            elif kind == "aborted":
+                aborted[rank] = payload
+            else:
+                failures[rank] = payload
+
+        if failures or aborted:
+            self._recover()
+            raise WorkerFailedError(failures or aborted)
+        return [results[rank] for rank in range(n)]
+
+    # -- teardown ------------------------------------------------------------
+
+    def _teardown(self) -> None:
+        for q, proc in zip(self._task_qs, self._workers):
+            if proc.is_alive():
+                try:
+                    q.put(None)
+                except Exception:
+                    pass
+        for proc in self._workers:
+            proc.join(timeout=_GRACE)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_GRACE)
+        self._result_q.close()
+        self._result_q.join_thread()
+        self._ctl.release()
+        self._segs.close()
+        self._segs.unlink()
+
+    def close(self) -> None:
+        """Stop the workers and unlink the segments (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close)
+        self._teardown()
+
+
+class MultiprocessingBackend(Backend):
+    """True-parallel worker processes over shared memory (``"mp"``).
+
+    Session options: ``timeout`` (per-run watchdog seconds, default 60)
+    and ``start_method`` (``"fork"`` default; also via the
+    ``XBGAS_MP_START`` environment variable).
+    """
+
+    name = "mp"
+
+    def session(self, config: MachineConfig | None = None, *,
+                n_pes: int | None = None, **opts: Any) -> MPSession:
+        return MPSession(resolve_config(config, n_pes), **opts)
+
+
+# Install the per-TYPENAME call surface (Table 1) — same wrappers as the
+# simulator context, so typed programs are backend-portable too.
+from ..runtime import typed as _typed  # noqa: E402
+
+_typed.install_typed_api(MPContext)

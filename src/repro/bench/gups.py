@@ -33,7 +33,8 @@ from ..errors import CollectiveArgumentError
 from ..params import MachineConfig
 from ..runtime.context import Machine, XBRTime
 
-__all__ = ["POLY", "hpcc_starts", "GupsParams", "GupsResult", "run_gups"]
+__all__ = ["POLY", "hpcc_starts", "GupsParams", "GupsResult", "run_gups",
+           "run_gups_backend"]
 
 MASK64 = (1 << 64) - 1
 #: The HPCC RandomAccess polynomial (x^63 + x^2 + x + 1).
@@ -275,4 +276,42 @@ def run_gups(config: MachineConfig, params: GupsParams | None = None, *,
         seed=params.seed,
         wall_seconds=wall,
         sim_ns_per_wall_s=(machine.elapsed_ns / wall) if wall > 0 else 0.0,
+    )
+
+
+def run_gups_backend(config: MachineConfig,
+                     params: GupsParams | None = None, *,
+                     backend: str = "sim", **session_opts) -> GupsResult:
+    """Run GUPs on any execution backend (``"sim"`` or ``"mp"``).
+
+    The *same* per-PE program (:func:`_gups_pe`) runs either way — it is
+    written against the PE context protocol.  The reported seconds come
+    from ``ctx.time_ns``, which means *modelled* time on the simulator
+    and *wall-clock* time on the multiprocessing backend; on ``"mp"``
+    :attr:`GupsResult.mops_total` is therefore a true host throughput
+    and the basis of the cross-PE-count scaling numbers in
+    ``BENCH_mp.json``.
+    """
+    from ..backends import get_backend
+
+    params = params if params is not None else GupsParams()
+    wall0 = time.perf_counter()
+    results = get_backend(backend).run(
+        _gups_pe, [(params,) for _ in range(config.n_pes)],
+        config=config, **session_opts,
+    )
+    wall = time.perf_counter() - wall0
+    t_ns = max(r["t_update_ns"] for r in results)
+    total_updates = sum(r["updates"] for r in results)
+    errors = results[0]["errors"]
+    return GupsResult(
+        n_pes=config.n_pes,
+        table_size=params.table_size,
+        total_updates=total_updates,
+        sim_seconds=t_ns / 1e9,
+        errors=max(errors, 0),
+        verified=params.verify,
+        seed=params.seed,
+        wall_seconds=wall,
+        sim_ns_per_wall_s=0.0,
     )

@@ -15,6 +15,7 @@ qualitative claims the reproduction must match:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, replace
 from typing import Sequence
@@ -22,18 +23,20 @@ from typing import Sequence
 import numpy as np
 
 from ..params import MachineConfig
-from .gups import GupsParams, GupsResult, run_gups
+from .gups import GupsParams, GupsResult, run_gups, run_gups_backend
 from .nas_is import IsParams, IsResult, generate_keys, run_is
 
 __all__ = [
     "SweepPoint",
     "PE_COUNTS",
     "sweep_gups",
+    "sweep_gups_backend",
     "sweep_is",
     "check_figure4_shape",
     "check_figure5_shape",
     "CollectiveProfile",
     "profile_collective",
+    "bench_report",
     "main",
 ]
 
@@ -79,6 +82,44 @@ def sweep_gups(
     points = []
     for n in pe_counts:
         res: GupsResult = run_gups(base.with_(n_pes=n), params)
+        points.append(SweepPoint(
+            n_pes=n,
+            mops_total=res.mops_total,
+            mops_per_pe=res.mops_per_pe,
+            verified=res.passed,
+            detail=res,
+            seed=params.seed,
+            wall_seconds=res.wall_seconds,
+            sim_ns_per_wall_s=res.sim_ns_per_wall_s,
+        ))
+    return points
+
+
+def sweep_gups_backend(
+    pe_counts: Sequence[int] = PE_COUNTS,
+    params: GupsParams | None = None,
+    base_config: MachineConfig | None = None,
+    *,
+    backend: str = "mp",
+    seed: int | None = None,
+    **session_opts,
+) -> list[SweepPoint]:
+    """GUPs at each PE count on an execution backend (wall-clock).
+
+    Unlike :func:`sweep_gups` the reported rates are whatever
+    ``ctx.time_ns`` means on the chosen backend — host throughput on
+    ``"mp"``.  Shape checks do not apply to wall-clock numbers (they
+    depend on the host's core count), so callers record these points
+    instead of asserting Figure 4 on them.
+    """
+    params = params if params is not None else GupsParams()
+    if seed is not None:
+        params = replace(params, seed=seed)
+    base = base_config if base_config is not None else MachineConfig()
+    points = []
+    for n in pe_counts:
+        res: GupsResult = run_gups_backend(
+            base.with_(n_pes=n), params, backend=backend, **session_opts)
         points.append(SweepPoint(
             n_pes=n,
             mops_total=res.mops_total,
@@ -313,14 +354,59 @@ def _print_points(title: str, points: Sequence[SweepPoint],
         print("  shape: OK")
 
 
+def bench_report(bench: str, backend: str,
+                 points: Sequence[SweepPoint]) -> dict:
+    """A JSON-serialisable record of one sweep, with host metadata.
+
+    Wall-clock numbers are only interpretable next to the host they were
+    measured on — a 1-core container cannot show parallel speedup no
+    matter how good the backend is — so the record carries the CPU
+    count, platform and Python version alongside the measurements.
+    ``speedup_8v1`` (or the widest available ratio) is the scaling
+    headline.
+    """
+    import platform
+    import sys
+
+    p = _by_pes(points)
+    widest = max(p) if p else 0
+    speedup = (p[widest].mops_total / p[min(p)].mops_total
+               if len(p) >= 2 else None)
+    return {
+        "bench": bench,
+        "backend": backend,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "points": [
+            {
+                "n_pes": pt.n_pes,
+                "mops_total": pt.mops_total,
+                "mops_per_pe": pt.mops_per_pe,
+                "verified": pt.verified,
+                "seed": pt.seed,
+                "wall_seconds": pt.wall_seconds,
+            }
+            for pt in points
+        ],
+        "speedup_widest_vs_1": speedup,
+        "widest_pes": widest,
+    }
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """``python -m repro.bench.harness`` — run the figure sweeps.
 
     ``--seed`` varies the benchmark workloads deterministically (and is
     recorded on every reported point); identical invocations produce
-    identical results.
+    identical results.  ``--backend mp`` reruns GUPs on the true-parallel
+    multiprocessing backend (wall-clock rates, no figure-shape checks);
+    ``--out`` writes the sweep as JSON (the ``BENCH_mp.json`` format).
     """
     import argparse
+    import json
 
     parser = argparse.ArgumentParser(
         prog="repro.bench.harness",
@@ -328,6 +414,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument("--bench", choices=("gups", "is", "both"),
                         default="both", help="which sweep(s) to run")
+    parser.add_argument("--backend", choices=("sim", "mp"), default="sim",
+                        help="execution backend (mp = wall-clock GUPs)")
     parser.add_argument("--seed", type=int, default=0,
                         help="workload seed (0 = the canonical streams)")
     parser.add_argument("--pes", type=int, nargs="+", default=list(PE_COUNTS),
@@ -336,25 +424,49 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="GUPs updates per PE (default: 2048)")
     parser.add_argument("--is-class", default=None,
                         help="NAS IS problem class (e.g. B-scaled)")
+    parser.add_argument("--out", default=None,
+                        help="write the sweep as JSON to this path")
     args = parser.parse_args(argv)
 
     status = 0
-    if args.bench in ("gups", "both"):
+    report = None
+    if args.backend == "mp":
+        # Wall-clock sweep: figure-shape checks are about the *simulated*
+        # platform and do not apply to host throughput.
+        if args.bench in ("is", "both"):
+            print("note: --backend mp runs the GUPs sweep only")
         gp = GupsParams()
         if args.gups_updates is not None:
             gp = replace(gp, updates_per_pe=args.gups_updates)
-        points = sweep_gups(args.pes, gp, seed=args.seed)
-        bad = check_figure4_shape(points)
-        _print_points(f"GUPs (Figure 4), seed={args.seed}", points, bad)
-        status |= bool(bad)
-    if args.bench in ("is", "both"):
-        ip = IsParams()
-        if args.is_class is not None:
-            ip = replace(ip, problem_class=args.is_class)
-        points = sweep_is(args.pes, ip, seed=args.seed)
-        bad = check_figure5_shape(points)
-        _print_points(f"NAS IS (Figure 5), seed={args.seed}", points, bad)
-        status |= bool(bad)
+        points = sweep_gups_backend(args.pes, gp, backend="mp",
+                                    seed=args.seed)
+        _print_points(f"GUPs on mp backend (wall-clock), seed={args.seed}",
+                      points, [])
+        status |= not all(pt.verified for pt in points)
+        report = bench_report("gups", "mp", points)
+    else:
+        if args.bench in ("gups", "both"):
+            gp = GupsParams()
+            if args.gups_updates is not None:
+                gp = replace(gp, updates_per_pe=args.gups_updates)
+            points = sweep_gups(args.pes, gp, seed=args.seed)
+            bad = check_figure4_shape(points)
+            _print_points(f"GUPs (Figure 4), seed={args.seed}", points, bad)
+            status |= bool(bad)
+            report = bench_report("gups", "sim", points)
+        if args.bench in ("is", "both"):
+            ip = IsParams()
+            if args.is_class is not None:
+                ip = replace(ip, problem_class=args.is_class)
+            points = sweep_is(args.pes, ip, seed=args.seed)
+            bad = check_figure5_shape(points)
+            _print_points(f"NAS IS (Figure 5), seed={args.seed}", points, bad)
+            status |= bool(bad)
+    if args.out and report is not None:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
     return status
 
 

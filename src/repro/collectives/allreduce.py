@@ -118,7 +118,7 @@ def prepare_allreduce(
 
         algorithm = select_algorithm(
             "allreduce", nelems * dtype.itemsize, n_pes,
-            ctx.machine.config.topology,
+            ctx.config.topology,
         )
     if algorithm not in ALGORITHMS:
         raise CollectiveArgumentError(

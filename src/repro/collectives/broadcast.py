@@ -111,7 +111,7 @@ def prepare_broadcast(
 
         algorithm = select_algorithm(
             "broadcast", nelems * dtype.itemsize, n_pes,
-            ctx.machine.config.topology,
+            ctx.config.topology,
         )
     attrs = dict(algorithm=algorithm, root=root, nelems=nelems,
                  dtype=str(dtype))

@@ -57,7 +57,7 @@ def collective_span(ctx: "XBRTime", name: str, members: Sequence[int],
     correlate the per-PE spans of one logical call.  Returns a shared
     no-op when tracing is disabled (zero allocation, zero events).
     """
-    spans = ctx.machine.engine.spans
+    spans = ctx.spans
     if not spans.enabled:
         return _NULL_SPAN
     return spans.scope(ctx.rank, "collective", name,
@@ -67,7 +67,7 @@ def collective_span(ctx: "XBRTime", name: str, members: Sequence[int],
 def stage_span(ctx: "XBRTime", index: int, **attrs: object):
     """Context manager spanning one tree stage (including its closing
     barrier).  ``index`` is the stage ordinal in execution order."""
-    spans = ctx.machine.engine.spans
+    spans = ctx.spans
     if not spans.enabled:
         return _NULL_SPAN
     return spans.scope(ctx.rank, "stage", "stage", {"index": index, **attrs})
@@ -80,11 +80,11 @@ def resolve_group(ctx: "XBRTime", group: Sequence[int] | None) -> tuple[tuple[in
     tuple of world ranks and ``my_index`` is the caller's group rank.
     """
     if group is None:
-        return ctx.machine.world_group, ctx.rank
+        return ctx.world_group, ctx.rank
     members = tuple(group)
     if len(set(members)) != len(members):
         raise CollectiveArgumentError(f"group has duplicate ranks: {members}")
-    n_world = ctx.machine.config.n_pes
+    n_world = ctx.config.n_pes
     for r in members:
         if not 0 <= r < n_world:
             raise CollectiveArgumentError(f"group rank {r} out of range")
@@ -121,7 +121,7 @@ def span_bytes(nelems: int, stride: int, elem_bytes: int) -> int:
 
 def charge_elementwise(ctx: "XBRTime", nelems: int, instrs_per_elem: float = 2.0) -> None:
     """Charge the ALU cost of an elementwise pass over ``nelems``."""
-    ctx.compute(nelems * instrs_per_elem * ctx.machine.config.cycle_ns)
+    ctx.compute(nelems * instrs_per_elem * ctx.config.cycle_ns)
 
 
 def local_copy(ctx: "XBRTime", dest: int, src: int, nelems: int, stride: int,

@@ -105,7 +105,7 @@ def allgather(
 
         algorithm = select_algorithm(
             "allgather", nelems * dtype.itemsize, n_pes,
-            ctx.machine.config.topology,
+            ctx.config.topology,
         )
     if algorithm == "tree":
         with collective_span(ctx, "allgather", members, nelems=nelems,

@@ -46,7 +46,7 @@ def node_layout(ctx: "XBRTime", members: Sequence[int],
     the group's leader — the root for its node, the lowest rank
     elsewhere.
     """
-    cfg = ctx.machine.config
+    cfg = ctx.config
     by_node: dict[int, list[int]] = {}
     for r in members:
         by_node.setdefault(cfg.node_of(r), []).append(r)

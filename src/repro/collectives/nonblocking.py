@@ -26,7 +26,7 @@ from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
-from ..errors import CollectiveArgumentError, SimulationError
+from ..errors import CollectiveArgumentError
 from . import broadcast as _broadcast
 from . import gather as _gather
 from . import reduce as _reduce
@@ -87,13 +87,12 @@ class CollectiveHandle:
         """
         if self._ctx is None or self.initiator is None:
             return
-        try:
-            current = self._ctx.machine.engine.current
-        except SimulationError:
+        current = self._ctx.executing_rank()
+        if current is None:
             return  # inspected from outside PE code (driver/tests)
-        if current.rank != self.initiator:
+        if current != self.initiator:
             raise CollectiveArgumentError(
-                f"PE {current.rank} waited on a {self.name} handle "
+                f"PE {current} waited on a {self.name} handle "
                 f"initiated by PE {self.initiator}; non-blocking "
                 "collectives are per-participant — each PE initiates and "
                 "waits on its own handle"

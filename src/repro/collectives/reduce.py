@@ -115,7 +115,7 @@ def prepare_reduce(
 
         algorithm = select_algorithm(
             "reduce", nelems * dtype.itemsize, n_pes,
-            ctx.machine.config.topology,
+            ctx.config.topology,
         )
     attrs = dict(algorithm=algorithm, root=root, op=op, nelems=nelems,
                  dtype=str(dtype))

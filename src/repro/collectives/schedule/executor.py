@@ -146,7 +146,7 @@ class PreparedCollective:
 
     def run(self, ctx: "XBRTime") -> None:
         if self.stats_key is not None and self.me == self.stats_rank:
-            ctx.machine.stats.collective_calls[self.stats_key] += 1
+            ctx.count_collective(self.stats_key)
         with collective_span(ctx, self.name, self.members, **self.attrs):
             if self.schedule is not None:
                 execute_schedule(ctx, self.schedule, self.members, self.me,

@@ -26,6 +26,10 @@ __all__ = [
     "PECrashedError",
     "PeerFailedError",
     "TransferTimeoutError",
+    "BackendError",
+    "WorkerFailedError",
+    "BackendTimeoutError",
+    "WorkerAbortedError",
 ]
 
 
@@ -122,3 +126,35 @@ class PeerFailedError(XbgasError):
 
 class TransferTimeoutError(NetworkError):
     """A reliable put/get exhausted its retries without an ack."""
+
+
+class BackendError(XbgasError):
+    """An execution backend (:mod:`repro.backends`) failed."""
+
+
+class WorkerFailedError(BackendError):
+    """A PE worker process raised (or died) during a backend run.
+
+    ``failures`` maps world rank to the worker's formatted traceback
+    text — the parent process cannot re-raise the original object, so
+    the text is the diagnostic payload.
+    """
+
+    def __init__(self, failures: dict[int, str]):
+        self.failures = dict(failures)
+        ranks = sorted(self.failures)
+        first = self.failures[ranks[0]].strip().splitlines()
+        summary = first[-1] if first else "unknown error"
+        super().__init__(
+            f"PE worker(s) {ranks} failed; PE {ranks[0]}: {summary}"
+        )
+
+
+class BackendTimeoutError(BackendError):
+    """A backend run exceeded its watchdog timeout (likely a deadlock)."""
+
+
+class WorkerAbortedError(BackendError):
+    """Raised *inside* a PE worker whose run was aborted because a peer
+    failed — the shared-memory barrier and spin-waits poll the abort
+    flag so no worker is left spinning on a dead peer."""

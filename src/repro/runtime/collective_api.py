@@ -1,0 +1,197 @@
+"""The backend-independent slice of the PE context API.
+
+:class:`CollectiveAPI` carries every context method that is pure
+protocol — collective front-ends, resilient wrappers and the user span —
+expressed entirely in terms of the PE-context surface documented in
+:mod:`repro.backends.base`.  Both execution backends' contexts mix it
+in: the simulator's :class:`~repro.runtime.context.XBRTime` and the
+multiprocessing backend's :class:`~repro.backends.mp.MPContext`.  That
+is what makes every compiled schedule run unmodified on either backend.
+
+Subclasses provide: ``rank``, ``spans``, ``_require_active()``,
+``barrier_team``, the one-sided transfer methods, memory management and
+``compute``/``charge_*`` cost charging.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from ..types import typeinfo
+
+__all__ = ["CollectiveAPI", "resolve_dtype"]
+
+
+def resolve_dtype(t: str | np.dtype | type) -> np.dtype:
+    """Accept a Table 1 TYPENAME, a numpy dtype or a Python/numpy type."""
+    if isinstance(t, str):
+        return typeinfo(t).dtype
+    return np.dtype(t)
+
+
+class CollectiveAPI:
+    """Mixin: the collective call surface of a PE context."""
+
+    # -- tracing ---------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[None]:
+        """Wrap a region of PE code in a named trace span.
+
+        A no-op when tracing is disabled (always, on wall-clock
+        backends); with ``Machine(trace=True)`` the span appears in the
+        Chrome-trace export as a ``user`` category interval on this PE's
+        track, nesting around whatever puts/gets/collectives the region
+        performs.
+        """
+        spans = self.spans
+        if not spans.enabled:
+            yield
+            return
+        spans.begin(self.rank, "user", name, attrs or None)
+        try:
+            yield
+        finally:
+            spans.end(self.rank)
+
+    # -- collectives (binomial tree, section 4) ------------------------------------------
+
+    def broadcast(self, dest: int, src: int, nelems: int, stride: int,
+                  root: int, dtype: str | np.dtype = "long",
+                  algorithm: str = "binomial") -> None:
+        """``xbrtime_TYPE_broadcast`` (Algorithm 1)."""
+        self._require_active()
+        from ..collectives import broadcast as _b
+
+        _b.broadcast(self, dest, src, nelems, stride, root,
+                     resolve_dtype(dtype), algorithm=algorithm)
+
+    def reduce(self, dest: int, src: int, nelems: int, stride: int,
+               root: int, op: str = "sum", dtype: str | np.dtype = "long",
+               algorithm: str = "binomial") -> None:
+        """``xbrtime_TYPE_reduce_OP`` (Algorithm 2)."""
+        self._require_active()
+        from ..collectives import reduce as _r
+
+        _r.reduce(self, dest, src, nelems, stride, root, op,
+                  resolve_dtype(dtype), algorithm=algorithm)
+
+    def scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
+                pe_disp: Sequence[int], nelems: int, root: int,
+                dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_scatter`` (Algorithm 3)."""
+        self._require_active()
+        from ..collectives import scatter as _s
+
+        _s.scatter(self, dest, src, pe_msgs, pe_disp, nelems, root,
+                   resolve_dtype(dtype))
+
+    def gather(self, dest: int, src: int, pe_msgs: Sequence[int],
+               pe_disp: Sequence[int], nelems: int, root: int,
+               dtype: str | np.dtype = "long") -> None:
+        """``xbrtime_TYPE_gather`` (Algorithm 4)."""
+        self._require_active()
+        from ..collectives import gather as _g
+
+        _g.gather(self, dest, src, pe_msgs, pe_disp, nelems, root,
+                  resolve_dtype(dtype))
+
+    # -- extended collectives (paper section 7 future work) --------------------------------
+
+    def reduce_all(self, dest: int, src: int, nelems: int, stride: int,
+                   op: str = "sum", dtype: str | np.dtype = "long") -> None:
+        """Reduce-to-all: every PE receives the reduction result."""
+        self._require_active()
+        from ..collectives import extra
+
+        extra.reduce_all(self, dest, src, nelems, stride, op,
+                         resolve_dtype(dtype))
+
+    def allreduce(self, dest: int, src: int, nelems: int, stride: int,
+                  op: str = "sum", dtype: str | np.dtype = "long",
+                  algorithm: str = "doubling") -> None:
+        """One-sided reduction-to-all: ``"doubling"`` (latency-optimal,
+        half the stages of :meth:`reduce_all`'s composition),
+        ``"rabenseifner"`` (bandwidth-optimal reduce-scatter+allgather,
+        the paper's reference [17]), ``"ring"`` (bandwidth-optimal for
+        any PE count) or ``"auto"``."""
+        self._require_active()
+        from ..collectives.allreduce import allreduce as _ar
+
+        _ar(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
+            algorithm=algorithm)
+
+    def scan(self, dest: int, src: int, nelems: int, stride: int,
+             op: str = "sum", dtype: str | np.dtype = "long",
+             inclusive: bool = True) -> None:
+        """Parallel prefix scan (Hillis-Steele, one-sided)."""
+        self._require_active()
+        from ..collectives.scan import scan as _scan
+
+        _scan(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
+              inclusive=inclusive)
+
+    def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
+                  pe_disp: Sequence[int], nelems: int,
+                  dtype: str | np.dtype = "long",
+                  algorithm: str = "tree") -> None:
+        """Gather-to-all (OpenSHMEM ``collect`` semantics).
+
+        ``algorithm`` is ``"tree"`` (gather+broadcast composition),
+        ``"dissemination"`` (⌈log₂N⌉-stage doubling exchange) or
+        ``"auto"``.
+        """
+        self._require_active()
+        from ..collectives import extra
+
+        extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
+                        resolve_dtype(dtype), algorithm=algorithm)
+
+    def alltoall(self, dest: int, src: int, nelems_per_pe: int,
+                 dtype: str | np.dtype = "long") -> None:
+        """Personalised all-to-all exchange."""
+        self._require_active()
+        from ..collectives import extra
+
+        extra.alltoall(self, dest, src, nelems_per_pe, resolve_dtype(dtype))
+
+    # -- resilient collectives (fault-injection runs) ----------------------------------
+
+    def resilient_broadcast(self, dest: int, src: int, nelems: int,
+                            stride: int, root: int,
+                            dtype: str | np.dtype = "long", *,
+                            max_restarts: int = 8):
+        """Broadcast that survives PE crashes by re-rooting the binomial
+        tree over the survivors; returns a
+        :class:`~repro.faults.resilient.ResilientResult`."""
+        self._require_active()
+        from ..faults.resilient import resilient_broadcast as _rb
+
+        return _rb(self, dest, src, nelems, stride, root,
+                   resolve_dtype(dtype), max_restarts=max_restarts)
+
+    def resilient_reduce(self, dest: int, src: int, nelems: int,
+                         stride: int, root: int, op: str = "sum",
+                         dtype: str | np.dtype = "long", *,
+                         max_restarts: int = 8):
+        """Eventually consistent reduction: folds the survivors' values
+        and reports the contribution mask."""
+        self._require_active()
+        from ..faults.resilient import resilient_reduce as _rr
+
+        return _rr(self, dest, src, nelems, stride, root, op,
+                   resolve_dtype(dtype), max_restarts=max_restarts)
+
+    def resilient_allreduce(self, dest: int, src: int, nelems: int,
+                            stride: int, op: str = "sum",
+                            dtype: str | np.dtype = "long", *,
+                            max_restarts: int = 8):
+        """Eventually consistent allreduce over the survivors."""
+        self._require_active()
+        from ..faults.resilient import resilient_allreduce as _ra
+
+        return _ra(self, dest, src, nelems, stride, op,
+                   resolve_dtype(dtype), max_restarts=max_restarts)

@@ -36,7 +36,12 @@ from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
-from ..errors import AddressError, PeerFailedError, RuntimeStateError
+from ..errors import (
+    AddressError,
+    PeerFailedError,
+    RuntimeStateError,
+    SimulationError,
+)
 from ..isa.memory import Memory
 from ..isa.olb import ObjectLookasideBuffer
 from ..machine.memsys import MemoryHierarchy
@@ -55,11 +60,8 @@ __all__ = ["Machine", "XBRTime", "CODE_REGION_BYTES"]
 CODE_REGION_BYTES = 64 * 1024
 
 
-def resolve_dtype(t: str | np.dtype | type) -> np.dtype:
-    """Accept a Table 1 TYPENAME, a numpy dtype or a Python/numpy type."""
-    if isinstance(t, str):
-        return typeinfo(t).dtype
-    return np.dtype(t)
+# Backwards-compatible re-export: resolve_dtype predates collective_api.
+from .collective_api import CollectiveAPI, resolve_dtype  # noqa: E402,F401
 
 
 class Machine:
@@ -270,7 +272,7 @@ class Machine:
             st.tlb_misses += tm
 
 
-class XBRTime:
+class XBRTime(CollectiveAPI):
     """Per-PE runtime context (the xbrtime API surface).
 
     Typed wrappers (``ctx.int_put``, ``ctx.double_broadcast``,
@@ -322,6 +324,50 @@ class XBRTime:
             # Every runtime call is a fault checkpoint: due stalls fire
             # here, and a scheduled crash kills this PE here.
             faults.check_pe(self.rank, self.pe.clock)
+
+    # -- backend protocol accessors ---------------------------------------------
+    #
+    # The collectives layer (schedule executor, front-ends, resilient
+    # wrappers) reaches shared state only through these names, so any
+    # context implementing them — this simulated one or
+    # :class:`repro.backends.mp.MPContext` — can run every compiled
+    # schedule unmodified.  See ``docs/API.md`` ("Backends").
+
+    #: Which execution backend this context belongs to.
+    backend_name = "sim"
+
+    @property
+    def config(self) -> MachineConfig:
+        """The machine configuration (memory layout, topology, costs)."""
+        return self.machine.config
+
+    @property
+    def world_group(self) -> tuple[int, ...]:
+        """The all-PEs group tuple (built once per machine)."""
+        return self.machine.world_group
+
+    @property
+    def spans(self):
+        """The span recorder (a disabled recorder when tracing is off)."""
+        return self.machine.engine.spans
+
+    def count_collective(self, stats_key: str) -> None:
+        """Count one collective call under ``stats_key``."""
+        self.machine.stats.collective_calls[stats_key] += 1
+
+    def executing_rank(self) -> int | None:
+        """The rank whose code is executing on this OS thread right now.
+
+        ``None`` when called from outside PE code (driver / tests).  On
+        the simulator all PE contexts live in one process, so this is
+        how shared objects (non-blocking handles) detect being driven by
+        the wrong PE; on the multiprocessing backend each process *is*
+        one PE and the answer is constant.
+        """
+        try:
+            return self.machine.engine.current.rank
+        except SimulationError:
+            return None
 
     # -- identity ---------------------------------------------------------------
 
@@ -453,27 +499,6 @@ class XBRTime:
         self._require_active()
         self.machine.barriers.barrier(self.rank, tuple(members))
 
-    # -- tracing ---------------------------------------------------------------
-
-    @contextmanager
-    def span(self, name: str, **attrs: Any) -> Iterator[None]:
-        """Wrap a region of PE code in a named trace span.
-
-        A no-op when tracing is disabled; with ``Machine(trace=True)``
-        the span appears in the Chrome-trace export as a ``user``
-        category interval on this PE's track, nesting around whatever
-        puts/gets/collectives the region performs.
-        """
-        spans = self.machine.engine.spans
-        if not spans.enabled:
-            yield
-            return
-        spans.begin(self.rank, "user", name, attrs or None)
-        try:
-            yield
-        finally:
-            spans.end(self.rank)
-
     # -- one-sided communication --------------------------------------------------------
 
     def put(self, dest: int, src: int, nelems: int, stride: int, pe: int,
@@ -526,145 +551,6 @@ class XBRTime:
         """Complete all outstanding non-blocking transfers of this PE."""
         self._require_active()
         self._transfer.quiet()
-
-    # -- collectives (binomial tree, section 4) ------------------------------------------
-
-    def broadcast(self, dest: int, src: int, nelems: int, stride: int,
-                  root: int, dtype: str | np.dtype = "long",
-                  algorithm: str = "binomial") -> None:
-        """``xbrtime_TYPE_broadcast`` (Algorithm 1)."""
-        self._require_active()
-        from ..collectives import broadcast as _b
-
-        _b.broadcast(self, dest, src, nelems, stride, root,
-                     resolve_dtype(dtype), algorithm=algorithm)
-
-    def reduce(self, dest: int, src: int, nelems: int, stride: int,
-               root: int, op: str = "sum", dtype: str | np.dtype = "long",
-               algorithm: str = "binomial") -> None:
-        """``xbrtime_TYPE_reduce_OP`` (Algorithm 2)."""
-        self._require_active()
-        from ..collectives import reduce as _r
-
-        _r.reduce(self, dest, src, nelems, stride, root, op,
-                  resolve_dtype(dtype), algorithm=algorithm)
-
-    def scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
-                pe_disp: Sequence[int], nelems: int, root: int,
-                dtype: str | np.dtype = "long") -> None:
-        """``xbrtime_TYPE_scatter`` (Algorithm 3)."""
-        self._require_active()
-        from ..collectives import scatter as _s
-
-        _s.scatter(self, dest, src, pe_msgs, pe_disp, nelems, root,
-                   resolve_dtype(dtype))
-
-    def gather(self, dest: int, src: int, pe_msgs: Sequence[int],
-               pe_disp: Sequence[int], nelems: int, root: int,
-               dtype: str | np.dtype = "long") -> None:
-        """``xbrtime_TYPE_gather`` (Algorithm 4)."""
-        self._require_active()
-        from ..collectives import gather as _g
-
-        _g.gather(self, dest, src, pe_msgs, pe_disp, nelems, root,
-                  resolve_dtype(dtype))
-
-    # -- extended collectives (paper section 7 future work) --------------------------------
-
-    def reduce_all(self, dest: int, src: int, nelems: int, stride: int,
-                   op: str = "sum", dtype: str | np.dtype = "long") -> None:
-        """Reduce-to-all: every PE receives the reduction result."""
-        self._require_active()
-        from ..collectives import extra
-
-        extra.reduce_all(self, dest, src, nelems, stride, op,
-                         resolve_dtype(dtype))
-
-    def allreduce(self, dest: int, src: int, nelems: int, stride: int,
-                  op: str = "sum", dtype: str | np.dtype = "long",
-                  algorithm: str = "doubling") -> None:
-        """One-sided reduction-to-all: ``"doubling"`` (latency-optimal,
-        half the stages of :meth:`reduce_all`'s composition),
-        ``"rabenseifner"`` (bandwidth-optimal reduce-scatter+allgather,
-        the paper's reference [17]), ``"ring"`` (bandwidth-optimal for
-        any PE count) or ``"auto"``."""
-        self._require_active()
-        from ..collectives.allreduce import allreduce as _ar
-
-        _ar(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
-            algorithm=algorithm)
-
-    def scan(self, dest: int, src: int, nelems: int, stride: int,
-             op: str = "sum", dtype: str | np.dtype = "long",
-             inclusive: bool = True) -> None:
-        """Parallel prefix scan (Hillis-Steele, one-sided)."""
-        self._require_active()
-        from ..collectives.scan import scan as _scan
-
-        _scan(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
-              inclusive=inclusive)
-
-    def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
-                  pe_disp: Sequence[int], nelems: int,
-                  dtype: str | np.dtype = "long",
-                  algorithm: str = "tree") -> None:
-        """Gather-to-all (OpenSHMEM ``collect`` semantics).
-
-        ``algorithm`` is ``"tree"`` (gather+broadcast composition),
-        ``"dissemination"`` (⌈log₂N⌉-stage doubling exchange) or
-        ``"auto"``.
-        """
-        self._require_active()
-        from ..collectives import extra
-
-        extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
-                        resolve_dtype(dtype), algorithm=algorithm)
-
-    def alltoall(self, dest: int, src: int, nelems_per_pe: int,
-                 dtype: str | np.dtype = "long") -> None:
-        """Personalised all-to-all exchange."""
-        self._require_active()
-        from ..collectives import extra
-
-        extra.alltoall(self, dest, src, nelems_per_pe, resolve_dtype(dtype))
-
-    # -- resilient collectives (fault-injection runs) ----------------------------------
-
-    def resilient_broadcast(self, dest: int, src: int, nelems: int,
-                            stride: int, root: int,
-                            dtype: str | np.dtype = "long", *,
-                            max_restarts: int = 8):
-        """Broadcast that survives PE crashes by re-rooting the binomial
-        tree over the survivors; returns a
-        :class:`~repro.faults.resilient.ResilientResult`."""
-        self._require_active()
-        from ..faults.resilient import resilient_broadcast as _rb
-
-        return _rb(self, dest, src, nelems, stride, root,
-                   resolve_dtype(dtype), max_restarts=max_restarts)
-
-    def resilient_reduce(self, dest: int, src: int, nelems: int,
-                         stride: int, root: int, op: str = "sum",
-                         dtype: str | np.dtype = "long", *,
-                         max_restarts: int = 8):
-        """Eventually consistent reduction: folds the survivors' values
-        and reports the contribution mask."""
-        self._require_active()
-        from ..faults.resilient import resilient_reduce as _rr
-
-        return _rr(self, dest, src, nelems, stride, root, op,
-                   resolve_dtype(dtype), max_restarts=max_restarts)
-
-    def resilient_allreduce(self, dest: int, src: int, nelems: int,
-                            stride: int, op: str = "sum",
-                            dtype: str | np.dtype = "long", *,
-                            max_restarts: int = 8):
-        """Eventually consistent allreduce over the survivors."""
-        self._require_active()
-        from ..faults.resilient import resilient_allreduce as _ra
-
-        return _ra(self, dest, src, nelems, stride, op,
-                   resolve_dtype(dtype), max_restarts=max_restarts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

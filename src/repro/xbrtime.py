@@ -50,6 +50,33 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime.context import XBRTime
 
 
+def init(backend: str = "sim", *, n_pes: int | None = None,
+         config=None, **opts):
+    """Open an execution session on the chosen backend.
+
+    ``backend`` is ``"sim"`` (the deterministic simulator) or ``"mp"``
+    (true-parallel worker processes over shared memory); ``opts`` are
+    forwarded to the backend session (e.g. ``trace=True`` on sim,
+    ``timeout=...`` on mp).  The returned
+    :class:`~repro.backends.base.BackendSession` is a context manager::
+
+        import repro.xbrtime as xbr
+
+        with xbr.init("mp", n_pes=8) as session:
+            results = session.run(program)
+    """
+    from .backends import get_backend
+
+    return get_backend(backend).session(config, n_pes=n_pes, **opts)
+
+
+def run(fn, *, backend: str = "sim", n_pes: int | None = None,
+        config=None, args_per_pe=None, **opts):
+    """One-shot convenience: ``init(...)``, run once, close."""
+    with init(backend, n_pes=n_pes, config=config, **opts) as session:
+        return session.run(fn, args_per_pe)
+
+
 def xbrtime_init(ctx: "XBRTime") -> None:
     """Initialise the runtime environment (collective)."""
     ctx.init()
@@ -107,6 +134,8 @@ for _name in TYPED_METHOD_NAMES:
     _GENERATED.append(_fn.__name__)
 
 __all__ = [
+    "init",
+    "run",
     "xbrtime_init",
     "xbrtime_close",
     "xbrtime_mype",

@@ -1,0 +1,188 @@
+"""Torture tests for the multiprocessing backend (``stress`` marker).
+
+Randomised put/get/amo/barrier storms across true-parallel workers,
+plus the failure paths that matter in production: a worker raising
+mid-collective, a deliberate deadlock hitting the watchdog, and the
+orphan checks that no worker process or shared-memory segment survives
+any of it.  Slow by design — run with ``-m stress`` (CI's backends job
+does; the default run excludes them).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.backends import MPSession
+from repro.backends.shm import segment_prefix
+from repro.errors import BackendTimeoutError, WorkerFailedError
+
+from ..conftest import small_config
+from .conftest import xbgas_children, xbgas_segments
+
+pytestmark = pytest.mark.stress
+
+
+def _torture(ctx, seed: int, rounds: int) -> bytes:
+    """Randomised one-sided traffic with single-writer disjoint regions.
+
+    Each PE owns slot ``rank`` of a symmetric table on every peer; only
+    PE ``r`` ever writes slot ``r``, so despite the random traffic the
+    final state is deterministic and identical on every backend run.
+    """
+    ctx.init()
+    me, n = ctx.my_pe(), ctx.num_pes()
+    slots = 8
+    table = ctx.malloc(8 * n * slots)
+    counter = ctx.malloc(16)
+    view = ctx.view(table, "uint64", n * slots)
+    view[me * slots:(me + 1) * slots] = 0
+    if me == 0:
+        ctx.view(counter, "uint64", 1)[0] = 0
+    ctx.barrier()
+
+    rng = np.random.default_rng(seed * 1000 + me)
+    scratch = ctx.private_malloc(8 * slots)
+    sv = ctx.view(scratch, "uint64", slots)
+    for round_no in range(rounds):
+        target = int(rng.integers(0, n))
+        slot_base = table + 8 * me * slots
+        sv[:] = rng.integers(0, 2**32, size=slots, dtype=np.uint64)
+        op = int(rng.integers(0, 3))
+        if op == 0:
+            ctx.put(slot_base, scratch, slots, 1, target, "uint64")
+        elif op == 1:
+            ctx.get(scratch, slot_base, slots, 1, target, "uint64")
+        else:
+            ctx.amo(counter, 1, 0, "add", "uint64")
+        if round_no % 7 == 0:  # rank-uniform: every PE barriers together
+            ctx.barrier()
+    ctx.barrier()
+    # Every PE wrote its own slots last under a closing barrier, so the
+    # AMO counter equals the global number of op==2 draws.
+    total = int(ctx.view_on(0, counter, "uint64", 1)[0])
+    ctx.close()
+    return total.to_bytes(8, "little")
+
+
+def _raises_mid_collective(ctx) -> bytes:
+    ctx.init()
+    buf = ctx.malloc(64)
+    ctx.view(buf, "long", 8)[:] = ctx.my_pe()
+    if ctx.my_pe() == 2:
+        raise RuntimeError("injected worker failure")
+    ctx.allreduce(buf, buf, 8, 1, "sum", "long")
+    ctx.close()
+    return b"survived"
+
+
+def _deadlocks(ctx) -> bytes:
+    ctx.init()
+    if ctx.my_pe() == 0:
+        ctx.close()  # PE 0 leaves: everyone else waits forever
+        return b"left"
+    ctx.barrier()
+    ctx.close()
+    return b"unreachable"
+
+
+@pytest.mark.timeout(300)
+def test_randomized_torture(mp_sessions):
+    """Many randomised rounds; AMO totals must agree across repeats."""
+    session = mp_sessions.get(4)
+    first = session.run(_torture, [(7, 60) for _ in range(4)])
+    again = session.run(_torture, [(7, 60) for _ in range(4)])
+    assert first == again, "same seed must reproduce the same final state"
+    assert len(set(first)) == 1, "all PEs must agree on the AMO total"
+
+
+@pytest.mark.timeout(300)
+def test_worker_failure_recovers_and_session_survives(mp_sessions):
+    """A raising worker aborts peers, reports, and leaves a usable pool."""
+    session = mp_sessions.get(4)
+    with pytest.raises(WorkerFailedError) as err:
+        session.run(_raises_mid_collective)
+    assert 2 in err.value.failures
+    assert "injected worker failure" in err.value.failures[2]
+    # Same pool, next run: clean.
+    result = session.run(_torture, [(3, 10) for _ in range(4)])
+    assert len(set(result)) == 1
+    assert xbgas_children(), "pool should still be alive after recovery"
+
+
+@pytest.mark.timeout(300)
+def test_deadlock_hits_watchdog_not_forever():
+    """A mismatched barrier ends in a timeout error, not a hang."""
+    before = {p.pid for p in xbgas_children()}
+    session = MPSession(small_config(3), timeout=3.0)
+    try:
+        with pytest.raises((BackendTimeoutError, WorkerFailedError)) as err:
+            session.run(_deadlocks)
+        # Whichever side noticed first, the diagnosis names a timeout.
+        assert "imed out" in str(err.value) or "exceeded" in str(err.value) \
+            or "BackendTimeoutError" in str(err.value)
+        # The session recovered: it can still run programs.
+        out = session.run(_torture, [(1, 5) for _ in range(3)])
+        assert len(set(out)) == 1
+    finally:
+        session.close()
+    leaked = [p for p in xbgas_children() if p.pid not in before]
+    assert leaked == [], "workers leaked past close()"
+
+
+@pytest.mark.timeout(300)
+def test_no_leaks_after_worker_raise():
+    """Teardown right after a failed run leaks nothing."""
+    before = xbgas_segments()
+    before_pids = {p.pid for p in xbgas_children()}
+    session = MPSession(small_config(4), timeout=30.0)
+    token = session.token
+    with pytest.raises(WorkerFailedError):
+        session.run(_raises_mid_collective)
+    session.close()
+    assert not [s for s in xbgas_segments()
+                if s.startswith(segment_prefix(token))]
+    assert xbgas_segments() == before
+    assert [p for p in xbgas_children() if p.pid not in before_pids] == []
+
+
+@pytest.mark.timeout(300)
+def test_many_sessions_no_accumulation():
+    """Open/run/close in a loop: stable process and segment census."""
+    before_seg = xbgas_segments()
+    before_pids = {p.pid for p in xbgas_children()}
+    for i in range(3):
+        with MPSession(small_config(2), timeout=30.0) as session:
+            out = session.run(_torture, [(i, 8), (i, 8)])
+            assert len(set(out)) == 1
+    assert xbgas_segments() == before_seg
+    assert [p for p in xbgas_children() if p.pid not in before_pids] == []
+
+
+@pytest.mark.timeout(300)
+def test_concurrent_amo_no_lost_updates():
+    """The AMO lock serialises fetch-and-add: exact count, no losses."""
+
+    session = MPSession(small_config(4), timeout=60.0)
+    try:
+        out = session.run(_amo_hammer, [(500,) for _ in range(4)])
+        assert all(v == (4 * 500).to_bytes(8, "little") for v in out)
+    finally:
+        session.close()
+
+
+def _amo_hammer(ctx, updates: int) -> bytes:
+    ctx.init()
+    cell = ctx.malloc(16)
+    if ctx.my_pe() == 0:
+        ctx.view(cell, "uint64", 1)[0] = 0
+    ctx.barrier()
+    for _ in range(updates):
+        ctx.amo(cell, 1, 0, "add", "uint64")
+    ctx.barrier()
+    value = int(ctx.view_on(0, cell, "uint64", 1)[0])
+    ctx.close()
+    return value.to_bytes(8, "little")

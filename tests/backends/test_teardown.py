@@ -1,0 +1,115 @@
+"""Regression tests for shared-memory teardown.
+
+The bug class under test: a session's ``/dev/shm`` segments must be
+unlinked **exactly once** by the owning process, no matter which
+combination of double ``close()``, repeated ``unlink()``, attacher
+teardown and interpreter-exit (atexit) paths runs — and a segment that
+an external cleaner already removed must be tolerated, not raised.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.backends import MPSession
+from repro.backends.shm import SegmentGroup, control_bytes, segment_prefix
+from repro.errors import RuntimeStateError
+
+from ..conftest import small_config
+from .conftest import SHM_DIR, xbgas_segments
+
+
+def _session_segments(token: str) -> list[str]:
+    prefix = segment_prefix(token)
+    return [s for s in xbgas_segments() if s.startswith(prefix)]
+
+
+@pytest.fixture
+def group():
+    token = SegmentGroup.new_token()
+    g = SegmentGroup(token, 2, 4096, control_bytes(2), create=True)
+    yield g
+    g.close()
+    g.unlink()
+
+
+def test_unlink_exactly_once_survives_double_close(group):
+    token = group.token
+    assert len(_session_segments(token)) == 3  # 2 PEs + control
+    group.close()
+    group.close()  # double close: idempotent, segments still linked
+    assert len(_session_segments(token)) == 3
+    group.unlink()
+    assert group.unlinked
+    assert _session_segments(token) == []
+    # Second unlink is a no-op, not a FileNotFoundError storm.
+    group.unlink()
+    assert _session_segments(token) == []
+
+
+def test_unlink_before_close_is_safe(group):
+    """POSIX allows unlink-while-mapped; teardown order must not matter."""
+    token = group.token
+    group.unlink()
+    assert _session_segments(token) == []
+    group.close()  # mappings dropped after the name is gone: fine
+    group.unlink()  # and a late unlink stays a no-op
+
+
+def test_attacher_never_unlinks(group):
+    """Only the owner removes segments; workers just drop mappings."""
+    token = group.token
+    attacher = SegmentGroup(token, 2, 4096, control_bytes(2), create=False)
+    assert not attacher.owner
+    attacher.close()
+    attacher.unlink()  # non-owner: must be a no-op
+    assert not attacher.unlinked
+    assert len(_session_segments(token)) == 3
+
+
+def test_unlink_tolerates_externally_removed_segment(group):
+    """A cleaner (or crash reaper) racing us must not break teardown."""
+    victim = group.segments[0].name
+    os.unlink(os.path.join(SHM_DIR, victim))
+    group.close()
+    group.unlink()  # FileNotFoundError on the victim is swallowed
+    assert group.unlinked
+    assert _session_segments(group.token) == []
+
+
+def test_partial_construction_leaks_nothing():
+    """If segment creation fails midway, earlier segments are removed."""
+    token = SegmentGroup.new_token()
+    # Pre-create the *control* segment so the group's own creation of it
+    # fails after the PE segments were already made.
+    blocker = SegmentGroup(token, 0, 4096, control_bytes(2), create=True)
+    try:
+        with pytest.raises(FileExistsError):
+            SegmentGroup(token, 2, 4096, control_bytes(2), create=True)
+        assert len(_session_segments(token)) == 1  # only the blocker's ctl
+    finally:
+        blocker.close()
+        blocker.unlink()
+    assert _session_segments(token) == []
+
+
+def test_session_double_close_unlinks_once():
+    """MPSession.close() is idempotent through every teardown path."""
+    before = xbgas_segments()
+    session = MPSession(small_config(2), timeout=30.0)
+    token = session.token
+    assert _session_segments(token)
+    session.close()
+    assert _session_segments(token) == []
+    session.close()  # second close: no error, no tracker spam
+    with pytest.raises(RuntimeStateError):
+        session.run(_noop)
+    assert xbgas_segments() == before
+
+
+def _noop(ctx) -> bytes:
+    ctx.init()
+    ctx.close()
+    return b"ok"

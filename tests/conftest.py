@@ -3,13 +3,95 @@
 ``small_config`` keeps per-PE memory small so machines build quickly;
 tests that need the paper's full 8 MB L2 construct their own
 :class:`MachineConfig`.
+
+This conftest also provides the suite's hang protection.  The faults
+and backends suites exercise code whose failure mode is a deadlock
+(barrier bugs, stuck worker processes), so every test there gets a
+``timeout`` marker by default.  When the ``pytest-timeout`` plugin is
+installed (CI) it enforces the markers; when it is not (this image does
+not ship it), a SIGALRM fallback enforces them for the main thread so a
+hang still fails the test instead of wedging the run.
 """
 
 from __future__ import annotations
 
+import signal
+import sys
+
 import pytest
 
 from repro.params import CacheParams, MachineConfig, MemoryParams, TlbParams
+
+#: Default per-test watchdog (seconds) for the deadlock-prone suites.
+DEADLOCK_SUITE_TIMEOUT = 120
+_DEADLOCK_SUITES = ("tests/faults/", "tests/backends/")
+
+
+def _has_timeout_plugin(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_configure(config):
+    if not _has_timeout_plugin(config):
+        # Register the marker ourselves so --strict-markers stays clean
+        # and the SIGALRM fallback below can read it.
+        config.addinivalue_line(
+            "markers",
+            "timeout(seconds): fail the test if it runs longer "
+            "(pytest-timeout when installed, SIGALRM fallback otherwise)",
+        )
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        path = item.nodeid.replace("\\", "/")
+        if any(path.startswith(p) for p in _DEADLOCK_SUITES):
+            if item.get_closest_marker("timeout") is None:
+                item.add_marker(pytest.mark.timeout(DEADLOCK_SUITE_TIMEOUT))
+
+
+def _marker_timeout(item) -> float | None:
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        return None
+    if marker.args:
+        return float(marker.args[0])
+    if "seconds" in marker.kwargs:
+        return float(marker.kwargs["seconds"])
+    return None
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback enforcement of ``timeout`` markers.
+
+    Active only when pytest-timeout is absent and SIGALRM is usable
+    (POSIX main thread).  The alarm raises inside the test, which also
+    breaks pure-Python spin loops.
+    """
+    seconds = _marker_timeout(item)
+    usable = (
+        seconds is not None
+        and not _has_timeout_plugin(item.config)
+        and hasattr(signal, "SIGALRM")
+        and sys.platform != "win32"
+    )
+    if not usable:
+        return (yield)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded its {seconds:.0f}s timeout marker "
+            "(SIGALRM fallback; install pytest-timeout for richer output)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 def small_memory() -> MemoryParams:

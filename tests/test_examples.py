@@ -87,6 +87,10 @@ _EXAMPLES: dict[str, Example] = {
         check_json=_check_faulty_trace,
         marks=(pytest.mark.faults,),
     ),
+    "mp_allreduce.py": Example(
+        args=("4", "32"),
+        expect=("backends agree bit-for-bit on 4 PEs x 32 elements",),
+    ),
     "gups_demo.py": Example(
         args=("128",),
         expect=("shape check",),
