@@ -232,3 +232,46 @@ def test_allgather_algorithm_crossover(once, benchmark):
     # Dissemination halves the stage count and removes the root
     # bottleneck: at 8 PEs it wins every payload size measured.
     assert all(min(r, key=r.get) == "dissemination" for r in rows.values())
+
+
+LARGE_PE_COUNTS = (64, 256, 1024, 4096)
+
+
+def test_large_pe_crossover_vec(once, benchmark):
+    """The same ablation at 64–4096 PEs, via the vec evaluator.
+
+    The cooperative simulator prices one PE at a time, which caps the
+    A1 sweeps at tens of PEs; the closed-form evaluator prices whole
+    schedules at once, so the crossover curves extend to the PE counts
+    the paper's future-work section asks about.  The committed
+    reference copy of the full sweep is ``BENCH_vec.json``
+    (``python -m repro.bench.vec_sweep --out BENCH_vec.json``).
+    """
+    from repro.bench.vec_sweep import sweep_point
+
+    def sweep():
+        rows = {}
+        for n_pes in LARGE_PE_COUNTS:
+            for nelems in (8, 4096):
+                rows[(n_pes, nelems)] = {
+                    c: sweep_point(c, n_pes, nelems)
+                    for c in ("broadcast", "allreduce")
+                }
+        return rows
+
+    rows = once(sweep)
+    print("\nA1-large — winners by (pes, elems), vec evaluator")
+    print(f"{'pes':>6} {'elems':>7} {'broadcast':>14} {'allreduce':>14}")
+    for (n_pes, nelems), r in rows.items():
+        print(f"{n_pes:>6} {nelems:>7} {r['broadcast']['winner']:>14} "
+              f"{r['allreduce']['winner']:>14}")
+        for c in ("broadcast", "allreduce"):
+            benchmark.extra_info[f"winner_{c}_{n_pes}_{nelems}"] = \
+                r[c]["winner"]
+    # At large PE counts the log-depth schemes win everything except
+    # the tiny-payload broadcast, where the root's fire-and-forget
+    # pipeline stays competitive up to a few hundred PEs.
+    assert rows[(64, 8)]["broadcast"]["winner"] == "linear"
+    for n_pes in (1024, 4096):
+        assert rows[(n_pes, 4096)]["broadcast"]["winner"] == "binomial"
+        assert rows[(n_pes, 4096)]["allreduce"]["winner"] == "rabenseifner"

@@ -3,6 +3,9 @@
 * ``"sim"`` — the deterministic cooperative simulator (modelled time).
 * ``"mp"`` — true-parallel worker processes over shared memory
   (wall-clock time); alias ``"multiprocessing"``.
+* ``"vec"`` — the vectorized batch evaluator: compiled schedules run as
+  numpy fan-outs over all ranks at once (modelled time, closed-form
+  costs); the large-PE substrate.
 
 Select one by name::
 
@@ -21,6 +24,7 @@ from typing import Any, Callable, Sequence
 from .base import Backend, BackendSession, resolve_config
 from .mp import MPContext, MPSession, MultiprocessingBackend
 from .sim import SimulatorBackend, SimulatorSession
+from .vec import VecBackend, VecContext, VecSession
 
 __all__ = [
     "Backend",
@@ -34,6 +38,9 @@ __all__ = [
     "MultiprocessingBackend",
     "MPSession",
     "MPContext",
+    "VecBackend",
+    "VecSession",
+    "VecContext",
 ]
 
 #: Registry of selectable backends (aliases included).
@@ -41,6 +48,7 @@ BACKENDS: dict[str, type[Backend]] = {
     "sim": SimulatorBackend,
     "mp": MultiprocessingBackend,
     "multiprocessing": MultiprocessingBackend,
+    "vec": VecBackend,
 }
 
 

@@ -36,6 +36,7 @@ __all__ = [
     "check_figure5_shape",
     "CollectiveProfile",
     "profile_collective",
+    "oversubscription_gate",
     "bench_report",
     "main",
 ]
@@ -354,16 +355,44 @@ def _print_points(title: str, points: Sequence[SweepPoint],
         print("  shape: OK")
 
 
+def oversubscription_gate(pe_counts: Sequence[int],
+                          oversubscribe: bool = False,
+                          cpu_count: int | None = None) -> tuple[bool, str]:
+    """Decide whether an mp wall-clock sweep over ``pe_counts`` is honest.
+
+    A worker-per-PE backend oversubscribed onto fewer host cores
+    measures scheduler contention, not parallel speedup, so the harness
+    refuses to record such numbers unless the caller explicitly opts in
+    with ``--oversubscribe``.  Returns ``(ok, message)``; when ``ok`` is
+    False the message explains the refusal and the remedy.
+    """
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    widest = max(pe_counts) if pe_counts else 0
+    if widest <= cores or oversubscribe:
+        return True, ""
+    return False, (
+        f"refusing --backend mp: the widest sweep point needs {widest} "
+        f"worker processes but this host has only {cores} core(s); "
+        f"wall-clock 'speedup' would measure scheduler contention, not "
+        f"the backend.  Re-run with --pes capped at {cores}, or pass "
+        f"--oversubscribe to record the numbers anyway (they will be "
+        f"flagged in the JSON report)."
+    )
+
+
 def bench_report(bench: str, backend: str,
-                 points: Sequence[SweepPoint]) -> dict:
+                 points: Sequence[SweepPoint], *,
+                 oversubscribed: bool | None = None) -> dict:
     """A JSON-serialisable record of one sweep, with host metadata.
 
     Wall-clock numbers are only interpretable next to the host they were
     measured on — a 1-core container cannot show parallel speedup no
     matter how good the backend is — so the record carries the CPU
-    count, platform and Python version alongside the measurements.
-    ``speedup_8v1`` (or the widest available ratio) is the scaling
-    headline.
+    count, platform and Python version alongside the measurements, and
+    (for mp sweeps) whether the host was oversubscribed: True means the
+    widest point ran more workers than cores and the scaling headline
+    must not be read as parallel speedup.  ``speedup_8v1`` (or the
+    widest available ratio) is the scaling headline.
     """
     import platform
     import sys
@@ -379,6 +408,8 @@ def bench_report(bench: str, backend: str,
             "cpu_count": os.cpu_count(),
             "platform": platform.platform(),
             "python": sys.version.split()[0],
+            **({} if oversubscribed is None
+               else {"oversubscribed": oversubscribed}),
         },
         "points": [
             {
@@ -424,6 +455,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="GUPs updates per PE (default: 2048)")
     parser.add_argument("--is-class", default=None,
                         help="NAS IS problem class (e.g. B-scaled)")
+    parser.add_argument("--oversubscribe", action="store_true",
+                        help="allow --backend mp with more PEs than host "
+                             "cores (numbers are flagged in the JSON)")
     parser.add_argument("--out", default=None,
                         help="write the sweep as JSON to this path")
     args = parser.parse_args(argv)
@@ -433,6 +467,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.backend == "mp":
         # Wall-clock sweep: figure-shape checks are about the *simulated*
         # platform and do not apply to host throughput.
+        ok, why = oversubscription_gate(args.pes, args.oversubscribe)
+        if not ok:
+            print(why)
+            return 2
         if args.bench in ("is", "both"):
             print("note: --backend mp runs the GUPs sweep only")
         gp = GupsParams()
@@ -443,7 +481,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         _print_points(f"GUPs on mp backend (wall-clock), seed={args.seed}",
                       points, [])
         status |= not all(pt.verified for pt in points)
-        report = bench_report("gups", "mp", points)
+        report = bench_report(
+            "gups", "mp", points,
+            oversubscribed=max(args.pes) > (os.cpu_count() or 1))
     else:
         if args.bench in ("gups", "both"):
             gp = GupsParams()

@@ -1,0 +1,219 @@
+"""Large-PE algorithm-crossover sweeps on the vec evaluator.
+
+The A1 ablation (``benchmarks/bench_ablation_algorithms.py``) measures
+the algorithm crossovers the tuning layer encodes, but the cooperative
+simulator tops out around tens of PEs per point.  This module re-runs
+the same sweeps through
+:func:`~repro.collectives.schedule.evaluate.evaluate_schedule` —
+cost-only, no data arena — so the curves extend to 64–4096 PEs in
+seconds, and records at every point which algorithm
+:func:`~repro.collectives.tuning.select_algorithm` would have picked.
+
+The committed ``BENCH_vec.json`` is the reference copy of these curves
+(regenerate with ``python -m repro.bench.vec_sweep --out BENCH_vec.json``).
+
+Two families are deliberately capped: ring schedules (broadcast and
+allreduce) and the linear scheme emit Θ(N²) / Θ(N) *root-serialised*
+step objects, so the sweep stops them at ``RING_MAX_PES`` /
+``LINEAR_MAX_PES`` rather than spending minutes compiling schedules the
+tuning layer would never select at those sizes.  The caps are recorded
+in the JSON so a reader never mistakes a missing point for a
+measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..collectives.allreduce import compile_allreduce
+from ..collectives.broadcast import compile_broadcast
+from ..collectives.schedule.evaluate import evaluate_schedule
+from ..collectives.tuning import select_algorithm
+from ..params import MachineConfig
+
+__all__ = [
+    "PE_COUNTS",
+    "SIZES",
+    "RING_MAX_PES",
+    "LINEAR_MAX_PES",
+    "sweep_point",
+    "crossover_sweep",
+    "main",
+]
+
+#: PE counts of the large-PE tier (the simulator's A1 sweep covers 6–8).
+PE_COUNTS = (64, 256, 1024, 4096)
+
+#: Payload sizes in elements (int64, so ×8 for bytes).
+SIZES = (8, 512, 4096, 65536)
+
+#: Ring schedules are Θ(N²) total steps; past this the compile cost
+#: dwarfs anything the curve could teach (tuning never picks ring at
+#: these PE counts for the capped sizes anyway).
+RING_MAX_PES = 512
+
+#: The linear scheme serialises N-1 root sends; one tier further.
+LINEAR_MAX_PES = 1024
+
+_ALGOS = {
+    "broadcast": ("binomial", "linear", "ring"),
+    "allreduce": ("doubling", "rabenseifner", "ring"),
+}
+
+_ITEMSIZE = 8
+
+
+def _sweep_config(n_pes: int) -> MachineConfig:
+    """One PE per node, matching the A1 ablation topology."""
+    return MachineConfig(n_pes=n_pes, cores_per_node=1)
+
+
+def _compile(collective: str, algorithm: str, n_pes: int, nelems: int):
+    if collective == "broadcast":
+        return compile_broadcast(n_pes, 0, nelems, 1, _ITEMSIZE,
+                                 algorithm=algorithm)
+    return compile_allreduce(n_pes, nelems, 1, _ITEMSIZE, "sum",
+                             algorithm=algorithm)
+
+
+def _capped(algorithm: str, n_pes: int) -> bool:
+    if algorithm == "ring" and n_pes > RING_MAX_PES:
+        return True
+    if algorithm == "linear" and n_pes > LINEAR_MAX_PES:
+        return True
+    return False
+
+
+def sweep_point(collective: str, n_pes: int, nelems: int) -> dict:
+    """Makespans of every (uncapped) algorithm at one sweep point."""
+    makespans: dict[str, float] = {}
+    wall: dict[str, float] = {}
+    cfg = _sweep_config(n_pes)
+    for algorithm in _ALGOS[collective]:
+        if _capped(algorithm, n_pes):
+            continue
+        t0 = time.perf_counter()
+        sched = _compile(collective, algorithm, n_pes, nelems)
+        ev = evaluate_schedule(sched, cfg, dtype=np.dtype(np.int64),
+                               collect_data=False)
+        wall[algorithm] = round(time.perf_counter() - t0, 3)
+        makespans[algorithm] = ev.elapsed_ns
+    winner = min(makespans, key=makespans.get)
+    pick = select_algorithm(collective, nelems * _ITEMSIZE, n_pes)
+    return {
+        "collective": collective,
+        "n_pes": n_pes,
+        "nelems": nelems,
+        "nbytes": nelems * _ITEMSIZE,
+        "makespans_ns": makespans,
+        "winner": winner,
+        "tuning_pick": pick,
+        "tuning_pick_measured": pick in makespans,
+        "tuning_within_1p25x": (
+            makespans[pick] <= 1.25 * makespans[winner]
+            if pick in makespans else None
+        ),
+        "wall_seconds": wall,
+    }
+
+
+def crossover_sweep(pe_counts: Sequence[int] = PE_COUNTS,
+                    sizes: Sequence[int] = SIZES) -> dict:
+    """The full curve set, as the ``BENCH_vec.json`` document."""
+    import platform
+    import sys
+
+    points = [
+        sweep_point(collective, n, nelems)
+        for collective in ("broadcast", "allreduce")
+        for n in pe_counts
+        for nelems in sizes
+    ]
+    judged = [p for p in points if p["tuning_within_1p25x"] is not None]
+    agreement = (
+        sum(p["tuning_within_1p25x"] for p in judged) / len(judged)
+        if judged else None
+    )
+    return {
+        "bench": "vec-crossover",
+        "backend": "vec",
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "config": {
+            "cores_per_node": 1,
+            "topology": "fully-connected",
+            "itemsize": _ITEMSIZE,
+            "dtype": "int64",
+        },
+        "caps": {
+            "ring_max_pes": RING_MAX_PES,
+            "linear_max_pes": LINEAR_MAX_PES,
+            "note": "ring/linear schedules are Θ(N²)/Θ(N) root-serialised "
+                    "steps; points past the caps are omitted, not slow",
+        },
+        "pe_counts": list(pe_counts),
+        "sizes": list(sizes),
+        "points": points,
+        "tuning_within_1p25x_fraction": agreement,
+    }
+
+
+def _print_curves(doc: dict) -> None:
+    for collective in ("broadcast", "allreduce"):
+        algos = _ALGOS[collective]
+        print(f"\n{collective}: makespan (ns) by algorithm "
+              f"(vec evaluator, 1 PE/node)")
+        print(f"{'pes':>6} {'elems':>7} " +
+              " ".join(f"{a:>13}" for a in algos) + "  winner / tuning")
+        for p in doc["points"]:
+            if p["collective"] != collective:
+                continue
+            cells = " ".join(
+                f"{p['makespans_ns'][a]:>13.0f}"
+                if a in p["makespans_ns"] else f"{'—':>13}"
+                for a in algos
+            )
+            print(f"{p['n_pes']:>6} {p['nelems']:>7} {cells}"
+                  f"  {p['winner']} / {p['tuning_pick']}")
+    frac = doc["tuning_within_1p25x_fraction"]
+    if frac is not None:
+        print(f"\ntuning pick within 1.25x of the measured best at "
+              f"{frac:.0%} of judged points")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.bench.vec_sweep`` — regenerate the curves."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.vec_sweep",
+        description="Large-PE algorithm-crossover curves on the vec "
+                    "evaluator (the BENCH_vec.json format).",
+    )
+    parser.add_argument("--pes", type=int, nargs="+",
+                        default=list(PE_COUNTS),
+                        help="PE counts to sweep (default: 64 256 1024 4096)")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES),
+                        help="payload sizes in int64 elements")
+    parser.add_argument("--out", default=None,
+                        help="write the sweep as JSON to this path")
+    args = parser.parse_args(argv)
+
+    doc = crossover_sweep(args.pes, args.sizes)
+    _print_curves(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

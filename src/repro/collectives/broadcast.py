@@ -187,7 +187,14 @@ def _deliver(n_pes: int, root: int, nbytes: int,
 def _compile_binomial(n_pes: int, root: int, nelems: int, stride: int,
                       itemsize: int, copy_to_root_dest: bool) -> Schedule:
     nbytes = span_bytes(nelems, stride, itemsize)
-    stages_pairs = tree_stages(n_pes, "halving")
+    # Index each stage's pairs by sender so the per-rank loop below is
+    # O(log N) per rank instead of rescanning all N-1 tree edges.
+    stage_targets: list[dict[int, list[int]]] = []
+    for pairs in tree_stages(n_pes, "halving"):
+        by_sender: dict[int, list[int]] = {}
+        for frm, to in pairs:
+            by_sender.setdefault(frm, []).append(to)
+        stage_targets.append(by_sender)
     programs = []
     for r in range(n_pes):
         vir = virtual_rank(r, root, n_pes)
@@ -199,14 +206,13 @@ def _compile_binomial(n_pes: int, root: int, nelems: int, stride: int,
             prologue.append(Copy("dest", 0, "src", 0, nelems, stride))
         local_src = "src" if r == root else "dest"
         stages = []
-        for ordinal, pairs in enumerate(stages_pairs):
+        for ordinal, by_sender in enumerate(stage_targets):
             steps: list = []
-            for frm, to in pairs:
-                if frm == vir:
-                    # The mask loop emitted the put even for nelems == 0
-                    # (counted in stats.puts); preserve that.
-                    steps.append(Put("dest", 0, local_src, 0, nelems,
-                                     stride, logical_rank(to, root, n_pes)))
+            for to in by_sender.get(vir, ()):
+                # The mask loop emitted the put even for nelems == 0
+                # (counted in stats.puts); preserve that.
+                steps.append(Put("dest", 0, local_src, 0, nelems,
+                                 stride, logical_rank(to, root, n_pes)))
             # A barrier closes every tree stage (section 4.3).
             steps.append(BARRIER)
             stages.append(Stage(ordinal, tuple(steps)))

@@ -145,10 +145,16 @@ def compile_allgather(n_pes: int, counts: tuple[int, ...],
     An epilogue unrotates into ``dest`` by ``pe_disp``.
     """
     eb = itemsize
+    # Prefix sums over two laps of the ring make every blocks_len query
+    # O(1); the old per-query summation was O(width), turning the whole
+    # compile into O(N^2).
+    pref = [0] * (2 * n_pes + 1)
+    for j in range(2 * n_pes):
+        pref[j + 1] = pref[j] + counts[j % n_pes]
 
     def blocks_len(start: int, width: int) -> int:
         """Total elements of ``width`` ring-consecutive blocks."""
-        return sum(counts[(start + j) % n_pes] for j in range(width))
+        return pref[start + width] - pref[start]
 
     dest_nbytes = max((d + c) for d, c in zip(disps, counts)) * eb \
         if any(counts) else 0

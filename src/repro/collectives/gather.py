@@ -114,7 +114,14 @@ def compile_gather(n_pes: int, root: int, counts: tuple[int, ...],
             programs=(RankProgram(0, tuple(steps)),), deliver=deliver,
         )
     adj = adjusted_displacements(counts, root)
-    stages_pairs = tree_stages(n_pes, "doubling")
+    # Index each stage's pairs by parent so the per-rank loop below is
+    # O(log N) per rank instead of rescanning all N-1 tree edges.
+    stage_children: list[dict[int, list[int]]] = []
+    for pairs in tree_stages(n_pes, "doubling"):
+        by_parent: dict[int, list[int]] = {}
+        for child, parent in pairs:
+            by_parent.setdefault(parent, []).append(child)
+        stage_children.append(by_parent)
     programs = []
     for r in range(n_pes):
         vir = virtual_rank(r, root, n_pes)
@@ -126,17 +133,16 @@ def compile_gather(n_pes: int, root: int, counts: tuple[int, ...],
                                  skip_noop=False))
         prologue.append(BARRIER)
         stages = []
-        for i, pairs in enumerate(stages_pairs):
+        for i, by_parent in enumerate(stage_children):
             steps = []
-            for child, parent in pairs:
-                if parent == vir:
-                    # The partner's segment plus everything it aggregated.
-                    end = min(child + (1 << i), n_pes)
-                    msg_size = adj[end] - adj[child]
-                    if msg_size:
-                        steps.append(Get("s", adj[child] * eb, "s",
-                                         adj[child] * eb, msg_size, 1,
-                                         logical_rank(child, root, n_pes)))
+            for child in by_parent.get(vir, ()):
+                # The partner's segment plus everything it aggregated.
+                end = min(child + (1 << i), n_pes)
+                msg_size = adj[end] - adj[child]
+                if msg_size:
+                    steps.append(Get("s", adj[child] * eb, "s",
+                                     adj[child] * eb, msg_size, 1,
+                                     logical_rank(child, root, n_pes)))
             steps.append(BARRIER)
             stages.append(Stage(i, tuple(steps)))
         epilogue: list = []

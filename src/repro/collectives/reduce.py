@@ -190,7 +190,14 @@ def _compile_binomial(n_pes: int, root: int, nelems: int, stride: int,
         return _degenerate(n_pes, root, nelems, stride, itemsize, op,
                            "binomial")
     nbytes = span_bytes(nelems, stride, itemsize)
-    stages_pairs = tree_stages(n_pes, "doubling")
+    # Index each stage's pairs by parent so the per-rank loop below is
+    # O(log N) per rank instead of rescanning all N-1 tree edges.
+    stage_children: list[dict[int, list[int]]] = []
+    for pairs in tree_stages(n_pes, "doubling"):
+        by_parent: dict[int, list[int]] = {}
+        for child, parent in pairs:
+            by_parent.setdefault(parent, []).append(child)
+        stage_children.append(by_parent)
     programs = []
     for r in range(n_pes):
         vir = virtual_rank(r, root, n_pes)
@@ -198,16 +205,15 @@ def _compile_binomial(n_pes: int, root: int, nelems: int, stride: int,
         # stage's one-sided gets.
         prologue = (Copy("s", 0, "src", 0, nelems, stride), BARRIER)
         stages = []
-        for i, pairs in enumerate(stages_pairs):
+        for i, by_parent in enumerate(stage_children):
             steps: list = []
-            for child, parent in pairs:
-                if parent == vir:
-                    # Pull the child's *accumulated* values (see module
-                    # note) and fold them in.
-                    steps.append(Get("l", 0, "s", 0, nelems, stride,
-                                     logical_rank(child, root, n_pes)))
-                    steps.append(Reduce("s", 0, "l", 0, nelems, stride,
-                                        nelems))
+            for child in by_parent.get(vir, ()):
+                # Pull the child's *accumulated* values (see module
+                # note) and fold them in.
+                steps.append(Get("l", 0, "s", 0, nelems, stride,
+                                 logical_rank(child, root, n_pes)))
+                steps.append(Reduce("s", 0, "l", 0, nelems, stride,
+                                    nelems))
             steps.append(BARRIER)
             stages.append(Stage(i, tuple(steps)))
         epilogue = (Copy("dest", 0, "s", 0, nelems, stride),) if vir == 0 \

@@ -171,7 +171,14 @@ def compile_scatter(n_pes: int, root: int, counts: tuple[int, ...],
         )
     adj = adjusted_displacements(counts, root)
     k = n_stages(n_pes)
-    stages_pairs = tree_stages(n_pes, "halving")
+    # Index each stage's pairs by sender so the per-rank loop below is
+    # O(log N) per rank instead of rescanning all N-1 tree edges.
+    stage_targets: list[dict[int, list[int]]] = []
+    for pairs in tree_stages(n_pes, "halving"):
+        by_sender: dict[int, list[int]] = {}
+        for frm, to in pairs:
+            by_sender.setdefault(frm, []).append(to)
+        stage_targets.append(by_sender)
     programs = []
     for r in range(n_pes):
         vir = virtual_rank(r, root, n_pes)
@@ -186,18 +193,17 @@ def compile_scatter(n_pes: int, root: int, counts: tuple[int, ...],
                                          disps[log] * eb, cnt, 1,
                                          skip_noop=False))
         stages = []
-        for ordinal, pairs in enumerate(stages_pairs):
+        for ordinal, by_sender in enumerate(stage_targets):
             i = k - 1 - ordinal  # the tree bit this stage halves over
             steps = []
-            for frm, to in pairs:
-                if frm == vir:
-                    # The partner's segment plus those of its children.
-                    end = min(to + (1 << i), n_pes)
-                    msg_size = adj[end] - adj[to]
-                    if msg_size:
-                        steps.append(Put("s", adj[to] * eb, "s",
-                                         adj[to] * eb, msg_size, 1,
-                                         logical_rank(to, root, n_pes)))
+            for to in by_sender.get(vir, ()):
+                # The partner's segment plus those of its children.
+                end = min(to + (1 << i), n_pes)
+                msg_size = adj[end] - adj[to]
+                if msg_size:
+                    steps.append(Put("s", adj[to] * eb, "s",
+                                     adj[to] * eb, msg_size, 1,
+                                     logical_rank(to, root, n_pes)))
             steps.append(BARRIER)
             stages.append(Stage(ordinal, tuple(steps)))
         epilogue: tuple = ()

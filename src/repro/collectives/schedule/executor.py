@@ -92,7 +92,16 @@ def execute_schedule(ctx: "XBRTime", sched: Schedule,
     addresses; scratch and private buffers are allocated here (zero
     simulated cost, so allocation never perturbs timing) and freed LIFO
     on exit, including on exceptions.
+
+    A context may take over whole-schedule execution by exposing a
+    ``schedule_evaluator`` method (the vec backend's batch rendezvous —
+    see :mod:`repro.backends.vec`); it assumes full responsibility for
+    buffer allocation, data movement and time accounting.
     """
+    hook = getattr(ctx, "schedule_evaluator", None)
+    if hook is not None:
+        hook(sched, tuple(members), me, dict(bindings), dtype)
+        return
     prog = sched.program(me)
     addrs: dict[str, int] = dict(bindings)
     allocated: list[tuple[str, int]] = []

@@ -14,7 +14,7 @@ import os
 
 import pytest
 
-from repro.backends import MPSession, SimulatorBackend
+from repro.backends import MPSession, SimulatorBackend, VecBackend
 
 from ..conftest import small_config
 
@@ -69,3 +69,9 @@ def mp_sessions():
 @pytest.fixture(scope="session")
 def sim_backend() -> SimulatorBackend:
     return SimulatorBackend()
+
+
+@pytest.fixture(scope="session")
+def vec_backend() -> VecBackend:
+    """Vectorized backend; worlds are per-run, so no cache is needed."""
+    return VecBackend()

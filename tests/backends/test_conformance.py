@@ -1,12 +1,12 @@
-"""Cross-backend conformance: byte-identical collectives, sim vs mp.
+"""Cross-backend conformance: byte-identical collectives, sim vs mp vs vec.
 
 Every collective compiles to one schedule executed purely through the
 PE context protocol, so the *same* program must produce byte-identical
-output buffers on the deterministic simulator and on true-parallel
-worker processes.  This suite runs one generic driver program per
-(collective, payload) pair on both backends at several PE counts —
-including non-powers-of-two, ragged counts and zero counts — and
-compares the raw result bytes.
+output buffers on the deterministic simulator, on true-parallel worker
+processes and on the vectorized batch evaluator.  This suite runs one
+generic driver program per (collective, payload) pair on all three
+backends at 1-16 PEs — including non-powers-of-two, ragged counts and
+zero counts — and compares the raw result bytes.
 
 The driver returns only bytes the collective's contract defines (the
 root's dest for rooted calls, each rank's slice for scatter, ...);
@@ -24,7 +24,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from ..conftest import small_config
 
 #: PE counts swept by every conformance case (non-powers-of-2 included).
-PE_COUNTS = (1, 2, 3, 4, 8)
+PE_COUNTS = (1, 2, 3, 4, 8, 16)
 
 _DTYPES = (np.dtype(np.int64), np.dtype(np.uint64), np.dtype(np.int32),
            np.dtype(np.float64))
@@ -214,15 +214,21 @@ def _collective_program(ctx, spec: dict) -> bytes:
     return out
 
 
-def _run_both(mp_sessions, sim_backend, n_pes: int, spec: dict) -> None:
-    """Run the spec on both backends and compare per-rank bytes."""
-    sim = sim_backend.run(_collective_program,
-                          [(spec,) for _ in range(n_pes)],
+def _run_all(mp_sessions, sim_backend, vec_backend, n_pes: int,
+             spec: dict) -> None:
+    """Run the spec on all three backends and compare per-rank bytes."""
+    args = [(spec,) for _ in range(n_pes)]
+    sim = sim_backend.run(_collective_program, args,
                           config=small_config(n_pes))
-    mp_res = mp_sessions.get(n_pes).run(
-        _collective_program, [(spec,) for _ in range(n_pes)])
+    vec = vec_backend.run(_collective_program, args,
+                          config=small_config(n_pes))
+    assert sim == vec, (
+        f"sim/vec divergence for {spec} at {n_pes} PEs: "
+        f"{[s[:32] for s in sim]} != {[v[:32] for v in vec]}"
+    )
+    mp_res = mp_sessions.get(n_pes).run(_collective_program, args)
     assert sim == mp_res, (
-        f"backend divergence for {spec} at {n_pes} PEs: "
+        f"sim/mp divergence for {spec} at {n_pes} PEs: "
         f"{[s[:32] for s in sim]} != {[m[:32] for m in mp_res]}"
     )
 
@@ -259,22 +265,24 @@ _SETTINGS = settings(
                                   "resilient_broadcast"])
 @given(spec=_dense_spec(), root_pick=st.integers(0, 7))
 @_SETTINGS
-def test_broadcast_family(mp_sessions, sim_backend, kind, spec, root_pick):
+def test_broadcast_family(mp_sessions, sim_backend, vec_backend, kind,
+                          spec, root_pick):
     n = spec.pop("n_pes")
     spec.update(kind=kind, root=root_pick % n)
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @pytest.mark.parametrize("kind", ["reduce", "ireduce", "resilient_reduce"])
 @given(spec=_dense_spec(), root_pick=st.integers(0, 7),
        op=st.sampled_from(["sum", "min", "max", "prod", "xor"]))
 @_SETTINGS
-def test_reduce_family(mp_sessions, sim_backend, kind, spec, root_pick, op):
+def test_reduce_family(mp_sessions, sim_backend, vec_backend, kind, spec,
+                       root_pick, op):
     n = spec.pop("n_pes")
     if op == "xor" and spec["dtype"].kind == "f":
         spec["dtype"] = np.dtype(np.int64)
     spec.update(kind=kind, root=root_pick % n, op=op)
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @pytest.mark.parametrize("kind,algorithm", [
@@ -288,20 +296,20 @@ def test_reduce_family(mp_sessions, sim_backend, kind, spec, root_pick, op):
 @given(spec=_dense_spec(), op=st.sampled_from(["sum", "min", "max"]),
        inclusive=st.booleans())
 @_SETTINGS
-def test_allreduce_family(mp_sessions, sim_backend, kind, algorithm, spec,
-                          op, inclusive):
+def test_allreduce_family(mp_sessions, sim_backend, vec_backend, kind,
+                          algorithm, spec, op, inclusive):
     n = spec.pop("n_pes")
     spec.update(kind=kind, op=op, inclusive=inclusive)
     if algorithm:
         spec["algorithm"] = algorithm
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @pytest.mark.parametrize("kind", ["scatter", "iscatter", "gather",
                                   "igather", "allgather"])
 @given(data=st.data())
 @_SETTINGS
-def test_vector_family(mp_sessions, sim_backend, kind, data):
+def test_vector_family(mp_sessions, sim_backend, vec_backend, kind, data):
     n = data.draw(st.sampled_from(PE_COUNTS))
     counts, disps = _ragged(data.draw, n)
     spec = {
@@ -312,12 +320,12 @@ def test_vector_family(mp_sessions, sim_backend, kind, data):
         "seed": data.draw(st.integers(0, 999)),
         "dtype": data.draw(st.sampled_from(_DTYPES)),
     }
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @given(data=st.data())
 @_SETTINGS
-def test_alltoall(mp_sessions, sim_backend, data):
+def test_alltoall(mp_sessions, sim_backend, vec_backend, data):
     n = data.draw(st.sampled_from(PE_COUNTS))
     spec = {
         "kind": "alltoall",
@@ -325,21 +333,21 @@ def test_alltoall(mp_sessions, sim_backend, data):
         "seed": data.draw(st.integers(0, 999)),
         "dtype": data.draw(st.sampled_from(_DTYPES)),
     }
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @pytest.mark.parametrize("kind", ["put_ring", "get_ring"])
 @given(spec=_dense_spec())
 @_SETTINGS
-def test_one_sided(mp_sessions, sim_backend, kind, spec):
+def test_one_sided(mp_sessions, sim_backend, vec_backend, kind, spec):
     n = spec.pop("n_pes")
     spec["kind"] = kind
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @given(data=st.data())
 @_SETTINGS
-def test_amo(mp_sessions, sim_backend, data):
+def test_amo(mp_sessions, sim_backend, vec_backend, data):
     n = data.draw(st.sampled_from(PE_COUNTS))
     spec = {
         "kind": "amo",
@@ -347,13 +355,13 @@ def test_amo(mp_sessions, sim_backend, data):
         "seed": data.draw(st.integers(0, 999)),
         "dtype": np.dtype(np.uint64),
     }
-    _run_both(mp_sessions, sim_backend, n, spec)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
 @given(seed=st.integers(0, 999))
 @_SETTINGS
-def test_team_barrier(mp_sessions, sim_backend, seed):
-    for n in (1, 4, 8):
-        _run_both(mp_sessions, sim_backend, n,
+def test_team_barrier(mp_sessions, sim_backend, vec_backend, seed):
+    for n in (1, 4, 8, 16):
+        _run_all(mp_sessions, sim_backend, vec_backend, n,
                   {"kind": "team_barrier", "seed": seed,
                    "dtype": np.dtype(np.int64)})

@@ -1,0 +1,412 @@
+"""The vectorized evaluator: outputs, makespans, determinism, scale.
+
+Four properties anchor the ``vec`` substrate:
+
+* **Outputs are exact** — the standalone
+  :func:`~repro.collectives.schedule.evaluate.evaluate_schedule` produces
+  the same bytes as the schedule's mathematical contract and as a vec
+  *session* running the full runtime (the three-way suite in
+  ``test_conformance.py`` already ties sessions to sim and mp).
+* **Makespans track the simulator** — the closed-form cost model stays
+  within a pinned relative tolerance of the simulator's modelled ``ns``
+  across collectives, algorithms, payload sizes and PE counts.
+* **Evaluation is deterministic** — same schedule, same bytes, same
+  clocks, every time.
+* **It scales** — a 4096-PE allreduce produces outputs *and* makespans
+  in seconds (the acceptance bound is 5 s wall-clock).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collectives.allreduce import compile_allreduce
+from repro.collectives.broadcast import compile_broadcast
+from repro.collectives.extra import compile_allgather, compile_alltoall
+from repro.collectives.gather import compile_gather
+from repro.collectives.reduce import compile_reduce
+from repro.collectives.scatter import compile_scatter
+from repro.collectives.schedule.evaluate import (
+    LiteNetwork,
+    evaluate_schedule,
+)
+from repro.collectives.teams import Team
+from repro.errors import SimulationError
+from repro.params import MachineConfig
+
+from ..conftest import small_config
+
+I64 = np.dtype(np.int64)
+
+
+def _rank_payload(n: int, nelems: int) -> np.ndarray:
+    return (np.arange(nelems, dtype=np.int64)[None, :] * 3
+            + np.arange(n, dtype=np.int64)[:, None] * 7 + 1)
+
+
+# -- standalone outputs -------------------------------------------------------
+
+
+@pytest.mark.parametrize("n_pes", [1, 2, 3, 4, 8, 16])
+def test_broadcast_outputs(n_pes):
+    nelems, root = 13, n_pes // 2
+    payload = _rank_payload(n_pes, nelems)
+    sched = compile_broadcast(n_pes, root, nelems, 1, 8)
+    ev = evaluate_schedule(sched, small_config(n_pes), dtype=I64,
+                           inputs={"src": payload})
+    for r in range(n_pes):
+        assert np.array_equal(ev.buffer("dest", r), payload[root])
+    assert ev.elapsed_ns > 0
+    assert len(ev.makespans) == n_pes
+
+
+@pytest.mark.parametrize("algorithm", ["doubling", "ring", "rabenseifner"])
+@pytest.mark.parametrize("n_pes", [2, 3, 4, 7, 8, 16])
+def test_allreduce_outputs(n_pes, algorithm):
+    nelems = 16
+    payload = _rank_payload(n_pes, nelems)
+    sched = compile_allreduce(n_pes, nelems, 1, 8, "sum",
+                              algorithm=algorithm)
+    ev = evaluate_schedule(sched, small_config(n_pes), dtype=I64,
+                           inputs={"src": payload})
+    expect = payload.sum(axis=0)
+    for r in range(n_pes):
+        assert np.array_equal(ev.buffer("dest", r), expect), (
+            f"{algorithm} rank {r}"
+        )
+
+
+@pytest.mark.parametrize("n_pes", [1, 3, 5, 8])
+def test_reduce_outputs(n_pes):
+    nelems, root = 9, n_pes - 1
+    payload = _rank_payload(n_pes, nelems)
+    sched = compile_reduce(n_pes, root, nelems, 1, 8, "max")
+    ev = evaluate_schedule(sched, small_config(n_pes), dtype=I64,
+                           inputs={"src": payload})
+    assert np.array_equal(ev.buffer("dest", root), payload.max(axis=0))
+
+
+def test_scatter_gather_ragged_and_zero_counts():
+    """Ragged per-PE counts (zeros included) through the standalone path."""
+    n, root = 5, 2
+    counts = (3, 0, 2, 4, 0)
+    disps, acc = [], 0
+    for c in counts:
+        disps.append(acc)
+        acc += c
+    total = sum(counts)
+    flat = np.arange(total, dtype=np.int64) * 11 + 5
+
+    sched = compile_scatter(n, root, counts, tuple(disps), total, 8)
+    ev = evaluate_schedule(
+        sched, small_config(n), dtype=I64,
+        inputs={"src": [flat if r == root else np.empty(0, np.int64)
+                        for r in range(n)]},
+    )
+    for r in range(n):
+        expect = flat[disps[r]:disps[r] + counts[r]]
+        assert np.array_equal(ev.buffer("dest", r), expect)
+
+    gsched = compile_gather(n, root, counts, tuple(disps), total, 8)
+    per_rank = [flat[disps[r]:disps[r] + counts[r]] for r in range(n)]
+    gev = evaluate_schedule(gsched, small_config(n), dtype=I64,
+                            inputs={"src": per_rank})
+    assert np.array_equal(gev.buffer("dest", root), flat)
+
+
+def test_allgather_and_alltoall_outputs():
+    n = 6
+    counts = tuple([2, 1, 0, 3, 2, 1])
+    disps, acc = [], 0
+    for c in counts:
+        disps.append(acc)
+        acc += c
+    total = sum(counts)
+    flat = np.arange(total, dtype=np.int64) - 4
+    per_rank = [flat[disps[r]:disps[r] + counts[r]] for r in range(n)]
+    sched = compile_allgather(n, counts, tuple(disps), total, 8)
+    ev = evaluate_schedule(sched, small_config(n), dtype=I64,
+                           inputs={"src": per_rank})
+    for r in range(n):
+        assert np.array_equal(ev.buffer("dest", r), flat), f"rank {r}"
+
+    blk = 3
+    payload = _rank_payload(n, blk * n)
+    asched = compile_alltoall(n, blk, 8)
+    aev = evaluate_schedule(asched, small_config(n), dtype=I64,
+                            inputs={"src": payload})
+    for r in range(n):
+        expect = payload[:, r * blk:(r + 1) * blk].reshape(-1)
+        assert np.array_equal(aev.buffer("dest", r), expect), f"rank {r}"
+
+
+def test_empty_payload_is_barrier_only():
+    sched = compile_broadcast(4, 0, 0, 1, 8)
+    ev = evaluate_schedule(sched, small_config(4), dtype=I64)
+    assert ev.stats.bytes_put == 0
+    assert ev.stats.bytes_on_wire == 0
+    assert ev.stats.barriers >= 1
+    assert ev.elapsed_ns > 0
+
+
+# -- standalone vs session ----------------------------------------------------
+
+
+def _session_allreduce(ctx, nelems):
+    ctx.init()
+    src = ctx.malloc(8 * nelems)
+    dest = ctx.malloc(8 * nelems)
+    ctx.view(src, I64, nelems)[:] = _rank_payload(ctx.num_pes(),
+                                                  nelems)[ctx.rank]
+    ctx.barrier()
+    t0 = ctx.pe.clock
+    ctx.allreduce(dest, src, nelems, 1, "sum", I64, algorithm="doubling")
+    t1 = ctx.pe.clock
+    out = ctx.view(dest, I64, nelems).copy()
+    ctx.close()
+    return out.tobytes(), t0, t1
+
+
+def test_standalone_matches_vec_session():
+    """One schedule, two vec paths (session rendezvous vs compact arena):
+    identical bytes and identical modelled duration."""
+    from repro.backends import get_backend
+
+    n, nelems = 8, 16
+    cfg = small_config(n)
+    res = get_backend("vec").run(_session_allreduce, [(nelems,)] * n,
+                                 config=cfg)
+    sched = compile_allreduce(n, nelems, 1, 8, "sum", algorithm="doubling")
+    ev = evaluate_schedule(sched, cfg, dtype=I64,
+                           inputs={"src": _rank_payload(n, nelems)})
+    for r in range(n):
+        assert res[r][0] == ev.buffer("dest", r).tobytes()
+    # Durations are close but not identical: the session places buffers
+    # on the symmetric heap while the arena packs them at offset 0, so
+    # line/page counts (and hence modelled memory cost) differ slightly.
+    session_ns = max(t1 for _, _, t1 in res) - max(t0 for _, t0, _ in res)
+    assert session_ns == pytest.approx(ev.elapsed_ns, rel=0.2)
+
+
+# -- makespan agreement with the simulator ------------------------------------
+
+
+def _timed_collective(ctx, kind, nelems, algo):
+    ctx.init()
+    src = ctx.malloc(8 * nelems)
+    dest = ctx.malloc(8 * nelems)
+    ctx.view(src, I64, nelems)[:] = ctx.rank
+    ctx.barrier()
+    t0 = ctx.pe.clock
+    if kind == "allreduce":
+        ctx.allreduce(dest, src, nelems, 1, "sum", I64, algorithm=algo)
+    elif kind == "broadcast":
+        ctx.broadcast(dest, src, nelems, 1, 0, I64)
+    else:
+        ctx.reduce(dest, src, nelems, 1, 0, "sum", I64)
+    t1 = ctx.pe.clock
+    ctx.close()
+    return t0, t1
+
+
+#: Pinned agreement bound between the vec cost model and simulated ns.
+#: Small payloads diverge most (stateful cache warm-up vs closed form);
+#: measured worst case is ~30%, large payloads stay within ~3%.
+MAKESPAN_RTOL = 0.35
+MAKESPAN_RTOL_LARGE = 0.05
+
+
+@pytest.mark.parametrize("n_pes,kind,algo,nelems", [
+    (4, "broadcast", None, 64),
+    (8, "broadcast", None, 1024),
+    (8, "reduce", None, 64),
+    (4, "allreduce", "doubling", 64),
+    (8, "allreduce", "ring", 256),
+    (8, "allreduce", "rabenseifner", 1024),
+    (16, "allreduce", "doubling", 64),
+    (16, "broadcast", None, 1024),
+])
+def test_makespan_tracks_simulator(n_pes, kind, algo, nelems):
+    from repro.backends import get_backend
+
+    cfg = small_config(n_pes)
+    res = get_backend("sim").run(_timed_collective,
+                                 [(kind, nelems, algo)] * n_pes, config=cfg)
+    sim_ns = max(t1 for _, t1 in res) - max(t0 for t0, _ in res)
+    if kind == "allreduce":
+        sched = compile_allreduce(n_pes, nelems, 1, 8, "sum", algorithm=algo)
+    elif kind == "broadcast":
+        sched = compile_broadcast(n_pes, 0, nelems, 1, 8)
+    else:
+        sched = compile_reduce(n_pes, 0, nelems, 1, 8, "sum")
+    ev = evaluate_schedule(sched, cfg, dtype=I64)
+    rtol = MAKESPAN_RTOL_LARGE if nelems >= 1024 else MAKESPAN_RTOL
+    rel = abs(ev.elapsed_ns - sim_ns) / sim_ns
+    assert rel <= rtol, (
+        f"vec makespan {ev.elapsed_ns:.0f} ns vs sim {sim_ns:.0f} ns: "
+        f"relative error {rel:.1%} exceeds the pinned {rtol:.0%}"
+    )
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_evaluation_is_deterministic():
+    n, nelems = 8, 64
+    payload = _rank_payload(n, nelems)
+    sched = compile_allreduce(n, nelems, 1, 8, "sum", algorithm="doubling")
+    evs = [evaluate_schedule(sched, small_config(n), dtype=I64,
+                             inputs={"src": payload}) for _ in range(2)]
+    assert np.array_equal(evs[0].makespans, evs[1].makespans)
+    for r in range(n):
+        assert np.array_equal(evs[0].buffer("dest", r),
+                              evs[1].buffer("dest", r))
+    assert evs[0].stats.puts == evs[1].stats.puts
+    assert evs[0].stats.messages == evs[1].stats.messages
+
+
+# -- teams / hierarchy on vec (sim-identical) ---------------------------------
+
+
+def _team_program(ctx, shape):
+    """Team collectives over strided / singleton / full-world member sets."""
+    ctx.init()
+    me, n = ctx.my_pe(), ctx.num_pes()
+    if shape == "strided":
+        members = tuple(range(0, n, 2))
+    elif shape == "singleton":
+        members = (n - 1,)
+    else:
+        members = tuple(range(n))
+    nelems = 8
+    src = ctx.malloc(8 * nelems)
+    dest = ctx.malloc(8 * nelems)
+    acc = ctx.malloc(8 * nelems)
+    ctx.view(src, I64, nelems)[:] = _rank_payload(n, nelems)[me]
+    ctx.view(dest, I64, nelems)[:] = -1
+    ctx.view(acc, I64, nelems)[:] = -1
+    ctx.barrier()
+    if me in members:
+        team = Team(ctx, members)
+        team.broadcast(dest, src, nelems, 1, 0, I64)
+        team.reduce_all(acc, src, nelems, 1, "sum", I64)
+        team.barrier()
+    ctx.barrier()
+    out = (ctx.view(dest, I64, nelems).copy().tobytes(),
+           ctx.view(acc, I64, nelems).copy().tobytes())
+    ctx.close()
+    return out
+
+
+@pytest.mark.parametrize("shape", ["strided", "singleton", "world"])
+@pytest.mark.parametrize("n_pes", [4, 8])
+def test_team_collectives_match_sim(shape, n_pes):
+    from repro.backends import get_backend
+
+    cfg = small_config(n_pes)
+    sim = get_backend("sim").run(_team_program, [(shape,)] * n_pes,
+                                 config=cfg)
+    vec = get_backend("vec").run(_team_program, [(shape,)] * n_pes,
+                                 config=cfg)
+    assert sim == vec
+
+
+def _hierarchical_program(ctx):
+    ctx.init()
+    nelems = 8
+    src = ctx.malloc(8 * nelems)
+    dest = ctx.malloc(8 * nelems)
+    ctx.view(src, I64, nelems)[:] = _rank_payload(ctx.num_pes(),
+                                                  nelems)[ctx.my_pe()]
+    ctx.barrier()
+    ctx.reduce(dest, src, nelems, 1, 0, "sum", I64, algorithm="hierarchical")
+    out = (ctx.view(dest, I64, nelems).copy().tobytes()
+           if ctx.my_pe() == 0 else b"")
+    ctx.close()
+    return out
+
+
+def test_hierarchical_reduce_matches_sim():
+    """Composed two-level trees rendezvous per sub-schedule on vec."""
+    from repro.backends import get_backend
+
+    cfg = small_config(8, cores_per_node=4)
+    sim = get_backend("sim").run(_hierarchical_program, config=cfg)
+    vec = get_backend("vec").run(_hierarchical_program, config=cfg)
+    assert sim == vec
+
+
+# -- scale (the acceptance bound) ---------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["doubling", "rabenseifner"])
+def test_4096_pe_allreduce_under_five_seconds(algorithm):
+    """Acceptance: outputs + makespans for a 4096-PE allreduce in < 5 s."""
+    n, nelems = 4096, 8
+    payload = _rank_payload(n, nelems)
+    t0 = time.perf_counter()
+    sched = compile_allreduce(n, nelems, 1, 8, "sum", algorithm=algorithm)
+    ev = evaluate_schedule(sched, dtype=I64, inputs={"src": payload})
+    wall = time.perf_counter() - t0
+    assert wall < 5.0, f"4096-PE allreduce took {wall:.1f}s (budget 5s)"
+    expect = payload.sum(axis=0)
+    for r in (0, 1, 2047, 4095):
+        assert np.array_equal(ev.buffer("dest", r), expect)
+    assert len(ev.makespans) == n
+    assert np.isfinite(ev.makespans).all()
+    assert (ev.makespans > 0).all()
+
+
+def test_64k_pe_cost_only_evaluation():
+    """collect_data=False keeps no arena: 64k-PE makespans, no bytes."""
+    n = 65536
+    sched = compile_broadcast(n, 0, 4, 1, 8)
+    t0 = time.perf_counter()
+    ev = evaluate_schedule(sched, dtype=I64, collect_data=False)
+    wall = time.perf_counter() - t0
+    assert wall < 10.0, f"64k-PE evaluation took {wall:.1f}s (budget 10s)"
+    assert len(ev.makespans) == n
+    assert float(ev.makespans.min()) > 0
+    with pytest.raises(SimulationError):
+        ev.buffer("dest", 0)
+
+
+# -- guard rails --------------------------------------------------------------
+
+
+def test_session_pe_cap():
+    from repro.backends import get_backend
+    from repro.errors import RuntimeStateError
+
+    with pytest.raises(RuntimeStateError, match="evaluate_schedule"):
+        get_backend("vec").session(n_pes=2048)
+
+
+def test_lite_network_rejects_huge_graph_topologies():
+    cfg = MachineConfig(n_pes=65536, cores_per_node=1, topology="ring")
+    with pytest.raises(SimulationError, match="too "):
+        LiteNetwork(cfg)
+
+
+def test_lite_network_matches_network_formulas():
+    """Same send/fetch arithmetic as the stateful Network (no faults)."""
+    from repro.machine.network import Network
+    from repro.sim.trace import SimStats
+
+    cfg = small_config(8, cores_per_node=2)
+    real = Network(cfg, SimStats())
+    lite = LiteNetwork(cfg)
+    seq = [(0.0, 0, 1, 64), (10.0, 0, 5, 256), (12.0, 3, 4, 8),
+           (50.0, 7, 0, 1024), (60.0, 2, 2, 16)]
+    for t, s, d, nb in seq:
+        r = real.send(t, s, d, nb)
+        free, deliv = lite.send(t, s, d, nb)
+        assert free == pytest.approx(r.t_source_free)
+        assert deliv == pytest.approx(r.t_delivered)
+    for t, s, d, nb in seq:
+        r = real.fetch(t, s, d, nb)
+        assert lite.fetch(t, s, d, nb) == pytest.approx(r.t_complete)
+    assert lite.quiescence_time() == pytest.approx(real.quiescence_time())

@@ -6,8 +6,11 @@ import pytest
 
 from repro.bench.harness import (
     SweepPoint,
+    bench_report,
     check_figure4_shape,
     check_figure5_shape,
+    main as harness_main,
+    oversubscription_gate,
     sweep_gups,
 )
 from repro.bench.gups import GupsParams
@@ -115,3 +118,42 @@ class TestDescribeAndCsv:
         assert lines[0] == "n_pes,mops_total,mops_per_pe,verified"
         assert lines[1].startswith("1,2.000000,2.000000,1")
         assert lines[2].endswith(",0")
+
+
+class TestOversubscriptionGate:
+    """--backend mp refuses to oversubscribe a small host (and says why)."""
+
+    def test_fits_within_cores(self):
+        ok, why = oversubscription_gate([1, 2, 4], cpu_count=4)
+        assert ok and why == ""
+
+    def test_refuses_more_pes_than_cores(self):
+        ok, why = oversubscription_gate([1, 2, 8], cpu_count=2)
+        assert not ok
+        assert "8 worker processes" in why
+        assert "2 core(s)" in why
+        assert "--oversubscribe" in why
+
+    def test_override_allows_it(self):
+        ok, why = oversubscription_gate([64], oversubscribe=True,
+                                        cpu_count=1)
+        assert ok and why == ""
+
+    def test_cli_refuses_without_override(self, capsys):
+        status = harness_main(["--backend", "mp", "--pes", "1", "2", "4096"])
+        assert status == 2
+        out = capsys.readouterr().out
+        assert "refusing --backend mp" in out
+        assert "--oversubscribe" in out
+
+    def test_report_records_gating(self):
+        points = [pt(1, 1.0, 1.0), pt(4, 3.0, 0.75)]
+        rep = bench_report("gups", "mp", points, oversubscribed=True)
+        assert rep["host"]["oversubscribed"] is True
+        assert isinstance(rep["host"]["cpu_count"], int)
+        rep = bench_report("gups", "mp", points, oversubscribed=False)
+        assert rep["host"]["oversubscribed"] is False
+
+    def test_sim_reports_omit_the_flag(self):
+        rep = bench_report("gups", "sim", [pt(1, 1.0, 1.0)])
+        assert "oversubscribed" not in rep["host"]

@@ -1,0 +1,73 @@
+"""Tests for the large-PE crossover sweep (the BENCH_vec.json format)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.vec_sweep import (
+    LINEAR_MAX_PES,
+    RING_MAX_PES,
+    crossover_sweep,
+    main as sweep_main,
+    sweep_point,
+)
+
+
+class TestSweepPoint:
+    def test_all_algorithms_below_the_caps(self):
+        p = sweep_point("broadcast", 64, 8)
+        assert set(p["makespans_ns"]) == {"binomial", "linear", "ring"}
+        assert p["winner"] in p["makespans_ns"]
+        assert all(v > 0 for v in p["makespans_ns"].values())
+        assert p["nbytes"] == 64
+
+    def test_ring_capped_past_512(self):
+        p = sweep_point("allreduce", RING_MAX_PES * 2, 8)
+        assert "ring" not in p["makespans_ns"]
+        assert {"doubling", "rabenseifner"} <= set(p["makespans_ns"])
+
+    def test_linear_capped_past_1024(self):
+        p = sweep_point("broadcast", LINEAR_MAX_PES * 4, 8)
+        assert set(p["makespans_ns"]) == {"binomial"}
+        # tuning may pick a capped algorithm; the point records that
+        # instead of judging against a measurement that does not exist.
+        if not p["tuning_pick_measured"]:
+            assert p["tuning_within_1p25x"] is None
+
+    def test_deterministic(self):
+        a = sweep_point("allreduce", 64, 512)
+        b = sweep_point("allreduce", 64, 512)
+        assert a["makespans_ns"] == b["makespans_ns"]
+
+
+class TestCrossoverDocument:
+    def test_document_shape_and_caps_note(self):
+        doc = crossover_sweep(pe_counts=(8, 16), sizes=(8, 512))
+        assert doc["bench"] == "vec-crossover"
+        assert doc["caps"]["ring_max_pes"] == RING_MAX_PES
+        assert len(doc["points"]) == 2 * 2 * 2  # collectives × pes × sizes
+        assert 0.0 <= doc["tuning_within_1p25x_fraction"] <= 1.0
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "vec.json"
+        status = sweep_main(["--pes", "8", "--sizes", "8", "--out",
+                             str(out)])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert doc["pe_counts"] == [8]
+        assert "winner" in doc["points"][0]
+        assert "makespan" in capsys.readouterr().out
+
+
+def test_committed_reference_matches_format():
+    """BENCH_vec.json in the repo root stays loadable and well-formed."""
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "BENCH_vec.json"
+    doc = json.loads(path.read_text())
+    assert doc["bench"] == "vec-crossover"
+    assert doc["pe_counts"] == [64, 256, 1024, 4096]
+    assert len(doc["points"]) == 2 * 4 * 4
+    for p in doc["points"]:
+        assert p["winner"] in p["makespans_ns"]

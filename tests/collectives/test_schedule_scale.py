@@ -1,0 +1,136 @@
+"""Compile + lint at scale: 1k–64k PEs stay clean, fast and sub-quadratic.
+
+The vec evaluator makes large-PE schedules routine, which makes the
+*compilers* the new scaling bottleneck.  These tests pin three things
+per algorithm family:
+
+* the linter finds nothing at 1k/4k PEs (deadlock freedom, matched
+  peers, bounds, phase overlap and data conservation all hold at sizes
+  the 1–16 PE suites never exercise);
+* compile + lint stays inside a pinned wall-clock budget (~4× headroom
+  over measured times on the CI class of machine), so an accidentally
+  quadratic compile path fails loudly instead of slowing every sweep;
+* total step-object counts grow O(N log N), the direct structural
+  check for the same regression.
+
+Ring, linear, alltoall and dissemination-allgather schedules are
+inherently Θ(N²) total steps (every rank touches every other rank or
+every block), so they are exercised at 1k only and excluded from the
+larger tiers by design.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import pytest
+
+from repro.collectives.allreduce import compile_allreduce
+from repro.collectives.broadcast import compile_broadcast
+from repro.collectives.gather import compile_gather
+from repro.collectives.reduce import compile_reduce
+from repro.collectives.scatter import compile_scatter
+from repro.collectives.schedule.lint import lint_schedule
+
+
+def _ragged(n: int) -> tuple[tuple[int, ...], tuple[int, ...], int]:
+    counts = tuple(i % 3 for i in range(n))
+    disps, acc = [], 0
+    for c in counts:
+        disps.append(acc)
+        acc += c
+    return counts, tuple(disps), acc
+
+
+def _total_steps(sched) -> int:
+    return sum(sum(1 for _ in sched.program(r).all_steps())
+               for r in range(sched.n_pes))
+
+
+#: (name, compile thunk factory, seconds budget by tier).  Budgets are
+#: ~4× the measured compile+lint time; a quadratic regression overshoots
+#: them by orders of magnitude, honest machine jitter does not.
+_CASES = [
+    ("broadcast-binomial",
+     lambda n: compile_broadcast(n, 0, 64, 1, 8)),
+    ("reduce-binomial",
+     lambda n: compile_reduce(n, 0, 64, 1, 8, "sum")),
+    ("allreduce-doubling",
+     lambda n: compile_allreduce(n, 64, 1, 8, "sum", algorithm="doubling")),
+    ("allreduce-rabenseifner",
+     lambda n: compile_allreduce(n, 64, 1, 8, "sum",
+                                 algorithm="rabenseifner")),
+    ("scatter-ragged",
+     lambda n: compile_scatter(n, 0, *_ragged(n)[:2], _ragged(n)[2], 8)),
+    ("gather-ragged",
+     lambda n: compile_gather(n, 0, *_ragged(n)[:2], _ragged(n)[2], 8)),
+]
+
+_BUDGET_S = {1024: 5.0, 4096: 12.0}
+
+
+@pytest.mark.parametrize("n_pes", [1024, 4096])
+@pytest.mark.parametrize("name,compile_fn", _CASES,
+                         ids=[c[0] for c in _CASES])
+def test_lint_clean_and_fast_at_scale(name, compile_fn, n_pes):
+    t0 = time.perf_counter()
+    sched = compile_fn(n_pes)
+    issues = lint_schedule(sched)
+    wall = time.perf_counter() - t0
+    assert issues == [], (
+        f"{name} at {n_pes} PEs: " + "; ".join(str(i) for i in issues[:5])
+    )
+    budget = _BUDGET_S[n_pes]
+    assert wall < budget, (
+        f"{name} at {n_pes} PEs: compile+lint took {wall:.1f}s "
+        f"(budget {budget:.0f}s) — quadratic compile path?"
+    )
+    # O(N log N) structural bound: logarithmic trees/butterflies emit a
+    # small constant number of steps per rank per round.
+    bound = 10 * n_pes * (math.log2(n_pes) + 2)
+    steps = _total_steps(sched)
+    assert steps < bound, (
+        f"{name} at {n_pes} PEs emits {steps} steps "
+        f"(O(N log N) bound {bound:.0f})"
+    )
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("name,compile_fn", [
+    ("broadcast-binomial", lambda n: compile_broadcast(n, 0, 4, 1, 8)),
+    ("reduce-binomial", lambda n: compile_reduce(n, 0, 4, 1, 8, "sum")),
+])
+def test_lint_clean_at_64k(name, compile_fn):
+    """The 64k tier: logarithmic-depth trees only (Θ(N²) families are
+    capped at the 1k tier by design, see module docstring)."""
+    n_pes = 65536
+    t0 = time.perf_counter()
+    sched = compile_fn(n_pes)
+    issues = lint_schedule(sched)
+    wall = time.perf_counter() - t0
+    assert issues == [], "; ".join(str(i) for i in issues[:5])
+    assert wall < 45.0, (
+        f"{name} at 64k PEs: compile+lint took {wall:.1f}s (budget 45s)"
+    )
+    assert _total_steps(sched) < 10 * n_pes * (math.log2(n_pes) + 2)
+
+
+def test_quadratic_families_lint_clean_at_1k():
+    """Ring/linear stay in the suite, at the largest tier that is still
+    cheap for Θ(N²) step counts."""
+    n = 1024
+    for name, sched in (
+        ("allreduce-ring",
+         compile_allreduce(n, 2048, 1, 8, "sum", algorithm="ring")),
+        ("broadcast-ring",
+         compile_broadcast(n, 0, 2048, 1, 8, algorithm="ring")),
+        ("broadcast-linear",
+         compile_broadcast(n, 0, 8, 1, 8, algorithm="linear")),
+        ("reduce-linear",
+         compile_reduce(n, 0, 8, 1, 8, "sum", algorithm="linear")),
+    ):
+        issues = lint_schedule(sched)
+        assert issues == [], (
+            f"{name}: " + "; ".join(str(i) for i in issues[:5])
+        )

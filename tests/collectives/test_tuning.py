@@ -127,6 +127,82 @@ class TestAllreduceSelection:
         assert select_algorithm("allreduce", 1 << 24, 12) == "ring"
 
 
+#: Every crossover in ``SelectionPolicy``, probed exactly at the
+#: boundary and one step to either side (bytes and PE counts), for
+#: power-of-two and non-power-of-two group sizes.  The table is the
+#: spec: a threshold change that silently moves a crossover fails here
+#: with the offending row in the test id.
+_P = DEFAULT_POLICY
+_CROSSOVER_TABLE = [
+    # -- broadcast: linear_max_bytes at the 8-PE operating point
+    ("broadcast", _P.linear_max_bytes - 1, 8, "linear"),
+    ("broadcast", _P.linear_max_bytes, 8, "linear"),
+    ("broadcast", _P.linear_max_bytes + 1, 8, "binomial"),
+    # -- broadcast: linear_max_pes (trivial groups are always linear)
+    ("broadcast", 1 << 20, _P.linear_max_pes, "linear"),
+    ("broadcast", 1 << 20, _P.linear_max_pes + 1, "binomial"),
+    # -- broadcast: linear_pe_limit at a small payload
+    ("broadcast", _P.linear_max_bytes, _P.linear_pe_limit, "linear"),
+    ("broadcast", _P.linear_max_bytes, _P.linear_pe_limit + 1, "binomial"),
+    # -- broadcast: ring_min_bytes × ring_min_pes corner
+    ("broadcast", _P.ring_min_bytes - 1, _P.ring_min_pes, "binomial"),
+    ("broadcast", _P.ring_min_bytes, _P.ring_min_pes, "ring"),
+    ("broadcast", _P.ring_min_bytes, _P.ring_min_pes - 1, "binomial"),
+    ("broadcast", _P.ring_min_bytes, _P.ring_min_pes + 1, "ring"),
+    ("broadcast", _P.ring_min_bytes, 33, "ring"),   # ring beats pe_limit
+    # -- reduce: same linear boundaries, but never ring
+    ("reduce", _P.linear_max_bytes, 8, "linear"),
+    ("reduce", _P.linear_max_bytes + 1, 8, "binomial"),
+    ("reduce", _P.ring_min_bytes, 8, "binomial"),
+    ("reduce", 1 << 20, _P.linear_max_pes, "linear"),
+    ("reduce", 1 << 20, _P.linear_max_pes + 1, "binomial"),
+    # -- allreduce: small/large payload crossover, pof2 group
+    ("allreduce", _P.allreduce_large_bytes - 1, 8, "doubling"),
+    ("allreduce", _P.allreduce_large_bytes, 8, "rabenseifner"),
+    # -- allreduce: same crossover, non-pof2 group → ring past it
+    ("allreduce", _P.allreduce_large_bytes - 1, 6, "doubling"),
+    ("allreduce", _P.allreduce_large_bytes, 6, "ring"),
+    ("allreduce", _P.allreduce_large_bytes, 7, "ring"),
+    # -- allreduce: the n<=2 override beats any payload
+    ("allreduce", 1 << 24, 2, "doubling"),
+    ("allreduce", 1 << 24, 3, "ring"),
+    ("allreduce", 1 << 24, 4, "rabenseifner"),
+    # -- allgather: dissemination_min_pes boundary, payload-independent
+    ("allgather", 8, _P.allgather_dissemination_min_pes - 1, "tree"),
+    ("allgather", 8, _P.allgather_dissemination_min_pes, "dissemination"),
+    ("allgather", 1 << 20, _P.allgather_dissemination_min_pes - 1, "tree"),
+    ("allgather", 1 << 20, _P.allgather_dissemination_min_pes,
+     "dissemination"),
+]
+
+
+class TestCrossoverTable:
+    @pytest.mark.parametrize(
+        "op,nbytes,n_pes,expected", _CROSSOVER_TABLE,
+        ids=[f"{op}-{nbytes}B-{n}pes" for op, nbytes, n, _
+             in _CROSSOVER_TABLE])
+    def test_boundary(self, op, nbytes, n_pes, expected):
+        assert select_algorithm(op, nbytes, n_pes) == expected
+
+    def test_every_choice_is_a_supported_algorithm(self):
+        """The table only ever names algorithms the compilers accept."""
+        from repro.collectives.tuning import _SUPPORTED
+
+        for op, _, _, expected in _CROSSOVER_TABLE:
+            assert expected in _SUPPORTED[op], (op, expected)
+
+    def test_table_covers_every_policy_field(self):
+        """Adding a threshold to SelectionPolicy without extending the
+        table is an error — the crossover would ship unpinned."""
+        import dataclasses
+
+        assert {f.name for f in dataclasses.fields(SelectionPolicy)} == {
+            "linear_max_bytes", "linear_max_pes", "linear_pe_limit",
+            "ring_min_bytes", "ring_min_pes", "allreduce_large_bytes",
+            "allgather_dissemination_min_pes",
+        }, "new SelectionPolicy field: add its boundary rows to the table"
+
+
 class TestAllgatherSelection:
     def test_small_groups_use_tree(self):
         pes = DEFAULT_POLICY.allgather_dissemination_min_pes
