@@ -152,16 +152,24 @@ class SegmentGroup:
 
 
 # -- control-segment layout (8-byte cells) ----------------------------------
+#
+# [0]                world-barrier arrival count (lock-protected)
+# [1]                world-barrier sense bit (flipped by last arriver)
+# [2, 2+n)           per-PE abort cells: the run id PE r must unwind
+#                    (0 = clean).  Per-PE rather than a single global
+#                    cell so concurrent team-scoped runs fail
+#                    independently: aborting tenant A's ranks never
+#                    tells tenant B's spinners to unwind.
+# [2+n, 2+2n)        per-PE completed-op progress counters
+# [2+2n, 2+2n+n*n)   pairwise signal table: cell (src, dst)
 
-_ABORT = 0          #: run id whose workers must unwind (0 = clean)
-_WB_COUNT = 1       #: world-barrier arrival count (lock-protected)
-_WB_SENSE = 2       #: world-barrier sense bit (flipped by last arriver)
-_PROGRESS0 = 3      #: per-PE completed-op counters [3, 3 + n)
-# signal table at [3 + n, 3 + n + n*n): cell (src, dst) = 3+n + src*n + dst
+_WB_COUNT = 0
+_WB_SENSE = 1
+_DYN0 = 2
 
 
 def control_bytes(n_pes: int) -> int:
-    return 8 * (_PROGRESS0 + n_pes + n_pes * n_pes)
+    return 8 * (_DYN0 + 2 * n_pes + n_pes * n_pes)
 
 
 def spin_until(pred: Callable[[], bool], *, deadline: float,
@@ -190,30 +198,41 @@ class ControlBlock:
     def __init__(self, shm: shared_memory.SharedMemory, n_pes: int):
         self.n_pes = n_pes
         self._cells = shm.buf.cast("Q")
+        self._abort0 = _DYN0
+        self._prog0 = _DYN0 + n_pes
+        self._sig0 = _DYN0 + 2 * n_pes
 
     def release(self) -> None:
         """Drop the exported memoryview (required before shm close)."""
         self._cells.release()
 
-    # -- abort flag ---------------------------------------------------------
+    # -- abort cells (one per PE) -------------------------------------------
 
-    def abort_run(self, run_id: int) -> None:
-        self._cells[_ABORT] = run_id
+    def abort_ranks(self, ranks: Sequence[int] | None, run_id: int) -> None:
+        """Tell ``ranks`` (``None`` = everyone) to unwind run ``run_id``.
 
-    def clear_abort(self) -> None:
-        self._cells[_ABORT] = 0
+        Stamping only the failing run's own ranks is what isolates
+        concurrent team-scoped runs: PEs serving other runs never see
+        their cell change and keep spinning undisturbed.
+        """
+        for r in (range(self.n_pes) if ranks is None else ranks):
+            self._cells[self._abort0 + r] = run_id
 
-    def aborted_run(self) -> int:
-        return self._cells[_ABORT]
+    def clear_abort(self, ranks: Sequence[int] | None = None) -> None:
+        for r in (range(self.n_pes) if ranks is None else ranks):
+            self._cells[self._abort0 + r] = 0
+
+    def aborted_run(self, rank: int) -> int:
+        return self._cells[self._abort0 + rank]
 
     # -- progress counters --------------------------------------------------
 
     def bump_progress(self, rank: int) -> None:
         """Publish one more completed one-sided op by ``rank``."""
-        self._cells[_PROGRESS0 + rank] += 1
+        self._cells[self._prog0 + rank] += 1
 
     def progress(self, rank: int) -> int:
-        return self._cells[_PROGRESS0 + rank]
+        return self._cells[self._prog0 + rank]
 
     # -- world barrier cells (callers hold the barrier lock for RMW) --------
 
@@ -232,7 +251,7 @@ class ControlBlock:
     # -- pairwise signal counters ------------------------------------------
 
     def _sig_idx(self, src: int, dst: int) -> int:
-        return _PROGRESS0 + self.n_pes + src * self.n_pes + dst
+        return self._sig0 + src * self.n_pes + dst
 
     def signal(self, src: int, dst: int) -> None:
         """One more signal from ``src`` to ``dst`` (single writer: src)."""
@@ -250,8 +269,7 @@ class ControlBlock:
         """
         self._cells[_WB_COUNT] = 0
         self._cells[_WB_SENSE] = 0
-        base = _PROGRESS0 + self.n_pes
-        for i in range(base, base + self.n_pes * self.n_pes):
+        for i in range(self._sig0, self._sig0 + self.n_pes * self.n_pes):
             self._cells[i] = 0
 
 
@@ -287,7 +305,7 @@ class ShmBarrier:
     # -- abort plumbing -----------------------------------------------------
 
     def _check_abort(self) -> None:
-        aborted = self.ctl.aborted_run()
+        aborted = self.ctl.aborted_run(self.rank)
         if aborted and aborted == self.run_id:
             raise WorkerAbortedError(
                 f"PE {self.rank}: run {self.run_id} aborted by a peer failure"
@@ -350,3 +368,22 @@ class ShmBarrier:
         """Forget local barrier state (after a session-level reset)."""
         self._sense = 0
         self._consumed.clear()
+
+    def attach_sync(self) -> None:
+        """Adopt the *current* shared barrier state as this PE's baseline.
+
+        Two callers: a replacement worker attaching to a live session
+        (in-place slot rebuild — shared cells were never zeroed), and a
+        survivor of a failed team-scoped run discarding stale signals
+        its dead peers left unconsumed.  The invariant restored is the
+        idle-PE one: local sense equals the shared sense, and every
+        signal currently in the table counts as already consumed.  On a
+        freshly zeroed control block this is identical to the default
+        constructor state.
+        """
+        self._sense = self.ctl.wb_sense()
+        self._consumed = {
+            src: self.ctl.signals(src, self.rank)
+            for src in range(self.n_pes)
+            if self.ctl.signals(src, self.rank)
+        }

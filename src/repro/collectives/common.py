@@ -80,7 +80,12 @@ def resolve_group(ctx: "XBRTime", group: Sequence[int] | None) -> tuple[tuple[in
     tuple of world ranks and ``my_index`` is the caller's group rank.
     """
     if group is None:
-        return ctx.world_group, ctx.rank
+        # Team-scoped contexts (serving over PE subsets) carry a default
+        # group; collectives called without an explicit one target it,
+        # with group-relative ranks.  Plain contexts fall to the world.
+        group = getattr(ctx, "default_group", None)
+        if group is None:
+            return ctx.world_group, ctx.rank
     members = tuple(group)
     if len(set(members)) != len(members):
         raise CollectiveArgumentError(f"group has duplicate ranks: {members}")

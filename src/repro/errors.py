@@ -30,6 +30,9 @@ __all__ = [
     "WorkerFailedError",
     "BackendTimeoutError",
     "WorkerAbortedError",
+    "ServeError",
+    "QueueFullError",
+    "AdmissionTimeoutError",
 ]
 
 
@@ -158,3 +161,21 @@ class WorkerAbortedError(BackendError):
     """Raised *inside* a PE worker whose run was aborted because a peer
     failed — the shared-memory barrier and spin-waits poll the abort
     flag so no worker is left spinning on a dead peer."""
+
+
+class ServeError(XbgasError):
+    """The serving layer (:mod:`repro.serve`) rejected or lost a job."""
+
+
+class QueueFullError(ServeError):
+    """Backpressure: the pool's admission queue is at its depth limit.
+
+    Raised synchronously from ``ServePool.submit`` — the caller must
+    retry later (or shed the request); nothing was enqueued.
+    """
+
+
+class AdmissionTimeoutError(ServeError):
+    """Bounded-wait admission expired: the job sat queued for longer
+    than the pool's ``max_wait_s`` without enough free PEs, and was
+    rejected instead of being left to wait unboundedly."""

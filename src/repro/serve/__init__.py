@@ -1,0 +1,62 @@
+"""Multi-tenant collective serving over a persistent PE pool.
+
+The ROADMAP north star is a runtime that "serves heavy traffic from
+millions of users"; this package is the serving layer over the
+reproduction's backends.  A :class:`ServePool` keeps one backend
+session alive (mp: a pool of worker processes over shared segments)
+and multiplexes many tenants' independent collective jobs onto
+**disjoint team-scoped PE subsets**, with
+
+* admission control — FIFO queue with a depth limit (backpressure:
+  :class:`~repro.errors.QueueFullError`) and bounded-wait rejection
+  (:class:`~repro.errors.AdmissionTimeoutError` diagnostics);
+* per-tenant accounting — latency / queue-wait percentiles and
+  PE-seconds, with optional span-event tracing for Chrome-trace
+  timelines (the PR 1 observability layer);
+* crash isolation — a tenant's dying worker fails *that job only*
+  (:class:`~repro.errors.WorkerFailedError` diagnostics); the worker
+  slot is rebuilt in place against the existing shared segments and
+  every other tenant's concurrent job completes byte-identically.
+
+Quick start::
+
+    from repro.serve import JobSpec, ServePool
+
+    with ServePool(n_pes=4, backend="mp") as pool:
+        pool.submit(JobSpec(tenant="a", collective="allreduce",
+                            n_pes=2, nelems=256))
+        pool.submit(JobSpec(tenant="b", collective="broadcast",
+                            n_pes=2, nelems=512, seed=7))
+        for result in pool.drain():
+            print(result.tenant, result.ok, result.latency_s)
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    AdmissionTimeoutError,
+    QueueFullError,
+    ServeError,
+)
+from .job import COLLECTIVES, FAULT_MODES, JobResult, JobSpec
+from .pool import ServePool
+from .programs import payload_values, run_collective_job
+from .scheduler import TeamScheduler
+from .stats import ServeStats, TenantAccount, percentile
+
+__all__ = [
+    "ServePool",
+    "JobSpec",
+    "JobResult",
+    "TeamScheduler",
+    "ServeStats",
+    "TenantAccount",
+    "percentile",
+    "run_collective_job",
+    "payload_values",
+    "COLLECTIVES",
+    "FAULT_MODES",
+    "ServeError",
+    "QueueFullError",
+    "AdmissionTimeoutError",
+]

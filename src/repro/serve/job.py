@@ -1,0 +1,143 @@
+"""Job descriptions and results for the multi-tenant serving layer.
+
+A :class:`JobSpec` is one tenant's request: run one collective of a
+given shape on ``n_pes`` PEs carved out of the pool.  Specs are frozen
+and validated up front so a malformed request is rejected at ``submit``
+time, before it consumes a queue slot.  :class:`JobResult` is the
+terminal record the pool hands back — exactly one per submitted job,
+whether it completed, failed, or was rejected by admission control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CollectiveArgumentError
+from ..types import typeinfo
+
+__all__ = ["JobSpec", "JobResult", "COLLECTIVES", "FAULT_MODES"]
+
+#: Collectives the job program knows how to drive.
+COLLECTIVES = (
+    "broadcast",
+    "reduce",
+    "allreduce",
+    "scan",
+    "allgather",
+    "alltoall",
+    "barrier",
+)
+
+#: Seeded crash modes: ``"raise"`` = Python exception on the fault rank,
+#: ``"exit"`` = hard process death (``os._exit``; degrades to
+#: ``"raise"`` on in-process backends, which cannot lose a PE without
+#: losing the server).
+FAULT_MODES = ("raise", "exit")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One collective job as a tenant submits it.
+
+    ``root`` and ``fault_rank`` are **group-relative** — the tenant
+    neither knows nor chooses which world ranks the scheduler carves for
+    it.  ``seed`` fully determines the payload contents (and the fault
+    injection point when ``fault`` is set), so a job rerun with the same
+    spec on any rank set produces byte-identical buffers — that is what
+    the cross-tenant isolation tests compare.
+    """
+
+    tenant: str
+    collective: str = "allreduce"
+    n_pes: int = 2
+    nelems: int = 64
+    dtype: str = "long"
+    root: int = 0
+    seed: int = 0
+    fault: str | None = None
+    fault_rank: int = 0
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise CollectiveArgumentError("job tenant must be non-empty")
+        if self.collective not in COLLECTIVES:
+            raise CollectiveArgumentError(
+                f"unknown collective {self.collective!r}; "
+                f"one of {COLLECTIVES}"
+            )
+        if self.n_pes < 1:
+            raise CollectiveArgumentError(
+                f"job needs at least one PE, got {self.n_pes}"
+            )
+        if self.nelems < 0:
+            raise CollectiveArgumentError(
+                f"nelems must be >= 0, got {self.nelems}"
+            )
+        if not 0 <= self.root < self.n_pes:
+            raise CollectiveArgumentError(
+                f"root {self.root} out of range [0, {self.n_pes})"
+            )
+        if self.fault is not None and self.fault not in FAULT_MODES:
+            raise CollectiveArgumentError(
+                f"unknown fault mode {self.fault!r}; one of {FAULT_MODES}"
+            )
+        if not 0 <= self.fault_rank < self.n_pes:
+            raise CollectiveArgumentError(
+                f"fault_rank {self.fault_rank} out of range "
+                f"[0, {self.n_pes})"
+            )
+        typeinfo(self.dtype)  # raises TypeNameError on unknown TYPENAMEs
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Total payload footprint — scales the backend watchdog.
+
+        All-to-all shaped collectives move an ``n_pes``-fold buffer per
+        PE; everything else is bounded by the per-PE element count.
+        """
+        per_elem = typeinfo(self.dtype).dtype.itemsize
+        factor = self.n_pes if self.collective in ("allgather",
+                                                   "alltoall") else 1
+        return self.nelems * per_elem * factor * self.n_pes
+
+    def as_wire(self) -> dict:
+        """The picklable dict handed to the per-PE job program."""
+        return {
+            "collective": self.collective,
+            "nelems": self.nelems,
+            "dtype": self.dtype,
+            "root": self.root,
+            "seed": self.seed,
+            "fault": self.fault,
+            "fault_rank": self.fault_rank,
+        }
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """The terminal record of one job.
+
+    ``ok`` jobs carry the group leader's payload ``digest`` (identical
+    on every member — collectives that scatter distinct bytes per rank
+    fold all members' digests into it).  Failed jobs carry the backend's
+    diagnostic in ``error``; rejected jobs additionally have
+    ``rejected=True`` and never occupied a PE.
+    """
+
+    job_id: int
+    tenant: str
+    spec: JobSpec
+    ok: bool
+    error: str | None = None
+    rejected: bool = False
+    digest: str | None = None
+    ranks: tuple[int, ...] = ()
+    queue_wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+
+    @property
+    def pe_seconds(self) -> float:
+        """PE occupancy this job consumed (its tenant is billed for)."""
+        return len(self.ranks) * self.service_s

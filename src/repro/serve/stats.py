@@ -1,0 +1,167 @@
+"""Per-tenant accounting for the serving pool.
+
+Rides the PR 1 observability layer twice over:
+
+* every job's lifetime is recorded as a span event
+  (``serve:<collective>``) into an ordinary
+  :class:`~repro.sim.trace.EventTrace` when the pool is constructed
+  with ``trace=True`` — so :func:`~repro.sim.spans.build_span_forest`
+  and the Chrome-trace exporter render a serving timeline exactly like
+  a collective's; and
+* the numeric summaries (:meth:`ServeStats.snapshot`) use the same
+  latency-percentile conventions as the bench reports.
+
+All times here are **wall-clock seconds**; PE-seconds is the billing
+unit (team width x service time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..sim.trace import EventTrace
+from .job import JobResult
+
+__all__ = ["percentile", "TenantAccount", "ServeStats"]
+
+
+def percentile(values: list[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) by linear interpolation.
+
+    Matches ``numpy.percentile`` defaults, but works on plain lists so
+    report code paths need no array round trip.  Empty input → 0.0.
+    """
+    if not values:
+        return 0.0
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    vals = sorted(values)
+    if len(vals) == 1:
+        return vals[0]
+    pos = (len(vals) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(vals) - 1)
+    frac = pos - lo
+    return vals[lo] * (1.0 - frac) + vals[hi] * frac
+
+
+@dataclass
+class TenantAccount:
+    """Everything the pool owes one tenant an answer about."""
+
+    tenant: str
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    pe_seconds: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+    queue_waits_s: list[float] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "pe_seconds": round(self.pe_seconds, 6),
+            "latency_s": {
+                "p50": percentile(self.latencies_s, 50),
+                "p95": percentile(self.latencies_s, 95),
+                "p99": percentile(self.latencies_s, 99),
+            },
+            "queue_wait_s": {
+                "p50": percentile(self.queue_waits_s, 50),
+                "p95": percentile(self.queue_waits_s, 95),
+                "p99": percentile(self.queue_waits_s, 99),
+            },
+        }
+
+
+class ServeStats:
+    """Pool-wide accounting: one :class:`TenantAccount` per tenant.
+
+    When ``trace`` is enabled, each finished job additionally lands as
+    a span event on the trace — ``pe`` = the team's lead world rank,
+    span start/duration = dispatch time/service time — giving the
+    Chrome-trace export one track per pool slot with the jobs that ran
+    there.
+    """
+
+    def __init__(self, trace: EventTrace | None = None):
+        self.accounts: dict[str, TenantAccount] = {}
+        self.trace = trace
+        self._t0 = time.monotonic()
+        self._next_span = 1
+
+    def _account(self, tenant: str) -> TenantAccount:
+        acct = self.accounts.get(tenant)
+        if acct is None:
+            acct = self.accounts[tenant] = TenantAccount(tenant)
+        return acct
+
+    # -- recording ----------------------------------------------------------
+
+    def record_submit(self, tenant: str) -> None:
+        self._account(tenant).submitted += 1
+
+    def record_result(self, result: JobResult) -> None:
+        acct = self._account(result.tenant)
+        if result.rejected:
+            acct.rejected += 1
+        elif result.ok:
+            acct.completed += 1
+        else:
+            acct.failed += 1
+        if not result.rejected:
+            acct.pe_seconds += result.pe_seconds
+            acct.latencies_s.append(result.latency_s)
+        acct.queue_waits_s.append(result.queue_wait_s)
+        if self.trace is not None and self.trace.enabled \
+                and not result.rejected:
+            end_s = time.monotonic() - self._t0
+            start_ns = (end_s - result.service_s) * 1e9
+            sid = self._next_span
+            self._next_span += 1
+            self.trace.record_span(
+                start_ns, result.ranks[0] if result.ranks else 0,
+                "span", f"collective:serve:{result.spec.collective}",
+                sid, 0, result.service_s * 1e9,
+                attrs={
+                    "tenant": result.tenant,
+                    "job_id": result.job_id,
+                    "ranks": result.ranks,
+                    "ok": result.ok,
+                },
+            )
+
+    # -- reporting ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A JSON-able pool summary (totals + per-tenant accounts)."""
+        tenants = {name: acct.summary()
+                   for name, acct in sorted(self.accounts.items())}
+        all_lat = [v for a in self.accounts.values()
+                   for v in a.latencies_s]
+        return {
+            "tenants": tenants,
+            "totals": {
+                "submitted": sum(a.submitted
+                                 for a in self.accounts.values()),
+                "completed": sum(a.completed
+                                 for a in self.accounts.values()),
+                "failed": sum(a.failed for a in self.accounts.values()),
+                "rejected": sum(a.rejected
+                                for a in self.accounts.values()),
+                "pe_seconds": round(sum(a.pe_seconds
+                                        for a in self.accounts.values()),
+                                    6),
+                "latency_s": {
+                    "p50": percentile(all_lat, 50),
+                    "p95": percentile(all_lat, 95),
+                    "p99": percentile(all_lat, 99),
+                },
+            },
+        }

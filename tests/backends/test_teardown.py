@@ -15,7 +15,7 @@ import pytest
 
 from repro.backends import MPSession
 from repro.backends.shm import SegmentGroup, control_bytes, segment_prefix
-from repro.errors import RuntimeStateError
+from repro.errors import RuntimeStateError, WorkerFailedError
 
 from ..conftest import small_config
 from .conftest import SHM_DIR, xbgas_segments
@@ -107,6 +107,41 @@ def test_session_double_close_unlinks_once():
     with pytest.raises(RuntimeStateError):
         session.run(_noop)
     assert xbgas_segments() == before
+
+
+def test_rebuild_after_killed_worker_reuses_segments():
+    """Worker-pool repair must re-attach, not unlink/recreate.
+
+    Segment layout depends only on the immutable session config, so a
+    rebuild after a hard worker death keeps the exact same ``/dev/shm``
+    entries — and therefore cannot leak (or orphan) any segment no
+    matter how many times the pool is repaired.
+    """
+    before = xbgas_segments()
+    session = MPSession(small_config(2), timeout=30.0)
+    try:
+        live = _session_segments(session.token)
+        assert live, "session must own segments while open"
+        with pytest.raises(WorkerFailedError):
+            session.run(_dies_hard)
+        assert _session_segments(session.token) == live, \
+            "repair must reuse the existing segments byte-for-byte"
+        assert [s for s in xbgas_segments() if s not in before + live] == []
+        # The rebuilt pool runs on those same segments.
+        assert session.run(_noop) == [b"ok", b"ok"]
+        assert _session_segments(session.token) == live
+    finally:
+        session.close()
+    assert xbgas_segments() == before, "no segment survives close()"
+
+
+def _dies_hard(ctx) -> bytes:
+    ctx.init()
+    if ctx.my_pe() == 1:
+        os._exit(23)
+    ctx.barrier()
+    ctx.close()
+    return b"ok"
 
 
 def _noop(ctx) -> bytes:

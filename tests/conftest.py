@@ -24,7 +24,7 @@ from repro.params import CacheParams, MachineConfig, MemoryParams, TlbParams
 
 #: Default per-test watchdog (seconds) for the deadlock-prone suites.
 DEADLOCK_SUITE_TIMEOUT = 120
-_DEADLOCK_SUITES = ("tests/faults/", "tests/backends/")
+_DEADLOCK_SUITES = ("tests/faults/", "tests/backends/", "tests/serve/")
 
 
 def _has_timeout_plugin(config) -> bool:

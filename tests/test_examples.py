@@ -91,6 +91,12 @@ _EXAMPLES: dict[str, Example] = {
         args=("4", "32"),
         expect=("backends agree bit-for-bit on 4 PEs x 32 elements",),
     ),
+    "serve_multi_tenant.py": Example(
+        args=("sim", "16"),
+        expect=("16 jobs completed across 4 tenants",
+                "fault isolated to tenant 'evil'",
+                "repeat digests match"),
+    ),
     "gups_demo.py": Example(
         args=("128",),
         expect=("shape check",),
