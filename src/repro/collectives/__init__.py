@@ -31,7 +31,7 @@ collectives), :mod:`~repro.collectives.nonblocking` and
 from .virtual_rank import virtual_rank, logical_rank, rank_table
 from .binomial import tree_stages, tree_children, tree_parent, render_tree
 from .ops import REDUCE_OPS, apply_op, check_op
-from . import broadcast, reduce, scatter, gather, extra, teams, nonblocking, tuning, hierarchy, allreduce, scan
+from . import broadcast, reduce, scatter, gather, extra, teams, nonblocking, tuning, hierarchy, allreduce, scan, reduce_scatter
 from . import schedule
 
 __all__ = [
@@ -56,5 +56,6 @@ __all__ = [
     "hierarchy",
     "allreduce",
     "scan",
+    "reduce_scatter",
     "schedule",
 ]

@@ -18,6 +18,16 @@ flavours:
   nearest-neighbour links.  Works for any PE count (no power-of-two
   fold) and keeps every link equally loaded, which is why it wins on
   ring/torus topologies.
+* **doubly-pipelined dual-root** (``algorithm="dual-pipelined"``,
+  after Träff) — the payload is cut into S segments that flow up and
+  back down *two* interleaved binary trees (even segments through the
+  tree rooted at 0, odd ones through the tree rooted at N/2, so the
+  inner/leaf roles swap and per-rank bandwidth balances).  Compiled
+  through the schedule IR's :class:`~.schedule.ir.Pipeline` block, the
+  reduce of segment k overlaps the broadcast of segment k-Δ: the whole
+  allreduce finishes in ``2·depth + S - 1`` pipelined rounds instead of
+  the ring's ``2·(N-1)``, which is the large-payload round-count win at
+  scale (any PE count, no power-of-two fold).
 
 Correctness under one-sided reads: recursive doubling double-buffers
 (everyone reads the partner's *current* buffer and writes the *next*),
@@ -35,6 +45,7 @@ algorithm, and the results are pushed back to the folded-out ranks.
 from __future__ import annotations
 
 from functools import lru_cache
+from math import isqrt
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -53,11 +64,13 @@ from .schedule.ir import (
     Buffer,
     Copy,
     Get,
+    Pipeline,
     Put,
     RankProgram,
     Reduce,
     Schedule,
     Stage,
+    segment_bounds,
 )
 from .virtual_rank import ring_neighbor
 
@@ -67,7 +80,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["allreduce", "prepare_allreduce", "compile_allreduce"]
 
 #: Algorithms :func:`compile_allreduce` accepts.
-ALGORITHMS = ("doubling", "rabenseifner", "ring")
+ALGORITHMS = ("doubling", "rabenseifner", "ring", "dual-pipelined")
+
+def auto_segments(nbytes: int) -> int:
+    """Default segment count for a dual-pipelined payload of ``nbytes``.
+
+    S trades round count (``2·depth + S - 1`` extra barrier rounds)
+    against per-round chunk serialization (each round moves ``~2/S`` of
+    the payload on the critical path), so the optimum grows like the
+    square root of the payload — ``S ≈ √(nbytes/1 KiB)`` tracks the
+    evaluator's measured optimum within a few percent from 64 KiB to
+    1 MiB (see ``BENCH_pipeline.json``).
+    """
+    return max(2, min(64, isqrt(max(nbytes, 0) // 1024)))
 
 
 def allreduce(
@@ -80,15 +105,18 @@ def allreduce(
     dtype: np.dtype,
     *,
     algorithm: str = "doubling",
+    segments: int | None = None,
     group: Sequence[int] | None = None,
 ) -> None:
     """Reduction-to-all: every PE ends with the full reduction at
     ``dest`` (which may be private — each PE writes its own copy
     locally).  ``algorithm`` is ``"doubling"`` (latency-optimal),
-    ``"rabenseifner"`` or ``"ring"`` (bandwidth-optimal), or ``"auto"``."""
+    ``"rabenseifner"`` or ``"ring"`` (bandwidth-optimal),
+    ``"dual-pipelined"`` (pipelined dual-root trees, ``segments``
+    chunks in flight) or ``"auto"``."""
     prepare_allreduce(
         ctx, dest, src, nelems, stride, op, dtype, algorithm=algorithm,
-        group=group,
+        segments=segments, group=group,
     ).run(ctx)
 
 
@@ -102,11 +130,14 @@ def prepare_allreduce(
     dtype: np.dtype,
     *,
     algorithm: str = "doubling",
+    segments: int | None = None,
     group: Sequence[int] | None = None,
 ) -> PreparedCollective:
     """Validate, select and compile — everything but the execution."""
     validate_counts(nelems, stride)
     check_op(op, dtype)
+    if segments is not None and segments < 1:
+        raise CollectiveArgumentError("segments must be >= 1")
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     if n_pes > 1 and not ctx.is_symmetric(src):
@@ -125,24 +156,36 @@ def prepare_allreduce(
             f"unknown allreduce algorithm {algorithm!r}"
         )
     sched = compile_allreduce(n_pes, nelems, stride, dtype.itemsize, op,
-                              algorithm=algorithm)
+                              algorithm=algorithm, segments=segments)
+    attrs = dict(algorithm=algorithm, op=op, nelems=nelems, dtype=str(dtype))
+    if algorithm == "dual-pipelined":
+        attrs["segments"] = segments or auto_segments(nelems * dtype.itemsize)
     return PreparedCollective(
         name="allreduce", members=members, me=me, dtype=dtype,
-        attrs=dict(algorithm=algorithm, op=op, nelems=nelems,
-                   dtype=str(dtype)),
+        attrs=attrs,
         schedule=sched, bindings={"dest": dest, "src": src},
         stats_key=f"allreduce:{algorithm}", stats_rank=0,
     )
 
 
 def compile_allreduce(n_pes: int, nelems: int, stride: int, itemsize: int,
-                      op: str, *, algorithm: str = "doubling") -> Schedule:
-    """Compile one allreduce call shape into a schedule (pure, cached)."""
+                      op: str, *, algorithm: str = "doubling",
+                      segments: int | None = None) -> Schedule:
+    """Compile one allreduce call shape into a schedule (pure, cached).
+
+    ``segments`` only applies to ``"dual-pipelined"`` (``None`` picks
+    :func:`auto_segments` for the payload).
+    """
     if algorithm in ("doubling", "rabenseifner"):
         return _compile_folded(n_pes, nelems, stride, itemsize, op,
                                algorithm)
     if algorithm == "ring":
         return _compile_ring(n_pes, nelems, stride, itemsize, op)
+    if algorithm == "dual-pipelined":
+        if segments is None:
+            segments = auto_segments(nelems * itemsize)
+        return _compile_dual_pipelined(n_pes, nelems, stride, itemsize, op,
+                                       segments)
     raise CollectiveArgumentError(
         f"unknown allreduce algorithm {algorithm!r}"
     )
@@ -376,6 +419,101 @@ def _compile_ring(n_pes: int, nelems: int, stride: int, itemsize: int,
         collective="allreduce", algorithm="ring", n_pes=n_pes,
         itemsize=itemsize, op=op,
         buffers=_buffers(nbytes, double=False),
+        programs=tuple(programs),
+        deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes)),
+    )
+
+
+def _heap_depth(v: int) -> int:
+    """Depth of virtual rank ``v`` in the heap-ordered binary tree."""
+    return (v + 1).bit_length() - 1
+
+
+@lru_cache(maxsize=512)
+def _compile_dual_pipelined(n_pes: int, nelems: int, stride: int,
+                            itemsize: int, op: str,
+                            segments: int) -> Schedule:
+    """Doubly-pipelined dual-root tree allreduce (Träff).
+
+    Two heap-ordered binary trees over virtual ranks — tree 0 rooted at
+    rank 0, tree 1 at rank N/2, so a rank that is inner in one tree is
+    (almost always) a leaf in the other.  Even payload segments reduce
+    up and broadcast down tree 0, odd segments tree 1.  Everything is
+    one :class:`~.schedule.ir.Pipeline` block of ``2·depth`` step
+    groups:
+
+    * reduce group ``depth-1-d`` — parents at depth ``d`` pull each
+      child's accumulated segment chunk (the child folded it one round
+      earlier: cross-segment ordering) and fold it into scratch ``a``;
+    * broadcast group ``depth+d`` — children at depth ``d+1`` pull the
+      finished chunk from their parent (the root's ``a``, inner ranks'
+      ``b``) into scratch ``b``.
+
+    Round ``t`` of the lowered wavefront runs segment ``t-g`` of every
+    group ``g``, so the broadcast of one segment overlaps the reduce of
+    later ones — "doubly pipelined".  All per-round hazards are
+    parity/segment-disjoint, which the schedule linter proves for every
+    compiled shape.
+    """
+    if nelems == 0 or n_pes == 1:
+        return _degenerate(n_pes, nelems, stride, itemsize, op,
+                           "dual-pipelined")
+    nbytes = span_bytes(nelems, stride, itemsize)
+    S = max(1, min(segments, nelems))
+    roots = (0, n_pes // 2)
+    depth_max = _heap_depth(n_pes - 1)
+    n_groups = 2 * depth_max
+
+    def off(e: int) -> int:
+        return e * stride * itemsize
+
+    programs = []
+    for r in range(n_pes):
+        groups = [[()] * S for _ in range(n_groups)]
+        for k in range(S):
+            root = roots[k % 2]
+            v = (r - root) % n_pes
+            d = _heap_depth(v)
+            e_lo, e_hi = segment_bounds(nelems, S, k)
+            ne = e_hi - e_lo
+            if ne == 0:
+                continue
+            children = [c for c in (2 * v + 1, 2 * v + 2) if c < n_pes]
+            if children:
+                steps: list = []
+                for c in children:
+                    peer = (c + root) % n_pes
+                    steps.append(Get("l", off(e_lo), "a", off(e_lo), ne,
+                                     stride, peer))
+                    steps.append(Reduce("a", off(e_lo), "l", off(e_lo), ne,
+                                        stride, ne))
+                groups[depth_max - 1 - d][k] = tuple(steps)
+            if v > 0:
+                parent_v = (v - 1) // 2
+                peer = (parent_v + root) % n_pes
+                srcbuf = "a" if parent_v == 0 else "b"
+                groups[depth_max + d - 1][k] = (
+                    Get("b", off(e_lo), srcbuf, off(e_lo), ne, stride, peer),
+                )
+        pipe = Pipeline(0, S, tuple(tuple(g) for g in groups),
+                        attrs=(("phase", "dual-tree"),))
+        # Unsegmented local copy-out: roots keep their tree's segments
+        # in ``a``, every other rank received them in ``b``.
+        epilogue: list = []
+        for k in range(S):
+            e_lo, e_hi = segment_bounds(nelems, S, k)
+            if e_hi == e_lo:
+                continue
+            srcbuf = "a" if r == roots[k % 2] else "b"
+            epilogue.append(Copy("dest", off(e_lo), srcbuf, off(e_lo),
+                                 e_hi - e_lo, stride))
+        programs.append(RankProgram(
+            r, (Copy("a", 0, "src", 0, nelems, stride), BARRIER),
+            (pipe,), tuple(epilogue)))
+    return Schedule(
+        collective="allreduce", algorithm="dual-pipelined", n_pes=n_pes,
+        itemsize=itemsize, op=op,
+        buffers=_buffers(nbytes, double=True),
         programs=tuple(programs),
         deliver=tuple((r, "dest", 0, nbytes) for r in range(n_pes)),
     )

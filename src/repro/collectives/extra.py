@@ -8,11 +8,18 @@ those compositions plus a personalised all-to-all:
 * :func:`reduce_all` — explicit reduction-to-all (OpenSHMEM
   ``*_to_all`` semantics: every PE receives the result).
 * :func:`allgather` — gather-to-all (OpenSHMEM ``collect``) and
-  :func:`fcollect` for the fixed-size variant.  Two algorithms: the
-  default ``"tree"`` composition (gather to rank 0, broadcast back) and
-  a compiled ``"dissemination"`` schedule that finishes in ⌈log₂N⌉
+  :func:`fcollect` for the fixed-size variant.  Three algorithms: the
+  default ``"tree"`` composition (gather to rank 0, broadcast back), a
+  compiled ``"dissemination"`` schedule that finishes in ⌈log₂N⌉
   stages by having every rank pull the growing prefix of its ring
-  neighbour — half the stages and no root bottleneck.
+  neighbour — half the stages and no root bottleneck — and ``"pat"``
+  (parallel aggregated trees), the same doubling ladder but *dest
+  direct*: every block travels its own binomial broadcast tree straight
+  to its final ``pe_disp`` offset, so there is no rotation scratch and
+  no unrotate epilogue (the dissemination variant's per-rank full-vector
+  copy), which is the measured win at large payloads.  ``"pat"`` also
+  accepts ``segments > 1`` to pipeline each block through the schedule
+  IR's :class:`~.schedule.ir.Pipeline` rounds.
 * :func:`alltoall` — personalised all-to-all exchange built from
   one-sided puts (each PE deposits its block directly at the
   destination offset of every peer).
@@ -32,15 +39,18 @@ from .gather import gather
 from .reduce import reduce
 from .scatter import _validate
 from .schedule.executor import PreparedCollective
+from .reduce_scatter import pat_width_steps
 from .schedule.ir import (
     BARRIER,
     Buffer,
     Copy,
     Get,
+    Pipeline,
     Put,
     RankProgram,
     Schedule,
     Stage,
+    segment_bounds,
 )
 from .virtual_rank import ring_neighbor, rotated_peers
 
@@ -48,7 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
 __all__ = ["reduce_all", "allgather", "fcollect", "alltoall",
-           "compile_allgather", "compile_alltoall"]
+           "compile_allgather", "compile_allgather_pat", "compile_alltoall"]
 
 
 def reduce_all(
@@ -87,6 +97,7 @@ def allgather(
     dtype: np.dtype,
     *,
     algorithm: str = "tree",
+    segments: int = 1,
     group: Sequence[int] | None = None,
 ) -> None:
     """Gather-to-all (OpenSHMEM ``collect``): every PE ends with all
@@ -94,8 +105,12 @@ def allgather(
 
     ``algorithm="tree"`` composes gather+broadcast through rank 0 (the
     historical default); ``"dissemination"`` compiles the ⌈log₂N⌉-stage
-    doubling exchange; ``"auto"`` asks :mod:`~repro.collectives.tuning`.
+    doubling exchange; ``"pat"`` compiles the dest-direct aggregated
+    trees (``segments`` chunks of every block in flight); ``"auto"``
+    asks :mod:`~repro.collectives.tuning`.
     """
+    if segments < 1:
+        raise CollectiveArgumentError("segments must be >= 1")
     members, me = resolve_group(ctx, group)
     n_pes = len(members)
     if n_pes > 1 and not ctx.is_symmetric(dest):
@@ -114,18 +129,22 @@ def allgather(
                    group=group)
             broadcast(ctx, dest, dest, nelems, 1, 0, dtype, group=group)
         return
-    if algorithm != "dissemination":
+    if algorithm not in ("dissemination", "pat"):
         raise CollectiveArgumentError(
             f"unknown allgather algorithm {algorithm!r}"
         )
     _validate(pe_msgs, pe_disp, nelems, n_pes, "allgather")
-    sched = compile_allgather(n_pes, tuple(pe_msgs), tuple(pe_disp), nelems,
-                              dtype.itemsize)
+    if algorithm == "pat":
+        sched = compile_allgather_pat(n_pes, tuple(pe_msgs), tuple(pe_disp),
+                                      nelems, dtype.itemsize, segments)
+    else:
+        sched = compile_allgather(n_pes, tuple(pe_msgs), tuple(pe_disp),
+                                  nelems, dtype.itemsize)
     PreparedCollective(
         name="allgather", members=members, me=me, dtype=dtype,
         attrs=dict(algorithm=algorithm, nelems=nelems, dtype=str(dtype)),
         schedule=sched, bindings={"dest": dest, "src": src},
-        stats_key="allgather:dissemination", stats_rank=0,
+        stats_key=f"allgather:{algorithm}", stats_rank=0,
     ).run(ctx)
 
 
@@ -215,6 +234,104 @@ def compile_allgather(n_pes: int, counts: tuple[int, ...],
     )
 
 
+@lru_cache(maxsize=256)
+def compile_allgather_pat(n_pes: int, counts: tuple[int, ...],
+                          disps: tuple[int, ...], nelems: int,
+                          itemsize: int, segments: int = 1) -> Schedule:
+    """Parallel-aggregated-tree allgather: dest-direct dissemination.
+
+    Same ``(width, grab)`` doubling ladder as the dissemination variant,
+    but every block lives at its final ``pe_disp`` offset in the
+    (symmetric) ``dest`` from the start: at the step of width ``w``
+    rank ``r`` pulls blocks ``[r+w, r+w+grab)`` straight from partner
+    ``(r+w) mod N``'s dest.  Each block descends its own binomial
+    broadcast tree and the N trees run in aggregate — no rotation
+    scratch, no unrotate epilogue, and ring-adjacent blocks coalesce
+    into single contiguous gets.  With ``segments > 1`` each block is
+    cut into S chunks pipelined through a :class:`~.schedule.ir.Pipeline`
+    (segment ``k`` is forwarded as soon as the upstream step delivered
+    it, at the price of per-block per-segment gets).
+
+    Hazard freedom: at width ``w`` rank ``r`` writes its blocks at
+    offsets ``[w, w+grab)`` while its reader ``(r-w) mod N`` reads
+    offsets ``[0, grab)`` — disjoint because ``grab <= w``; across
+    steps every read hits bytes delivered in a strictly earlier round
+    (the linter's pipelined cross-segment ordering check).
+    """
+    eb = itemsize
+    dest_nbytes = max((d + c) for d, c in zip(disps, counts)) * eb \
+        if any(counts) else 0
+    buffers = (
+        Buffer("dest", "user", dest_nbytes, symmetric=n_pes > 1),
+        Buffer("src", "user", tuple(c * eb for c in counts)),
+    )
+    deliver = tuple(
+        (r, "dest", disps[i] * eb, (disps[i] + counts[i]) * eb)
+        for r in range(n_pes) for i in range(n_pes) if counts[i]
+    )
+    if nelems == 0:
+        return Schedule(
+            collective="allgather", algorithm="pat", n_pes=n_pes,
+            itemsize=eb, buffers=buffers,
+            programs=tuple(RankProgram(r, (BARRIER,))
+                           for r in range(n_pes)),
+        )
+    S = max(1, min(segments, max(counts)))
+    ladder = pat_width_steps(n_pes)
+    programs = []
+    for r in range(n_pes):
+        prologue: list = []
+        if counts[r]:
+            prologue.append(Copy("dest", disps[r] * eb, "src", 0,
+                                 counts[r], 1, skip_noop=False))
+        prologue.append(BARRIER)
+        groups = [[()] * S for _ in range(len(ladder))]
+        for g, (w, grab) in enumerate(ladder):
+            peer = (r + w) % n_pes
+            blocks = [(r + w + o) % n_pes for o in range(grab)]
+            if S == 1:
+                steps: list = []
+                for lo, hi in _coalesce_ascending(blocks, counts, disps):
+                    steps.append(Get("dest", lo * eb, "dest", lo * eb,
+                                     hi - lo, 1, peer))
+                groups[g][0] = tuple(steps)
+                continue
+            for k in range(S):
+                steps = []
+                for d in blocks:
+                    e_lo, e_hi = segment_bounds(counts[d], S, k)
+                    if e_hi == e_lo:
+                        continue
+                    off = (disps[d] + e_lo) * eb
+                    steps.append(Get("dest", off, "dest", off,
+                                     e_hi - e_lo, 1, peer))
+                groups[g][k] = tuple(steps)
+        pipe = Pipeline(0, S, tuple(tuple(g) for g in groups),
+                        attrs=(("phase", "pat-bcast"),))
+        programs.append(RankProgram(r, tuple(prologue), (pipe,), ()))
+    return Schedule(
+        collective="allgather", algorithm="pat", n_pes=n_pes,
+        itemsize=eb, buffers=buffers, programs=tuple(programs),
+        deliver=deliver,
+    )
+
+
+def _coalesce_ascending(blocks, counts, disps) -> list:
+    """Merge disp-adjacent blocks into element ranges ``[lo, hi)``."""
+    runs: list = []
+    for d in blocks:
+        if counts[d] == 0:
+            continue
+        lo, hi = disps[d], disps[d] + counts[d]
+        if runs and runs[-1][1] == lo:
+            runs[-1][1] = hi
+        elif runs and runs[-1][0] == hi:
+            runs[-1][0] = lo
+        else:
+            runs.append([lo, hi])
+    return runs
+
+
 def fcollect(
     ctx: "XBRTime",
     dest: int,
@@ -223,6 +340,7 @@ def fcollect(
     dtype: np.dtype,
     *,
     algorithm: str = "tree",
+    segments: int = 1,
     group: Sequence[int] | None = None,
 ) -> None:
     """Fixed-size gather-to-all (OpenSHMEM ``fcollect``)."""
@@ -231,7 +349,7 @@ def fcollect(
     msgs = [nelems_per_pe] * n
     disp = [i * nelems_per_pe for i in range(n)]
     allgather(ctx, dest, src, msgs, disp, nelems_per_pe * n, dtype,
-              algorithm=algorithm, group=group)
+              algorithm=algorithm, segments=segments, group=group)
 
 
 def alltoall(

@@ -118,7 +118,9 @@ def execute_schedule(ctx: "XBRTime", sched: Schedule,
             addrs[buf.name] = addr
             allocated.append((buf.kind, addr))
         _run_steps(ctx, prog.prologue, addrs, members, dtype, op, views)
-        for stage in prog.stages:
+        # Pipeline blocks lower to their barrier-separated rounds here,
+        # so sim and mp replay the exact step order the linter checked.
+        for stage in prog.lowered_stages():
             with stage_span(ctx, stage.index, **stage.span_attrs()):
                 _run_steps(ctx, stage.steps, addrs, members, dtype, op, views)
         _run_steps(ctx, prog.epilogue, addrs, members, dtype, op, views)

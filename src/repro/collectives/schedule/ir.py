@@ -33,6 +33,7 @@ Step semantics (mirroring the legacy inline code they replaced):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Union
 
 __all__ = [
@@ -46,10 +47,23 @@ __all__ = [
     "BARRIER",
     "Step",
     "Stage",
+    "Pipeline",
     "RankProgram",
     "Schedule",
     "step_span_bytes",
+    "segment_bounds",
 ]
+
+
+def segment_bounds(nelems: int, segments: int, k: int) -> tuple[int, int]:
+    """Element bounds ``[lo, hi)`` of segment ``k`` of ``segments``.
+
+    The same balanced integer split every compiler uses for payload
+    segmentation (mirroring the ``nelems*i//n_pes`` ring/Rabenseifner
+    bounds), so pipelined producers and consumers agree on byte ranges
+    by construction.
+    """
+    return nelems * k // segments, nelems * (k + 1) // segments
 
 
 def step_span_bytes(nelems: int, stride: int, itemsize: int) -> int:
@@ -185,8 +199,65 @@ class Stage:
 
 
 @dataclass(frozen=True)
+class Pipeline:
+    """A software-pipelined stage block: ``segments`` × step groups.
+
+    The payload is split into S = ``segments`` chunks and the work into
+    G ordered step ``groups``; ``groups[g][k]`` is the step tuple group
+    ``g`` performs on segment ``k``.  Segment ``k`` of group ``g`` may
+    proceed as soon as segment ``k`` of group ``g-1`` has delivered, so
+    the block lowers to ``G + S - 1`` barrier-separated rounds where
+    round ``t`` runs segment ``t - g`` of every group ``g`` with
+    ``0 <= t - g < S`` — the classic software-pipeline wavefront.  A
+    group that is idle for a rank simply carries empty step tuples; the
+    rank still joins every round barrier, which is what keeps the
+    lowered schedule deadlock-free.
+
+    Group step tuples must not contain :class:`Barrier` — the lowering
+    appends exactly one team barrier per round.  Lowered stages are
+    tagged ``("pipeline", index)``, ``("round", t)`` and
+    ``("segments", S)`` on top of ``attrs`` so metrics and the span
+    tree can fold per-round message counts like any other stage.
+    """
+
+    index: int
+    segments: int
+    groups: tuple  # G entries; groups[g][k] = step tuple for segment k
+    attrs: tuple = ()
+
+    @property
+    def rounds(self) -> int:
+        return len(self.groups) + self.segments - 1 if self.groups else 0
+
+    def lower(self) -> tuple:
+        """The equivalent barrier-separated :class:`Stage` tuple."""
+        return _lower_pipeline(self)
+
+
+@lru_cache(maxsize=4096)
+def _lower_pipeline(pipe: Pipeline) -> tuple:
+    n_groups = len(pipe.groups)
+    stages = []
+    for t in range(pipe.rounds):
+        steps: list = []
+        for g in range(max(0, t - pipe.segments + 1),
+                       min(t, n_groups - 1) + 1):
+            steps.extend(pipe.groups[g][t - g])
+        steps.append(BARRIER)
+        stages.append(Stage(
+            pipe.index + t, tuple(steps),
+            attrs=pipe.attrs + (("pipeline", pipe.index), ("round", t),
+                                ("segments", pipe.segments))))
+    return tuple(stages)
+
+
+@dataclass(frozen=True)
 class RankProgram:
     """Everything one group rank does: prologue, staged steps, epilogue.
+
+    ``stages`` holds :class:`Stage` nodes and/or :class:`Pipeline`
+    blocks; consumers that need the flat barrier-separated form
+    (executor, evaluator, linter) iterate :meth:`lowered_stages`.
 
     Prologue/epilogue steps run outside any stage span (entry barriers,
     staging copies, final reorders — the metrics layer counts their
@@ -199,9 +270,17 @@ class RankProgram:
     stages: tuple = ()
     epilogue: tuple = ()
 
+    def lowered_stages(self) -> Iterator[Stage]:
+        """Stages with every :class:`Pipeline` block expanded to rounds."""
+        for stage in self.stages:
+            if isinstance(stage, Pipeline):
+                yield from stage.lower()
+            else:
+                yield stage
+
     def all_steps(self) -> Iterator[Step]:
         yield from self.prologue
-        for stage in self.stages:
+        for stage in self.lowered_stages():
             yield from stage.steps
         yield from self.epilogue
 
@@ -238,7 +317,7 @@ class Schedule:
         raise KeyError(name)
 
     def n_stage_spans(self, rank: int = 0) -> int:
-        return len(self.programs[rank].stages)
+        return sum(1 for _ in self.programs[rank].lowered_stages())
 
     def describe(self) -> str:
         """One-line human summary (used by the lint CLI)."""

@@ -23,6 +23,13 @@ the inline tree walks hard to extend safely:
 * **data conservation** — the union of local and incoming remote
   writes covers every byte range the schedule's ``deliver`` contract
   promises (so no rank can end with an undefined output region).
+* **pipelined hazards** — :class:`~.ir.Pipeline` blocks must agree on
+  segment/group counts across ranks (deadlock freedom with segment
+  counts), carry exactly ``segments`` step tuples per group with no
+  nested barriers, and respect **cross-segment ordering**: no remote
+  read of bytes any rank writes in a later round of the same pipeline.
+  The per-segment byte-range overlap hazards are checked on the
+  *lowered* rounds by the phase-overlap pass.
 
 Checks are conservative: strided accesses are widened to their byte
 span.  All builtin algorithms lint clean at 1–16 PEs (enforced in CI
@@ -34,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from .ir import Schedule, step_span_bytes
+from .ir import Pipeline, Schedule, step_span_bytes
 
 __all__ = ["LintIssue", "lint_schedule"]
 
@@ -64,49 +71,60 @@ class LintIssue:
 _Access = tuple
 
 
+def _step_accesses(step, rank: int, itemsize: int) -> Iterator[tuple]:
+    """Accesses of one non-barrier step: (pe, buffer, lo, hi, mode)."""
+    kind = step.kind
+    span = step_span_bytes(step.nelems, step.stride, itemsize)
+    if kind == "put":
+        yield (rank, step.src, step.src_off, step.src_off + span, "lr")
+        yield (step.peer, step.dst, step.dst_off, step.dst_off + span, "rw")
+    elif kind == "get":
+        yield (step.peer, step.src, step.src_off, step.src_off + span, "rr")
+        yield (rank, step.dst, step.dst_off, step.dst_off + span, "lw")
+    elif kind == "copy":
+        yield (rank, step.src, step.src_off, step.src_off + span, "lr")
+        yield (rank, step.dst, step.dst_off, step.dst_off + span, "lw")
+    elif kind == "reduce":
+        yield (rank, step.operand, step.operand_off,
+               step.operand_off + span, "lr")
+        yield (rank, step.acc, step.acc_off, step.acc_off + span, "lr")
+        yield (rank, step.acc, step.acc_off, step.acc_off + span, "lw")
+    elif kind == "fill":
+        yield (rank, step.dst, step.dst_off, step.dst_off + span, "lw")
+
+
 def _accesses(sched: Schedule, rank: int) -> Iterator[_Access]:
     """Yield every access of ``rank``'s program, tagged by barrier phase."""
     phase = 0
     for step in sched.program(rank).all_steps():
-        kind = step.kind
-        if kind == "barrier":
+        if step.kind == "barrier":
             phase += 1
             continue
-        if kind in ("put", "get"):
-            span = step_span_bytes(step.nelems, step.stride, sched.itemsize)
-            if kind == "put":
-                yield (phase, rank, step.src, step.src_off,
-                       step.src_off + span, "lr", rank)
-                yield (phase, step.peer, step.dst, step.dst_off,
-                       step.dst_off + span, "rw", rank)
-            else:
-                yield (phase, step.peer, step.src, step.src_off,
-                       step.src_off + span, "rr", rank)
-                yield (phase, rank, step.dst, step.dst_off,
-                       step.dst_off + span, "lw", rank)
-        elif kind == "copy":
-            span = step_span_bytes(step.nelems, step.stride, sched.itemsize)
-            yield (phase, rank, step.src, step.src_off, step.src_off + span,
-                   "lr", rank)
-            yield (phase, rank, step.dst, step.dst_off, step.dst_off + span,
-                   "lw", rank)
-        elif kind == "reduce":
-            span = step_span_bytes(step.nelems, step.stride, sched.itemsize)
-            yield (phase, rank, step.operand, step.operand_off,
-                   step.operand_off + span, "lr", rank)
-            yield (phase, rank, step.acc, step.acc_off, step.acc_off + span,
-                   "lr", rank)
-            yield (phase, rank, step.acc, step.acc_off, step.acc_off + span,
-                   "lw", rank)
-        elif kind == "fill":
-            span = step_span_bytes(step.nelems, step.stride, sched.itemsize)
-            yield (phase, rank, step.dst, step.dst_off, step.dst_off + span,
-                   "lw", rank)
+        for pe, name, lo, hi, mode in _step_accesses(step, rank,
+                                                     sched.itemsize):
+            yield (phase, pe, name, lo, hi, mode, rank)
 
 
 def _barrier_count(sched: Schedule, rank: int) -> int:
     return sum(1 for s in sched.program(rank).all_steps()
                if s.kind == "barrier")
+
+
+def _stage_signature(prog) -> list:
+    """Per-slot shape: plain stage index, or pipeline (index, S, G).
+
+    Ranks must agree on this signature — a :class:`~.ir.Pipeline` whose
+    segment or group count differs between ranks lowers to a different
+    number of rounds, so some rank would wait at a barrier nobody else
+    reaches (deadlock with segment counts).
+    """
+    sig = []
+    for st in prog.stages:
+        if isinstance(st, Pipeline):
+            sig.append(("pipeline", st.index, st.segments, len(st.groups)))
+        else:
+            sig.append(st.index)
+    return sig
 
 
 def _check_structure(sched: Schedule, issues: list) -> None:
@@ -115,18 +133,18 @@ def _check_structure(sched: Schedule, issues: list) -> None:
         issues.append(LintIssue(
             "structure", f"{len(sched.programs)} programs for {n} ranks"))
         return
-    ref_stages = [st.index for st in sched.programs[0].stages]
+    ref_sig = _stage_signature(sched.programs[0])
     ref_barriers = _barrier_count(sched, 0)
     for r in range(n):
         prog = sched.programs[r]
         if prog.rank != r:
             issues.append(LintIssue(
                 "structure", f"program {r} claims rank {prog.rank}", rank=r))
-        stages = [st.index for st in prog.stages]
-        if stages != ref_stages:
+        sig = _stage_signature(prog)
+        if sig != ref_sig:
             issues.append(LintIssue(
                 "deadlock",
-                f"stage indices {stages} differ from rank 0's {ref_stages} "
+                f"stage structure {sig} differs from rank 0's {ref_sig} "
                 "(span structure would diverge)", rank=r))
         got = _barrier_count(sched, r)
         if got != ref_barriers:
@@ -261,6 +279,93 @@ def _check_phase_overlap(sched: Schedule, issues: list) -> None:
                         phase=phase))
 
 
+def _check_pipeline_shape(sched: Schedule, issues: list) -> None:
+    """Pipeline well-formedness, checked *before* anything lowers.
+
+    * ``segments >= 1``;
+    * every group carries exactly ``segments`` step tuples (a ragged
+      group would shift the wavefront — and crash the lowering — so
+      this pass short-circuits the rest of the linter);
+    * group steps never contain barriers (the lowering owns them).
+    """
+    for r in range(sched.n_pes):
+        if r >= len(sched.programs):
+            break
+        for pipe in sched.programs[r].stages:
+            if not isinstance(pipe, Pipeline):
+                continue
+            if pipe.segments < 1:
+                issues.append(LintIssue(
+                    "pipeline", f"pipeline {pipe.index}: segment count "
+                    f"{pipe.segments} must be >= 1", rank=r))
+                continue
+            for g, group in enumerate(pipe.groups):
+                if len(group) != pipe.segments:
+                    issues.append(LintIssue(
+                        "pipeline",
+                        f"pipeline {pipe.index} group {g} has "
+                        f"{len(group)} segment step tuples, expected "
+                        f"{pipe.segments}", rank=r))
+                    continue
+                for steps in group:
+                    if any(s.kind == "barrier" for s in steps):
+                        issues.append(LintIssue(
+                            "pipeline",
+                            f"pipeline {pipe.index} group {g} contains a "
+                            "barrier — rounds own their barriers", rank=r))
+
+
+def _check_pipelines(sched: Schedule, issues: list) -> None:
+    """Cross-segment ordering on well-formed pipeline blocks.
+
+    Within one pipeline, a remote read must not target bytes that any
+    rank writes in a *later* round: the reader would observe
+    pre-pipeline data.  Same-round conflicts are the phase-overlap
+    pass's job (the lowered rounds feed it); this pass catches the
+    staleness bugs segmentation introduces, e.g. segment boundaries
+    that do not match the producing group's.
+    """
+    # Cross-segment ordering over all ranks' aligned pipeline blocks.
+    by_index: dict = {}
+    for r in range(sched.n_pes):
+        for pipe in sched.program(r).stages:
+            if isinstance(pipe, Pipeline):
+                by_index.setdefault(pipe.index, []).append((r, pipe))
+    for index, pipes in sorted(by_index.items()):
+        writes: list = []   # (round, pe, buffer, lo, hi, origin)
+        reads: list = []    # remote reads: (round, pe, buffer, lo, hi, origin)
+        for r, pipe in pipes:
+            for g, group in enumerate(pipe.groups):
+                for k, steps in enumerate(group):
+                    if k >= pipe.segments:
+                        break
+                    t = g + k
+                    for step in steps:
+                        if step.kind == "barrier":
+                            continue
+                        for pe, name, lo, hi, mode in _step_accesses(
+                                step, r, sched.itemsize):
+                            if hi <= lo:
+                                continue
+                            if mode in ("lw", "rw"):
+                                writes.append((t, pe, name, lo, hi, r))
+                            elif mode == "rr":
+                                reads.append((t, pe, name, lo, hi, r))
+        by_target: dict = {}
+        for t, pe, name, lo, hi, org in writes:
+            by_target.setdefault((pe, name), []).append((t, lo, hi, org))
+        for t_r, pe, name, lo, hi, org in reads:
+            for t_w, w_lo, w_hi, w_org in by_target.get((pe, name), ()):
+                if t_w > t_r and _overlap(lo, hi, w_lo, w_hi):
+                    issues.append(LintIssue(
+                        "pipeline",
+                        f"cross-segment ordering: rank {org} reads "
+                        f"{name!r} bytes [{max(lo, w_lo)}, {min(hi, w_hi)}) "
+                        f"on rank {pe} in round {t_r}, written by rank "
+                        f"{w_org} only in round {t_w}", rank=pe,
+                        phase=t_r))
+
+
 def _check_conservation(sched: Schedule, issues: list) -> None:
     """Every promised ``deliver`` range is covered by some write."""
     written: dict = {}
@@ -286,11 +391,16 @@ def _check_conservation(sched: Schedule, issues: list) -> None:
 def lint_schedule(sched: Schedule) -> list:
     """Run every check; returns the (possibly empty) issue list."""
     issues: list = []
+    _check_pipeline_shape(sched, issues)
+    if any(i.check == "pipeline" for i in issues):
+        _check_buffers(sched, issues)
+        return issues  # malformed pipelines crash the lowering passes
     _check_structure(sched, issues)
     _check_buffers(sched, issues)
     if any(i.check == "structure" for i in issues):
         return issues  # program list malformed; later passes would crash
     _check_steps(sched, issues)
+    _check_pipelines(sched, issues)
     _check_phase_overlap(sched, issues)
     _check_conservation(sched, issues)
     return issues

@@ -32,11 +32,15 @@ BUILTIN_ALGORITHMS: tuple[tuple[str, str], ...] = (
     ("allreduce", "doubling"),
     ("allreduce", "rabenseifner"),
     ("allreduce", "ring"),
+    ("allreduce", "dual-pipelined"),
     ("scan", "hillis-steele"),
     ("scatter", "binomial"),
     ("gather", "binomial"),
     ("allgather", "dissemination"),
+    ("allgather", "pat"),
     ("alltoall", "rotated"),
+    ("reduce_scatter", "ring"),
+    ("reduce_scatter", "pat"),
 )
 
 
@@ -77,6 +81,14 @@ def _shapes_for(collective: str, algorithm: str, n_pes: int,
             yield (f"nelems={ne}",
                    compile_allreduce(n_pes, ne, 1, itemsize, "sum",
                                      algorithm=algorithm))
+        if algorithm == "dual-pipelined":
+            # Segment counts straddling nelems hit the pipelined
+            # wavefront's clamping and idle-round paths.
+            for segs in (1, 3, nelems + 1):
+                yield (f"nelems={nelems} segments={segs}",
+                       compile_allreduce(n_pes, nelems, 1, itemsize, "sum",
+                                         algorithm=algorithm,
+                                         segments=segs))
     elif collective == "scan":
         from ..scan import compile_scan
 
@@ -99,21 +111,49 @@ def _shapes_for(collective: str, algorithm: str, n_pes: int,
             yield (f"root={root} ragged",
                    compiler(n_pes, root, counts, disps, total, itemsize))
     elif collective == "allgather":
-        from ..extra import compile_allgather
+        from ..extra import compile_allgather, compile_allgather_pat
 
         uniform = tuple([nelems] * n_pes)
         udisp = tuple(i * nelems for i in range(n_pes))
         counts, disps, total = _ragged(n_pes)
-        yield ("uniform", compile_allgather(n_pes, uniform, udisp,
-                                            nelems * n_pes, itemsize))
-        yield ("ragged", compile_allgather(n_pes, counts, disps, total,
-                                           itemsize))
+        if algorithm == "pat":
+            for segs in (1, 2, 4):
+                yield (f"uniform segments={segs}",
+                       compile_allgather_pat(n_pes, uniform, udisp,
+                                             nelems * n_pes, itemsize, segs))
+                yield (f"ragged segments={segs}",
+                       compile_allgather_pat(n_pes, counts, disps, total,
+                                             itemsize, segs))
+        else:
+            yield ("uniform", compile_allgather(n_pes, uniform, udisp,
+                                                nelems * n_pes, itemsize))
+            yield ("ragged", compile_allgather(n_pes, counts, disps, total,
+                                               itemsize))
     elif collective == "alltoall":
         from ..extra import compile_alltoall
 
         for ne in (0, nelems):
             yield (f"nelems_per_pe={ne}",
                    compile_alltoall(n_pes, ne, itemsize))
+    elif collective == "reduce_scatter":
+        from ..reduce_scatter import compile_reduce_scatter
+
+        uniform = tuple([nelems] * n_pes)
+        udisp = tuple(i * nelems for i in range(n_pes))
+        counts, disps, total = _ragged(n_pes)
+        seg_variants = (1, 2, 4) if algorithm == "pat" else (1,)
+        for segs in seg_variants:
+            tag = f" segments={segs}" if algorithm == "pat" else ""
+            yield (f"uniform{tag}",
+                   compile_reduce_scatter(n_pes, uniform, udisp,
+                                          nelems * n_pes, itemsize, "sum",
+                                          algorithm=algorithm,
+                                          segments=segs))
+            yield (f"ragged{tag}",
+                   compile_reduce_scatter(n_pes, counts, disps, total,
+                                          itemsize, "sum",
+                                          algorithm=algorithm,
+                                          segments=segs))
     else:  # pragma: no cover - registry/compiler drift
         raise ValueError(f"no shape generator for {collective!r}")
 

@@ -51,10 +51,25 @@ class SelectionPolicy:
     #: fold penalty for the ranks past the largest power of two) take
     #: over.
     allreduce_large_bytes: int = 32 * 1024
+    #: Allreduce off power-of-two: inside this PE band the doubly
+    #: pipelined dual-root trees beat the ring — the ring's 2·(N-1)
+    #: rounds grow linearly while the pipeline's 2·depth+S-1 grow
+    #: logarithmically (measured crossover in ``BENCH_pipeline.json``:
+    #: ring still wins below ~32 PEs where its round count is small and
+    #: it moves the least data per rank).
+    allreduce_pipelined_min_pes: int = 32
+    #: … and above this PE count the Rabenseifner fold amortises even
+    #: off power-of-two (two fold rounds against a deepening tree), so
+    #: dual-pipelined yields back to it.
+    allreduce_pipelined_max_pes: int = 64
     #: Allgather: the dissemination exchange beats the gather+broadcast
     #: composition once the tree is deep enough that the root hop and
     #: double traversal cost more than the rotated staging copies.
     allgather_dissemination_min_pes: int = 4
+    #: Reduce-scatter: the parallel-aggregated-tree schedule (⌈log₂N⌉
+    #: rounds) beats the ring (N-1 rounds) from this PE count on —
+    #: below it the two move the same bytes over the same round count.
+    reduce_scatter_pat_min_pes: int = 4
 
 
 DEFAULT_POLICY = SelectionPolicy()
@@ -62,8 +77,9 @@ DEFAULT_POLICY = SelectionPolicy()
 _SUPPORTED = {
     "broadcast": ("binomial", "linear", "ring"),
     "reduce": ("binomial", "linear"),
-    "allreduce": ("doubling", "rabenseifner", "ring"),
-    "allgather": ("tree", "dissemination"),
+    "allreduce": ("doubling", "rabenseifner", "ring", "dual-pipelined"),
+    "allgather": ("tree", "dissemination", "pat"),
+    "reduce_scatter": ("ring", "pat"),
 }
 
 
@@ -84,13 +100,21 @@ def select_algorithm(
     if op == "allreduce":
         if n_pes <= 2 or nbytes < policy.allreduce_large_bytes:
             return "doubling"
-        if n_pes & (n_pes - 1):  # not a power of two: ring skips the fold
-            return "ring"
+        if n_pes & (n_pes - 1):  # not a power of two: no cheap fold
+            if n_pes < policy.allreduce_pipelined_min_pes:
+                return "ring"
+            if n_pes < policy.allreduce_pipelined_max_pes:
+                return "dual-pipelined"
+            return "rabenseifner"
         return "rabenseifner"
     if op == "allgather":
         if n_pes >= policy.allgather_dissemination_min_pes:
-            return "dissemination"
+            return "pat"
         return "tree"
+    if op == "reduce_scatter":
+        if n_pes >= policy.reduce_scatter_pat_min_pes:
+            return "pat"
+        return "ring"
     if n_pes <= policy.linear_max_pes:
         return "linear"
     if (

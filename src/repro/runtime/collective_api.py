@@ -112,17 +112,39 @@ class CollectiveAPI:
 
     def allreduce(self, dest: int, src: int, nelems: int, stride: int,
                   op: str = "sum", dtype: str | np.dtype = "long",
-                  algorithm: str = "doubling") -> None:
+                  algorithm: str = "doubling",
+                  segments: int | None = None) -> None:
         """One-sided reduction-to-all: ``"doubling"`` (latency-optimal,
         half the stages of :meth:`reduce_all`'s composition),
         ``"rabenseifner"`` (bandwidth-optimal reduce-scatter+allgather,
         the paper's reference [17]), ``"ring"`` (bandwidth-optimal for
-        any PE count) or ``"auto"``."""
+        any PE count), ``"dual-pipelined"`` (doubly pipelined dual-root
+        trees — ``segments`` chunks in flight, the large-payload winner
+        off power-of-two) or ``"auto"``."""
         self._require_active()
         from ..collectives.allreduce import allreduce as _ar
 
         _ar(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
-            algorithm=algorithm)
+            algorithm=algorithm, segments=segments)
+
+    def reduce_scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
+                       pe_disp: Sequence[int], nelems: int,
+                       op: str = "sum", dtype: str | np.dtype = "long",
+                       algorithm: str = "auto",
+                       segments: int = 1) -> None:
+        """Reduce-scatter: PE ``r`` ends with the reduction of its
+        ``pe_msgs[r]``-element block (at ``pe_disp[r]``) in ``dest``.
+
+        ``algorithm`` is ``"ring"`` (N-1 one-block stages), ``"pat"``
+        (⌈log₂N⌉-round parallel aggregated trees, optionally pipelined
+        over ``segments`` chunks per block) or ``"auto"``.  Neither
+        ``dest`` nor ``src`` needs to be symmetric.
+        """
+        self._require_active()
+        from ..collectives.reduce_scatter import reduce_scatter as _rs
+
+        _rs(self, dest, src, pe_msgs, pe_disp, nelems, op,
+            resolve_dtype(dtype), algorithm=algorithm, segments=segments)
 
     def scan(self, dest: int, src: int, nelems: int, stride: int,
              op: str = "sum", dtype: str | np.dtype = "long",
@@ -137,18 +159,20 @@ class CollectiveAPI:
     def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
                   pe_disp: Sequence[int], nelems: int,
                   dtype: str | np.dtype = "long",
-                  algorithm: str = "tree") -> None:
+                  algorithm: str = "tree",
+                  segments: int = 1) -> None:
         """Gather-to-all (OpenSHMEM ``collect`` semantics).
 
         ``algorithm`` is ``"tree"`` (gather+broadcast composition),
-        ``"dissemination"`` (⌈log₂N⌉-stage doubling exchange) or
-        ``"auto"``.
+        ``"dissemination"`` (⌈log₂N⌉-stage doubling exchange), ``"pat"``
+        (dest-direct parallel aggregated trees) or ``"auto"``.
         """
         self._require_active()
         from ..collectives import extra
 
         extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
-                        resolve_dtype(dtype), algorithm=algorithm)
+                        resolve_dtype(dtype), algorithm=algorithm,
+                        segments=segments)
 
     def alltoall(self, dest: int, src: int, nelems_per_pe: int,
                  dtype: str | np.dtype = "long") -> None:

@@ -109,7 +109,8 @@ def _collective_program(ctx, spec: dict) -> bytes:
         ctx.barrier()
         if kind == "allreduce":
             ctx.allreduce(dest, src, nelems, stride, op, dt,
-                          algorithm=spec.get("algorithm", "doubling"))
+                          algorithm=spec.get("algorithm", "doubling"),
+                          segments=spec.get("segments"))
         elif kind == "reduce_all":
             ctx.reduce_all(dest, src, nelems, stride, op, dt)
         elif kind == "scan":
@@ -155,8 +156,20 @@ def _collective_program(ctx, spec: dict) -> bytes:
                    if me == root else b"")
         else:
             ctx.allgather(dest, src, counts, disps, total, dt,
-                          algorithm=spec.get("algorithm", "tree"))
+                          algorithm=spec.get("algorithm", "tree"),
+                          segments=spec.get("segments", 1))
             out = ctx.view(dest, dt, extent).copy().tobytes()
+    elif kind == "reduce_scatter":
+        counts, disps = spec["counts"], spec["disps"]
+        total = sum(counts)
+        src = ctx.malloc(max(total * dt.itemsize, 16))
+        dest = ctx.malloc(max(max(counts, default=0) * dt.itemsize, 16))
+        ctx.view(src, dt, total)[:] = _payload(me, total, dt, seed)
+        ctx.barrier()
+        ctx.reduce_scatter(dest, src, counts, disps, total, op, dt,
+                           algorithm=spec.get("algorithm", "auto"),
+                           segments=spec.get("segments", 1))
+        out = ctx.view(dest, dt, counts[me]).copy().tobytes()
     elif kind == "alltoall":
         blk = spec["block"]
         src = ctx.malloc(max(blk * n * dt.itemsize, 16))
@@ -289,19 +302,22 @@ def test_reduce_family(mp_sessions, sim_backend, vec_backend, kind, spec,
     ("allreduce", "doubling"),
     ("allreduce", "ring"),
     ("allreduce", "rabenseifner"),
+    ("allreduce", "dual-pipelined"),
     ("reduce_all", None),
     ("scan", None),
     ("resilient_allreduce", None),
 ])
 @given(spec=_dense_spec(), op=st.sampled_from(["sum", "min", "max"]),
-       inclusive=st.booleans())
+       inclusive=st.booleans(), segments=st.integers(1, 5))
 @_SETTINGS
 def test_allreduce_family(mp_sessions, sim_backend, vec_backend, kind,
-                          algorithm, spec, op, inclusive):
+                          algorithm, spec, op, inclusive, segments):
     n = spec.pop("n_pes")
     spec.update(kind=kind, op=op, inclusive=inclusive)
     if algorithm:
         spec["algorithm"] = algorithm
+    if algorithm == "dual-pipelined":
+        spec["segments"] = segments
     _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 
@@ -317,6 +333,36 @@ def test_vector_family(mp_sessions, sim_backend, vec_backend, kind, data):
         "counts": counts,
         "disps": disps,
         "root": data.draw(st.integers(0, n - 1)),
+        "seed": data.draw(st.integers(0, 999)),
+        "dtype": data.draw(st.sampled_from(_DTYPES)),
+    }
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
+
+
+@pytest.mark.parametrize("kind,algorithm,segments", [
+    ("allgather", "dissemination", 1),
+    ("allgather", "pat", 1),
+    ("allgather", "pat", 3),
+    ("reduce_scatter", "ring", 1),
+    ("reduce_scatter", "pat", 1),
+    ("reduce_scatter", "pat", 3),
+])
+@given(data=st.data())
+@_SETTINGS
+def test_vector_algorithms(mp_sessions, sim_backend, vec_backend, kind,
+                           algorithm, segments, data):
+    """The compiled vector-collective algorithms — including the
+    pipelined PAT schedules — stay byte-identical across backends on
+    hypothesis-drawn ragged shapes (zero-count PEs included)."""
+    n = data.draw(st.sampled_from(PE_COUNTS))
+    counts, disps = _ragged(data.draw, n)
+    spec = {
+        "kind": kind,
+        "counts": counts,
+        "disps": disps,
+        "algorithm": algorithm,
+        "segments": segments,
+        "op": data.draw(st.sampled_from(["sum", "max"])),
         "seed": data.draw(st.integers(0, 999)),
         "dtype": data.draw(st.sampled_from(_DTYPES)),
     }

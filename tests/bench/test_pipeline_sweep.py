@@ -1,0 +1,103 @@
+"""Tests for the pipelined-allreduce sweep (BENCH_pipeline.json)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.pipeline_sweep import (
+    ACCEPT_MIN_BYTES,
+    ACCEPT_MIN_PES,
+    ACCEPT_RATIO,
+    RING_MAX_PES,
+    check_document,
+    main as sweep_main,
+    pipeline_sweep,
+    sweep_point,
+)
+
+_REFERENCE = pathlib.Path(__file__).resolve().parents[2] / \
+    "BENCH_pipeline.json"
+
+
+class TestSweepPoint:
+    def test_all_three_algorithms_below_the_cap(self):
+        p = sweep_point(24, 8192)
+        assert set(p["makespans_ns"]) == {"ring", "rabenseifner",
+                                          "dual-pipelined"}
+        assert p["winner"] in p["makespans_ns"]
+        assert all(v > 0 for v in p["makespans_ns"].values())
+        assert p["ring_over_dual"] > 0
+        assert p["segments"] >= 2
+
+    def test_ring_capped_past_512(self):
+        p = sweep_point(RING_MAX_PES * 2, 8192)
+        assert "ring" not in p["makespans_ns"]
+        assert p["ring_over_dual"] is None
+
+    def test_deterministic(self):
+        a = sweep_point(33, 8192)
+        b = sweep_point(33, 8192)
+        assert a["makespans_ns"] == b["makespans_ns"]
+
+    def test_acceptance_bar_holds_at_64_pes(self):
+        """The PR 8 bar, measured live: >= 1.3x over ring at 64 KiB."""
+        p = sweep_point(64, ACCEPT_MIN_BYTES // 8)
+        assert p["n_pes"] >= ACCEPT_MIN_PES
+        assert p["ring_over_dual"] >= ACCEPT_RATIO
+
+
+class TestDocument:
+    def test_document_shape(self):
+        doc = pipeline_sweep(pe_counts=(16, 33), sizes=(8192,))
+        assert doc["bench"] == "pipeline-allreduce"
+        assert doc["caps"]["ring_max_pes"] == RING_MAX_PES
+        assert len(doc["points"]) == 2
+        assert 0.0 <= doc["tuning_within_1p25x_fraction"] <= 1.0
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_check_flags_missing_acceptance_point(self):
+        doc = pipeline_sweep(pe_counts=(16,), sizes=(8,))  # tiny payload
+        problems = check_document(doc, fresh_point=False)
+        assert any("ring/dual" in p for p in problems)
+
+    def test_check_flags_wrong_bench_key(self):
+        problems = check_document({"bench": "other", "points": []},
+                                  fresh_point=False)
+        assert problems
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "pipe.json"
+        status = sweep_main(["--pes", "33", "--sizes", "8192", "--out",
+                             str(out)])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert doc["pe_counts"] == [33]
+        assert "ring_over_dual" in doc["points"][0]
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestCommittedReference:
+    def test_reference_passes_the_check_gate(self):
+        """The committed BENCH_pipeline.json passes `--check` end to
+        end — the same gate CI's perf-smoke job runs."""
+        status = sweep_main(["--check", str(_REFERENCE)])
+        assert status == 0
+
+    def test_reference_records_the_acceptance_points(self):
+        doc = json.loads(_REFERENCE.read_text())
+        assert doc["bench"] == "pipeline-allreduce"
+        qualifying = [
+            p for p in doc["points"]
+            if p["n_pes"] >= ACCEPT_MIN_PES
+            and p["nbytes"] >= ACCEPT_MIN_BYTES
+            and p["ring_over_dual"] is not None
+            and p["ring_over_dual"] >= ACCEPT_RATIO
+        ]
+        assert qualifying, "no committed point meets the 1.3x bar"
+        # The headline point: 64 PEs x 64 KiB, nearly 3x over ring.
+        head = next(p for p in doc["points"]
+                    if p["n_pes"] == 64 and p["nelems"] == 8192)
+        assert head["ring_over_dual"] >= ACCEPT_RATIO

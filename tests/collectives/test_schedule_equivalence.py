@@ -396,3 +396,82 @@ def test_alltoall_equivalence(n_pes, nelems_per_pe, typename, seed):
     from repro.collectives.extra import alltoall
 
     _assert_identical(n_pes, make(legacy.legacy_alltoall), make(alltoall))
+
+
+# -- algorithm differentials (no legacy twin: algorithms must agree) -------
+#
+# The PAT schedules have no frozen legacy reference, so their oracle is
+# the *other* algorithm for the same collective: on every
+# hypothesis-drawn irregular shape (non-power-of-two groups, ragged
+# counts, zero-count PEs) the dest bytes must match element for element
+# — including with the payload pipelined over several segments.
+
+
+def _assert_same_output(n_pes, body_a, body_b, label):
+    out_a = Machine(small_config(n_pes)).run(body_a)
+    out_b = Machine(small_config(n_pes)).run(body_b)
+    for pe, (ga, gb) in enumerate(zip(out_a, out_b)):
+        assert np.array_equal(ga, gb), f"{label}: PE {pe} differs"
+
+
+@given(case=_ragged_cases(), segments=st.integers(1, 5))
+@_SETTINGS
+def test_allgather_pat_matches_dissemination(case, segments):
+    """Dest-direct PAT allgather ≡ dissemination on irregular shapes."""
+    dt = dtype_of(case["typename"])
+    n_pes = case["n_pes"]
+    counts, disps = case["counts"], case["disps"]
+    nelems = sum(counts)
+    extent = _vector_extent(counts, disps)
+
+    def make(algorithm):
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            src = ctx.malloc(max(max(counts, default=0), 1)
+                             * dt.itemsize + 16)
+            dest = ctx.malloc(max(extent * dt.itemsize, 16))
+            ctx.view(dest, dt, extent)[:] = 0
+            ctx.view(src, dt, counts[me])[:] = \
+                _values(case["seed"] + me, counts[me], dt)
+            ctx.allgather(dest, src, counts, disps, nelems, dt,
+                          algorithm=algorithm, segments=segments)
+            got = np.array(ctx.view(dest, dt, extent), copy=True)
+            ctx.close()
+            return got
+        return body
+
+    _assert_same_output(n_pes, make("dissemination"), make("pat"),
+                        f"allgather pat segments={segments}")
+
+
+@given(case=_ragged_cases(), segments=st.integers(1, 5),
+       op=st.sampled_from(["sum", "min", "max"]))
+@_SETTINGS
+def test_reduce_scatter_pat_matches_ring(case, segments, op):
+    """PAT reduce-scatter ≡ ring on irregular shapes, any segments."""
+    dt = dtype_of(case["typename"])
+    n_pes = case["n_pes"]
+    counts, disps = case["counts"], case["disps"]
+    nelems = sum(counts)
+    extent = _vector_extent(counts, disps)
+
+    def make(algorithm):
+        def body(ctx):
+            ctx.init()
+            me = ctx.my_pe()
+            src = ctx.private_malloc(max(extent * dt.itemsize, 16))
+            dest = ctx.private_malloc(max(max(counts, default=0), 1)
+                                      * dt.itemsize + 16)
+            ctx.view(src, dt, extent)[:] = \
+                _values(case["seed"] + me, extent, dt)
+            ctx.view(dest, dt, counts[me])[:] = 0
+            ctx.reduce_scatter(dest, src, counts, disps, nelems, op, dt,
+                               algorithm=algorithm, segments=segments)
+            got = np.array(ctx.view(dest, dt, counts[me]), copy=True)
+            ctx.close()
+            return got
+        return body
+
+    _assert_same_output(n_pes, make("ring"), make("pat"),
+                        f"reduce_scatter pat segments={segments}")

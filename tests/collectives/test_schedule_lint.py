@@ -17,6 +17,7 @@ from repro.collectives.schedule.ir import (
     Buffer,
     Copy,
     Get,
+    Pipeline,
     Put,
     RankProgram,
     Schedule,
@@ -177,3 +178,69 @@ class TestBrokenSchedules:
         )
         issues = lint_schedule(sched)
         assert issues  # structure issues short-circuit the rest
+
+
+class TestBrokenPipelines:
+    """Hand-built broken Pipeline blocks: each new hazard rule fires."""
+
+    def _pipe_pair(self, pipe0, pipe1):
+        return _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (), (pipe0,)),
+            RankProgram(1, (), (pipe1,)),
+        )
+
+    def test_clean_pipeline_passes(self):
+        """Producer writes segment k in round k; the consumer reads it
+        one round later — exactly the wavefront contract."""
+        producer = Pipeline(0, 2, (
+            ((Copy("s", 0, "dest", 0, 1, 1),),
+             (Copy("s", 8, "dest", 8, 1, 1),)),
+            ((), ()),
+        ))
+        consumer = Pipeline(0, 2, (
+            ((), ()),
+            ((Get("dest", 0, "s", 0, 1, 1, 0),),
+             (Get("dest", 8, "s", 8, 1, 1, 0),)),
+        ))
+        sched = _two_rank(
+            (_DST, _SYM),
+            RankProgram(0, (), (producer,)),
+            RankProgram(1, (), (consumer,)),
+        )
+        assert lint_schedule(sched) == []
+
+    def test_ragged_group_is_flagged(self):
+        ragged = Pipeline(0, 2, ((((),)),))  # 1 segment tuple, S=2
+        ok = Pipeline(0, 2, (((), ()),))
+        issues = lint_schedule(self._pipe_pair(ragged, ok))
+        assert "pipeline" in _checks(issues)
+
+    def test_barrier_inside_group_is_flagged(self):
+        bad = Pipeline(0, 1, (((BARRIER,),),))
+        issues = lint_schedule(self._pipe_pair(bad, bad))
+        assert "pipeline" in _checks(issues)
+
+    def test_segment_count_mismatch_is_deadlock(self):
+        """Ranks disagreeing on S lower to different round counts — the
+        structure signature catches it before any barrier hangs."""
+        two = Pipeline(0, 2, (((), ()),))
+        three = Pipeline(0, 3, (((), (), ()),))
+        issues = lint_schedule(self._pipe_pair(two, three))
+        assert "deadlock" in _checks(issues)
+
+    def test_cross_segment_ordering_violation(self):
+        """A remote read of bytes produced only in a *later* round of
+        the same pipeline observes stale data — the staleness bug that
+        wrong segment boundaries introduce."""
+        reader = Pipeline(0, 1, (
+            ((Get("dest", 0, "s", 0, 1, 1, 1),),),
+            ((),),
+        ))
+        writer = Pipeline(0, 1, (
+            ((),),
+            ((Copy("s", 0, "dest", 0, 1, 1),),),
+        ))
+        issues = lint_schedule(self._pipe_pair(reader, writer))
+        assert any(i.check == "pipeline" and "cross-segment" in i.message
+                   for i in issues)

@@ -126,6 +126,24 @@ class TestAllreduceSelection:
         assert select_algorithm("allreduce", at, 6) == "ring"
         assert select_algorithm("allreduce", 1 << 24, 12) == "ring"
 
+    def test_mid_band_non_pof2_uses_dual_pipelined(self):
+        """Off power-of-two in the 32..63 PE band, the pipelined
+        dual-root trees beat the ring's 2·(N-1) rounds (measured in
+        ``BENCH_pipeline.json``)."""
+        at = DEFAULT_POLICY.allreduce_large_bytes
+        assert select_algorithm("allreduce", at, 33) == "dual-pipelined"
+        assert select_algorithm("allreduce", 1 << 20, 48) == "dual-pipelined"
+
+    def test_huge_non_pof2_returns_to_rabenseifner(self):
+        """Past the band the Rabenseifner fold amortises even off
+        power-of-two."""
+        assert select_algorithm("allreduce", 1 << 20, 96) == "rabenseifner"
+        assert select_algorithm("allreduce", 1 << 20, 100) == "rabenseifner"
+
+    def test_pipelined_never_picked_for_small_payloads(self):
+        at = DEFAULT_POLICY.allreduce_large_bytes
+        assert select_algorithm("allreduce", at - 1, 33) == "doubling"
+
 
 #: Every crossover in ``SelectionPolicy``, probed exactly at the
 #: boundary and one step to either side (bytes and PE counts), for
@@ -167,12 +185,32 @@ _CROSSOVER_TABLE = [
     ("allreduce", 1 << 24, 2, "doubling"),
     ("allreduce", 1 << 24, 3, "ring"),
     ("allreduce", 1 << 24, 4, "rabenseifner"),
+    # -- allreduce: the dual-pipelined band [min_pes, max_pes) off
+    #    power-of-two (31/33/63/65 straddle the 32 and 64 boundaries
+    #    with non-pof2 probes; the pof2 values themselves fold to
+    #    Rabenseifner regardless)
+    ("allreduce", 1 << 20, _P.allreduce_pipelined_min_pes - 1, "ring"),
+    ("allreduce", 1 << 20, _P.allreduce_pipelined_min_pes + 1,
+     "dual-pipelined"),
+    ("allreduce", 1 << 20, _P.allreduce_pipelined_min_pes, "rabenseifner"),
+    ("allreduce", 1 << 20, _P.allreduce_pipelined_max_pes - 1,
+     "dual-pipelined"),
+    ("allreduce", 1 << 20, _P.allreduce_pipelined_max_pes + 1,
+     "rabenseifner"),
+    ("allreduce", _P.allreduce_large_bytes - 1,
+     _P.allreduce_pipelined_min_pes + 1, "doubling"),
     # -- allgather: dissemination_min_pes boundary, payload-independent
+    #    (past it the dest-direct PAT schedule wins at every measured
+    #    payload, so the compiled choice is "pat")
     ("allgather", 8, _P.allgather_dissemination_min_pes - 1, "tree"),
-    ("allgather", 8, _P.allgather_dissemination_min_pes, "dissemination"),
+    ("allgather", 8, _P.allgather_dissemination_min_pes, "pat"),
     ("allgather", 1 << 20, _P.allgather_dissemination_min_pes - 1, "tree"),
-    ("allgather", 1 << 20, _P.allgather_dissemination_min_pes,
-     "dissemination"),
+    ("allgather", 1 << 20, _P.allgather_dissemination_min_pes, "pat"),
+    # -- reduce_scatter: pat_min_pes boundary, pof2 and non-pof2
+    ("reduce_scatter", 1 << 20, _P.reduce_scatter_pat_min_pes - 1, "ring"),
+    ("reduce_scatter", 1 << 20, _P.reduce_scatter_pat_min_pes, "pat"),
+    ("reduce_scatter", 8, _P.reduce_scatter_pat_min_pes, "pat"),
+    ("reduce_scatter", 1 << 20, _P.reduce_scatter_pat_min_pes + 9, "pat"),
 ]
 
 
@@ -199,7 +237,8 @@ class TestCrossoverTable:
         assert {f.name for f in dataclasses.fields(SelectionPolicy)} == {
             "linear_max_bytes", "linear_max_pes", "linear_pe_limit",
             "ring_min_bytes", "ring_min_pes", "allreduce_large_bytes",
-            "allgather_dissemination_min_pes",
+            "allreduce_pipelined_min_pes", "allreduce_pipelined_max_pes",
+            "allgather_dissemination_min_pes", "reduce_scatter_pat_min_pes",
         }, "new SelectionPolicy field: add its boundary rows to the table"
 
 
@@ -208,7 +247,21 @@ class TestAllgatherSelection:
         pes = DEFAULT_POLICY.allgather_dissemination_min_pes
         assert select_algorithm("allgather", 1 << 20, pes - 1) == "tree"
 
-    def test_larger_groups_use_dissemination(self):
+    def test_larger_groups_use_pat(self):
+        """Past the tree cutoff the dest-direct PAT schedule wins at
+        every measured payload (it skips the dissemination variant's
+        per-rank unrotate copy)."""
         pes = DEFAULT_POLICY.allgather_dissemination_min_pes
-        assert select_algorithm("allgather", 8, pes) == "dissemination"
-        assert select_algorithm("allgather", 1 << 20, 16) == "dissemination"
+        assert select_algorithm("allgather", 8, pes) == "pat"
+        assert select_algorithm("allgather", 1 << 20, 16) == "pat"
+
+
+class TestReduceScatterSelection:
+    def test_small_groups_use_ring(self):
+        pes = DEFAULT_POLICY.reduce_scatter_pat_min_pes
+        assert select_algorithm("reduce_scatter", 1 << 20, pes - 1) == "ring"
+
+    def test_larger_groups_use_pat(self):
+        pes = DEFAULT_POLICY.reduce_scatter_pat_min_pes
+        assert select_algorithm("reduce_scatter", 8, pes) == "pat"
+        assert select_algorithm("reduce_scatter", 1 << 20, 64) == "pat"

@@ -91,6 +91,12 @@ _EXAMPLES: dict[str, Example] = {
         args=("4", "32"),
         expect=("backends agree bit-for-bit on 4 PEs x 32 elements",),
     ),
+    "pipelined_allreduce.py": Example(
+        args=("6", "512"),
+        expect=("dual-pipelined matches ring bit-for-bit on "
+                "6 PEs x 512 elements",
+                "ring/dual-pipelined makespan ratio"),
+    ),
     "serve_multi_tenant.py": Example(
         args=("sim", "16"),
         expect=("16 jobs completed across 4 tenants",
