@@ -123,9 +123,11 @@ def allreduce_makespan(algorithm: str, nelems: int, n_pes: int = 8) -> float:
         ctx.barrier()
         t0 = ctx.pe.clock
         if algorithm == "composition":
-            from repro.collectives.extra import reduce_all
+            from repro.collectives.broadcast import broadcast
+            from repro.collectives.reduce import reduce
 
-            reduce_all(ctx, dest, src, nelems, 1, "sum", np.dtype(np.int64))
+            reduce(ctx, dest, src, nelems, 1, 0, "sum", np.dtype(np.int64))
+            broadcast(ctx, dest, dest, nelems, 1, 0, np.dtype(np.int64))
         else:
             from repro.collectives.allreduce import allreduce
 

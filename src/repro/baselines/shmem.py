@@ -130,8 +130,10 @@ class ShmemAPI:
             raise CollectiveArgumentError(f"unknown reduction op {op!r}")
         members = active_set(pe_start, log_pe_stride,
                              pe_size or self.n_pes(), self.n_pes())
-        _extra.reduce_all(self.ctx, dest, source, nreduce, 1, op,
-                          _REDUCTION_TYPES[typename], group=members)
+        from ..collectives.allreduce import allreduce as _allreduce
+
+        _allreduce(self.ctx, dest, source, nreduce, 1, op,
+                   _REDUCTION_TYPES[typename], group=members)
 
     def __getattr__(self, name: str):
         # shmem_<type>_<op>_to_all convenience: e.g. long_sum_to_all.

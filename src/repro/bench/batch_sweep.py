@@ -1,0 +1,253 @@
+"""Superstep batching sweep: K eager small allreduces vs one fused flush.
+
+The superstep tentpole's acceptance bar — flushing K >= 8 same-shape
+small (<= 4 KiB) allreduces as **one widened collective** must beat the
+K eager executions by >= 2x simulated makespan — lives here as a
+measured artifact.  The sweep compares, at each ``(n_pes, nelems, K)``
+point,
+
+* **eager**: K sequential executions of the compiled doubling
+  allreduce at ``nelems`` elements (K x one-call makespan on the
+  schedule evaluator — the calls are fully serialised by their entry
+  and exit barriers, so the sum is exact, not pessimistic), against
+* **superstep**: one execution of
+  :func:`~repro.collectives.schedule.fuse.compile_widened` over the
+  same K requests — the schedule the runtime's flush emits for a
+  same-shape batch.
+
+Small messages are latency-dominated: each eager call pays the full
+⌈log₂N⌉ stage-latency ladder for a few cache lines of payload, while
+the widened schedule pays that ladder **once** for the concatenated
+payload.  The speedup therefore approaches K at small sizes and decays
+toward 1 as the payload grows bandwidth-dominated — which the sweep
+records rather than asserts away.
+
+The committed ``BENCH_batch.json`` is the reference copy (regenerate
+with ``python -m repro.bench.batch_sweep --out BENCH_batch.json``).
+CI's perf-smoke job runs ``--check BENCH_batch.json``: shape checks,
+the acceptance bar over the committed points, and one re-measured
+point so the gate tracks the live cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..collectives.allreduce import compile_allreduce
+from ..collectives.schedule.evaluate import evaluate_schedule
+from ..collectives.schedule.fuse import compile_widened
+from ..params import MachineConfig
+
+__all__ = [
+    "PE_COUNTS",
+    "SIZES",
+    "BATCH_SIZES",
+    "ACCEPT_MIN_BATCH",
+    "ACCEPT_MAX_BYTES",
+    "ACCEPT_SPEEDUP",
+    "sweep_point",
+    "batch_sweep",
+    "check_document",
+    "main",
+]
+
+#: PE counts: the serving-pool tier (8-64) plus the vec-evaluator
+#: scale tier where the stage-latency ladder is deepest.
+PE_COUNTS = (8, 16, 64, 256, 1024)
+
+#: Per-call payload sizes in int64 elements: 64 B, 512 B and 4 KiB —
+#: the latency-dominated band the superstep flush targets.
+SIZES = (8, 64, 512)
+
+#: Batch widths (requests per flush).
+BATCH_SIZES = (8, 32)
+
+#: The acceptance bar: a K >= 8 batch of <= 4 KiB allreduces fused into
+#: one superstep beats K eager executions by >= 2x makespan.
+ACCEPT_MIN_BATCH = 8
+ACCEPT_MAX_BYTES = 4 * 1024
+ACCEPT_SPEEDUP = 2.0
+
+_ITEMSIZE = 8
+
+
+def _sweep_config(n_pes: int) -> MachineConfig:
+    """One PE per node, matching the pipeline and vec sweeps."""
+    return MachineConfig(n_pes=n_pes, cores_per_node=1)
+
+
+def sweep_point(n_pes: int, nelems: int, batch: int) -> dict:
+    """Eager-vs-superstep makespans for one ``(n_pes, nelems, K)``."""
+    cfg = _sweep_config(n_pes)
+    one = compile_allreduce(n_pes, nelems, 1, _ITEMSIZE, "sum",
+                            algorithm="doubling")
+    eager_one = evaluate_schedule(one, cfg, dtype=np.dtype(np.int64),
+                                  collect_data=False).elapsed_ns
+    widened = compile_widened("allreduce", "doubling", n_pes, 0, "sum",
+                              _ITEMSIZE, (nelems,) * batch)
+    fused = evaluate_schedule(widened, cfg, dtype=np.dtype(np.int64),
+                              collect_data=False).elapsed_ns
+    eager = eager_one * batch
+    return {
+        "n_pes": n_pes,
+        "nelems": nelems,
+        "nbytes": nelems * _ITEMSIZE,
+        "batch": batch,
+        "eager_ns": eager,
+        "superstep_ns": fused,
+        "speedup": round(eager / fused, 3),
+    }
+
+
+def batch_sweep(pe_counts: Sequence[int] = PE_COUNTS,
+                sizes: Sequence[int] = SIZES,
+                batches: Sequence[int] = BATCH_SIZES) -> dict:
+    """The full sweep, as the ``BENCH_batch.json`` document."""
+    import platform
+    import sys
+
+    points = [sweep_point(n, nelems, k)
+              for n in pe_counts for nelems in sizes for k in batches]
+    return {
+        "bench": "superstep-batch",
+        "backend": "vec",
+        "host": {
+            "platform": platform.platform(),
+            "python": sys.version.split()[0],
+        },
+        "config": {
+            "cores_per_node": 1,
+            "topology": "fully-connected",
+            "itemsize": _ITEMSIZE,
+            "dtype": "int64",
+            "algorithm": "doubling",
+        },
+        "acceptance": {
+            "min_batch": ACCEPT_MIN_BATCH,
+            "max_bytes": ACCEPT_MAX_BYTES,
+            "speedup_min": ACCEPT_SPEEDUP,
+        },
+        "pe_counts": list(pe_counts),
+        "sizes": list(sizes),
+        "batches": list(batches),
+        "points": points,
+    }
+
+
+def _acceptance_points(doc: dict) -> list[dict]:
+    """Points that satisfy the superstep acceptance bar."""
+    return [
+        p for p in doc.get("points", ())
+        if p["batch"] >= ACCEPT_MIN_BATCH
+        and p["nbytes"] <= ACCEPT_MAX_BYTES
+        and p["speedup"] >= ACCEPT_SPEEDUP
+    ]
+
+
+def check_document(doc: dict, *, fresh_point: bool = True) -> list[str]:
+    """Validate a ``BENCH_batch.json`` document; returns problems.
+
+    Shape checks first (cheap, catch truncated or hand-edited files),
+    then the acceptance bar over the committed points, then — unless
+    ``fresh_point=False`` — one re-measured point so the gate tracks
+    the live cost model, not just the committed numbers.
+    """
+    problems: list[str] = []
+    if doc.get("bench") != "superstep-batch":
+        problems.append(f"bench key is {doc.get('bench')!r}, expected "
+                        "'superstep-batch'")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("document has no sweep points")
+        return problems
+    required = {"n_pes", "nelems", "nbytes", "batch", "eager_ns",
+                "superstep_ns", "speedup"}
+    for i, p in enumerate(points):
+        missing = required - set(p)
+        if missing:
+            problems.append(f"point {i} missing keys: {sorted(missing)}")
+            return problems
+
+    if not _acceptance_points(doc):
+        problems.append(
+            f"no committed point with batch >= {ACCEPT_MIN_BATCH}, <= "
+            f"{ACCEPT_MAX_BYTES} bytes and speedup >= {ACCEPT_SPEEDUP}")
+
+    if fresh_point:
+        fresh = sweep_point(16, 64, 8)  # 16 PEs x 512 B x K=8: mid-sweep
+        if fresh["speedup"] < ACCEPT_SPEEDUP:
+            problems.append(
+                "fresh measurement at 16 PEs x 512 B x K=8: speedup = "
+                f"{fresh['speedup']} < {ACCEPT_SPEEDUP} — the live cost "
+                "model no longer meets the acceptance bar")
+    return problems
+
+
+def _print_sweep(doc: dict) -> None:
+    print("superstep batching: K eager allreduces vs one fused flush "
+          "(vec evaluator, 1 PE/node)")
+    print(f"{'pes':>5} {'B':>6} {'K':>4} "
+          f"{'eager ns':>13} {'superstep ns':>13} {'speedup':>8}")
+    for p in doc["points"]:
+        print(f"{p['n_pes']:>5} {p['nbytes']:>6} {p['batch']:>4} "
+              f"{p['eager_ns']:>13.0f} {p['superstep_ns']:>13.0f} "
+              f"{p['speedup']:>8.2f}")
+    n_ok = len(_acceptance_points(doc))
+    print(f"acceptance (speedup >= {ACCEPT_SPEEDUP}x at K >= "
+          f"{ACCEPT_MIN_BATCH}, <= {ACCEPT_MAX_BYTES} B): "
+          f"{n_ok} qualifying points")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``python -m repro.bench.batch_sweep`` — sweep or check."""
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.batch_sweep",
+        description="Superstep-batching speedup sweep on the vec "
+                    "evaluator (the BENCH_batch.json format).",
+    )
+    parser.add_argument("--pes", type=int, nargs="+",
+                        default=list(PE_COUNTS),
+                        help="PE counts to sweep")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES),
+                        help="per-call payload sizes in int64 elements")
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=list(BATCH_SIZES),
+                        help="requests per superstep flush")
+    parser.add_argument("--out", default=None,
+                        help="write the sweep as JSON to this path")
+    parser.add_argument("--check", metavar="JSON", default=None,
+                        help="validate a committed BENCH_batch.json "
+                             "instead of sweeping")
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with open(args.check) as fh:
+            doc = json.load(fh)
+        problems = check_document(doc)
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        n_ok = len(_acceptance_points(doc))
+        print(f"{args.check}: ok — {len(doc['points'])} points, "
+              f"{n_ok} meet the >= {ACCEPT_SPEEDUP}x superstep bar, "
+              "fresh 16-PE point still passes")
+        return 0
+
+    doc = batch_sweep(args.pes, args.sizes, args.batches)
+    _print_sweep(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

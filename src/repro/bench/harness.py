@@ -198,7 +198,7 @@ class CollectiveProfile:
 
 #: Collectives :func:`profile_collective` knows how to drive.
 _PROFILABLE = ("broadcast", "reduce", "scatter", "gather", "allreduce",
-               "scan", "reduce_all", "allgather", "alltoall")
+               "scan", "allgather", "alltoall")
 
 
 def _even_split(nelems: int, n_pes: int) -> tuple[list[int], list[int]]:
@@ -259,8 +259,6 @@ def profile_collective(
             ctx.allreduce(dest, src, nelems, 1, op, dt, **kw)
         elif name == "scan":
             ctx.scan(dest, src, nelems, 1, op, dt)
-        elif name == "reduce_all":
-            ctx.reduce_all(dest, src, nelems, 1, op, dt)
         elif name == "alltoall":
             blk = max(nelems // ctx.num_pes(), 1) if nelems else 0
             big = ctx.malloc(max(blk * ctx.num_pes() * eb, 16))

@@ -5,8 +5,6 @@ notes that "they can be combined together to accomplish the semantics of
 several more complex operations" (section 4.2).  This module provides
 those compositions plus a personalised all-to-all:
 
-* :func:`reduce_all` — explicit reduction-to-all (OpenSHMEM
-  ``*_to_all`` semantics: every PE receives the result).
 * :func:`allgather` — gather-to-all (OpenSHMEM ``collect``) and
   :func:`fcollect` for the fixed-size variant.  Three algorithms: the
   default ``"tree"`` composition (gather to rank 0, broadcast back), a
@@ -23,6 +21,11 @@ those compositions plus a personalised all-to-all:
 * :func:`alltoall` — personalised all-to-all exchange built from
   one-sided puts (each PE deposits its block directly at the
   destination offset of every peer).
+
+The historical ``reduce_all`` composition (reduce to rank 0, broadcast
+back) is gone; ``CollectiveAPI.reduce_all`` is now a deprecated alias
+of :func:`~repro.collectives.allreduce.allreduce`, which finishes in
+half the stages.
 """
 
 from __future__ import annotations
@@ -36,7 +39,6 @@ from ..errors import CollectiveArgumentError
 from .broadcast import broadcast
 from .common import collective_span, resolve_group
 from .gather import gather
-from .reduce import reduce
 from .scatter import _validate
 from .schedule.executor import PreparedCollective
 from .reduce_scatter import pat_width_steps
@@ -57,34 +59,8 @@ from .virtual_rank import ring_neighbor, rotated_peers
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.context import XBRTime
 
-__all__ = ["reduce_all", "allgather", "fcollect", "alltoall",
+__all__ = ["allgather", "fcollect", "alltoall",
            "compile_allgather", "compile_allgather_pat", "compile_alltoall"]
-
-
-def reduce_all(
-    ctx: "XBRTime",
-    dest: int,
-    src: int,
-    nelems: int,
-    stride: int,
-    op: str,
-    dtype: np.dtype,
-    *,
-    group: Sequence[int] | None = None,
-) -> None:
-    """Reduce to rank 0, then broadcast the result to every PE.
-
-    ``dest`` must be symmetric on all PEs (it receives the broadcast).
-    """
-    members, _ = resolve_group(ctx, group)
-    if len(members) > 1 and not ctx.is_symmetric(dest):
-        raise CollectiveArgumentError(
-            "reduce_all dest must be a symmetric address"
-        )
-    with collective_span(ctx, "reduce_all", members, op=op, nelems=nelems,
-                         dtype=str(dtype)):
-        reduce(ctx, dest, src, nelems, stride, 0, op, dtype, group=group)
-        broadcast(ctx, dest, dest, nelems, stride, 0, dtype, group=group)
 
 
 def allgather(

@@ -11,7 +11,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .lint import lint_schedule
+from .lint import lint_fused_schedule, lint_schedule
 from .registry import builtin_schedules
 
 
@@ -32,7 +32,10 @@ def main(argv: list[str] | None = None) -> int:
     failures = 0
     for label, sched in builtin_schedules(
             pe_counts=tuple(range(1, args.max_pes + 1)), nelems=args.nelems):
-        issues = lint_schedule(sched)
+        fused = sched.collective == "superstep" and \
+            sched.algorithm == "fused"
+        issues = lint_fused_schedule(sched) if fused else \
+            lint_schedule(sched)
         checked += 1
         if issues:
             failures += 1

@@ -1,0 +1,403 @@
+"""Composing compiled schedules into one fused superstep schedule.
+
+Two transforms turn a superstep's deferred collectives into fewer,
+larger executions:
+
+* :func:`compile_widened` merges K same-shape calls of **one**
+  collective into a single call over the concatenated payload.  Only
+  algorithms whose stage pairings and fold order are independent of
+  ``nelems`` are eligible (:data:`WIDENABLE`): binomial broadcast,
+  binomial reduce and recursive-doubling allreduce each move/fold the
+  *entire* buffer every stage, so running them once at ``sum(counts)``
+  elements performs byte-identical arithmetic to K separate runs.
+  Segmented algorithms (ring, Rabenseifner, pipelined trees, scan)
+  split by total element count and are *not* widenable.
+* :func:`fuse_schedules` interleaves N compiled schedules — of
+  different collectives, roots or shapes — into one schedule that runs
+  them concurrently under **shared barriers**.  Buffers are renamed
+  ``r{i}:{name}`` so the address spaces stay disjoint, barrier phases
+  are front-aligned (a schedule with fewer phases simply idles through
+  the extras), stage slots merge positionally and pipeline blocks of
+  identical geometry merge round-for-round.
+
+Both transforms preserve the per-schedule phase mapping monotonically:
+two steps that shared a barrier phase still share one, and no two
+phases merge, so a fused schedule lints clean whenever its components
+do — :func:`~.lint.lint_schedule` plus the fused-specific passes in
+``lint_fused_schedule`` verify that mechanically for the registry's
+fused family.
+
+Fusion is intentionally strict: any structural surprise (rank-divergent
+phase counts, stages not closed by a barrier, mixed reduction
+operators) raises :class:`~repro.errors.FusionError`, and the superstep
+flush falls back to sequential execution — fusion may only ever be a
+performance upgrade, never a semantic change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from ...errors import FusionError
+from .ir import (
+    BARRIER,
+    Buffer,
+    Copy,
+    Pipeline,
+    RankProgram,
+    Schedule,
+    Stage,
+)
+
+__all__ = ["WIDENABLE", "fuse_schedules", "compile_widened"]
+
+#: ``(collective, algorithm)`` pairs whose fold order does not depend on
+#: the element count — the precondition for byte-identical widening.
+WIDENABLE = frozenset({
+    ("broadcast", "binomial"),
+    ("reduce", "binomial"),
+    ("allreduce", "doubling"),
+})
+
+
+def _rename_step(step, prefix: str):
+    """One step with every buffer reference moved into ``prefix``."""
+    kind = step.kind
+    if kind == "barrier":
+        return step
+    if kind == "reduce":
+        return replace(step, acc=prefix + step.acc,
+                       operand=prefix + step.operand)
+    if kind == "fill":
+        return replace(step, dst=prefix + step.dst)
+    return replace(step, dst=prefix + step.dst, src=prefix + step.src)
+
+
+def _rename_steps(steps, prefix: str) -> tuple:
+    return tuple(_rename_step(s, prefix) for s in steps)
+
+
+def _split_phases(steps) -> tuple[tuple, tuple]:
+    """Barrier-separated ``(chunks, tail)`` of a flat step tuple.
+
+    ``chunks[p]`` holds the steps before the ``p``-th barrier; ``tail``
+    is whatever follows the last barrier (possibly everything, when the
+    tuple has no barrier at all).
+    """
+    chunks: list = []
+    cur: list = []
+    for step in steps:
+        if step.kind == "barrier":
+            chunks.append(tuple(cur))
+            cur = []
+        else:
+            cur.append(step)
+    return tuple(chunks), tuple(cur)
+
+
+def _slot_signature(slot) -> tuple:
+    """Rank-comparable shape of one stage slot."""
+    if isinstance(slot, Pipeline):
+        return ("pipe", slot.segments, len(slot.groups))
+    chunks, tail = _split_phases(slot.steps)
+    if tail:
+        raise FusionError(
+            f"stage {slot.index} does not end with a barrier — cannot "
+            "align its phases for fusion")
+    return ("stage", len(chunks))
+
+
+def _structure(sched: Schedule) -> tuple:
+    """The schedule's rank-uniform phase structure, or FusionError.
+
+    Fusion interleaves the schedules under shared barriers, so every
+    rank of every schedule must agree on how many barrier phases each
+    region (prologue, stage slots, epilogue) contributes — otherwise
+    some rank would sit at a barrier nobody else reaches.
+    """
+    ref = None
+    for r in range(sched.n_pes):
+        prog = sched.programs[r]
+        pro_chunks, _ = _split_phases(prog.prologue)
+        slots = tuple(_slot_signature(s) for s in prog.stages)
+        epi_chunks, _ = _split_phases(prog.epilogue)
+        struct = (len(pro_chunks), slots, len(epi_chunks))
+        if ref is None:
+            ref = struct
+        elif struct != ref:
+            raise FusionError(
+                f"{sched.collective}:{sched.algorithm} rank {r} phase "
+                f"structure {struct} differs from rank 0's {ref}")
+    assert ref is not None
+    return ref
+
+
+def _merge_phase_region(parts: list, n_phases: int) -> tuple:
+    """Front-align the schedules' ``(chunks, tail)`` pairs under shared
+    barriers: phase ``p`` holds every schedule's chunk ``p``, and the
+    tails (steps after each schedule's own last barrier) run together
+    after the final shared barrier."""
+    steps: list = []
+    for p in range(n_phases):
+        for chunks, _tail, prefix in parts:
+            if p < len(chunks):
+                steps.extend(_rename_steps(chunks[p], prefix))
+        steps.append(BARRIER)
+    for _chunks, tail, prefix in parts:
+        steps.extend(_rename_steps(tail, prefix))
+    return tuple(steps)
+
+
+@lru_cache(maxsize=256)
+def fuse_schedules(scheds: tuple) -> Schedule:
+    """Interleave compiled schedules into one fused superstep schedule.
+
+    Raises :class:`~repro.errors.FusionError` when the batch cannot be
+    fused (the caller then executes sequentially).  The result's
+    buffers are renamed ``r{i}:{name}``; bind user buffers with the
+    same prefixes.
+    """
+    if not scheds:
+        raise FusionError("nothing to fuse")
+    n_pes = scheds[0].n_pes
+    itemsize = scheds[0].itemsize
+    for s in scheds:
+        if s.n_pes != n_pes:
+            raise FusionError(
+                f"group sizes differ: {s.n_pes} vs {n_pes}")
+        if s.itemsize != itemsize:
+            raise FusionError(
+                f"element sizes differ: {s.itemsize} vs {itemsize}")
+    ops = {s.op for s in scheds if s.op is not None}
+    if len(ops) > 1:
+        raise FusionError(
+            f"mixed reduction operators {sorted(ops)} — the executor "
+            "applies one operator per schedule")
+    structures = [_structure(s) for s in scheds]
+    pro_phases = max(st[0] for st in structures)
+    epi_phases = max(st[2] for st in structures)
+    n_slots = max(len(st[1]) for st in structures)
+
+    # Rank-independent merge plan per fused slot: positional merge when
+    # the contributors agree on shape, sequential emission otherwise.
+    slot_plans: list = []
+    for j in range(n_slots):
+        contributors = [(i, structures[i][1][j])
+                        for i in range(len(scheds))
+                        if j < len(structures[i][1])]
+        sigs = {sig for _, sig in contributors}
+        if len(sigs) == 1:
+            sig = next(iter(sigs))
+            slot_plans.append(("merge", sig, [i for i, _ in contributors]))
+        else:
+            slot_plans.append(("seq", None, contributors))
+
+    buffers = tuple(
+        replace(buf, name=f"r{i}:{buf.name}")
+        for i, s in enumerate(scheds) for buf in s.buffers
+    )
+    deliver = tuple(
+        (rank, f"r{i}:{name}", lo, hi)
+        for i, s in enumerate(scheds) for rank, name, lo, hi in s.deliver
+    )
+
+    programs = []
+    for r in range(n_pes):
+        progs = [s.programs[r] for s in scheds]
+        prefixes = [f"r{i}:" for i in range(len(scheds))]
+        prologue = _merge_phase_region(
+            [(*_split_phases(p.prologue), pre)
+             for p, pre in zip(progs, prefixes)], pro_phases)
+        built: list = []
+        slot_pos = [0] * len(scheds)  # next unconsumed slot per schedule
+        idx = 0  # fused stage/pipeline index — advances identically on
+        #          every rank, so span structure stays rank-uniform
+
+        def take(i: int):
+            slot = progs[i].stages[slot_pos[i]]
+            slot_pos[i] += 1
+            return slot
+
+        for plan, sig, members in slot_plans:
+            if plan == "merge" and sig[0] == "stage":
+                n_chunks = sig[1]
+                per = [(i, _split_phases(take(i).steps)[0])
+                       for i in members]
+                steps: list = []
+                for c in range(n_chunks):
+                    for i, chunks in per:
+                        if c < len(chunks):
+                            steps.extend(
+                                _rename_steps(chunks[c], prefixes[i]))
+                    steps.append(BARRIER)
+                built.append(Stage(idx, tuple(steps)))
+                idx += 1
+            elif plan == "merge":
+                _, segments, n_groups = sig
+                pipes = [(i, take(i)) for i in members]
+                groups = []
+                for g in range(n_groups):
+                    segs = []
+                    for k in range(segments):
+                        steps = []
+                        for i, pipe in pipes:
+                            steps.extend(
+                                _rename_steps(pipe.groups[g][k],
+                                              prefixes[i]))
+                        segs.append(tuple(steps))
+                    groups.append(tuple(segs))
+                built.append(Pipeline(idx, segments, tuple(groups)))
+                idx += segments + n_groups - 1
+            else:
+                for i, _s_sig in members:
+                    slot = take(i)
+                    if isinstance(slot, Pipeline):
+                        groups = tuple(
+                            tuple(_rename_steps(steps, prefixes[i])
+                                  for steps in group)
+                            for group in slot.groups)
+                        built.append(replace(slot, index=idx,
+                                             groups=groups))
+                        idx += slot.rounds
+                    else:
+                        built.append(Stage(
+                            idx, _rename_steps(slot.steps, prefixes[i]),
+                            attrs=slot.attrs))
+                        idx += 1
+        epilogue = _merge_phase_region(
+            [(*_split_phases(p.epilogue), pre)
+             for p, pre in zip(progs, prefixes)], epi_phases)
+        programs.append(RankProgram(r, prologue, tuple(built), epilogue))
+
+    return Schedule(
+        collective="superstep", algorithm="fused", n_pes=n_pes,
+        itemsize=itemsize, op=ops.pop() if ops else None,
+        buffers=buffers, programs=tuple(programs), deliver=deliver,
+    )
+
+
+def _compile_inner(collective: str, algorithm: str, n_pes: int,
+                   root: int, op: str, itemsize: int,
+                   total: int) -> Schedule:
+    if collective == "broadcast":
+        from ..broadcast import compile_broadcast
+
+        return compile_broadcast(n_pes, root, total, 1, itemsize,
+                                 algorithm=algorithm)
+    if collective == "reduce":
+        from ..reduce import compile_reduce
+
+        return compile_reduce(n_pes, root, total, 1, itemsize, op,
+                              algorithm=algorithm)
+    from ..allreduce import compile_allreduce
+
+    return compile_allreduce(n_pes, total, 1, itemsize, op,
+                             algorithm=algorithm)
+
+
+@lru_cache(maxsize=512)
+def compile_widened(collective: str, algorithm: str, n_pes: int,
+                    root: int, op: str, itemsize: int,
+                    counts: tuple) -> Schedule:
+    """One schedule that runs K same-shape calls as a single wider call.
+
+    ``counts[j]`` is request ``j``'s element count (stride 1).  The
+    inner algorithm runs over the concatenated ``sum(counts)`` elements
+    in a staged pair of work buffers: requests copy in at their offsets
+    before the entry barrier and copy out after the last one, so the
+    per-request ``src{j}``/``dest{j}`` user buffers never constrain the
+    core algorithm's layout.  Byte-identity to K separate runs holds
+    because every :data:`WIDENABLE` algorithm's pairings and per-element
+    fold order are independent of the element count.
+    """
+    if (collective, algorithm) not in WIDENABLE:
+        raise FusionError(
+            f"{collective}:{algorithm} is not widenable (its stage "
+            "layout depends on the element count)")
+    total = sum(counts)
+    if total <= 0 or any(c < 0 for c in counts):
+        raise FusionError(f"bad widening counts {counts}")
+    inner = _compile_inner(collective, algorithm, n_pes, root, op,
+                           itemsize, total)
+    src_buf = inner.buffer("src")
+    dest_buf = inner.buffer("dest")
+    receivers = tuple(sorted({rank for rank, name, _lo, _hi
+                              in inner.deliver if name == "dest"}))
+    rename = {"src": "w:src", "dest": "w:dest"}
+
+    def ren(step):
+        kind = step.kind
+        if kind == "barrier":
+            return step
+        if kind == "reduce":
+            return replace(step, acc=rename.get(step.acc, step.acc),
+                           operand=rename.get(step.operand, step.operand))
+        if kind == "fill":
+            return replace(step, dst=rename.get(step.dst, step.dst))
+        return replace(step, dst=rename.get(step.dst, step.dst),
+                       src=rename.get(step.src, step.src))
+
+    def ren_all(steps):
+        return tuple(ren(s) for s in steps)
+
+    offsets = []
+    off = 0
+    for c in counts:
+        offsets.append(off * itemsize)
+        off += c
+
+    buffers = []
+    for j, c in enumerate(counts):
+        buffers.append(Buffer(f"src{j}", "user", c * itemsize,
+                              ranks=src_buf.ranks))
+        buffers.append(Buffer(f"dest{j}", "user", c * itemsize,
+                              ranks=dest_buf.ranks))
+    # ``w:src`` is only ever read locally by the inner algorithm
+    # (every WIDENABLE compiler stages src through scratch or puts from
+    # the local copy), so private memory suffices; ``w:dest`` is written
+    # remotely by the broadcast tree, hence symmetric scratch.
+    buffers.append(Buffer("w:src", "private", total * itemsize,
+                          ranks=src_buf.ranks))
+    buffers.append(Buffer("w:dest", "scratch", total * itemsize,
+                          symmetric=True))
+    for buf in inner.buffers:
+        if buf.name not in ("src", "dest"):
+            buffers.append(buf)
+
+    programs = []
+    for r in range(n_pes):
+        prog = inner.programs[r]
+        staging = tuple(
+            Copy("w:src", offsets[j], f"src{j}", 0, c, 1)
+            for j, c in enumerate(counts)
+            if c and src_buf.held_by(r)
+        )
+        copyout = tuple(
+            Copy(f"dest{j}", 0, "w:dest", offsets[j], c, 1)
+            for j, c in enumerate(counts)
+            if c and r in receivers
+        )
+        stages = tuple(
+            replace(st, groups=tuple(
+                tuple(ren_all(steps) for steps in group)
+                for group in st.groups))
+            if isinstance(st, Pipeline)
+            else replace(st, steps=ren_all(st.steps))
+            for st in prog.stages
+        )
+        programs.append(RankProgram(
+            r, staging + ren_all(prog.prologue), stages,
+            ren_all(prog.epilogue) + copyout))
+
+    deliver = tuple(
+        (r, f"dest{j}", 0, c * itemsize)
+        for j, c in enumerate(counts) if c
+        for r in receivers
+    )
+    return Schedule(
+        collective=collective, algorithm=f"{algorithm}-widened",
+        n_pes=n_pes, itemsize=itemsize, root=inner.root, op=inner.op,
+        buffers=tuple(buffers), programs=tuple(programs),
+        deliver=deliver,
+    )

@@ -319,9 +319,23 @@ class Schedule:
     def n_stage_spans(self, rank: int = 0) -> int:
         return sum(1 for _ in self.programs[rank].lowered_stages())
 
-    def describe(self) -> str:
-        """One-line human summary (used by the lint CLI)."""
+    def describe(self, rank: int = 0) -> str:
+        """One-line human summary (used by the lint CLI).
+
+        Pipeline blocks render as ``pipe(G×S→R)`` — ``G`` wavefront
+        groups over ``S`` segments lowering to ``R`` rounds — instead
+        of disappearing into the flat lowered-stage count.
+        """
+        parts = []
+        for stage in self.programs[rank].stages:
+            if isinstance(stage, Pipeline):
+                parts.append(f"pipe({len(stage.groups)}x{stage.segments}"
+                             f"->{stage.rounds})")
+            else:
+                parts.append("1")
+        shape = "+".join(parts) if parts else "0"
         return (
             f"{self.collective}:{self.algorithm} n_pes={self.n_pes} "
-            f"root={self.root} op={self.op} stages={self.n_stage_spans()}"
+            f"root={self.root} op={self.op} "
+            f"stages={self.n_stage_spans(rank)} [{shape}]"
         )

@@ -43,7 +43,7 @@ from typing import Iterator
 
 from .ir import Pipeline, Schedule, step_span_bytes
 
-__all__ = ["LintIssue", "lint_schedule"]
+__all__ = ["LintIssue", "lint_schedule", "lint_fused_schedule"]
 
 
 @dataclass(frozen=True)
@@ -403,4 +403,67 @@ def lint_schedule(sched: Schedule) -> list:
     _check_pipelines(sched, issues)
     _check_phase_overlap(sched, issues)
     _check_conservation(sched, issues)
+    return issues
+
+
+def _step_buffer_names(step) -> tuple:
+    kind = step.kind
+    if kind == "barrier":
+        return ()
+    if kind == "reduce":
+        return (step.acc, step.operand)
+    if kind == "fill":
+        return (step.dst,)
+    return (step.dst, step.src)
+
+
+def _check_fused_prefixes(sched: Schedule, issues: list) -> None:
+    """Fused-schedule isolation: every buffer belongs to exactly one
+    sub-request (``r{i}:`` prefix) and no step mixes two requests'
+    buffers — a cross-request reference would mean the fusion aliased
+    one tenant's data into another's schedule."""
+    for buf in sched.buffers:
+        if ":" not in buf.name:
+            issues.append(LintIssue(
+                "fused",
+                f"buffer {buf.name!r} carries no request prefix — it is "
+                "not attributable to any fused sub-request"))
+    for r in range(sched.n_pes):
+        for step in sched.program(r).all_steps():
+            owners = {name.split(":", 1)[0]
+                      for name in _step_buffer_names(step)}
+            if len(owners) > 1:
+                issues.append(LintIssue(
+                    "fused",
+                    f"step {step!r} mixes buffers of requests "
+                    f"{sorted(owners)} (cross-request aliasing)", rank=r))
+
+
+def _check_fused_conservation(sched: Schedule, issues: list) -> None:
+    """Every fused sub-request must still deliver something somewhere:
+    a request whose entire ``deliver`` contract vanished in fusion was
+    silently dropped (the per-range coverage itself is re-checked by
+    the ordinary conservation pass over the prefixed buffers)."""
+    promised = {rank_name[1].split(":", 1)[0]
+                for rank_name in sched.deliver}
+    for buf in sched.buffers:
+        if ":" not in buf.name:
+            continue  # already reported by the prefix pass
+        owner = buf.name.split(":", 1)[0]
+        base = buf.name.split(":", 1)[1]
+        if base.startswith("dest") and buf.nbytes_on(0) and \
+                owner not in promised:
+            issues.append(LintIssue(
+                "fused",
+                f"sub-request {owner!r} has output buffer {buf.name!r} "
+                "but no deliver contract — dropped in fusion?"))
+
+
+def lint_fused_schedule(sched: Schedule) -> list:
+    """Lint a fused superstep schedule: every ordinary pass plus the
+    fused-specific isolation checks (no cross-request buffer aliasing,
+    per-sub-request delivery)."""
+    issues = lint_schedule(sched)
+    _check_fused_prefixes(sched, issues)
+    _check_fused_conservation(sched, issues)
     return issues

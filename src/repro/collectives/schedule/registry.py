@@ -41,6 +41,7 @@ BUILTIN_ALGORITHMS: tuple[tuple[str, str], ...] = (
     ("alltoall", "rotated"),
     ("reduce_scatter", "ring"),
     ("reduce_scatter", "pat"),
+    ("superstep", "fused"),
 )
 
 
@@ -154,6 +155,43 @@ def _shapes_for(collective: str, algorithm: str, n_pes: int,
                                           itemsize, "sum",
                                           algorithm=algorithm,
                                           segments=segs))
+    elif collective == "superstep":
+        from ..allreduce import compile_allreduce
+        from ..broadcast import compile_broadcast
+        from ..reduce import compile_reduce
+        from .fuse import compile_widened, fuse_schedules
+
+        root = n_pes // 2
+        # Widened same-shape batches (ragged counts, a zero-count
+        # member) for each WIDENABLE algorithm, fused mixed-collective
+        # batches, and a widened batch fused with a loose single call —
+        # the shapes the superstep flush actually emits.
+        widened = compile_widened("allreduce", "doubling", n_pes, 0,
+                                  "sum", itemsize, (nelems, 1, 0, nelems))
+        yield ("widened allreduce k=4 ragged", widened)
+        yield ("widened broadcast k=3",
+               compile_widened("broadcast", "binomial", n_pes, root,
+                               None, itemsize, (nelems, nelems, 1)))
+        yield ("widened reduce k=2",
+               compile_widened("reduce", "binomial", n_pes, root, "sum",
+                               itemsize, (1, nelems)))
+        yield ("fused bcast+reduce+allreduce",
+               fuse_schedules((
+                   compile_broadcast(n_pes, 0, nelems, 1, itemsize),
+                   compile_reduce(n_pes, root, nelems, 1, itemsize,
+                                  "sum"),
+                   compile_allreduce(n_pes, nelems, 1, itemsize, "sum"),
+               )))
+        yield ("fused widened+single",
+               fuse_schedules((
+                   widened,
+                   compile_broadcast(n_pes, 0, nelems, 1, itemsize),
+               )))
+        yield ("fused degenerate+real",
+               fuse_schedules((
+                   compile_allreduce(n_pes, 0, 1, itemsize, "sum"),
+                   compile_allreduce(n_pes, nelems, 1, itemsize, "sum"),
+               )))
     else:  # pragma: no cover - registry/compiler drift
         raise ValueError(f"no shape generator for {collective!r}")
 

@@ -107,8 +107,10 @@ class Team:
                    op: str = "sum", dtype: str | np.dtype = "long") -> None:
         from ..runtime.context import resolve_dtype
 
-        _extra.reduce_all(self.ctx, dest, src, nelems, stride, op,
-                          resolve_dtype(dtype), group=self.members)
+        from .allreduce import allreduce as _allreduce
+
+        _allreduce(self.ctx, dest, src, nelems, stride, op,
+                   resolve_dtype(dtype), group=self.members)
 
     def alltoall(self, dest: int, src: int, nelems_per_pe: int,
                  dtype: str | np.dtype = "long") -> None:

@@ -15,6 +15,7 @@ __all__ = [
     "TypeNameError",
     "ReductionOpError",
     "CollectiveArgumentError",
+    "FusionError",
     "IsaError",
     "DecodeError",
     "AssemblerError",
@@ -66,6 +67,17 @@ class ReductionOpError(XbgasError):
 
 class CollectiveArgumentError(XbgasError, ValueError):
     """Invalid arguments to a collective call (bad root, counts, strides...)."""
+
+
+class FusionError(XbgasError):
+    """Schedules cannot be fused into one superstep.
+
+    Raised by :func:`repro.collectives.schedule.fuse.fuse_schedules`
+    when the batch is incompatible (mixed itemsize, more than one
+    reduction operator, rank-divergent phase structure).  The superstep
+    flush catches it and falls back to sequential execution, so it is a
+    performance event, never a correctness one.
+    """
 
 
 class IsaError(XbgasError):

@@ -174,7 +174,7 @@ def bench_collectives_micro(repeats: int = 3, quick: bool = False) -> BenchResul
     # The payload points of benchmarks/bench_collectives_micro.py: a
     # latency-dominated size and a bandwidth-dominated one.
     sizes = (8, 256) if quick else (8, 1024)
-    ops = ("broadcast", "reduce", "reduce_all", "alltoall")
+    ops = ("broadcast", "reduce", "allreduce", "alltoall")
 
     def body(ctx, op: str, nelems: int) -> None:
         ctx.init()
@@ -186,8 +186,8 @@ def bench_collectives_micro(repeats: int = 3, quick: bool = False) -> BenchResul
             ctx.broadcast(src, src, nelems, 1, 0)
         elif op == "reduce":
             ctx.reduce(dest, src, nelems, 1, 0, "sum")
-        elif op == "reduce_all":
-            ctx.reduce_all(dest, src, nelems, 1, "sum")
+        elif op == "allreduce":
+            ctx.allreduce(dest, src, nelems, 1, "sum")
         else:
             ctx.alltoall(dest, src, nelems)
         ctx.close()

@@ -15,11 +15,13 @@ Subclasses provide: ``rank``, ``spans``, ``_require_active()``,
 
 from __future__ import annotations
 
+import warnings
 from contextlib import contextmanager
 from typing import Any, Iterator, Sequence
 
 import numpy as np
 
+from ..errors import RuntimeStateError
 from ..types import typeinfo
 
 __all__ = ["CollectiveAPI", "resolve_dtype"]
@@ -34,6 +36,34 @@ def resolve_dtype(t: str | np.dtype | type) -> np.dtype:
 
 class CollectiveAPI:
     """Mixin: the collective call surface of a PE context."""
+
+    #: Active :class:`~repro.runtime.superstep.Superstep`, or ``None``
+    #: (eager mode).  Set per-instance by ``superstep()``.
+    _superstep = None
+
+    # -- supersteps ------------------------------------------------------------
+
+    def superstep(self):
+        """Defer this PE's puts/gets/collectives until the step's end.
+
+        ``with ctx.superstep() as step:`` buffers the body's one-sided
+        transfers and collective calls; the flush at the ``with`` exit
+        (or at an explicit ``ctx.barrier()`` inside the body) coalesces
+        contiguous transfers and batches compatible collectives into
+        one fused schedule.  Byte-identical to eager execution for
+        race-free bodies; see :mod:`repro.runtime.superstep`.
+        Supersteps do not nest.
+        """
+        from .superstep import superstep_context
+
+        return superstep_context(self)
+
+    def _defer_opaque(self, label: str, thunk) -> bool:
+        """Queue ``thunk`` on the active superstep; ``False`` if eager."""
+        if self._superstep is None:
+            return False
+        self._superstep.defer_opaque(label, thunk)
+        return True
 
     # -- tracing ---------------------------------------------------------------
 
@@ -66,8 +96,17 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import broadcast as _b
 
-        _b.broadcast(self, dest, src, nelems, stride, root,
-                     resolve_dtype(dtype), algorithm=algorithm)
+        dt = resolve_dtype(dtype)
+        if self._superstep is not None:
+            prepared = _b.prepare_broadcast(self, dest, src, nelems,
+                                            stride, root, dt,
+                                            algorithm=algorithm)
+            self._superstep.defer_collective(
+                prepared, collective="broadcast", root=root, op=None,
+                dest=dest, src=src, nelems=nelems, stride=stride)
+            return
+        _b.broadcast(self, dest, src, nelems, stride, root, dt,
+                     algorithm=algorithm)
 
     def reduce(self, dest: int, src: int, nelems: int, stride: int,
                root: int, op: str = "sum", dtype: str | np.dtype = "long",
@@ -76,8 +115,17 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import reduce as _r
 
-        _r.reduce(self, dest, src, nelems, stride, root, op,
-                  resolve_dtype(dtype), algorithm=algorithm)
+        dt = resolve_dtype(dtype)
+        if self._superstep is not None:
+            prepared = _r.prepare_reduce(self, dest, src, nelems, stride,
+                                         root, op, dt,
+                                         algorithm=algorithm)
+            self._superstep.defer_collective(
+                prepared, collective="reduce", root=root, op=op,
+                dest=dest, src=src, nelems=nelems, stride=stride)
+            return
+        _r.reduce(self, dest, src, nelems, stride, root, op, dt,
+                  algorithm=algorithm)
 
     def scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
                 pe_disp: Sequence[int], nelems: int, root: int,
@@ -86,8 +134,11 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import scatter as _s
 
-        _s.scatter(self, dest, src, pe_msgs, pe_disp, nelems, root,
-                   resolve_dtype(dtype))
+        dt = resolve_dtype(dtype)
+        run = lambda: _s.scatter(self, dest, src, pe_msgs, pe_disp,
+                                 nelems, root, dt)
+        if not self._defer_opaque("scatter", run):
+            run()
 
     def gather(self, dest: int, src: int, pe_msgs: Sequence[int],
                pe_disp: Sequence[int], nelems: int, root: int,
@@ -96,19 +147,29 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import gather as _g
 
-        _g.gather(self, dest, src, pe_msgs, pe_disp, nelems, root,
-                  resolve_dtype(dtype))
+        dt = resolve_dtype(dtype)
+        run = lambda: _g.gather(self, dest, src, pe_msgs, pe_disp,
+                                nelems, root, dt)
+        if not self._defer_opaque("gather", run):
+            run()
 
     # -- extended collectives (paper section 7 future work) --------------------------------
 
     def reduce_all(self, dest: int, src: int, nelems: int, stride: int,
                    op: str = "sum", dtype: str | np.dtype = "long") -> None:
-        """Reduce-to-all: every PE receives the reduction result."""
-        self._require_active()
-        from ..collectives import extra
+        """Deprecated alias of :meth:`allreduce`.
 
-        extra.reduce_all(self, dest, src, nelems, stride, op,
-                         resolve_dtype(dtype))
+        .. deprecated::
+           The reduce+broadcast composition this historically ran is
+           strictly dominated by ``allreduce(algorithm="doubling")``
+           (half the stages, same bytes).  Call :meth:`allreduce`.
+        """
+        warnings.warn(
+            "reduce_all() is deprecated; call allreduce() instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        self.allreduce(dest, src, nelems, stride, op, dtype,
+                       algorithm="doubling")
 
     def allreduce(self, dest: int, src: int, nelems: int, stride: int,
                   op: str = "sum", dtype: str | np.dtype = "long",
@@ -122,10 +183,20 @@ class CollectiveAPI:
         trees — ``segments`` chunks in flight, the large-payload winner
         off power-of-two) or ``"auto"``."""
         self._require_active()
-        from ..collectives.allreduce import allreduce as _ar
+        from ..collectives import allreduce as _ar
 
-        _ar(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
-            algorithm=algorithm, segments=segments)
+        dt = resolve_dtype(dtype)
+        if self._superstep is not None:
+            prepared = _ar.prepare_allreduce(self, dest, src, nelems,
+                                             stride, op, dt,
+                                             algorithm=algorithm,
+                                             segments=segments)
+            self._superstep.defer_collective(
+                prepared, collective="allreduce", root=None, op=op,
+                dest=dest, src=src, nelems=nelems, stride=stride)
+            return
+        _ar.allreduce(self, dest, src, nelems, stride, op, dt,
+                      algorithm=algorithm, segments=segments)
 
     def reduce_scatter(self, dest: int, src: int, pe_msgs: Sequence[int],
                        pe_disp: Sequence[int], nelems: int,
@@ -143,8 +214,11 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives.reduce_scatter import reduce_scatter as _rs
 
-        _rs(self, dest, src, pe_msgs, pe_disp, nelems, op,
-            resolve_dtype(dtype), algorithm=algorithm, segments=segments)
+        dt = resolve_dtype(dtype)
+        run = lambda: _rs(self, dest, src, pe_msgs, pe_disp, nelems, op,
+                          dt, algorithm=algorithm, segments=segments)
+        if not self._defer_opaque("reduce_scatter", run):
+            run()
 
     def scan(self, dest: int, src: int, nelems: int, stride: int,
              op: str = "sum", dtype: str | np.dtype = "long",
@@ -153,8 +227,11 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives.scan import scan as _scan
 
-        _scan(self, dest, src, nelems, stride, op, resolve_dtype(dtype),
-              inclusive=inclusive)
+        dt = resolve_dtype(dtype)
+        run = lambda: _scan(self, dest, src, nelems, stride, op, dt,
+                            inclusive=inclusive)
+        if not self._defer_opaque("scan", run):
+            run()
 
     def allgather(self, dest: int, src: int, pe_msgs: Sequence[int],
                   pe_disp: Sequence[int], nelems: int,
@@ -170,9 +247,12 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import extra
 
-        extra.allgather(self, dest, src, pe_msgs, pe_disp, nelems,
-                        resolve_dtype(dtype), algorithm=algorithm,
-                        segments=segments)
+        dt = resolve_dtype(dtype)
+        run = lambda: extra.allgather(self, dest, src, pe_msgs, pe_disp,
+                                      nelems, dt, algorithm=algorithm,
+                                      segments=segments)
+        if not self._defer_opaque("allgather", run):
+            run()
 
     def alltoall(self, dest: int, src: int, nelems_per_pe: int,
                  dtype: str | np.dtype = "long") -> None:
@@ -180,9 +260,22 @@ class CollectiveAPI:
         self._require_active()
         from ..collectives import extra
 
-        extra.alltoall(self, dest, src, nelems_per_pe, resolve_dtype(dtype))
+        dt = resolve_dtype(dtype)
+        run = lambda: extra.alltoall(self, dest, src, nelems_per_pe, dt)
+        if not self._defer_opaque("alltoall", run):
+            run()
 
     # -- resilient collectives (fault-injection runs) ----------------------------------
+
+    def _forbid_superstep(self, what: str) -> None:
+        # Resilient collectives return survivor masks the body usually
+        # branches on; deferring them would hand the body a result that
+        # does not exist yet.
+        if self._superstep is not None:
+            raise RuntimeStateError(
+                f"{what} cannot be deferred inside a superstep — its "
+                "result is consumed immediately"
+            )
 
     def resilient_broadcast(self, dest: int, src: int, nelems: int,
                             stride: int, root: int,
@@ -192,6 +285,7 @@ class CollectiveAPI:
         tree over the survivors; returns a
         :class:`~repro.faults.resilient.ResilientResult`."""
         self._require_active()
+        self._forbid_superstep("resilient_broadcast")
         from ..faults.resilient import resilient_broadcast as _rb
 
         return _rb(self, dest, src, nelems, stride, root,
@@ -204,6 +298,7 @@ class CollectiveAPI:
         """Eventually consistent reduction: folds the survivors' values
         and reports the contribution mask."""
         self._require_active()
+        self._forbid_superstep("resilient_reduce")
         from ..faults.resilient import resilient_reduce as _rr
 
         return _rr(self, dest, src, nelems, stride, root, op,
@@ -215,6 +310,7 @@ class CollectiveAPI:
                             max_restarts: int = 8):
         """Eventually consistent allreduce over the survivors."""
         self._require_active()
+        self._forbid_superstep("resilient_allreduce")
         from ..faults.resilient import resilient_allreduce as _ra
 
         return _ra(self, dest, src, nelems, stride, op,

@@ -1,0 +1,417 @@
+"""Deferred-execution superstep mode (BSP-style request batching).
+
+``with ctx.superstep():`` buffers the body's ``put``/``get`` calls and
+collective calls into a per-step request queue instead of executing
+them — the bsponmpi request-queue design, adapted to one-sided xBGAS
+semantics.  At the step's sync point (the ``with`` exit, or an explicit
+``ctx.barrier()`` inside the body) the queue **flushes**:
+
+1. deferred one-sided transfers run first, coalesced — transfers with
+   the same ``(kind, peer, dtype, stride)`` whose source *and*
+   destination ranges are exactly contiguous merge into single larger
+   transfers;
+2. deferred collectives then run in call order, batched by the
+   coalescing key ``(collective, root, group, dtype)``: same-key
+   same-shape calls of a widenable algorithm merge into **one wider
+   collective** with per-request sub-ranges
+   (:func:`~repro.collectives.schedule.fuse.compile_widened`), and the
+   remaining compiled schedules of a compatible batch interleave into
+   one fused schedule under shared barriers
+   (:func:`~repro.collectives.schedule.fuse.fuse_schedules`).
+
+The flush executes through the ordinary schedule executor, so sim, mp
+and vec backends run supersteps unmodified and byte-identical to eager
+mode.  Ordering contract (the BSP step horizon): deferred operations
+observe memory as of the flush, transfers commit before collectives,
+and collectives commit in call order — a race-free eager program that
+keeps its deferred operations' buffers disjoint within one step sees
+identical bytes.
+
+Determinism requirement: collective batching decisions must agree on
+every rank (they feed one shared fused schedule), so a collective only
+joins a batch when all its buffer addresses are symmetric — symmetric
+allocations sit at rank-uniform addresses, making the conflict and
+widening analysis SPMD-deterministic.  Everything else (private
+destinations, ``body``-based algorithms, vector collectives) still
+defers, but flushes as an individual call.
+
+Fusion failures (:class:`~repro.errors.FusionError`) downgrade to
+sequential execution — batching is a performance layer, never a
+semantic one.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import FusionError, RuntimeStateError
+
+__all__ = ["Superstep", "superstep_context"]
+
+#: Methods the superstep shadows on the context instance.
+_SHADOWED = ("put", "get", "barrier")
+
+
+@dataclass
+class _Transfer:
+    """One deferred one-sided transfer."""
+
+    kind: str  # "put" | "get"
+    dest: int
+    src: int
+    nelems: int
+    stride: int
+    pe: int
+    dtype: np.dtype
+
+
+@dataclass
+class _Request:
+    """One deferred collective call."""
+
+    prepared: object  # PreparedCollective
+    collective: str
+    algorithm: str
+    root: int | None
+    op: str | None
+    dest: int
+    src: int
+    nelems: int
+    stride: int
+    #: May this request join a fused batch?  Requires a compiled
+    #: schedule and rank-uniform (symmetric) addresses — see module
+    #: docstring.
+    batchable: bool = False
+
+    @property
+    def span(self) -> int:
+        if self.nelems == 0:
+            return 0
+        itemsize = self.prepared.dtype.itemsize
+        return ((self.nelems - 1) * self.stride + 1) * itemsize
+
+    @property
+    def widen_key(self) -> tuple:
+        return (self.collective, self.algorithm, self.root)
+
+
+@dataclass
+class _Opaque:
+    """A deferred collective replayed as-is at flush (no fusion)."""
+
+    label: str
+    thunk: Callable
+
+
+class Superstep:
+    """The request queue of one active superstep (see module docstring).
+
+    Public attributes: ``pending`` (deferred operation count) and
+    ``flushes`` (completed flush count), mainly for tests and examples.
+    """
+
+    def __init__(self, ctx) -> None:
+        self._ctx = ctx
+        self._queue: list = []
+        self.flushes = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    # -- deferral (called from the shadowed methods / front-ends) -----
+
+    def defer_transfer(self, kind: str, dest: int, src: int, nelems: int,
+                       stride: int, pe: int, dtype: np.dtype) -> None:
+        self._queue.append(_Transfer(kind, dest, src, nelems, stride, pe,
+                                     dtype))
+
+    def defer_collective(self, prepared, *, collective: str,
+                         root: int | None, op: str | None, dest: int,
+                         src: int, nelems: int, stride: int) -> None:
+        """Queue a validated, compiled collective call.
+
+        Validation and compilation already happened in ``prepare_*`` —
+        a malformed call raises at the call site, exactly like eager
+        mode, never at the (distant) flush.
+        """
+        algorithm = prepared.attrs.get("algorithm", "")
+        ctx = self._ctx
+        batchable = (
+            prepared.schedule is not None
+            and ctx.is_symmetric(dest) and ctx.is_symmetric(src)
+        )
+        self._queue.append(_Request(
+            prepared, collective, algorithm, root, op, dest, src,
+            nelems, stride, batchable=batchable))
+
+    def defer_opaque(self, label: str, thunk: Callable) -> None:
+        self._queue.append(_Opaque(label, thunk))
+
+    # -- flush --------------------------------------------------------
+
+    def flush(self) -> None:
+        """Execute and clear the queue (shadows must be disarmed)."""
+        queue, self._queue = self._queue, []
+        if not queue:
+            return
+        self.flushes += 1
+        ctx = self._ctx
+        self._run_transfers(ctx,
+                            [it for it in queue
+                             if isinstance(it, _Transfer)])
+        batch: list = []
+        for item in queue:
+            if isinstance(item, _Transfer):
+                continue
+            if isinstance(item, _Opaque):
+                self._run_batch(ctx, batch)
+                batch = []
+                item.thunk()
+            elif self._joins(batch, item):
+                batch.append(item)
+            else:
+                self._run_batch(ctx, batch)
+                batch = [item] if item.batchable else []
+                if not item.batchable:
+                    item.prepared.run(ctx)
+        self._run_batch(ctx, batch)
+
+    def discard(self) -> None:
+        self._queue.clear()
+
+    # -- transfers ----------------------------------------------------
+
+    @staticmethod
+    def _coalesce(xfers: list) -> Iterator[_Transfer]:
+        """Merge exactly-contiguous same-lane transfers.
+
+        Lanes are ``(kind, peer, dtype, stride)``; within a stride-1
+        lane, transfers sorted by ``(dest, src)`` merge while both the
+        destination *and* source ranges continue without a gap.
+        """
+        lanes: dict = {}
+        for t in xfers:
+            lanes.setdefault(
+                (t.kind, t.pe, str(t.dtype), t.stride), []).append(t)
+        for (kind, pe, _dt, stride), lane in sorted(
+                lanes.items(), key=lambda kv: kv[0][:2] + (kv[0][2],)):
+            if stride != 1:
+                yield from lane
+                continue
+            lane.sort(key=lambda t: (t.dest, t.src))
+            cur = lane[0]
+            for t in lane[1:]:
+                size = cur.nelems * cur.dtype.itemsize
+                if t.dest == cur.dest + size and t.src == cur.src + size:
+                    cur = _Transfer(kind, cur.dest, cur.src,
+                                    cur.nelems + t.nelems, 1, pe,
+                                    cur.dtype)
+                else:
+                    yield cur
+                    cur = t
+            yield cur
+
+    def _run_transfers(self, ctx, xfers: list) -> None:
+        for t in self._coalesce(xfers):
+            method = ctx.put if t.kind == "put" else ctx.get
+            method(t.dest, t.src, t.nelems, t.stride, t.pe, t.dtype)
+
+    # -- collective batching ------------------------------------------
+
+    @staticmethod
+    def _joins(batch: list, req: _Request) -> bool:
+        """May ``req`` join the accumulating batch?
+
+        Same group, same dtype, at most one reduction operator, and no
+        overlap between ``req``'s buffer ranges and the batch's (all
+        addresses symmetric, hence rank-uniform — every rank reaches
+        the same verdict).
+        """
+        if not req.batchable:
+            return False
+        if not batch:
+            return True
+        head = batch[0]
+        if req.prepared.members != head.prepared.members:
+            return False
+        if req.prepared.dtype != head.prepared.dtype:
+            return False
+        ops = {r.op for r in batch if r.op is not None}
+        if req.op is not None:
+            ops.add(req.op)
+        if len(ops) > 1:
+            return False
+        w_lo, w_hi = req.dest, req.dest + req.span
+        r_lo, r_hi = req.src, req.src + req.span
+        for other in batch:
+            o_w = (other.dest, other.dest + other.span)
+            o_r = (other.src, other.src + other.span)
+            if _overlap((w_lo, w_hi), o_w) or _overlap((w_lo, w_hi), o_r) \
+                    or _overlap((r_lo, r_hi), o_w):
+                return False
+        return True
+
+    def _run_batch(self, ctx, batch: list) -> None:
+        if not batch:
+            return
+        if len(batch) == 1:
+            batch[0].prepared.run(ctx)
+            return
+        from ..collectives.schedule.fuse import WIDENABLE, compile_widened
+
+        head = batch[0].prepared
+        itemsize = head.dtype.itemsize
+        # Widen same-key runs (the coalescing table): group requests by
+        # (collective, algorithm, root); a group of >= 2 non-empty
+        # stride-1 requests becomes one wider collective.
+        groups: dict = {}
+        for i, req in enumerate(batch):
+            key = req.widen_key
+            if (req.collective, req.algorithm) in WIDENABLE \
+                    and req.stride == 1 and req.nelems > 0:
+                groups.setdefault(key, []).append(i)
+        widened: dict = {}  # first index -> (schedule, bindings, members)
+        consumed: set = set()
+        for key, idxs in groups.items():
+            if len(idxs) < 2:
+                continue
+            collective, algorithm, root = key
+            reqs = [batch[i] for i in idxs]
+            sched = compile_widened(
+                collective, algorithm, len(head.members),
+                root if root is not None else 0,
+                reqs[0].op, itemsize,
+                tuple(r.nelems for r in reqs))
+            bindings = {}
+            for j, r in enumerate(reqs):
+                bindings[f"src{j}"] = r.src
+                bindings[f"dest{j}"] = r.dest
+            widened[idxs[0]] = (sched, bindings, reqs)
+            consumed.update(idxs)
+        entries: list = []  # (schedule, bindings, reqs)
+        for i, req in enumerate(batch):
+            if i in widened:
+                entries.append(widened[i])
+            elif i not in consumed:
+                entries.append((req.prepared.schedule,
+                                dict(req.prepared.bindings), [req]))
+        try:
+            self._execute_entries(ctx, entries, batch)
+        except FusionError:
+            # Structural surprise: run the entries one by one instead.
+            for sched, bindings, reqs in entries:
+                self._run_entry(ctx, sched, bindings, reqs)
+
+    def _execute_entries(self, ctx, entries: list, batch: list) -> None:
+        from ..collectives.schedule.executor import PreparedCollective
+        from ..collectives.schedule.fuse import fuse_schedules
+
+        head = batch[0].prepared
+        if len(entries) == 1:
+            sched, bindings, reqs = entries[0]
+            self._run_entry(ctx, sched, bindings, reqs)
+            return
+        fused = fuse_schedules(tuple(s for s, _b, _r in entries))
+        bindings = {}
+        for i, (_sched, entry_bindings, _reqs) in enumerate(entries):
+            for name, addr in entry_bindings.items():
+                bindings[f"r{i}:{name}"] = addr
+        self._count_requests(ctx, batch)
+        if head.me == head.members[0]:
+            ctx.count_collective("superstep:flush")
+        PreparedCollective(
+            name="superstep", members=head.members, me=head.me,
+            dtype=head.dtype,
+            attrs=dict(requests=len(batch), entries=len(entries)),
+            schedule=fused, bindings=bindings,
+        ).run(ctx)
+
+    def _run_entry(self, ctx, sched, bindings, reqs: list) -> None:
+        from ..collectives.schedule.executor import PreparedCollective
+
+        if len(reqs) == 1:
+            reqs[0].prepared.run(ctx)
+            return
+        head = reqs[0].prepared
+        self._count_requests(ctx, reqs)
+        PreparedCollective(
+            name=reqs[0].collective, members=head.members, me=head.me,
+            dtype=head.dtype,
+            attrs=dict(algorithm=sched.algorithm, requests=len(reqs)),
+            schedule=sched, bindings=bindings,
+        ).run(ctx)
+
+    @staticmethod
+    def _count_requests(ctx, reqs: list) -> None:
+        """Book each request's eager stats key, as its solo run would."""
+        for req in reqs:
+            prepared = req.prepared
+            if prepared.stats_key is not None \
+                    and prepared.me == prepared.stats_rank:
+                ctx.count_collective(prepared.stats_key)
+
+
+def _overlap(a: tuple, b: tuple) -> bool:
+    return a[0] < b[1] and b[0] < a[1]
+
+
+def _arm(ctx, step: Superstep) -> None:
+    """Install the deferring shadows over the context instance."""
+    ctx._superstep = step
+
+    def put(dest, src, nelems, stride, pe, dtype="long"):
+        from .collective_api import resolve_dtype
+
+        step.defer_transfer("put", dest, src, nelems, stride, pe,
+                            resolve_dtype(dtype))
+
+    def get(dest, src, nelems, stride, pe, dtype="long"):
+        from .collective_api import resolve_dtype
+
+        step.defer_transfer("get", dest, src, nelems, stride, pe,
+                            resolve_dtype(dtype))
+
+    def barrier():
+        # Mid-step sync: flush eagerly, pass the real barrier, re-arm.
+        _disarm(ctx)
+        try:
+            step.flush()
+            ctx.barrier()
+        finally:
+            _arm(ctx, step)
+
+    ctx.__dict__["put"] = put
+    ctx.__dict__["get"] = get
+    ctx.__dict__["barrier"] = barrier
+
+
+def _disarm(ctx) -> None:
+    for name in _SHADOWED:
+        ctx.__dict__.pop(name, None)
+    ctx._superstep = None
+
+
+@contextmanager
+def superstep_context(ctx) -> Iterator[Superstep]:
+    """Implementation of ``CollectiveAPI.superstep()``."""
+    ctx._require_active()
+    if getattr(ctx, "_superstep", None) is not None:
+        raise RuntimeStateError(
+            "superstep() does not nest — the step horizon is the "
+            "outermost sync"
+        )
+    step = Superstep(ctx)
+    _arm(ctx, step)
+    try:
+        yield step
+    except BaseException:
+        step.discard()
+        raise
+    finally:
+        _disarm(ctx)
+    step.flush()

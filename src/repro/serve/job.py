@@ -101,6 +101,22 @@ class JobSpec:
                                                    "alltoall") else 1
         return self.nelems * per_elem * factor * self.n_pes
 
+    @property
+    def batch_key(self) -> tuple | None:
+        """Grouping key for opportunistic batching, or ``None``.
+
+        Jobs whose keys match may ride one superstep on one team:
+        same collective, team width, payload shape, dtype, root and
+        watchdog budget — the tenant and the seed deliberately do
+        *not* participate, since cross-tenant fusion is the point.
+        Fault-injecting jobs never batch (``None``): their crash must
+        stay confined to their own job.
+        """
+        if self.fault is not None:
+            return None
+        return (self.collective, self.n_pes, self.nelems, self.dtype,
+                self.root, self.timeout)
+
     def as_wire(self) -> dict:
         """The picklable dict handed to the per-PE job program."""
         return {

@@ -41,7 +41,7 @@ from ..errors import BackendError, ServeError
 from ..params import MachineConfig
 from ..sim.trace import EventTrace
 from .job import JobResult, JobSpec
-from .programs import run_collective_job
+from .programs import run_batched_jobs, run_collective_job
 from .scheduler import TeamScheduler
 from .stats import ServeStats
 
@@ -72,6 +72,16 @@ class _MPEngine:
         ticket = self.session.submit(
             run_collective_job, [(wire,)] * len(ranks), ranks=ranks,
             timeout=spec.timeout, payload_nbytes=spec.payload_nbytes,
+        )
+        self._inflight[ticket.run_id] = (job_id, ticket)
+
+    def launch_batch(self, job_id: int, specs: list[JobSpec],
+                     ranks: tuple[int, ...]) -> None:
+        wires = [spec.as_wire() for spec in specs]
+        ticket = self.session.submit(
+            run_batched_jobs, [(wires,)] * len(ranks), ranks=ranks,
+            timeout=specs[0].timeout,
+            payload_nbytes=sum(s.payload_nbytes for s in specs),
         )
         self._inflight[ticket.run_id] = (job_id, ticket)
 
@@ -136,6 +146,22 @@ class _LocalEngine:
         else:
             self._done.append((job_id, True, members, None))
 
+    def launch_batch(self, job_id: int, specs: list[JobSpec],
+                     ranks: tuple[int, ...]) -> None:
+        wires = [spec.as_wire() for spec in specs]
+        cfg = self.config.with_(n_pes=len(ranks))
+        try:
+            members = self.backend.run(
+                run_batched_jobs, [(wires,)] * len(ranks), config=cfg)
+        except Exception as exc:
+            msg = f"{type(exc).__name__}: {exc}"
+            cause = exc.__cause__
+            if cause is not None:
+                msg += f" ({type(cause).__name__}: {cause})"
+            self._done.append((job_id, False, None, msg))
+        else:
+            self._done.append((job_id, True, members, None))
+
     def poll(self, block_s: float = 0.0) -> list[
             tuple[int, bool, list[dict] | None, str | None]]:
         out, self._done = self._done, []
@@ -183,12 +209,28 @@ class ServePool:
     trace:
         Record every job as a span event for Chrome-trace export
         (:attr:`trace`).
+    batch_window:
+        Opportunistic batching width (default 1 = off).  When > 1,
+        each dispatch may absorb up to ``batch_window - 1`` younger
+        queued jobs with a matching
+        :attr:`~repro.serve.job.JobSpec.batch_key`; the batch shares
+        one team and runs as **one superstep**
+        (:func:`~repro.serve.programs.run_batched_jobs`), and each
+        job still gets its own demultiplexed :class:`JobResult` with
+        per-tenant digests and latency accounting.  Fault-injecting
+        jobs never batch; a crash inside a batch fails exactly that
+        batch's jobs, and other teams are untouched.
     """
 
     def __init__(self, n_pes: int = 4, *, backend: str = "auto",
                  config: MachineConfig | None = None,
                  timeout: float = 60.0, max_queue_depth: int = 64,
-                 max_wait_s: float = 30.0, trace: bool = False):
+                 max_wait_s: float = 30.0, trace: bool = False,
+                 batch_window: int = 1):
+        if batch_window < 1:
+            raise ValueError(
+                f"batch_window must be >= 1, got {batch_window}"
+            )
         config = resolve_config(config, n_pes)
         name = os.environ.get("XBGAS_SERVE_BACKEND") or backend
         if name == "auto":
@@ -209,9 +251,11 @@ class ServePool:
             config.n_pes, max_queue_depth=max_queue_depth,
             max_wait_s=max_wait_s,
         )
+        self.batch_window = batch_window
         self.trace = EventTrace(enabled=trace)
         self.stats = ServeStats(trace=self.trace)
         self._jobs: dict[int, _Tracked] = {}
+        self._batches: dict[int, list[int]] = {}  # head id -> batch ids
         self._results: list[JobResult] = []
         self._next_job = 0
         self._closed = False
@@ -259,25 +303,45 @@ class ServePool:
                 queue_wait_s=qj.waited(now),
                 latency_s=qj.waited(now),
             ))
-        for qj, ranks in self.scheduler.dispatchable(now):
-            tracked = self._jobs[qj.job_id]
-            tracked.dispatched_at = time.monotonic()
-            tracked.ranks = ranks
-            self._engine.launch(qj.job_id, tracked.spec, ranks)
-        for job_id, ok, members, error in self._engine.poll(block_s):
+        for batch, ranks in self.scheduler.dispatch_batches(
+                now, self.batch_window):
+            started = time.monotonic()
+            for qj in batch:
+                tracked = self._jobs[qj.job_id]
+                tracked.dispatched_at = started
+                tracked.ranks = ranks
+            head = batch[0]
+            if len(batch) == 1:
+                self._engine.launch(head.job_id,
+                                    self._jobs[head.job_id].spec, ranks)
+            else:
+                self._batches[head.job_id] = [qj.job_id for qj in batch]
+                self._engine.launch_batch(
+                    head.job_id,
+                    [self._jobs[qj.job_id].spec for qj in batch], ranks)
+        for head_id, ok, members, error in self._engine.poll(block_s):
             end = time.monotonic()
-            tracked = self._jobs.pop(job_id)
-            self.scheduler.release(tracked.ranks)
-            queue_wait = tracked.dispatched_at - tracked.submitted_at
-            service = end - tracked.dispatched_at
-            self._finish(JobResult(
-                job_id=job_id, tenant=tracked.spec.tenant,
-                spec=tracked.spec, ok=ok, error=error,
-                digest=_fold_digests(members) if ok else None,
-                ranks=tracked.ranks, queue_wait_s=queue_wait,
-                service_s=service,
-                latency_s=end - tracked.submitted_at,
-            ))
+            for k, job_id in enumerate(
+                    self._batches.pop(head_id, [head_id])):
+                tracked = self._jobs.pop(job_id)
+                if job_id == head_id:
+                    self.scheduler.release(tracked.ranks)
+                if ok and "digests" in members[0]:
+                    job_members = [{"member": m["member"],
+                                    "digest": m["digests"][k]}
+                                   for m in members]
+                else:
+                    job_members = members
+                queue_wait = tracked.dispatched_at - tracked.submitted_at
+                service = end - tracked.dispatched_at
+                self._finish(JobResult(
+                    job_id=job_id, tenant=tracked.spec.tenant,
+                    spec=tracked.spec, ok=ok, error=error,
+                    digest=_fold_digests(job_members) if ok else None,
+                    ranks=tracked.ranks, queue_wait_s=queue_wait,
+                    service_s=service,
+                    latency_s=end - tracked.submitted_at,
+                ))
 
     def _finish(self, result: JobResult) -> None:
         self.stats.record_result(result)
@@ -325,6 +389,7 @@ class ServePool:
             "queue_depth": self.scheduler.depth,
             "max_queue_depth": self.scheduler.max_queue_depth,
             "max_wait_s": self.scheduler.max_wait_s,
+            "batch_window": self.batch_window,
         }
         return snap
 

@@ -34,7 +34,7 @@ import numpy as np
 
 from ..runtime.collective_api import resolve_dtype
 
-__all__ = ["run_collective_job", "payload_values"]
+__all__ = ["run_collective_job", "run_batched_jobs", "payload_values"]
 
 #: Modulus for deterministic payload values: exact in every TYPENAME
 #: (fits int8; small enough that float sums stay exactly representable).
@@ -69,6 +69,61 @@ def _inject_fault(spec: dict, me: int, backend: str) -> None:
     )
 
 
+class _JobBuffers:
+    """One job's allocated payload buffers on this PE."""
+
+    __slots__ = ("spec", "src", "dst", "sview", "dview")
+
+    def __init__(self, ctx, spec: dict, n: int, me: int):
+        name = spec["collective"]
+        nelems = spec["nelems"]
+        dtype = spec["dtype"]
+        seed = spec.get("seed", 0)
+        itemsize = resolve_dtype(dtype).itemsize
+        fanned = name in ("allgather", "alltoall")
+        src_elems = nelems * n if name == "alltoall" else nelems
+        dst_elems = nelems * n if fanned else nelems
+        self.spec = spec
+        self.src = ctx.malloc(max(src_elems, 1) * itemsize)
+        self.dst = ctx.malloc(max(dst_elems, 1) * itemsize)
+        self.sview = ctx.view(self.src, dtype, src_elems)
+        self.dview = ctx.view(self.dst, dtype, dst_elems)
+        self.sview[:] = payload_values(seed, me, src_elems, dtype)
+        self.dview[:] = 0
+
+    def issue(self, ctx, n: int) -> None:
+        """Call the job's collective (no surrounding barriers)."""
+        spec, src, dst = self.spec, self.src, self.dst
+        name = spec["collective"]
+        nelems = spec["nelems"]
+        dtype = spec["dtype"]
+        root = spec.get("root", 0)
+        if name == "broadcast":
+            ctx.broadcast(dst, src, nelems, 1, root, dtype=dtype)
+        elif name == "reduce":
+            ctx.reduce(dst, src, nelems, 1, root, op="sum", dtype=dtype)
+        elif name == "allreduce":
+            ctx.allreduce(dst, src, nelems, 1, op="sum", dtype=dtype)
+        elif name == "scan":
+            ctx.scan(dst, src, nelems, 1, op="sum", dtype=dtype)
+        elif name == "allgather":
+            msgs = [nelems] * n
+            disp = [i * nelems for i in range(n)]
+            ctx.allgather(dst, src, msgs, disp, nelems * n, dtype=dtype)
+        elif name == "alltoall":
+            ctx.alltoall(dst, src, nelems, dtype=dtype)
+        else:  # "barrier" — synchronisation-only job
+            ctx.barrier()
+            self.dview[:] = self.sview[:len(self.dview)]
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.dview.tobytes()).hexdigest()
+
+    def free(self, ctx) -> None:
+        ctx.free(self.dst)
+        ctx.free(self.src)
+
+
 def run_collective_job(ctx, spec: dict) -> dict:
     """Run one collective job on this PE; returns the member's digest.
 
@@ -82,47 +137,52 @@ def run_collective_job(ctx, spec: dict) -> dict:
     group = getattr(ctx, "default_group", None) or ctx.world_group
     n = len(group)
     me = group.index(ctx.rank)
-    name = spec["collective"]
-    nelems = spec["nelems"]
-    dtype = spec["dtype"]
-    root = spec.get("root", 0)
-    seed = spec.get("seed", 0)
-    itemsize = resolve_dtype(dtype).itemsize
-
-    fanned = name in ("allgather", "alltoall")
-    src_elems = nelems * n if name == "alltoall" else nelems
-    dst_elems = nelems * n if fanned else nelems
-    src = ctx.malloc(max(src_elems, 1) * itemsize)
-    dst = ctx.malloc(max(dst_elems, 1) * itemsize)
-    sview = ctx.view(src, dtype, src_elems)
-    dview = ctx.view(dst, dtype, dst_elems)
-    sview[:] = payload_values(seed, me, src_elems, dtype)
-    dview[:] = 0
+    job = _JobBuffers(ctx, spec, n, me)
     ctx.barrier()
 
     _inject_fault(spec, me, getattr(ctx, "backend_name", "sim"))
 
-    if name == "broadcast":
-        ctx.broadcast(dst, src, nelems, 1, root, dtype=dtype)
-    elif name == "reduce":
-        ctx.reduce(dst, src, nelems, 1, root, op="sum", dtype=dtype)
-    elif name == "allreduce":
-        ctx.allreduce(dst, src, nelems, 1, op="sum", dtype=dtype)
-    elif name == "scan":
-        ctx.scan(dst, src, nelems, 1, op="sum", dtype=dtype)
-    elif name == "allgather":
-        msgs = [nelems] * n
-        disp = [i * nelems for i in range(n)]
-        ctx.allgather(dst, src, msgs, disp, nelems * n, dtype=dtype)
-    elif name == "alltoall":
-        ctx.alltoall(dst, src, nelems, dtype=dtype)
-    else:  # "barrier" — synchronisation-only job
-        ctx.barrier()
-        dview[:] = sview[:dst_elems]
+    job.issue(ctx, n)
     ctx.barrier()
 
-    digest = hashlib.sha256(dview.tobytes()).hexdigest()
-    ctx.free(dst)
-    ctx.free(src)
+    digest = job.digest()
+    job.free(ctx)
     ctx.close()
     return {"member": me, "digest": digest}
+
+
+def run_batched_jobs(ctx, wires: list) -> dict:
+    """Run several same-team jobs as **one superstep** on this PE.
+
+    ``wires`` is a list of :meth:`~repro.serve.job.JobSpec.as_wire`
+    dicts; the pool only batches fault-free jobs whose specs share a
+    batch key (same collective, shape, dtype and root — see
+    :meth:`~repro.serve.job.JobSpec.batch_key`).  Every job's payload
+    is set up first, then all collectives are issued inside
+    ``ctx.superstep()`` so the flush fuses them into (ideally) one
+    widened schedule.  Returns ``{"member": me, "digests": [...]}``
+    with one digest per job, in ``wires`` order — byte-identical to
+    each job's solo :func:`run_collective_job` digest, because the jobs'
+    buffers are disjoint and the superstep flush is byte-identical to
+    eager execution.
+    """
+    if len(wires) == 1:
+        solo = run_collective_job(ctx, wires[0])
+        return {"member": solo["member"], "digests": [solo["digest"]]}
+    ctx.init()
+    group = getattr(ctx, "default_group", None) or ctx.world_group
+    n = len(group)
+    me = group.index(ctx.rank)
+    jobs = [_JobBuffers(ctx, spec, n, me) for spec in wires]
+    ctx.barrier()
+
+    with ctx.superstep():
+        for job in jobs:
+            job.issue(ctx, n)
+    ctx.barrier()
+
+    digests = [job.digest() for job in jobs]
+    for job in reversed(jobs):
+        job.free(ctx)
+    ctx.close()
+    return {"member": me, "digests": digests}

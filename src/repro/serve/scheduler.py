@@ -126,16 +126,47 @@ class TeamScheduler:
         already removed from the free set (the caller *must* launch it,
         or give the ranks back via :meth:`release`).
         """
-        out: list[tuple[QueuedJob, tuple[int, ...]]] = []
-        kept: Deque[QueuedJob] = deque()
-        for qj in self._queue:
-            if qj.spec.n_pes <= len(self._free):
-                ranks = tuple(sorted(self._free)[:qj.spec.n_pes])
-                self._free -= set(ranks)
-                out.append((qj, ranks))
-            else:
-                kept.append(qj)
-        self._queue = kept
+        return [(batch[0], ranks)
+                for batch, ranks in self.dispatch_batches(now, 1)]
+
+    def dispatch_batches(self, now: float, max_batch: int) -> list[
+            tuple[list[QueuedJob], tuple[int, ...]]]:
+        """Pop dispatchable jobs, absorbing same-shape queued jobs.
+
+        Like :meth:`dispatchable`, but each dispatched job may carry up
+        to ``max_batch - 1`` *younger* queued jobs whose
+        :attr:`~repro.serve.job.JobSpec.batch_key` matches — they share
+        the head job's team instead of waiting for their own, and the
+        pool runs them as one superstep.  Absorption never changes
+        which head jobs dispatch (batching is opportunistic, on top of
+        the FIFO-with-backfill policy), and fault-injecting jobs never
+        join a batch (their key is ``None``).
+        """
+        queue = list(self._queue)
+        taken: set[int] = set()
+        out: list[tuple[list[QueuedJob], tuple[int, ...]]] = []
+        for i, qj in enumerate(queue):
+            if i in taken:
+                continue
+            if qj.spec.n_pes > len(self._free):
+                continue
+            ranks = tuple(sorted(self._free)[:qj.spec.n_pes])
+            self._free -= set(ranks)
+            taken.add(i)
+            batch = [qj]
+            key = qj.spec.batch_key
+            if max_batch > 1 and key is not None:
+                for j in range(i + 1, len(queue)):
+                    if len(batch) >= max_batch:
+                        break
+                    if j in taken:
+                        continue
+                    if queue[j].spec.batch_key == key:
+                        taken.add(j)
+                        batch.append(queue[j])
+            out.append((batch, ranks))
+        self._queue = deque(qj for i, qj in enumerate(queue)
+                            if i not in taken)
         return out
 
     def release(self, ranks: tuple[int, ...]) -> None:

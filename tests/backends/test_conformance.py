@@ -206,6 +206,73 @@ def _collective_program(ctx, spec: dict) -> bytes:
         ctx.amo(cell, (me + 1) * 3 + seed % 7, 0, op, np.dtype(np.uint64))
         ctx.barrier()
         out = ctx.view_on(0, cell, np.dtype(np.uint64), 1).copy().tobytes()
+    elif kind == "superstep_batch":
+        # K same-shape allreduces, eager then deferred through one
+        # superstep flush (the widened path at stride 1, per-request
+        # execution otherwise).  The contract is byte-identity: the
+        # deferred results must equal the eager ones on every backend.
+        batch = spec.get("batch", 4)
+        srcs, eag, dfr = [], [], []
+        for j in range(batch):
+            srcs.append(_alloc_strided(ctx, nelems, stride, dt.itemsize))
+            eag.append(_alloc_strided(ctx, nelems, stride, dt.itemsize))
+            dfr.append(_alloc_strided(ctx, nelems, stride, dt.itemsize))
+            ctx.view(srcs[j], dt, nelems, stride)[:] = _payload(
+                me, nelems, dt, seed + j)
+        ctx.barrier()
+        for j in range(batch):
+            ctx.allreduce(eag[j], srcs[j], nelems, stride, op, dt)
+        with ctx.superstep():
+            for j in range(batch):
+                ctx.allreduce(dfr[j], srcs[j], nelems, stride, op, dt)
+        for j in range(batch):
+            assert read(dfr[j], nelems) == read(eag[j], nelems), (
+                f"superstep batch request {j} diverged from eager")
+        out = b"".join(read(dfr[j], nelems) for j in range(batch))
+    elif kind == "superstep_mixed":
+        # A mixed superstep — broadcast + reduce + allreduce at
+        # different roots plus a deferred ring put — exercising the
+        # fused-schedule path and transfer coalescing, checked
+        # byte-for-byte against the eager sequence.
+        r2 = (root + 1) % n
+        bufs = {}
+        for name in ("bsrc", "rsrc", "asrc", "psrc",
+                     "beag", "reag", "aeag", "peag",
+                     "bdfr", "rdfr", "adfr", "pdfr"):
+            bufs[name] = _alloc_strided(ctx, nelems, 1, dt.itemsize)
+        if me == root:
+            ctx.view(bufs["bsrc"], dt, nelems)[:] = _payload(
+                root, nelems, dt, seed)
+        ctx.view(bufs["rsrc"], dt, nelems)[:] = _payload(me, nelems, dt,
+                                                         seed + 1)
+        ctx.view(bufs["asrc"], dt, nelems)[:] = _payload(me, nelems, dt,
+                                                         seed + 2)
+        ctx.view(bufs["psrc"], dt, nelems)[:] = _payload(me, nelems, dt,
+                                                         seed + 3)
+        for name in ("peag", "pdfr"):
+            ctx.view(bufs[name], dt, nelems)[:] = _payload(-1, nelems,
+                                                           dt, 0)
+        ctx.barrier()
+        peer = (me + 1) % n
+        ctx.broadcast(bufs["beag"], bufs["bsrc"], nelems, 1, root, dt)
+        ctx.reduce(bufs["reag"], bufs["rsrc"], nelems, 1, r2, op, dt)
+        ctx.allreduce(bufs["aeag"], bufs["asrc"], nelems, 1, op, dt)
+        ctx.put(bufs["peag"], bufs["psrc"], nelems, 1, peer, dt)
+        ctx.barrier()
+        with ctx.superstep():
+            ctx.put(bufs["pdfr"], bufs["psrc"], nelems, 1, peer, dt)
+            ctx.broadcast(bufs["bdfr"], bufs["bsrc"], nelems, 1, root, dt)
+            ctx.reduce(bufs["rdfr"], bufs["rsrc"], nelems, 1, r2, op, dt)
+            ctx.allreduce(bufs["adfr"], bufs["asrc"], nelems, 1, op, dt)
+        ctx.barrier()
+        pairs = [("bdfr", "beag"), ("adfr", "aeag"), ("pdfr", "peag")]
+        if me == r2:
+            pairs.append(("rdfr", "reag"))
+        for dfr_name, eag_name in pairs:
+            assert read(bufs[dfr_name], nelems) == read(
+                bufs[eag_name], nelems), (
+                f"superstep {dfr_name} diverged from eager")
+        out = b"".join(read(bufs[d], nelems) for d, _ in pairs)
     elif kind == "team_barrier":
         # Two disjoint teams exchange data guarded only by team barriers.
         team = tuple(r for r in range(n) if r % 2 == me % 2)
@@ -318,6 +385,33 @@ def test_allreduce_family(mp_sessions, sim_backend, vec_backend, kind,
         spec["algorithm"] = algorithm
     if algorithm == "dual-pipelined":
         spec["segments"] = segments
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
+
+
+@given(spec=_dense_spec(), op=st.sampled_from(["sum", "min", "max"]),
+       batch=st.integers(2, 6))
+@_SETTINGS
+def test_superstep_batch(mp_sessions, sim_backend, vec_backend, spec, op,
+                         batch):
+    """K deferred same-shape allreduces flushed as one superstep stay
+    byte-identical to the eager sequence (asserted inside the program)
+    AND across sim/mp/vec."""
+    n = spec.pop("n_pes")
+    spec.update(kind="superstep_batch", op=op, batch=batch)
+    _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
+
+
+@given(spec=_dense_spec(), op=st.sampled_from(["sum", "min", "max"]),
+       root_pick=st.integers(0, 7))
+@_SETTINGS
+def test_superstep_mixed(mp_sessions, sim_backend, vec_backend, spec, op,
+                         root_pick):
+    """A mixed superstep — deferred put + broadcast + reduce +
+    allreduce at different roots — flushes through the fused-schedule
+    path byte-identically to eager on all three backends."""
+    n = spec.pop("n_pes")
+    spec.update(kind="superstep_mixed", op=op, root=root_pick % n,
+                stride=1)
     _run_all(mp_sessions, sim_backend, vec_backend, n, spec)
 
 

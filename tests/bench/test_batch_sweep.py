@@ -1,0 +1,102 @@
+"""Tests for the superstep-batching sweep (BENCH_batch.json)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.batch_sweep import (
+    ACCEPT_MAX_BYTES,
+    ACCEPT_MIN_BATCH,
+    ACCEPT_SPEEDUP,
+    batch_sweep,
+    check_document,
+    main as sweep_main,
+    sweep_point,
+)
+
+_REFERENCE = pathlib.Path(__file__).resolve().parents[2] / \
+    "BENCH_batch.json"
+
+
+class TestSweepPoint:
+    def test_point_shape(self):
+        p = sweep_point(16, 64, 8)
+        assert p["n_pes"] == 16 and p["nelems"] == 64
+        assert p["nbytes"] == 64 * 8 and p["batch"] == 8
+        assert p["eager_ns"] > 0 and p["superstep_ns"] > 0
+        assert p["speedup"] > 0
+
+    def test_deterministic(self):
+        assert sweep_point(16, 64, 8) == sweep_point(16, 64, 8)
+
+    def test_acceptance_bar_holds_live(self):
+        """The tentpole bar, measured live: K >= 8 small allreduces
+        fused into one superstep beat K eager runs by >= 2x."""
+        p = sweep_point(16, 64, ACCEPT_MIN_BATCH)
+        assert p["nbytes"] <= ACCEPT_MAX_BYTES
+        assert p["speedup"] >= ACCEPT_SPEEDUP
+
+    def test_speedup_grows_with_batch_width(self):
+        narrow = sweep_point(16, 8, 8)
+        wide = sweep_point(16, 8, 32)
+        assert wide["speedup"] > narrow["speedup"]
+
+    def test_speedup_decays_toward_bandwidth_bound(self):
+        small = sweep_point(16, 8, 8)
+        large = sweep_point(16, 512, 8)
+        assert small["speedup"] > large["speedup"]
+
+
+class TestDocument:
+    def test_document_shape(self):
+        doc = batch_sweep(pe_counts=(8, 16), sizes=(8,), batches=(8,))
+        assert doc["bench"] == "superstep-batch"
+        assert doc["acceptance"]["speedup_min"] == ACCEPT_SPEEDUP
+        assert len(doc["points"]) == 2
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_check_flags_missing_acceptance_point(self):
+        doc = batch_sweep(pe_counts=(8,), sizes=(512,), batches=(2,))
+        problems = check_document(doc, fresh_point=False)
+        assert any("speedup" in p for p in problems)
+
+    def test_check_flags_wrong_bench_key(self):
+        problems = check_document({"bench": "other", "points": []},
+                                  fresh_point=False)
+        assert problems
+
+    def test_check_flags_truncated_points(self):
+        doc = batch_sweep(pe_counts=(8,), sizes=(8,), batches=(8,))
+        del doc["points"][0]["speedup"]
+        problems = check_document(doc, fresh_point=False)
+        assert any("missing keys" in p for p in problems)
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "batch.json"
+        status = sweep_main(["--pes", "8", "--sizes", "8", "--batches",
+                             "8", "--out", str(out)])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert doc["pe_counts"] == [8]
+        assert "speedup" in doc["points"][0]
+        assert "superstep" in capsys.readouterr().out
+
+
+class TestCommittedReference:
+    def test_reference_passes_the_check_gate(self):
+        """The committed BENCH_batch.json passes `--check` end to end —
+        the same gate CI's perf-smoke job runs."""
+        status = sweep_main(["--check", str(_REFERENCE)])
+        assert status == 0
+
+    def test_reference_records_the_acceptance_points(self):
+        doc = json.loads(_REFERENCE.read_text())
+        assert doc["bench"] == "superstep-batch"
+        qualifying = [
+            p for p in doc["points"]
+            if p["batch"] >= ACCEPT_MIN_BATCH
+            and p["nbytes"] <= ACCEPT_MAX_BYTES
+            and p["speedup"] >= ACCEPT_SPEEDUP
+        ]
+        assert qualifying, "no committed point meets the 2x bar"

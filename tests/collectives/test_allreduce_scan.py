@@ -71,7 +71,8 @@ class TestAllreduce:
                 src = ctx.malloc(8 * 64)
                 dest = ctx.malloc(8 * 64)
                 if which == "composed":
-                    ctx.reduce_all(dest, src, 64, 1, "sum", "long")
+                    ctx.reduce(dest, src, 64, 1, 0, "sum", "long")
+                    ctx.broadcast(dest, dest, 64, 1, 0, "long")
                 else:
                     ctx.allreduce(dest, src, 64, 1, "sum", "long")
                 ctx.close()

@@ -143,6 +143,66 @@ def test_trace_records_serving_spans():
     assert all(e.dur_ns > 0 for e in spans)
 
 
+def test_batch_window_validation():
+    with pytest.raises(ValueError):
+        ServePool(2, backend="sim", config=small_config(2), batch_window=0)
+
+
+def test_batched_digests_match_solo_runs():
+    """Same-shape jobs fused into one superstep return exactly the
+    digests the same specs produce when served one at a time."""
+    specs = [JobSpec(tenant=f"t{i % 3}", collective="allreduce", n_pes=4,
+                     nelems=24, dtype="long", seed=i) for i in range(6)]
+
+    def digests(batch_window: int) -> dict[str, str]:
+        with _pool(batch_window=batch_window) as pool:
+            ids = {pool.submit(spec): spec.seed for spec in specs}
+            results = pool.drain(timeout_s=120.0)
+        assert all(r.ok for r in results)
+        return {ids[r.job_id]: r.digest for r in results}
+
+    solo = digests(1)
+    batched = digests(4)
+    assert batched == solo
+    assert len(set(solo.values())) == len(specs), (
+        "distinct seeds must produce distinct digests — otherwise the "
+        "demux could pass by collision")
+
+
+def test_batched_results_keep_per_job_accounting():
+    specs = [JobSpec(tenant=f"t{i}", collective="broadcast", n_pes=2,
+                     nelems=16, dtype="long", seed=i, root=1)
+             for i in range(3)]
+    with _pool(batch_window=8) as pool:
+        ids = [pool.submit(spec) for spec in specs]
+        results = pool.drain(timeout_s=120.0)
+    by_id = {r.job_id: r for r in results}
+    assert sorted(by_id) == sorted(ids)
+    for r in results:
+        assert r.ok and r.ranks == (0, 1)
+        assert r.pe_seconds == pytest.approx(2 * r.service_s)
+    snap = pool.snapshot()
+    assert snap["pool"]["batch_window"] == 8
+    assert snap["pool"]["free_pes"] == 4, "batched ranks released once"
+    assert snap["totals"]["completed"] == 3
+    assert set(snap["tenants"]) == {"t0", "t1", "t2"}
+
+
+def test_mixed_shapes_still_complete_with_batching_on():
+    """A batching pool serving *non*-batchable mixtures (different
+    shapes, plus a fault job) degrades to solo dispatch untouched."""
+    evil = JobSpec(tenant="evil", collective="allreduce", n_pes=2,
+                   nelems=16, seed=3, fault="raise", fault_rank=1)
+    specs = _mixed_specs()
+    with _pool(batch_window=4) as pool:
+        for spec in [*specs[:2], evil, *specs[2:]]:
+            pool.submit(spec)
+        results = pool.drain(timeout_s=120.0)
+    failed = [r for r in results if not r.ok]
+    assert [r.tenant for r in failed] == ["evil"]
+    assert len(results) == len(specs) + 1
+
+
 def test_result_records_team_and_timing():
     with _pool() as pool:
         job_id = pool.submit(JobSpec(tenant="t", collective="reduce",

@@ -125,6 +125,80 @@ def test_constructor_validation():
         TeamScheduler(2, max_wait_s=0.0)
 
 
+# -- opportunistic batching -------------------------------------------------
+
+
+def _batchable(job_id: int, tenant: str = "t", **kw) -> JobSpec:
+    base = dict(tenant=tenant, collective="allreduce", n_pes=2, nelems=8,
+                dtype="long", seed=job_id)
+    base.update(kw)
+    return JobSpec(**base)
+
+
+def test_dispatch_batches_absorbs_same_shape_jobs():
+    """Same-shape jobs from *different tenants* share one team."""
+    sched = TeamScheduler(2)
+    for i in range(3):
+        sched.offer(i, _batchable(i, tenant=f"t{i}"), now=0.0)
+    [(batch, ranks)] = sched.dispatch_batches(now=0.0, max_batch=4)
+    assert [qj.job_id for qj in batch] == [0, 1, 2]
+    assert ranks == (0, 1)
+    assert sched.depth == 0
+    assert sched.free_pes == 0, "one team serves the whole batch"
+
+
+def test_dispatch_batches_respects_max_batch():
+    sched = TeamScheduler(4)
+    for i in range(3):
+        sched.offer(i, _batchable(i), now=0.0)
+    out = sched.dispatch_batches(now=0.0, max_batch=2)
+    assert [[qj.job_id for qj in b] for b, _ in out] == [[0, 1], [2]]
+    assert [ranks for _, ranks in out] == [(0, 1), (2, 3)]
+
+
+def test_dispatch_batches_skips_mismatched_shapes():
+    sched = TeamScheduler(2)
+    sched.offer(0, _batchable(0), now=0.0)
+    sched.offer(1, _batchable(1, nelems=16), now=0.0)   # different key
+    sched.offer(2, _batchable(2), now=0.0)              # matches the head
+    [(batch, _)] = sched.dispatch_batches(now=0.0, max_batch=4)
+    assert [qj.job_id for qj in batch] == [0, 2]
+    assert sched.depth == 1, "the mismatched job keeps its queue slot"
+
+
+def test_fault_jobs_never_batch():
+    sched = TeamScheduler(2)
+    sched.offer(0, _batchable(0, fault="raise", fault_rank=0,
+                              tenant="evil"), now=0.0)
+    sched.offer(1, _batchable(1, fault="raise", fault_rank=0,
+                              tenant="evil"), now=0.0)
+    assert _batchable(9, fault="raise", fault_rank=0).batch_key is None
+    [(batch, ranks)] = sched.dispatch_batches(now=0.0, max_batch=4)
+    assert [qj.job_id for qj in batch] == [0]
+    sched.release(ranks)
+    [(batch2, _)] = sched.dispatch_batches(now=0.0, max_batch=4)
+    assert [qj.job_id for qj in batch2] == [1]
+
+
+def test_dispatchable_is_batch_size_one():
+    sched = TeamScheduler(2)
+    for i in range(3):
+        sched.offer(i, _batchable(i), now=0.0)
+    [(qj, ranks)] = sched.dispatchable(now=0.0)
+    assert qj.job_id == 0 and ranks == (0, 1)
+    assert sched.depth == 2, "plain dispatch never absorbs"
+
+
+def test_batch_key_distinguishes_roots_and_dtypes():
+    a = _batchable(0, collective="broadcast", root=1)
+    assert a.batch_key == _batchable(1, collective="broadcast",
+                                     root=1).batch_key
+    assert a.batch_key != _batchable(2, collective="broadcast",
+                                     root=0).batch_key
+    assert _batchable(3).batch_key != _batchable(4, dtype="double").batch_key
+    assert _batchable(5).batch_key != _batchable(6, n_pes=1).batch_key
+
+
 # -- job specs --------------------------------------------------------------
 
 

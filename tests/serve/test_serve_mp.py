@@ -180,3 +180,26 @@ def test_hard_crash_rebuild_reuses_segments_midrun():
         pool.submit(dataclasses.replace(good, seed=11))
         [again] = pool.drain(timeout_s=120.0)
         assert again.ok
+
+
+@pytest.mark.timeout(300)
+def test_batched_dispatch_on_workers_matches_solo_digests():
+    """Opportunistic batching on the real worker pool: same-shape jobs
+    from different tenants fuse into one superstep per team, and every
+    digest matches its solo (batch_window=1) run."""
+    specs = [JobSpec(tenant=f"tenant{i % 3}", collective="allreduce",
+                     n_pes=4, nelems=24, dtype="long", seed=i)
+             for i in range(6)]
+
+    def digests(batch_window: int) -> dict[int, str]:
+        with _pool(batch_window=batch_window) as pool:
+            ids = {pool.submit(spec): spec.seed for spec in specs}
+            results = pool.drain(timeout_s=300.0)
+        assert all(r.ok for r in results), [r.error for r in results
+                                            if not r.ok]
+        return {ids[r.job_id]: r.digest for r in results}
+
+    solo = digests(1)
+    batched = digests(6)
+    assert batched == solo
+    assert len(set(solo.values())) == len(specs)

@@ -97,6 +97,12 @@ _EXAMPLES: dict[str, Example] = {
                 "6 PEs x 512 elements",
                 "ring/dual-pipelined makespan ratio"),
     ),
+    "superstep_batching.py": Example(
+        args=("4", "8", "8"),
+        expect=("superstep flush matches eager bit-for-bit on "
+                "4 PEs x 8 x 8 elements",
+                "eager/superstep makespan ratio"),
+    ),
     "serve_multi_tenant.py": Example(
         args=("sim", "16"),
         expect=("16 jobs completed across 4 tenants",
