@@ -1,0 +1,176 @@
+"""Gossip-style eventually-consistent collectives over lossy mailboxes.
+
+The schedule-compiled collectives assume a reliable transport (or a
+:class:`~repro.faults.plan.RetryConfig` that makes it one).  This module
+takes the opposite corner of the design space: epidemic *rumor
+spreading* over the raw mailbox engine, tolerating message loss with no
+retry machinery at all.  Every round each PE pushes what it knows to a
+seeded-random peer; duplicates are harmless because state is an
+idempotent per-origin contribution set, so a 5% drop plan merely delays
+convergence by a round or two instead of corrupting the result.
+
+Both entry points are plain functions over a PE context (they need the
+mailbox surface — ``msg_send``/``msg_try_recv`` — which the simulator
+backend provides on any machine, whatever its schedule transport):
+
+* :func:`gossip_broadcast` — the root's value spreads to every PE with
+  high probability within ``O(log n)`` push rounds.
+* :func:`gossip_allreduce` — each PE accumulates the set of per-origin
+  contributions (tagged by origin rank, so merging is idempotent) and
+  reduces locally once the set is complete.
+
+Rounds are barrier-synchronised: the barrier's network-quiescence
+guarantee means every message committed in round ``r`` is visible to
+the ``try_recv`` drain that follows, and dropped messages simply never
+appear.  Peer choice is derived from ``(seed, round, rank)`` only, so
+runs are deterministic and reproducible under a seeded drop plan.
+
+Both functions return how far this PE converged (see each docstring);
+with the default ``2*ceil(log2 n) + 4`` rounds and drop rates well
+below the default fanout-2 redundancy, all PEs converge with overwhelming
+probability — the conformance tests pin exact seeds.
+"""
+
+from __future__ import annotations
+
+import random
+from math import ceil, log2
+from typing import TYPE_CHECKING
+
+from ..errors import CollectiveArgumentError
+from ..runtime.collective_api import resolve_dtype
+from .common import charge_elementwise
+from .ops import apply_op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runtime.context import XBRTime
+
+__all__ = ["default_rounds", "gossip_broadcast", "gossip_allreduce"]
+
+
+def default_rounds(n_pes: int, slack: int = 4) -> int:
+    """Push rounds for whole-machine convergence w.h.p.: the classic
+    ``O(log n)`` rumor-spreading bound plus fixed slack for losses."""
+    if n_pes <= 1:
+        return 1
+    return 2 * ceil(log2(n_pes)) + slack
+
+
+def _pick_peer(rng: random.Random, me: int, n: int) -> int:
+    peer = rng.randrange(n - 1)
+    return peer + 1 if peer >= me else peer
+
+
+def gossip_broadcast(ctx: "XBRTime", dest: int, src: int, nelems: int,
+                     stride: int, root: int, dtype: str = "long", *,
+                     rounds: int | None = None, seed: int = 0,
+                     fanout: int = 2) -> bool:
+    """Spread ``root``'s ``src`` to every PE's ``dest`` by push gossip.
+
+    Returns whether *this* PE holds the value when the rounds run out
+    (the root always does).  Any PE that has the value pushes it to
+    ``fanout`` seeded-random peers per round, tagged with ``root`` so a
+    late duplicate is recognised and discarded.
+    """
+    n = ctx.num_pes()
+    me = ctx.my_pe()
+    dt = resolve_dtype(dtype)
+    if not 0 <= root < n:
+        raise CollectiveArgumentError(f"gossip_broadcast: root {root} "
+                                      f"outside 0..{n - 1}")
+    if rounds is None:
+        rounds = default_rounds(n)
+    have = me == root
+    if have and nelems:
+        ctx.view(dest, dt, nelems, stride)[:] = \
+            ctx.view(src, dt, nelems, stride)
+    if n == 1 or nelems <= 0:
+        ctx.barrier()
+        return True
+    # Gossip payloads travel contiguously; ``buf`` is the wire image.
+    buf = ctx.malloc(dt.itemsize * nelems)
+    bview = ctx.view(buf, dt, nelems)
+    if have:
+        bview[:] = ctx.view(src, dt, nelems, stride)
+    try:
+        for rnd in range(rounds):
+            ctx.barrier()
+            if have:
+                rng = random.Random(f"{seed}:{rnd}:{me}")
+                for _ in range(fanout):
+                    ctx.msg_send(buf, nelems, 1, _pick_peer(rng, me, n),
+                                 tag=root, dtype=dt)
+            ctx.barrier()
+            while True:
+                res = ctx.msg_try_recv(buf if not have else dest, nelems,
+                                       1 if not have else stride, dtype=dt)
+                if res is None:
+                    break
+                if not have:
+                    ctx.view(dest, dt, nelems, stride)[:] = bview
+                    have = True
+    finally:
+        ctx.free(buf)
+    return have
+
+
+def gossip_allreduce(ctx: "XBRTime", dest: int, src: int, nelems: int,
+                     stride: int, op: str = "sum", dtype: str = "long", *,
+                     rounds: int | None = None, seed: int = 0,
+                     fanout: int = 2) -> int:
+    """Eventually-consistent allreduce: returns the number of origins
+    this PE merged (``n_pes`` means the result in ``dest`` is exact).
+
+    State is a per-origin contribution table — messages are tagged with
+    their *origin* rank, never partially aggregated, so receiving the
+    same contribution twice (or via different gossip paths) is
+    idempotent.  Each round every PE pushes its whole known table to
+    ``fanout`` seeded-random peers, then drains and merges.
+    """
+    n = ctx.num_pes()
+    me = ctx.my_pe()
+    dt = resolve_dtype(dtype)
+    if rounds is None:
+        rounds = default_rounds(n)
+    if nelems <= 0:
+        ctx.barrier()
+        return n
+    esz = dt.itemsize
+    if n == 1:
+        ctx.view(dest, dt, nelems, stride)[:] = \
+            ctx.view(src, dt, nelems, stride)
+        ctx.barrier()
+        return 1
+    table = ctx.malloc(esz * nelems * n)
+    stage = ctx.malloc(esz * nelems)
+    tview = ctx.view(table, dt, nelems * n)
+    sview = ctx.view(stage, dt, nelems)
+    tview[me * nelems:(me + 1) * nelems] = ctx.view(src, dt, nelems, stride)
+    known = {me}
+    try:
+        for rnd in range(rounds):
+            ctx.barrier()
+            rng = random.Random(f"{seed}:{rnd}:{me}")
+            for _ in range(fanout):
+                peer = _pick_peer(rng, me, n)
+                for origin in sorted(known):
+                    ctx.msg_send(table + origin * nelems * esz, nelems, 1,
+                                 peer, tag=origin, dtype=dt)
+            ctx.barrier()
+            while True:
+                res = ctx.msg_try_recv(stage, nelems, 1, dtype=dt)
+                if res is None:
+                    break
+                _, origin = res
+                if origin not in known:
+                    tview[origin * nelems:(origin + 1) * nelems] = sview
+                    known.add(origin)
+        acc = tview[me * nelems:(me + 1) * nelems].copy()
+        for origin in sorted(known - {me}):
+            apply_op(op, acc, tview[origin * nelems:(origin + 1) * nelems])
+            charge_elementwise(ctx, nelems)
+        ctx.view(dest, dt, nelems, stride)[:] = acc
+    finally:
+        ctx.free(stage)
+        ctx.free(table)
+    return len(known)

@@ -30,12 +30,15 @@ from .ir import (
     Get,
     Put,
     RankProgram,
+    Recv,
     Reduce,
     Schedule,
+    Send,
     Stage,
 )
 from .executor import PreparedCollective, execute_schedule
 from .lint import LintIssue, lint_schedule
+from .mailbox import lower_to_mailbox, max_fan_in
 
 __all__ = [
     "BARRIER",
@@ -46,11 +49,15 @@ __all__ = [
     "Get",
     "Put",
     "RankProgram",
+    "Recv",
     "Reduce",
     "Schedule",
+    "Send",
     "Stage",
     "PreparedCollective",
     "execute_schedule",
     "LintIssue",
     "lint_schedule",
+    "lower_to_mailbox",
+    "max_fan_in",
 ]

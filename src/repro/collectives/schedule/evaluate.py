@@ -9,9 +9,12 @@ parallel batches over a dense per-rank memory matrix, producing both
 the collective *outputs* and per-rank *makespans* for 1k-64k PEs in
 milliseconds:
 
-* **Data** is exact: every Put/Get/Copy/Reduce/Fill of a barrier
-  segment is grouped by ``(segment, step index, kind, shape)`` and
-  applied as one fancy-indexed gather/scatter over the rank axis.
+* **Data** is exact: every Put/Get/Copy/Reduce/Fill/Send/Recv of a
+  barrier segment is grouped by ``(segment, step index, kind, shape)``
+  and applied as one fancy-indexed gather/scatter over the rank axis.
+  Mailbox-lowered schedules batch too: sends deposit their payloads
+  into per-(src, dst) FIFOs (costed through the same LogGP network
+  plus the postoffice routing charge), recvs pop and verify tags.
   Gathers materialise before scatters land, so the result is the
   sequentially-consistent value for every schedule the linter accepts
   (no intra-segment write hazards).  The conformance suite asserts the
@@ -36,6 +39,7 @@ Entry points:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from math import ceil, log2
 from typing import Mapping, Sequence
@@ -221,6 +225,16 @@ class LiteNetwork:
         if t_done > self.max_delivery:
             self.max_delivery = t_done
         return t_done
+
+    # -- mailbox support ---------------------------------------------------
+
+    def route_hops(self, src_node: int, dst_node: int) -> int:
+        """Node hop count for the mailbox postoffice routing charge."""
+        if src_node == dst_node:
+            return 0
+        if self._topology is None:
+            return 1
+        return self._topology.hops(src_node, dst_node)
 
     # -- barrier support ---------------------------------------------------
 
@@ -425,6 +439,12 @@ def _collect_groups(sched: Schedule, addrs_per_rank: Sequence[Mapping[str, int]]
             elif kind == "fill":
                 key = (seg, idx, kind, step.nelems, step.stride)
                 lane = (g, addrs[step.dst] + step.dst_off)
+            elif kind == "send":
+                key = (seg, idx, kind, step.nelems, step.stride, step.tag)
+                lane = (g, addrs[step.src] + step.src_off, step.peer)
+            elif kind == "recv":
+                key = (seg, idx, kind, step.nelems, step.stride, step.tag)
+                lane = (g, addrs[step.dst] + step.dst_off, step.peer)
             else:  # pragma: no cover - compiler bug guard
                 raise AssertionError(f"unknown step kind {kind!r}")
             groups.setdefault(key, []).append(lane)
@@ -478,10 +498,27 @@ def evaluate_group(
     cursor = 0
     cycle_ns = sched_cycle = cost.cfg.cycle_ns
     rounds = ceil(log2(K)) if K > 1 else 0
+    mbx = cost.cfg.mailbox
+    # In-flight mailbox messages: (src, dst) group-rank pair -> FIFO of
+    # (tag, nelems, payload, t_avail).  Persists across segments (hoisted
+    # get-requests are matched one barrier later).
+    pending: dict[tuple[int, int], deque] = {}
     for seg in range(n_barriers + 1):
+        seg_keys = []
         while cursor < len(order) and order[cursor][0] == seg:
-            key = order[cursor]
+            seg_keys.append(order[cursor])
             cursor += 1
+        # Execute the segment's groups in dataflow order: each rank's
+        # groups run in its program (step-index) order — cross-rank
+        # hazards are forbidden by the linter, but same-rank
+        # write-then-read within a segment (get-into-scratch feeding a
+        # reduce, recv feeding a reduce) is real sequencing.  A recv
+        # group additionally waits until every lane's (src, dst) FIFO
+        # holds its message, which may be deposited by a send group at a
+        # *higher* step index on another rank; the fixpoint scan below
+        # resolves those forward dependencies exactly as the concurrent
+        # per-PE machine does.
+        def _run_group(key: tuple) -> None:
             lanes = groups[key]
             kind, e, s = key[2], key[3], key[4]
             if kind == "put" or kind == "get":
@@ -499,7 +536,7 @@ def evaluate_group(
                 if kind == "put":
                     stats.puts += L
                     if e == 0:
-                        continue
+                        return
                     stats.bytes_put += nbytes * L
                     stats.remote_puts += L
                     tg = tg + cost.loop_overhead_ns(e)
@@ -521,7 +558,7 @@ def evaluate_group(
                 else:
                     stats.gets += L
                     if e == 0:
-                        continue
+                        return
                     stats.bytes_got += nbytes * L
                     stats.remote_gets += L
                     tg = tg + cost.loop_overhead_ns(e)
@@ -546,18 +583,18 @@ def evaluate_group(
                 src = np.fromiter((l[2] for l in lanes), np.int64, len(lanes))
                 if charged and skip_noop:
                     if e == 0:
-                        continue  # the executor's local_copy guard
+                        return  # the executor's local_copy guard
                     keep = dst != src
                     g, dst, src = g[keep], dst[keep], src[keep]
                 L = len(g)
                 if L == 0:
-                    continue
+                    return
                 g_rows = rows[g]
                 if charged:
                     # Costs like a put-to-self in the transfer engine.
                     stats.puts += L
                     if e == 0:
-                        continue
+                        return
                     stats.bytes_put += e * b * L
                     tg = t[g] + cost.loop_overhead_ns(e)
                     tg += cost.strided_ns(g_rows, src, e, b, s, use_tlb=True)
@@ -589,6 +626,103 @@ def evaluate_group(
                         np.asarray(identity_of(sched.op, dtype)),
                         (len(g), e)).astype(dtype, copy=True)
                     _scatter(mem, mview, g_rows, dst, e, s, dtype, vals)
+            elif kind == "send":
+                tag = key[5]
+                g = np.fromiter((l[0] for l in lanes), np.int64, len(lanes))
+                src = np.fromiter((l[1] for l in lanes), np.int64, len(lanes))
+                peer = np.fromiter((l[2] for l in lanes), np.int64, len(lanes))
+                L = len(g)
+                if np.any(peer == g):  # pragma: no cover - compiler bug guard
+                    raise AssertionError("send to self in schedule")
+                nbytes = e * b
+                stats.sends += L
+                stats.bytes_sent += nbytes * L
+                g_rows = rows[g]
+                tg = t[g]
+                vals = None
+                if e:
+                    tg = tg + cost.loop_overhead_ns(e)
+                    tg += cost.strided_ns(g_rows, src, e, b, s, use_tlb=True)
+                    if mem is not None:
+                        vals = _gather(mem, mview, g_rows, src, e, s, dtype)
+                wire = nbytes + mbx.header_bytes
+                for i in np.lexsort((g, tg)):
+                    sp, dp = int(world[g[i]]), int(world[peer[i]])
+                    free, delivered = net.send(tg[i], sp, dp, wire)
+                    if free > tg[i]:
+                        tg[i] = free
+                    hops = net.route_hops(net.node_of(sp), net.node_of(dp))
+                    t_avail = delivered + mbx.route_ns_per_hop * hops
+                    net.note_delivery(t_avail)
+                    pending.setdefault(
+                        (int(g[i]), int(peer[i])), deque()).append(
+                        (tag, e, None if vals is None else vals[i], t_avail))
+                t[g] = tg
+            elif kind == "recv":
+                tag = key[5]
+                g = np.fromiter((l[0] for l in lanes), np.int64, len(lanes))
+                dst = np.fromiter((l[1] for l in lanes), np.int64, len(lanes))
+                peer = np.fromiter((l[2] for l in lanes), np.int64, len(lanes))
+                L = len(g)
+                stats.recvs += L
+                g_rows = rows[g]
+                avail = np.empty(L)
+                val_rows = []
+                for i in range(L):
+                    q = pending.get((int(peer[i]), int(g[i])))
+                    if not q:
+                        raise SimulationError(
+                            f"schedule {sched.collective}:{sched.algorithm} "
+                            f"rank {int(g[i])} segment {seg}: recv from rank "
+                            f"{int(peer[i])} has no matching send — lint "
+                            "the schedule's message matching"
+                        )
+                    mtag, melems, mvals, t_avail = q.popleft()
+                    if mtag != tag or melems != e:
+                        raise SimulationError(
+                            f"schedule {sched.collective}:{sched.algorithm} "
+                            f"rank {int(g[i])} segment {seg}: recv(tag={tag},"
+                            f" nelems={e}) mismatches the pair-FIFO head "
+                            f"(tag={mtag}, nelems={melems})"
+                        )
+                    avail[i] = t_avail
+                    val_rows.append(mvals)
+                tg = np.maximum(t[g], avail) + mbx.match_ns
+                if e:
+                    tg = tg + cost.loop_overhead_ns(e)
+                    tg += cost.strided_ns(g_rows, dst, e, b, s, use_tlb=True)
+                    if mem is not None:
+                        _scatter(mem, mview, g_rows, dst, e, s, dtype,
+                                 np.stack(val_rows))
+                t[g] = tg
+        by_rank: dict[int, list] = {}
+        for key in seg_keys:
+            for lane in groups[key]:
+                by_rank.setdefault(lane[0], []).append(key)
+        ptr = dict.fromkeys(by_rank, 0)
+        remaining = seg_keys
+        while remaining:
+            deferred: list = []
+            for key in remaining:
+                lanes = groups[key]
+                ready = all(by_rank[l[0]][ptr[l[0]]] == key for l in lanes)
+                if ready and key[2] == "recv":
+                    ready = all(pending.get((int(l[2]), int(l[0])))
+                                for l in lanes)
+                if not ready:
+                    deferred.append(key)
+                    continue
+                _run_group(key)
+                for l in groups[key]:
+                    ptr[l[0]] += 1
+            if len(deferred) == len(remaining):
+                raise SimulationError(
+                    f"schedule {sched.collective}:{sched.algorithm} "
+                    f"segment {seg}: groups {deferred} cannot make "
+                    "progress — a recv waits on a send that never "
+                    "deposits (batch-evaluation deadlock)"
+                )
+            remaining = deferred
         if seg < n_barriers:
             stats.barriers += 1
             if K == 1:

@@ -70,6 +70,14 @@ def _run_steps(ctx: "XBRTime", steps, addrs, members, dtype, op, views) -> None:
                 identity_of(op, dtype)
             ctx.charge_stream(dst, step_span_bytes(step.nelems, step.stride,
                                                    dtype.itemsize), write=True)
+        elif kind == "send":
+            ctx.msg_send(addrs[step.src] + step.src_off,
+                         step.nelems, step.stride, members[step.peer],
+                         tag=step.tag, dtype=dtype)
+        elif kind == "recv":
+            ctx.msg_recv(addrs[step.dst] + step.dst_off,
+                         step.nelems, step.stride, members[step.peer],
+                         tag=step.tag, dtype=dtype)
         else:  # pragma: no cover - compiler bug guard
             raise AssertionError(f"unknown step kind {kind!r}")
 
@@ -97,11 +105,20 @@ def execute_schedule(ctx: "XBRTime", sched: Schedule,
     ``schedule_evaluator`` method (the vec backend's batch rendezvous —
     see :mod:`repro.backends.vec`); it assumes full responsibility for
     buffer allocation, data movement and time accounting.
+
+    A context whose ``schedule_transport`` is ``"mailbox"`` gets the
+    schedule lowered onto matched send/recv pairs first (see
+    :mod:`.mailbox`) — every collective, blocking or resilient or
+    fused, inherits the two-sided transport with no per-algorithm code.
     """
     hook = getattr(ctx, "schedule_evaluator", None)
     if hook is not None:
         hook(sched, tuple(members), me, dict(bindings), dtype)
         return
+    if getattr(ctx, "schedule_transport", "onesided") == "mailbox":
+        from .mailbox import lower_to_mailbox
+
+        sched = lower_to_mailbox(sched)
     prog = sched.program(me)
     addrs: dict[str, int] = dict(bindings)
     allocated: list[tuple[str, int]] = []

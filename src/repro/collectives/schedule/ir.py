@@ -28,6 +28,15 @@ Step semantics (mirroring the legacy inline code they replaced):
   operator and charge ``charge_elems`` elements of ALU work.
 * :class:`Fill` — write the operator identity (exclusive-scan rank 0).
 * :class:`Barrier` — team barrier over the whole group.
+* :class:`Send` / :class:`Recv` — two-sided mailbox message steps, the
+  lowered form :mod:`.mailbox` produces from remote :class:`Put` /
+  :class:`Get` steps.  ``Send`` reads ``nelems`` strided elements from
+  the local ``src`` buffer and enqueues them for ``peer``; ``Recv``
+  blocks until the matching message from ``peer`` arrives and scatters
+  it into the local ``dst`` buffer.  Matching is FIFO per (sender,
+  receiver) pair with the ``tag`` checked on arrival, so a lowering
+  that reorders messages between the same pair is a protocol error the
+  linter flags.
 """
 
 from __future__ import annotations
@@ -43,6 +52,8 @@ __all__ = [
     "Copy",
     "Reduce",
     "Fill",
+    "Send",
+    "Recv",
     "Barrier",
     "BARRIER",
     "Step",
@@ -169,6 +180,43 @@ class Fill:
 
 
 @dataclass(frozen=True)
+class Send:
+    """Two-sided send: enqueue local ``src`` elements for ``peer``.
+
+    Completes once the message sits in the peer's receive queue (eager
+    buffered semantics) — it blocks only on backpressure, never on the
+    peer posting its :class:`Recv`.  ``nelems == 0`` sends a payload-free
+    control message (the request half of a lowered :class:`Get`).
+    """
+
+    kind = "send"
+    src: str
+    src_off: int
+    nelems: int
+    stride: int
+    peer: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Two-sided receive: block for ``peer``'s message, scatter to ``dst``.
+
+    Matching is strictly FIFO per (peer, self) pair; ``tag`` is verified
+    on arrival.  ``nelems == 0`` consumes a payload-free control message
+    without touching ``dst``.
+    """
+
+    kind = "recv"
+    dst: str
+    dst_off: int
+    nelems: int
+    stride: int
+    peer: int
+    tag: int = 0
+
+
+@dataclass(frozen=True)
 class Barrier:
     """Team barrier over the full group."""
 
@@ -178,7 +226,7 @@ class Barrier:
 #: Shared barrier instance (the node is stateless).
 BARRIER = Barrier()
 
-Step = Union[Put, Get, Copy, Reduce, Fill, Barrier]
+Step = Union[Put, Get, Copy, Reduce, Fill, Send, Recv, Barrier]
 
 
 @dataclass(frozen=True)

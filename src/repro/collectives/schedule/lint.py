@@ -23,6 +23,11 @@ the inline tree walks hard to extend safely:
 * **data conservation** — the union of local and incoming remote
   writes covers every byte range the schedule's ``deliver`` contract
   promises (so no rank can end with an undefined output region).
+* **message matching** — for mailbox-lowered schedules, every
+  (src, dst) pair's ordered send list must agree with the pair's
+  ordered recv list on length, tag and element count (FIFO matching is
+  per pair), and no recv may precede its matching send's barrier phase
+  (that ordering is a guaranteed deadlock).
 * **pipelined hazards** — :class:`~.ir.Pipeline` blocks must agree on
   segment/group counts across ranks (deadlock freedom with segment
   counts), carry exactly ``segments`` step tuples per group with no
@@ -90,6 +95,13 @@ def _step_accesses(step, rank: int, itemsize: int) -> Iterator[tuple]:
         yield (rank, step.acc, step.acc_off, step.acc_off + span, "lr")
         yield (rank, step.acc, step.acc_off, step.acc_off + span, "lw")
     elif kind == "fill":
+        yield (rank, step.dst, step.dst_off, step.dst_off + span, "lw")
+    elif kind == "send":
+        # Two-sided: the payload is *copied* at the send, so only the
+        # local source buffer is touched here; the matching recv owns
+        # the destination write.
+        yield (rank, step.src, step.src_off, step.src_off + span, "lr")
+    elif kind == "recv":
         yield (rank, step.dst, step.dst_off, step.dst_off + span, "lw")
 
 
@@ -191,7 +203,13 @@ def _check_steps(sched: Schedule, issues: list) -> None:
             kind = step.kind
             if kind == "barrier":
                 continue
-            if kind in ("put", "get"):
+            if kind not in ("put", "get", "copy", "reduce", "fill",
+                            "send", "recv"):
+                issues.append(LintIssue(
+                    "steps", f"unknown step kind {kind!r} — the executor "
+                    "and evaluator would reject it", rank=r))
+                continue
+            if kind in ("put", "get", "send", "recv"):
                 if not 0 <= step.peer < n:
                     issues.append(LintIssue(
                         "peers", f"{kind} peer {step.peer} outside group of "
@@ -201,6 +219,11 @@ def _check_steps(sched: Schedule, issues: list) -> None:
                     issues.append(LintIssue(
                         "peers", f"{kind} targets its own rank — use Copy "
                         "for local movement", rank=r))
+                if kind in ("send", "recv"):
+                    # Two-sided steps touch only local buffers (covered
+                    # by the access checks below); the pairing itself is
+                    # the message-matching pass's job.
+                    continue
                 remote_name = step.dst if kind == "put" else step.src
                 buf = names.get(remote_name)
                 if buf is not None:
@@ -366,6 +389,67 @@ def _check_pipelines(sched: Schedule, issues: list) -> None:
                         phase=t_r))
 
 
+def _check_message_matching(sched: Schedule, issues: list) -> None:
+    """Two-sided protocol: every (src, dst) pair's send and recv lists
+    must agree element-by-element.
+
+    Mailbox matching is FIFO per pair, so the i-th send from ``src`` to
+    ``dst`` is consumed by the i-th recv at ``dst`` naming ``src``: the
+    lists must have equal length, agree on ``tag`` and ``nelems`` at
+    every index (a mismatch is the runtime's
+    :class:`~repro.errors.MailboxProtocolError`), and every recv's
+    barrier phase must be at or after its send's — a recv whose
+    matching send only happens in a *later* phase blocks the barrier
+    the sender needs to reach it: guaranteed deadlock.
+    """
+    n = sched.n_pes
+    sends: dict = {}
+    recvs: dict = {}
+    for r in range(n):
+        phase = 0
+        for step in sched.program(r).all_steps():
+            kind = step.kind
+            if kind == "barrier":
+                phase += 1
+            elif kind == "send" and 0 <= step.peer < n:
+                sends.setdefault((r, step.peer), []).append(
+                    (phase, step.tag, step.nelems))
+            elif kind == "recv" and 0 <= step.peer < n:
+                recvs.setdefault((step.peer, r), []).append(
+                    (phase, step.tag, step.nelems))
+    for src, dst in sorted(set(sends) | set(recvs)):
+        ss = sends.get((src, dst), [])
+        rr = recvs.get((src, dst), [])
+        if len(ss) != len(rr):
+            kind, rank = (("send", src) if len(ss) > len(rr)
+                          else ("recv", dst))
+            issues.append(LintIssue(
+                "messages",
+                f"pair PE {src} -> PE {dst}: {len(ss)} sends vs "
+                f"{len(rr)} recvs — the surplus {kind}s never match",
+                rank=rank))
+        for i, ((sp, st, sn), (rp, rt, rn)) in enumerate(zip(ss, rr)):
+            if st != rt:
+                issues.append(LintIssue(
+                    "messages",
+                    f"pair PE {src} -> PE {dst} message {i}: send tag "
+                    f"{st} vs recv tag {rt} (FIFO order disagreement)",
+                    rank=dst, phase=rp))
+            if sn != rn:
+                issues.append(LintIssue(
+                    "messages",
+                    f"pair PE {src} -> PE {dst} message {i}: send "
+                    f"carries {sn} elements but recv expects {rn}",
+                    rank=dst, phase=rp))
+            if sp > rp:
+                issues.append(LintIssue(
+                    "messages",
+                    f"pair PE {src} -> PE {dst} message {i}: recv in "
+                    f"phase {rp} blocks on a send issued only in phase "
+                    f"{sp} — the sender can never reach it (deadlock)",
+                    rank=dst, phase=rp))
+
+
 def _check_conservation(sched: Schedule, issues: list) -> None:
     """Every promised ``deliver`` range is covered by some write."""
     written: dict = {}
@@ -402,6 +486,7 @@ def lint_schedule(sched: Schedule) -> list:
     _check_steps(sched, issues)
     _check_pipelines(sched, issues)
     _check_phase_overlap(sched, issues)
+    _check_message_matching(sched, issues)
     _check_conservation(sched, issues)
     return issues
 
@@ -413,6 +498,10 @@ def _step_buffer_names(step) -> tuple:
     if kind == "reduce":
         return (step.acc, step.operand)
     if kind == "fill":
+        return (step.dst,)
+    if kind == "send":
+        return (step.src,)
+    if kind == "recv":
         return (step.dst,)
     return (step.dst, step.src)
 

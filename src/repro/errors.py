@@ -27,6 +27,8 @@ __all__ = [
     "PECrashedError",
     "PeerFailedError",
     "TransferTimeoutError",
+    "MailboxProtocolError",
+    "MailboxBackpressureError",
     "BackendError",
     "WorkerFailedError",
     "BackendTimeoutError",
@@ -141,6 +143,24 @@ class PeerFailedError(XbgasError):
 
 class TransferTimeoutError(NetworkError):
     """A reliable put/get exhausted its retries without an ack."""
+
+
+class MailboxProtocolError(NetworkError):
+    """Sender and receiver disagree on the mailbox message protocol.
+
+    Raised when the FIFO head of a (source, destination) pair carries a
+    different tag or payload size than the posted receive expects — the
+    runtime signature of a mis-lowered send/recv schedule.
+    """
+
+
+class MailboxBackpressureError(NetworkError):
+    """A mailbox send exhausted its backpressure retries.
+
+    The target's receive queue stayed full for
+    :attr:`~repro.params.MailboxParams.max_retries` consecutive backoff
+    periods — the receiver is not draining (crashed, deadlocked, or the
+    queue depth is too shallow for the schedule's fan-in)."""
 
 
 class BackendError(XbgasError):

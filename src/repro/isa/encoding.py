@@ -16,6 +16,10 @@ raw stores (ersd...)       0x0B    R-type (funct7 bit 5 set); rd field
                                    names the ext reg, rs1=data, rs2=addr
 address management         0x2B    I-type (eaddi/eaddie/eaddix selected
                                    by funct3)
+remote atomics (eamo...)   0x5B    R-type; funct3 0b011, funct7 names
+                                   the fetch-and-op
+messaging (e...*.m)        0x5B    R-type; funct3 0b100/101/110 select
+                                   send/recv/probe
 ========================  =======  ======================================
 
 Immediates are the standard sign-extended RISC-V forms; raw-type xBGAS
@@ -156,6 +160,17 @@ def _spec_list() -> list[InstrSpec]:
                      ("eamoor.d", 0b0100000), ("eamomin.d", 0b1000000),
                      ("eamomax.d", 0b1010000)):
         add(name, "R", 0x5B, 0b011, f7, group="eamo")
+
+    # ---- xBGAS: two-sided messaging (mailbox engine) ----
+    # The Xctcmsg-style core-to-core surface over opcode 0x5B's free
+    # funct3 slots.  esend.m enqueues MEM[x[rs1]] (x[rs2] bytes) into
+    # the mailbox of the PE named by the extended register paired with
+    # rs1; ercv.m blocks for the pair-FIFO head from that PE into
+    # MEM[x[rs1]] (rd = received byte count); eprobe.m sets rd to the
+    # visible-message count without blocking.
+    add("esend.m", "R", 0x5B, 0b100, 0b0000000, group="emsg")
+    add("ercv.m", "R", 0x5B, 0b101, 0b0000000, group="emsg")
+    add("eprobe.m", "R", 0x5B, 0b110, 0b0000000, group="emsg")
     return s
 
 

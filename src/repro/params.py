@@ -27,6 +27,7 @@ __all__ = [
     "TlbParams",
     "MemoryParams",
     "TransportParams",
+    "MailboxParams",
     "MachineConfig",
     "xbgas_transport",
     "rdma_transport",
@@ -202,6 +203,57 @@ _TRANSPORTS = {
 
 
 @dataclass(frozen=True)
+class MailboxParams:
+    """Two-sided mailbox engine parameters (the Xctcmsg-style design).
+
+    Every PE owns one bounded receive queue of ``recv_depth`` message
+    slots.  A sender whose target queue is full stalls (backpressure)
+    until the receiver drains a slot.  Messages travel through the
+    postoffice: the regular fabric/topology path of ``network.py`` plus
+    ``route_ns_per_hop`` of routing-table work per topology hop and a
+    fixed ``header_bytes`` framing overhead per message.
+
+    Attributes
+    ----------
+    recv_depth:
+        Slots in each PE's receive queue.  Lowered schedules need the
+        depth to cover a stage's worst fan-in (the linter warns on
+        queues shallower than 1).
+    route_ns_per_hop:
+        Postoffice routing charge per topology hop between nodes
+        (added on top of the fabric latency the network model charges).
+    header_bytes:
+        Wire framing per message: (src, dst, tag, length) descriptor.
+    match_ns:
+        Receive-side cost of matching one message against a pending
+        receive (tag + source compare, queue bookkeeping).
+    retry_ns:
+        Sender backoff before re-attempting an enqueue that found the
+        target queue full (the commit-safety retry loop).
+    max_retries:
+        Enqueue attempts before the sender gives up and the machine
+        raises — a safety net against livelock on a stuck receiver.
+    """
+
+    recv_depth: int = 64
+    route_ns_per_hop: float = 25.0
+    header_bytes: int = 16
+    match_ns: float = 12.0
+    retry_ns: float = 200.0
+    max_retries: int = 64
+
+    def __post_init__(self) -> None:
+        if self.recv_depth <= 0:
+            raise ValueError("mailbox recv_depth must be positive")
+        if self.max_retries <= 0:
+            raise ValueError("mailbox max_retries must be positive")
+
+    def with_(self, **kw: object) -> "MailboxParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kw)
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """Full configuration of the simulated machine.
 
@@ -237,6 +289,8 @@ class MachineConfig:
     clock_ghz: float = 1.0
     mem: MemoryParams = field(default_factory=MemoryParams)
     transport: TransportParams = field(default_factory=xbgas_transport)
+    #: Two-sided mailbox engine (used when ``Machine(transport="mailbox")``).
+    mailbox: MailboxParams = field(default_factory=MailboxParams)
     topology: str = "fully-connected"
     #: Aggregate fabric bandwidth shared by all nodes, ns per byte of
     #: concurrently in-flight traffic (0 disables contention modelling).

@@ -44,6 +44,7 @@ from ..errors import (
 )
 from ..isa.memory import Memory
 from ..isa.olb import ObjectLookasideBuffer
+from ..machine.mailbox import MailboxRouter
 from ..machine.memsys import MemoryHierarchy
 from ..machine.network import Network
 from ..machine.node import Node
@@ -69,18 +70,33 @@ class Machine:
 
     def __init__(self, config: MachineConfig | None = None, *,
                  trace: bool = False, faults=None, retry=None,
-                 fast_paths: bool = True):
+                 fast_paths: bool = True, transport: str = "onesided"):
         """``faults`` (a :class:`~repro.faults.plan.FaultPlan`) arms the
         fault injector; ``retry`` (a
         :class:`~repro.faults.plan.RetryConfig`) arms ack/retry on
         remote put/get.  Both default to off — a machine without them
         behaves exactly as before the subsystem existed.
 
+        ``transport`` selects how compiled collective schedules move
+        data: ``"onesided"`` (default) executes remote Put/Get steps
+        directly; ``"mailbox"`` lowers every schedule onto the
+        two-sided mailbox engine (matched send/recv pairs through the
+        bounded per-PE queues) before execution.  The explicit
+        ``ctx.put``/``ctx.get`` calls and the mailbox ``ctx.msg_*``
+        calls are available on either setting — the knob only governs
+        schedule lowering.
+
         ``fast_paths=False`` selects the reference implementations of the
         scheduler (scheduler-thread bounce) and of bulk memory costing
         (per-line loop).  Simulated results are identical either way —
         the flag exists for the equivalence tests and as the "before"
         arm of the wall-clock perf harness (``repro.perf``)."""
+        if transport not in ("onesided", "mailbox"):
+            raise ValueError(
+                f"unknown schedule transport {transport!r}; expected "
+                "'onesided' or 'mailbox'"
+            )
+        self.transport_name = transport
         self.config = config if config is not None else MachineConfig()
         cfg = self.config
         self.fast_paths = fast_paths
@@ -119,6 +135,7 @@ class Machine:
             olb.install_default(cfg.n_pes)
         self.barriers = BarrierController(self)
         self.transfers = [TransferEngine(self, r) for r in range(cfg.n_pes)]
+        self.mailbox = MailboxRouter(self)
         self._consumed = False
         self._isa_path = None
         if cfg.fidelity == "isa":
@@ -551,6 +568,136 @@ class XBRTime(CollectiveAPI):
         """Complete all outstanding non-blocking transfers of this PE."""
         self._require_active()
         self._transfer.quiet()
+
+    # -- two-sided mailbox messaging -----------------------------------------------------
+
+    @property
+    def schedule_transport(self) -> str:
+        """How compiled schedules execute: ``"onesided"`` or ``"mailbox"``."""
+        return self.machine.transport_name
+
+    def msg_send(self, src: int, nelems: int, stride: int, pe: int,
+                 tag: int = 0, dtype: str | np.dtype = "long") -> None:
+        """Send ``nelems`` strided elements at local ``src`` to ``pe``.
+
+        Eager/buffered: returns once the message is committed to the
+        target's bounded receive queue (blocking only on backpressure).
+        ``nelems == 0`` sends a payload-free control message.
+        """
+        self._require_active()
+        dt = resolve_dtype(dtype)
+        transfer = self._transfer
+        transfer._check_args(nelems, stride, pe)
+        nbytes = nelems * dt.itemsize
+        machine = self.machine
+        engine = machine.engine
+        engine.checkpoint()
+        traced = engine.trace.enabled
+        if traced:
+            engine.record("send", f"{nbytes}B -> PE{pe} tag={tag}")
+            engine.spans.begin(self.rank, "op", "send", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": pe, "remote": pe != self.rank, "tag": tag,
+            })
+        try:
+            payload = None
+            if nelems:
+                self.pe.advance(transfer.loop_overhead_ns(nelems))
+                self.pe.advance(transfer._local_cost(
+                    src, nelems, dt.itemsize, stride, write=False))
+                payload = self._memory.view(src, dt, nelems, stride).copy()
+            machine.mailbox.send(self.rank, pe, payload, nbytes, tag)
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
+
+    def msg_recv(self, dest: int, nelems: int, stride: int, pe: int,
+                 tag: int = 0, dtype: str | np.dtype = "long") -> None:
+        """Receive the next message from ``pe`` into local ``dest``.
+
+        Blocks (in simulated time) until the (``pe``, self) pair's FIFO
+        delivers; verifies ``tag`` and the payload size against
+        ``nelems``, then scatters the payload.  ``nelems == 0`` consumes
+        a payload-free control message without touching ``dest``.
+        """
+        self._require_active()
+        dt = resolve_dtype(dtype)
+        transfer = self._transfer
+        transfer._check_args(nelems, stride, pe)
+        nbytes = nelems * dt.itemsize
+        machine = self.machine
+        engine = machine.engine
+        engine.checkpoint()
+        traced = engine.trace.enabled
+        if traced:
+            engine.record("recv", f"{nbytes}B <- PE{pe} tag={tag}")
+            engine.spans.begin(self.rank, "op", "recv", {
+                "bytes": nbytes, "nelems": nelems, "stride": stride,
+                "target": pe, "remote": pe != self.rank, "tag": tag,
+            })
+        try:
+            msg = machine.mailbox.recv(self.rank, pe, tag)
+            if msg.nbytes != nbytes:
+                from ..errors import MailboxProtocolError
+
+                raise MailboxProtocolError(
+                    f"PE {self.rank}: recv from PE {pe} expected "
+                    f"{nbytes}B but the message carries {msg.nbytes}B"
+                )
+            if nelems:
+                self.pe.advance(transfer.loop_overhead_ns(nelems))
+                self.pe.advance(transfer._local_cost(
+                    dest, nelems, dt.itemsize, stride, write=True))
+                dview = self._memory.view(dest, dt, nelems, stride)
+                dview[:] = msg.data
+                if msg.fault is not None:
+                    machine.faults.corrupt_payload(dview, msg.fault)
+        finally:
+            if traced:
+                engine.spans.end(self.rank)
+
+    def msg_try_recv(self, dest: int, nelems: int, stride: int,
+                     pe: int | None = None,
+                     dtype: str | np.dtype = "long"
+                     ) -> tuple[int, int] | None:
+        """Non-blocking receive: consume the oldest *visible* message.
+
+        Returns ``(source, tag)`` after scattering the payload into
+        ``dest``, or ``None`` when no delivered message (optionally from
+        ``pe``) is queued.  The payload must carry exactly ``nelems``
+        elements — mailbox protocols are fixed-format by design.
+        """
+        self._require_active()
+        dt = resolve_dtype(dtype)
+        transfer = self._transfer
+        transfer._check_args(nelems, stride, pe if pe is not None else 0)
+        machine = self.machine
+        machine.engine.checkpoint()
+        msg = machine.mailbox.try_recv(self.rank, pe)
+        if msg is None:
+            return None
+        nbytes = nelems * dt.itemsize
+        if msg.nbytes != nbytes:
+            from ..errors import MailboxProtocolError
+
+            raise MailboxProtocolError(
+                f"PE {self.rank}: try_recv expected {nbytes}B but the "
+                f"message from PE {msg.src} carries {msg.nbytes}B"
+            )
+        if nelems:
+            self.pe.advance(transfer.loop_overhead_ns(nelems))
+            self.pe.advance(transfer._local_cost(
+                dest, nelems, dt.itemsize, stride, write=True))
+            dview = self._memory.view(dest, dt, nelems, stride)
+            dview[:] = msg.data
+            if msg.fault is not None:
+                machine.faults.corrupt_payload(dview, msg.fault)
+        return msg.src, msg.tag
+
+    def msg_probe(self, pe: int | None = None) -> bool:
+        """Whether a delivered message (optionally from ``pe``) awaits."""
+        self._require_active()
+        return self.machine.mailbox.probe(self.rank, pe)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

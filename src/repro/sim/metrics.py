@@ -41,7 +41,7 @@ class StageMetrics:
     """One binomial-tree stage, aggregated over all participants."""
 
     index: int
-    messages: int = 0        #: remote puts + gets issued in the stage
+    messages: int = 0        #: remote puts + gets + sends issued in the stage
     local_copies: int = 0    #: puts/gets a PE issued to itself
     bytes: int = 0           #: payload bytes of the remote messages
     barriers: int = 0        #: barrier entries closing the stage
@@ -132,6 +132,18 @@ def _fold_ops(ops: Iterable[Span], cm: CollectiveMetrics,
                 stage.barriers += 1
             else:
                 cm.entry_barriers += 1
+            continue
+        if op.name == "send":
+            # Two-sided path: the send side owns the message accounting —
+            # the matching recv is the same wire message, so folding both
+            # would double-count mailbox traffic.
+            _, nbytes = _op_stats(op)
+            if stage is not None:
+                stage.messages += 1
+                stage.bytes += nbytes
+            else:
+                cm.extra_messages += 1
+                cm.extra_bytes += nbytes
             continue
         if op.name not in ("put", "get"):
             continue

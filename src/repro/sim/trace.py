@@ -175,6 +175,12 @@ class SimStats:
     messages: int = 0
     bytes_on_wire: int = 0
     fabric_queued_ns: float = 0.0
+    #: Two-sided mailbox traffic (the ``transport="mailbox"`` engine).
+    sends: int = 0
+    recvs: int = 0
+    bytes_sent: int = 0
+    mbx_stalls: int = 0
+    mbx_dropped: int = 0
     #: Fired fault-injection events by kind (drop, delay, crash, ...).
     faults_injected: Counter = field(default_factory=Counter)
     #: Retransmissions issued by the reliable-transfer layer.
@@ -201,6 +207,11 @@ class SimStats:
         self.messages += other.messages
         self.bytes_on_wire += other.bytes_on_wire
         self.fabric_queued_ns += other.fabric_queued_ns
+        self.sends += other.sends
+        self.recvs += other.recvs
+        self.bytes_sent += other.bytes_sent
+        self.mbx_stalls += other.mbx_stalls
+        self.mbx_dropped += other.mbx_dropped
         self.faults_injected.update(other.faults_injected)
         self.retries += other.retries
 
@@ -211,6 +222,12 @@ class SimStats:
             f"barriers={self.barriers}",
             f"messages={self.messages} ({self.bytes_on_wire} B on wire)",
         ]
+        if self.sends or self.recvs:
+            lines.append(
+                f"mailbox: sends={self.sends} ({self.bytes_sent} B) "
+                f"recvs={self.recvs} stalls={self.mbx_stalls} "
+                f"dropped={self.mbx_dropped}"
+            )
         if self.collective_calls:
             calls = ", ".join(
                 f"{k}={v}" for k, v in sorted(self.collective_calls.items())

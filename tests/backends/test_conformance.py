@@ -6,7 +6,10 @@ output buffers on the deterministic simulator, on true-parallel worker
 processes and on the vectorized batch evaluator.  This suite runs one
 generic driver program per (collective, payload) pair on all three
 backends at 1-16 PEs — including non-powers-of-two, ragged counts and
-zero counts — and compares the raw result bytes.
+zero counts — and compares the raw result bytes.  At 1-8 PEs every
+case additionally runs on the simulator's *mailbox* transport
+(``transport="mailbox"``), which lowers each compiled schedule onto
+matched send/recv pairs; those bytes must equal the one-sided run too.
 
 The driver returns only bytes the collective's contract defines (the
 root's dest for rooted calls, each rank's slice for scatter, ...);
@@ -296,7 +299,7 @@ def _collective_program(ctx, spec: dict) -> bytes:
 
 def _run_all(mp_sessions, sim_backend, vec_backend, n_pes: int,
              spec: dict) -> None:
-    """Run the spec on all three backends and compare per-rank bytes."""
+    """Run the spec on every backend/transport and compare per-rank bytes."""
     args = [(spec,) for _ in range(n_pes)]
     sim = sim_backend.run(_collective_program, args,
                           config=small_config(n_pes))
@@ -306,6 +309,17 @@ def _run_all(mp_sessions, sim_backend, vec_backend, n_pes: int,
         f"sim/vec divergence for {spec} at {n_pes} PEs: "
         f"{[s[:32] for s in sim]} != {[v[:32] for v in vec]}"
     )
+    if n_pes <= 8:
+        # The mailbox transport lowers every schedule onto send/recv
+        # pairs; results must stay byte-identical to one-sided.  Capped
+        # at 8 PEs to keep the per-example simulation cost bounded.
+        mbx = sim_backend.run(_collective_program, args,
+                              config=small_config(n_pes),
+                              transport="mailbox")
+        assert sim == mbx, (
+            f"onesided/mailbox divergence for {spec} at {n_pes} PEs: "
+            f"{[s[:32] for s in sim]} != {[m[:32] for m in mbx]}"
+        )
     mp_res = mp_sessions.get(n_pes).run(_collective_program, args)
     assert sim == mp_res, (
         f"sim/mp divergence for {spec} at {n_pes} PEs: "

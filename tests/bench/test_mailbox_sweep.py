@@ -1,0 +1,95 @@
+"""Tests for the mailbox-transport sweep (BENCH_mailbox.json)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.bench.mailbox_sweep import (
+    OVERHEAD_MAX,
+    check_document,
+    depth_point,
+    mailbox_sweep,
+    main as sweep_main,
+    sweep_point,
+)
+
+_REFERENCE = pathlib.Path(__file__).resolve().parents[2] / \
+    "BENCH_mailbox.json"
+
+
+class TestSweepPoint:
+    def test_point_shape(self):
+        p = sweep_point(8, 1024)
+        assert p["onesided_ns"] > 0
+        assert p["mailbox_ns"] > 0
+        assert p["overhead"] == round(p["mailbox_ns"] / p["onesided_ns"], 3)
+        assert p["max_fan_in"] >= 1
+        assert p["sends"] > 0
+        assert p["wire_bytes"] > 0
+
+    def test_overhead_ceiling_holds_live(self):
+        """The acceptance bar, measured fresh at every sweep tier."""
+        for n in (4, 8, 16):
+            assert sweep_point(n, 1024)["overhead"] <= OVERHEAD_MAX
+
+    def test_push_beats_pull_at_scale(self):
+        """The lowering's eager sends overlap where gets round-trip:
+        at 64 PEs the two-sided form must not be slower."""
+        assert sweep_point(64, 1024)["overhead"] <= 1.0
+
+    def test_deterministic(self):
+        assert sweep_point(8, 64) == sweep_point(8, 64)
+
+
+class TestDepthCurve:
+    def test_depth_one_completes_stall_free_schedule(self):
+        """Phase-matched lowered builtins survive even a depth-1 queue."""
+        p = depth_point(1)
+        assert p["elapsed_ns"] > 0
+        assert p["sends"] > 0
+
+    def test_deep_queue_never_stalls(self):
+        assert depth_point(64)["stalls"] == 0
+
+
+class TestDocument:
+    def test_document_shape(self):
+        doc = mailbox_sweep(pe_counts=(4, 8), sizes=(64,), depths=(8, 64))
+        assert doc["bench"] == "mailbox-transport"
+        assert len(doc["points"]) == 2
+        assert len(doc["depth_curve"]) == 2
+        json.dumps(doc)  # must be serialisable as-is
+        assert check_document(doc, fresh_point=False) == []
+
+    def test_check_flags_wrong_bench_key(self):
+        problems = check_document({"bench": "other", "points": []},
+                                  fresh_point=False)
+        assert problems
+
+    def test_check_flags_overhead_breach(self):
+        doc = mailbox_sweep(pe_counts=(4,), sizes=(64,), depths=(64,))
+        doc["points"][0]["overhead"] = OVERHEAD_MAX + 1
+        problems = check_document(doc, fresh_point=False)
+        assert any("ceiling" in p for p in problems)
+
+    def test_check_flags_stalling_deep_queue(self):
+        doc = mailbox_sweep(pe_counts=(4,), sizes=(64,), depths=(64,))
+        doc["depth_curve"][-1]["stalls"] = 5
+        problems = check_document(doc, fresh_point=False)
+        assert any("still stalls" in p for p in problems)
+
+    def test_committed_reference_passes(self):
+        """The checked-in BENCH_mailbox.json must satisfy its own gate."""
+        doc = json.loads(_REFERENCE.read_text())
+        assert check_document(doc, fresh_point=False) == []
+
+    def test_cli_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "mbx.json"
+        status = sweep_main(["--pes", "4", "--sizes", "64", "--depths",
+                             "8", "--out", str(out)])
+        assert status == 0
+        doc = json.loads(out.read_text())
+        assert doc["pe_counts"] == [4]
+        assert "overhead" in doc["points"][0]
+        assert "makespan" in capsys.readouterr().out

@@ -1,0 +1,232 @@
+"""The mailbox lowering pass, checked per builtin collective family.
+
+For every ``(collective, algorithm)`` pair in the registry and every PE
+count in 1–16 (sampled), the lowered two-sided schedule must be
+
+* **equivalent** — byte-identical buffer contents to the one-sided
+  original under the batch evaluator, for uniform, ragged and
+  degenerate call shapes alike;
+* **lint-clean** — zero issues from :func:`lint_schedule`, including
+  the two-sided message-matching pass;
+* **deadlock-free** — the evaluator's dataflow fixpoint raises
+  ``SimulationError`` on any send/recv cycle, so a completed
+  evaluation is a deadlock-freedom certificate for the batch model
+  (the conformance suite covers the cooperative executor);
+* **queue-bounded** — :func:`max_fan_in` stays within the default
+  ``recv_depth``, so lowered builtins run without exhausting
+  backpressure retries on an out-of-the-box machine.
+
+The linter's message-matching pass is itself tested against hand-built
+broken lowerings: unmatched sends, tag and size disagreements, and a
+recv that can only deadlock.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collectives.schedule import (
+    BARRIER,
+    Buffer,
+    RankProgram,
+    Recv,
+    Schedule,
+    Send,
+    Stage,
+    lint_schedule,
+    lower_to_mailbox,
+    max_fan_in,
+)
+from repro.collectives.schedule.evaluate import evaluate_schedule
+from repro.collectives.schedule.registry import (BUILTIN_ALGORITHMS,
+                                                  builtin_schedules)
+from repro.params import MachineConfig, MailboxParams
+
+from ..conftest import small_config
+
+PE_COUNTS = (1, 2, 3, 5, 8, 16)
+
+
+def _family_schedules(collective: str, algorithm: str):
+    """Every builtin shape of one family at the sampled PE counts."""
+    for label, sched in builtin_schedules(PE_COUNTS, nelems=12):
+        if (sched.collective, sched.algorithm) == (collective, algorithm):
+            yield label, sched
+
+
+def _seed_inputs(sched: Schedule, seed: int):
+    """Deterministic random contents for every user buffer, per rank."""
+    rng = np.random.default_rng(seed)
+    dt = np.dtype("int64") if sched.itemsize == 8 else np.dtype("int32")
+    inputs = {}
+    for buf in sched.buffers:
+        if buf.kind != "user":
+            continue
+        inputs[buf.name] = [
+            rng.integers(-1000, 1000,
+                         size=buf.nbytes_on(r) // dt.itemsize).astype(dt)
+            if buf.held_by(r) else np.zeros(0, dt)
+            for r in range(sched.n_pes)
+        ]
+    return inputs
+
+
+@pytest.mark.parametrize(("collective", "algorithm"), BUILTIN_ALGORITHMS,
+                         ids=[f"{c}:{a}" for c, a in BUILTIN_ALGORITHMS])
+def test_family_lowers_equivalently(collective, algorithm):
+    """Lowered ≡ one-sided, lint-clean, bounded fan-in — every shape."""
+    cfg = MachineConfig(n_pes=2)  # resized per schedule by the evaluator
+    checked = 0
+    for label, sched in _family_schedules(collective, algorithm):
+        lowered = lower_to_mailbox(sched)
+        assert lowered.algorithm == sched.algorithm + "+mailbox"
+        assert lowered.n_pes == sched.n_pes
+
+        issues = lint_schedule(lowered)
+        assert issues == [], f"{label}: lowered schedule lints dirty"
+
+        fan_in = max_fan_in(lowered)
+        assert fan_in <= MailboxParams().recv_depth, \
+            f"{label}: fan-in {fan_in} exceeds the default queue depth"
+
+        inputs = _seed_inputs(sched, seed=abs(hash(label)) % (2 ** 31))
+        base = evaluate_schedule(sched, cfg, inputs=inputs)
+        two = evaluate_schedule(lowered, cfg, inputs=inputs)
+        for buf in sched.buffers:
+            for r in range(sched.n_pes):
+                if not buf.held_by(r):
+                    continue
+                a = base.buffer(buf.name, r)
+                b = two.buffer(buf.name, r)
+                assert np.array_equal(a, b), \
+                    f"{label}: buffer {buf.name!r} diverges on rank {r}"
+
+        # The rewrite must conserve traffic: every remote put/get of the
+        # original becomes exactly one payload send (gets add one
+        # zero-payload request besides), while local copies stay local.
+        assert two.stats.sends == two.stats.recvs
+        remote = sum(
+            1 for r in range(sched.n_pes)
+            for step in sched.program(r).all_steps()
+            if step.kind in ("put", "get") and step.peer != r
+            and step.nelems > 0)
+        if remote:
+            assert two.stats.sends >= remote
+        checked += 1
+    assert checked > 0, "registry yielded no schedules for this family"
+
+
+def test_lowering_is_cached_and_pure():
+    sched = next(s for _, s in builtin_schedules((4,), nelems=8))
+    assert lower_to_mailbox(sched) is lower_to_mailbox(sched)
+    # And the input schedule is untouched: no send/recv leaked into it.
+    assert all(step.kind not in ("send", "recv")
+               for r in range(sched.n_pes)
+               for step in sched.program(r).all_steps())
+
+
+# ---------------------------------------------------------------------------
+# the linter vs deliberately broken lowerings
+# ---------------------------------------------------------------------------
+
+def _toy(rank0_phases, rank1_phases):
+    """A 2-PE schedule from per-phase step tuples (BARRIER appended)."""
+    programs = []
+    for r, phases in enumerate((rank0_phases, rank1_phases)):
+        stages = tuple(Stage(i, tuple(steps) + (BARRIER,))
+                       for i, steps in enumerate(phases))
+        programs.append(RankProgram(rank=r, stages=stages))
+    return Schedule(
+        collective="toy", algorithm="handmade+mailbox", n_pes=2, itemsize=8,
+        buffers=(Buffer("s", "scratch", 64, symmetric=True),),
+        programs=tuple(programs),
+    )
+
+
+def _message_issues(sched):
+    return [i for i in lint_schedule(sched) if i.check == "messages"]
+
+
+class TestBrokenLowerings:
+    def test_well_formed_toy_is_clean(self):
+        sched = _toy([(Send("s", 0, 2, 1, peer=1, tag=5),)],
+                     [(Recv("s", 0, 2, 1, peer=0, tag=5),)])
+        assert lint_schedule(sched) == []
+
+    def test_unmatched_send_is_flagged(self):
+        sched = _toy([(Send("s", 0, 2, 1, peer=1, tag=0),)],
+                     [()])
+        issues = _message_issues(sched)
+        assert len(issues) == 1
+        assert "1 sends vs 0 recvs" in issues[0].message
+
+    def test_tag_disagreement_is_flagged(self):
+        sched = _toy([(Send("s", 0, 2, 1, peer=1, tag=3),)],
+                     [(Recv("s", 0, 2, 1, peer=0, tag=4),)])
+        issues = _message_issues(sched)
+        assert len(issues) == 1
+        assert "FIFO order disagreement" in issues[0].message
+
+    def test_size_disagreement_is_flagged(self):
+        sched = _toy([(Send("s", 0, 4, 1, peer=1, tag=0),)],
+                     [(Recv("s", 0, 2, 1, peer=0, tag=0),)])
+        issues = _message_issues(sched)
+        assert len(issues) == 1
+        assert "carries 4 elements but recv expects 2" in issues[0].message
+
+    def test_future_send_deadlock_is_flagged(self):
+        # The recv sits in phase 0 but its matching send only happens in
+        # phase 1 — the sender is stuck behind the barrier the receiver
+        # will never reach.
+        sched = _toy([(), (Send("s", 0, 2, 1, peer=1, tag=0),)],
+                     [(Recv("s", 0, 2, 1, peer=0, tag=0),), ()])
+        issues = _message_issues(sched)
+        assert len(issues) == 1
+        assert "deadlock" in issues[0].message
+
+    def test_fifo_order_swap_is_flagged(self):
+        # Two messages whose recv order is inverted relative to send
+        # order: FIFO matching pairs them crosswise, so both tags clash.
+        sched = _toy(
+            [(Send("s", 0, 2, 1, peer=1, tag=1),
+              Send("s", 16, 2, 1, peer=1, tag=2))],
+            [(Recv("s", 16, 2, 1, peer=0, tag=2),
+              Recv("s", 0, 2, 1, peer=0, tag=1))],
+        )
+        issues = _message_issues(sched)
+        assert len(issues) == 2
+        assert all("FIFO order disagreement" in i.message for i in issues)
+
+
+# ---------------------------------------------------------------------------
+# evaluator deadlock detection (the certificate the family test relies on)
+# ---------------------------------------------------------------------------
+
+def test_evaluator_raises_on_deadlocked_lowering():
+    from repro.errors import SimulationError
+
+    sched = _toy([(), (Send("s", 0, 2, 1, peer=1, tag=0),)],
+                 [(Recv("s", 0, 2, 1, peer=0, tag=0),), ()])
+    with pytest.raises(SimulationError, match="deadlock"):
+        evaluate_schedule(sched, MachineConfig(n_pes=2))
+
+
+def test_evaluator_charges_mailbox_costs():
+    """Lowered schedules pay header + routing + match time — they are
+    modelled as slower, never faster, than the one-sided original."""
+    sched = next(s for label, s in builtin_schedules((8,), nelems=64)
+                 if (s.collective, s.algorithm) == ("allreduce", "ring")
+                 and "nelems=64" in label)
+    cfg = small_config(8)
+    base = evaluate_schedule(sched, cfg)
+    two = evaluate_schedule(lower_to_mailbox(sched), cfg)
+    assert two.elapsed_ns > base.elapsed_ns
+    # Payload conservation: the wire carries exactly the formerly-remote
+    # put/get bytes (requests are zero-payload; local copies stay local).
+    remote_bytes = sum(
+        step.nelems * sched.itemsize
+        for r in range(sched.n_pes)
+        for step in sched.program(r).all_steps()
+        if step.kind in ("put", "get") and step.peer != r)
+    assert two.stats.bytes_sent == remote_bytes

@@ -65,6 +65,9 @@ _EXAMPLES: dict[str, Example] = {
         expect=("sum of squares over 4 PEs = 30", "gather assembled"),
     ),
     "transport_comparison.py": Example(expect=("ordering holds",)),
+    "mailbox_allreduce.py": Example(
+        expect=("bit-identical to one-sided", "exact on every PE"),
+    ),
     "xbgas_assembly.py": Example(
         expect=("sum of remote values: 828 (expected 828)",
                 "PE 1 memory at 0x1000: [100, 101"),
